@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the simulation core: event calendar
+//! scheduling/popping and cancellation churn.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfs::simkit::calendar::Calendar;
+use dfs::simkit::time::SimTime;
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar_schedule_pop");
+    for size in [1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(size));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                let mut cal = Calendar::new();
+                let mut x: u64 = 0x243f6a8885a308d3;
+                for i in 0..size {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    cal.schedule(SimTime::from_micros(x % 1_000_000_000), i);
+                }
+                let mut n = 0u64;
+                while cal.pop().is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, size);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cancellation_churn(c: &mut Criterion) {
+    // The engine's NetCheck management cancels and reschedules
+    // constantly; measure interleaved schedule/cancel/pop.
+    let mut group = c.benchmark_group("calendar_cancel_churn");
+    let size = 10_000u64;
+    group.throughput(Throughput::Elements(size));
+    group.bench_function("10k", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            let mut pending = Vec::new();
+            for i in 0..size {
+                let id = cal.schedule(SimTime::from_micros(i * 7 % 10_000), i);
+                pending.push(id);
+                if i % 3 == 0 {
+                    if let Some(id) = pending.pop() {
+                        cal.cancel(id);
+                    }
+                }
+                if i % 5 == 0 {
+                    let _ = cal.pop();
+                }
+            }
+            while cal.pop().is_some() {}
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_schedule_pop, bench_cancellation_churn
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the flow-level network: max-min rate
+//! recomputation under flow churn at cluster scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfs::netsim::{NetConfig, Network};
+use dfs::simkit::time::{SimDuration, SimTime};
+
+/// Start `flows` random flows on a 40-node/4-rack cluster, then drive
+/// the network to completion — every start and finish triggers a full
+/// max-min reallocation, as in the simulator's hot loop.
+fn churn(flows: u64) {
+    let mut net = Network::new(&[10, 10, 10, 10], NetConfig::gigabit());
+    let mut now = SimTime::ZERO;
+    let mut x: u64 = 0x9e3779b97f4a7c15;
+    let mut rand = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for _ in 0..flows {
+        let src = (rand() % 40) as usize;
+        let mut dst = (rand() % 40) as usize;
+        if dst == src {
+            dst = (dst + 1) % 40;
+        }
+        net.start_flow(now, src, dst, 1024 * 1024 + rand() % (8 * 1024 * 1024));
+        now = now + SimDuration::from_micros(rand() % 1000);
+    }
+    while let Some(t) = net.next_completion() {
+        let done = net.complete_flows(t.max(now));
+        now = t.max(now);
+        if done.is_empty() && net.active_flows() == 0 {
+            break;
+        }
+    }
+    assert_eq!(net.active_flows(), 0);
+}
+
+fn bench_flow_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_flow_churn");
+    for flows in [50u64, 200, 800] {
+        group.throughput(Throughput::Elements(flows));
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
+            b.iter(|| churn(flows))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_flow_churn
+);
+criterion_main!(benches);

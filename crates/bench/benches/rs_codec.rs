@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for the Reed–Solomon codec: encode
+//! throughput, full-stripe decode, and the degraded-read primitive
+//! (reconstruct one lost shard) for the paper's coding schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfs::erasure::{CodeConstruction, CodeParams, ReedSolomon, StripeCodec};
+
+const SHARD_BYTES: usize = 256 * 1024;
+
+fn sample_data(k: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| {
+            (0..SHARD_BYTES)
+                .map(|j| ((i * 31 + j * 7 + 13) % 256) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_encode");
+    for (n, k) in [(8usize, 6usize), (12, 10), (16, 12), (20, 15)] {
+        let data = sample_data(k);
+        group.throughput(Throughput::Bytes((k * SHARD_BYTES) as u64));
+        for construction in [CodeConstruction::Vandermonde, CodeConstruction::Cauchy] {
+            let rs =
+                ReedSolomon::new(CodeParams::new(n, k).unwrap(), construction).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{construction:?}"), format!("({n},{k})")),
+                &data,
+                |b, data| b.iter(|| rs.encode_parity(data).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_degraded_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_degraded_read");
+    for (n, k) in [(12usize, 10usize), (16, 12)] {
+        let codec = StripeCodec::new(CodeParams::new(n, k).unwrap()).unwrap();
+        let data = sample_data(k);
+        let stripe = codec.encode(&data).unwrap();
+        // Lose shard 0; rebuild from the last k shards.
+        let survivors: Vec<(usize, Vec<u8>)> =
+            (n - k..n).map(|i| (i, stripe[i].clone())).collect();
+        group.throughput(Throughput::Bytes(SHARD_BYTES as u64));
+        group.bench_function(BenchmarkId::from_parameter(format!("({n},{k})")), |b| {
+            b.iter(|| codec.reconstruct(&survivors, 0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_decode_all");
+    let (n, k) = (12usize, 10usize);
+    let codec = StripeCodec::new(CodeParams::new(n, k).unwrap()).unwrap();
+    let data = sample_data(k);
+    let stripe = codec.encode(&data).unwrap();
+    let survivors: Vec<(usize, Vec<u8>)> = (n - k..n).map(|i| (i, stripe[i].clone())).collect();
+    group.throughput(Throughput::Bytes((k * SHARD_BYTES) as u64));
+    group.bench_function("(12,10)", |b| {
+        b.iter(|| codec.decode_natives(&survivors).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encode, bench_degraded_reconstruct, bench_full_decode
+);
+criterion_main!(benches);

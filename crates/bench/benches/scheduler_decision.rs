@@ -1,0 +1,40 @@
+//! Criterion macro-benchmarks of the simulator itself: full end-to-end
+//! runs under each policy. This measures the cost of the scheduling
+//! decision path (heartbeats × policy logic) together with engine and
+//! network overheads — the simulator's own "how long does one
+//! configuration take" number that the sweep budgets are built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfs::experiment::Policy;
+use dfs::presets;
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_full_run");
+    group.sample_size(10);
+    let exp = presets::small_default();
+    for policy in [
+        Policy::LocalityFirst,
+        Policy::BasicDegradedFirst,
+        Policy::EnhancedDegradedFirst,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| b.iter(|| exp.run(policy, 1).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_paper_scale_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_paper_scale");
+    group.sample_size(10);
+    let exp = presets::simulation_default();
+    group.bench_function("EDF_40nodes_1440blocks", |b| {
+        b.iter(|| exp.run(Policy::EnhancedDegradedFirst, 1).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_paper_scale_run);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates one evaluation artifact; see `bench::figs::heartbeat`.
+//! Set `DFS_SEEDS` to control the number of randomized runs.
+
+fn main() {
+    bench::figs::heartbeat::run();
+}

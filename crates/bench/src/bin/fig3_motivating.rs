@@ -1,0 +1,7 @@
+//! Regenerates one evaluation artifact; see `bench::figs` for details.
+//! Set `DFS_SEEDS` to control the number of randomized runs.
+
+fn main() {
+    bench::figs::fig3::run();
+    bench::figs::fig3::run_gantt();
+}

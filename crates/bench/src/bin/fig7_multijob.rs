@@ -1,0 +1,6 @@
+//! Regenerates one evaluation artifact; see `bench::figs` for details.
+//! Set `DFS_SEEDS` to control the number of randomized runs.
+
+fn main() {
+    bench::figs::fig7::panel_f();
+}

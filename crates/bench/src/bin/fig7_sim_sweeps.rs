@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 panels (a)-(e); see `bench::figs::fig7`.
+//! Set `DFS_SEEDS` to control the number of randomized runs.
+
+fn main() {
+    bench::figs::fig7::run_sweeps();
+}

@@ -1,0 +1,6 @@
+//! Regenerates one evaluation artifact; see `bench::figs::motivation`.
+//! Set `DFS_SEEDS` to control the number of randomized runs.
+
+fn main() {
+    bench::figs::motivation::run();
+}

@@ -1,0 +1,32 @@
+//! Figure 5 — numerical results of the Section IV-B analysis: normalized
+//! runtimes of locality-first vs degraded-first under the closed-form
+//! model, sweeping (a) the coding scheme, (b) the block count, (c) the
+//! rack download bandwidth.
+
+use dfs::analysis::{sweep_bandwidth, sweep_blocks, sweep_schemes, ModelParams, SweepPoint};
+use dfs::simkit::report::{f3, pct, Table};
+
+fn print_points(title: &str, points: &[SweepPoint]) {
+    let mut table = Table::new(&["x", "LF normalized", "DF normalized", "reduction"]);
+    for p in points {
+        table.row(&[p.label.clone(), f3(p.lf), f3(p.df), pct(p.reduction)]);
+    }
+    table.print(title);
+}
+
+/// Regenerates all three panels of Figure 5.
+pub fn run() {
+    let base = ModelParams::paper_default();
+    print_points(
+        "Figure 5(a) — analysis vs coding scheme (paper: 15%-32% reduction)",
+        &sweep_schemes(&base, &[(8, 6), (12, 9), (16, 12), (20, 15)]),
+    );
+    print_points(
+        "Figure 5(b) — analysis vs block count F (paper: 25%-28% reduction)",
+        &sweep_blocks(&base, &[720, 1440, 2160, 2880]),
+    );
+    print_points(
+        "Figure 5(c) — analysis vs bandwidth W (paper: 18%-43% reduction)",
+        &sweep_bandwidth(&base, &[100, 250, 500, 1000]),
+    );
+}

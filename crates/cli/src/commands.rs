@@ -1,0 +1,336 @@
+//! The CLI subcommands, each a thin shell over the `dfs` library.
+
+use std::error::Error;
+
+use dfs::analysis::ModelParams;
+use dfs::cluster::{NodeId, Topology};
+use dfs::erasure::CodeParams;
+use dfs::experiment::{Experiment, FailureSpec, PlacementKind, Policy};
+use dfs::mapreduce::engine::EngineConfig;
+use dfs::mapreduce::job::JobSpec;
+use dfs::mapreduce::MapLocality;
+use dfs::netsim::NetConfig;
+use dfs::simkit::report::Table;
+use dfs::simkit::time::SimDuration;
+use dfs::simkit::SimRng;
+use dfs::sweep::sweep_seeds_vec;
+use dfs::textlab::{run_job, CorpusBuilder, Grep, LineCount, MiniGrid, WordCount};
+use dfs::workloads::TestbedWorkload;
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+dfs-cli — degraded-first scheduling for MapReduce in erasure-coded clusters
+
+USAGE:
+  dfs-cli analyze   [--nodes 40 --racks 4 --slots 4 --map-secs 20 --block-mb 128
+                     --bandwidth-mbps 1000 --blocks 1440 --code 16,12]
+  dfs-cli simulate  [--policy lf|bdf|edf|delay --seeds 5 --code 20,15 --racks 4
+                     --nodes-per-rack 10 --map-slots 4 --blocks 1440 --block-mb 128
+                     --bandwidth-mbps 1000 --failure node|double|rack|none
+                     --map-secs 20 --reducers 30 --shuffle 0.01]
+  dfs-cli testbed   [--workload wordcount|grep|linecount|all --runs 5]
+  dfs-cli repair    [--parallelism 4 --seed 1]
+  dfs-cli wordcount [--lines 20000 --fail-node 0 --needle whale]
+  dfs-cli --help";
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// `dfs-cli analyze`: the Section IV-B closed-form model.
+pub fn analyze(args: &Args) -> CliResult {
+    args.ensure_known(&[
+        "nodes", "racks", "slots", "map-secs", "block-mb", "bandwidth-mbps", "blocks", "code",
+    ])?;
+    let (n, k) = args.get_code_or("code", (16, 12))?;
+    let params = ModelParams {
+        nodes: args.get_or("nodes", 40usize)?,
+        racks: args.get_or("racks", 4usize)?,
+        map_slots: args.get_or("slots", 4usize)?,
+        map_time_secs: args.get_or("map-secs", 20.0f64)?,
+        block_bytes: args.get_or("block-mb", 128u64)? * 1024 * 1024,
+        rack_bandwidth_bps: args.get_or("bandwidth-mbps", 1000u64)? * 1_000_000,
+        num_blocks: args.get_or("blocks", 1440usize)?,
+        n,
+        k,
+    };
+    let mut table = Table::new(&["quantity", "value"]);
+    table.row(&["normal-mode runtime (s)".into(), format!("{:.1}", params.normal_runtime())]);
+    table.row(&[
+        "locality-first runtime (s)".into(),
+        format!("{:.1}", params.locality_first_runtime()),
+    ]);
+    table.row(&[
+        "degraded-first runtime (s)".into(),
+        format!("{:.1}", params.degraded_first_runtime()),
+    ]);
+    table.row(&[
+        "LF normalized".into(),
+        format!("{:.3}", params.locality_first_normalized()),
+    ]);
+    table.row(&[
+        "DF normalized".into(),
+        format!("{:.3}", params.degraded_first_normalized()),
+    ]);
+    table.row(&["DF reduction".into(), format!("{:.1}%", params.reduction() * 100.0)]);
+    table.row(&[
+        "one degraded read, inter-rack (s)".into(),
+        format!("{:.1}", params.degraded_read_secs()),
+    ]);
+    table.print("closed-form analysis (Section IV-B)");
+    Ok(())
+}
+
+fn parse_policy(raw: &str) -> Result<Policy, String> {
+    Ok(match raw {
+        "lf" => Policy::LocalityFirst,
+        "bdf" => Policy::BasicDegradedFirst,
+        "edf" => Policy::EnhancedDegradedFirst,
+        "bdf-locality" => Policy::DegradedFirstWith {
+            locality_preservation: true,
+            rack_awareness: false,
+        },
+        "bdf-rack" => Policy::DegradedFirstWith {
+            locality_preservation: false,
+            rack_awareness: true,
+        },
+        "delay" => Policy::DelayScheduling {
+            max_wait: SimDuration::from_secs(6),
+        },
+        other => return Err(format!("unknown policy {other:?} (lf|bdf|edf|bdf-locality|bdf-rack|delay)")),
+    })
+}
+
+fn parse_failure(raw: &str) -> Result<FailureSpec, String> {
+    Ok(match raw {
+        "none" => FailureSpec::None,
+        "node" => FailureSpec::RandomSingleNode,
+        "double" => FailureSpec::RandomDoubleNode,
+        "rack" => FailureSpec::RandomRack,
+        other => return Err(format!("unknown failure {other:?} (none|node|double|rack)")),
+    })
+}
+
+/// `dfs-cli simulate`: a configurable failure-mode experiment.
+pub fn simulate(args: &Args) -> CliResult {
+    args.ensure_known(&[
+        "policy", "seeds", "code", "racks", "nodes-per-rack", "map-slots", "blocks", "block-mb",
+        "bandwidth-mbps", "failure", "map-secs", "reduce-secs", "reducers", "shuffle",
+    ])?;
+    let (n, k) = args.get_code_or("code", (20, 15))?;
+    let policy = parse_policy(args.get("policy").unwrap_or("edf"))?;
+    let failure = parse_failure(args.get("failure").unwrap_or("node"))?;
+    let seeds: u64 = args.get_or("seeds", 5u64)?;
+    let reducers: usize = args.get_or("reducers", 30usize)?;
+    let map_secs: f64 = args.get_or("map-secs", 20.0f64)?;
+    let reduce_secs: f64 = args.get_or("reduce-secs", 30.0f64)?;
+    let shuffle: f64 = args.get_or("shuffle", 0.01f64)?;
+
+    let mut job = JobSpec::builder("cli")
+        .map_time(
+            SimDuration::from_secs_f64(map_secs),
+            SimDuration::from_secs_f64(map_secs / 20.0),
+        )
+        .reduce_time(
+            SimDuration::from_secs_f64(reduce_secs),
+            SimDuration::from_secs_f64(reduce_secs / 15.0),
+        )
+        .reduce_tasks(reducers)
+        .build();
+    if reducers == 0 {
+        job = JobSpec::builder("cli")
+            .map_time(
+                SimDuration::from_secs_f64(map_secs),
+                SimDuration::from_secs_f64(map_secs / 20.0),
+            )
+            .map_only()
+            .build();
+    } else {
+        job.shuffle_ratio = shuffle;
+    }
+
+    let exp = Experiment {
+        topo: Topology::homogeneous(
+            args.get_or("racks", 4usize)?,
+            args.get_or("nodes-per-rack", 10usize)?,
+            args.get_or("map-slots", 4u32)?,
+            1,
+        ),
+        code: CodeParams::new(n, k).map_err(|e| e.to_string())?,
+        num_blocks: args.get_or("blocks", 1440usize)?,
+        placement: PlacementKind::RackAware,
+        failure,
+        config: EngineConfig {
+            block_bytes: args.get_or("block-mb", 128u64)? * 1024 * 1024,
+            net: NetConfig {
+                node_bps: 1_000_000_000,
+                rack_bps: args.get_or("bandwidth-mbps", 1000u64)? * 1_000_000,
+            },
+            ..EngineConfig::default()
+        },
+        jobs: vec![job],
+    };
+
+    let sweeps = sweep_seeds_vec(seeds, |seed| {
+        let normal = exp.run_normal_mode(seed).ok()?;
+        let run = exp.run(policy, seed).ok()?;
+        Some(vec![
+            run.jobs[0].runtime().as_secs_f64(),
+            run.jobs[0].runtime().as_secs_f64() / normal.jobs[0].runtime().as_secs_f64(),
+            run.map_count(MapLocality::Degraded) as f64,
+            {
+                let reads = run.degraded_read_secs();
+                reads.iter().sum::<f64>() / reads.len().max(1) as f64
+            },
+        ])
+    });
+    let mut table = Table::new(&["metric", "mean", "min", "max"]);
+    for (i, name) in [
+        "runtime (s)",
+        "normalized runtime",
+        "degraded tasks",
+        "mean degraded read (s)",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let s = sweeps[i].summary();
+        table.row(&[
+            name.to_string(),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", s.min),
+            format!("{:.3}", s.max),
+        ]);
+    }
+    table.print(&format!(
+        "{} over {} seeds, {}x{} nodes, ({n},{k})",
+        policy.name(),
+        sweeps[0].samples.len(),
+        exp.topo.num_racks(),
+        exp.topo.num_nodes() / exp.topo.num_racks(),
+    ));
+    Ok(())
+}
+
+/// `dfs-cli testbed`: the Section VI configuration.
+pub fn testbed(args: &Args) -> CliResult {
+    args.ensure_known(&["workload", "runs"])?;
+    let runs: u64 = args.get_or("runs", 5u64)?;
+    let workloads: Vec<TestbedWorkload> = match args.get("workload").unwrap_or("all") {
+        "wordcount" => vec![TestbedWorkload::WordCount],
+        "grep" => vec![TestbedWorkload::Grep],
+        "linecount" => vec![TestbedWorkload::LineCount],
+        "all" => TestbedWorkload::ALL.to_vec(),
+        other => return Err(format!("unknown workload {other:?}").into()),
+    };
+    let mut table = Table::new(&["job", "LF mean (s)", "EDF mean (s)", "reduction"]);
+    for w in workloads {
+        let exp = dfs::presets::testbed(&[w]);
+        let sweeps = sweep_seeds_vec(runs, |seed| {
+            let lf = exp.run(Policy::LocalityFirst, seed).ok()?;
+            let edf = exp.run(Policy::EnhancedDegradedFirst, seed).ok()?;
+            Some(vec![
+                lf.jobs[0].runtime().as_secs_f64(),
+                edf.jobs[0].runtime().as_secs_f64(),
+            ])
+        });
+        table.row(&[
+            w.name().to_string(),
+            format!("{:.1}", sweeps[0].mean()),
+            format!("{:.1}", sweeps[1].mean()),
+            format!("{:.1}%", sweeps[1].mean_reduction_vs(&sweeps[0]) * 100.0),
+        ]);
+    }
+    table.print("testbed mode (12 slaves / 3 racks, (12,10), 240 x 64 MB blocks)");
+    Ok(())
+}
+
+/// `dfs-cli repair`: plan and simulate one failed node's repair.
+pub fn repair(args: &Args) -> CliResult {
+    args.ensure_known(&["parallelism", "seed"])?;
+    let parallelism: usize = args.get_or("parallelism", 4usize)?;
+    let seed: u64 = args.get_or("seed", 1u64)?;
+    let exp = dfs::presets::simulation_default();
+    let scenario = exp.failure_for_seed(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut placement_rng = rng.fork(1);
+    let layout = dfs::ecstore::StripeLayout::new(exp.code, exp.num_blocks)
+        .map_err(|e| e.to_string())?;
+    let store = dfs::ecstore::BlockStore::place(
+        &exp.topo,
+        layout,
+        &dfs::ecstore::RackAwarePlacement,
+        &mut placement_rng,
+    )
+    .map_err(|e| e.to_string())?;
+    let state = dfs::cluster::ClusterState::from_scenario(&exp.topo, &scenario);
+    let plan = dfs::repair::RepairPlan::plan(&store, &exp.topo, &state, &mut rng)?;
+    let report = dfs::repair::simulate(
+        &plan,
+        &exp.topo,
+        exp.config.net,
+        exp.config.block_bytes,
+        parallelism,
+    );
+    let mut table = Table::new(&["quantity", "value"]);
+    table.row(&["failure".into(), scenario.to_string()]);
+    table.row(&["lost blocks".into(), plan.tasks.len().to_string()]);
+    table.row(&["network transfers".into(), plan.network_block_count().to_string()]);
+    table.row(&[
+        "cross-rack transfers".into(),
+        plan.cross_rack_block_count(&exp.topo).to_string(),
+    ]);
+    table.row(&[
+        "bytes moved".into(),
+        format!("{:.1} GB", report.bytes_transferred as f64 / 1e9),
+    ]);
+    table.row(&[
+        "repair makespan".into(),
+        format!("{:.1} s at parallelism {parallelism}", report.makespan.as_secs_f64()),
+    ]);
+    table.print("full-node repair");
+    Ok(())
+}
+
+/// `dfs-cli wordcount`: the real-bytes demo over the erasure-coded grid.
+pub fn wordcount(args: &Args) -> CliResult {
+    args.ensure_known(&["lines", "fail-node", "needle", "seed"])?;
+    let lines: usize = args.get_or("lines", 20_000usize)?;
+    let seed: u64 = args.get_or("seed", 7u64)?;
+    let text = CorpusBuilder::new(seed).lines(lines).build();
+    let topo = Topology::homogeneous(3, 4, 4, 1);
+    let params = CodeParams::new(12, 10).map_err(|e| e.to_string())?;
+    let mut grid = MiniGrid::new(topo, params, 16 * 1024, &text, seed)?;
+    if let Some(raw) = args.get("fail-node") {
+        let idx: u32 = raw.parse().map_err(|_| format!("bad --fail-node {raw:?}"))?;
+        grid.fail_node(NodeId(idx));
+    }
+    let wc = run_job(&mut grid, &WordCount)?;
+    let lc = run_job(&mut grid, &LineCount)?;
+    let needle = args.get("needle").unwrap_or("whale").to_string();
+    let grep = run_job(&mut grid, &Grep::new(&needle))?;
+    let mut table = Table::new(&["job", "keys", "total", "degraded reads"]);
+    table.row(&[
+        "WordCount".into(),
+        wc.results.len().to_string(),
+        wc.total().to_string(),
+        wc.stats.degraded_reads.to_string(),
+    ]);
+    table.row(&[
+        "LineCount".into(),
+        lc.results.len().to_string(),
+        lc.total().to_string(),
+        lc.stats.degraded_reads.to_string(),
+    ]);
+    table.row(&[
+        format!("Grep({needle})"),
+        grep.results.len().to_string(),
+        grep.total().to_string(),
+        grep.stats.degraded_reads.to_string(),
+    ]);
+    table.print(&format!(
+        "real map/reduce over {} bytes erasure-coded across 12 nodes",
+        grid.file_len()
+    ));
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! `dfs-cli` — run the degraded-first scheduling reproduction from the
+//! command line.
+//!
+//! ```text
+//! dfs-cli analyze  [--nodes 40 --racks 4 --slots 4 --map-secs 20
+//!                   --block-mb 128 --bandwidth-mbps 1000 --blocks 1440
+//!                   --code 16,12]
+//! dfs-cli simulate [--policy lf|bdf|edf|delay --seeds 5 --code 20,15
+//!                   --racks 4 --nodes-per-rack 10 --map-slots 4
+//!                   --blocks 1440 --bandwidth-mbps 1000 --block-mb 128
+//!                   --failure node|double|rack|none --map-secs 20
+//!                   --reducers 30 --shuffle 0.01]
+//! dfs-cli testbed  [--workload wordcount|grep|linecount|all --runs 5]
+//! dfs-cli repair   [--parallelism 4 --seed 1]
+//! dfs-cli wordcount [--lines 20000 --fail-node 0 --needle whale]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if args.flag("help") || args.command().is_none() {
+        println!("{}", commands::USAGE);
+        return;
+    }
+    let result = match args.command() {
+        Some("analyze") => commands::analyze(&args),
+        Some("simulate") => commands::simulate(&args),
+        Some("testbed") => commands::testbed(&args),
+        Some("repair") => commands::repair(&args),
+        Some("wordcount") => commands::wordcount(&args),
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+        None => unreachable!("handled above"),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,25 @@
+//! `cluster` — the cluster model for the degraded-first scheduling
+//! reproduction: nodes grouped into racks, per-node map/reduce slots and
+//! processing speed, and the failure scenarios of the paper's evaluation
+//! (single-node, double-node, and full-rack failures).
+//!
+//! # Example
+//!
+//! ```
+//! use cluster::{Topology, FailureScenario, ClusterState};
+//!
+//! // The paper's default simulation cluster: 40 nodes in 4 racks,
+//! // 4 map slots and 1 reduce slot per node.
+//! let topo = Topology::homogeneous(4, 10, 4, 1);
+//! assert_eq!(topo.num_nodes(), 40);
+//!
+//! let mut state = ClusterState::all_alive(&topo);
+//! state.apply(&FailureScenario::nodes([topo.node(3)]));
+//! assert_eq!(state.failed_nodes().len(), 1);
+//! ```
+
+pub mod failure;
+pub mod topology;
+
+pub use failure::{ClusterState, FailureScenario};
+pub use topology::{NodeId, RackId, Topology};

@@ -1,0 +1,374 @@
+//! The experiment harness: one description, many runs.
+//!
+//! An [`Experiment`] captures everything the paper varies — topology,
+//! code, block count, placement, failure pattern, engine tunables and
+//! the job mix. [`Experiment::run`] executes it under a chosen
+//! [`Policy`] and seed; [`Experiment::normalized_runtime`] additionally
+//! runs the same seed in normal mode and reports the ratio, which is the
+//! y-axis of Figures 5 and 7.
+
+use cluster::{ClusterState, FailureScenario, NodeId, RackId, Topology};
+use ecstore::placement::{RackAwarePlacement, RoundRobinPlacement};
+use erasure::CodeParams;
+use mapreduce::engine::{BuildError, Engine, EngineConfig, RunError};
+use mapreduce::job::JobSpec;
+use mapreduce::sched::MapScheduler;
+use mapreduce::RunResult;
+use scheduler::{DegradedFirst, DelayScheduling, LocalityFirst};
+use simkit::SimRng;
+
+/// Which scheduling policy to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Hadoop's default (Algorithm 1).
+    LocalityFirst,
+    /// Basic degraded-first (Algorithm 2).
+    BasicDegradedFirst,
+    /// Enhanced degraded-first (Algorithm 3).
+    EnhancedDegradedFirst,
+    /// Degraded-first with explicit heuristic toggles (ablations).
+    DegradedFirstWith {
+        /// Enable `ASSIGNTOSLAVE` locality preservation.
+        locality_preservation: bool,
+        /// Enable `ASSIGNTORACK` rack awareness.
+        rack_awareness: bool,
+    },
+    /// Locality-first with delay scheduling (Zaharia et al. \[35\]): wait
+    /// up to `max_wait` per job for a node-local slot before stealing.
+    DelayScheduling {
+        /// Maximum per-job locality wait.
+        max_wait: simkit::time::SimDuration,
+    },
+}
+
+impl Policy {
+    /// Instantiates the scheduler.
+    pub fn scheduler(&self) -> Box<dyn MapScheduler> {
+        match *self {
+            Policy::LocalityFirst => Box::new(LocalityFirst::new()),
+            Policy::BasicDegradedFirst => Box::new(DegradedFirst::basic()),
+            Policy::EnhancedDegradedFirst => Box::new(DegradedFirst::enhanced()),
+            Policy::DegradedFirstWith {
+                locality_preservation,
+                rack_awareness,
+            } => Box::new(DegradedFirst::with_heuristics(locality_preservation, rack_awareness)),
+            Policy::DelayScheduling { max_wait } => Box::new(DelayScheduling::new(max_wait)),
+        }
+    }
+
+    /// The policy's short name ("LF", "BDF", "EDF", ...).
+    pub fn name(&self) -> &'static str {
+        match *self {
+            Policy::LocalityFirst => "LF",
+            Policy::BasicDegradedFirst => "BDF",
+            Policy::EnhancedDegradedFirst => "EDF",
+            Policy::DegradedFirstWith {
+                locality_preservation: true,
+                rack_awareness: false,
+            } => "BDF+locality",
+            Policy::DegradedFirstWith {
+                locality_preservation: false,
+                rack_awareness: true,
+            } => "BDF+rack",
+            Policy::DegradedFirstWith {
+                locality_preservation: true,
+                rack_awareness: true,
+            } => "EDF",
+            Policy::DegradedFirstWith {
+                locality_preservation: false,
+                rack_awareness: false,
+            } => "BDF",
+            Policy::DelayScheduling { .. } => "LF+delay",
+        }
+    }
+}
+
+/// A failure pattern, resolved per seed (the paper randomly picks the
+/// victim in each of its 30 configurations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureSpec {
+    /// Normal mode.
+    None,
+    /// One uniformly random node.
+    RandomSingleNode,
+    /// Two distinct uniformly random nodes.
+    RandomDoubleNode,
+    /// One uniformly random rack.
+    RandomRack,
+    /// A uniformly random node drawn from the given candidates (the
+    /// extreme case fails "one of the normal nodes").
+    RandomNodeAmong(Vec<NodeId>),
+    /// Explicit nodes.
+    Nodes(Vec<NodeId>),
+    /// An explicit rack.
+    Rack(RackId),
+}
+
+impl FailureSpec {
+    /// Resolves the spec into a concrete scenario for one run.
+    pub fn resolve(&self, topo: &Topology, rng: &mut SimRng) -> FailureScenario {
+        match self {
+            FailureSpec::None => FailureScenario::none(),
+            FailureSpec::RandomSingleNode => {
+                FailureScenario::nodes([topo.node(rng.below(topo.num_nodes()))])
+            }
+            FailureSpec::RandomDoubleNode => {
+                let all: Vec<NodeId> = topo.node_ids().collect();
+                FailureScenario::nodes(rng.choose_k(&all, 2))
+            }
+            FailureSpec::RandomRack => {
+                FailureScenario::rack(RackId(rng.below(topo.num_racks()) as u32))
+            }
+            FailureSpec::RandomNodeAmong(candidates) => {
+                assert!(!candidates.is_empty(), "no failure candidates");
+                FailureScenario::nodes([candidates[rng.below(candidates.len())]])
+            }
+            FailureSpec::Nodes(nodes) => FailureScenario::nodes(nodes.iter().copied()),
+            FailureSpec::Rack(rack) => FailureScenario::rack(*rack),
+        }
+    }
+
+    /// True if this spec is normal mode.
+    pub fn is_none(&self) -> bool {
+        matches!(self, FailureSpec::None)
+    }
+}
+
+/// Which placement policy an experiment uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlacementKind {
+    /// Randomized placement under the Section III constraints
+    /// (simulation experiments).
+    RackAware,
+    /// Deterministic rotation (testbed experiments).
+    RoundRobin,
+}
+
+/// Errors from running an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// Engine construction failed.
+    Build(BuildError),
+    /// The simulation did not complete.
+    Run(RunError),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Build(e) => write!(f, "build: {e}"),
+            ExperimentError::Run(e) => write!(f, "run: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// A complete experiment description. Fields are public on purpose: the
+/// bench harness tweaks one dimension at a time, exactly like the
+/// paper's sweeps.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Cluster shape, slots and speed factors.
+    pub topo: Topology,
+    /// `(n, k)` code.
+    pub code: CodeParams,
+    /// Native blocks `F`.
+    pub num_blocks: usize,
+    /// Placement policy.
+    pub placement: PlacementKind,
+    /// Failure pattern, resolved per seed.
+    pub failure: FailureSpec,
+    /// Engine tunables (block size, bandwidth, heartbeat, ...).
+    pub config: EngineConfig,
+    /// FIFO job mix.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Experiment {
+    fn build_engine(
+        &self,
+        failure: FailureScenario,
+        seed: u64,
+    ) -> Result<Engine, ExperimentError> {
+        let builder = Engine::builder(self.topo.clone())
+            .code(self.code, self.num_blocks)
+            .failure(failure)
+            .config(self.config)
+            .seed(seed)
+            .jobs(self.jobs.iter().cloned());
+        let engine = match self.placement {
+            PlacementKind::RackAware => builder.placement(&RackAwarePlacement).build(),
+            PlacementKind::RoundRobin => builder.placement(&RoundRobinPlacement).build(),
+        };
+        engine.map_err(ExperimentError::Build)
+    }
+
+    /// Resolves this experiment's failure scenario for a given seed (the
+    /// same scenario every policy sees for that seed).
+    pub fn failure_for_seed(&self, seed: u64) -> FailureScenario {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xfa11_fa11_fa11_fa11);
+        self.failure.resolve(&self.topo, &mut rng)
+    }
+
+    /// Runs the experiment in failure mode under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine build/run failures. A seed whose random
+    /// scenario destroys a stripe yields [`BuildError::DataLoss`]; use
+    /// [`Experiment::normalized_runtime`]'s retry or pick another seed.
+    pub fn run(&self, policy: Policy, seed: u64) -> Result<RunResult, ExperimentError> {
+        let failure = self.failure_for_seed(seed);
+        self.build_engine(failure, seed)?
+            .run(policy.scheduler())
+            .map_err(ExperimentError::Run)
+    }
+
+    /// Runs the same seed in normal mode (no failure) — the
+    /// normalization baseline. Policy is irrelevant in normal mode
+    /// (degraded-first degenerates to locality-first), so LF is used.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine build/run failures.
+    pub fn run_normal_mode(&self, seed: u64) -> Result<RunResult, ExperimentError> {
+        self.build_engine(FailureScenario::none(), seed)?
+            .run(Policy::LocalityFirst.scheduler())
+            .map_err(ExperimentError::Run)
+    }
+
+    /// The normalized runtime of the **first** job: failure-mode runtime
+    /// under `policy` divided by normal-mode runtime, same seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine build/run failures.
+    pub fn normalized_runtime(&self, policy: Policy, seed: u64) -> Result<f64, ExperimentError> {
+        Ok(self.normalized_runtimes(policy, seed)?[0])
+    }
+
+    /// Per-job normalized runtimes (Figure 7(f) plots these for each of
+    /// its ten jobs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine build/run failures.
+    pub fn normalized_runtimes(&self, policy: Policy, seed: u64) -> Result<Vec<f64>, ExperimentError> {
+        let failed = self.run(policy, seed)?;
+        let normal = self.run_normal_mode(seed)?;
+        Ok(failed
+            .jobs
+            .iter()
+            .zip(&normal.jobs)
+            .map(|(f, n)| f.runtime().as_secs_f64() / n.runtime().as_secs_f64())
+            .collect())
+    }
+
+    /// The cluster state a seed's failure implies (for inspecting lost
+    /// blocks etc.).
+    pub fn cluster_state_for_seed(&self, seed: u64) -> ClusterState {
+        ClusterState::from_scenario(&self.topo, &self.failure_for_seed(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn policy_names_and_schedulers() {
+        assert_eq!(Policy::LocalityFirst.name(), "LF");
+        assert_eq!(Policy::BasicDegradedFirst.name(), "BDF");
+        assert_eq!(Policy::EnhancedDegradedFirst.name(), "EDF");
+        let ablation = Policy::DegradedFirstWith {
+            locality_preservation: true,
+            rack_awareness: false,
+        };
+        assert_eq!(ablation.name(), "BDF+locality");
+        assert_eq!(ablation.scheduler().name(), "BDF+locality");
+        assert_eq!(
+            Policy::DegradedFirstWith {
+                locality_preservation: false,
+                rack_awareness: true
+            }
+            .name(),
+            "BDF+rack"
+        );
+        assert_eq!(
+            Policy::DegradedFirstWith {
+                locality_preservation: false,
+                rack_awareness: false
+            }
+            .name(),
+            "BDF"
+        );
+    }
+
+    #[test]
+    fn failure_specs_resolve() {
+        let topo = Topology::homogeneous(3, 4, 2, 1);
+        let mut rng = SimRng::seed_from_u64(1);
+        assert!(FailureSpec::None.resolve(&topo, &mut rng).is_normal_mode());
+        let single = FailureSpec::RandomSingleNode.resolve(&topo, &mut rng);
+        assert_eq!(single.failed_nodes(&topo).len(), 1);
+        let double = FailureSpec::RandomDoubleNode.resolve(&topo, &mut rng);
+        assert_eq!(double.failed_nodes(&topo).len(), 2);
+        let rack = FailureSpec::RandomRack.resolve(&topo, &mut rng);
+        assert_eq!(rack.failed_nodes(&topo).len(), 4);
+        let among = FailureSpec::RandomNodeAmong(vec![NodeId(7)]).resolve(&topo, &mut rng);
+        assert_eq!(among.failed_nodes(&topo).into_iter().next(), Some(NodeId(7)));
+        let explicit = FailureSpec::Nodes(vec![NodeId(1), NodeId(2)]).resolve(&topo, &mut rng);
+        assert_eq!(explicit.failed_nodes(&topo).len(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_scenario_across_policies() {
+        let exp = presets::small_default();
+        let a = exp.failure_for_seed(5);
+        let b = exp.failure_for_seed(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalized_runtime_exceeds_one_in_failure_mode() {
+        let exp = presets::small_default();
+        let norm = exp.normalized_runtime(Policy::LocalityFirst, 2).unwrap();
+        assert!(norm > 1.0, "failure mode should be slower: {norm}");
+    }
+
+    #[test]
+    fn edf_not_worse_than_lf() {
+        let exp = presets::small_default();
+        for seed in [1, 2] {
+            let lf = exp.normalized_runtime(Policy::LocalityFirst, seed).unwrap();
+            let edf = exp
+                .normalized_runtime(Policy::EnhancedDegradedFirst, seed)
+                .unwrap();
+            assert!(edf <= lf * 1.02, "seed {seed}: EDF {edf} vs LF {lf}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod delay_policy_tests {
+    use super::*;
+    use crate::presets;
+    use simkit::time::SimDuration;
+
+    #[test]
+    fn delay_scheduling_policy_runs() {
+        let exp = presets::small_default();
+        let policy = Policy::DelayScheduling {
+            max_wait: SimDuration::from_secs(6),
+        };
+        assert_eq!(policy.name(), "LF+delay");
+        assert_eq!(policy.scheduler().name(), "LF+delay");
+        let result = exp.run(policy, 1).expect("delay run");
+        assert_eq!(result.tasks.len(), exp.num_blocks);
+        // Still completes everything and is normalized-comparable.
+        let norm = exp.normalized_runtime(policy, 1).expect("normalized");
+        assert!(norm >= 1.0);
+    }
+}

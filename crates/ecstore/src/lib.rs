@@ -1,0 +1,42 @@
+//! `ecstore` — the erasure-coded block store model (the paper's
+//! HDFS-RAID layer, minus the bytes; real-byte storage lives in
+//! `textlab`).
+//!
+//! A file of `F` fixed-size native blocks is cut into stripes of `k`
+//! natives, each extended with `n − k` parity blocks ([`StripeLayout`]).
+//! A [placement policy](placement) maps every block of every stripe to a
+//! node, subject to the paper's Section III constraints. Given a
+//! [`cluster::ClusterState`] in failure mode, the store computes which
+//! native blocks are *lost* (their map tasks become degraded tasks) and
+//! plans [degraded reads](degraded): the `k` surviving blocks a
+//! reconstruction downloads.
+//!
+//! # Example
+//!
+//! ```
+//! use cluster::{ClusterState, FailureScenario, Topology};
+//! use ecstore::{BlockStore, StripeLayout, placement::RackAwarePlacement};
+//! use erasure::CodeParams;
+//! use simkit::SimRng;
+//!
+//! let topo = Topology::homogeneous(2, 2, 2, 1);
+//! let layout = StripeLayout::new(CodeParams::new(4, 2).unwrap(), 12).unwrap();
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let store = BlockStore::place(&topo, layout, &RackAwarePlacement, &mut rng).unwrap();
+//!
+//! let state = ClusterState::from_scenario(&topo, &FailureScenario::nodes([topo.node(0)]));
+//! let lost = store.lost_native_blocks(&state);
+//! assert!(!lost.is_empty());
+//! ```
+
+pub mod degraded;
+pub mod layout;
+pub mod placement;
+pub mod store;
+
+pub use degraded::{DegradedReadPlan, SourceSelection};
+pub use layout::{BlockRef, StripeId, StripeLayout};
+pub use placement::{
+    ExplicitPlacement, PlacementError, PlacementPolicy, RackAwarePlacement, RoundRobinPlacement,
+};
+pub use store::BlockStore;

@@ -1,0 +1,169 @@
+//! Property-based tests for placement and degraded-read planning over
+//! randomized topologies and coding schemes.
+
+use cluster::{ClusterState, FailureScenario, Topology};
+use ecstore::placement::{PlacementPolicy, RackAwarePlacement, RoundRobinPlacement};
+use ecstore::{BlockStore, DegradedReadPlan, SourceSelection, StripeLayout};
+use erasure::CodeParams;
+use proptest::prelude::*;
+use simkit::SimRng;
+
+#[derive(Debug, Clone)]
+struct Setup {
+    racks: usize,
+    nodes_per_rack: usize,
+    n: usize,
+    k: usize,
+    stripes: usize,
+    seed: u64,
+}
+
+fn setup() -> impl Strategy<Value = Setup> {
+    // Feasible combinations: parity >= 2, n <= racks*parity, n <= nodes.
+    (2usize..=5, 2usize..=5, 2usize..=6, 2usize..=4, 1usize..=12, any::<u64>()).prop_filter_map(
+        "feasible placement",
+        |(racks, nodes_per_rack, k, parity, stripes, seed)| {
+            let n = k + parity;
+            let nodes = racks * nodes_per_rack;
+            (n <= nodes && n <= racks * parity && n <= 255).then_some(Setup {
+                racks,
+                nodes_per_rack,
+                n,
+                k,
+                stripes,
+                seed,
+            })
+        },
+    )
+}
+
+fn place(s: &Setup, policy: &dyn PlacementPolicy) -> (Topology, BlockStore) {
+    let topo = Topology::homogeneous(s.racks, s.nodes_per_rack, 2, 1);
+    let layout = StripeLayout::new(
+        CodeParams::new(s.n, s.k).expect("valid code"),
+        s.stripes * s.k,
+    )
+    .expect("layout");
+    let mut rng = SimRng::seed_from_u64(s.seed);
+    let store = BlockStore::place(&topo, layout, policy, &mut rng).expect("placement");
+    (topo, store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rack_aware_placement_invariants(s in setup()) {
+        let (topo, store) = place(&s, &RackAwarePlacement);
+        let layout = store.layout();
+        for stripe in 0..layout.num_stripes() {
+            let stripe = ecstore::StripeId(stripe as u32);
+            let nodes: Vec<_> = layout
+                .stripe_blocks(stripe)
+                .map(|b| store.node_of(b))
+                .collect();
+            // Distinct nodes.
+            let mut uniq = nodes.clone();
+            uniq.sort();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), s.n, "stripe reuses a node");
+            // Rack constraint: at most n-k blocks per rack.
+            for rack in topo.rack_ids() {
+                let count = nodes.iter().filter(|&&m| topo.rack_of(m) == rack).count();
+                prop_assert!(count <= s.n - s.k, "rack constraint violated");
+            }
+        }
+        // Native balance: max-min spread stays within quota rounding.
+        let loads: Vec<usize> = store.native_load().values().copied().collect();
+        let (min, max) = (
+            loads.iter().min().copied().unwrap_or(0),
+            loads.iter().max().copied().unwrap_or(0),
+        );
+        prop_assert!(
+            max - min <= s.stripes.min(2) + 1,
+            "native load spread {min}..{max} too wide"
+        );
+    }
+
+    #[test]
+    fn any_single_failure_keeps_all_stripes_recoverable(s in setup()) {
+        let (topo, store) = place(&s, &RackAwarePlacement);
+        for victim in topo.node_ids() {
+            let state =
+                ClusterState::from_scenario(&topo, &FailureScenario::nodes([victim]));
+            for stripe in 0..store.layout().num_stripes() {
+                prop_assert!(store.is_recoverable(ecstore::StripeId(stripe as u32), &state));
+            }
+        }
+    }
+
+    #[test]
+    fn any_rack_failure_keeps_all_stripes_recoverable(s in setup()) {
+        let (topo, store) = place(&s, &RackAwarePlacement);
+        for rack in topo.rack_ids() {
+            let state = ClusterState::from_scenario(&topo, &FailureScenario::rack(rack));
+            for stripe in 0..store.layout().num_stripes() {
+                prop_assert!(
+                    store.is_recoverable(ecstore::StripeId(stripe as u32), &state),
+                    "rack {rack} failure destroyed stripe {stripe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lost_blocks_partition_by_holder(s in setup()) {
+        let (topo, store) = place(&s, &RackAwarePlacement);
+        let victim = topo.node((s.seed % topo.num_nodes() as u64) as usize);
+        let state = ClusterState::from_scenario(&topo, &FailureScenario::nodes([victim]));
+        let lost = store.lost_native_blocks(&state);
+        prop_assert_eq!(lost.len(), store.natives_on(victim).len());
+        for b in &lost {
+            prop_assert_eq!(store.node_of(*b), victim);
+        }
+    }
+
+    #[test]
+    fn degraded_plans_are_valid_for_both_strategies(s in setup()) {
+        let (topo, store) = place(&s, &RackAwarePlacement);
+        let victim = topo.node(0);
+        let state = ClusterState::from_scenario(&topo, &FailureScenario::nodes([victim]));
+        let mut rng = SimRng::seed_from_u64(s.seed ^ 0xdead);
+        let readers: Vec<_> = state.alive_nodes();
+        for target in store.lost_native_blocks(&state).into_iter().take(4) {
+            for strategy in [SourceSelection::UniformRandom, SourceSelection::LocalFirst] {
+                let reader = readers[(s.seed as usize) % readers.len()];
+                let plan = DegradedReadPlan::plan(
+                    &store, &topo, &state, target, reader, strategy, &mut rng,
+                );
+                prop_assert_eq!(plan.sources.len(), s.k);
+                let mut blocks: Vec<_> = plan.sources.iter().map(|&(b, _)| b).collect();
+                blocks.sort();
+                blocks.dedup();
+                prop_assert_eq!(blocks.len(), s.k, "duplicate sources");
+                for (block, holder) in &plan.sources {
+                    prop_assert!(state.is_alive(*holder));
+                    prop_assert_eq!(store.node_of(*block), *holder);
+                    prop_assert_eq!(block.stripe, target.stripe);
+                }
+                prop_assert!(plan.cross_rack_reads(&topo) <= s.k);
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_natives_evenly(s in setup()) {
+        let (_topo, store) = place(&s, &RoundRobinPlacement);
+        let loads: Vec<usize> = store.native_load().values().copied().collect();
+        let total: usize = loads.iter().sum();
+        prop_assert_eq!(total, s.stripes * s.k);
+        let (min, max) = (
+            loads.iter().min().copied().unwrap_or(0),
+            loads.iter().max().copied().unwrap_or(0),
+        );
+        // Rotation keeps per-node native counts within 1 of each other
+        // when the block count divides evenly; otherwise within the
+        // number of stripes.
+        prop_assert!(max - min <= s.stripes.max(1), "{min}..{max}");
+    }
+}

@@ -1,0 +1,517 @@
+//! Systematic Reed–Solomon codes over GF(2^8).
+//!
+//! An `(n, k)` code is described by an `n × k` encoding matrix whose top
+//! `k × k` block is the identity (so the first `k` output shards are the
+//! data itself — *systematic*), and whose remaining `n − k` rows generate
+//! the parity shards. The code is MDS: any `k` of the `n` shards suffice
+//! to recover the data, which is exactly the degraded-read contract the
+//! paper relies on ("reads the blocks from any k surviving nodes of the
+//! same stripe", Section II-B).
+
+use crate::gf256::{mul_acc_slice, Gf256};
+use crate::matrix::Matrix;
+use crate::{CodeError, CodeParams};
+
+/// The matrix construction used to build a systematic MDS code.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CodeConstruction {
+    /// Vandermonde rows re-based so the top block is the identity
+    /// (classic Reed–Solomon \[28\]).
+    #[default]
+    Vandermonde,
+    /// Identity over a Cauchy matrix (Cauchy Reed–Solomon \[3\]).
+    Cauchy,
+}
+
+/// A systematic Reed–Solomon encoder/decoder for fixed `(n, k)`.
+///
+/// # Example
+///
+/// ```
+/// use erasure::{CodeParams, CodeConstruction, ReedSolomon};
+/// # fn main() -> Result<(), erasure::CodeError> {
+/// let rs = ReedSolomon::new(CodeParams::new(6, 4)?, CodeConstruction::Cauchy)?;
+/// let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 8]).collect();
+/// let parity = rs.encode_parity(&data)?;
+/// assert_eq!(parity.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    params: CodeParams,
+    construction: CodeConstruction,
+    /// The full n×k encoding matrix (top k×k block is the identity).
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Builds the encoding matrix for the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodeError::SingularMatrix`] if the Vandermonde base
+    /// could not be re-based (impossible for valid parameters, but
+    /// surfaced rather than unwrapped).
+    pub fn new(params: CodeParams, construction: CodeConstruction) -> Result<ReedSolomon, CodeError> {
+        let (n, k) = (params.n(), params.k());
+        let encode_matrix = match construction {
+            CodeConstruction::Vandermonde => {
+                // V[i][j] = i^j over n distinct evaluation points, then
+                // E = V * inv(V_top) so the top block becomes identity.
+                // Any k rows of V are invertible (distinct points), and
+                // right-multiplying by a fixed invertible matrix preserves
+                // that, so E stays MDS.
+                let v = Matrix::from_fn(n, k, |r, c| Gf256::new(r as u8).pow(c));
+                let top = v.select_rows(&(0..k).collect::<Vec<_>>());
+                let top_inv = top.inverted()?;
+                v.multiply(&top_inv)
+            }
+            CodeConstruction::Cauchy => {
+                // Identity over C where C[i][j] = 1 / (x_i + y_j) with
+                // x_i = k + i and y_j = j, all distinct since n <= 255.
+                Matrix::from_fn(n, k, |r, c| {
+                    if r < k {
+                        if r == c {
+                            Gf256::ONE
+                        } else {
+                            Gf256::ZERO
+                        }
+                    } else {
+                        let x = Gf256::new((k + (r - k)) as u8);
+                        let y = Gf256::new(c as u8);
+                        (x + y).inverse()
+                    }
+                })
+            }
+        };
+        Ok(ReedSolomon {
+            params,
+            construction,
+            encode_matrix,
+        })
+    }
+
+    /// The code parameters.
+    pub fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    /// The construction in use.
+    pub fn construction(&self) -> CodeConstruction {
+        self.construction
+    }
+
+    /// The full `n × k` encoding matrix.
+    pub fn encode_matrix(&self) -> &Matrix {
+        &self.encode_matrix
+    }
+
+    fn check_shards<S: AsRef<[u8]>>(&self, shards: &[S], expected: usize) -> Result<usize, CodeError> {
+        if shards.len() != expected {
+            return Err(CodeError::WrongShardCount {
+                expected,
+                actual: shards.len(),
+            });
+        }
+        let len = shards[0].as_ref().len();
+        if shards.iter().any(|s| s.as_ref().len() != len) {
+            return Err(CodeError::UnequalShardLengths);
+        }
+        Ok(len)
+    }
+
+    /// Computes the `n − k` parity shards for `k` data shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::WrongShardCount`] or
+    /// [`CodeError::UnequalShardLengths`] on malformed input.
+    pub fn encode_parity<S: AsRef<[u8]>>(&self, data: &[S]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let k = self.params.k();
+        let len = self.check_shards(data, k)?;
+        let mut parity = vec![vec![0u8; len]; self.params.parity()];
+        for (p, out) in parity.iter_mut().enumerate() {
+            let row = self.encode_matrix.row(k + p);
+            for (j, shard) in data.iter().enumerate() {
+                mul_acc_slice(out, shard.as_ref(), row[j]);
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Recovers **all** `k` data shards from any `k` distinct shards of
+    /// the stripe, given as `(shard_index, bytes)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShards`], [`CodeError::BadShardIndex`]
+    /// (out of range or duplicate), or [`CodeError::UnequalShardLengths`].
+    pub fn decode_data(&self, shards: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let k = self.params.k();
+        if shards.len() < k {
+            return Err(CodeError::NotEnoughShards {
+                needed: k,
+                have: shards.len(),
+            });
+        }
+        let used = &shards[..k];
+        let mut seen = vec![false; self.params.n()];
+        for &(idx, _) in used {
+            if idx >= self.params.n() || seen[idx] {
+                return Err(CodeError::BadShardIndex { index: idx });
+            }
+            seen[idx] = true;
+        }
+        let len = used[0].1.len();
+        if used.iter().any(|(_, s)| s.len() != len) {
+            return Err(CodeError::UnequalShardLengths);
+        }
+        let indices: Vec<usize> = used.iter().map(|&(i, _)| i).collect();
+        let sub = self.encode_matrix.select_rows(&indices);
+        let inv = sub.inverted()?;
+        let mut data = vec![vec![0u8; len]; k];
+        for (t, out) in data.iter_mut().enumerate() {
+            for (j, (_, shard)) in used.iter().enumerate() {
+                mul_acc_slice(out, shard, inv[(t, j)]);
+            }
+        }
+        Ok(data)
+    }
+
+    /// Recovers the single shard with index `target` (data or parity)
+    /// from any `k` distinct shards. This is the degraded-read primitive:
+    /// download `k` surviving blocks, rebuild the lost one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::decode_data`], plus
+    /// [`CodeError::BadShardIndex`] if `target >= n`.
+    pub fn reconstruct_shard(
+        &self,
+        shards: &[(usize, Vec<u8>)],
+        target: usize,
+    ) -> Result<Vec<u8>, CodeError> {
+        let (n, k) = (self.params.n(), self.params.k());
+        if target >= n {
+            return Err(CodeError::BadShardIndex { index: target });
+        }
+        // Fast path: the target is among the supplied shards.
+        if let Some((_, s)) = shards.iter().find(|&&(i, _)| i == target) {
+            return Ok(s.clone());
+        }
+        if shards.len() < k {
+            return Err(CodeError::NotEnoughShards {
+                needed: k,
+                have: shards.len(),
+            });
+        }
+        let data = self.decode_data(shards)?;
+        if target < k {
+            return Ok(data.into_iter().nth(target).expect("target < k"));
+        }
+        // Re-encode just the requested parity row.
+        let row = self.encode_matrix.row(target);
+        let mut out = vec![0u8; data[0].len()];
+        for (j, shard) in data.iter().enumerate() {
+            mul_acc_slice(&mut out, shard, row[j]);
+        }
+        Ok(out)
+    }
+
+    /// Applies a data-shard overwrite to the parity shards **in place**
+    /// without re-encoding the whole stripe: for each parity `p`,
+    /// `p += G[p][j] · (new − old)` where `G` is the encoding matrix and
+    /// `j` the updated data shard. This is the delta-update used by
+    /// parity-logging storage systems (cf. the paper's reference \[5\]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::BadShardIndex`] if `data_index >= k`,
+    /// [`CodeError::WrongShardCount`] if `parity` does not hold `n − k`
+    /// shards, or [`CodeError::UnequalShardLengths`] on length mismatch.
+    pub fn update_parity(
+        &self,
+        parity: &mut [Vec<u8>],
+        data_index: usize,
+        old: &[u8],
+        new: &[u8],
+    ) -> Result<(), CodeError> {
+        let k = self.params.k();
+        if data_index >= k {
+            return Err(CodeError::BadShardIndex { index: data_index });
+        }
+        if parity.len() != self.params.parity() {
+            return Err(CodeError::WrongShardCount {
+                expected: self.params.parity(),
+                actual: parity.len(),
+            });
+        }
+        if old.len() != new.len() || parity.iter().any(|p| p.len() != old.len()) {
+            return Err(CodeError::UnequalShardLengths);
+        }
+        let delta: Vec<u8> = old.iter().zip(new).map(|(a, b)| a ^ b).collect();
+        for (p, shard) in parity.iter_mut().enumerate() {
+            let coeff = self.encode_matrix.row(k + p)[data_index];
+            mul_acc_slice(shard, &delta, coeff);
+        }
+        Ok(())
+    }
+
+    /// Checks that a full stripe (`n` shards in index order) is
+    /// consistent: the parity shards match a re-encoding of the data
+    /// shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::WrongShardCount`] or
+    /// [`CodeError::UnequalShardLengths`] on malformed input.
+    pub fn verify<S: AsRef<[u8]>>(&self, stripe: &[S]) -> Result<bool, CodeError> {
+        let n = self.params.n();
+        let k = self.params.k();
+        self.check_shards(stripe, n)?;
+        let parity = self.encode_parity(&stripe[..k])?;
+        Ok(parity
+            .iter()
+            .zip(&stripe[k..])
+            .all(|(computed, stored)| computed.as_slice() == stored.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(n: usize, k: usize, c: CodeConstruction) -> ReedSolomon {
+        ReedSolomon::new(CodeParams::new(n, k).unwrap(), c).unwrap()
+    }
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 5) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn systematic_top_block_is_identity() {
+        for c in [CodeConstruction::Vandermonde, CodeConstruction::Cauchy] {
+            let rs = make(9, 6, c);
+            let m = rs.encode_matrix();
+            for r in 0..6 {
+                for j in 0..6 {
+                    let expect = if r == j { Gf256::ONE } else { Gf256::ZERO };
+                    assert_eq!(m[(r, j)], expect, "{c:?} ({r},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn any_k_rows_invertible_small_codes() {
+        // Exhaustively verify the MDS property for the paper's (4,2) code
+        // and a (6,4) code under both constructions.
+        for c in [CodeConstruction::Vandermonde, CodeConstruction::Cauchy] {
+            for (n, k) in [(4usize, 2usize), (6, 4)] {
+                let rs = make(n, k, c);
+                let idx: Vec<usize> = (0..n).collect();
+                // All k-subsets.
+                let mut chosen = vec![0usize; k];
+                fn rec(
+                    m: &Matrix,
+                    idx: &[usize],
+                    chosen: &mut Vec<usize>,
+                    depth: usize,
+                    start: usize,
+                    k: usize,
+                ) {
+                    if depth == k {
+                        let sub = m.select_rows(chosen);
+                        assert!(sub.inverted().is_ok(), "rows {chosen:?} singular");
+                        return;
+                    }
+                    for i in start..idx.len() {
+                        chosen[depth] = idx[i];
+                        rec(m, idx, chosen, depth + 1, i + 1, k);
+                    }
+                }
+                rec(rs.encode_matrix(), &idx, &mut chosen, 0, 0, k);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_paper_codes() {
+        // All coding schemes used in the paper's evaluation.
+        for (n, k) in [(4, 2), (8, 6), (12, 9), (16, 12), (20, 15), (12, 10)] {
+            for c in [CodeConstruction::Vandermonde, CodeConstruction::Cauchy] {
+                let rs = make(n, k, c);
+                let data = sample_data(k, 64);
+                let parity = rs.encode_parity(&data).unwrap();
+                assert_eq!(parity.len(), n - k);
+                // Decode from the *last* k shards (all parity + tail of data).
+                let mut stripe: Vec<Vec<u8>> = data.clone();
+                stripe.extend(parity);
+                let survivors: Vec<(usize, Vec<u8>)> =
+                    (n - k..n).map(|i| (i, stripe[i].clone())).collect();
+                let decoded = rs.decode_data(&survivors).unwrap();
+                assert_eq!(decoded, data, "({n},{k}) {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_single_data_and_parity_shard() {
+        let rs = make(6, 4, CodeConstruction::Vandermonde);
+        let data = sample_data(4, 32);
+        let parity = rs.encode_parity(&data).unwrap();
+        let mut stripe = data.clone();
+        stripe.extend(parity.clone());
+        // Lose shard 2 (data) — rebuild from shards {0,1,3,5}.
+        let survivors: Vec<(usize, Vec<u8>)> =
+            [0, 1, 3, 5].iter().map(|&i| (i, stripe[i].clone())).collect();
+        assert_eq!(rs.reconstruct_shard(&survivors, 2).unwrap(), data[2]);
+        // Rebuild parity shard 4 too.
+        assert_eq!(rs.reconstruct_shard(&survivors, 4).unwrap(), parity[0]);
+        // Fast path: target among survivors.
+        assert_eq!(rs.reconstruct_shard(&survivors, 3).unwrap(), data[3]);
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let rs = make(6, 4, CodeConstruction::Cauchy);
+        let data = sample_data(4, 16);
+        let parity = rs.encode_parity(&data).unwrap();
+        let mut stripe = data;
+        stripe.extend(parity);
+        assert!(rs.verify(&stripe).unwrap());
+        stripe[5][3] ^= 0xFF;
+        assert!(!rs.verify(&stripe).unwrap());
+    }
+
+    #[test]
+    fn error_cases() {
+        let rs = make(6, 4, CodeConstruction::Vandermonde);
+        let data = sample_data(3, 8); // wrong count
+        assert_eq!(
+            rs.encode_parity(&data).unwrap_err(),
+            CodeError::WrongShardCount { expected: 4, actual: 3 }
+        );
+        let mut uneven = sample_data(4, 8);
+        uneven[2].pop();
+        assert_eq!(rs.encode_parity(&uneven).unwrap_err(), CodeError::UnequalShardLengths);
+
+        let shards: Vec<(usize, Vec<u8>)> = vec![(0, vec![0; 8]); 2];
+        assert_eq!(
+            rs.decode_data(&shards).unwrap_err(),
+            CodeError::NotEnoughShards { needed: 4, have: 2 }
+        );
+        let dup: Vec<(usize, Vec<u8>)> =
+            vec![(0, vec![0; 8]), (0, vec![0; 8]), (1, vec![0; 8]), (2, vec![0; 8])];
+        assert_eq!(rs.decode_data(&dup).unwrap_err(), CodeError::BadShardIndex { index: 0 });
+        let oob: Vec<(usize, Vec<u8>)> = (0..4).map(|i| (i + 3, vec![0; 8])).collect();
+        assert_eq!(rs.decode_data(&oob).unwrap_err(), CodeError::BadShardIndex { index: 6 });
+        assert_eq!(
+            rs.reconstruct_shard(&[], 9).unwrap_err(),
+            CodeError::BadShardIndex { index: 9 }
+        );
+    }
+
+    #[test]
+    fn empty_shards_round_trip() {
+        // Zero-length shards are legal (empty file tail).
+        let rs = make(4, 2, CodeConstruction::Cauchy);
+        let data = vec![Vec::<u8>::new(), Vec::new()];
+        let parity = rs.encode_parity(&data).unwrap();
+        assert!(parity.iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn constructions_differ_but_both_work() {
+        let a = make(8, 6, CodeConstruction::Vandermonde);
+        let b = make(8, 6, CodeConstruction::Cauchy);
+        assert_ne!(a.encode_matrix(), b.encode_matrix());
+        assert_eq!(a.construction(), CodeConstruction::Vandermonde);
+        assert_eq!(b.params().n(), 8);
+    }
+}
+
+#[cfg(test)]
+mod update_tests {
+    use super::*;
+
+    fn make(n: usize, k: usize, c: CodeConstruction) -> ReedSolomon {
+        ReedSolomon::new(CodeParams::new(n, k).unwrap(), c).unwrap()
+    }
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 5) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn delta_update_matches_full_reencode() {
+        for c in [CodeConstruction::Vandermonde, CodeConstruction::Cauchy] {
+            let rs = make(6, 4, c);
+            let mut data = sample_data(4, 32);
+            let mut parity = rs.encode_parity(&data).unwrap();
+            // Overwrite shard 2.
+            let old = data[2].clone();
+            let new: Vec<u8> = old.iter().map(|b| b.wrapping_add(77)).collect();
+            rs.update_parity(&mut parity, 2, &old, &new).unwrap();
+            data[2] = new;
+            assert_eq!(parity, rs.encode_parity(&data).unwrap(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_updates_stay_consistent() {
+        let rs = make(8, 6, CodeConstruction::Cauchy);
+        let mut data = sample_data(6, 16);
+        let mut parity = rs.encode_parity(&data).unwrap();
+        for round in 0..10 {
+            let idx = round % 6;
+            let old = data[idx].clone();
+            let new: Vec<u8> = old.iter().map(|b| b ^ (round as u8 + 1)).collect();
+            rs.update_parity(&mut parity, idx, &old, &new).unwrap();
+            data[idx] = new;
+        }
+        assert_eq!(parity, rs.encode_parity(&data).unwrap());
+        // And the stripe still decodes from parity + tail of data.
+        let mut stripe = data.clone();
+        stripe.extend(parity);
+        let survivors: Vec<(usize, Vec<u8>)> = (2..8).map(|i| (i, stripe[i].clone())).collect();
+        assert_eq!(rs.decode_data(&survivors).unwrap(), data);
+    }
+
+    #[test]
+    fn identity_update_is_noop() {
+        let rs = make(4, 2, CodeConstruction::Vandermonde);
+        let data = sample_data(2, 8);
+        let mut parity = rs.encode_parity(&data).unwrap();
+        let before = parity.clone();
+        rs.update_parity(&mut parity, 0, &data[0], &data[0].clone()).unwrap();
+        assert_eq!(parity, before);
+    }
+
+    #[test]
+    fn update_error_cases() {
+        let rs = make(4, 2, CodeConstruction::Vandermonde);
+        let data = sample_data(2, 8);
+        let mut parity = rs.encode_parity(&data).unwrap();
+        assert_eq!(
+            rs.update_parity(&mut parity, 2, &data[0], &data[1]).unwrap_err(),
+            CodeError::BadShardIndex { index: 2 }
+        );
+        let mut short_parity = parity[..1].to_vec();
+        assert_eq!(
+            rs.update_parity(&mut short_parity, 0, &data[0], &data[1]).unwrap_err(),
+            CodeError::WrongShardCount { expected: 2, actual: 1 }
+        );
+        let short = vec![0u8; 4];
+        assert_eq!(
+            rs.update_parity(&mut parity, 0, &short, &data[1]).unwrap_err(),
+            CodeError::UnequalShardLengths
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Stripe-level coding: the HDFS-RAID view of erasure coding, where a
+//! stream of fixed-size native blocks is cut into groups of `k` and each
+//! group becomes one independently-coded *stripe* of `n` blocks.
+
+use crate::rs::{CodeConstruction, ReedSolomon};
+use crate::{CodeError, CodeParams};
+
+/// Encodes and repairs whole stripes.
+///
+/// A stripe is represented as `Vec<Vec<u8>>` of length `n`: indices
+/// `0..k` are the native blocks, `k..n` the parity blocks — matching the
+/// paper's notation `B_{i,0..k-1}` and `P_{i,0..n-k-1}` for stripe `i`.
+///
+/// # Example
+///
+/// ```
+/// use erasure::{CodeParams, StripeCodec};
+/// # fn main() -> Result<(), erasure::CodeError> {
+/// let codec = StripeCodec::new(CodeParams::new(12, 10)?)?; // testbed code
+/// let natives: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 4]).collect();
+/// let stripe = codec.encode(&natives)?;
+/// assert!(codec.verify(&stripe)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct StripeCodec {
+    rs: ReedSolomon,
+}
+
+impl StripeCodec {
+    /// Creates a codec with the default (Vandermonde) construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-construction failures from [`ReedSolomon::new`].
+    pub fn new(params: CodeParams) -> Result<StripeCodec, CodeError> {
+        StripeCodec::with_construction(params, CodeConstruction::default())
+    }
+
+    /// Creates a codec with an explicit construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-construction failures from [`ReedSolomon::new`].
+    pub fn with_construction(
+        params: CodeParams,
+        construction: CodeConstruction,
+    ) -> Result<StripeCodec, CodeError> {
+        Ok(StripeCodec {
+            rs: ReedSolomon::new(params, construction)?,
+        })
+    }
+
+    /// The code parameters.
+    pub fn params(&self) -> CodeParams {
+        self.rs.params()
+    }
+
+    /// The underlying Reed–Solomon codec.
+    pub fn reed_solomon(&self) -> &ReedSolomon {
+        &self.rs
+    }
+
+    /// Encodes `k` native blocks into a full `n`-block stripe
+    /// (native blocks first, then parity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::WrongShardCount`] or
+    /// [`CodeError::UnequalShardLengths`] on malformed input.
+    pub fn encode(&self, natives: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let parity = self.rs.encode_parity(natives)?;
+        let mut stripe = natives.to_vec();
+        stripe.extend(parity);
+        Ok(stripe)
+    }
+
+    /// Reconstructs the block at `target` (native or parity index within
+    /// the stripe) from any `k` surviving `(index, bytes)` pairs — the
+    /// degraded-read primitive.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::reconstruct_shard`].
+    pub fn reconstruct(
+        &self,
+        survivors: &[(usize, Vec<u8>)],
+        target: usize,
+    ) -> Result<Vec<u8>, CodeError> {
+        self.rs.reconstruct_shard(survivors, target)
+    }
+
+    /// Recovers all `k` native blocks from any `k` survivors.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::decode_data`].
+    pub fn decode_natives(&self, survivors: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, CodeError> {
+        self.rs.decode_data(survivors)
+    }
+
+    /// Verifies stripe consistency (parity matches data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::WrongShardCount`] or
+    /// [`CodeError::UnequalShardLengths`] on malformed input.
+    pub fn verify(&self, stripe: &[Vec<u8>]) -> Result<bool, CodeError> {
+        self.rs.verify(stripe)
+    }
+
+    /// Overwrites native block `index` of a full stripe **in place**,
+    /// delta-updating the parity blocks instead of re-encoding (see
+    /// [`ReedSolomon::update_parity`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::WrongShardCount`] if `stripe` is not `n`
+    /// blocks, [`CodeError::BadShardIndex`] if `index >= k`, or
+    /// [`CodeError::UnequalShardLengths`] on size mismatch.
+    pub fn write_native(
+        &self,
+        stripe: &mut [Vec<u8>],
+        index: usize,
+        new: Vec<u8>,
+    ) -> Result<(), CodeError> {
+        let (n, k) = (self.params().n(), self.params().k());
+        if stripe.len() != n {
+            return Err(CodeError::WrongShardCount {
+                expected: n,
+                actual: stripe.len(),
+            });
+        }
+        if index >= k {
+            return Err(CodeError::BadShardIndex { index });
+        }
+        let (data, parity) = stripe.split_at_mut(k);
+        self.rs.update_parity(parity, index, &data[index], &new)?;
+        data[index] = new;
+        Ok(())
+    }
+}
+
+/// Splits a byte stream into fixed-size blocks, zero-padding the last
+/// block — how HDFS-RAID groups a file into native blocks before
+/// striping. An empty input produces zero blocks.
+///
+/// # Panics
+///
+/// Panics if `block_size` is zero.
+pub fn split_into_blocks(data: &[u8], block_size: usize) -> Vec<Vec<u8>> {
+    assert!(block_size > 0, "zero block size");
+    data.chunks(block_size)
+        .map(|chunk| {
+            let mut block = chunk.to_vec();
+            block.resize(block_size, 0);
+            block
+        })
+        .collect()
+}
+
+/// Groups native blocks into stripes of `k`, zero-padding the final
+/// partial group with empty blocks of matching size.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or blocks have unequal sizes.
+pub fn group_into_stripes(blocks: &[Vec<u8>], k: usize) -> Vec<Vec<Vec<u8>>> {
+    assert!(k > 0, "k must be positive");
+    if blocks.is_empty() {
+        return Vec::new();
+    }
+    let len = blocks[0].len();
+    assert!(blocks.iter().all(|b| b.len() == len), "unequal block sizes");
+    blocks
+        .chunks(k)
+        .map(|group| {
+            let mut g = group.to_vec();
+            while g.len() < k {
+                g.push(vec![0u8; len]);
+            }
+            g
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_verify_reconstruct() {
+        let codec = StripeCodec::new(CodeParams::new(4, 2).unwrap()).unwrap();
+        let natives = vec![vec![10u8; 6], vec![20u8; 6]];
+        let stripe = codec.encode(&natives).unwrap();
+        assert_eq!(stripe.len(), 4);
+        assert!(codec.verify(&stripe).unwrap());
+        // Lose native block 0; the paper's example downloads parity P_{i,0}
+        // (index 2) plus the other native (index 1).
+        let survivors = vec![(1, stripe[1].clone()), (2, stripe[2].clone())];
+        assert_eq!(codec.reconstruct(&survivors, 0).unwrap(), natives[0]);
+        assert_eq!(codec.decode_natives(&survivors).unwrap(), natives);
+    }
+
+    #[test]
+    fn split_pads_last_block() {
+        let data: Vec<u8> = (0..10).collect();
+        let blocks = split_into_blocks(&data, 4);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0], vec![0, 1, 2, 3]);
+        assert_eq!(blocks[2], vec![8, 9, 0, 0]);
+        assert!(split_into_blocks(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn grouping_pads_final_stripe() {
+        let blocks: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8; 2]).collect();
+        let stripes = group_into_stripes(&blocks, 2);
+        assert_eq!(stripes.len(), 3);
+        assert_eq!(stripes[2][1], vec![0u8; 2], "padding block");
+        assert!(group_into_stripes(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn file_level_round_trip() {
+        // End-to-end: file -> blocks -> stripes -> encode -> lose a block
+        // per stripe -> reconstruct -> reassemble.
+        let codec = StripeCodec::new(CodeParams::new(6, 4).unwrap()).unwrap();
+        let file: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let blocks = split_into_blocks(&file, 64);
+        let stripes = group_into_stripes(&blocks, 4);
+        let mut recovered_file = Vec::new();
+        for (si, natives) in stripes.iter().enumerate() {
+            let stripe = codec.encode(natives).unwrap();
+            let lost = si % 4; // lose a different native block per stripe
+            let survivors: Vec<(usize, Vec<u8>)> = (0..6)
+                .filter(|&i| i != lost)
+                .take(4)
+                .map(|i| (i, stripe[i].clone()))
+                .collect();
+            let natives_back = codec.decode_natives(&survivors).unwrap();
+            assert_eq!(&natives_back, natives);
+            for b in natives_back {
+                recovered_file.extend(b);
+            }
+        }
+        assert_eq!(&recovered_file[..file.len()], &file[..]);
+        assert!(recovered_file[file.len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero block size")]
+    fn split_rejects_zero_block_size() {
+        let _ = split_into_blocks(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal block sizes")]
+    fn group_rejects_ragged_blocks() {
+        let _ = group_into_stripes(&[vec![1], vec![1, 2]], 2);
+    }
+}
+
+#[cfg(test)]
+mod write_tests {
+    use super::*;
+
+    #[test]
+    fn write_native_keeps_stripe_valid() {
+        let codec = StripeCodec::new(CodeParams::new(6, 4).unwrap()).unwrap();
+        let natives: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 12]).collect();
+        let mut stripe = codec.encode(&natives).unwrap();
+        codec.write_native(&mut stripe, 1, vec![0xAB; 12]).unwrap();
+        assert_eq!(stripe[1], vec![0xAB; 12]);
+        assert!(codec.verify(&stripe).unwrap(), "parity must track the write");
+        // Still recoverable after a loss.
+        let survivors: Vec<(usize, Vec<u8>)> =
+            (2..6).map(|i| (i, stripe[i].clone())).collect();
+        assert_eq!(codec.reconstruct(&survivors, 1).unwrap(), vec![0xAB; 12]);
+    }
+
+    #[test]
+    fn write_native_error_cases() {
+        let codec = StripeCodec::new(CodeParams::new(4, 2).unwrap()).unwrap();
+        let natives = vec![vec![1u8; 4], vec![2u8; 4]];
+        let mut stripe = codec.encode(&natives).unwrap();
+        assert_eq!(
+            codec.write_native(&mut stripe, 2, vec![0; 4]).unwrap_err(),
+            CodeError::BadShardIndex { index: 2 }
+        );
+        assert_eq!(
+            codec.write_native(&mut stripe[..3].to_vec(), 0, vec![0; 4]).unwrap_err(),
+            CodeError::WrongShardCount { expected: 4, actual: 3 }
+        );
+        assert_eq!(
+            codec.write_native(&mut stripe, 0, vec![0; 3]).unwrap_err(),
+            CodeError::UnequalShardLengths
+        );
+    }
+}

@@ -1,0 +1,1557 @@
+//! The discrete event MapReduce engine.
+//!
+//! One [`Engine`] owns a placed [`BlockStore`], a failure-mode
+//! [`ClusterState`], a [`netsim::Network`] and a FIFO job queue, and
+//! replays the paper's simulator flow: slaves heartbeat the master every
+//! 3 s; the master answers with task assignments chosen by the pluggable
+//! [`MapScheduler`]; map tasks fetch their input (a network flow for
+//! rack-local/remote tasks, `k` parallel flows for degraded tasks),
+//! process for a sampled duration, and feed shuffle flows to reducers;
+//! reducers process once every map's intermediate output has arrived.
+
+use std::collections::HashMap;
+
+use cluster::{ClusterState, FailureScenario, NodeId, Topology};
+use ecstore::placement::{PlacementError, PlacementPolicy};
+use ecstore::{BlockStore, DegradedReadPlan, SourceSelection, StripeLayout};
+use erasure::CodeParams;
+use netsim::{FlowId, NetConfig, Network};
+use simkit::calendar::Calendar;
+use simkit::time::{SimDuration, SimTime};
+use simkit::SimRng;
+
+use crate::job::{JobId, JobSpec, MapLocality, MapTaskId};
+use crate::metrics::{JobResult, RunResult, TaskDetail, TaskRecord};
+use crate::sched::{Heartbeat, MapScheduler};
+
+/// Tunables shared by every experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Slave heartbeat period (paper: 3 s).
+    pub heartbeat_period: SimDuration,
+    /// Input block size in bytes (paper default: 128 MB; testbed 64 MB).
+    pub block_bytes: u64,
+    /// Network link capacities.
+    pub net: NetConfig,
+    /// How degraded reads pick their `k` sources.
+    pub source_selection: SourceSelection,
+    /// Fraction of a job's maps that must finish before its reducers may
+    /// launch (Hadoop's slowstart, default 0.05).
+    pub reduce_slowstart: f64,
+    /// Lower truncation for sampled task durations.
+    pub task_time_floor: SimDuration,
+    /// Safety valve: abort after this many events.
+    pub max_events: u64,
+    /// Send an extra out-of-band heartbeat the moment a task finishes
+    /// (Hadoop's `mapreduce.tasktracker.outofband.heartbeat`), so freed
+    /// slots refill without waiting for the periodic beat.
+    pub oob_heartbeats: bool,
+    /// Record rack-downlink utilization over time in the run result
+    /// (the paper's "unused network resources" motivation).
+    pub log_network_utilization: bool,
+    /// Enable speculative execution (Hadoop's straggler mitigation): a
+    /// slave with a free slot and no assignable task may launch a backup
+    /// copy of the longest-running map; the first copy to finish wins.
+    pub speculative: bool,
+    /// A running map becomes a speculation candidate once its elapsed
+    /// time exceeds this multiple of the job's mean completed-map
+    /// runtime.
+    pub speculative_threshold: f64,
+    /// Blocks a degraded read downloads. `None` = the code's `k`
+    /// (conventional RS). Set to a smaller count to model degraded-read
+    /// optimized constructions such as Azure's LRC (paper footnote 1) —
+    /// e.g. `Some(6)` for LRC(12,2,2)'s local-group repair.
+    pub degraded_fetch_blocks: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            heartbeat_period: SimDuration::from_secs(3),
+            block_bytes: 128 * 1024 * 1024,
+            net: NetConfig::gigabit(),
+            source_selection: SourceSelection::UniformRandom,
+            reduce_slowstart: 0.05,
+            task_time_floor: SimDuration::from_millis(100),
+            max_events: 50_000_000,
+            oob_heartbeats: false,
+            log_network_utilization: false,
+            speculative: false,
+            speculative_threshold: 1.5,
+            degraded_fetch_blocks: None,
+        }
+    }
+}
+
+/// Errors constructing an [`Engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// Block placement failed.
+    Placement(PlacementError),
+    /// The native block count is not a multiple of `k`.
+    Layout(String),
+    /// A stripe lost more than `n − k` blocks; the file is unreadable.
+    DataLoss {
+        /// The unrecoverable stripe index.
+        stripe: usize,
+    },
+    /// No jobs were submitted.
+    NoJobs,
+    /// Jobs have reduce tasks but the cluster has no live reduce slots.
+    NoReduceSlots,
+    /// A required builder field was not set.
+    Missing(&'static str),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Placement(e) => write!(f, "placement failed: {e}"),
+            BuildError::Layout(e) => write!(f, "bad layout: {e}"),
+            BuildError::DataLoss { stripe } => {
+                write!(f, "stripe {stripe} is unrecoverable under this failure scenario")
+            }
+            BuildError::NoJobs => write!(f, "no jobs submitted"),
+            BuildError::NoReduceSlots => write!(f, "jobs need reduce slots but none are alive"),
+            BuildError::Missing(what) => write!(f, "builder field not set: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Errors during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The event calendar drained with unfinished jobs (a scheduling
+    /// deadlock — e.g. a policy that never assigns some task).
+    Stalled {
+        /// Simulated time at the stall.
+        at: SimTime,
+    },
+    /// `max_events` exceeded.
+    EventBudgetExceeded,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Stalled { at } => write!(f, "simulation stalled at {at} with unfinished jobs"),
+            RunError::EventBudgetExceeded => write!(f, "event budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Event {
+    Heartbeat {
+        node: NodeId,
+        /// Periodic beats reschedule themselves; out-of-band beats do not.
+        periodic: bool,
+    },
+    NetCheck,
+    JobArrival(JobId),
+    MapDone {
+        job: JobId,
+        task: MapTaskId,
+        speculative: bool,
+    },
+    ReduceDone { job: JobId, index: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlowPurpose {
+    MapFetch {
+        job: JobId,
+        task: MapTaskId,
+        speculative: bool,
+    },
+    Shuffle {
+        job: JobId,
+        reduce: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct MapRt {
+    pub(crate) block: ecstore::BlockRef,
+    pub(crate) holder: NodeId,
+    pub(crate) degraded: bool,
+    pub(crate) assigned_to: Option<NodeId>,
+    pub(crate) assigned_at: SimTime,
+    pub(crate) input_ready_at: SimTime,
+    pub(crate) pending_flows: usize,
+    pub(crate) locality: Option<MapLocality>,
+    /// Network flows of the primary attempt (for loser cancellation).
+    pub(crate) flows: Vec<netsim::FlowId>,
+    /// Scheduled completion of the primary attempt.
+    pub(crate) proc_event: Option<simkit::EventId>,
+    /// The speculative backup attempt, if launched.
+    pub(crate) spec: Option<SpecAttempt>,
+    /// True once either attempt finished.
+    pub(crate) done: bool,
+}
+
+/// State of a speculative backup copy of a map task.
+#[derive(Debug, Clone)]
+pub(crate) struct SpecAttempt {
+    pub(crate) node: NodeId,
+    pub(crate) assigned_at: SimTime,
+    pub(crate) input_ready_at: SimTime,
+    pub(crate) pending_flows: usize,
+    pub(crate) locality: MapLocality,
+    pub(crate) flows: Vec<netsim::FlowId>,
+    pub(crate) proc_event: Option<simkit::EventId>,
+}
+
+#[derive(Debug, Clone)]
+struct RedRt {
+    assigned_to: Option<NodeId>,
+    assigned_at: SimTime,
+    shuffles_done: usize,
+    input_ready_at: SimTime,
+    processing: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct JobRt {
+    pub(crate) id: JobId,
+    pub(crate) spec: JobSpec,
+    pub(crate) submitted: bool,
+    pub(crate) started_at: Option<SimTime>,
+    pub(crate) finished_at: Option<SimTime>,
+    pub(crate) maps: Vec<MapRt>,
+    /// Unassigned normal tasks whose input block lives on each node.
+    pub(crate) node_local_pool: Vec<Vec<MapTaskId>>,
+    /// Unassigned degraded tasks.
+    pub(crate) degraded_pool: Vec<MapTaskId>,
+    pub(crate) unassigned_normal: usize,
+    pub(crate) launched_maps: usize,
+    pub(crate) launched_degraded: usize,
+    pub(crate) completed_maps: usize,
+    /// Sum of completed map runtimes in seconds (speculation threshold).
+    completed_map_runtime_secs: f64,
+    reduces: Vec<RedRt>,
+    next_reduce: usize,
+    completed_reduces: usize,
+    /// `(map, executing node)` of completed maps, for late-assigned
+    /// reducers to fetch from.
+    completed_map_outputs: Vec<(MapTaskId, NodeId)>,
+}
+
+impl JobRt {
+    fn is_finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    fn shuffle_bytes_per_reducer(&self, block_bytes: u64) -> u64 {
+        if self.spec.num_reduce_tasks == 0 {
+            return 0;
+        }
+        ((self.spec.shuffle_ratio * block_bytes as f64) / self.spec.num_reduce_tasks as f64).round()
+            as u64
+    }
+}
+
+/// Builds an [`Engine`]. See the [crate docs](crate) for an example.
+pub struct EngineBuilder<'a> {
+    topo: Topology,
+    code: Option<(CodeParams, usize)>,
+    placement: Option<&'a dyn PlacementPolicy>,
+    failure: FailureScenario,
+    config: EngineConfig,
+    seed: u64,
+    jobs: Vec<JobSpec>,
+}
+
+impl<'a> EngineBuilder<'a> {
+    /// Sets the `(n, k)` code and the native block count `F`.
+    pub fn code(mut self, params: CodeParams, num_native: usize) -> Self {
+        self.code = Some((params, num_native));
+        self
+    }
+
+    /// Sets the placement policy.
+    pub fn placement(mut self, policy: &'a dyn PlacementPolicy) -> Self {
+        self.placement = Some(policy);
+        self
+    }
+
+    /// Sets the failure scenario (default: normal mode).
+    pub fn failure(mut self, scenario: FailureScenario) -> Self {
+        self.failure = scenario;
+        self
+    }
+
+    /// Sets the engine configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the run seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds one job to the FIFO queue.
+    pub fn job(mut self, spec: JobSpec) -> Self {
+        self.jobs.push(spec);
+        self
+    }
+
+    /// Adds several jobs.
+    pub fn jobs(mut self, specs: impl IntoIterator<Item = JobSpec>) -> Self {
+        self.jobs.extend(specs);
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildError`] — notably [`BuildError::DataLoss`] when the
+    /// failure scenario destroys a stripe.
+    pub fn build(self) -> Result<Engine, BuildError> {
+        let (params, num_native) = self.code.ok_or(BuildError::Missing("code"))?;
+        let policy = self.placement.ok_or(BuildError::Missing("placement"))?;
+        if self.jobs.is_empty() {
+            return Err(BuildError::NoJobs);
+        }
+        let layout = StripeLayout::new(params, num_native)
+            .map_err(|e| BuildError::Layout(e.to_string()))?;
+        let mut root = SimRng::seed_from_u64(self.seed);
+        let mut placement_rng = root.fork(1);
+        let rng = root.fork(2);
+        let store = BlockStore::place(&self.topo, layout, policy, &mut placement_rng)
+            .map_err(BuildError::Placement)?;
+        let cstate = ClusterState::from_scenario(&self.topo, &self.failure);
+
+        // In failure mode every stripe must still be recoverable.
+        for s in 0..store.layout().num_stripes() {
+            let stripe = ecstore::StripeId(s as u32);
+            if !store.is_recoverable(stripe, &cstate) {
+                return Err(BuildError::DataLoss { stripe: s });
+            }
+        }
+
+        let live_reduce_slots: u32 = cstate
+            .alive_nodes()
+            .iter()
+            .map(|&n| self.topo.spec(n).reduce_slots)
+            .sum();
+        if self.jobs.iter().any(|j| j.num_reduce_tasks > 0) && live_reduce_slots == 0 {
+            return Err(BuildError::NoReduceSlots);
+        }
+
+        let num_nodes = self.topo.num_nodes();
+        let jobs: Vec<JobRt> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let id = JobId(i as u32);
+                let mut maps = Vec::with_capacity(store.layout().num_native());
+                let mut node_local_pool = vec![Vec::new(); num_nodes];
+                let mut degraded_pool = Vec::new();
+                for (t, block) in store.layout().native_blocks().enumerate() {
+                    let holder = store.node_of(block);
+                    let degraded = !cstate.is_alive(holder);
+                    if degraded {
+                        degraded_pool.push(MapTaskId(t));
+                    } else {
+                        node_local_pool[holder.index()].push(MapTaskId(t));
+                    }
+                    maps.push(MapRt {
+                        block,
+                        holder,
+                        degraded,
+                        assigned_to: None,
+                        assigned_at: SimTime::ZERO,
+                        input_ready_at: SimTime::ZERO,
+                        pending_flows: 0,
+                        locality: None,
+                        flows: Vec::new(),
+                        proc_event: None,
+                        spec: None,
+                        done: false,
+                    });
+                }
+                let unassigned_normal = maps.iter().filter(|m| !m.degraded).count();
+                JobRt {
+                    id,
+                    spec: spec.clone(),
+                    submitted: false,
+                    started_at: None,
+                    finished_at: None,
+                    maps,
+                    node_local_pool,
+                    degraded_pool,
+                    unassigned_normal,
+                    launched_maps: 0,
+                    launched_degraded: 0,
+                    completed_maps: 0,
+                    completed_map_runtime_secs: 0.0,
+                    reduces: vec![
+                        RedRt {
+                            assigned_to: None,
+                            assigned_at: SimTime::ZERO,
+                            shuffles_done: 0,
+                            input_ready_at: SimTime::ZERO,
+                            processing: false,
+                        };
+                        spec.num_reduce_tasks
+                    ],
+                    next_reduce: 0,
+                    completed_reduces: 0,
+                    completed_map_outputs: Vec::new(),
+                }
+            })
+            .collect();
+
+        let free_map: Vec<u32> = self
+            .topo
+            .node_ids()
+            .map(|n| {
+                if cstate.is_alive(n) {
+                    self.topo.spec(n).map_slots
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let free_reduce: Vec<u32> = self
+            .topo
+            .node_ids()
+            .map(|n| {
+                if cstate.is_alive(n) {
+                    self.topo.spec(n).reduce_slots
+                } else {
+                    0
+                }
+            })
+            .collect();
+
+        let mut net = Network::new(&self.topo.rack_sizes(), self.config.net);
+        if self.config.log_network_utilization {
+            net.enable_utilization_log();
+        }
+        let num_racks = self.topo.num_racks();
+        Ok(Engine {
+            topo: self.topo,
+            store,
+            cstate,
+            cfg: self.config,
+            rng,
+            net,
+            cal: Calendar::new(),
+            now: SimTime::ZERO,
+            jobs,
+            fifo: Vec::new(),
+            free_map,
+            free_reduce,
+            flow_owner: HashMap::new(),
+            last_degraded_assign: vec![None; num_racks],
+            net_check: None,
+            records: Vec::new(),
+            events_processed: 0,
+        })
+    }
+}
+
+/// The discrete event MapReduce simulator. Construct with
+/// [`Engine::builder`], consume with [`Engine::run`].
+pub struct Engine {
+    pub(crate) topo: Topology,
+    pub(crate) store: BlockStore,
+    pub(crate) cstate: ClusterState,
+    pub(crate) cfg: EngineConfig,
+    rng: SimRng,
+    net: Network,
+    cal: Calendar<Event>,
+    pub(crate) now: SimTime,
+    pub(crate) jobs: Vec<JobRt>,
+    /// Submitted, unfinished jobs in FIFO order.
+    pub(crate) fifo: Vec<JobId>,
+    pub(crate) free_map: Vec<u32>,
+    free_reduce: Vec<u32>,
+    flow_owner: HashMap<FlowId, FlowPurpose>,
+    pub(crate) last_degraded_assign: Vec<Option<SimTime>>,
+    net_check: Option<(simkit::EventId, SimTime)>,
+    records: Vec<TaskRecord>,
+    events_processed: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("nodes", &self.topo.num_nodes())
+            .field("jobs", &self.jobs.len())
+            .field("events_processed", &self.events_processed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Starts building an engine for the given topology.
+    pub fn builder<'a>(topo: Topology) -> EngineBuilder<'a> {
+        EngineBuilder {
+            topo,
+            code: None,
+            placement: None,
+            failure: FailureScenario::none(),
+            config: EngineConfig::default(),
+            seed: 0,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// The placed block store.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The failure-mode cluster state.
+    pub fn cluster_state(&self) -> &ClusterState {
+        &self.cstate
+    }
+
+    /// Runs the simulation to completion under `scheduler`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Stalled`] if a policy deadlocks the run, or
+    /// [`RunError::EventBudgetExceeded`] past `max_events`.
+    pub fn run(mut self, mut scheduler: Box<dyn MapScheduler>) -> Result<RunResult, RunError> {
+        // Initial heartbeats, de-phased across the period so slaves do
+        // not all report at once.
+        let alive = self.cstate.alive_nodes();
+        let n = alive.len().max(1) as u64;
+        for (i, node) in alive.iter().enumerate() {
+            let offset =
+                SimDuration::from_micros(self.cfg.heartbeat_period.as_micros() * (i as u64 + 1) / n);
+            self.cal
+                .schedule(SimTime::ZERO + offset, Event::Heartbeat { node: *node, periodic: true });
+        }
+        for job in &self.jobs {
+            self.cal.schedule(job.spec.submit_at, Event::JobArrival(job.id));
+        }
+
+        while let Some((t, _, ev)) = self.cal.pop() {
+            debug_assert!(t >= self.now, "event time went backwards");
+            self.now = t;
+            self.events_processed += 1;
+            if self.events_processed > self.cfg.max_events {
+                return Err(RunError::EventBudgetExceeded);
+            }
+            match ev {
+                Event::Heartbeat { node, periodic } => {
+                    self.on_heartbeat(node, periodic, scheduler.as_mut())
+                }
+                Event::NetCheck => self.on_net_check(),
+                Event::JobArrival(job) => {
+                    self.jobs[job.index()].submitted = true;
+                    self.fifo.push(job);
+                }
+                Event::MapDone { job, task, speculative } => {
+                    self.on_map_done(job, task, speculative)
+                }
+                Event::ReduceDone { job, index } => self.on_reduce_done(job, index),
+            }
+            if self.jobs.iter().all(|j| j.is_finished()) {
+                let makespan = self.now.duration_since(SimTime::ZERO);
+                let jobs = self
+                    .jobs
+                    .iter()
+                    .map(|j| JobResult {
+                        id: j.id,
+                        name: j.spec.name.clone(),
+                        submitted_at: j.spec.submit_at,
+                        started_at: j.started_at.expect("finished job started"),
+                        finished_at: j.finished_at.expect("finished job has end"),
+                    })
+                    .collect();
+                return Ok(RunResult {
+                    jobs,
+                    tasks: std::mem::take(&mut self.records),
+                    makespan,
+                    utilization: self.net.utilization_log().to_vec(),
+                });
+            }
+        }
+        Err(RunError::Stalled { at: self.now })
+    }
+
+    // ---- event handlers ------------------------------------------------
+
+    fn on_heartbeat(&mut self, slave: NodeId, periodic: bool, scheduler: &mut dyn MapScheduler) {
+        debug_assert!(self.cstate.is_alive(slave), "heartbeat from dead node");
+        let assigned = {
+            let mut hb = Heartbeat::new(self, slave);
+            scheduler.assign_maps(&mut hb);
+            hb.into_assigned()
+        };
+        for (job, task) in assigned {
+            self.start_map_task(job, task, slave);
+        }
+        self.assign_reduces(slave);
+        if self.cfg.speculative {
+            self.assign_speculative(slave);
+        }
+        // Keep the periodic chain alive while any job is unfinished;
+        // out-of-band beats are one-shot.
+        if periodic && self.jobs.iter().any(|j| !j.is_finished()) {
+            self.cal.schedule(
+                self.now + self.cfg.heartbeat_period,
+                Event::Heartbeat { node: slave, periodic: true },
+            );
+        }
+        self.refresh_net_check();
+    }
+
+    fn on_net_check(&mut self) {
+        self.net_check = None;
+        let finished = self.net.drain_finished(self.now);
+        for (flow, _stats) in finished {
+            let Some(purpose) = self.flow_owner.remove(&flow) else {
+                continue;
+            };
+            match purpose {
+                FlowPurpose::MapFetch { job, task, speculative } => {
+                    let ready = {
+                        let m = &mut self.jobs[job.index()].maps[task.0];
+                        if speculative {
+                            let a = m.spec.as_mut().expect("speculative fetch has attempt");
+                            debug_assert!(a.pending_flows > 0);
+                            a.pending_flows -= 1;
+                            a.pending_flows == 0
+                        } else {
+                            debug_assert!(m.pending_flows > 0);
+                            m.pending_flows -= 1;
+                            m.pending_flows == 0
+                        }
+                    };
+                    if ready {
+                        if speculative {
+                            self.jobs[job.index()].maps[task.0]
+                                .spec
+                                .as_mut()
+                                .expect("attempt")
+                                .input_ready_at = self.now;
+                        } else {
+                            self.jobs[job.index()].maps[task.0].input_ready_at = self.now;
+                        }
+                        self.schedule_map_processing(job, task, speculative);
+                    }
+                }
+                FlowPurpose::Shuffle { job, reduce } => {
+                    let ready = {
+                        let j = &mut self.jobs[job.index()];
+                        let r = &mut j.reduces[reduce];
+                        r.shuffles_done += 1;
+                        r.shuffles_done == j.maps.len() && !r.processing
+                    };
+                    if ready {
+                        self.start_reduce_processing(job, reduce);
+                    }
+                }
+            }
+        }
+        self.refresh_net_check();
+    }
+
+    fn on_map_done(&mut self, job: JobId, task: MapTaskId, speculative: bool) {
+        // The attempt that finishes first wins; cancel the loser.
+        let (node, record, loser) = {
+            let j = &mut self.jobs[job.index()];
+            let m = &mut j.maps[task.0];
+            debug_assert!(!m.done, "stale MapDone after a winner");
+            m.done = true;
+            let (node, assigned_at, input_ready_at, locality) = if speculative {
+                let a = m.spec.as_ref().expect("speculative winner exists");
+                (a.node, a.assigned_at, a.input_ready_at, a.locality)
+            } else {
+                (
+                    m.assigned_to.expect("completed map was assigned"),
+                    m.assigned_at,
+                    m.input_ready_at,
+                    m.locality.expect("launched map has locality"),
+                )
+            };
+            j.completed_maps += 1;
+            j.completed_map_runtime_secs +=
+                self.now.duration_since(assigned_at).as_secs_f64();
+            j.completed_map_outputs.push((task, node));
+            // The losing attempt's resources to release.
+            let loser: Option<(NodeId, Vec<netsim::FlowId>, Option<simkit::EventId>)> =
+                if speculative {
+                    Some((
+                        m.assigned_to.expect("primary exists"),
+                        std::mem::take(&mut m.flows),
+                        m.proc_event.take(),
+                    ))
+                } else {
+                    m.spec
+                        .take()
+                        .map(|a| (a.node, a.flows, a.proc_event))
+                };
+            let record = TaskRecord {
+                job,
+                detail: TaskDetail::Map {
+                    block: m.block,
+                    locality,
+                },
+                node,
+                assigned_at,
+                input_ready_at,
+                completed_at: self.now,
+            };
+            (node, record, loser)
+        };
+        self.records.push(record);
+        self.free_map[node.index()] += 1;
+        if let Some((loser_node, flows, proc_event)) = loser {
+            for flow in flows {
+                if self.flow_owner.remove(&flow).is_some() {
+                    let _ = self.net.cancel_flow(self.now, flow);
+                }
+            }
+            if let Some(ev) = proc_event {
+                self.cal.cancel(ev);
+            }
+            self.free_map[loser_node.index()] += 1;
+        }
+        if self.cfg.oob_heartbeats {
+            self.cal
+                .schedule(self.now, Event::Heartbeat { node, periodic: false });
+        }
+
+        // Feed assigned reducers with this map's output (batched: one
+        // rate reallocation for the whole fan-out).
+        let bytes = self.jobs[job.index()].shuffle_bytes_per_reducer(self.cfg.block_bytes);
+        let reducers: Vec<(usize, NodeId)> = self.jobs[job.index()]
+            .reduces
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.assigned_to.map(|n| (i, n)))
+            .collect();
+        let specs: Vec<(usize, usize, u64)> = reducers
+            .iter()
+            .map(|&(_, rnode)| (node.index(), rnode.index(), bytes))
+            .collect();
+        for (flow, &(reduce, _)) in self
+            .net
+            .start_flows(self.now, &specs)
+            .into_iter()
+            .zip(&reducers)
+        {
+            self.flow_owner.insert(flow, FlowPurpose::Shuffle { job, reduce });
+        }
+
+        // Map-only jobs finish with their last map.
+        let j = &mut self.jobs[job.index()];
+        if j.spec.is_map_only() && j.completed_maps == j.maps.len() {
+            j.finished_at = Some(self.now);
+            self.fifo.retain(|&id| id != job);
+        }
+        self.refresh_net_check();
+    }
+
+    fn on_reduce_done(&mut self, job: JobId, index: usize) {
+        let record = {
+            let j = &mut self.jobs[job.index()];
+            let r = &j.reduces[index];
+            j.completed_reduces += 1;
+            TaskRecord {
+                job,
+                detail: TaskDetail::Reduce { index },
+                node: r.assigned_to.expect("completed reduce was assigned"),
+                assigned_at: r.assigned_at,
+                input_ready_at: r.input_ready_at,
+                completed_at: self.now,
+            }
+        };
+        let node = record.node;
+        self.records.push(record);
+        self.free_reduce[node.index()] += 1;
+        if self.cfg.oob_heartbeats {
+            self.cal
+                .schedule(self.now, Event::Heartbeat { node, periodic: false });
+        }
+        let j = &mut self.jobs[job.index()];
+        if j.completed_reduces == j.reduces.len() {
+            j.finished_at = Some(self.now);
+            self.fifo.retain(|&id| id != job);
+        }
+    }
+
+    // ---- task launch machinery ------------------------------------------
+
+    fn start_map_task(&mut self, job: JobId, task: MapTaskId, slave: NodeId) {
+        let locality = self.jobs[job.index()].maps[task.0]
+            .locality
+            .expect("take_* set locality");
+        self.start_map_attempt(job, task, slave, locality, false);
+    }
+
+    /// Starts one attempt (primary or speculative backup) of a map task:
+    /// fetch the input if it is not node-local, then process.
+    fn start_map_attempt(
+        &mut self,
+        job: JobId,
+        task: MapTaskId,
+        slave: NodeId,
+        locality: MapLocality,
+        speculative: bool,
+    ) {
+        match locality {
+            MapLocality::NodeLocal => {
+                self.mark_attempt_ready(job, task, speculative);
+                self.schedule_map_processing(job, task, speculative);
+            }
+            MapLocality::RackLocal | MapLocality::Remote => {
+                let holder = self.jobs[job.index()].maps[task.0].holder;
+                let flow =
+                    self.net
+                        .start_flow(self.now, holder.index(), slave.index(), self.cfg.block_bytes);
+                self.flow_owner
+                    .insert(flow, FlowPurpose::MapFetch { job, task, speculative });
+                self.set_attempt_pending(job, task, speculative, vec![flow]);
+            }
+            MapLocality::Degraded => {
+                let block = self.jobs[job.index()].maps[task.0].block;
+                let fetch = self
+                    .cfg
+                    .degraded_fetch_blocks
+                    .unwrap_or_else(|| self.store.layout().params().k());
+                let plan = DegradedReadPlan::plan_with_fetch_count(
+                    &self.store,
+                    &self.topo,
+                    &self.cstate,
+                    block,
+                    slave,
+                    self.cfg.source_selection,
+                    &mut self.rng,
+                    fetch,
+                );
+                let specs: Vec<(usize, usize, u64)> = plan
+                    .network_sources()
+                    .map(|(_, holder)| (holder.index(), slave.index(), self.cfg.block_bytes))
+                    .collect();
+                let flows = self.net.start_flows(self.now, &specs);
+                for &flow in &flows {
+                    self.flow_owner
+                        .insert(flow, FlowPurpose::MapFetch { job, task, speculative });
+                }
+                let none_pending = flows.is_empty();
+                self.set_attempt_pending(job, task, speculative, flows);
+                if none_pending {
+                    self.mark_attempt_ready(job, task, speculative);
+                    self.schedule_map_processing(job, task, speculative);
+                }
+            }
+        }
+        self.refresh_net_check();
+    }
+
+    fn set_attempt_pending(
+        &mut self,
+        job: JobId,
+        task: MapTaskId,
+        speculative: bool,
+        flows: Vec<FlowId>,
+    ) {
+        let m = &mut self.jobs[job.index()].maps[task.0];
+        if speculative {
+            let a = m.spec.as_mut().expect("speculative attempt exists");
+            a.pending_flows = flows.len();
+            a.flows = flows;
+        } else {
+            m.pending_flows = flows.len();
+            m.flows = flows;
+        }
+    }
+
+    fn mark_attempt_ready(&mut self, job: JobId, task: MapTaskId, speculative: bool) {
+        let m = &mut self.jobs[job.index()].maps[task.0];
+        if speculative {
+            m.spec.as_mut().expect("speculative attempt exists").input_ready_at = self.now;
+        } else {
+            m.input_ready_at = self.now;
+        }
+    }
+
+    fn schedule_map_processing(&mut self, job: JobId, task: MapTaskId, speculative: bool) {
+        let (mean, std) = {
+            let spec = &self.jobs[job.index()].spec;
+            (spec.map_time_mean, spec.map_time_std)
+        };
+        let node = if speculative {
+            self.jobs[job.index()].maps[task.0]
+                .spec
+                .as_ref()
+                .expect("speculative attempt exists")
+                .node
+        } else {
+            self.jobs[job.index()].maps[task.0]
+                .assigned_to
+                .expect("processing an assigned map")
+        };
+        let duration = self.sample_task_time(mean, std, node);
+        let ev = self
+            .cal
+            .schedule(self.now + duration, Event::MapDone { job, task, speculative });
+        let m = &mut self.jobs[job.index()].maps[task.0];
+        if speculative {
+            m.spec.as_mut().expect("speculative attempt exists").proc_event = Some(ev);
+        } else {
+            m.proc_event = Some(ev);
+        }
+    }
+
+    /// Hadoop-style speculation: when a slave has free slots and the
+    /// FIFO head has nothing left to assign, launch a backup copy of the
+    /// slowest running map whose elapsed time exceeds
+    /// `speculative_threshold x` the job's mean completed-map runtime.
+    fn assign_speculative(&mut self, slave: NodeId) {
+        while self.free_map[slave.index()] > 0 {
+            let mut candidate: Option<(JobId, MapTaskId, f64)> = None;
+            for &job in &self.fifo {
+                let j = &self.jobs[job.index()];
+                if !j.degraded_pool.is_empty() || j.unassigned_normal > 0 {
+                    break; // assignable work exists; no speculation yet
+                }
+                if j.completed_maps == 0 {
+                    continue; // no runtime estimate yet
+                }
+                let mean = j.completed_map_runtime_secs / j.completed_maps as f64;
+                let threshold = self.cfg.speculative_threshold * mean;
+                for (i, m) in j.maps.iter().enumerate() {
+                    if m.done || m.spec.is_some() {
+                        continue;
+                    }
+                    let Some(node) = m.assigned_to else { continue };
+                    if node == slave {
+                        continue; // back up on a different node
+                    }
+                    let elapsed = self.now.duration_since(m.assigned_at).as_secs_f64();
+                    if elapsed > threshold
+                        && candidate.map_or(true, |(_, _, best)| elapsed > best)
+                    {
+                        candidate = Some((job, MapTaskId(i), elapsed));
+                    }
+                }
+                break; // only the head job speculates, as in FIFO Hadoop
+            }
+            let Some((job, task, _)) = candidate else { break };
+            let degraded = self.jobs[job.index()].maps[task.0].degraded;
+            let locality = if degraded {
+                MapLocality::Degraded
+            } else {
+                let holder = self.jobs[job.index()].maps[task.0].holder;
+                self.classify(holder, slave)
+            };
+            self.free_map[slave.index()] -= 1;
+            self.jobs[job.index()].maps[task.0].spec = Some(SpecAttempt {
+                node: slave,
+                assigned_at: self.now,
+                input_ready_at: self.now,
+                pending_flows: 0,
+                locality,
+                flows: Vec::new(),
+                proc_event: None,
+            });
+            self.start_map_attempt(job, task, slave, locality, true);
+        }
+    }
+
+    fn start_reduce_processing(&mut self, job: JobId, reduce: usize) {
+        let (mean, std) = {
+            let spec = &self.jobs[job.index()].spec;
+            (spec.reduce_time_mean, spec.reduce_time_std)
+        };
+        let node = {
+            let r = &mut self.jobs[job.index()].reduces[reduce];
+            r.processing = true;
+            r.input_ready_at = self.now;
+            r.assigned_to.expect("processing an assigned reduce")
+        };
+        let duration = self.sample_task_time(mean, std, node);
+        self.cal
+            .schedule(self.now + duration, Event::ReduceDone { job, index: reduce });
+    }
+
+    fn sample_task_time(&mut self, mean: SimDuration, std: SimDuration, node: NodeId) -> SimDuration {
+        let base = self.rng.normal_duration(mean, std, self.cfg.task_time_floor);
+        let speed = self.topo.spec(node).speed_factor;
+        SimDuration::from_secs_f64(base.as_secs_f64() / speed)
+    }
+
+    fn assign_reduces(&mut self, slave: NodeId) {
+        while self.free_reduce[slave.index()] > 0 {
+            // First FIFO job with an unassigned reducer past slowstart.
+            let candidate = self.fifo.iter().copied().find(|&id| {
+                let j = &self.jobs[id.index()];
+                j.next_reduce < j.reduces.len()
+                    && (j.completed_maps as f64)
+                        >= self.cfg.reduce_slowstart * j.maps.len() as f64
+            });
+            let Some(job) = candidate else { break };
+            let (reduce, bytes, outputs) = {
+                let j = &mut self.jobs[job.index()];
+                let reduce = j.next_reduce;
+                j.next_reduce += 1;
+                let r = &mut j.reduces[reduce];
+                r.assigned_to = Some(slave);
+                r.assigned_at = self.now;
+                let bytes = j.shuffle_bytes_per_reducer(self.cfg.block_bytes);
+                (reduce, bytes, j.completed_map_outputs.clone())
+            };
+            self.free_reduce[slave.index()] -= 1;
+            // Fetch output of already-completed maps (batched).
+            let specs: Vec<(usize, usize, u64)> = outputs
+                .iter()
+                .map(|&(_, from)| (from.index(), slave.index(), bytes))
+                .collect();
+            for flow in self.net.start_flows(self.now, &specs) {
+                self.flow_owner.insert(flow, FlowPurpose::Shuffle { job, reduce });
+            }
+            // A reducer of a job with zero maps shuffled would be ready
+            // immediately; jobs always have maps, so nothing to do here.
+        }
+        self.refresh_net_check();
+    }
+
+    fn refresh_net_check(&mut self) {
+        let next = self.net.next_completion();
+        match (self.net_check, next) {
+            (Some((_, at)), Some(want)) if at == want => {}
+            (Some((id, _)), Some(want)) => {
+                self.cal.cancel(id);
+                let id = self.cal.schedule(want, Event::NetCheck);
+                self.net_check = Some((id, want));
+            }
+            (Some((id, _)), None) => {
+                self.cal.cancel(id);
+                self.net_check = None;
+            }
+            (None, Some(want)) => {
+                let id = self.cal.schedule(want, Event::NetCheck);
+                self.net_check = Some((id, want));
+            }
+            (None, None) => {}
+        }
+    }
+
+    // ---- scheduler-facing helpers (used by `sched::Heartbeat`) ---------
+
+    pub(crate) fn mark_assigned(&mut self, job: JobId, task: MapTaskId, slave: NodeId) {
+        let j = &mut self.jobs[job.index()];
+        if j.started_at.is_none() {
+            j.started_at = Some(self.now);
+        }
+        j.launched_maps += 1;
+        let m = &mut j.maps[task.0];
+        debug_assert!(m.assigned_to.is_none(), "double assignment of {task}");
+        m.assigned_to = Some(slave);
+        m.assigned_at = self.now;
+        self.free_map[slave.index()] -= 1;
+    }
+
+    /// Classifies where `holder`'s block sits relative to `slave`.
+    pub(crate) fn classify(&self, holder: NodeId, slave: NodeId) -> MapLocality {
+        if holder == slave {
+            MapLocality::NodeLocal
+        } else if self.topo.same_rack(holder, slave) {
+            MapLocality::RackLocal
+        } else {
+            MapLocality::Remote
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Heartbeat;
+    use ecstore::placement::RackAwarePlacement;
+
+    /// Locality-first over all free slots: the engine tests need *some*
+    /// policy; the real ones live in the `scheduler` crate.
+    struct Greedy;
+
+    impl MapScheduler for Greedy {
+        fn assign_maps(&mut self, hb: &mut Heartbeat<'_>) {
+            'outer: while hb.free_map_slots() > 0 {
+                for job in hb.jobs() {
+                    if hb.take_node_local(job).is_some()
+                        || hb.take_rack_local(job).is_some()
+                        || hb.take_remote(job).is_some()
+                        || hb.take_degraded(job).is_some()
+                    {
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "greedy"
+        }
+    }
+
+    fn base_engine(failure: FailureScenario, seed: u64, spec: JobSpec) -> Engine {
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        Engine::builder(topo)
+            .code(CodeParams::new(4, 2).unwrap(), 32)
+            .placement(&RackAwarePlacement)
+            .failure(failure)
+            .seed(seed)
+            .job(spec)
+            .build()
+            .unwrap()
+    }
+
+    fn map_only_spec(secs: u64) -> JobSpec {
+        JobSpec::builder("t")
+            .map_time(SimDuration::from_secs(secs), SimDuration::ZERO)
+            .map_only()
+            .build()
+    }
+
+    #[test]
+    fn normal_mode_map_only_runtime() {
+        // 32 maps, 8 nodes x 2 slots = 16 slots, 10s maps:
+        // two waves of processing ≈ 20s (+ heartbeat staggering).
+        let engine = base_engine(FailureScenario::none(), 1, map_only_spec(10));
+        let result = engine.run(Box::new(Greedy)).unwrap();
+        let job = &result.jobs[0];
+        let runtime = job.runtime().as_secs_f64();
+        assert!((20.0..28.0).contains(&runtime), "runtime {runtime}");
+        assert_eq!(result.tasks.len(), 32);
+        assert_eq!(result.map_count(MapLocality::Degraded), 0);
+        // Mostly node-local in normal mode under a greedy local-first
+        // policy; placement balances total (native+parity) blocks, so a
+        // few tasks are stolen rack-locally or remotely.
+        assert!(result.map_count(MapLocality::NodeLocal) >= 24);
+    }
+
+    #[test]
+    fn failure_mode_creates_degraded_tasks() {
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let failed = topo.node(0);
+        let engine = base_engine(FailureScenario::nodes([failed]), 2, map_only_spec(10));
+        let lost = engine.store().lost_native_blocks(engine.cluster_state()).len();
+        assert!(lost > 0, "seeded placement must put natives on node0");
+        let result = engine.run(Box::new(Greedy)).unwrap();
+        assert_eq!(result.map_count(MapLocality::Degraded), lost);
+        // Degraded reads took nonzero time (k=2 block downloads).
+        let reads = result.degraded_read_secs();
+        assert_eq!(reads.len(), lost);
+        assert!(reads.iter().all(|&t| t > 0.0));
+        // No task ran on the failed node.
+        assert!(result.tasks.iter().all(|t| t.node != failed));
+    }
+
+    #[test]
+    fn reduce_phase_completes_with_shuffle() {
+        let spec = JobSpec::builder("wr")
+            .map_time(SimDuration::from_secs(5), SimDuration::ZERO)
+            .reduce_time(SimDuration::from_secs(8), SimDuration::ZERO)
+            .reduce_tasks(4)
+            .shuffle_ratio(0.01)
+            .build();
+        let engine = base_engine(FailureScenario::none(), 3, spec);
+        let result = engine.run(Box::new(Greedy)).unwrap();
+        let reduces: Vec<_> = result
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.detail, TaskDetail::Reduce { .. }))
+            .collect();
+        assert_eq!(reduces.len(), 4);
+        // Reducers finish after every map.
+        let last_map = result
+            .tasks
+            .iter()
+            .filter(|t| t.map_locality().is_some())
+            .map(|t| t.completed_at)
+            .max()
+            .unwrap();
+        assert!(reduces.iter().all(|r| r.completed_at > last_map));
+        // Reduce runtime includes shuffle wait + ~8s processing.
+        assert!(reduces.iter().all(|r| r.runtime().as_secs_f64() >= 8.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            base_engine(
+                FailureScenario::nodes([NodeId(1)]),
+                seed,
+                map_only_spec(10),
+            )
+            .run(Box::new(Greedy))
+            .unwrap()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must reproduce exactly");
+        let c = run(8);
+        assert!(a != c || a.makespan != c.makespan, "seeds should differ");
+    }
+
+    #[test]
+    fn multi_job_fifo_order() {
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let j0 = JobSpec::builder("first")
+            .map_time(SimDuration::from_secs(5), SimDuration::ZERO)
+            .map_only()
+            .build();
+        let j1 = JobSpec::builder("second")
+            .map_time(SimDuration::from_secs(5), SimDuration::ZERO)
+            .map_only()
+            .submit_at(SimTime::from_secs(1))
+            .build();
+        let engine = Engine::builder(topo)
+            .code(CodeParams::new(4, 2).unwrap(), 32)
+            .placement(&RackAwarePlacement)
+            .seed(5)
+            .job(j0)
+            .job(j1)
+            .build()
+            .unwrap();
+        let result = engine.run(Box::new(Greedy)).unwrap();
+        assert_eq!(result.jobs.len(), 2);
+        // FIFO: job0 finishes no later than job1.
+        assert!(result.jobs[0].finished_at <= result.jobs[1].finished_at);
+        assert_eq!(result.tasks.iter().filter(|t| t.job == JobId(0)).count(), 32);
+        assert_eq!(result.tasks.iter().filter(|t| t.job == JobId(1)).count(), 32);
+    }
+
+    #[test]
+    fn slot_capacity_respected() {
+        let engine = base_engine(FailureScenario::none(), 9, map_only_spec(10));
+        let result = engine.run(Box::new(Greedy)).unwrap();
+        // Reconstruct concurrent occupancy per node from records.
+        for node in 0..8u32 {
+            let node = NodeId(node);
+            let mut events: Vec<(SimTime, i32)> = Vec::new();
+            for t in result.tasks.iter().filter(|t| t.node == node) {
+                events.push((t.assigned_at, 1));
+                events.push((t.completed_at, -1));
+            }
+            events.sort();
+            let mut occupancy = 0;
+            for (_, delta) in events {
+                occupancy += delta;
+                assert!(occupancy <= 2, "node {node} exceeded its 2 map slots");
+            }
+        }
+    }
+
+    #[test]
+    fn build_errors() {
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        // No jobs.
+        let err = Engine::builder(topo.clone())
+            .code(CodeParams::new(4, 2).unwrap(), 32)
+            .placement(&RackAwarePlacement)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::NoJobs);
+        // Missing code.
+        let err = Engine::builder(topo.clone())
+            .placement(&RackAwarePlacement)
+            .job(map_only_spec(1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::Missing("code"));
+        // Bad layout (not multiple of k).
+        let err = Engine::builder(topo.clone())
+            .code(CodeParams::new(4, 2).unwrap(), 31)
+            .placement(&RackAwarePlacement)
+            .job(map_only_spec(1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Layout(_)));
+        // Data loss: fail 6 of 8 nodes. Each node appears in only half
+        // of the 16 stripes, so some stripe must keep fewer than k = 2
+        // survivors.
+        let err = Engine::builder(topo.clone())
+            .code(CodeParams::new(4, 2).unwrap(), 32)
+            .placement(&RackAwarePlacement)
+            .failure(FailureScenario::nodes((0..6).map(|i| topo.node(i))))
+            .seed(1)
+            .job(map_only_spec(1))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, BuildError::DataLoss { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn double_failure_still_runs() {
+        // (8,6) tolerates two failures; 4 racks satisfy the placement
+        // constraint (4 racks x parity 2 >= n = 8).
+        let topo = Topology::homogeneous(4, 3, 2, 1);
+        let engine = Engine::builder(topo.clone())
+            .code(CodeParams::new(8, 6).unwrap(), 36)
+            .placement(&RackAwarePlacement)
+            .failure(FailureScenario::nodes([topo.node(0), topo.node(6)]))
+            .seed(4)
+            .job(map_only_spec(5))
+            .build()
+            .unwrap();
+        let result = engine.run(Box::new(Greedy)).unwrap();
+        assert!(result.map_count(MapLocality::Degraded) > 0);
+        assert_eq!(result.tasks.len(), 36);
+    }
+}
+
+#[cfg(test)]
+mod feature_tests {
+    use super::*;
+    use crate::sched::Heartbeat;
+    use ecstore::placement::RackAwarePlacement;
+
+    struct Greedy;
+
+    impl MapScheduler for Greedy {
+        fn assign_maps(&mut self, hb: &mut Heartbeat<'_>) {
+            'outer: while hb.free_map_slots() > 0 {
+                for job in hb.jobs() {
+                    if hb.take_node_local(job).is_some()
+                        || hb.take_rack_local(job).is_some()
+                        || hb.take_remote(job).is_some()
+                        || hb.take_degraded(job).is_some()
+                    {
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "greedy"
+        }
+    }
+
+    fn engine_with(config: EngineConfig, seed: u64) -> Engine {
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        Engine::builder(topo.clone())
+            .code(CodeParams::new(4, 2).unwrap(), 32)
+            .placement(&RackAwarePlacement)
+            .failure(FailureScenario::nodes([topo.node(0)]))
+            .config(config)
+            .seed(seed)
+            .job(
+                JobSpec::builder("t")
+                    .map_time(SimDuration::from_secs(10), SimDuration::ZERO)
+                    .map_only()
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn oob_heartbeats_never_slow_the_job() {
+        let base = EngineConfig::default();
+        let oob = EngineConfig {
+            oob_heartbeats: true,
+            ..base
+        };
+        for seed in 0..3 {
+            let slow = engine_with(base, seed).run(Box::new(Greedy)).unwrap();
+            let fast = engine_with(oob, seed).run(Box::new(Greedy)).unwrap();
+            assert!(
+                fast.jobs[0].runtime() <= slow.jobs[0].runtime(),
+                "seed {seed}: OOB {} > periodic {}",
+                fast.jobs[0].runtime(),
+                slow.jobs[0].runtime()
+            );
+            assert_eq!(fast.tasks.len(), slow.tasks.len());
+        }
+    }
+
+    #[test]
+    fn utilization_log_present_only_when_enabled() {
+        let off = engine_with(EngineConfig::default(), 1)
+            .run(Box::new(Greedy))
+            .unwrap();
+        assert!(off.utilization.is_empty());
+
+        let on = engine_with(
+            EngineConfig {
+                log_network_utilization: true,
+                ..EngineConfig::default()
+            },
+            1,
+        )
+        .run(Box::new(Greedy))
+        .unwrap();
+        assert!(!on.utilization.is_empty());
+        // Samples tile the run without gaps or overlap.
+        for pair in on.utilization.windows(2) {
+            assert!(pair[0].until <= pair[1].since);
+        }
+        // Some window saw degraded-read traffic cross a rack downlink.
+        assert!(on.utilization.iter().any(|s| s.rack_down_bits > 0.0));
+        // Runs are otherwise identical.
+        assert_eq!(off.jobs, on.jobs);
+        assert_eq!(off.tasks, on.tasks);
+    }
+}
+
+#[cfg(test)]
+mod speculation_tests {
+    use super::*;
+    use crate::metrics::TaskDetail;
+    use crate::sched::Heartbeat;
+    use ecstore::placement::RackAwarePlacement;
+
+    struct Greedy;
+
+    impl MapScheduler for Greedy {
+        fn assign_maps(&mut self, hb: &mut Heartbeat<'_>) {
+            'outer: while hb.free_map_slots() > 0 {
+                for job in hb.jobs() {
+                    if hb.take_node_local(job).is_some()
+                        || hb.take_rack_local(job).is_some()
+                        || hb.take_remote(job).is_some()
+                        || hb.take_degraded(job).is_some()
+                    {
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "greedy"
+        }
+    }
+
+    /// A heterogeneous cluster where one node is 10x slower: the classic
+    /// straggler setup. Half of the blocks land on fast nodes.
+    fn straggler_engine(speculative: bool, seed: u64) -> Engine {
+        let topo = Topology::homogeneous(2, 4, 2, 1).with_speed_factor(NodeId(3), 0.1);
+        Engine::builder(topo)
+            .code(CodeParams::new(4, 2).unwrap(), 32)
+            .placement(&RackAwarePlacement)
+            .config(EngineConfig {
+                speculative,
+                ..EngineConfig::default()
+            })
+            .seed(seed)
+            .job(
+                JobSpec::builder("straggle")
+                    .map_time(SimDuration::from_secs(10), SimDuration::ZERO)
+                    .map_only()
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn speculation_off_is_the_default_and_changes_nothing() {
+        // A run with the flag explicitly off must equal the default.
+        let a = straggler_engine(false, 1).run(Box::new(Greedy)).unwrap();
+        let b = straggler_engine(false, 1).run(Box::new(Greedy)).unwrap();
+        assert_eq!(a, b);
+        assert!(!EngineConfig::default().speculative);
+    }
+
+    #[test]
+    fn speculation_cuts_straggler_tail() {
+        for seed in 0..3 {
+            let plain = straggler_engine(false, seed).run(Box::new(Greedy)).unwrap();
+            let spec = straggler_engine(true, seed).run(Box::new(Greedy)).unwrap();
+            // Every block still processed exactly once (one record per map).
+            assert_eq!(spec.tasks.len(), plain.tasks.len());
+            let mut blocks: Vec<_> = spec
+                .tasks
+                .iter()
+                .filter_map(|t| match t.detail {
+                    TaskDetail::Map { block, .. } => Some(block),
+                    TaskDetail::Reduce { .. } => None,
+                })
+                .collect();
+            blocks.sort();
+            blocks.dedup();
+            assert_eq!(blocks.len(), 32, "seed {seed}: a map recorded twice");
+            // The job ends no later (backups only help), and with a 10x
+            // straggler it should end strictly earlier.
+            assert!(
+                spec.jobs[0].runtime() <= plain.jobs[0].runtime(),
+                "seed {seed}: speculation slowed the job"
+            );
+        }
+        // At least one seed shows a strict improvement.
+        let improved = (0..3).any(|seed| {
+            let plain = straggler_engine(false, seed).run(Box::new(Greedy)).unwrap();
+            let spec = straggler_engine(true, seed).run(Box::new(Greedy)).unwrap();
+            spec.jobs[0].runtime() < plain.jobs[0].runtime()
+        });
+        assert!(improved, "speculation never rescued the straggler");
+    }
+
+    #[test]
+    fn speculation_respects_slot_capacity() {
+        let result = straggler_engine(true, 2).run(Box::new(Greedy)).unwrap();
+        // Winner records only; occupancy cannot be reconstructed from
+        // records alone under speculation (loser attempts are invisible),
+        // but every recorded completion must be on a live node with sane
+        // ordering.
+        for t in &result.tasks {
+            assert!(t.assigned_at <= t.input_ready_at);
+            assert!(t.input_ready_at <= t.completed_at);
+        }
+    }
+
+    #[test]
+    fn speculation_is_deterministic() {
+        let a = straggler_engine(true, 7).run(Box::new(Greedy)).unwrap();
+        let b = straggler_engine(true, 7).run(Box::new(Greedy)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn speculation_works_in_failure_mode() {
+        let topo = Topology::homogeneous(2, 4, 2, 1).with_speed_factor(NodeId(3), 0.1);
+        let engine = Engine::builder(topo.clone())
+            .code(CodeParams::new(4, 2).unwrap(), 32)
+            .placement(&RackAwarePlacement)
+            .failure(FailureScenario::nodes([topo.node(0)]))
+            .config(EngineConfig {
+                speculative: true,
+                ..EngineConfig::default()
+            })
+            .seed(5)
+            .job(
+                JobSpec::builder("sf")
+                    .map_time(SimDuration::from_secs(10), SimDuration::ZERO)
+                    .map_only()
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let result = engine.run(Box::new(Greedy)).unwrap();
+        assert_eq!(result.tasks.len(), 32);
+        assert!(result.map_count(MapLocality::Degraded) > 0);
+        assert!(result.tasks.iter().all(|t| t.node != topo.node(0)));
+    }
+}

@@ -1,0 +1,185 @@
+//! Max-min fair rate allocation by progressive filling.
+//!
+//! Given a set of flows, each using a set of links with fixed capacities,
+//! the max-min fair allocation repeatedly finds the most contended link,
+//! freezes its flows at an equal share of its remaining capacity, and
+//! subtracts that share along their paths. The result is the classic
+//! water-filling allocation: no flow can increase its rate without
+//! decreasing that of a flow with an equal or smaller rate.
+
+/// Computes max-min fair rates.
+///
+/// * `capacities[l]` — capacity of link `l` in bits/second.
+/// * `paths[f]` — the link indices flow `f` traverses (may be empty for a
+///   loopback flow, which gets `f64::INFINITY`).
+///
+/// Returns one rate per flow, in bits/second.
+///
+/// # Panics
+///
+/// Panics if a path references an unknown link or a capacity is not
+/// positive.
+pub fn max_min_rates(capacities: &[f64], paths: &[Vec<usize>]) -> Vec<f64> {
+    assert!(
+        capacities.iter().all(|&c| c > 0.0 && c.is_finite()),
+        "link capacities must be positive and finite"
+    );
+    let num_links = capacities.len();
+    let num_flows = paths.len();
+    for path in paths {
+        for &l in path {
+            assert!(l < num_links, "path references unknown link {l}");
+        }
+    }
+
+    let mut rates = vec![0.0f64; num_flows];
+    let mut frozen = vec![false; num_flows];
+    let mut remaining: Vec<f64> = capacities.to_vec();
+    // Number of unfrozen flows crossing each link.
+    let mut load = vec![0usize; num_links];
+    let mut unfrozen_left = 0usize;
+    for (f, path) in paths.iter().enumerate() {
+        if path.is_empty() {
+            rates[f] = f64::INFINITY;
+            frozen[f] = true;
+        } else {
+            unfrozen_left += 1;
+            for &l in path {
+                load[l] += 1;
+            }
+        }
+    }
+
+    while unfrozen_left > 0 {
+        // The bottleneck link: smallest per-flow share among loaded links.
+        let mut best_share = f64::INFINITY;
+        for l in 0..num_links {
+            if load[l] > 0 {
+                let share = remaining[l] / load[l] as f64;
+                if share < best_share {
+                    best_share = share;
+                }
+            }
+        }
+        debug_assert!(best_share.is_finite(), "no bottleneck among loaded links");
+        // Freeze every unfrozen flow crossing a bottleneck link. A small
+        // relative tolerance groups links whose shares are equal up to
+        // floating-point noise.
+        let tol = best_share * 1e-12;
+        let mut bottleneck = vec![false; num_links];
+        for l in 0..num_links {
+            if load[l] > 0 && remaining[l] / load[l] as f64 <= best_share + tol {
+                bottleneck[l] = true;
+            }
+        }
+        for f in 0..num_flows {
+            if frozen[f] || !paths[f].iter().any(|&l| bottleneck[l]) {
+                continue;
+            }
+            rates[f] = best_share;
+            frozen[f] = true;
+            unfrozen_left -= 1;
+            for &l in &paths[f] {
+                remaining[l] = (remaining[l] - best_share).max(0.0);
+                load[l] -= 1;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBPS: f64 = 1e9;
+
+    #[test]
+    fn single_flow_gets_full_bottleneck() {
+        let rates = max_min_rates(&[GBPS, 0.1 * GBPS], &[vec![0, 1]]);
+        assert_eq!(rates, vec![0.1 * GBPS]);
+    }
+
+    #[test]
+    fn equal_flows_split_equally() {
+        // The paper's motivating scenario: two degraded reads sharing one
+        // rack downlink each get half the bandwidth.
+        let rates = max_min_rates(&[0.1 * GBPS], &[vec![0], vec![0]]);
+        assert!((rates[0] - 0.05 * GBPS).abs() < 1.0);
+        assert!((rates[1] - 0.05 * GBPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn water_filling_redistribution() {
+        // Link 0: 1 Gbps shared by flows A and B; flow B also crosses
+        // link 1 at 0.2 Gbps. B is frozen at 0.2; A then gets 0.8.
+        let rates = max_min_rates(&[GBPS, 0.2 * GBPS], &[vec![0], vec![0, 1]]);
+        assert!((rates[1] - 0.2 * GBPS).abs() < 1.0, "B {}", rates[1]);
+        assert!((rates[0] - 0.8 * GBPS).abs() < 1.0, "A {}", rates[0]);
+    }
+
+    #[test]
+    fn loopback_flows_are_infinite() {
+        let rates = max_min_rates(&[GBPS], &[vec![], vec![0]]);
+        assert_eq!(rates[0], f64::INFINITY);
+        assert_eq!(rates[1], GBPS);
+    }
+
+    #[test]
+    fn no_flows() {
+        assert!(max_min_rates(&[GBPS], &[]).is_empty());
+    }
+
+    #[test]
+    fn allocation_is_feasible_and_pareto() {
+        // Random-ish topology: 5 links, 8 flows; verify (1) no link is
+        // oversubscribed, (2) every flow has a saturated link on its path
+        // whose other flows are not smaller (max-min certificate).
+        let caps = [GBPS, 0.5 * GBPS, 0.25 * GBPS, 2.0 * GBPS, 0.75 * GBPS];
+        let paths: Vec<Vec<usize>> = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![0, 3],
+            vec![4],
+            vec![0, 4],
+            vec![1, 4],
+            vec![2],
+        ];
+        let rates = max_min_rates(&caps, &paths);
+        let mut usage = [0.0f64; 5];
+        for (f, path) in paths.iter().enumerate() {
+            assert!(rates[f] > 0.0);
+            for &l in path {
+                usage[l] += rates[f];
+            }
+        }
+        for l in 0..5 {
+            assert!(usage[l] <= caps[l] * (1.0 + 1e-9), "link {l} oversubscribed");
+        }
+        for (f, path) in paths.iter().enumerate() {
+            let has_certificate = path.iter().any(|&l| {
+                let saturated = usage[l] >= caps[l] * (1.0 - 1e-9);
+                let is_max_on_link = paths
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.contains(&l))
+                    .all(|(g, _)| rates[g] <= rates[f] * (1.0 + 1e-9));
+                saturated && is_max_on_link
+            });
+            assert!(has_certificate, "flow {f} has no bottleneck certificate");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn rejects_unknown_link() {
+        let _ = max_min_rates(&[GBPS], &[vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_capacity() {
+        let _ = max_min_rates(&[0.0], &[vec![0]]);
+    }
+}

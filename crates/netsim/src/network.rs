@@ -1,0 +1,660 @@
+//! The fluid-flow network: tracks active flows over a two-level tree
+//! topology, advances their progress piecewise-linearly, and reports
+//! completions.
+//!
+//! # Topology
+//!
+//! The link layout matches the paper's Figure 1:
+//!
+//! ```text
+//!                    core switch (unconstrained)
+//!                   /                         \
+//!        rack 0 up/down (W)           rack 1 up/down (W)
+//!         /        \                    /         \
+//!   node NICs up/down             node NICs up/down
+//! ```
+//!
+//! An intra-rack flow traverses `[src NIC up, dst NIC down]`; an
+//! inter-rack flow additionally crosses `[src rack uplink, dst rack
+//! downlink]`. The rack downlink of capacity `W` is the paper's "download
+//! bandwidth of each rack".
+
+use std::collections::HashMap;
+
+use simkit::time::{SimDuration, SimTime};
+
+use crate::fairshare::max_min_rates;
+
+/// Identifies an active or finished flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u64);
+
+impl FlowId {
+    /// The raw id, for logging.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Link capacities for the two-level tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetConfig {
+    /// Capacity of each node NIC (both directions), bits/second.
+    pub node_bps: u64,
+    /// Capacity of each rack uplink and downlink (the paper's `W`),
+    /// bits/second.
+    pub rack_bps: u64,
+}
+
+impl NetConfig {
+    /// The same capacity on every link.
+    pub fn uniform(bps: u64) -> NetConfig {
+        NetConfig {
+            node_bps: bps,
+            rack_bps: bps,
+        }
+    }
+
+    /// The paper's default: 1 Gbps NICs and rack links.
+    pub fn gigabit() -> NetConfig {
+        NetConfig::uniform(1_000_000_000)
+    }
+}
+
+/// Completion record for a finished flow.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowStats {
+    /// When the flow was started.
+    pub started: SimTime,
+    /// When the flow finished (or was cancelled).
+    pub finished: SimTime,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+}
+
+impl FlowStats {
+    /// Transfer duration.
+    pub fn duration(&self) -> SimDuration {
+        self.finished.duration_since(self.started)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ActiveFlow {
+    id: FlowId,
+    src: usize,
+    dst: usize,
+    bytes: u64,
+    remaining_bits: f64,
+    rate_bps: f64,
+    path: Vec<usize>,
+    started: SimTime,
+}
+
+/// One entry of the utilization log: over `(since, until]`, the rack
+/// downlinks moved `rack_down_bits` in aggregate out of
+/// `rack_down_capacity_bits` possible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UtilizationSample {
+    /// Window start.
+    pub since: SimTime,
+    /// Window end.
+    pub until: SimTime,
+    /// Bits that crossed any rack downlink during the window.
+    pub rack_down_bits: f64,
+    /// Aggregate rack-downlink capacity of the window.
+    pub rack_down_capacity_bits: f64,
+}
+
+impl UtilizationSample {
+    /// Fraction of aggregate rack-downlink capacity in use (0..=1).
+    pub fn fraction(&self) -> f64 {
+        if self.rack_down_capacity_bits <= 0.0 {
+            0.0
+        } else {
+            (self.rack_down_bits / self.rack_down_capacity_bits).min(1.0)
+        }
+    }
+}
+
+/// The live network state. See the [crate docs](crate) for the model.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// rack index of each node.
+    node_rack: Vec<usize>,
+    capacities: Vec<f64>,
+    num_racks: usize,
+    flows: Vec<ActiveFlow>,
+    index_of: HashMap<FlowId, usize>,
+    next_id: u64,
+    last_advanced: SimTime,
+    /// Cached earliest completion given current rates.
+    next_done: Option<SimTime>,
+    /// When set, every advance appends a rack-downlink utilization
+    /// sample (the paper's "unused network resources" evidence).
+    utilization_log: Option<Vec<UtilizationSample>>,
+    rack_bps: f64,
+}
+
+/// Residual bits below which a flow counts as finished (absorbs the
+/// microsecond-rounding of completion times).
+const DONE_EPS_BITS: f64 = 1e-3;
+
+impl Network {
+    /// Builds the network for racks of the given sizes.
+    ///
+    /// Link indexing: for node `i`, uplink `2i`, downlink `2i+1`; for
+    /// rack `r`, uplink `2N + 2r`, downlink `2N + 2r + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no nodes or a capacity is zero.
+    pub fn new(rack_sizes: &[usize], config: NetConfig) -> Network {
+        assert!(config.node_bps > 0 && config.rack_bps > 0, "zero capacity");
+        let mut node_rack = Vec::new();
+        for (r, &size) in rack_sizes.iter().enumerate() {
+            for _ in 0..size {
+                node_rack.push(r);
+            }
+        }
+        assert!(!node_rack.is_empty(), "network with no nodes");
+        let num_nodes = node_rack.len();
+        let num_racks = rack_sizes.len();
+        let mut capacities = Vec::with_capacity(2 * num_nodes + 2 * num_racks);
+        capacities.extend(std::iter::repeat(config.node_bps as f64).take(2 * num_nodes));
+        capacities.extend(std::iter::repeat(config.rack_bps as f64).take(2 * num_racks));
+        Network {
+            node_rack,
+            capacities,
+            num_racks,
+            flows: Vec::new(),
+            index_of: HashMap::new(),
+            next_id: 0,
+            last_advanced: SimTime::ZERO,
+            next_done: None,
+            utilization_log: None,
+            rack_bps: config.rack_bps as f64,
+        }
+    }
+
+    /// Starts recording rack-downlink utilization samples on every
+    /// network advance. Call before the first flow starts.
+    pub fn enable_utilization_log(&mut self) {
+        if self.utilization_log.is_none() {
+            self.utilization_log = Some(Vec::new());
+        }
+    }
+
+    /// The recorded utilization samples (empty unless
+    /// [`Network::enable_utilization_log`] was called).
+    pub fn utilization_log(&self) -> &[UtilizationSample] {
+        self.utilization_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_rack.len()
+    }
+
+    /// Number of racks.
+    pub fn num_racks(&self) -> usize {
+        self.num_racks
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn path_for(&self, src: usize, dst: usize) -> Vec<usize> {
+        assert!(src < self.num_nodes() && dst < self.num_nodes(), "unknown node");
+        if src == dst {
+            return Vec::new(); // loopback: no network traversal
+        }
+        let n = self.num_nodes();
+        let (sr, dr) = (self.node_rack[src], self.node_rack[dst]);
+        if sr == dr {
+            vec![2 * src, 2 * dst + 1]
+        } else {
+            vec![2 * src, 2 * n + 2 * sr, 2 * n + 2 * dr + 1, 2 * dst + 1]
+        }
+    }
+
+    /// Starts a flow of `bytes` from `src` to `dst` at time `now`.
+    /// Loopback flows (`src == dst`) complete at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is unknown or `now` precedes the last
+    /// network update.
+    pub fn start_flow(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> FlowId {
+        self.advance_to(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let path = self.path_for(src, dst);
+        let flow = ActiveFlow {
+            id,
+            src,
+            dst,
+            bytes,
+            remaining_bits: (bytes as f64) * 8.0,
+            rate_bps: 0.0,
+            path,
+            started: now,
+        };
+        self.index_of.insert(id, self.flows.len());
+        self.flows.push(flow);
+        self.reallocate(now);
+        id
+    }
+
+    /// Starts several flows at the same instant with a single rate
+    /// reallocation — equivalent to (but much cheaper than) calling
+    /// [`Network::start_flow`] once per `(src, dst, bytes)` triple.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::start_flow`].
+    pub fn start_flows(&mut self, now: SimTime, specs: &[(usize, usize, u64)]) -> Vec<FlowId> {
+        self.advance_to(now);
+        let mut ids = Vec::with_capacity(specs.len());
+        for &(src, dst, bytes) in specs {
+            let id = FlowId(self.next_id);
+            self.next_id += 1;
+            let path = self.path_for(src, dst);
+            self.index_of.insert(id, self.flows.len());
+            self.flows.push(ActiveFlow {
+                id,
+                src,
+                dst,
+                bytes,
+                remaining_bits: (bytes as f64) * 8.0,
+                rate_bps: 0.0,
+                path,
+                started: now,
+            });
+            ids.push(id);
+        }
+        if !ids.is_empty() {
+            self.reallocate(now);
+        }
+        ids
+    }
+
+    /// Cancels an active flow, returning its stats if it existed.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<FlowStats> {
+        self.advance_to(now);
+        let idx = self.index_of.remove(&id)?;
+        let flow = self.flows.swap_remove(idx);
+        if let Some(moved) = self.flows.get(idx) {
+            self.index_of.insert(moved.id, idx);
+        }
+        self.reallocate(now);
+        Some(FlowStats {
+            started: flow.started,
+            finished: now,
+            bytes: flow.bytes,
+            src: flow.src,
+            dst: flow.dst,
+        })
+    }
+
+    /// The earliest instant at which some active flow completes, if any.
+    /// Completion times are rounded **up** to a whole microsecond, so
+    /// advancing to this instant always finishes the flow.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.next_done
+    }
+
+    /// Advances the fluid model to `now` and removes every flow that has
+    /// finished, returning their stats in deterministic (start) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last network update.
+    pub fn complete_flows(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.drain_finished(now).into_iter().map(|s| s.0).collect()
+    }
+
+    /// Like [`Network::complete_flows`] but returning full stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last network update.
+    pub fn drain_finished(&mut self, now: SimTime) -> Vec<(FlowId, FlowStats)> {
+        self.advance_to(now);
+        let mut done: Vec<(FlowId, FlowStats)> = Vec::new();
+        let mut i = 0;
+        while i < self.flows.len() {
+            if self.flows[i].remaining_bits <= DONE_EPS_BITS {
+                let flow = self.flows.swap_remove(i);
+                self.index_of.remove(&flow.id);
+                if let Some(moved) = self.flows.get(i) {
+                    self.index_of.insert(moved.id, i);
+                }
+                done.push((
+                    flow.id,
+                    FlowStats {
+                        started: flow.started,
+                        finished: now,
+                        bytes: flow.bytes,
+                        src: flow.src,
+                        dst: flow.dst,
+                    },
+                ));
+            } else {
+                i += 1;
+            }
+        }
+        if !done.is_empty() {
+            self.reallocate(now);
+        }
+        done.sort_by_key(|(id, _)| *id);
+        done
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_advanced,
+            "network time went backwards: {now} < {}",
+            self.last_advanced
+        );
+        let dt = now.duration_since(self.last_advanced).as_secs_f64();
+        if dt > 0.0 {
+            let mut rack_down_bits = 0.0f64;
+            let n = self.num_nodes();
+            for flow in &mut self.flows {
+                if flow.rate_bps.is_infinite() {
+                    flow.remaining_bits = 0.0;
+                } else {
+                    flow.remaining_bits = (flow.remaining_bits - flow.rate_bps * dt).max(0.0);
+                    if self.utilization_log.is_some()
+                        && flow.path.iter().any(|&l| l >= 2 * n && l % 2 == 1)
+                    {
+                        rack_down_bits += flow.rate_bps * dt;
+                    }
+                }
+            }
+            if let Some(log) = &mut self.utilization_log {
+                log.push(UtilizationSample {
+                    since: self.last_advanced,
+                    until: now,
+                    rack_down_bits,
+                    rack_down_capacity_bits: self.num_racks as f64 * self.rack_bps * dt,
+                });
+            }
+        }
+        self.last_advanced = now;
+    }
+
+    fn reallocate(&mut self, now: SimTime) {
+        let paths: Vec<Vec<usize>> = self.flows.iter().map(|f| f.path.clone()).collect();
+        let rates = max_min_rates(&self.capacities, &paths);
+        let mut earliest: Option<SimTime> = None;
+        for (flow, rate) in self.flows.iter_mut().zip(rates) {
+            flow.rate_bps = rate;
+            if rate.is_infinite() {
+                // Loopback flows never traverse a link; they complete at once.
+                flow.remaining_bits = 0.0;
+            }
+            let done_at = if flow.remaining_bits <= DONE_EPS_BITS {
+                now
+            } else {
+                let secs = flow.remaining_bits / rate;
+                let micros = (secs * 1e6).ceil() as u64;
+                now + SimDuration::from_micros(micros.max(1))
+            };
+            earliest = Some(match earliest {
+                Some(e) if e <= done_at => e,
+                _ => done_at,
+            });
+        }
+        self.next_done = earliest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBPS: u64 = 1_000_000_000;
+    const MBPS_100: u64 = 100_000_000;
+    /// 128 MB, the paper's default block size.
+    const BLOCK: u64 = 128 * 1024 * 1024;
+
+    fn secs(t: SimTime) -> f64 {
+        t.as_secs_f64()
+    }
+
+    #[test]
+    fn single_cross_rack_transfer_time() {
+        // One 128 MB block over a 100 Mbps path: ~10.7s (the paper's
+        // motivating example rounds this to 10s).
+        let mut net = Network::new(&[3, 2], NetConfig::uniform(MBPS_100));
+        net.start_flow(SimTime::ZERO, 0, 3, BLOCK);
+        let done = net.next_completion().unwrap();
+        assert!((secs(done) - 10.74).abs() < 0.01, "{}", secs(done));
+        assert_eq!(net.complete_flows(done).len(), 1);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn two_competing_downloads_double_the_time() {
+        // Section III: two degraded reads into the same rack "double the
+        // download time, from 10s to 20s".
+        let mut net = Network::new(&[3, 2], NetConfig::uniform(MBPS_100));
+        // Nodes 0,1 in rack 0 each download a block from rack 1.
+        net.start_flow(SimTime::ZERO, 3, 0, BLOCK);
+        net.start_flow(SimTime::ZERO, 4, 1, BLOCK);
+        let done = net.next_completion().unwrap();
+        assert!((secs(done) - 2.0 * 10.74).abs() < 0.05, "{}", secs(done));
+        // Both finish together (equal shares of the rack downlink).
+        assert_eq!(net.complete_flows(done).len(), 2);
+    }
+
+    #[test]
+    fn independent_racks_do_not_interfere() {
+        let mut net = Network::new(&[2, 2, 2], NetConfig::uniform(MBPS_100));
+        net.start_flow(SimTime::ZERO, 0, 2, BLOCK); // rack0 -> rack1
+        net.start_flow(SimTime::ZERO, 4, 1, BLOCK); // rack2 -> rack0
+        // rack1-down and rack0-down are different links; both flows run
+        // at full speed.
+        let done = net.next_completion().unwrap();
+        assert!((secs(done) - 10.74).abs() < 0.01, "{}", secs(done));
+        assert_eq!(net.complete_flows(done).len(), 2);
+    }
+
+    #[test]
+    fn rate_rises_when_competitor_finishes() {
+        // Flow A starts alone; B joins halfway; A slows to half rate;
+        // when A ends, B speeds back up.
+        let mut net = Network::new(&[2, 1], NetConfig::uniform(MBPS_100));
+        let t0 = SimTime::ZERO;
+        let a = net.start_flow(t0, 2, 0, BLOCK);
+        let t1 = SimTime::from_secs(5);
+        // Same destination NIC contended? No: choose dst 1, sharing only
+        // the rack0 downlink.
+        let b = net.start_flow(t1, 2, 1, BLOCK);
+        // A has ~5.74s of work left at full rate, so ~11.48s shared.
+        let done_a = net.next_completion().unwrap();
+        let finished = net.complete_flows(done_a);
+        assert_eq!(finished, vec![a]);
+        assert!((secs(done_a) - (5.0 + 11.48)).abs() < 0.05, "{}", secs(done_a));
+        // B transferred (done_a - t1) at half rate; the rest at full rate.
+        let done_b = net.next_completion().unwrap();
+        let t_b_total = secs(done_b) - 5.0;
+        assert!((t_b_total - (11.48 + (10.74 - 11.48 / 2.0))).abs() < 0.1, "{t_b_total}");
+        assert_eq!(net.complete_flows(done_b), vec![b]);
+    }
+
+    #[test]
+    fn loopback_completes_immediately() {
+        let mut net = Network::new(&[2], NetConfig::gigabit());
+        let now = SimTime::from_secs(3);
+        let f = net.start_flow(now, 1, 1, BLOCK);
+        assert_eq!(net.next_completion(), Some(now));
+        let done = net.drain_finished(now);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, f);
+        assert_eq!(done[0].1.duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cancel_releases_bandwidth() {
+        let mut net = Network::new(&[2, 2], NetConfig::uniform(MBPS_100));
+        let a = net.start_flow(SimTime::ZERO, 2, 0, BLOCK);
+        let _b = net.start_flow(SimTime::ZERO, 3, 1, BLOCK);
+        let t = SimTime::from_secs(4);
+        let stats = net.cancel_flow(t, a).unwrap();
+        assert_eq!(stats.finished, t);
+        assert!(net.cancel_flow(t, a).is_none(), "double cancel");
+        // b now runs at full rate: had moved 4s at half rate = 2s worth;
+        // 8.74s left at full rate.
+        let done = net.next_completion().unwrap();
+        assert!((secs(done) - (4.0 + 8.74)).abs() < 0.05, "{}", secs(done));
+    }
+
+    #[test]
+    fn nic_limits_fanin() {
+        // Four sources in other racks converge on one node whose NIC is
+        // the bottleneck (rack links are fat).
+        let cfg = NetConfig {
+            node_bps: MBPS_100,
+            rack_bps: GBPS,
+        };
+        let mut net = Network::new(&[1, 4], cfg);
+        for s in 1..5 {
+            net.start_flow(SimTime::ZERO, s, 0, BLOCK);
+        }
+        let done = net.next_completion().unwrap();
+        // 4 blocks through a single 100 Mbps NIC: ~4 * 10.74.
+        assert!((secs(done) - 4.0 * 10.74).abs() < 0.1, "{}", secs(done));
+        assert_eq!(net.complete_flows(done).len(), 4);
+    }
+
+    #[test]
+    fn flow_stats_record_endpoints() {
+        let mut net = Network::new(&[2, 1], NetConfig::gigabit());
+        net.start_flow(SimTime::from_secs(1), 0, 2, 1_000_000);
+        let done = net.next_completion().unwrap();
+        let stats = net.drain_finished(done);
+        let (_, s) = stats[0];
+        assert_eq!(s.src, 0);
+        assert_eq!(s.dst, 2);
+        assert_eq!(s.bytes, 1_000_000);
+        assert_eq!(s.started, SimTime::from_secs(1));
+        assert!(s.finished > s.started);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn rejects_time_reversal() {
+        let mut net = Network::new(&[1, 1], NetConfig::gigabit());
+        net.start_flow(SimTime::from_secs(5), 0, 1, 100);
+        net.start_flow(SimTime::from_secs(4), 1, 0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn rejects_unknown_node() {
+        let mut net = Network::new(&[1, 1], NetConfig::gigabit());
+        net.start_flow(SimTime::ZERO, 0, 9, 100);
+    }
+
+    #[test]
+    fn deterministic_completion_order() {
+        // Flows finishing at the same instant drain in start order.
+        let mut net = Network::new(&[2, 2], NetConfig::uniform(MBPS_100));
+        let a = net.start_flow(SimTime::ZERO, 2, 0, BLOCK);
+        let b = net.start_flow(SimTime::ZERO, 3, 1, BLOCK);
+        let done = net.next_completion().unwrap();
+        assert_eq!(net.complete_flows(done), vec![a, b]);
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::*;
+
+    #[test]
+    fn utilization_log_tracks_rack_downlink_usage() {
+        let mut net = Network::new(&[2, 2], NetConfig::uniform(100_000_000));
+        net.enable_utilization_log();
+        // One cross-rack flow saturating rack1's downlink for ~10.7s.
+        net.start_flow(SimTime::ZERO, 0, 2, 128 * 1024 * 1024);
+        let done = net.next_completion().unwrap();
+        net.complete_flows(done);
+        let log = net.utilization_log();
+        assert!(!log.is_empty());
+        let total_bits: f64 = log.iter().map(|s| s.rack_down_bits).sum();
+        assert!((total_bits - 128.0 * 1024.0 * 1024.0 * 8.0).abs() < 1e6, "{total_bits}");
+        // One of two rack downlinks busy => 50% aggregate utilization.
+        for sample in log {
+            assert!((sample.fraction() - 0.5).abs() < 0.01, "{:?}", sample);
+            assert!(sample.until > sample.since);
+        }
+    }
+
+    #[test]
+    fn intra_rack_flows_do_not_count(){
+        let mut net = Network::new(&[2, 2], NetConfig::gigabit());
+        net.enable_utilization_log();
+        net.start_flow(SimTime::ZERO, 0, 1, 1_000_000); // same rack
+        let done = net.next_completion().unwrap();
+        net.complete_flows(done);
+        let total: f64 = net.utilization_log().iter().map(|s| s.rack_down_bits).sum();
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn log_disabled_by_default() {
+        let mut net = Network::new(&[1, 1], NetConfig::gigabit());
+        net.start_flow(SimTime::ZERO, 0, 1, 1_000);
+        let done = net.next_completion().unwrap();
+        net.complete_flows(done);
+        assert!(net.utilization_log().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    #[test]
+    fn batch_start_equals_sequential_start() {
+        let specs = [(0usize, 2usize, 64_000_000u64), (1, 3, 32_000_000), (2, 0, 8_000_000)];
+        let run = |batch: bool| {
+            let mut net = Network::new(&[2, 2], NetConfig::uniform(100_000_000));
+            if batch {
+                net.start_flows(SimTime::ZERO, &specs);
+            } else {
+                for &(s, d, b) in &specs {
+                    net.start_flow(SimTime::ZERO, s, d, b);
+                }
+            }
+            let mut finished = Vec::new();
+            while let Some(t) = net.next_completion() {
+                for (id, stats) in net.drain_finished(t) {
+                    finished.push((id.as_u64(), stats.finished, stats.src, stats.dst));
+                }
+                if net.active_flows() == 0 {
+                    break;
+                }
+            }
+            finished
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut net = Network::new(&[1, 1], NetConfig::gigabit());
+        assert!(net.start_flows(SimTime::ZERO, &[]).is_empty());
+        assert_eq!(net.active_flows(), 0);
+        assert_eq!(net.next_completion(), None);
+    }
+}

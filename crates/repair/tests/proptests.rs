@@ -1,0 +1,151 @@
+//! Property-based tests for repair planning and simulation over
+//! randomized clusters and failure sets.
+
+use cluster::{ClusterState, FailureScenario, NodeId, Topology};
+use ecstore::placement::RackAwarePlacement;
+use ecstore::{BlockStore, StripeLayout};
+use erasure::CodeParams;
+use netsim::NetConfig;
+use proptest::prelude::*;
+use repair::{simulate, RepairPlan};
+use simkit::SimRng;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+struct Setup {
+    racks: usize,
+    nodes_per_rack: usize,
+    stripes: usize,
+    victims: Vec<usize>,
+    seed: u64,
+}
+
+fn setup() -> impl Strategy<Value = Setup> {
+    (
+        2usize..=4,
+        3usize..=5,
+        1usize..=8,
+        proptest::collection::btree_set(0usize..20, 1..=2),
+        any::<u64>(),
+    )
+        .prop_map(|(racks, nodes_per_rack, stripes, victims, seed)| Setup {
+            racks,
+            nodes_per_rack,
+            stripes,
+            victims: victims
+                .into_iter()
+                .map(|v| v % (racks * nodes_per_rack))
+                .collect::<HashSet<_>>()
+                .into_iter()
+                .collect(),
+            seed,
+        })
+}
+
+fn build(s: &Setup) -> (Topology, BlockStore, ClusterState, SimRng) {
+    // Parity 2 tolerates the at-most-2 victims the strategy produces;
+    // the stripe width must satisfy the rack constraint n <= racks * 2,
+    // so two-rack clusters use (4,2) and wider ones (6,4).
+    let (n, k) = if s.racks >= 3 { (6, 4) } else { (4, 2) };
+    let topo = Topology::homogeneous(s.racks, s.nodes_per_rack, 2, 1);
+    let layout = StripeLayout::new(CodeParams::new(n, k).unwrap(), s.stripes * k).unwrap();
+    let mut rng = SimRng::seed_from_u64(s.seed);
+    let store = BlockStore::place(&topo, layout, &RackAwarePlacement, &mut rng).unwrap();
+    let state = ClusterState::from_scenario(
+        &topo,
+        &FailureScenario::nodes(s.victims.iter().map(|&v| NodeId(v as u32))),
+    );
+    (topo, store, state, rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn plans_cover_all_losses_and_respect_distinctness(s in setup()) {
+        let (topo, store, state, mut rng) = build(&s);
+        let plan = RepairPlan::plan(&store, &topo, &state, &mut rng).unwrap();
+        // One task per lost block (native and parity).
+        let lost: Vec<_> = store
+            .layout()
+            .blocks()
+            .filter(|&b| !state.is_alive(store.node_of(b)))
+            .collect();
+        prop_assert_eq!(plan.tasks.len(), lost.len());
+        let planned: HashSet<_> = plan.tasks.iter().map(|t| t.block).collect();
+        prop_assert_eq!(planned.len(), lost.len(), "duplicate repair targets");
+        for b in &lost {
+            prop_assert!(planned.contains(b), "lost block {} unplanned", b);
+        }
+        // Replacements are live and post-repair stripes use distinct nodes.
+        for stripe in 0..store.layout().num_stripes() {
+            let stripe_id = ecstore::StripeId(stripe as u32);
+            let mut holders: Vec<NodeId> = store
+                .survivors_of(stripe_id, &state)
+                .into_iter()
+                .map(|(_, n)| n)
+                .collect();
+            for t in plan.tasks.iter().filter(|t| t.block.stripe == stripe_id) {
+                prop_assert!(state.is_alive(t.replacement));
+                holders.push(t.replacement);
+            }
+            let total = holders.len();
+            let mut uniq = holders;
+            uniq.sort();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), total, "stripe {} reuses a node post-repair", stripe);
+        }
+        // Sources are live stripe members, k of them, never the target.
+        let k = store.layout().params().k();
+        for t in &plan.tasks {
+            prop_assert_eq!(t.sources.len(), k);
+            for (src, holder) in &t.sources {
+                prop_assert!(state.is_alive(*holder));
+                prop_assert_eq!(src.stripe, t.block.stripe);
+                prop_assert_ne!(*src, t.block);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_accounts_bytes_and_terminates(s in setup()) {
+        let (topo, store, state, mut rng) = build(&s);
+        let plan = RepairPlan::plan(&store, &topo, &state, &mut rng).unwrap();
+        if plan.tasks.is_empty() {
+            return Ok(());
+        }
+        let block_bytes = 4 * 1024 * 1024u64;
+        for parallelism in [1usize, 3, 16] {
+            let report = simulate(&plan, &topo, NetConfig::gigabit(), block_bytes, parallelism);
+            prop_assert_eq!(
+                report.bytes_transferred,
+                plan.network_block_count() as u64 * block_bytes
+            );
+            prop_assert_eq!(report.task_durations.len(), plan.tasks.len());
+            // Tasks with at least one network source take nonzero time.
+            for (t, d) in plan.tasks.iter().zip(&report.task_durations) {
+                if t.network_sources().count() > 0 {
+                    prop_assert!(d.as_micros() > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_parallelism_never_slows_repair(s in setup()) {
+        let (topo, store, state, mut rng) = build(&s);
+        let plan = RepairPlan::plan(&store, &topo, &state, &mut rng).unwrap();
+        if plan.tasks.len() < 2 {
+            return Ok(());
+        }
+        let bb = 8 * 1024 * 1024u64;
+        let serial = simulate(&plan, &topo, NetConfig::gigabit(), bb, 1);
+        let wide = simulate(&plan, &topo, NetConfig::gigabit(), bb, plan.tasks.len());
+        prop_assert!(
+            wide.makespan <= serial.makespan,
+            "parallel {} > serial {}",
+            wide.makespan,
+            serial.makespan
+        );
+    }
+}

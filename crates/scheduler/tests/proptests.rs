@@ -1,0 +1,187 @@
+//! Property-based tests of the scheduling policies over randomized
+//! clusters: algorithmic invariants that must hold on every run.
+
+use std::collections::HashMap;
+
+use cluster::{FailureScenario, Topology};
+use ecstore::placement::RackAwarePlacement;
+use erasure::CodeParams;
+use mapreduce::engine::{Engine, EngineConfig};
+use mapreduce::job::JobSpec;
+use mapreduce::sched::MapScheduler;
+use mapreduce::{MapLocality, RunResult};
+use proptest::prelude::*;
+use scheduler::{DegradedFirst, LocalityFirst};
+use simkit::time::SimDuration;
+
+#[derive(Debug, Clone)]
+struct Config {
+    racks: usize,
+    nodes_per_rack: usize,
+    stripes: usize,
+    map_secs: u64,
+    fail_node: usize,
+    seed: u64,
+}
+
+fn config() -> impl Strategy<Value = Config> {
+    (2usize..=4, 2usize..=4, 3usize..=10, 2u64..=12, any::<usize>(), any::<u64>()).prop_map(
+        |(racks, nodes_per_rack, stripes, map_secs, fail, seed)| Config {
+            racks,
+            nodes_per_rack,
+            stripes,
+            map_secs,
+            fail_node: fail % (racks * nodes_per_rack),
+            seed,
+        },
+    )
+}
+
+fn run(cfg: &Config, scheduler: Box<dyn MapScheduler>, failure: FailureScenario) -> RunResult {
+    let topo = Topology::homogeneous(cfg.racks, cfg.nodes_per_rack, 2, 1);
+    Engine::builder(topo)
+        .code(CodeParams::new(4, 2).unwrap(), cfg.stripes * 2)
+        .placement(&RackAwarePlacement)
+        .failure(failure)
+        .config(EngineConfig {
+            block_bytes: 16 * 1024 * 1024,
+            net: netsim::NetConfig::uniform(200_000_000),
+            ..EngineConfig::default()
+        })
+        .seed(cfg.seed)
+        .job(
+            JobSpec::builder("prop")
+                .map_time(SimDuration::from_secs(cfg.map_secs), SimDuration::ZERO)
+                .map_only()
+                .build(),
+        )
+        .build()
+        .expect("engine builds")
+        .run(scheduler)
+        .expect("run completes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn lf_assigns_degraded_strictly_after_all_normal_tasks(cfg in config()) {
+        let topo_node = cfg.fail_node;
+        let result = run(
+            &cfg,
+            Box::new(LocalityFirst::new()),
+            FailureScenario::nodes([cluster::NodeId(topo_node as u32)]),
+        );
+        let last_normal_assign = result
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.map_locality(), Some(l) if l != MapLocality::Degraded))
+            .map(|t| t.assigned_at)
+            .max();
+        let first_degraded_assign = result
+            .tasks
+            .iter()
+            .filter(|t| t.map_locality() == Some(MapLocality::Degraded))
+            .map(|t| t.assigned_at)
+            .min();
+        if let (Some(last), Some(first)) = (last_normal_assign, first_degraded_assign) {
+            prop_assert!(
+                first >= last,
+                "LF launched a degraded task at {first} before the last normal at {last}"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_first_limits_one_degraded_per_heartbeat(cfg in config()) {
+        for policy in [DegradedFirst::basic(), DegradedFirst::enhanced()] {
+            let result = run(
+                &cfg,
+                Box::new(policy),
+                FailureScenario::nodes([cluster::NodeId(cfg.fail_node as u32)]),
+            );
+            // Algorithm 2 line 4: a slave never receives two degraded
+            // tasks in the same heartbeat, i.e. per (node, instant).
+            let mut per_beat: HashMap<(cluster::NodeId, simkit::time::SimTime), usize> =
+                HashMap::new();
+            for t in result
+                .tasks
+                .iter()
+                .filter(|t| t.map_locality() == Some(MapLocality::Degraded))
+            {
+                *per_beat.entry((t.node, t.assigned_at)).or_default() += 1;
+            }
+            for ((node, at), count) in per_beat {
+                prop_assert!(
+                    count <= 1,
+                    "{node} got {count} degraded tasks in one heartbeat at {at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_launch_fractions_never_outpace_overall_fractions(cfg in config()) {
+        // The pacing rule: at the instant the i-th degraded task (0-based)
+        // is assigned, the fraction of all maps already launched is at
+        // least i / M_d.
+        let result = run(
+            &cfg,
+            Box::new(DegradedFirst::basic()),
+            FailureScenario::nodes([cluster::NodeId(cfg.fail_node as u32)]),
+        );
+        let total_maps = result.tasks.iter().filter(|t| t.map_locality().is_some()).count();
+        let mut assigns: Vec<(simkit::time::SimTime, bool)> = result
+            .tasks
+            .iter()
+            .filter_map(|t| t.map_locality().map(|l| (t.assigned_at, l == MapLocality::Degraded)))
+            .collect();
+        let total_degraded = assigns.iter().filter(|&&(_, d)| d).count();
+        if total_degraded == 0 {
+            return Ok(());
+        }
+        // Degraded-before-normal within a tie matches the algorithm's
+        // order (the degraded check runs before the locality pass).
+        assigns.sort_by_key(|&(t, degraded)| (t, !degraded));
+        let mut launched = 0usize;
+        let mut launched_degraded = 0usize;
+        for (_, degraded) in assigns {
+            if degraded {
+                // m/M >= m_d/M_d at decision time (cross-multiplied).
+                prop_assert!(
+                    launched * total_degraded >= launched_degraded * total_maps,
+                    "pacing violated: m={launched}/{total_maps}, m_d={launched_degraded}/{total_degraded}"
+                );
+                launched_degraded += 1;
+            }
+            launched += 1;
+        }
+    }
+
+    #[test]
+    fn normal_mode_reduces_to_locality_first(cfg in config()) {
+        let lf = run(&cfg, Box::new(LocalityFirst::new()), FailureScenario::none());
+        let bdf = run(&cfg, Box::new(DegradedFirst::basic()), FailureScenario::none());
+        let edf = run(&cfg, Box::new(DegradedFirst::enhanced()), FailureScenario::none());
+        prop_assert_eq!(&lf, &bdf, "BDF diverged from LF in normal mode");
+        prop_assert_eq!(&lf, &edf, "EDF diverged from LF in normal mode");
+    }
+
+    #[test]
+    fn every_policy_completes_all_tasks(cfg in config()) {
+        for policy in [
+            Box::new(LocalityFirst::new()) as Box<dyn MapScheduler>,
+            Box::new(DegradedFirst::basic()),
+            Box::new(DegradedFirst::enhanced()),
+            Box::new(DegradedFirst::with_heuristics(true, false)),
+            Box::new(DegradedFirst::with_heuristics(false, true)),
+        ] {
+            let result = run(
+                &cfg,
+                policy,
+                FailureScenario::nodes([cluster::NodeId(cfg.fail_node as u32)]),
+            );
+            prop_assert_eq!(result.tasks.len(), cfg.stripes * 2);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The event calendar: a priority queue of timestamped events with
+//! deterministic tie-breaking and cancellation.
+//!
+//! Events that share a timestamp are delivered in the order they were
+//! scheduled (FIFO), which makes simulation runs reproducible. Cancellation
+//! is lazy: cancelled entries stay in the heap and are skipped on pop, so
+//! both `schedule` and `cancel` are O(log n) amortized.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifies a scheduled event so it can later be [cancelled].
+///
+/// Ids are unique within one [`Calendar`] and never reused.
+///
+/// [cancelled]: Calendar::cancel
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number, mainly useful for logging.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Entry<E> {
+    time: SimTime,
+    id: EventId,
+    payload: E,
+}
+
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ordered by time, then by schedule order. Payload never
+        // participates in ordering.
+        (self.time, self.id).cmp(&(other.time, other.id))
+    }
+}
+
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event calendar.
+///
+/// # Example
+///
+/// ```
+/// use simkit::calendar::Calendar;
+/// use simkit::time::SimTime;
+///
+/// let mut cal = Calendar::new();
+/// let a = cal.schedule(SimTime::from_secs(5), "a");
+/// let _b = cal.schedule(SimTime::from_secs(5), "b");
+/// cal.cancel(a);
+/// let (_, _, payload) = cal.pop().unwrap();
+/// assert_eq!(payload, "b");
+/// assert!(cal.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Ids currently in the heap and not cancelled.
+    pending: HashSet<EventId>,
+    next_id: u64,
+}
+
+impl<E: Eq> Calendar<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Schedules `payload` for delivery at `time` and returns a handle
+    /// that can cancel it.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.pending.insert(id);
+        self.heap.push(Reverse(Entry { time, id, payload }));
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancellation is lazy: the entry stays in the heap and is skipped
+    /// when reached. Returns `true` if the event was still pending,
+    /// `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.pending.remove(&entry.id) {
+                return Some((entry.time, entry.id, entry.payload));
+            }
+        }
+        None
+    }
+
+    /// The timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.pending.contains(&entry.id) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl<E: Eq> Default for Calendar<E> {
+    fn default() -> Self {
+        Calendar::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(3), 3u32);
+        cal.schedule(SimTime::from_secs(1), 1);
+        cal.schedule(SimTime::from_secs(2), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_tie_breaking() {
+        let mut cal = Calendar::new();
+        for i in 0..100u32 {
+            cal.schedule(SimTime::from_secs(7), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(SimTime::from_secs(1), "a");
+        let b = cal.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(cal.len(), 2);
+        assert!(cal.cancel(a));
+        assert!(!cal.cancel(a), "double cancel must be a no-op");
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop().unwrap().2, "b");
+        assert!(!cal.cancel(b), "cancelling a fired event must fail");
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut cal: Calendar<()> = Calendar::new();
+        assert!(!cal.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(SimTime::from_secs(1), "a");
+        cal.schedule(SimTime::from_secs(2), "b");
+        cal.cancel(a);
+        assert_eq!(cal.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(cal.pop().unwrap().2, "b");
+        assert_eq!(cal.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut cal = Calendar::new();
+        let mut now = SimTime::ZERO;
+        cal.schedule(now + SimDuration::from_secs(1), 1u32);
+        let mut seen = Vec::new();
+        while let Some((t, _, p)) = cal.pop() {
+            assert!(t >= now, "time went backwards");
+            now = t;
+            seen.push(p);
+            if p < 5 {
+                cal.schedule(now + SimDuration::from_secs(1), p + 1);
+            }
+        }
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn large_volume_is_sorted() {
+        // Deterministic pseudo-random insertion order.
+        let mut cal = Calendar::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for i in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            cal.schedule(SimTime::from_micros(x % 1_000_000), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _, _)) = cal.pop() {
+            assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
+    }
+}

@@ -1,0 +1,41 @@
+//! `simkit` — a small, deterministic discrete event simulation toolkit.
+//!
+//! This crate provides the substrate on which the MapReduce simulator of the
+//! degraded-first scheduling reproduction is built:
+//!
+//! * [`time::SimTime`] / [`time::SimDuration`] — integer-microsecond
+//!   simulated time, so event ordering is exact and runs replay
+//!   bit-identically for a given seed;
+//! * [`calendar::Calendar`] — an event calendar (priority queue) with
+//!   deterministic FIFO tie-breaking and O(log n) cancellation;
+//! * [`rng::SimRng`] — a seeded random source with the distributions the
+//!   paper uses (truncated normal task times, exponential job inter-arrivals);
+//! * [`stats`] — online statistics, percentiles and the boxplot summaries
+//!   used by every figure in the paper's evaluation;
+//! * [`report`] — fixed-width table rendering for the figure/table
+//!   regeneration binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::calendar::Calendar;
+//! use simkit::time::{SimTime, SimDuration};
+//!
+//! let mut cal: Calendar<&str> = Calendar::new();
+//! cal.schedule(SimTime::ZERO + SimDuration::from_secs(3), "heartbeat");
+//! cal.schedule(SimTime::ZERO + SimDuration::from_secs(1), "flow done");
+//! let (t, _, what) = cal.pop().unwrap();
+//! assert_eq!(what, "flow done");
+//! assert_eq!(t, SimTime::from_secs(1));
+//! ```
+
+pub mod calendar;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use calendar::{Calendar, EventId};
+pub use rng::SimRng;
+pub use stats::{Boxplot, OnlineStats, Summary};
+pub use time::{SimDuration, SimTime};

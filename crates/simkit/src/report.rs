@@ -1,0 +1,171 @@
+//! Fixed-width table rendering for the figure/table regeneration binaries.
+//!
+//! Every experiment binary in `crates/bench` prints its rows through a
+//! [`Table`], so all reproduced figures share one textual format:
+//!
+//! ```text
+//! | scheme   | LF median | EDF median | reduction |
+//! |----------|-----------|------------|-----------|
+//! | (8,6)    |     1.523 |      1.258 |     17.4% |
+//! ```
+
+use std::fmt::Write as _;
+
+/// A simple left/right-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use simkit::report::Table;
+/// let mut t = Table::new(&["k", "v"]);
+/// t.row(&["a".to_string(), "1".to_string()]);
+/// let s = t.render();
+/// assert!(s.contains("| a | 1 |"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as markdown-style text. The first column is
+    /// left-aligned; remaining columns are right-aligned (they are almost
+    /// always numbers).
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, " {:<width$} |", cell, width = widths[0]);
+                } else {
+                    let _ = write!(out, " {:>width$} |", cell, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        out.push('|');
+        for w in &widths[..ncols] {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders and prints to stdout with a title line.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.27` →
+/// `"27.0%"`. Used for the paper's "reduction of normalized runtime"
+/// figures.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a float with three decimals, the precision used for normalized
+/// runtimes throughout the reproduction.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// The relative reduction from `base` to `improved`, e.g.
+/// `reduction(40.0, 30.0) == 0.25` (the motivating example's 25% saving).
+///
+/// # Panics
+///
+/// Panics if `base` is not positive.
+pub fn reduction(base: f64, improved: f64) -> f64 {
+    assert!(base > 0.0, "reduction over non-positive base");
+    (base - improved) / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(&["scheme", "LF", "EDF"]);
+        t.row(&["(8,6)".into(), "1.5".into(), "1.2".into()]);
+        t.row(&["(20,15)".into(), "1.9".into(), "1.3".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines[0].contains("scheme"));
+        assert!(lines[2].contains("(8,6)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pct(0.254), "25.4%");
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(reduction(40.0, 30.0), 0.25);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! Seeded randomness and the distributions the paper's evaluation uses.
+//!
+//! Everything random in a simulation run flows through one [`SimRng`]
+//! seeded from the experiment seed, so a run is a pure function of its
+//! configuration. The paper samples map/reduce task processing times from
+//! normal distributions (e.g. N(20 s, 1 s) for map tasks in Section V-B)
+//! and multi-job inter-arrival times from an exponential distribution with
+//! mean 120 s.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random source for one simulation run.
+///
+/// # Example
+///
+/// ```
+/// use simkit::rng::SimRng;
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second sample from Box–Muller.
+    gauss_spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each
+    /// subsystem (placement, task times, arrivals) its own stream so that
+    /// adding draws to one subsystem does not perturb another.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let seed = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        SimRng::seed_from_u64(seed)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform value in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A standard normal sample via Box–Muller (avoids a dependency on
+    /// `rand_distr`, which is outside the allowed crate set).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        loop {
+            let u1: f64 = self.inner.gen::<f64>();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2: f64 = self.inner.gen::<f64>();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.gauss_spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// A normal task duration truncated below at `floor` (the simulator
+    /// never produces non-positive processing times).
+    pub fn normal_duration(
+        &mut self,
+        mean: SimDuration,
+        std_dev: SimDuration,
+        floor: SimDuration,
+    ) -> SimDuration {
+        let sample = self.normal(mean.as_secs_f64(), std_dev.as_secs_f64());
+        let clamped = sample.max(floor.as_secs_f64());
+        SimDuration::from_secs_f64(clamped)
+    }
+
+    /// An exponential sample with the given mean, via inverse CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = loop {
+            let u = self.inner.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// An exponential inter-arrival duration with the given mean.
+    pub fn exponential_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.exponential(mean.as_secs_f64()))
+    }
+
+    /// Chooses `k` distinct elements of `items` uniformly at random,
+    /// preserving no particular order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > items.len()`.
+    pub fn choose_k<T: Clone>(&mut self, items: &[T], k: usize) -> Vec<T> {
+        assert!(k <= items.len(), "choose_k: k={} > len={}", k, items.len());
+        let mut idx: Vec<usize> = (0..items.len()).collect();
+        idx.shuffle(&mut self.inner);
+        idx.truncate(k);
+        idx.into_iter().map(|i| items[i].clone()).collect()
+    }
+
+    /// Shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        items.shuffle(&mut self.inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::seed_from_u64(1234);
+        let mut b = SimRng::seed_from_u64(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::seed_from_u64(1235);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        let mut fa = a.fork(1);
+        let mut fb = b.fork(1);
+        assert_eq!(fa.next_u64(), fb.next_u64());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(20.0, 1.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 20.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(120.0)).sum::<f64>() / n as f64;
+        assert!((mean - 120.0).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_duration_truncates() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let floor = SimDuration::from_secs(1);
+        for _ in 0..10_000 {
+            // Wide std-dev so untruncated samples would often be negative.
+            let d = rng.normal_duration(SimDuration::from_secs(2), SimDuration::from_secs(10), floor);
+            assert!(d >= floor);
+        }
+    }
+
+    #[test]
+    fn choose_k_is_distinct_subset() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let items: Vec<u32> = (0..20).collect();
+        for k in 0..=items.len() {
+            let mut chosen = rng.choose_k(&items, k);
+            chosen.sort_unstable();
+            chosen.dedup();
+            assert_eq!(chosen.len(), k, "k={k} produced duplicates");
+            assert!(chosen.iter().all(|c| items.contains(c)));
+        }
+    }
+
+    #[test]
+    fn choose_k_covers_all_elements_eventually() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let items: Vec<u32> = (0..10).collect();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            for v in rng.choose_k(&items, 3) {
+                seen.insert(v);
+            }
+        }
+        assert_eq!(seen.len(), items.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "choose_k")]
+    fn choose_k_rejects_oversized_k() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let _ = rng.choose_k(&[1, 2, 3], 4);
+    }
+}

@@ -1,0 +1,389 @@
+//! Statistics helpers used by every experiment: online moments, quantiles,
+//! and the five-number boxplot summaries the paper plots in Figures 7–9.
+
+use std::fmt;
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use simkit::stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.min(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample mean, or 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// The sample variance (n−1 denominator), or 0 with fewer than two
+    /// observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// The sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// The smallest observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observations have been added.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of empty stats");
+        self.min
+    }
+
+    /// The largest observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observations have been added.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of empty stats");
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A batch summary of a sample: count, mean, standard deviation and the
+/// quartiles. Produced by [`Summary::from_samples`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Lower quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Upper quartile (75th percentile).
+    pub q3: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "summary of empty sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let stats: OnlineStats = sorted.iter().copied().collect();
+        Summary {
+            count: sorted.len(),
+            mean: stats.mean(),
+            std_dev: stats.std_dev(),
+            min: sorted[0],
+            q1: percentile_sorted(&sorted, 0.25),
+            median: percentile_sorted(&sorted, 0.50),
+            q3: percentile_sorted(&sorted, 0.75),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} q1={:.3} med={:.3} q3={:.3} max={:.3}",
+            self.count, self.mean, self.std_dev, self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// The boxplot rendering of a sample: five-number summary with whiskers at
+/// 1.5·IQR and everything beyond flagged as outliers — the format of
+/// Figures 7 and 8 in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Boxplot {
+    /// Lower whisker: smallest sample ≥ Q1 − 1.5·IQR.
+    pub whisker_low: f64,
+    /// Lower quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile.
+    pub q3: f64,
+    /// Upper whisker: largest sample ≤ Q3 + 1.5·IQR.
+    pub whisker_high: f64,
+    /// Samples outside the whiskers.
+    pub outliers: Vec<f64>,
+    /// Sample mean (the paper quotes mean reductions in the text).
+    pub mean: f64,
+}
+
+impl Boxplot {
+    /// Builds a boxplot summary of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn from_samples(samples: &[f64]) -> Boxplot {
+        let s = Summary::from_samples(samples);
+        let iqr = s.q3 - s.q1;
+        let lo_fence = s.q1 - 1.5 * iqr;
+        let hi_fence = s.q3 + 1.5 * iqr;
+        let mut whisker_low = f64::INFINITY;
+        let mut whisker_high = f64::NEG_INFINITY;
+        let mut outliers = Vec::new();
+        for &x in samples {
+            if x < lo_fence || x > hi_fence {
+                outliers.push(x);
+            } else {
+                whisker_low = whisker_low.min(x);
+                whisker_high = whisker_high.max(x);
+            }
+        }
+        outliers.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        Boxplot {
+            whisker_low,
+            q1: s.q1,
+            median: s.median,
+            q3: s.q3,
+            whisker_high,
+            outliers,
+            mean: s.mean,
+        }
+    }
+}
+
+impl fmt::Display for Boxplot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3} |{:.3} {:.3} {:.3}| {:.3}] mean={:.3} outliers={}",
+            self.whisker_low,
+            self.q1,
+            self.median,
+            self.q3,
+            self.whisker_high,
+            self.mean,
+            self.outliers.len()
+        )
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted slice.
+///
+/// `p` is a fraction in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "percentile fraction {p}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let s: OnlineStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let seq: OnlineStats = xs.iter().copied().collect();
+        let mut a: OnlineStats = xs[..37].iter().copied().collect();
+        let b: OnlineStats = xs[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-10);
+        assert!((a.variance() - seq.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 0.5), 3.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 0.25), 2.0);
+        assert_eq!(percentile_sorted(&sorted, 0.1), 1.4);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile_sorted(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn boxplot_flags_outliers() {
+        let mut xs: Vec<f64> = (0..20).map(|i| 9.0 + 0.1 * i as f64).collect();
+        xs.push(100.0); // way outside the fences
+        let b = Boxplot::from_samples(&xs);
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_high <= 10.9 + 1e-9);
+        // 21 samples: the median is the 11th sorted value, 9.0 + 0.1*10.
+        assert!((b.median - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boxplot_no_outliers() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b = Boxplot::from_samples(&xs);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_low, 0.0);
+        assert_eq!(b.whisker_high, 29.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let b = Boxplot::from_samples(&[1.0, 2.0, 3.0]);
+        assert!(!b.to_string().is_empty());
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        assert!(s.to_string().contains("mean"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the simulation core: calendar ordering,
+//! time arithmetic, and statistics invariants.
+
+use proptest::prelude::*;
+use simkit::calendar::Calendar;
+use simkit::stats::{percentile_sorted, Boxplot, OnlineStats, Summary};
+use simkit::time::{SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn calendar_pops_sorted_and_complete(times in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_micros(t), i);
+        }
+        prop_assert_eq!(cal.len(), times.len());
+        let mut popped = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some((t, _, payload)) = cal.pop() {
+            prop_assert!(t >= last, "time went backwards");
+            last = t;
+            popped.push(payload);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn calendar_ties_resolve_fifo(count in 1usize..100) {
+        let mut cal = Calendar::new();
+        for i in 0..count {
+            cal.schedule(SimTime::from_secs(42), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| cal.pop().map(|(_, _, p)| p)).collect();
+        prop_assert_eq!(order, (0..count).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn calendar_cancellation_removes_exactly_the_cancelled(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut cal = Calendar::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, cal.schedule(SimTime::from_micros(t), i)))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in &ids {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                prop_assert!(cal.cancel(*id));
+            } else {
+                kept.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> =
+            std::iter::from_fn(|| cal.pop().map(|(_, _, p)| p)).collect();
+        popped.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(popped, kept);
+    }
+
+    #[test]
+    fn time_arithmetic_round_trips(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let t = SimTime::from_micros(a);
+        let d = SimDuration::from_micros(b);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d).duration_since(t), d);
+        prop_assert_eq!(SimDuration::from_micros(a).as_micros(), a);
+    }
+
+    #[test]
+    fn transfer_time_is_monotone(bytes in 1u64..1_000_000_000, bw in 1u64..10_000_000_000) {
+        let d1 = SimDuration::for_transfer(bytes, bw);
+        let d2 = SimDuration::for_transfer(bytes * 2, bw);
+        prop_assert!(d2 >= d1, "more bytes should not be faster");
+        if bw > 1 {
+            let d3 = SimDuration::for_transfer(bytes, bw / 2 + 1);
+            prop_assert!(d3 >= d1, "less bandwidth should not be faster");
+        }
+        // Never rounds to zero for nonzero payloads.
+        prop_assert!(d1.as_micros() >= 1);
+    }
+
+    #[test]
+    fn online_stats_match_batch(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let online: OnlineStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((online.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert_eq!(online.count(), xs.len() as u64);
+        prop_assert_eq!(online.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(online.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn merge_equals_sequential(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(xs.len());
+        let seq: OnlineStats = xs.iter().copied().collect();
+        let mut a: OnlineStats = xs[..split].iter().copied().collect();
+        let b: OnlineStats = xs[split..].iter().copied().collect();
+        a.merge(&b);
+        prop_assert_eq!(a.count(), seq.count());
+        prop_assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - seq.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_quartiles_are_ordered(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::from_samples(&xs);
+        prop_assert!(s.min <= s.q1);
+        prop_assert!(s.q1 <= s.median);
+        prop_assert!(s.median <= s.q3);
+        prop_assert!(s.q3 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn boxplot_partitions_samples(xs in proptest::collection::vec(-1e3f64..1e3, 4..100)) {
+        let b = Boxplot::from_samples(&xs);
+        // Outliers plus in-fence samples cover everything.
+        let in_fence = xs
+            .iter()
+            .filter(|&&x| x >= b.whisker_low && x <= b.whisker_high)
+            .count();
+        prop_assert_eq!(in_fence + b.outliers.len(), xs.len());
+        // Whiskers are real samples.
+        prop_assert!(xs.contains(&b.whisker_low));
+        prop_assert!(xs.contains(&b.whisker_high));
+    }
+
+    #[test]
+    fn percentiles_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100), p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile_sorted(&sorted, lo) <= percentile_sorted(&sorted, hi));
+    }
+}

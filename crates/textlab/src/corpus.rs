@@ -1,0 +1,186 @@
+//! Deterministic synthetic English-like text — the Project Gutenberg
+//! substitute (see DESIGN.md's substitution table).
+//!
+//! The generator produces newline-terminated sentences drawn from a
+//! fixed vocabulary with a Zipf-flavoured distribution, so WordCount
+//! sees realistic head/tail word frequencies, Grep has a predictable
+//! match rate, and LineCount sees mostly-unique lines with occasional
+//! repeats.
+
+use simkit::SimRng;
+
+/// The fixed vocabulary; ordered roughly by intended frequency.
+const VOCABULARY: &[&str] = &[
+    "the", "of", "and", "to", "a", "in", "that", "was", "he", "it", "his", "is", "with", "as",
+    "for", "had", "you", "not", "be", "her", "on", "at", "by", "which", "have", "or", "from",
+    "this", "him", "but", "all", "she", "they", "were", "my", "are", "me", "one", "their", "so",
+    "an", "said", "them", "we", "who", "would", "been", "will", "no", "when", "there", "if",
+    "more", "out", "up", "into", "do", "any", "your", "what", "has", "man", "could", "other",
+    "than", "our", "some", "very", "time", "upon", "about", "may", "its", "only", "now", "like",
+    "little", "then", "can", "made", "should", "did", "us", "such", "great", "before", "must",
+    "two", "these", "see", "know", "over", "much", "down", "after", "first", "mr", "good", "men",
+    "whale", "ship", "sea", "captain", "white", "boat", "water", "storm", "harpoon", "voyage",
+];
+
+/// Builds deterministic corpora.
+///
+/// # Example
+///
+/// ```
+/// use textlab::corpus::CorpusBuilder;
+/// let a = CorpusBuilder::new(1).lines(10).build();
+/// let b = CorpusBuilder::new(1).lines(10).build();
+/// assert_eq!(a, b);
+/// assert_eq!(a.iter().filter(|&&c| c == b'\n').count(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorpusBuilder {
+    seed: u64,
+    lines: usize,
+    words_per_line: (usize, usize),
+    repeat_line_every: usize,
+}
+
+impl CorpusBuilder {
+    /// Creates a builder with the given seed; defaults to 1000 lines of
+    /// 5–15 words, with every 50th line repeated verbatim (so LineCount
+    /// has duplicates to count).
+    pub fn new(seed: u64) -> CorpusBuilder {
+        CorpusBuilder {
+            seed,
+            lines: 1000,
+            words_per_line: (5, 15),
+            repeat_line_every: 50,
+        }
+    }
+
+    /// Sets the number of lines.
+    pub fn lines(mut self, lines: usize) -> CorpusBuilder {
+        self.lines = lines;
+        self
+    }
+
+    /// Sets the min/max words per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or exceeds `max`.
+    pub fn words_per_line(mut self, min: usize, max: usize) -> CorpusBuilder {
+        assert!(min > 0 && min <= max, "bad words-per-line range {min}..{max}");
+        self.words_per_line = (min, max);
+        self
+    }
+
+    /// Generates the corpus as newline-terminated UTF-8 bytes.
+    pub fn build(&self) -> Vec<u8> {
+        let mut rng = SimRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        let mut last_line: Vec<u8> = Vec::new();
+        for i in 0..self.lines {
+            if self.repeat_line_every > 0
+                && i > 0
+                && i % self.repeat_line_every == 0
+                && !last_line.is_empty()
+            {
+                out.extend_from_slice(&last_line);
+                out.push(b'\n');
+                continue;
+            }
+            let (min, max) = self.words_per_line;
+            let count = min + rng.below(max - min + 1);
+            let mut line = Vec::new();
+            for w in 0..count {
+                if w > 0 {
+                    line.push(b' ');
+                }
+                line.extend_from_slice(zipf_word(&mut rng).as_bytes());
+            }
+            out.extend_from_slice(&line);
+            out.push(b'\n');
+            last_line = line;
+        }
+        out
+    }
+}
+
+/// Draws a word with a Zipf-flavoured distribution: rank `r` has weight
+/// `1/(r+1)`, approximated by rejection-free inverse mapping on a squared
+/// uniform variate.
+fn zipf_word(rng: &mut SimRng) -> &'static str {
+    // u^2 concentrates mass near 0, i.e. near the head of the vocabulary.
+    let u = rng.uniform_f64();
+    let idx = ((u * u) * VOCABULARY.len() as f64) as usize;
+    VOCABULARY[idx.min(VOCABULARY.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = CorpusBuilder::new(5).lines(100).build();
+        let b = CorpusBuilder::new(5).lines(100).build();
+        let c = CorpusBuilder::new(6).lines(100).build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn line_count_matches() {
+        let text = CorpusBuilder::new(1).lines(250).build();
+        assert_eq!(text.iter().filter(|&&c| c == b'\n').count(), 250);
+        assert_eq!(*text.last().unwrap(), b'\n');
+    }
+
+    #[test]
+    fn words_come_from_vocabulary() {
+        let text = CorpusBuilder::new(2).lines(50).build();
+        let s = String::from_utf8(text).unwrap();
+        for word in s.split_whitespace() {
+            assert!(VOCABULARY.contains(&word), "unknown word {word}");
+        }
+    }
+
+    #[test]
+    fn frequency_is_head_heavy() {
+        let text = CorpusBuilder::new(3).lines(2000).build();
+        let s = String::from_utf8(text).unwrap();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for w in s.split_whitespace() {
+            *counts.entry(w).or_default() += 1;
+        }
+        // "the" (rank 0) should dominate a tail word.
+        let head = counts.get("the").copied().unwrap_or(0);
+        let tail = counts.get("voyage").copied().unwrap_or(0);
+        assert!(head > tail * 3, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn repeated_lines_exist() {
+        let text = CorpusBuilder::new(4).lines(500).build();
+        let s = String::from_utf8(text).unwrap();
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for line in s.lines() {
+            *seen.entry(line).or_default() += 1;
+        }
+        assert!(seen.values().any(|&c| c > 1), "no duplicate lines generated");
+    }
+
+    #[test]
+    fn word_range_respected() {
+        let text = CorpusBuilder::new(7).lines(100).words_per_line(3, 4).build();
+        let s = String::from_utf8(text).unwrap();
+        for line in s.lines() {
+            let n = line.split_whitespace().count();
+            assert!((3..=4).contains(&n), "line with {n} words");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad words-per-line")]
+    fn rejects_bad_range() {
+        let _ = CorpusBuilder::new(0).words_per_line(0, 5);
+    }
+}

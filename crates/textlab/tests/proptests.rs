@@ -1,0 +1,112 @@
+//! Property-based tests for the real-bytes data path: Hadoop-style
+//! record splitting must be exact for arbitrary corpora and block sizes,
+//! in both healthy and failure mode.
+
+use cluster::{NodeId, Topology};
+use erasure::CodeParams;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use textlab::{run_job, Grep, LineCount, MiniGrid, TextJob, WordCount};
+
+fn corpus() -> impl Strategy<Value = Vec<u8>> {
+    // Arbitrary printable-ish text with whitespace and newlines,
+    // including empty lines, no trailing-newline cases, and long words.
+    proptest::collection::vec(
+        prop_oneof![
+            8 => prop_oneof![Just(b'a'), Just(b'b'), Just(b'w'), Just(b'z')],
+            2 => Just(b' '),
+            1 => Just(b'\n'),
+        ],
+        1..2000,
+    )
+}
+
+fn oracle_wordcount(text: &[u8]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for line in String::from_utf8_lossy(text).lines() {
+        for w in line.split_whitespace() {
+            *counts.entry(w.to_string()).or_default() += 1;
+        }
+    }
+    counts
+}
+
+fn oracle_linecount(text: &[u8]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for line in String::from_utf8_lossy(text).lines() {
+        *counts.entry(line.to_string()).or_default() += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn block_splitting_never_corrupts_records(
+        text in corpus(),
+        block_size in 1usize..128,
+        fail in proptest::option::of(0u32..6),
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::homogeneous(2, 3, 2, 1);
+        let mut grid = MiniGrid::new(
+            topo,
+            CodeParams::new(4, 2).unwrap(),
+            block_size,
+            &text,
+            seed,
+        )
+        .unwrap();
+        if let Some(f) = fail {
+            grid.fail_node(NodeId(f));
+        }
+        let wc = run_job(&mut grid, &WordCount).unwrap();
+        prop_assert_eq!(wc.results, oracle_wordcount(&text));
+        let lc = run_job(&mut grid, &LineCount).unwrap();
+        prop_assert_eq!(lc.results, oracle_linecount(&text));
+    }
+
+    #[test]
+    fn grep_agrees_with_linewise_oracle(
+        text in corpus(),
+        block_size in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let needle = "w";
+        let topo = Topology::homogeneous(2, 3, 2, 1);
+        let mut grid = MiniGrid::new(
+            topo,
+            CodeParams::new(4, 2).unwrap(),
+            block_size,
+            &text,
+            seed,
+        )
+        .unwrap();
+        grid.fail_node(NodeId(1));
+        let out = run_job(&mut grid, &Grep::new(needle)).unwrap();
+        let oracle: u64 = String::from_utf8_lossy(&text)
+            .lines()
+            .filter(|l| l.contains(needle))
+            .count() as u64;
+        prop_assert_eq!(out.total(), oracle);
+    }
+
+    #[test]
+    fn map_line_is_pure(line in "[a-z ]{0,40}") {
+        // The same line always emits the same pairs, for every job.
+        let jobs: Vec<Box<dyn TextJob>> = vec![
+            Box::new(WordCount),
+            Box::new(LineCount),
+            Box::new(Grep::new("a")),
+        ];
+        for job in &jobs {
+            let collect = || {
+                let mut out = Vec::new();
+                job.map_line(&line, &mut |k, v| out.push((k, v)));
+                out
+            };
+            prop_assert_eq!(collect(), collect());
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! `workloads` — job generators for the paper's experiments.
+//!
+//! * [`simulation_default_job`] — the Section V-B simulated job: map
+//!   times N(20 s, 1 s), reduce times N(30 s, 2 s), 30 reducers,
+//!   1% shuffle.
+//! * [`TestbedWorkload`] — the three I/O-heavy testbed jobs of
+//!   Section VI (WordCount, Grep, LineCount) with task-time
+//!   distributions calibrated from Table I's LF column (we do not have
+//!   the authors' hardware; see DESIGN.md for the substitution note).
+//! * [`multi_job_workload`] — the multi-job arrival process of
+//!   Figure 7(f): `n` jobs with exponential inter-arrival times
+//!   (mean 120 s) and randomized reducer counts / shuffle volumes.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::SimRng;
+//! use workloads::{multi_job_workload, simulation_default_job};
+//!
+//! let job = simulation_default_job();
+//! assert_eq!(job.num_reduce_tasks, 30);
+//!
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let jobs = multi_job_workload(&mut rng, 10, 120.0);
+//! assert_eq!(jobs.len(), 10);
+//! assert!(jobs.windows(2).all(|w| w[0].submit_at <= w[1].submit_at));
+//! ```
+
+use mapreduce::job::JobSpec;
+use simkit::time::{SimDuration, SimTime};
+use simkit::SimRng;
+
+/// The Section V-B simulated job (map N(20 s, 1 s), reduce N(30 s, 2 s),
+/// 30 reducers, 1% shuffle).
+pub fn simulation_default_job() -> JobSpec {
+    JobSpec::builder("sim-default").build()
+}
+
+/// A map-only variant of the simulated job, used by the analysis
+/// cross-check and the extreme-case experiment of Figure 8(d).
+pub fn map_only_job(map_secs: f64) -> JobSpec {
+    JobSpec::builder("map-only")
+        .map_time(SimDuration::from_secs_f64(map_secs), SimDuration::ZERO)
+        .map_only()
+        .build()
+}
+
+/// The three I/O-heavy MapReduce jobs run on the paper's 13-node Hadoop
+/// testbed (Section VI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TestbedWorkload {
+    /// Counts word occurrences; moderate shuffle volume.
+    WordCount,
+    /// Emits lines matching a word; the lightest maps and shuffle.
+    Grep,
+    /// Counts line occurrences; "shuffles more lines than Grep".
+    LineCount,
+}
+
+impl TestbedWorkload {
+    /// All three workloads, in the paper's order.
+    pub const ALL: [TestbedWorkload; 3] = [
+        TestbedWorkload::WordCount,
+        TestbedWorkload::Grep,
+        TestbedWorkload::LineCount,
+    ];
+
+    /// The workload name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            TestbedWorkload::WordCount => "WordCount",
+            TestbedWorkload::Grep => "Grep",
+            TestbedWorkload::LineCount => "LineCount",
+        }
+    }
+
+    /// The job spec calibrated from Table I: map means near the paper's
+    /// normal-map runtimes (30.9 s / 11.7 s / 35.9 s), eight reducers,
+    /// and shuffle volumes ordered Grep < WordCount < LineCount.
+    pub fn job(self) -> JobSpec {
+        let (map_mean, map_std, reduce_mean, reduce_std, shuffle) = match self {
+            TestbedWorkload::WordCount => (30.0, 2.0, 60.0, 4.0, 0.10),
+            TestbedWorkload::Grep => (11.0, 1.0, 40.0, 3.0, 0.02),
+            TestbedWorkload::LineCount => (35.0, 2.0, 65.0, 4.0, 0.15),
+        };
+        JobSpec::builder(self.name())
+            .map_time(
+                SimDuration::from_secs_f64(map_mean),
+                SimDuration::from_secs_f64(map_std),
+            )
+            .reduce_time(
+                SimDuration::from_secs_f64(reduce_mean),
+                SimDuration::from_secs_f64(reduce_std),
+            )
+            .reduce_tasks(8)
+            .shuffle_ratio(shuffle)
+            .build()
+    }
+}
+
+/// Generates `count` jobs with exponential inter-arrival times of the
+/// given mean (seconds), as in Figure 7(f). Jobs vary in reducer count
+/// (20–40) and shuffle ratio (1%–10%), cycling the base task-time
+/// distributions of [`simulation_default_job`].
+///
+/// # Panics
+///
+/// Panics if `count` is zero or the mean is not positive.
+pub fn multi_job_workload(rng: &mut SimRng, count: usize, mean_interarrival_secs: f64) -> Vec<JobSpec> {
+    assert!(count > 0, "no jobs requested");
+    assert!(
+        mean_interarrival_secs > 0.0,
+        "inter-arrival mean must be positive"
+    );
+    let mut jobs = Vec::with_capacity(count);
+    let mut at = SimTime::ZERO;
+    for i in 0..count {
+        if i > 0 {
+            at = at + rng.exponential_duration(SimDuration::from_secs_f64(mean_interarrival_secs));
+        }
+        let reduce_tasks = 20 + rng.below(21); // 20..=40
+        let shuffle = 0.01 + rng.uniform_f64() * 0.09; // 1%..10%
+        jobs.push(
+            JobSpec::builder(&format!("job{i}"))
+                .reduce_tasks(reduce_tasks)
+                .shuffle_ratio(shuffle)
+                .submit_at(at)
+                .build(),
+        );
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_default_matches_section5() {
+        let j = simulation_default_job();
+        assert_eq!(j.map_time_mean, SimDuration::from_secs(20));
+        assert_eq!(j.reduce_time_mean, SimDuration::from_secs(30));
+        assert_eq!(j.num_reduce_tasks, 30);
+        assert!((j.shuffle_ratio - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_only_has_no_reducers() {
+        let j = map_only_job(3.0);
+        assert!(j.is_map_only());
+        assert_eq!(j.map_time_mean, SimDuration::from_secs(3));
+        assert_eq!(j.map_time_std, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn testbed_jobs_are_ordered_like_table1() {
+        let wc = TestbedWorkload::WordCount.job();
+        let grep = TestbedWorkload::Grep.job();
+        let lc = TestbedWorkload::LineCount.job();
+        // Map times: Grep < WordCount < LineCount (Table I: 11.7/30.9/35.9).
+        assert!(grep.map_time_mean < wc.map_time_mean);
+        assert!(wc.map_time_mean < lc.map_time_mean);
+        // Shuffle volumes: Grep < WordCount < LineCount (Section VI).
+        assert!(grep.shuffle_ratio < wc.shuffle_ratio);
+        assert!(wc.shuffle_ratio < lc.shuffle_ratio);
+        // Eight reducers each.
+        for j in [&wc, &grep, &lc] {
+            assert_eq!(j.num_reduce_tasks, 8);
+        }
+        assert_eq!(TestbedWorkload::ALL.len(), 3);
+        assert_eq!(TestbedWorkload::Grep.name(), "Grep");
+    }
+
+    #[test]
+    fn multi_job_interarrivals_are_exponential_ish() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let jobs = multi_job_workload(&mut rng, 500, 120.0);
+        assert_eq!(jobs[0].submit_at, SimTime::ZERO);
+        let gaps: Vec<f64> = jobs
+            .windows(2)
+            .map(|w| w[1].submit_at.as_secs_f64() - w[0].submit_at.as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 120.0).abs() < 15.0, "mean gap {mean}");
+        assert!(gaps.iter().all(|&g| g >= 0.0));
+    }
+
+    #[test]
+    fn multi_job_varies_parameters() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let jobs = multi_job_workload(&mut rng, 10, 120.0);
+        let reducers: std::collections::HashSet<usize> =
+            jobs.iter().map(|j| j.num_reduce_tasks).collect();
+        assert!(reducers.len() > 1, "reducer counts should vary");
+        assert!(jobs.iter().all(|j| (20..=40).contains(&j.num_reduce_tasks)));
+        assert!(jobs.iter().all(|j| (0.01..=0.10).contains(&j.shuffle_ratio)));
+    }
+
+    #[test]
+    fn multi_job_deterministic_per_seed() {
+        let a = multi_job_workload(&mut SimRng::seed_from_u64(1), 10, 120.0);
+        let b = multi_job_workload(&mut SimRng::seed_from_u64(1), 10, 120.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no jobs requested")]
+    fn rejects_zero_jobs() {
+        let _ = multi_job_workload(&mut SimRng::seed_from_u64(0), 0, 120.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Multiple MapReduce jobs on a FIFO queue with Poisson arrivals, as in
+//! the paper's Figure 7(f): per-job normalized runtimes under LF vs EDF
+//! while one node is failed.
+//!
+//! ```sh
+//! cargo run --release -p dfs --example multi_job_cluster
+//! ```
+
+use dfs::experiment::Policy;
+use dfs::presets;
+use dfs::simkit::report::{f3, pct, reduction, Table};
+use dfs::simkit::SimRng;
+use dfs::workloads::multi_job_workload;
+
+fn main() {
+    // Scale the default cluster down to keep the example fast: 5 jobs,
+    // fewer blocks. `cargo run -p bench --bin fig7_multijob` runs the
+    // paper-size version (10 jobs, 1440 blocks).
+    let mut exp = presets::simulation_default();
+    exp.num_blocks = 720;
+    let mut rng = SimRng::seed_from_u64(99);
+    exp.jobs = multi_job_workload(&mut rng, 5, 120.0);
+
+    let seed = 3;
+    println!("failure: {}", exp.failure_for_seed(seed));
+    let lf = exp
+        .normalized_runtimes(Policy::LocalityFirst, seed)
+        .expect("LF run");
+    let edf = exp
+        .normalized_runtimes(Policy::EnhancedDegradedFirst, seed)
+        .expect("EDF run");
+
+    let mut table = Table::new(&["job", "arrives (s)", "LF norm.", "EDF norm.", "reduction"]);
+    for (i, job) in exp.jobs.iter().enumerate() {
+        table.row(&[
+            job.name.clone(),
+            format!("{:.0}", job.submit_at.as_secs_f64()),
+            f3(lf[i]),
+            f3(edf[i]),
+            pct(reduction(lf[i], edf[i])),
+        ]);
+    }
+    table.print("per-job normalized runtime, multi-job FIFO (cf. paper Fig. 7(f))");
+}

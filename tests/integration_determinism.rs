@@ -1,0 +1,70 @@
+//! Reproducibility: a run is a pure function of its configuration and
+//! seed, across repeats and across thread schedules.
+
+use dfs::experiment::Policy;
+use dfs::presets;
+use dfs::sweep::sweep_seeds;
+
+#[test]
+fn identical_seeds_reproduce_bit_identically() {
+    let exp = presets::small_default();
+    for policy in [Policy::LocalityFirst, Policy::EnhancedDegradedFirst] {
+        let a = exp.run(policy, 11).expect("a");
+        let b = exp.run(policy, 11).expect("b");
+        assert_eq!(a, b, "{} replay diverged", policy.name());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let exp = presets::small_default();
+    let a = exp.run(Policy::LocalityFirst, 1).expect("a");
+    let b = exp.run(Policy::LocalityFirst, 2).expect("b");
+    assert_ne!(a, b, "different seeds should vary placement/failure");
+}
+
+#[test]
+fn parallel_sweep_is_deterministic() {
+    let exp = presets::small_default();
+    let run = || {
+        sweep_seeds(6, |seed| {
+            exp.normalized_runtime(Policy::EnhancedDegradedFirst, seed).ok()
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.samples, b.samples, "thread scheduling leaked into results");
+}
+
+#[test]
+fn runs_across_threads_match_runs_in_sequence() {
+    let exp = presets::small_default();
+    let sequential: Vec<f64> = (0..4)
+        .map(|seed| {
+            exp.normalized_runtime(Policy::BasicDegradedFirst, seed)
+                .expect("seq run")
+        })
+        .collect();
+    let parallel = sweep_seeds(4, |seed| {
+        exp.normalized_runtime(Policy::BasicDegradedFirst, seed).ok()
+    });
+    assert_eq!(parallel.samples, sequential);
+}
+
+#[test]
+fn textlab_grid_is_deterministic() {
+    use dfs::cluster::{NodeId, Topology};
+    use dfs::erasure::CodeParams;
+    use dfs::textlab::{run_job, CorpusBuilder, MiniGrid, WordCount};
+
+    let text = CorpusBuilder::new(31).lines(1500).build();
+    let make = || {
+        let topo = Topology::homogeneous(2, 3, 2, 1);
+        let mut g = MiniGrid::new(topo, CodeParams::new(4, 2).unwrap(), 2048, &text, 9).unwrap();
+        g.fail_node(NodeId(1));
+        g
+    };
+    let a = run_job(&mut make(), &WordCount).unwrap();
+    let b = run_job(&mut make(), &WordCount).unwrap();
+    assert_eq!(a, b);
+}

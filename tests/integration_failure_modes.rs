@@ -1,0 +1,109 @@
+//! Failure-pattern integration: single-node, double-node and full-rack
+//! failures (the Figure 7(d) scenarios) through the whole stack.
+
+use dfs::experiment::{FailureSpec, Policy};
+use dfs::mapreduce::MapLocality;
+use dfs::presets;
+
+#[test]
+fn single_double_rack_failures_all_complete() {
+    let mut worst_runtime = 0.0f64;
+    let mut runtimes = Vec::new();
+    for failure in [
+        FailureSpec::RandomSingleNode,
+        FailureSpec::RandomDoubleNode,
+        FailureSpec::RandomRack,
+    ] {
+        let mut exp = presets::small_default();
+        exp.failure = failure.clone();
+        // Try a few seeds; random double/rack failures may destroy a
+        // stripe for some placements, which must surface as a clean
+        // error, not a bad run.
+        let mut completed = 0;
+        let mut norm_sum = 0.0;
+        for seed in 0..6 {
+            match exp.normalized_runtime(Policy::EnhancedDegradedFirst, seed) {
+                Ok(norm) => {
+                    assert!(norm >= 1.0, "{failure:?} seed {seed}: normalized {norm} < 1");
+                    completed += 1;
+                    norm_sum += norm;
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    assert!(
+                        msg.contains("unrecoverable"),
+                        "unexpected error for {failure:?} seed {seed}: {msg}"
+                    );
+                }
+            }
+        }
+        assert!(completed >= 3, "{failure:?}: only {completed} seeds completed");
+        let mean = norm_sum / completed as f64;
+        runtimes.push(mean);
+        worst_runtime = worst_runtime.max(mean);
+    }
+    // More failures => slower (paper Fig. 7(d) ordering), with slack for
+    // small-sample noise.
+    assert!(
+        runtimes[0] <= runtimes[2] * 1.1,
+        "single-node {:.3} should be <= rack {:.3}",
+        runtimes[0],
+        runtimes[2]
+    );
+}
+
+#[test]
+fn double_failure_doubles_degraded_work() {
+    let mut exp = presets::small_default();
+    exp.failure = FailureSpec::RandomSingleNode;
+    let single = exp.run(Policy::LocalityFirst, 1).expect("single");
+    exp.failure = FailureSpec::RandomDoubleNode;
+    // Find a seed whose double failure is recoverable.
+    let double = (0..10)
+        .find_map(|seed| exp.run(Policy::LocalityFirst, seed).ok())
+        .expect("some recoverable double failure");
+    assert!(
+        double.map_count(MapLocality::Degraded) > single.map_count(MapLocality::Degraded),
+        "double failure should lose more blocks"
+    );
+}
+
+#[test]
+fn rack_failure_reads_come_from_surviving_racks() {
+    let mut exp = presets::small_default();
+    exp.failure = FailureSpec::RandomRack;
+    let seed = (0..10)
+        .find(|&s| exp.run(Policy::EnhancedDegradedFirst, s).is_ok())
+        .expect("recoverable rack failure");
+    let state = exp.cluster_state_for_seed(seed);
+    let result = exp.run(Policy::EnhancedDegradedFirst, seed).expect("run");
+    // A quarter of the cluster is gone.
+    assert_eq!(state.failed_nodes().len(), 4);
+    // No task ran on a dead node.
+    for t in &result.tasks {
+        assert!(state.is_alive(t.node), "task ran on dead {}", t.node);
+    }
+    // Degraded tasks exist and every lost native was processed.
+    assert!(result.map_count(MapLocality::Degraded) > 0);
+}
+
+#[test]
+fn explicit_node_failure_is_honored() {
+    let mut exp = presets::small_default();
+    let victim = exp.topo.node(3);
+    exp.failure = FailureSpec::Nodes(vec![victim]);
+    let state = exp.cluster_state_for_seed(42);
+    assert_eq!(state.failed_nodes(), vec![victim]);
+    let result = exp.run(Policy::BasicDegradedFirst, 42).expect("run");
+    assert!(result.tasks.iter().all(|t| t.node != victim));
+}
+
+#[test]
+fn normal_mode_spec_runs_like_normal_mode() {
+    let mut exp = presets::small_default();
+    exp.failure = FailureSpec::None;
+    let norm = exp
+        .normalized_runtime(Policy::EnhancedDegradedFirst, 5)
+        .expect("run");
+    assert!((norm - 1.0).abs() < 1e-9, "normalized runtime {norm} != 1");
+}

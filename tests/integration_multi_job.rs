@@ -1,0 +1,81 @@
+//! Multi-job FIFO integration (the Figure 7(f) scenario, scaled down).
+
+use dfs::experiment::Policy;
+use dfs::presets;
+use dfs::simkit::time::SimDuration;
+use dfs::simkit::SimRng;
+use dfs::workloads::multi_job_workload;
+
+fn multi_job_experiment(jobs: usize) -> dfs::Experiment {
+    let mut exp = presets::small_default();
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut specs = multi_job_workload(&mut rng, jobs, 60.0);
+    for spec in &mut specs {
+        // Scale the jobs to the small cluster: shorter tasks, fewer
+        // reducers than the 16 reduce slots available.
+        spec.map_time_mean = SimDuration::from_secs(10);
+        spec.map_time_std = SimDuration::from_secs(1);
+        spec.reduce_time_mean = SimDuration::from_secs(15);
+        spec.reduce_time_std = SimDuration::from_secs(1);
+        spec.num_reduce_tasks = 8;
+    }
+    exp.jobs = specs;
+    exp
+}
+
+#[test]
+fn all_jobs_finish_in_fifo_dominance() {
+    let exp = multi_job_experiment(4);
+    let result = exp.run(Policy::EnhancedDegradedFirst, 1).expect("run");
+    assert_eq!(result.jobs.len(), 4);
+    // Every job's tasks are accounted for: maps + reduces.
+    for (i, job) in result.jobs.iter().enumerate() {
+        let tasks = result.tasks.iter().filter(|t| t.job == job.id).count();
+        assert_eq!(
+            tasks,
+            exp.num_blocks + exp.jobs[i].num_reduce_tasks,
+            "job {i} task count"
+        );
+        assert!(job.started_at >= job.submitted_at);
+    }
+    // FIFO: earlier-submitted jobs start first.
+    for pair in result.jobs.windows(2) {
+        assert!(pair[0].started_at <= pair[1].started_at);
+    }
+}
+
+#[test]
+fn edf_improves_most_jobs() {
+    let exp = multi_job_experiment(3);
+    let lf = exp
+        .normalized_runtimes(Policy::LocalityFirst, 2)
+        .expect("LF");
+    let edf = exp
+        .normalized_runtimes(Policy::EnhancedDegradedFirst, 2)
+        .expect("EDF");
+    assert_eq!(lf.len(), 3);
+    assert_eq!(edf.len(), 3);
+    let improved = lf.iter().zip(&edf).filter(|(l, e)| e < l).count();
+    assert!(improved >= 2, "EDF improved only {improved}/3 jobs: lf={lf:?} edf={edf:?}");
+}
+
+#[test]
+fn queueing_delays_show_in_turnaround() {
+    let exp = multi_job_experiment(3);
+    let result = exp.run(Policy::LocalityFirst, 3).expect("run");
+    for job in &result.jobs {
+        assert!(job.turnaround() >= job.runtime());
+    }
+    // The last job's turnaround should include waiting on predecessors:
+    // its maps can only run once slots free up.
+    let last = result.jobs.last().unwrap();
+    assert!(last.turnaround() > last.runtime());
+}
+
+#[test]
+fn deterministic_multi_job_replay() {
+    let exp = multi_job_experiment(3);
+    let a = exp.run(Policy::BasicDegradedFirst, 5).expect("a");
+    let b = exp.run(Policy::BasicDegradedFirst, 5).expect("b");
+    assert_eq!(a, b);
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration: a single failure-mode job through the whole
+//! stack (placement → engine → scheduler → metrics) under all three
+//! policies.
+
+use dfs::experiment::Policy;
+use dfs::mapreduce::metrics::TaskDetail;
+use dfs::mapreduce::MapLocality;
+use dfs::presets;
+
+const POLICIES: [Policy; 3] = [
+    Policy::LocalityFirst,
+    Policy::BasicDegradedFirst,
+    Policy::EnhancedDegradedFirst,
+];
+
+#[test]
+fn every_policy_processes_every_block_exactly_once() {
+    let exp = presets::small_default();
+    for policy in POLICIES {
+        let result = exp.run(policy, 1).expect("run");
+        let mut blocks: Vec<_> = result
+            .tasks
+            .iter()
+            .filter_map(|t| match t.detail {
+                TaskDetail::Map { block, .. } => Some(block),
+                TaskDetail::Reduce { .. } => None,
+            })
+            .collect();
+        assert_eq!(blocks.len(), exp.num_blocks, "{}", policy.name());
+        blocks.sort();
+        blocks.dedup();
+        assert_eq!(blocks.len(), exp.num_blocks, "{} duplicated a block", policy.name());
+    }
+}
+
+#[test]
+fn degraded_task_count_equals_lost_blocks() {
+    let exp = presets::small_default();
+    for seed in 0..4 {
+        let state = exp.cluster_state_for_seed(seed);
+        for policy in POLICIES {
+            let result = exp.run(policy, seed).expect("run");
+            // Recompute lost natives with the same placement the run used:
+            // every degraded map task's block must have a dead holder.
+            let degraded = result.map_count(MapLocality::Degraded);
+            assert!(degraded > 0, "seed {seed} should lose blocks");
+            assert_eq!(
+                result
+                    .tasks
+                    .iter()
+                    .filter(|t| t.map_locality() == Some(MapLocality::Degraded))
+                    .count(),
+                degraded
+            );
+        }
+        assert_eq!(state.failed_nodes().len(), 1);
+    }
+}
+
+#[test]
+fn task_timings_are_ordered() {
+    let exp = presets::small_default();
+    for policy in POLICIES {
+        let result = exp.run(policy, 2).expect("run");
+        for t in &result.tasks {
+            assert!(t.assigned_at <= t.input_ready_at, "{}", policy.name());
+            assert!(t.input_ready_at <= t.completed_at, "{}", policy.name());
+        }
+        // Job runtime spans its tasks.
+        let job = &result.jobs[0];
+        let first = result.tasks.iter().map(|t| t.assigned_at).min().unwrap();
+        let last = result.tasks.iter().map(|t| t.completed_at).max().unwrap();
+        assert_eq!(job.started_at, first);
+        assert_eq!(job.finished_at, last);
+    }
+}
+
+#[test]
+fn degraded_first_improves_runtime_and_read_time() {
+    let exp = presets::small_default();
+    let mut lf_wins = 0;
+    let seeds = 5;
+    for seed in 0..seeds {
+        let lf = exp.run(Policy::LocalityFirst, seed).expect("LF");
+        let edf = exp.run(Policy::EnhancedDegradedFirst, seed).expect("EDF");
+        let lf_rt = lf.jobs[0].runtime().as_secs_f64();
+        let edf_rt = edf.jobs[0].runtime().as_secs_f64();
+        if edf_rt < lf_rt {
+            lf_wins += 1;
+        }
+        // Degraded read times must drop substantially (paper Fig. 8(b):
+        // ~85% on average).
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(
+            mean(&edf.degraded_read_secs()) < mean(&lf.degraded_read_secs()),
+            "seed {seed}: EDF reads not faster"
+        );
+    }
+    assert!(
+        lf_wins >= seeds - 1,
+        "EDF beat LF in only {lf_wins}/{seeds} seeds"
+    );
+}
+
+#[test]
+fn normal_mode_runs_have_no_degraded_tasks() {
+    let exp = presets::small_default();
+    let result = exp.run_normal_mode(3).expect("normal");
+    assert_eq!(result.map_count(MapLocality::Degraded), 0);
+    assert_eq!(result.tasks.len(), exp.num_blocks);
+}

@@ -1,0 +1,91 @@
+//! Real-bytes integration: corpus → erasure-coded grid → actual
+//! WordCount/Grep/LineCount with degraded reads through the RS decoder.
+
+use dfs::cluster::{NodeId, Topology};
+use dfs::erasure::CodeParams;
+use dfs::textlab::{run_job, CorpusBuilder, Grep, LineCount, MiniGrid, WordCount};
+
+fn make(text: &[u8], seed: u64) -> MiniGrid {
+    let topo = Topology::homogeneous(3, 4, 4, 1);
+    MiniGrid::new(topo, CodeParams::new(12, 10).unwrap(), 4096, text, seed).unwrap()
+}
+
+#[test]
+fn outputs_identical_across_all_failure_counts() {
+    let text = CorpusBuilder::new(88).lines(5000).build();
+    let baseline = run_job(&mut make(&text, 1), &WordCount).unwrap();
+    assert_eq!(baseline.stats.degraded_reads, 0);
+
+    // (12,10) tolerates two failures.
+    for kill in [vec![NodeId(0)], vec![NodeId(0), NodeId(5)]] {
+        let mut grid = make(&text, 1);
+        for &n in &kill {
+            grid.fail_node(n);
+        }
+        let out = run_job(&mut grid, &WordCount).unwrap();
+        assert_eq!(out.results, baseline.results, "killed {kill:?}");
+        assert!(out.stats.degraded_reads > 0, "killed {kill:?}");
+    }
+}
+
+#[test]
+fn wordcount_total_equals_corpus_word_count() {
+    let text = CorpusBuilder::new(3).lines(2000).build();
+    let oracle_words = String::from_utf8(text.clone())
+        .unwrap()
+        .split_whitespace()
+        .count() as u64;
+    let mut grid = make(&text, 2);
+    grid.fail_node(NodeId(7));
+    let out = run_job(&mut grid, &WordCount).unwrap();
+    assert_eq!(out.total(), oracle_words);
+}
+
+#[test]
+fn linecount_total_equals_corpus_line_count() {
+    let lines = 3000;
+    let text = CorpusBuilder::new(4).lines(lines).build();
+    let mut grid = make(&text, 3);
+    grid.fail_node(NodeId(2));
+    let out = run_job(&mut grid, &LineCount).unwrap();
+    assert_eq!(out.total(), lines as u64);
+}
+
+#[test]
+fn grep_matches_oracle_under_failure() {
+    let text = CorpusBuilder::new(5).lines(4000).build();
+    let needle = "whale";
+    let oracle: u64 = String::from_utf8(text.clone())
+        .unwrap()
+        .lines()
+        .filter(|l| l.contains(needle))
+        .count() as u64;
+    assert!(oracle > 0, "corpus should contain the needle");
+    let mut grid = make(&text, 4);
+    grid.fail_node(NodeId(9));
+    let out = run_job(&mut grid, &Grep::new(needle)).unwrap();
+    assert_eq!(out.total(), oracle);
+}
+
+#[test]
+fn degraded_read_traffic_is_k_blocks_per_loss() {
+    let text = CorpusBuilder::new(6).lines(5000).build();
+    let mut grid = make(&text, 5);
+    grid.fail_node(NodeId(1));
+    let out = run_job(&mut grid, &LineCount).unwrap();
+    let k = 10;
+    // Each degraded read fetches at most k shards over the network (the
+    // reader may hold one itself).
+    assert!(out.stats.blocks_transferred <= out.stats.degraded_reads * k);
+    assert!(out.stats.blocks_transferred >= out.stats.degraded_reads * (k - 1));
+    assert!(out.stats.cross_rack_transfers <= out.stats.blocks_transferred);
+}
+
+#[test]
+fn whole_file_reconstruction_is_bit_identical() {
+    let text = CorpusBuilder::new(7).lines(2500).build();
+    let mut grid = make(&text, 6);
+    grid.fail_node(NodeId(3));
+    grid.fail_node(NodeId(10));
+    assert_eq!(grid.read_file().unwrap(), text);
+}
