@@ -76,10 +76,16 @@ impl ModelParams {
     /// nonsense (`racks > nodes`).
     fn check(&self) {
         assert!(self.nodes > 1, "need at least two nodes");
-        assert!(self.racks >= 1 && self.racks <= self.nodes, "bad rack count");
+        assert!(
+            self.racks >= 1 && self.racks <= self.nodes,
+            "bad rack count"
+        );
         assert!(self.map_slots >= 1, "need map slots");
         assert!(self.map_time_secs > 0.0, "map time must be positive");
-        assert!(self.block_bytes > 0 && self.rack_bandwidth_bps > 0, "bad sizes");
+        assert!(
+            self.block_bytes > 0 && self.rack_bandwidth_bps > 0,
+            "bad sizes"
+        );
         assert!(self.num_blocks > 0, "no blocks");
         assert!(self.k >= 1 && self.k < self.n, "bad (n,k)");
     }
@@ -89,7 +95,8 @@ impl ModelParams {
     pub fn degraded_read_secs(&self) -> f64 {
         self.check();
         let r = self.racks as f64;
-        (r - 1.0) * self.k as f64 * (self.block_bytes as f64 * 8.0) / (r * self.rack_bandwidth_bps as f64)
+        (r - 1.0) * self.k as f64 * (self.block_bytes as f64 * 8.0)
+            / (r * self.rack_bandwidth_bps as f64)
     }
 
     /// Aggregate inter-rack download seconds of one rack's degraded
@@ -175,7 +182,10 @@ pub fn sweep_blocks(base: &ModelParams, blocks: &[usize]) -> Vec<SweepPoint> {
     blocks
         .iter()
         .map(|&f| {
-            let p = ModelParams { num_blocks: f, ..*base };
+            let p = ModelParams {
+                num_blocks: f,
+                ..*base
+            };
             point(format!("F={f}"), &p)
         })
         .collect()

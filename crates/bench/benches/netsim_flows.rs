@@ -25,7 +25,7 @@ fn churn(flows: u64) {
             dst = (dst + 1) % 40;
         }
         net.start_flow(now, src, dst, 1024 * 1024 + rand() % (8 * 1024 * 1024));
-        now = now + SimDuration::from_micros(rand() % 1000);
+        now += SimDuration::from_micros(rand() % 1000);
     }
     while let Some(t) = net.next_completion() {
         let done = net.complete_flows(t.max(now));

@@ -23,8 +23,7 @@ fn bench_encode(c: &mut Criterion) {
         let data = sample_data(k);
         group.throughput(Throughput::Bytes((k * SHARD_BYTES) as u64));
         for construction in [CodeConstruction::Vandermonde, CodeConstruction::Cauchy] {
-            let rs =
-                ReedSolomon::new(CodeParams::new(n, k).unwrap(), construction).unwrap();
+            let rs = ReedSolomon::new(CodeParams::new(n, k).unwrap(), construction).unwrap();
             group.bench_with_input(
                 BenchmarkId::new(format!("{construction:?}"), format!("({n},{k})")),
                 &data,
@@ -42,8 +41,7 @@ fn bench_degraded_reconstruct(c: &mut Criterion) {
         let data = sample_data(k);
         let stripe = codec.encode(&data).unwrap();
         // Lose shard 0; rebuild from the last k shards.
-        let survivors: Vec<(usize, Vec<u8>)> =
-            (n - k..n).map(|i| (i, stripe[i].clone())).collect();
+        let survivors: Vec<(usize, Vec<u8>)> = (n - k..n).map(|i| (i, stripe[i].clone())).collect();
         group.throughput(Throughput::Bytes(SHARD_BYTES as u64));
         group.bench_function(BenchmarkId::from_parameter(format!("({n},{k})")), |b| {
             b.iter(|| codec.reconstruct(&survivors, 0).unwrap())

@@ -1,0 +1,311 @@
+//! One-shot performance snapshot: times the hot-path kernels with their
+//! retained reference implementations under the *same* harness, plus
+//! current throughput of the four benchmark suites and the wall-clock of
+//! a fixed fig7-style configuration, and writes everything to
+//! `BENCH_PR1.json` in the current directory.
+//!
+//! Run with `cargo run --release -p bench --bin bench_snapshot`.
+
+use std::time::Instant;
+
+use dfs::erasure::gf256::{mul_acc_slice, mul_acc_slice_ref, Gf256};
+use dfs::erasure::rs::{CodeConstruction, ReedSolomon};
+use dfs::erasure::CodeParams;
+use dfs::experiment::Policy;
+use dfs::netsim::fairshare::{max_min_rates_ref, FairshareWorkspace};
+use dfs::netsim::{NetConfig, Network};
+use dfs::presets;
+use dfs::simkit::calendar::Calendar;
+use dfs::simkit::time::SimTime;
+
+/// Times `op` over enough repetitions to fill ~200ms after one warmup
+/// pass, returning seconds per call.
+fn time_per_call<F: FnMut()>(mut op: F) -> f64 {
+    op();
+    let probe = Instant::now();
+    op();
+    let one = probe.elapsed().as_secs_f64();
+    let iters = ((0.2 / one.max(1e-9)) as u64).clamp(3, 10_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+const SHARD_BYTES: usize = 256 * 1024;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// GF(256) multiply-accumulate: table/SIMD kernel vs the byte-at-a-time
+/// reference, identical buffers and coefficient.
+fn gf_mul_acc() -> (f64, f64) {
+    let src: Vec<u8> = (0..SHARD_BYTES).map(|i| (i * 31 + 7) as u8).collect();
+    let mut acc = vec![0u8; SHARD_BYTES];
+    let c = Gf256::new(0xCA);
+    let ref_s = time_per_call(|| mul_acc_slice_ref(&mut acc, &src, c));
+    let opt_s = time_per_call(|| mul_acc_slice(&mut acc, &src, c));
+    (ref_s, opt_s)
+}
+
+/// Full-stripe decode, (12,10) Cauchy over 256 KiB shards. The reference
+/// side reproduces the pre-change `decode_data` byte-for-byte in work:
+/// one freshly zero-allocated output per data shard, filled by k naive
+/// multiply-accumulates (decode cost is coefficient-independent, so the
+/// synthetic rows below do exactly the old matrix-apply's work).
+fn rs_decode() -> (f64, f64) {
+    let (n, k) = (12usize, 10usize);
+    let rs = ReedSolomon::new(CodeParams::new(n, k).unwrap(), CodeConstruction::Cauchy).unwrap();
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|s| (0..SHARD_BYTES).map(|i| (i * 13 + s * 101) as u8).collect())
+        .collect();
+    let parity = rs.encode_parity(&data).unwrap();
+    let mut stripe = data;
+    stripe.extend(parity);
+    // Survive on shards 2..12: two data shards lost, both parities used.
+    let survivors: Vec<(usize, Vec<u8>)> = (2..n).map(|i| (i, stripe[i].clone())).collect();
+
+    // The real decode matrix for this survivor set: outputs 2..9 are the
+    // surviving data shards themselves (identity rows — one coefficient
+    // of 1), only the two lost shards get dense rows.
+    let rows: Vec<Vec<Gf256>> = (0..k)
+        .map(|r| {
+            (0..k)
+                .map(|c| {
+                    if r >= 2 {
+                        if c == r - 2 {
+                            Gf256::ONE
+                        } else {
+                            Gf256::ZERO
+                        }
+                    } else {
+                        Gf256::new((r * 16 + c * 7 + 3) as u8)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let ref_s = time_per_call(|| {
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(k);
+        for row in &rows {
+            let mut shard = vec![0u8; SHARD_BYTES];
+            for (j, (_, survivor)) in row.iter().zip(&survivors) {
+                mul_acc_slice_ref(&mut shard, survivor, *j);
+            }
+            out.push(shard);
+        }
+        assert_eq!(out.len(), k);
+    });
+
+    let mut out: Vec<Vec<u8>> = Vec::new();
+    let opt_s = time_per_call(|| rs.decode_data_into(&survivors, &mut out).unwrap());
+    (ref_s, opt_s)
+}
+
+/// A realistic reallocation mix for the 40-node/4-rack fig7 topology:
+/// 256 concurrent flows (the churn benchmark's steady state). The
+/// reference side does what the pre-change `Network::reallocate` did per
+/// event — clone every path into a fresh `Vec<Vec<usize>>` and run the
+/// allocating naive allocator.
+fn fairshare_realloc() -> (f64, f64) {
+    let (nodes, racks, flows) = (40usize, 4usize, 256usize);
+    let num_links = 2 * nodes + 2 * racks;
+    let caps = vec![1e9f64; num_links];
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let paths: Vec<Vec<usize>> = (0..flows)
+        .map(|_| {
+            let src = (xorshift(&mut state) as usize) % nodes;
+            let dst = (xorshift(&mut state) as usize) % nodes;
+            let (sr, dr) = (src / (nodes / racks), dst / (nodes / racks));
+            if src == dst {
+                Vec::new()
+            } else if sr == dr {
+                vec![2 * src, 2 * dst + 1]
+            } else {
+                vec![
+                    2 * src,
+                    2 * nodes + 2 * sr,
+                    2 * nodes + 2 * dr + 1,
+                    2 * dst + 1,
+                ]
+            }
+        })
+        .collect();
+    let ref_s = time_per_call(|| {
+        let cloned: Vec<Vec<usize>> = paths.clone();
+        let rates = max_min_rates_ref(&caps, &cloned);
+        assert_eq!(rates.len(), flows);
+    });
+
+    let paths32: Vec<Vec<u32>> = paths
+        .iter()
+        .map(|p| p.iter().map(|&l| l as u32).collect())
+        .collect();
+    let mut ws = FairshareWorkspace::new();
+    let mut rates = Vec::new();
+    let opt_s = time_per_call(|| {
+        ws.compute(&caps, &paths32, &mut rates);
+        assert_eq!(rates.len(), flows);
+    });
+    (ref_s, opt_s)
+}
+
+/// The `netsim_flows` churn workload (drive a 40-node network through
+/// `flows` transfers to completion), as ops/sec per flow.
+fn netsim_churn_ops(flows: u64) -> f64 {
+    let per_call = time_per_call(|| {
+        let mut net = Network::new(&[10, 10, 10, 10], NetConfig::gigabit());
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut now = SimTime::ZERO;
+        for _ in 0..flows {
+            let src = (xorshift(&mut state) % 40) as usize;
+            let dst = (xorshift(&mut state) % 40) as usize;
+            let bytes = 1_000_000 + xorshift(&mut state) % 64_000_000;
+            net.start_flow(now, src, dst, bytes);
+            if let Some(t) = net.next_completion() {
+                now = t;
+                net.complete_flows(now);
+            }
+        }
+        while let Some(t) = net.next_completion() {
+            net.complete_flows(t);
+            if net.active_flows() == 0 {
+                break;
+            }
+        }
+    });
+    flows as f64 / per_call
+}
+
+/// The `event_calendar` schedule+pop workload, ops/sec.
+fn calendar_ops(events: u64) -> f64 {
+    let per_call = time_per_call(|| {
+        let mut cal = Calendar::new();
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for i in 0..events {
+            cal.schedule(
+                SimTime::from_micros(xorshift(&mut state) % 1_000_000_000),
+                i,
+            );
+        }
+        while cal.pop().is_some() {}
+    });
+    events as f64 / per_call
+}
+
+fn main() {
+    let (mul_ref, mul_opt) = gf_mul_acc();
+    let mib = SHARD_BYTES as f64 / (1024.0 * 1024.0);
+    println!(
+        "gf256 mul-acc: ref {:.0} MiB/s, opt {:.0} MiB/s, speedup {:.2}x",
+        mib / mul_ref,
+        mib / mul_opt,
+        mul_ref / mul_opt
+    );
+
+    let (dec_ref, dec_opt) = rs_decode();
+    println!(
+        "rs decode (12,10): ref {:.1} ms, opt {:.1} ms, speedup {:.2}x",
+        dec_ref * 1e3,
+        dec_opt * 1e3,
+        dec_ref / dec_opt
+    );
+
+    let (fs_ref, fs_opt) = fairshare_realloc();
+    println!(
+        "fairshare realloc (256 flows): ref {:.1} us, opt {:.1} us, speedup {:.2}x",
+        fs_ref * 1e6,
+        fs_opt * 1e6,
+        fs_ref / fs_opt
+    );
+
+    let encode = {
+        let rs =
+            ReedSolomon::new(CodeParams::new(12, 10).unwrap(), CodeConstruction::Cauchy).unwrap();
+        let data: Vec<Vec<u8>> = (0..10)
+            .map(|s| (0..SHARD_BYTES).map(|i| (i * 13 + s * 101) as u8).collect())
+            .collect();
+        time_per_call(|| {
+            let p = rs.encode_parity(&data).unwrap();
+            assert_eq!(p.len(), 2);
+        })
+    };
+    let churn_200 = netsim_churn_ops(200);
+    let cal_10k = calendar_ops(10_000);
+    let sched = {
+        let exp = presets::small_default();
+        time_per_call(|| {
+            exp.run(Policy::EnhancedDegradedFirst, 1).unwrap();
+        })
+    };
+    let fig7 = {
+        let exp = presets::simulation_default();
+        let start = Instant::now();
+        for policy in [
+            Policy::LocalityFirst,
+            Policy::BasicDegradedFirst,
+            Policy::EnhancedDegradedFirst,
+        ] {
+            exp.run(policy, 1).unwrap();
+        }
+        start.elapsed().as_secs_f64()
+    };
+    println!("rs encode (12,10): {:.2} ms", encode * 1e3);
+    println!("netsim churn 200 flows: {:.0} flows/s", churn_200);
+    println!("calendar schedule+pop 10k: {:.0} ops/s", cal_10k);
+    println!("engine EDF small run: {:.0} runs/s", 1.0 / sched);
+    println!("fig7 fixed config (3 policies, seed 1): {:.2} s", fig7);
+
+    let json = format!(
+        r#"{{
+  "pr": 1,
+  "harness": "cargo run --release -p bench --bin bench_snapshot",
+  "kernel_speedups_vs_retained_reference": {{
+    "gf256_mul_acc": {{
+      "ref_mib_per_s": {:.1},
+      "opt_mib_per_s": {:.1},
+      "speedup": {:.2}
+    }},
+    "rs_decode_12_10_256KiB": {{
+      "ref_s_per_decode": {:.6},
+      "opt_s_per_decode": {:.6},
+      "speedup": {:.2}
+    }},
+    "netsim_fairshare_realloc_256_flows": {{
+      "ref_s_per_call": {:.9},
+      "opt_s_per_call": {:.9},
+      "speedup": {:.2}
+    }}
+  }},
+  "suites_ops_per_sec": {{
+    "rs_codec_encode_12_10": {:.2},
+    "event_calendar_schedule_pop_10k": {:.0},
+    "netsim_flows_churn_200": {:.0},
+    "scheduler_decision_small_edf_runs": {:.2}
+  }},
+  "fig7_fixed_config_wall_s": {:.3}
+}}
+"#,
+        mib / mul_ref,
+        mib / mul_opt,
+        mul_ref / mul_opt,
+        dec_ref,
+        dec_opt,
+        dec_ref / dec_opt,
+        fs_ref,
+        fs_opt,
+        fs_ref / fs_opt,
+        1.0 / encode,
+        cal_10k,
+        churn_200,
+        1.0 / sched,
+        fig7,
+    );
+    std::fs::write("BENCH_PR1.json", json).expect("write BENCH_PR1.json");
+    println!("wrote BENCH_PR1.json");
+}

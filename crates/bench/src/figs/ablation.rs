@@ -42,8 +42,8 @@ fn run_cluster(label: &str, exp: &Experiment, table: &mut Table) {
             let result = exp.run(policy, seed).ok()?;
             row.push(result.jobs[0].runtime().as_secs_f64() / base);
             row.push(
-                (result.map_count(MapLocality::Remote)
-                    + result.map_count(MapLocality::RackLocal)) as f64,
+                (result.map_count(MapLocality::Remote) + result.map_count(MapLocality::RackLocal))
+                    as f64,
             );
             let reads = result.degraded_read_secs();
             row.push(reads.iter().sum::<f64>() / reads.len().max(1) as f64);
@@ -75,7 +75,11 @@ pub fn run() {
         "mean degraded read (s)",
     ]);
     run_cluster("homogeneous", &presets::simulation_default(), &mut table);
-    run_cluster("heterogeneous", &presets::heterogeneous_default(), &mut table);
+    run_cluster(
+        "heterogeneous",
+        &presets::heterogeneous_default(),
+        &mut table,
+    );
     run_cluster("extreme", &presets::extreme_case(), &mut table);
     table.print("Ablation — EDF heuristics toggled independently");
 }

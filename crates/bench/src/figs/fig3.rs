@@ -118,7 +118,10 @@ fn gantt(result: &dfs::mapreduce::RunResult, topo: &Topology, cols: usize) {
         let mut lanes: Vec<Vec<&dfs::mapreduce::TaskRecord>> = vec![Vec::new(); slots];
         'place: for t in tasks {
             for lane in &mut lanes {
-                if lane.last().is_none_or(|prev| prev.completed_at <= t.assigned_at) {
+                if lane
+                    .last()
+                    .is_none_or(|prev| prev.completed_at <= t.assigned_at)
+                {
                     lane.push(t);
                     continue 'place;
                 }

@@ -7,8 +7,8 @@
 //!   Section V-B default cluster;
 //! * (f) ten simultaneous jobs with exponential inter-arrivals.
 
-use dfs::experiment::{Experiment, FailureSpec, Policy};
 use dfs::erasure::CodeParams;
+use dfs::experiment::{Experiment, FailureSpec, Policy};
 use dfs::presets::{self, MBPS};
 use dfs::simkit::report::Table;
 use dfs::simkit::SimRng;

@@ -116,8 +116,16 @@ pub fn panels_abc() {
         "degraded-read time cut",
         "runtime cut",
     ]);
-    summarize("homogeneous", &collect(&presets::simulation_default()), &mut table);
-    summarize("heterogeneous", &collect(&presets::heterogeneous_default()), &mut table);
+    summarize(
+        "homogeneous",
+        &collect(&presets::simulation_default()),
+        &mut table,
+    );
+    summarize(
+        "heterogeneous",
+        &collect(&presets::heterogeneous_default()),
+        &mut table,
+    );
     table.print(
         "Figure 8(a)-(c) — BDF vs EDF vs LF \
          (paper: remote +35.4/+25.4 BDF, -10.7/-6.7 EDF; reads ~80-85% cut; runtime ~24-34% cut)",

@@ -12,10 +12,10 @@
 //! local-group repair, verification); here only the fetch *count* enters
 //! the fluid model.
 
+use dfs::experiment::Policy;
 use dfs::presets;
 use dfs::simkit::report::Table;
 use dfs::sweep::sweep_seeds_vec;
-use dfs::experiment::Policy;
 
 fn seeds() -> u64 {
     std::env::var("DFS_SEEDS")

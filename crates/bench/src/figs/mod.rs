@@ -3,13 +3,13 @@
 
 pub mod ablation;
 pub mod fig3;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
 pub mod heartbeat;
 pub mod lrc_study;
 pub mod motivation;
 pub mod repair_study;
 pub mod speculation;
-pub mod fig5;
-pub mod fig7;
-pub mod fig8;
-pub mod fig9;
 pub mod table1;

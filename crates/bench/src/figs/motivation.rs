@@ -21,11 +21,11 @@ fn windows(result: &dfs::mapreduce::RunResult, window_secs: f64, count: usize) -
         let rate = sample.rack_down_bits / (e - s);
         let first = ((s / window_secs) as usize).min(count.saturating_sub(1));
         let last = ((e / window_secs) as usize).min(count.saturating_sub(1));
-        for w in first..=last {
+        for (w, bit) in bits.iter_mut().enumerate().take(last + 1).skip(first) {
             let w_start = w as f64 * window_secs;
             let w_end = w_start + window_secs;
             let overlap = (e.min(w_end) - s.max(w_start)).max(0.0);
-            bits[w] += rate * overlap;
+            *bit += rate * overlap;
         }
     }
     // Capacity per window is constant: R racks x W for window_secs.
@@ -52,11 +52,10 @@ pub fn run() {
     let seed = 1;
 
     let lf = exp.run(Policy::LocalityFirst, seed).expect("LF run");
-    let edf = exp.run(Policy::EnhancedDegradedFirst, seed).expect("EDF run");
-    let horizon = lf
-        .makespan
-        .as_secs_f64()
-        .max(edf.makespan.as_secs_f64());
+    let edf = exp
+        .run(Policy::EnhancedDegradedFirst, seed)
+        .expect("EDF run");
+    let horizon = lf.makespan.as_secs_f64().max(edf.makespan.as_secs_f64());
     let window = 20.0;
     let count = (horizon / window).ceil() as usize;
 
@@ -67,7 +66,11 @@ pub fn run() {
     let mut table = Table::new(&["window", "LF util", "LF", "EDF util", "EDF"]);
     for i in 0..count {
         table.row(&[
-            format!("{:>4.0}-{:<4.0}s", i as f64 * window, (i + 1) as f64 * window),
+            format!(
+                "{:>4.0}-{:<4.0}s",
+                i as f64 * window,
+                (i + 1) as f64 * window
+            ),
             format!("{:.0}%", lf_u[i] * 100.0),
             bar(lf_u[i]),
             format!("{:.0}%", edf_u[i] * 100.0),

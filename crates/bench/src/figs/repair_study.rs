@@ -44,7 +44,13 @@ pub fn run() {
         "mean per-block (s)",
     ]);
     for parallelism in [1usize, 2, 4, 8, 16] {
-        let report = simulate(&plan, &exp.topo, exp.config.net, exp.config.block_bytes, parallelism);
+        let report = simulate(
+            &plan,
+            &exp.topo,
+            exp.config.net,
+            exp.config.block_bytes,
+            parallelism,
+        );
         let mean = report
             .task_durations
             .iter()

@@ -32,7 +32,7 @@ pub fn run() {
         "LineCount EDF",
     ]);
     // columns[workload][policy][tasktype] = mean secs
-    let mut cells = vec![[[0.0f64; 3]; 2]; 3];
+    let mut cells = [[[0.0f64; 3]; 2]; 3];
     for (w, workload) in TestbedWorkload::ALL.iter().enumerate() {
         let exp = presets::testbed(&[*workload]);
         let sweeps = sweep_seeds_vec(runs(), |seed| {
@@ -53,9 +53,9 @@ pub fn run() {
     }
     for (t, task) in ["Normal map", "Degraded map", "Reduce"].iter().enumerate() {
         let mut row = vec![task.to_string()];
-        for w in 0..3 {
-            for p in 0..2 {
-                row.push(format!("{:.2}", cells[w][p][t]));
+        for cells_w in &cells {
+            for cells_wp in cells_w.iter().take(2) {
+                row.push(format!("{:.2}", cells_wp[t]));
             }
         }
         table.row(&row);

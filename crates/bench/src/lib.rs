@@ -60,7 +60,9 @@ pub fn compare_policies_metric(
     policies
         .iter()
         .map(|&policy| {
-            let sweep = sweep_seeds(n, |seed| exp.run(policy, seed).ok().and_then(|r| metric(&r)));
+            let sweep = sweep_seeds(n, |seed| {
+                exp.run(policy, seed).ok().and_then(|r| metric(&r))
+            });
             (policy.name().to_string(), sweep)
         })
         .collect()

@@ -36,7 +36,11 @@ impl fmt::Display for ArgError {
             ArgError::UnexpectedPositional(arg) => {
                 write!(f, "unexpected positional argument {arg:?}")
             }
-            ArgError::BadValue { key, value, expected } => {
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key} {value:?} is not a valid {expected}")
             }
             ArgError::UnknownOption(key) => write!(f, "unknown option --{key}"),
@@ -118,7 +122,11 @@ impl Args {
     ///
     /// Returns [`ArgError::BadValue`] unless the value is `n,k` with
     /// `k < n`.
-    pub fn get_code_or(&self, key: &str, default: (usize, usize)) -> Result<(usize, usize), ArgError> {
+    pub fn get_code_or(
+        &self,
+        key: &str,
+        default: (usize, usize),
+    ) -> Result<(usize, usize), ArgError> {
         let Some(raw) = self.get(key) else {
             return Ok(default);
         };
@@ -213,7 +221,11 @@ mod tests {
     fn error_display() {
         for e in [
             ArgError::UnexpectedPositional("p".into()),
-            ArgError::BadValue { key: "k".into(), value: "v".into(), expected: "usize" },
+            ArgError::BadValue {
+                key: "k".into(),
+                value: "v".into(),
+                expected: "usize",
+            },
             ArgError::UnknownOption("u".into()),
         ] {
             assert!(!e.to_string().is_empty());

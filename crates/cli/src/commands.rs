@@ -40,7 +40,14 @@ type CliResult = Result<(), Box<dyn Error>>;
 /// `dfs-cli analyze`: the Section IV-B closed-form model.
 pub fn analyze(args: &Args) -> CliResult {
     args.ensure_known(&[
-        "nodes", "racks", "slots", "map-secs", "block-mb", "bandwidth-mbps", "blocks", "code",
+        "nodes",
+        "racks",
+        "slots",
+        "map-secs",
+        "block-mb",
+        "bandwidth-mbps",
+        "blocks",
+        "code",
     ])?;
     let (n, k) = args.get_code_or("code", (16, 12))?;
     let params = ModelParams {
@@ -55,7 +62,10 @@ pub fn analyze(args: &Args) -> CliResult {
         k,
     };
     let mut table = Table::new(&["quantity", "value"]);
-    table.row(&["normal-mode runtime (s)".into(), format!("{:.1}", params.normal_runtime())]);
+    table.row(&[
+        "normal-mode runtime (s)".into(),
+        format!("{:.1}", params.normal_runtime()),
+    ]);
     table.row(&[
         "locality-first runtime (s)".into(),
         format!("{:.1}", params.locality_first_runtime()),
@@ -72,7 +82,10 @@ pub fn analyze(args: &Args) -> CliResult {
         "DF normalized".into(),
         format!("{:.3}", params.degraded_first_normalized()),
     ]);
-    table.row(&["DF reduction".into(), format!("{:.1}%", params.reduction() * 100.0)]);
+    table.row(&[
+        "DF reduction".into(),
+        format!("{:.1}%", params.reduction() * 100.0),
+    ]);
     table.row(&[
         "one degraded read, inter-rack (s)".into(),
         format!("{:.1}", params.degraded_read_secs()),
@@ -97,7 +110,11 @@ fn parse_policy(raw: &str) -> Result<Policy, String> {
         "delay" => Policy::DelayScheduling {
             max_wait: SimDuration::from_secs(6),
         },
-        other => return Err(format!("unknown policy {other:?} (lf|bdf|edf|bdf-locality|bdf-rack|delay)")),
+        other => {
+            return Err(format!(
+                "unknown policy {other:?} (lf|bdf|edf|bdf-locality|bdf-rack|delay)"
+            ))
+        }
     })
 }
 
@@ -114,8 +131,20 @@ fn parse_failure(raw: &str) -> Result<FailureSpec, String> {
 /// `dfs-cli simulate`: a configurable failure-mode experiment.
 pub fn simulate(args: &Args) -> CliResult {
     args.ensure_known(&[
-        "policy", "seeds", "code", "racks", "nodes-per-rack", "map-slots", "blocks", "block-mb",
-        "bandwidth-mbps", "failure", "map-secs", "reduce-secs", "reducers", "shuffle",
+        "policy",
+        "seeds",
+        "code",
+        "racks",
+        "nodes-per-rack",
+        "map-slots",
+        "blocks",
+        "block-mb",
+        "bandwidth-mbps",
+        "failure",
+        "map-secs",
+        "reduce-secs",
+        "reducers",
+        "shuffle",
     ])?;
     let (n, k) = args.get_code_or("code", (20, 15))?;
     let policy = parse_policy(args.get("policy").unwrap_or("edf"))?;
@@ -254,8 +283,8 @@ pub fn repair(args: &Args) -> CliResult {
     let scenario = exp.failure_for_seed(seed);
     let mut rng = SimRng::seed_from_u64(seed);
     let mut placement_rng = rng.fork(1);
-    let layout = dfs::ecstore::StripeLayout::new(exp.code, exp.num_blocks)
-        .map_err(|e| e.to_string())?;
+    let layout =
+        dfs::ecstore::StripeLayout::new(exp.code, exp.num_blocks).map_err(|e| e.to_string())?;
     let store = dfs::ecstore::BlockStore::place(
         &exp.topo,
         layout,
@@ -275,7 +304,10 @@ pub fn repair(args: &Args) -> CliResult {
     let mut table = Table::new(&["quantity", "value"]);
     table.row(&["failure".into(), scenario.to_string()]);
     table.row(&["lost blocks".into(), plan.tasks.len().to_string()]);
-    table.row(&["network transfers".into(), plan.network_block_count().to_string()]);
+    table.row(&[
+        "network transfers".into(),
+        plan.network_block_count().to_string(),
+    ]);
     table.row(&[
         "cross-rack transfers".into(),
         plan.cross_rack_block_count(&exp.topo).to_string(),
@@ -286,7 +318,10 @@ pub fn repair(args: &Args) -> CliResult {
     ]);
     table.row(&[
         "repair makespan".into(),
-        format!("{:.1} s at parallelism {parallelism}", report.makespan.as_secs_f64()),
+        format!(
+            "{:.1} s at parallelism {parallelism}",
+            report.makespan.as_secs_f64()
+        ),
     ]);
     table.print("full-node repair");
     Ok(())
@@ -302,7 +337,9 @@ pub fn wordcount(args: &Args) -> CliResult {
     let params = CodeParams::new(12, 10).map_err(|e| e.to_string())?;
     let mut grid = MiniGrid::new(topo, params, 16 * 1024, &text, seed)?;
     if let Some(raw) = args.get("fail-node") {
-        let idx: u32 = raw.parse().map_err(|_| format!("bad --fail-node {raw:?}"))?;
+        let idx: u32 = raw
+            .parse()
+            .map_err(|_| format!("bad --fail-node {raw:?}"))?;
         grid.fail_node(NodeId(idx));
     }
     let wc = run_job(&mut grid, &WordCount)?;

@@ -63,7 +63,11 @@ impl fmt::Display for FailureScenario {
         }
         let nodes: Vec<String> = self.nodes.iter().map(|n| n.to_string()).collect();
         let racks: Vec<String> = self.racks.iter().map(|r| r.to_string()).collect();
-        write!(f, "failed[{}]", nodes.into_iter().chain(racks).collect::<Vec<_>>().join(","))
+        write!(
+            f,
+            "failed[{}]",
+            nodes.into_iter().chain(racks).collect::<Vec<_>>().join(",")
+        )
     }
 }
 
@@ -184,7 +188,10 @@ mod tests {
         let s = FailureScenario::nodes([NodeId(0), NodeId(4)]);
         let state = ClusterState::from_scenario(&t, &s);
         assert_eq!(state.num_alive(), 4);
-        assert_eq!(state.alive_nodes(), vec![NodeId(1), NodeId(2), NodeId(3), NodeId(5)]);
+        assert_eq!(
+            state.alive_nodes(),
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(5)]
+        );
     }
 
     #[test]

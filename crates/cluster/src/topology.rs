@@ -116,7 +116,10 @@ impl Topology {
             }
             rack_members.push(members);
         }
-        Topology { nodes, rack_members }
+        Topology {
+            nodes,
+            rack_members,
+        }
     }
 
     /// Sets one node's relative processing speed (builder-style).
@@ -125,7 +128,10 @@ impl Topology {
     ///
     /// Panics if the node is unknown or the factor is not positive.
     pub fn with_speed_factor(mut self, node: NodeId, factor: f64) -> Topology {
-        assert!(factor > 0.0 && factor.is_finite(), "bad speed factor {factor}");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "bad speed factor {factor}"
+        );
         self.nodes[node.index()].speed_factor = factor;
         self
     }
@@ -252,7 +258,10 @@ mod tests {
         let t = Topology::homogeneous(3, 2, 1, 1);
         assert_eq!(t.node_ids().count(), 6);
         assert_eq!(t.rack_ids().count(), 3);
-        let all: Vec<NodeId> = t.rack_ids().flat_map(|r| t.nodes_in_rack(r).to_vec()).collect();
+        let all: Vec<NodeId> = t
+            .rack_ids()
+            .flat_map(|r| t.nodes_in_rack(r).to_vec())
+            .collect();
         assert_eq!(all.len(), 6);
     }
 

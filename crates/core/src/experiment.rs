@@ -51,7 +51,10 @@ impl Policy {
             Policy::DegradedFirstWith {
                 locality_preservation,
                 rack_awareness,
-            } => Box::new(DegradedFirst::with_heuristics(locality_preservation, rack_awareness)),
+            } => Box::new(DegradedFirst::with_heuristics(
+                locality_preservation,
+                rack_awareness,
+            )),
             Policy::DelayScheduling { max_wait } => Box::new(DelayScheduling::new(max_wait)),
         }
     }
@@ -186,11 +189,7 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    fn build_engine(
-        &self,
-        failure: FailureScenario,
-        seed: u64,
-    ) -> Result<Engine, ExperimentError> {
+    fn build_engine(&self, failure: FailureScenario, seed: u64) -> Result<Engine, ExperimentError> {
         let builder = Engine::builder(self.topo.clone())
             .code(self.code, self.num_blocks)
             .failure(failure)
@@ -254,7 +253,11 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates engine build/run failures.
-    pub fn normalized_runtimes(&self, policy: Policy, seed: u64) -> Result<Vec<f64>, ExperimentError> {
+    pub fn normalized_runtimes(
+        &self,
+        policy: Policy,
+        seed: u64,
+    ) -> Result<Vec<f64>, ExperimentError> {
         let failed = self.run(policy, seed)?;
         let normal = self.run_normal_mode(seed)?;
         Ok(failed
@@ -318,7 +321,10 @@ mod tests {
         let rack = FailureSpec::RandomRack.resolve(&topo, &mut rng);
         assert_eq!(rack.failed_nodes(&topo).len(), 4);
         let among = FailureSpec::RandomNodeAmong(vec![NodeId(7)]).resolve(&topo, &mut rng);
-        assert_eq!(among.failed_nodes(&topo).into_iter().next(), Some(NodeId(7)));
+        assert_eq!(
+            among.failed_nodes(&topo).into_iter().next(),
+            Some(NodeId(7))
+        );
         let explicit = FailureSpec::Nodes(vec![NodeId(1), NodeId(2)]).resolve(&topo, &mut rng);
         assert_eq!(explicit.failed_nodes(&topo).len(), 2);
     }

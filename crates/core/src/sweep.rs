@@ -85,8 +85,8 @@ where
         .max(1);
     let mut results: Vec<Option<f64>> = vec![None; count as usize];
     let next = std::sync::atomic::AtomicU64::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<f64>>> =
-        (0..count).map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<f64>>> =
+        (0..count).map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -94,12 +94,12 @@ where
                 if seed >= count {
                     break;
                 }
-                *slots[seed as usize].lock() = f(seed);
+                *slots[seed as usize].lock().unwrap() = f(seed);
             });
         }
     });
     for (i, slot) in slots.into_iter().enumerate() {
-        results[i] = slot.into_inner();
+        results[i] = slot.into_inner().unwrap();
     }
     let samples: Vec<f64> = results.into_iter().flatten().collect();
     assert!(!samples.is_empty(), "every seed failed");
@@ -125,8 +125,8 @@ where
         .min(count as usize)
         .max(1);
     let next = std::sync::atomic::AtomicU64::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<Vec<f64>>>> =
-        (0..count).map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<Vec<f64>>>> =
+        (0..count).map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -134,13 +134,13 @@ where
                 if seed >= count {
                     break;
                 }
-                *slots[seed as usize].lock() = f(seed);
+                *slots[seed as usize].lock().unwrap() = f(seed);
             });
         }
     });
     let rows: Vec<Vec<f64>> = slots
         .into_iter()
-        .filter_map(|slot| slot.into_inner())
+        .filter_map(|slot| slot.into_inner().unwrap())
         .collect();
     assert!(!rows.is_empty(), "every seed failed");
     let width = rows[0].len();

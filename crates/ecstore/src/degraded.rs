@@ -57,7 +57,9 @@ impl DegradedReadPlan {
         rng: &mut SimRng,
     ) -> DegradedReadPlan {
         let k = store.layout().params().k();
-        DegradedReadPlan::plan_with_fetch_count(store, topo, state, target, reader, selection, rng, k)
+        DegradedReadPlan::plan_with_fetch_count(
+            store, topo, state, target, reader, selection, rng, k,
+        )
     }
 
     /// Like [`DegradedReadPlan::plan`] but fetching `fetch_count` blocks
@@ -89,7 +91,15 @@ impl DegradedReadPlan {
         let survivors: Vec<(BlockRef, NodeId)> = store
             .survivors_of(target.stripe, state)
             .into_iter()
-            .map(|(pos, node)| (BlockRef { stripe: target.stripe, pos }, node))
+            .map(|(pos, node)| {
+                (
+                    BlockRef {
+                        stripe: target.stripe,
+                        pos,
+                    },
+                    node,
+                )
+            })
             .collect();
         assert!(
             survivors.len() >= k,
@@ -135,7 +145,10 @@ impl DegradedReadPlan {
     /// The sources that require a network transfer (holder ≠ reader).
     pub fn network_sources(&self) -> impl Iterator<Item = (BlockRef, NodeId)> + '_ {
         let reader = self.reader;
-        self.sources.iter().copied().filter(move |&(_, node)| node != reader)
+        self.sources
+            .iter()
+            .copied()
+            .filter(move |&(_, node)| node != reader)
     }
 
     /// How many of the `k` reads cross racks.
@@ -171,8 +184,9 @@ mod tests {
         for target in store.lost_native_blocks(&state) {
             for selection in [SourceSelection::UniformRandom, SourceSelection::LocalFirst] {
                 let reader = topo.node(5);
-                let plan =
-                    DegradedReadPlan::plan(&store, &topo, &state, target, reader, selection, &mut rng);
+                let plan = DegradedReadPlan::plan(
+                    &store, &topo, &state, target, reader, selection, &mut rng,
+                );
                 assert_eq!(plan.sources.len(), 6);
                 let mut blocks: Vec<BlockRef> = plan.sources.iter().map(|&(b, _)| b).collect();
                 blocks.sort();

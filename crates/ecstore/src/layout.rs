@@ -49,29 +49,8 @@ impl fmt::Display for BlockRef {
 /// native block count `F`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StripeLayout {
-    #[serde(with = "code_params_serde")]
     params: CodeParams,
     num_native: usize,
-}
-
-mod code_params_serde {
-    use erasure::CodeParams;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    #[derive(Serialize, Deserialize)]
-    struct Raw {
-        n: usize,
-        k: usize,
-    }
-
-    pub fn serialize<S: Serializer>(p: &CodeParams, s: S) -> Result<S::Ok, S::Error> {
-        Raw { n: p.n(), k: p.k() }.serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<CodeParams, D::Error> {
-        let raw = Raw::deserialize(d)?;
-        CodeParams::new(raw.n, raw.k).map_err(serde::de::Error::custom)
-    }
 }
 
 /// Errors building a layout.
@@ -91,7 +70,10 @@ impl fmt::Display for LayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LayoutError::NativeCountNotMultipleOfK { num_native, k } => {
-                write!(f, "native block count {num_native} is not a positive multiple of k={k}")
+                write!(
+                    f,
+                    "native block count {num_native} is not a positive multiple of k={k}"
+                )
             }
         }
     }
@@ -107,7 +89,7 @@ impl StripeLayout {
     /// Returns [`LayoutError::NativeCountNotMultipleOfK`] when
     /// `num_native` is zero or not a multiple of `k`.
     pub fn new(params: CodeParams, num_native: usize) -> Result<StripeLayout, LayoutError> {
-        if num_native == 0 || num_native % params.k() != 0 {
+        if num_native == 0 || !num_native.is_multiple_of(params.k()) {
             return Err(LayoutError::NativeCountNotMultipleOfK {
                 num_native,
                 k: params.k(),
@@ -159,7 +141,10 @@ impl StripeLayout {
     ///
     /// Panics if `index` is out of range.
     pub fn block_at(&self, index: usize) -> BlockRef {
-        assert!(index < self.num_blocks(), "block index {index} out of range");
+        assert!(
+            index < self.num_blocks(),
+            "block index {index} out of range"
+        );
         BlockRef {
             stripe: StripeId((index / self.params.n()) as u32),
             pos: index % self.params.n(),
@@ -241,7 +226,13 @@ mod tests {
         let params = CodeParams::new(4, 2).unwrap();
         assert!(StripeLayout::new(params, 0).is_err());
         let err = StripeLayout::new(params, 13).unwrap_err();
-        assert_eq!(err, LayoutError::NativeCountNotMultipleOfK { num_native: 13, k: 2 });
+        assert_eq!(
+            err,
+            LayoutError::NativeCountNotMultipleOfK {
+                num_native: 13,
+                k: 2
+            }
+        );
         assert!(!err.to_string().is_empty());
     }
 
@@ -281,7 +272,10 @@ mod tests {
     #[should_panic(expected = "is parity")]
     fn native_index_rejects_parity() {
         let l = layout();
-        let _ = l.native_index(BlockRef { stripe: StripeId(0), pos: 3 });
+        let _ = l.native_index(BlockRef {
+            stripe: StripeId(0),
+            pos: 3,
+        });
     }
 
     #[test]
@@ -292,7 +286,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let b = BlockRef { stripe: StripeId(2), pos: 1 };
+        let b = BlockRef {
+            stripe: StripeId(2),
+            pos: 1,
+        };
         assert_eq!(b.to_string(), "stripe2[1]");
     }
 }

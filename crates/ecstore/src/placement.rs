@@ -103,7 +103,10 @@ impl PlacementPolicy for RackAwarePlacement {
             return Err(PlacementError::InsufficientParity { parity });
         }
         if n > topo.num_nodes() {
-            return Err(PlacementError::TooFewNodes { n, nodes: topo.num_nodes() });
+            return Err(PlacementError::TooFewNodes {
+                n,
+                nodes: topo.num_nodes(),
+            });
         }
         if n > racks * parity {
             return Err(PlacementError::RackConstraintUnsatisfiable { n, parity, racks });
@@ -137,7 +140,10 @@ impl PlacementPolicy for RackAwarePlacement {
                 }
                 // If a full pass made no progress the constraint is
                 // unsatisfiable for these rack sizes.
-                if remaining > 0 && rack_order.iter().all(|&r| quota[r] >= parity.min(rack_sizes[r]))
+                if remaining > 0
+                    && rack_order
+                        .iter()
+                        .all(|&r| quota[r] >= parity.min(rack_sizes[r]))
                 {
                     return Err(PlacementError::RackConstraintUnsatisfiable { n, parity, racks });
                 }
@@ -145,16 +151,15 @@ impl PlacementPolicy for RackAwarePlacement {
             // Pick the least-loaded nodes in each rack (random tie-break),
             // then shuffle which stripe position goes to which node.
             let mut chosen: Vec<NodeId> = Vec::with_capacity(n);
-            for r in 0..racks {
-                if quota[r] == 0 {
+            for (r, &rack_quota) in quota.iter().enumerate() {
+                if rack_quota == 0 {
                     continue;
                 }
-                let mut members: Vec<NodeId> = topo
-                    .nodes_in_rack(cluster::RackId(r as u32))
-                    .to_vec();
+                let mut members: Vec<NodeId> =
+                    topo.nodes_in_rack(cluster::RackId(r as u32)).to_vec();
                 rng.shuffle(&mut members);
                 members.sort_by_key(|m| load[m.index()]);
-                for &m in members.iter().take(quota[r]) {
+                for &m in members.iter().take(rack_quota) {
                     chosen.push(m);
                     load[m.index()] += 1;
                 }
@@ -196,7 +201,10 @@ impl PlacementPolicy for RoundRobinPlacement {
         let n = layout.params().n();
         let k = layout.params().k();
         if n > topo.num_nodes() {
-            return Err(PlacementError::TooFewNodes { n, nodes: topo.num_nodes() });
+            return Err(PlacementError::TooFewNodes {
+                n,
+                nodes: topo.num_nodes(),
+            });
         }
         let nodes = topo.num_nodes();
         let mut map = Vec::with_capacity(layout.num_blocks());
@@ -272,7 +280,10 @@ mod tests {
             // Rack constraint.
             for rack in topo.rack_ids() {
                 let in_rack = nodes.iter().filter(|&&m| topo.rack_of(m) == rack).count();
-                assert!(in_rack <= parity, "stripe {s} puts {in_rack} blocks in {rack}");
+                assert!(
+                    in_rack <= parity,
+                    "stripe {s} puts {in_rack} blocks in {rack}"
+                );
             }
         }
     }
@@ -321,21 +332,31 @@ mod tests {
         let layout = StripeLayout::new(CodeParams::new(6, 5).unwrap(), 10).unwrap();
         let mut rng = SimRng::seed_from_u64(0);
         assert_eq!(
-            RackAwarePlacement.place(&topo, &layout, &mut rng).unwrap_err(),
+            RackAwarePlacement
+                .place(&topo, &layout, &mut rng)
+                .unwrap_err(),
             PlacementError::InsufficientParity { parity: 1 }
         );
         // 2 racks * parity 2 = 4 < n = 6.
         let layout = StripeLayout::new(CodeParams::new(6, 4).unwrap(), 8).unwrap();
         let topo = Topology::homogeneous(2, 6, 1, 1);
         assert_eq!(
-            RackAwarePlacement.place(&topo, &layout, &mut rng).unwrap_err(),
-            PlacementError::RackConstraintUnsatisfiable { n: 6, parity: 2, racks: 2 }
+            RackAwarePlacement
+                .place(&topo, &layout, &mut rng)
+                .unwrap_err(),
+            PlacementError::RackConstraintUnsatisfiable {
+                n: 6,
+                parity: 2,
+                racks: 2
+            }
         );
         // Cluster smaller than a stripe.
         let topo = Topology::homogeneous(2, 2, 1, 1);
         let layout = StripeLayout::new(CodeParams::new(6, 4).unwrap(), 8).unwrap();
         assert_eq!(
-            RackAwarePlacement.place(&topo, &layout, &mut rng).unwrap_err(),
+            RackAwarePlacement
+                .place(&topo, &layout, &mut rng)
+                .unwrap_err(),
             PlacementError::TooFewNodes { n: 6, nodes: 4 }
         );
     }
@@ -351,7 +372,10 @@ mod tests {
         for b in layout.native_blocks() {
             natives_per_node[map[layout.global_index(b)].index()] += 1;
         }
-        assert!(natives_per_node.iter().all(|&c| c == 20), "{natives_per_node:?}");
+        assert!(
+            natives_per_node.iter().all(|&c| c == 20),
+            "{natives_per_node:?}"
+        );
     }
 
     #[test]
@@ -387,7 +411,11 @@ mod tests {
     fn error_display() {
         for e in [
             PlacementError::TooFewNodes { n: 6, nodes: 4 },
-            PlacementError::RackConstraintUnsatisfiable { n: 6, parity: 2, racks: 2 },
+            PlacementError::RackConstraintUnsatisfiable {
+                n: 6,
+                parity: 2,
+                racks: 2,
+            },
             PlacementError::InsufficientParity { parity: 1 },
         ] {
             assert!(!e.to_string().is_empty());
@@ -405,8 +433,14 @@ mod explicit_tests {
         let topo = Topology::with_rack_sizes(&[3, 2], 2, 1);
         let layout = StripeLayout::new(CodeParams::new(4, 2).unwrap(), 4).unwrap();
         let map: Vec<NodeId> = vec![
-            NodeId(0), NodeId(1), NodeId(3), NodeId(4),
-            NodeId(2), NodeId(3), NodeId(0), NodeId(4),
+            NodeId(0),
+            NodeId(1),
+            NodeId(3),
+            NodeId(4),
+            NodeId(2),
+            NodeId(3),
+            NodeId(0),
+            NodeId(4),
         ];
         let mut rng = SimRng::seed_from_u64(0);
         let placed = ExplicitPlacement::new(map.clone())

@@ -20,21 +20,29 @@ struct Setup {
 
 fn setup() -> impl Strategy<Value = Setup> {
     // Feasible combinations: parity >= 2, n <= racks*parity, n <= nodes.
-    (2usize..=5, 2usize..=5, 2usize..=6, 2usize..=4, 1usize..=12, any::<u64>()).prop_filter_map(
-        "feasible placement",
-        |(racks, nodes_per_rack, k, parity, stripes, seed)| {
-            let n = k + parity;
-            let nodes = racks * nodes_per_rack;
-            (n <= nodes && n <= racks * parity && n <= 255).then_some(Setup {
-                racks,
-                nodes_per_rack,
-                n,
-                k,
-                stripes,
-                seed,
-            })
-        },
+    (
+        2usize..=5,
+        2usize..=5,
+        2usize..=6,
+        2usize..=4,
+        1usize..=12,
+        any::<u64>(),
     )
+        .prop_filter_map(
+            "feasible placement",
+            |(racks, nodes_per_rack, k, parity, stripes, seed)| {
+                let n = k + parity;
+                let nodes = racks * nodes_per_rack;
+                (n <= nodes && n <= racks * parity && n <= 255).then_some(Setup {
+                    racks,
+                    nodes_per_rack,
+                    n,
+                    k,
+                    stripes,
+                    seed,
+                })
+            },
+        )
 }
 
 fn place(s: &Setup, policy: &dyn PlacementPolicy) -> (Topology, BlockStore) {

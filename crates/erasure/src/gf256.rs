@@ -116,12 +116,15 @@ impl Gf256 {
 
 impl Add for Gf256 {
     type Output = Gf256;
+    // GF(2^8) addition is carryless: XOR, not integer +.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
     }
 }
 
 impl AddAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }
@@ -129,8 +132,9 @@ impl AddAssign for Gf256 {
 
 impl Sub for Gf256 {
     type Output = Gf256;
+    // Subtraction equals addition in characteristic 2.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: Gf256) -> Gf256 {
-        // Subtraction equals addition in characteristic 2.
         self + rhs
     }
 }
@@ -158,6 +162,7 @@ impl Div for Gf256 {
     /// # Panics
     ///
     /// Panics on division by zero.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Gf256) -> Gf256 {
         self * rhs.inverse()
     }
@@ -199,6 +204,94 @@ impl fmt::UpperHex for Gf256 {
     }
 }
 
+/// The full 256×256 product table (64 KiB), built lazily from the
+/// log/antilog tables. Row `c` maps every byte `s` to `c * s`, letting
+/// the slice kernels run one branch-free lookup per byte instead of a
+/// zero test plus two table reads and an add.
+fn mul_table() -> &'static [[u8; 256]; 256] {
+    static MUL: OnceLock<Box<[[u8; 256]; 256]>> = OnceLock::new();
+    MUL.get_or_init(|| {
+        let t = tables();
+        let mut m = vec![[0u8; 256]; 256].into_boxed_slice();
+        for (c, row) in m.iter_mut().enumerate().skip(1) {
+            let log_c = t.log[c] as usize;
+            for (s, product) in row.iter_mut().enumerate().skip(1) {
+                *product = t.exp[log_c + t.log[s] as usize];
+            }
+        }
+        // SAFETY-free conversion: the boxed slice has exactly 256 rows.
+        m.try_into().expect("256 rows")
+    })
+}
+
+/// The premultiplied row for one coefficient: `row[s] == coeff * s`.
+///
+/// Exposed so batch callers (the RS codec) can hoist the row lookup out
+/// of per-shard loops.
+pub fn mul_row(coeff: Gf256) -> &'static [u8; 256] {
+    &mul_table()[coeff.value() as usize]
+}
+
+/// Per-coefficient nibble tables for the SIMD kernels: entry `c` holds
+/// `[c * 0x0, .., c * 0xF, c * 0x00, c * 0x10, .., c * 0xF0]` — the
+/// products of the low and high nibbles. `c * s` is then
+/// `lo[s & 0xF] ^ hi[s >> 4]` by linearity of GF(2^8) multiplication,
+/// which `pshufb` evaluates for 16/32 lanes at once. 8 KiB total.
+fn nibble_tables() -> &'static [[u8; 32]; 256] {
+    static NIB: OnceLock<Box<[[u8; 32]; 256]>> = OnceLock::new();
+    NIB.get_or_init(|| {
+        let mul = mul_table();
+        let mut n = vec![[0u8; 32]; 256].into_boxed_slice();
+        for c in 0..256usize {
+            let row = &mul[c];
+            for i in 0..16usize {
+                n[c][i] = row[i];
+                n[c][16 + i] = row[i << 4];
+            }
+        }
+        n.try_into().expect("256 rows")
+    })
+}
+
+/// `dst[i] ^= coeff * src[i]` (or plain assignment when `ACCUMULATE` is
+/// false) for 32-byte blocks via AVX2 `vpshufb`; returns the number of
+/// bytes handled, with any tail left to the scalar kernel.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and `dst.len() == src.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gf_mul_avx2<const ACCUMULATE: bool>(dst: &mut [u8], src: &[u8], nib: &[u8; 32]) -> usize {
+    use core::arch::x86_64::*;
+    let lo_table = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr() as *const __m128i));
+    let hi_table =
+        _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr().add(16) as *const __m128i));
+    let mask = _mm256_set1_epi8(0x0F);
+    let blocks = dst.len() / 32;
+    for i in 0..blocks {
+        let s = _mm256_loadu_si256(src.as_ptr().add(i * 32) as *const __m256i);
+        let lo = _mm256_and_si256(s, mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+        let mut p = _mm256_xor_si256(
+            _mm256_shuffle_epi8(lo_table, lo),
+            _mm256_shuffle_epi8(hi_table, hi),
+        );
+        let d = dst.as_mut_ptr().add(i * 32) as *mut __m256i;
+        if ACCUMULATE {
+            p = _mm256_xor_si256(p, _mm256_loadu_si256(d as *const __m256i));
+        }
+        _mm256_storeu_si256(d, p);
+    }
+    blocks * 32
+}
+
+/// True when the AVX2 kernel is usable (result cached by std).
+#[cfg(target_arch = "x86_64")]
+fn have_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
 /// Computes `dst[i] ^= coeff * src[i]` over whole buffers — the inner loop
 /// of both encoding and decoding.
 ///
@@ -206,6 +299,151 @@ impl fmt::UpperHex for Gf256 {
 ///
 /// Panics if the slices have different lengths.
 pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    assert_eq!(dst.len(), src.len(), "buffer length mismatch");
+    if coeff.is_zero() {
+        return;
+    }
+    if coeff == Gf256::ONE {
+        // Pure XOR: take it eight bytes at a time as u64 words.
+        let mut d = dst.chunks_exact_mut(8);
+        let mut s = src.chunks_exact(8);
+        for (dw, sw) in (&mut d).zip(&mut s) {
+            let x = u64::from_ne_bytes(dw.try_into().unwrap())
+                ^ u64::from_ne_bytes(sw.try_into().unwrap());
+            dw.copy_from_slice(&x.to_ne_bytes());
+        }
+        for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+            *db ^= sb;
+        }
+        return;
+    }
+    let mut done = 0;
+    #[cfg(target_arch = "x86_64")]
+    if dst.len() >= 32 && have_avx2() {
+        let nib = &nibble_tables()[coeff.value() as usize];
+        // SAFETY: AVX2 support was just checked; lengths match.
+        done = unsafe { gf_mul_avx2::<true>(dst, src, nib) };
+    }
+    let row = mul_row(coeff);
+    let mut d = dst[done..].chunks_exact_mut(8);
+    let mut s = src[done..].chunks_exact(8);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] ^= row[sc[0] as usize];
+        dc[1] ^= row[sc[1] as usize];
+        dc[2] ^= row[sc[2] as usize];
+        dc[3] ^= row[sc[3] as usize];
+        dc[4] ^= row[sc[4] as usize];
+        dc[5] ^= row[sc[5] as usize];
+        dc[6] ^= row[sc[6] as usize];
+        dc[7] ^= row[sc[7] as usize];
+    }
+    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db ^= row[*sb as usize];
+    }
+}
+
+/// Computes `dst[i] = coeff * src[i]` over whole buffers.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_slice(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    assert_eq!(dst.len(), src.len(), "buffer length mismatch");
+    if coeff.is_zero() {
+        dst.fill(0);
+        return;
+    }
+    if coeff == Gf256::ONE {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let mut done = 0;
+    #[cfg(target_arch = "x86_64")]
+    if dst.len() >= 32 && have_avx2() {
+        let nib = &nibble_tables()[coeff.value() as usize];
+        // SAFETY: AVX2 support was just checked; lengths match.
+        done = unsafe { gf_mul_avx2::<false>(dst, src, nib) };
+    }
+    let row = mul_row(coeff);
+    let mut d = dst[done..].chunks_exact_mut(8);
+    let mut s = src[done..].chunks_exact(8);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] = row[sc[0] as usize];
+        dc[1] = row[sc[1] as usize];
+        dc[2] = row[sc[2] as usize];
+        dc[3] = row[sc[3] as usize];
+        dc[4] = row[sc[4] as usize];
+        dc[5] = row[sc[5] as usize];
+        dc[6] = row[sc[6] as usize];
+        dc[7] = row[sc[7] as usize];
+    }
+    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db = row[*sb as usize];
+    }
+}
+
+/// Computes `data[i] = coeff * data[i]` in place — lets callers start an
+/// accumulation from a copied shard without a zeroed scratch buffer.
+pub fn mul_slice_in_place(data: &mut [u8], coeff: Gf256) {
+    if coeff.is_zero() {
+        data.fill(0);
+        return;
+    }
+    if coeff == Gf256::ONE {
+        return;
+    }
+    let mut done = 0;
+    #[cfg(target_arch = "x86_64")]
+    if data.len() >= 32 && have_avx2() {
+        let nib = &nibble_tables()[coeff.value() as usize];
+        // SAFETY: AVX2 support was just checked.
+        done = unsafe { gf_mul_in_place_avx2(data, nib) };
+    }
+    let row = mul_row(coeff);
+    for b in data[done..].iter_mut() {
+        *b = row[*b as usize];
+    }
+}
+
+/// In-place variant of [`gf_mul_avx2`]; returns bytes handled.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gf_mul_in_place_avx2(data: &mut [u8], nib: &[u8; 32]) -> usize {
+    use core::arch::x86_64::*;
+    let lo_table = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr() as *const __m128i));
+    let hi_table =
+        _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr().add(16) as *const __m128i));
+    let mask = _mm256_set1_epi8(0x0F);
+    let blocks = data.len() / 32;
+    for i in 0..blocks {
+        let p = data.as_mut_ptr().add(i * 32) as *mut __m256i;
+        let s = _mm256_loadu_si256(p as *const __m256i);
+        let lo = _mm256_and_si256(s, mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+        _mm256_storeu_si256(
+            p,
+            _mm256_xor_si256(
+                _mm256_shuffle_epi8(lo_table, lo),
+                _mm256_shuffle_epi8(hi_table, hi),
+            ),
+        );
+    }
+    blocks * 32
+}
+
+/// Reference implementation of [`mul_acc_slice`] via log/antilog lookups
+/// with a per-byte zero test — the kernel this module shipped before the
+/// full product table. Retained as the oracle for property tests and the
+/// speedup baseline for `bench_snapshot`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_acc_slice_ref(dst: &mut [u8], src: &[u8], coeff: Gf256) {
     assert_eq!(dst.len(), src.len(), "buffer length mismatch");
     if coeff.is_zero() {
         return;
@@ -225,15 +463,15 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], coeff: Gf256) {
     }
 }
 
-/// Computes `dst[i] = coeff * src[i]` over whole buffers.
+/// Reference implementation of [`mul_slice`]; see [`mul_acc_slice_ref`].
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
-pub fn mul_slice(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+pub fn mul_slice_ref(dst: &mut [u8], src: &[u8], coeff: Gf256) {
     assert_eq!(dst.len(), src.len(), "buffer length mismatch");
     dst.fill(0);
-    mul_acc_slice(dst, src, coeff);
+    mul_acc_slice_ref(dst, src, coeff);
 }
 
 #[cfg(test)]
@@ -352,6 +590,43 @@ mod tests {
         let mut zero_out = [7u8; 5];
         mul_acc_slice(&mut zero_out, &src, Gf256::ZERO);
         assert_eq!(zero_out, [7u8; 5], "zero coeff must be a no-op");
+    }
+
+    #[test]
+    fn mul_row_is_the_multiplication_table() {
+        for c in 0..=255u8 {
+            let row = mul_row(Gf256::new(c));
+            for s in 0..=255u8 {
+                assert_eq!(row[s as usize], slow_mul(c, s), "c={c} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_kernels_match_reference() {
+        // Odd length exercises the unrolled body and the remainder tail.
+        let mut src = vec![0u8; 1031];
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for b in src.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *b = x as u8; // includes zeros
+        }
+        for coeff in [0u8, 1, 2, 3, 0x1D, 0x53, 0xCA, 0xFF] {
+            let c = Gf256::new(coeff);
+            let mut acc_opt = vec![0xA5u8; src.len()];
+            let mut acc_ref = acc_opt.clone();
+            mul_acc_slice(&mut acc_opt, &src, c);
+            mul_acc_slice_ref(&mut acc_ref, &src, c);
+            assert_eq!(acc_opt, acc_ref, "mul_acc coeff={coeff}");
+
+            let mut out_opt = vec![0u8; src.len()];
+            let mut out_ref = vec![0u8; src.len()];
+            mul_slice(&mut out_opt, &src, c);
+            mul_slice_ref(&mut out_ref, &src, c);
+            assert_eq!(out_opt, out_ref, "mul coeff={coeff}");
+        }
     }
 
     #[test]

@@ -143,7 +143,10 @@ impl fmt::Display for CodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodeError::InvalidParams { n, k } => {
-                write!(f, "invalid code parameters (n={n}, k={k}); need 1 <= k < n <= 255")
+                write!(
+                    f,
+                    "invalid code parameters (n={n}, k={k}); need 1 <= k < n <= 255"
+                )
             }
             CodeError::WrongShardCount { expected, actual } => {
                 write!(f, "expected {expected} data shards, got {actual}")
@@ -193,7 +196,10 @@ mod tests {
     fn error_display() {
         for e in [
             CodeError::InvalidParams { n: 1, k: 1 },
-            CodeError::WrongShardCount { expected: 2, actual: 3 },
+            CodeError::WrongShardCount {
+                expected: 2,
+                actual: 3,
+            },
             CodeError::UnequalShardLengths,
             CodeError::NotEnoughShards { needed: 4, have: 2 },
             CodeError::BadShardIndex { index: 9 },

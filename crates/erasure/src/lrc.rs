@@ -56,7 +56,7 @@ impl LrcParams {
     /// `r ≥ 1`, and the stripe fits GF(2^8) (`k + l + r ≤ 255`).
     pub fn new(k: usize, l: usize, r: usize) -> Result<LrcParams, CodeError> {
         let n = k + l + r;
-        if k == 0 || l == 0 || r == 0 || k % l != 0 || n > 255 {
+        if k == 0 || l == 0 || r == 0 || !k.is_multiple_of(l) || n > 255 {
             return Err(CodeError::InvalidParams { n, k });
         }
         Ok(LrcParams { k, l, r })
@@ -137,7 +137,10 @@ impl LrcCodec {
         // parity rows.
         let k = params.k;
         let global_rows = Matrix::from_fn(params.r, k, |i, j| Gf256::new((j + 1) as u8).pow(i + 1));
-        Ok(LrcCodec { params, global_rows })
+        Ok(LrcCodec {
+            params,
+            global_rows,
+        })
     }
 
     /// The code parameters.
@@ -285,7 +288,11 @@ mod tests {
 
     fn sample(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 37 + j * 11 + 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 37 + j * 11 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -340,14 +347,14 @@ mod tests {
         let lrc = LrcParams::new(12, 2, 2).unwrap().codec().unwrap();
         let data = sample(12, 64);
         let stripe = lrc.encode(&data).unwrap();
-        for target in 0..12 {
+        for (target, expect) in data.iter().enumerate() {
             let group = lrc.local_repair_group(target);
             assert_eq!(group.len(), 6, "k/l reads");
             let survivors: Vec<(usize, Vec<u8>)> =
                 group.iter().map(|&i| (i, stripe[i].clone())).collect();
             assert_eq!(
-                lrc.reconstruct_local(&survivors, target).unwrap(),
-                data[target],
+                &lrc.reconstruct_local(&survivors, target).unwrap(),
+                expect,
                 "target {target}"
             );
         }
@@ -393,7 +400,10 @@ mod tests {
         let lrc = LrcParams::new(4, 2, 1).unwrap().codec().unwrap();
         assert!(matches!(
             lrc.encode(&sample(3, 8)).unwrap_err(),
-            CodeError::WrongShardCount { expected: 4, actual: 3 }
+            CodeError::WrongShardCount {
+                expected: 4,
+                actual: 3
+            }
         ));
         let mut uneven = sample(4, 8);
         uneven[1].pop();

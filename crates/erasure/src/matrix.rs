@@ -199,14 +199,20 @@ impl Matrix {
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = Gf256;
     fn index(&self, (r, c): (usize, usize)) -> &Gf256 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Gf256 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -281,7 +287,10 @@ mod tests {
     #[test]
     fn row_view() {
         let m = Matrix::from_fn(2, 3, |r, c| Gf256::new((r * 3 + c) as u8));
-        assert_eq!(m.row(1).iter().map(|g| g.value()).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(
+            m.row(1).iter().map(|g| g.value()).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
     }
 
     #[test]

@@ -96,8 +96,25 @@ impl StripeCodec {
     /// # Errors
     ///
     /// Same conditions as [`ReedSolomon::decode_data`].
-    pub fn decode_natives(&self, survivors: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, CodeError> {
+    pub fn decode_natives(
+        &self,
+        survivors: &[(usize, Vec<u8>)],
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
         self.rs.decode_data(survivors)
+    }
+
+    /// Allocation-reusing form of [`StripeCodec::decode_natives`]; see
+    /// [`ReedSolomon::decode_data_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::decode_data`].
+    pub fn decode_natives_into(
+        &self,
+        survivors: &[(usize, Vec<u8>)],
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), CodeError> {
+        self.rs.decode_data_into(survivors, out)
     }
 
     /// Verifies stripe consistency (parity matches data).
@@ -273,10 +290,12 @@ mod write_tests {
         let mut stripe = codec.encode(&natives).unwrap();
         codec.write_native(&mut stripe, 1, vec![0xAB; 12]).unwrap();
         assert_eq!(stripe[1], vec![0xAB; 12]);
-        assert!(codec.verify(&stripe).unwrap(), "parity must track the write");
+        assert!(
+            codec.verify(&stripe).unwrap(),
+            "parity must track the write"
+        );
         // Still recoverable after a loss.
-        let survivors: Vec<(usize, Vec<u8>)> =
-            (2..6).map(|i| (i, stripe[i].clone())).collect();
+        let survivors: Vec<(usize, Vec<u8>)> = (2..6).map(|i| (i, stripe[i].clone())).collect();
         assert_eq!(codec.reconstruct(&survivors, 1).unwrap(), vec![0xAB; 12]);
     }
 
@@ -290,8 +309,13 @@ mod write_tests {
             CodeError::BadShardIndex { index: 2 }
         );
         assert_eq!(
-            codec.write_native(&mut stripe[..3].to_vec(), 0, vec![0; 4]).unwrap_err(),
-            CodeError::WrongShardCount { expected: 4, actual: 3 }
+            codec
+                .write_native(&mut stripe[..3].to_vec(), 0, vec![0; 4])
+                .unwrap_err(),
+            CodeError::WrongShardCount {
+                expected: 4,
+                actual: 3
+            }
         );
         assert_eq!(
             codec.write_native(&mut stripe, 0, vec![0; 3]).unwrap_err(),

@@ -1,7 +1,7 @@
 //! Property-based tests for the erasure-coding core: field axioms,
 //! matrix inversion, and the any-k-of-n MDS recovery contract.
 
-use erasure::gf256::Gf256;
+use erasure::gf256::{mul_acc_slice, mul_acc_slice_ref, mul_slice, mul_slice_ref, Gf256};
 use erasure::matrix::Matrix;
 use erasure::rs::{CodeConstruction, ReedSolomon};
 use erasure::stripe::{group_into_stripes, split_into_blocks};
@@ -48,6 +48,30 @@ proptest! {
             expect *= a;
         }
         prop_assert_eq!(a.pow(e), expect);
+    }
+
+    #[test]
+    fn table_kernels_match_reference_kernels(
+        coeff in any::<u8>(),
+        src in proptest::collection::vec(any::<u8>(), 0..300),
+        fill in any::<u8>(),
+    ) {
+        // The table-driven / SIMD slice kernels must agree byte-for-byte
+        // with the straightforward per-byte reference on every length
+        // (covering the vector body and the scalar tail) and every
+        // coefficient (including the 0 and 1 fast paths).
+        let c = Gf256::new(coeff);
+        let mut acc_opt = vec![fill; src.len()];
+        let mut acc_ref = acc_opt.clone();
+        mul_acc_slice(&mut acc_opt, &src, c);
+        mul_acc_slice_ref(&mut acc_ref, &src, c);
+        prop_assert_eq!(&acc_opt, &acc_ref);
+
+        let mut dst_opt = vec![fill; src.len()];
+        let mut dst_ref = dst_opt.clone();
+        mul_slice(&mut dst_opt, &src, c);
+        mul_slice_ref(&mut dst_ref, &src, c);
+        prop_assert_eq!(&dst_opt, &dst_ref);
     }
 
     #[test]
@@ -100,11 +124,8 @@ proptest! {
         prop_assert_eq!(rs.decode_data(&survivors).unwrap(), data);
 
         // Every shard (data or parity) is reconstructible from the subset.
-        for target in 0..n {
-            prop_assert_eq!(
-                rs.reconstruct_shard(&survivors, target).unwrap(),
-                stripe[target].clone()
-            );
+        for (target, expect) in stripe.iter().enumerate() {
+            prop_assert_eq!(&rs.reconstruct_shard(&survivors, target).unwrap(), expect);
         }
     }
 
@@ -174,15 +195,12 @@ proptest! {
             .collect();
         let stripe = lrc.encode(&data).unwrap();
         prop_assert!(lrc.verify(&stripe).unwrap());
-        for target in 0..k {
+        for (target, expect) in data.iter().enumerate() {
             let group = lrc.local_repair_group(target);
             prop_assert_eq!(group.len(), k / l, "k/l reads");
             let survivors: Vec<(usize, Vec<u8>)> =
                 group.iter().map(|&i| (i, stripe[i].clone())).collect();
-            prop_assert_eq!(
-                lrc.reconstruct_local(&survivors, target).unwrap(),
-                data[target].clone()
-            );
+            prop_assert_eq!(&lrc.reconstruct_local(&survivors, target).unwrap(), expect);
         }
     }
 

@@ -109,7 +109,10 @@ impl std::fmt::Display for BuildError {
             BuildError::Placement(e) => write!(f, "placement failed: {e}"),
             BuildError::Layout(e) => write!(f, "bad layout: {e}"),
             BuildError::DataLoss { stripe } => {
-                write!(f, "stripe {stripe} is unrecoverable under this failure scenario")
+                write!(
+                    f,
+                    "stripe {stripe} is unrecoverable under this failure scenario"
+                )
             }
             BuildError::NoJobs => write!(f, "no jobs submitted"),
             BuildError::NoReduceSlots => write!(f, "jobs need reduce slots but none are alive"),
@@ -136,7 +139,9 @@ pub enum RunError {
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RunError::Stalled { at } => write!(f, "simulation stalled at {at} with unfinished jobs"),
+            RunError::Stalled { at } => {
+                write!(f, "simulation stalled at {at} with unfinished jobs")
+            }
             RunError::EventBudgetExceeded => write!(f, "event budget exceeded"),
         }
     }
@@ -158,7 +163,10 @@ pub(crate) enum Event {
         task: MapTaskId,
         speculative: bool,
     },
-    ReduceDone { job: JobId, index: usize },
+    ReduceDone {
+        job: JobId,
+        index: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -321,8 +329,8 @@ impl<'a> EngineBuilder<'a> {
         if self.jobs.is_empty() {
             return Err(BuildError::NoJobs);
         }
-        let layout = StripeLayout::new(params, num_native)
-            .map_err(|e| BuildError::Layout(e.to_string()))?;
+        let layout =
+            StripeLayout::new(params, num_native).map_err(|e| BuildError::Layout(e.to_string()))?;
         let mut root = SimRng::seed_from_u64(self.seed);
         let mut placement_rng = root.fork(1);
         let rng = root.fork(2);
@@ -537,13 +545,20 @@ impl Engine {
         let alive = self.cstate.alive_nodes();
         let n = alive.len().max(1) as u64;
         for (i, node) in alive.iter().enumerate() {
-            let offset =
-                SimDuration::from_micros(self.cfg.heartbeat_period.as_micros() * (i as u64 + 1) / n);
-            self.cal
-                .schedule(SimTime::ZERO + offset, Event::Heartbeat { node: *node, periodic: true });
+            let offset = SimDuration::from_micros(
+                self.cfg.heartbeat_period.as_micros() * (i as u64 + 1) / n,
+            );
+            self.cal.schedule(
+                SimTime::ZERO + offset,
+                Event::Heartbeat {
+                    node: *node,
+                    periodic: true,
+                },
+            );
         }
         for job in &self.jobs {
-            self.cal.schedule(job.spec.submit_at, Event::JobArrival(job.id));
+            self.cal
+                .schedule(job.spec.submit_at, Event::JobArrival(job.id));
         }
 
         while let Some((t, _, ev)) = self.cal.pop() {
@@ -562,9 +577,11 @@ impl Engine {
                     self.jobs[job.index()].submitted = true;
                     self.fifo.push(job);
                 }
-                Event::MapDone { job, task, speculative } => {
-                    self.on_map_done(job, task, speculative)
-                }
+                Event::MapDone {
+                    job,
+                    task,
+                    speculative,
+                } => self.on_map_done(job, task, speculative),
                 Event::ReduceDone { job, index } => self.on_reduce_done(job, index),
             }
             if self.jobs.iter().all(|j| j.is_finished()) {
@@ -612,7 +629,10 @@ impl Engine {
         if periodic && self.jobs.iter().any(|j| !j.is_finished()) {
             self.cal.schedule(
                 self.now + self.cfg.heartbeat_period,
-                Event::Heartbeat { node: slave, periodic: true },
+                Event::Heartbeat {
+                    node: slave,
+                    periodic: true,
+                },
             );
         }
         self.refresh_net_check();
@@ -626,7 +646,11 @@ impl Engine {
                 continue;
             };
             match purpose {
-                FlowPurpose::MapFetch { job, task, speculative } => {
+                FlowPurpose::MapFetch {
+                    job,
+                    task,
+                    speculative,
+                } => {
                     let ready = {
                         let m = &mut self.jobs[job.index()].maps[task.0];
                         if speculative {
@@ -688,8 +712,7 @@ impl Engine {
                 )
             };
             j.completed_maps += 1;
-            j.completed_map_runtime_secs +=
-                self.now.duration_since(assigned_at).as_secs_f64();
+            j.completed_map_runtime_secs += self.now.duration_since(assigned_at).as_secs_f64();
             j.completed_map_outputs.push((task, node));
             // The losing attempt's resources to release.
             let loser: Option<(NodeId, Vec<netsim::FlowId>, Option<simkit::EventId>)> =
@@ -700,9 +723,7 @@ impl Engine {
                         m.proc_event.take(),
                     ))
                 } else {
-                    m.spec
-                        .take()
-                        .map(|a| (a.node, a.flows, a.proc_event))
+                    m.spec.take().map(|a| (a.node, a.flows, a.proc_event))
                 };
             let record = TaskRecord {
                 job,
@@ -731,8 +752,13 @@ impl Engine {
             self.free_map[loser_node.index()] += 1;
         }
         if self.cfg.oob_heartbeats {
-            self.cal
-                .schedule(self.now, Event::Heartbeat { node, periodic: false });
+            self.cal.schedule(
+                self.now,
+                Event::Heartbeat {
+                    node,
+                    periodic: false,
+                },
+            );
         }
 
         // Feed assigned reducers with this map's output (batched: one
@@ -754,7 +780,8 @@ impl Engine {
             .into_iter()
             .zip(&reducers)
         {
-            self.flow_owner.insert(flow, FlowPurpose::Shuffle { job, reduce });
+            self.flow_owner
+                .insert(flow, FlowPurpose::Shuffle { job, reduce });
         }
 
         // Map-only jobs finish with their last map.
@@ -784,8 +811,13 @@ impl Engine {
         self.records.push(record);
         self.free_reduce[node.index()] += 1;
         if self.cfg.oob_heartbeats {
-            self.cal
-                .schedule(self.now, Event::Heartbeat { node, periodic: false });
+            self.cal.schedule(
+                self.now,
+                Event::Heartbeat {
+                    node,
+                    periodic: false,
+                },
+            );
         }
         let j = &mut self.jobs[job.index()];
         if j.completed_reduces == j.reduces.len() {
@@ -820,11 +852,20 @@ impl Engine {
             }
             MapLocality::RackLocal | MapLocality::Remote => {
                 let holder = self.jobs[job.index()].maps[task.0].holder;
-                let flow =
-                    self.net
-                        .start_flow(self.now, holder.index(), slave.index(), self.cfg.block_bytes);
-                self.flow_owner
-                    .insert(flow, FlowPurpose::MapFetch { job, task, speculative });
+                let flow = self.net.start_flow(
+                    self.now,
+                    holder.index(),
+                    slave.index(),
+                    self.cfg.block_bytes,
+                );
+                self.flow_owner.insert(
+                    flow,
+                    FlowPurpose::MapFetch {
+                        job,
+                        task,
+                        speculative,
+                    },
+                );
                 self.set_attempt_pending(job, task, speculative, vec![flow]);
             }
             MapLocality::Degraded => {
@@ -849,8 +890,14 @@ impl Engine {
                     .collect();
                 let flows = self.net.start_flows(self.now, &specs);
                 for &flow in &flows {
-                    self.flow_owner
-                        .insert(flow, FlowPurpose::MapFetch { job, task, speculative });
+                    self.flow_owner.insert(
+                        flow,
+                        FlowPurpose::MapFetch {
+                            job,
+                            task,
+                            speculative,
+                        },
+                    );
                 }
                 let none_pending = flows.is_empty();
                 self.set_attempt_pending(job, task, speculative, flows);
@@ -884,7 +931,10 @@ impl Engine {
     fn mark_attempt_ready(&mut self, job: JobId, task: MapTaskId, speculative: bool) {
         let m = &mut self.jobs[job.index()].maps[task.0];
         if speculative {
-            m.spec.as_mut().expect("speculative attempt exists").input_ready_at = self.now;
+            m.spec
+                .as_mut()
+                .expect("speculative attempt exists")
+                .input_ready_at = self.now;
         } else {
             m.input_ready_at = self.now;
         }
@@ -907,12 +957,20 @@ impl Engine {
                 .expect("processing an assigned map")
         };
         let duration = self.sample_task_time(mean, std, node);
-        let ev = self
-            .cal
-            .schedule(self.now + duration, Event::MapDone { job, task, speculative });
+        let ev = self.cal.schedule(
+            self.now + duration,
+            Event::MapDone {
+                job,
+                task,
+                speculative,
+            },
+        );
         let m = &mut self.jobs[job.index()].maps[task.0];
         if speculative {
-            m.spec.as_mut().expect("speculative attempt exists").proc_event = Some(ev);
+            m.spec
+                .as_mut()
+                .expect("speculative attempt exists")
+                .proc_event = Some(ev);
         } else {
             m.proc_event = Some(ev);
         }
@@ -944,15 +1002,15 @@ impl Engine {
                         continue; // back up on a different node
                     }
                     let elapsed = self.now.duration_since(m.assigned_at).as_secs_f64();
-                    if elapsed > threshold
-                        && candidate.map_or(true, |(_, _, best)| elapsed > best)
-                    {
+                    if elapsed > threshold && candidate.is_none_or(|(_, _, best)| elapsed > best) {
                         candidate = Some((job, MapTaskId(i), elapsed));
                     }
                 }
                 break; // only the head job speculates, as in FIFO Hadoop
             }
-            let Some((job, task, _)) = candidate else { break };
+            let Some((job, task, _)) = candidate else {
+                break;
+            };
             let degraded = self.jobs[job.index()].maps[task.0].degraded;
             let locality = if degraded {
                 MapLocality::Degraded
@@ -986,12 +1044,21 @@ impl Engine {
             r.assigned_to.expect("processing an assigned reduce")
         };
         let duration = self.sample_task_time(mean, std, node);
-        self.cal
-            .schedule(self.now + duration, Event::ReduceDone { job, index: reduce });
+        self.cal.schedule(
+            self.now + duration,
+            Event::ReduceDone { job, index: reduce },
+        );
     }
 
-    fn sample_task_time(&mut self, mean: SimDuration, std: SimDuration, node: NodeId) -> SimDuration {
-        let base = self.rng.normal_duration(mean, std, self.cfg.task_time_floor);
+    fn sample_task_time(
+        &mut self,
+        mean: SimDuration,
+        std: SimDuration,
+        node: NodeId,
+    ) -> SimDuration {
+        let base = self
+            .rng
+            .normal_duration(mean, std, self.cfg.task_time_floor);
         let speed = self.topo.spec(node).speed_factor;
         SimDuration::from_secs_f64(base.as_secs_f64() / speed)
     }
@@ -1002,8 +1069,7 @@ impl Engine {
             let candidate = self.fifo.iter().copied().find(|&id| {
                 let j = &self.jobs[id.index()];
                 j.next_reduce < j.reduces.len()
-                    && (j.completed_maps as f64)
-                        >= self.cfg.reduce_slowstart * j.maps.len() as f64
+                    && (j.completed_maps as f64) >= self.cfg.reduce_slowstart * j.maps.len() as f64
             });
             let Some(job) = candidate else { break };
             let (reduce, bytes, outputs) = {
@@ -1023,7 +1089,8 @@ impl Engine {
                 .map(|&(_, from)| (from.index(), slave.index(), bytes))
                 .collect();
             for flow in self.net.start_flows(self.now, &specs) {
-                self.flow_owner.insert(flow, FlowPurpose::Shuffle { job, reduce });
+                self.flow_owner
+                    .insert(flow, FlowPurpose::Shuffle { job, reduce });
             }
             // A reducer of a job with zero maps shuffled would be ready
             // immediately; jobs always have maps, so nothing to do here.
@@ -1151,7 +1218,10 @@ mod tests {
         let topo = Topology::homogeneous(2, 4, 2, 1);
         let failed = topo.node(0);
         let engine = base_engine(FailureScenario::nodes([failed]), 2, map_only_spec(10));
-        let lost = engine.store().lost_native_blocks(engine.cluster_state()).len();
+        let lost = engine
+            .store()
+            .lost_native_blocks(engine.cluster_state())
+            .len();
         assert!(lost > 0, "seeded placement must put natives on node0");
         let result = engine.run(Box::new(Greedy)).unwrap();
         assert_eq!(result.map_count(MapLocality::Degraded), lost);
@@ -1195,13 +1265,9 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
-            base_engine(
-                FailureScenario::nodes([NodeId(1)]),
-                seed,
-                map_only_spec(10),
-            )
-            .run(Box::new(Greedy))
-            .unwrap()
+            base_engine(FailureScenario::nodes([NodeId(1)]), seed, map_only_spec(10))
+                .run(Box::new(Greedy))
+                .unwrap()
         };
         let a = run(7);
         let b = run(7);
@@ -1234,8 +1300,14 @@ mod tests {
         assert_eq!(result.jobs.len(), 2);
         // FIFO: job0 finishes no later than job1.
         assert!(result.jobs[0].finished_at <= result.jobs[1].finished_at);
-        assert_eq!(result.tasks.iter().filter(|t| t.job == JobId(0)).count(), 32);
-        assert_eq!(result.tasks.iter().filter(|t| t.job == JobId(1)).count(), 32);
+        assert_eq!(
+            result.tasks.iter().filter(|t| t.job == JobId(0)).count(),
+            32
+        );
+        assert_eq!(
+            result.tasks.iter().filter(|t| t.job == JobId(1)).count(),
+            32
+        );
     }
 
     #[test]

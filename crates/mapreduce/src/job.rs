@@ -156,7 +156,10 @@ impl JobSpecBuilder {
     ///
     /// Panics if the ratio is negative or not finite.
     pub fn shuffle_ratio(mut self, ratio: f64) -> Self {
-        assert!(ratio >= 0.0 && ratio.is_finite(), "bad shuffle ratio {ratio}");
+        assert!(
+            ratio >= 0.0 && ratio.is_finite(),
+            "bad shuffle ratio {ratio}"
+        );
         self.spec.shuffle_ratio = ratio;
         self
     }

@@ -148,9 +148,9 @@ impl RunResult {
 
     /// Mean runtime of "normal" maps (local + remote, not degraded).
     pub fn mean_normal_map_secs(&self) -> Option<f64> {
-        self.mean_task_runtime_secs(|t| {
-            matches!(t.map_locality(), Some(l) if l != MapLocality::Degraded)
-        })
+        self.mean_task_runtime_secs(
+            |t| matches!(t.map_locality(), Some(l) if l != MapLocality::Degraded),
+        )
     }
 
     /// Mean runtime of degraded maps.
@@ -173,7 +173,10 @@ mod tests {
         TaskRecord {
             job: JobId(job),
             detail: TaskDetail::Map {
-                block: BlockRef { stripe: StripeId(0), pos: 0 },
+                block: BlockRef {
+                    stripe: StripeId(0),
+                    pos: 0,
+                },
                 locality,
             },
             node: NodeId(0),

@@ -376,7 +376,10 @@ mod tests {
         // blocks per node.
         assert!(snap.t_s >= 0.0);
         assert!(snap.mean_t_s > 0.0, "cluster has unassigned local work");
-        assert!((snap.t_s / 4.0).fract().abs() < 1e-9, "t_s is a multiple of 8/2");
+        assert!(
+            (snap.t_s / 4.0).fract().abs() < 1e-9,
+            "t_s is a multiple of 8/2"
+        );
         // No degraded task assigned yet: both rack timings are infinite.
         assert!(snap.t_r.is_infinite());
         assert!(snap.mean_t_r.is_infinite());
@@ -429,8 +432,13 @@ mod tests {
             .build()
             .unwrap();
         engine
-            .run(Box::new(LateSpy { saw_finite_tr: flag.clone() }))
+            .run(Box::new(LateSpy {
+                saw_finite_tr: flag.clone(),
+            }))
             .unwrap();
-        assert!(*flag.borrow(), "t_r never became finite despite degraded launches");
+        assert!(
+            *flag.borrow(),
+            "t_r never became finite despite degraded launches"
+        );
     }
 }

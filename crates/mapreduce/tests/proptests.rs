@@ -50,12 +50,12 @@ struct Config {
 
 fn config() -> impl Strategy<Value = Config> {
     (
-        2usize..=4,         // racks
-        2usize..=4,         // nodes per rack
-        1u32..=3,           // map slots
-        2usize..=8,         // stripes
-        1u64..=15,          // map secs
-        0usize..=4,         // reduce tasks
+        2usize..=4, // racks
+        2usize..=4, // nodes per rack
+        1u32..=3,   // map slots
+        2usize..=8, // stripes
+        1u64..=15,  // map secs
+        0usize..=4, // reduce tasks
         proptest::option::of(0usize..16),
         any::<u64>(),
     )

@@ -6,6 +6,18 @@
 //! subtracts that share along their paths. The result is the classic
 //! water-filling allocation: no flow can increase its rate without
 //! decreasing that of a flow with an equal or smaller rate.
+//!
+//! Two implementations live here:
+//!
+//! * [`FairshareWorkspace::compute`] — the production path: all scratch
+//!   state lives in a reusable workspace (no allocations once warm), and
+//!   the freeze loop walks per-link flow lists instead of re-scanning
+//!   every flow each round.
+//! * [`max_min_rates_ref`] — the straightforward textbook version this
+//!   module originally shipped, retained as the oracle: the workspace
+//!   path produces **bit-identical** rates (same freeze set and same
+//!   `best_share` every round, hence the same clamped subtraction
+//!   sequence on every link).
 
 /// Computes max-min fair rates.
 ///
@@ -13,13 +25,194 @@
 /// * `paths[f]` — the link indices flow `f` traverses (may be empty for a
 ///   loopback flow, which gets `f64::INFINITY`).
 ///
-/// Returns one rate per flow, in bits/second.
+/// Returns one rate per flow, in bits/second. Convenience wrapper over
+/// [`FairshareWorkspace::compute`] for one-shot callers; event loops
+/// should hold a workspace to amortize the scratch allocations.
 ///
 /// # Panics
 ///
 /// Panics if a path references an unknown link or a capacity is not
 /// positive.
 pub fn max_min_rates(capacities: &[f64], paths: &[Vec<usize>]) -> Vec<f64> {
+    let mut ws = FairshareWorkspace::new();
+    let mut rates = Vec::new();
+    let paths32: Vec<Vec<u32>> = paths
+        .iter()
+        .map(|p| {
+            p.iter()
+                .map(|&l| u32::try_from(l).expect("link index fits u32"))
+                .collect()
+        })
+        .collect();
+    ws.compute(capacities, &paths32, &mut rates);
+    rates
+}
+
+/// Scratch state for [`FairshareWorkspace::compute`]. Create once, reuse
+/// for every allocation; all internal buffers retain their capacity
+/// between calls, so a warm workspace allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct FairshareWorkspace {
+    /// Remaining capacity per link.
+    remaining: Vec<f64>,
+    /// Unfrozen flows crossing each link.
+    load: Vec<u32>,
+    /// Flow → links, CSR: flow `f` uses `path_flat[path_off[f]..path_off[f+1]]`.
+    path_off: Vec<u32>,
+    path_flat: Vec<u32>,
+    /// Link → flows, CSR: link `l` carries `link_flows[link_off[l]..link_off[l+1]]`.
+    link_off: Vec<u32>,
+    link_flows: Vec<u32>,
+    /// Per-flow freeze flag.
+    frozen: Vec<bool>,
+    /// Bottleneck links of the current round.
+    round_links: Vec<u32>,
+}
+
+impl FairshareWorkspace {
+    /// An empty workspace.
+    pub fn new() -> FairshareWorkspace {
+        FairshareWorkspace::default()
+    }
+
+    /// Computes max-min fair rates into `rates` (cleared and resized to
+    /// one entry per flow). Semantics — including every floating-point
+    /// result — match [`max_min_rates_ref`]; see the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a path references an unknown link or a capacity is not
+    /// positive.
+    pub fn compute<I>(&mut self, capacities: &[f64], paths: I, rates: &mut Vec<f64>)
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[u32]>,
+    {
+        assert!(
+            capacities.iter().all(|&c| c > 0.0 && c.is_finite()),
+            "link capacities must be positive and finite"
+        );
+        let num_links = capacities.len();
+
+        rates.clear();
+        self.remaining.clear();
+        self.remaining.extend_from_slice(capacities);
+        self.load.clear();
+        self.load.resize(num_links, 0);
+        self.frozen.clear();
+
+        // Pass 1: copy paths into the flow CSR (the only look at the
+        // caller's paths), count link loads, and freeze loopback
+        // (empty-path) flows at infinity.
+        self.path_off.clear();
+        self.path_flat.clear();
+        self.path_off.push(0);
+        let mut unfrozen_left = 0usize;
+        for path in paths {
+            let path = path.as_ref();
+            for &l in path {
+                assert!((l as usize) < num_links, "path references unknown link {l}");
+                self.load[l as usize] += 1;
+                self.path_flat.push(l);
+            }
+            self.path_off.push(self.path_flat.len() as u32);
+            if path.is_empty() {
+                rates.push(f64::INFINITY);
+                self.frozen.push(true);
+            } else {
+                rates.push(0.0);
+                self.frozen.push(false);
+                unfrozen_left += 1;
+            }
+        }
+        let num_flows = rates.len();
+
+        // Pass 2: invert into the link CSR by counting sort, so the
+        // freeze loop can enumerate exactly the flows crossing a
+        // bottleneck link (in ascending flow order).
+        self.link_off.clear();
+        self.link_off.resize(num_links + 1, 0);
+        for &l in &self.path_flat {
+            self.link_off[l as usize + 1] += 1;
+        }
+        for l in 0..num_links {
+            self.link_off[l + 1] += self.link_off[l];
+        }
+        self.link_flows.clear();
+        self.link_flows.resize(self.path_flat.len(), 0);
+        {
+            // `load` already holds the final counts; use a scratch cursor
+            // per link inside round_links' buffer to avoid another vec.
+            let cursor = &mut self.round_links;
+            cursor.clear();
+            cursor.extend_from_slice(&self.link_off[..num_links]);
+            for f in 0..num_flows {
+                let (s, e) = (self.path_off[f] as usize, self.path_off[f + 1] as usize);
+                for &l in &self.path_flat[s..e] {
+                    let c = &mut cursor[l as usize];
+                    self.link_flows[*c as usize] = f as u32;
+                    *c += 1;
+                }
+            }
+        }
+
+        // Progressive filling. Each round: find the smallest per-flow
+        // share among loaded links, mark every link at that share (up to
+        // fp tolerance) as a bottleneck, and freeze the flows crossing
+        // them — identical rounds, in the identical order, as the
+        // reference implementation.
+        while unfrozen_left > 0 {
+            let mut best_share = f64::INFINITY;
+            for l in 0..num_links {
+                if self.load[l] > 0 {
+                    let share = self.remaining[l] / self.load[l] as f64;
+                    if share < best_share {
+                        best_share = share;
+                    }
+                }
+            }
+            debug_assert!(best_share.is_finite(), "no bottleneck among loaded links");
+            // A small relative tolerance groups links whose shares are
+            // equal up to floating-point noise.
+            let tol = best_share * 1e-12;
+            self.round_links.clear();
+            for l in 0..num_links {
+                if self.load[l] > 0 && self.remaining[l] / self.load[l] as f64 <= best_share + tol {
+                    self.round_links.push(l as u32);
+                }
+            }
+            for i in 0..self.round_links.len() {
+                let l = self.round_links[i] as usize;
+                let (s, e) = (self.link_off[l] as usize, self.link_off[l + 1] as usize);
+                for j in s..e {
+                    let f = self.link_flows[j] as usize;
+                    if self.frozen[f] {
+                        continue;
+                    }
+                    self.frozen[f] = true;
+                    rates[f] = best_share;
+                    unfrozen_left -= 1;
+                    let (ps, pe) = (self.path_off[f] as usize, self.path_off[f + 1] as usize);
+                    for &pl in &self.path_flat[ps..pe] {
+                        let r = &mut self.remaining[pl as usize];
+                        *r = (*r - best_share).max(0.0);
+                        self.load[pl as usize] -= 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reference implementation of [`max_min_rates`]: allocates its scratch
+/// per call and re-scans every flow each freeze round. Retained as the
+/// oracle for property tests and the baseline for `bench_snapshot`.
+///
+/// # Panics
+///
+/// Panics if a path references an unknown link or a capacity is not
+/// positive.
+pub fn max_min_rates_ref(capacities: &[f64], paths: &[Vec<usize>]) -> Vec<f64> {
     assert!(
         capacities.iter().all(|&c| c > 0.0 && c.is_finite()),
         "link capacities must be positive and finite"
@@ -155,7 +348,10 @@ mod tests {
             }
         }
         for l in 0..5 {
-            assert!(usage[l] <= caps[l] * (1.0 + 1e-9), "link {l} oversubscribed");
+            assert!(
+                usage[l] <= caps[l] * (1.0 + 1e-9),
+                "link {l} oversubscribed"
+            );
         }
         for (f, path) in paths.iter().enumerate() {
             let has_certificate = path.iter().any(|&l| {
@@ -172,6 +368,54 @@ mod tests {
     }
 
     #[test]
+    fn workspace_matches_reference_bit_for_bit() {
+        // A contended mesh with ties, loopbacks, and repeated links.
+        let caps = [
+            GBPS,
+            0.5 * GBPS,
+            0.25 * GBPS,
+            2.0 * GBPS,
+            0.75 * GBPS,
+            0.1 * GBPS,
+        ];
+        let paths: Vec<Vec<usize>> = vec![
+            vec![0, 1],
+            vec![],
+            vec![1, 2],
+            vec![2, 3],
+            vec![0, 3],
+            vec![4],
+            vec![0, 4],
+            vec![1, 4],
+            vec![2],
+            vec![5],
+            vec![5],
+            vec![0, 5],
+            vec![],
+        ];
+        let reference = max_min_rates_ref(&caps, &paths);
+        let via_workspace = max_min_rates(&caps, &paths);
+        let ref_bits: Vec<u64> = reference.iter().map(|r| r.to_bits()).collect();
+        let ws_bits: Vec<u64> = via_workspace.iter().map(|r| r.to_bits()).collect();
+        assert_eq!(ref_bits, ws_bits);
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean_across_calls() {
+        let mut ws = FairshareWorkspace::new();
+        let mut rates = vec![99.0; 7];
+        ws.compute(&[GBPS, 0.5 * GBPS], &[vec![0u32, 1], vec![1]], &mut rates);
+        assert_eq!(rates.len(), 2);
+        let first = rates.clone();
+        // A different, smaller problem must not see stale state.
+        ws.compute(&[GBPS], &[vec![0u32]], &mut rates);
+        assert_eq!(rates, vec![GBPS]);
+        // And re-running the first problem reproduces it exactly.
+        ws.compute(&[GBPS, 0.5 * GBPS], &[vec![0u32, 1], vec![1]], &mut rates);
+        assert_eq!(rates, first);
+    }
+
+    #[test]
     #[should_panic(expected = "unknown link")]
     fn rejects_unknown_link() {
         let _ = max_min_rates(&[GBPS], &[vec![3]]);
@@ -181,5 +425,11 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_capacity() {
         let _ = max_min_rates(&[0.0], &[vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn reference_rejects_unknown_link() {
+        let _ = max_min_rates_ref(&[GBPS], &[vec![3]]);
     }
 }

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 
 use simkit::time::{SimDuration, SimTime};
 
-use crate::fairshare::max_min_rates;
+use crate::fairshare::FairshareWorkspace;
 
 /// Identifies an active or finished flow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -83,6 +83,41 @@ impl FlowStats {
     }
 }
 
+/// A flow's route, stored inline: every route in the two-level tree is
+/// at most 4 links (`src NIC up, src rack up, dst rack down, dst NIC
+/// down`), so no heap allocation is ever needed.
+#[derive(Clone, Copy, Debug)]
+struct Path {
+    len: u8,
+    links: [u32; 4],
+}
+
+impl Path {
+    const EMPTY: Path = Path {
+        len: 0,
+        links: [0; 4],
+    };
+
+    fn of(links: &[usize]) -> Path {
+        let mut p = Path::EMPTY;
+        for &l in links {
+            p.links[p.len as usize] = u32::try_from(l).expect("link index fits u32");
+            p.len += 1;
+        }
+        p
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        &self.links[..self.len as usize]
+    }
+}
+
+impl AsRef<[u32]> for Path {
+    fn as_ref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
 #[derive(Clone, Debug)]
 struct ActiveFlow {
     id: FlowId,
@@ -91,7 +126,7 @@ struct ActiveFlow {
     bytes: u64,
     remaining_bits: f64,
     rate_bps: f64,
-    path: Vec<usize>,
+    path: Path,
     started: SimTime,
 }
 
@@ -138,6 +173,10 @@ pub struct Network {
     /// sample (the paper's "unused network resources" evidence).
     utilization_log: Option<Vec<UtilizationSample>>,
     rack_bps: f64,
+    /// Reused scratch for rate reallocation — flows start/finish on
+    /// every simulated transfer, so this path must not allocate.
+    fairshare: FairshareWorkspace,
+    rates_buf: Vec<f64>,
 }
 
 /// Residual bits below which a flow counts as finished (absorbs the
@@ -165,8 +204,8 @@ impl Network {
         let num_nodes = node_rack.len();
         let num_racks = rack_sizes.len();
         let mut capacities = Vec::with_capacity(2 * num_nodes + 2 * num_racks);
-        capacities.extend(std::iter::repeat(config.node_bps as f64).take(2 * num_nodes));
-        capacities.extend(std::iter::repeat(config.rack_bps as f64).take(2 * num_racks));
+        capacities.extend(std::iter::repeat_n(config.node_bps as f64, 2 * num_nodes));
+        capacities.extend(std::iter::repeat_n(config.rack_bps as f64, 2 * num_racks));
         Network {
             node_rack,
             capacities,
@@ -178,6 +217,8 @@ impl Network {
             next_done: None,
             utilization_log: None,
             rack_bps: config.rack_bps as f64,
+            fairshare: FairshareWorkspace::new(),
+            rates_buf: Vec::new(),
         }
     }
 
@@ -210,18 +251,42 @@ impl Network {
         self.flows.len()
     }
 
-    fn path_for(&self, src: usize, dst: usize) -> Vec<usize> {
-        assert!(src < self.num_nodes() && dst < self.num_nodes(), "unknown node");
+    fn path_for(&self, src: usize, dst: usize) -> Path {
+        assert!(
+            src < self.num_nodes() && dst < self.num_nodes(),
+            "unknown node"
+        );
         if src == dst {
-            return Vec::new(); // loopback: no network traversal
+            return Path::EMPTY; // loopback: no network traversal
         }
         let n = self.num_nodes();
         let (sr, dr) = (self.node_rack[src], self.node_rack[dst]);
         if sr == dr {
-            vec![2 * src, 2 * dst + 1]
+            Path::of(&[2 * src, 2 * dst + 1])
         } else {
-            vec![2 * src, 2 * n + 2 * sr, 2 * n + 2 * dr + 1, 2 * dst + 1]
+            Path::of(&[2 * src, 2 * n + 2 * sr, 2 * n + 2 * dr + 1, 2 * dst + 1])
         }
+    }
+
+    /// Registers a flow without advancing time or reallocating rates —
+    /// the shared tail of [`Network::start_flow`] and
+    /// [`Network::start_flows`].
+    fn push_flow(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> FlowId {
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let path = self.path_for(src, dst);
+        self.index_of.insert(id, self.flows.len());
+        self.flows.push(ActiveFlow {
+            id,
+            src,
+            dst,
+            bytes,
+            remaining_bits: (bytes as f64) * 8.0,
+            rate_bps: 0.0,
+            path,
+            started: now,
+        });
+        id
     }
 
     /// Starts a flow of `bytes` from `src` to `dst` at time `now`.
@@ -233,21 +298,7 @@ impl Network {
     /// network update.
     pub fn start_flow(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> FlowId {
         self.advance_to(now);
-        let id = FlowId(self.next_id);
-        self.next_id += 1;
-        let path = self.path_for(src, dst);
-        let flow = ActiveFlow {
-            id,
-            src,
-            dst,
-            bytes,
-            remaining_bits: (bytes as f64) * 8.0,
-            rate_bps: 0.0,
-            path,
-            started: now,
-        };
-        self.index_of.insert(id, self.flows.len());
-        self.flows.push(flow);
+        let id = self.push_flow(now, src, dst, bytes);
         self.reallocate(now);
         id
     }
@@ -263,21 +314,7 @@ impl Network {
         self.advance_to(now);
         let mut ids = Vec::with_capacity(specs.len());
         for &(src, dst, bytes) in specs {
-            let id = FlowId(self.next_id);
-            self.next_id += 1;
-            let path = self.path_for(src, dst);
-            self.index_of.insert(id, self.flows.len());
-            self.flows.push(ActiveFlow {
-                id,
-                src,
-                dst,
-                bytes,
-                remaining_bits: (bytes as f64) * 8.0,
-                rate_bps: 0.0,
-                path,
-                started: now,
-            });
-            ids.push(id);
+            ids.push(self.push_flow(now, src, dst, bytes));
         }
         if !ids.is_empty() {
             self.reallocate(now);
@@ -373,7 +410,11 @@ impl Network {
                 } else {
                     flow.remaining_bits = (flow.remaining_bits - flow.rate_bps * dt).max(0.0);
                     if self.utilization_log.is_some()
-                        && flow.path.iter().any(|&l| l >= 2 * n && l % 2 == 1)
+                        && flow
+                            .path
+                            .as_slice()
+                            .iter()
+                            .any(|&l| l as usize >= 2 * n && l % 2 == 1)
                     {
                         rack_down_bits += flow.rate_bps * dt;
                     }
@@ -392,10 +433,13 @@ impl Network {
     }
 
     fn reallocate(&mut self, now: SimTime) {
-        let paths: Vec<Vec<usize>> = self.flows.iter().map(|f| f.path.clone()).collect();
-        let rates = max_min_rates(&self.capacities, &paths);
+        self.fairshare.compute(
+            &self.capacities,
+            self.flows.iter().map(|f| &f.path),
+            &mut self.rates_buf,
+        );
         let mut earliest: Option<SimTime> = None;
-        for (flow, rate) in self.flows.iter_mut().zip(rates) {
+        for (flow, &rate) in self.flows.iter_mut().zip(self.rates_buf.iter()) {
             flow.rate_bps = rate;
             if rate.is_infinite() {
                 // Loopback flows never traverse a link; they complete at once.
@@ -461,8 +505,8 @@ mod tests {
         let mut net = Network::new(&[2, 2, 2], NetConfig::uniform(MBPS_100));
         net.start_flow(SimTime::ZERO, 0, 2, BLOCK); // rack0 -> rack1
         net.start_flow(SimTime::ZERO, 4, 1, BLOCK); // rack2 -> rack0
-        // rack1-down and rack0-down are different links; both flows run
-        // at full speed.
+                                                    // rack1-down and rack0-down are different links; both flows run
+                                                    // at full speed.
         let done = net.next_completion().unwrap();
         assert!((secs(done) - 10.74).abs() < 0.01, "{}", secs(done));
         assert_eq!(net.complete_flows(done).len(), 2);
@@ -483,11 +527,18 @@ mod tests {
         let done_a = net.next_completion().unwrap();
         let finished = net.complete_flows(done_a);
         assert_eq!(finished, vec![a]);
-        assert!((secs(done_a) - (5.0 + 11.48)).abs() < 0.05, "{}", secs(done_a));
+        assert!(
+            (secs(done_a) - (5.0 + 11.48)).abs() < 0.05,
+            "{}",
+            secs(done_a)
+        );
         // B transferred (done_a - t1) at half rate; the rest at full rate.
         let done_b = net.next_completion().unwrap();
         let t_b_total = secs(done_b) - 5.0;
-        assert!((t_b_total - (11.48 + (10.74 - 11.48 / 2.0))).abs() < 0.1, "{t_b_total}");
+        assert!(
+            (t_b_total - (11.48 + (10.74 - 11.48 / 2.0))).abs() < 0.1,
+            "{t_b_total}"
+        );
         assert_eq!(net.complete_flows(done_b), vec![b]);
     }
 
@@ -591,7 +642,10 @@ mod utilization_tests {
         let log = net.utilization_log();
         assert!(!log.is_empty());
         let total_bits: f64 = log.iter().map(|s| s.rack_down_bits).sum();
-        assert!((total_bits - 128.0 * 1024.0 * 1024.0 * 8.0).abs() < 1e6, "{total_bits}");
+        assert!(
+            (total_bits - 128.0 * 1024.0 * 1024.0 * 8.0).abs() < 1e6,
+            "{total_bits}"
+        );
         // One of two rack downlinks busy => 50% aggregate utilization.
         for sample in log {
             assert!((sample.fraction() - 0.5).abs() < 0.01, "{:?}", sample);
@@ -600,7 +654,7 @@ mod utilization_tests {
     }
 
     #[test]
-    fn intra_rack_flows_do_not_count(){
+    fn intra_rack_flows_do_not_count() {
         let mut net = Network::new(&[2, 2], NetConfig::gigabit());
         net.enable_utilization_log();
         net.start_flow(SimTime::ZERO, 0, 1, 1_000_000); // same rack
@@ -626,7 +680,11 @@ mod batch_tests {
 
     #[test]
     fn batch_start_equals_sequential_start() {
-        let specs = [(0usize, 2usize, 64_000_000u64), (1, 3, 32_000_000), (2, 0, 8_000_000)];
+        let specs = [
+            (0usize, 2usize, 64_000_000u64),
+            (1, 3, 32_000_000),
+            (2, 0, 8_000_000),
+        ];
         let run = |batch: bool| {
             let mut net = Network::new(&[2, 2], NetConfig::uniform(100_000_000));
             if batch {

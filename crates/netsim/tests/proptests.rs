@@ -2,15 +2,12 @@
 //! max-min optimality of rate allocations, byte conservation, and
 //! monotonicity of completion under contention.
 
+use netsim::fairshare::{max_min_rates, max_min_rates_ref, FairshareWorkspace};
 use netsim::{NetConfig, Network};
-use netsim::fairshare::max_min_rates;
 use proptest::prelude::*;
 use simkit::time::SimTime;
 
-fn random_paths(
-    num_links: usize,
-    max_flows: usize,
-) -> impl Strategy<Value = Vec<Vec<usize>>> {
+fn random_paths(num_links: usize, max_flows: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
     proptest::collection::vec(
         proptest::collection::btree_set(0..num_links, 1..=num_links.min(4)),
         0..max_flows,
@@ -75,6 +72,45 @@ proptest! {
             });
             prop_assert!(ok, "flow {f} lacks a bottleneck certificate");
         }
+    }
+
+    #[test]
+    fn workspace_allocator_matches_reference_bit_for_bit(
+        caps in proptest::collection::vec(1e6f64..1e10, 1..8),
+        seed_paths in random_paths(8, 16),
+        loopbacks in 0usize..3,
+    ) {
+        // The incremental workspace allocator must reproduce the naive
+        // reference implementation exactly — same freeze rounds, same
+        // floating-point operations, hence bit-identical rates.
+        let num_links = caps.len();
+        let mut paths: Vec<Vec<usize>> = seed_paths
+            .into_iter()
+            .map(|p| p.into_iter().filter(|&l| l < num_links).collect::<Vec<_>>())
+            .collect();
+        for _ in 0..loopbacks {
+            paths.push(Vec::new());
+        }
+        let reference = max_min_rates_ref(&caps, &paths);
+        let via_wrapper = max_min_rates(&caps, &paths);
+        let ref_bits: Vec<u64> = reference.iter().map(|r| r.to_bits()).collect();
+        prop_assert_eq!(
+            &ref_bits,
+            &via_wrapper.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+        );
+        // A reused (dirty) workspace must agree too.
+        let mut ws = FairshareWorkspace::new();
+        let mut rates = Vec::new();
+        let paths32: Vec<Vec<u32>> = paths
+            .iter()
+            .map(|p| p.iter().map(|&l| l as u32).collect())
+            .collect();
+        ws.compute(&caps, &paths32, &mut rates);
+        ws.compute(&caps, &paths32, &mut rates);
+        prop_assert_eq!(
+            &ref_bits,
+            &rates.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

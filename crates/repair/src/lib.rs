@@ -245,12 +245,12 @@ pub fn simulate(
     let mut bytes = 0u64;
 
     let start_task = |idx: usize,
-                          now: SimTime,
-                          net: &mut Network,
-                          inflight: &mut HashMap<usize, usize>,
-                          flow_task: &mut HashMap<FlowId, usize>,
-                          bytes: &mut u64,
-                          started_at: &mut Vec<SimTime>| {
+                      now: SimTime,
+                      net: &mut Network,
+                      inflight: &mut HashMap<usize, usize>,
+                      flow_task: &mut HashMap<FlowId, usize>,
+                      bytes: &mut u64,
+                      started_at: &mut Vec<SimTime>| {
         let task = &plan.tasks[idx];
         started_at[idx] = now;
         let mut pending = 0usize;
@@ -387,7 +387,11 @@ mod tests {
             let n = nodes.len();
             nodes.sort();
             nodes.dedup();
-            assert_eq!(nodes.len(), n, "stripe {stripe} re-uses a node after repair");
+            assert_eq!(
+                nodes.len(),
+                n,
+                "stripe {stripe} re-uses a node after repair"
+            );
         }
     }
 

@@ -294,8 +294,14 @@ mod tests {
         assert_eq!(LocalityFirst::new().name(), "LF");
         assert_eq!(DegradedFirst::basic().name(), "BDF");
         assert_eq!(DegradedFirst::enhanced().name(), "EDF");
-        assert_eq!(DegradedFirst::with_heuristics(true, false).name(), "BDF+locality");
-        assert_eq!(DegradedFirst::with_heuristics(false, true).name(), "BDF+rack");
+        assert_eq!(
+            DegradedFirst::with_heuristics(true, false).name(),
+            "BDF+locality"
+        );
+        assert_eq!(
+            DegradedFirst::with_heuristics(false, true).name(),
+            "BDF+rack"
+        );
     }
 
     #[test]
@@ -303,9 +309,24 @@ mod tests {
         // Without failures there are no degraded tasks and the
         // degraded-first policies reduce to locality-first exactly
         // (Section IV-A).
-        let lf = run(Box::new(LocalityFirst::new()), FailureScenario::none(), 3, 1000);
-        let bdf = run(Box::new(DegradedFirst::basic()), FailureScenario::none(), 3, 1000);
-        let edf = run(Box::new(DegradedFirst::enhanced()), FailureScenario::none(), 3, 1000);
+        let lf = run(
+            Box::new(LocalityFirst::new()),
+            FailureScenario::none(),
+            3,
+            1000,
+        );
+        let bdf = run(
+            Box::new(DegradedFirst::basic()),
+            FailureScenario::none(),
+            3,
+            1000,
+        );
+        let edf = run(
+            Box::new(DegradedFirst::enhanced()),
+            FailureScenario::none(),
+            3,
+            1000,
+        );
         assert_eq!(lf, bdf);
         assert_eq!(lf, edf);
     }
@@ -373,8 +394,18 @@ mod tests {
         // The headline claim, on a constrained network (100 Mbps racks).
         for seed in [1, 2, 3] {
             let lf = run(Box::new(LocalityFirst::new()), single_failure(0), seed, 100);
-            let bdf = run(Box::new(DegradedFirst::basic()), single_failure(0), seed, 100);
-            let edf = run(Box::new(DegradedFirst::enhanced()), single_failure(0), seed, 100);
+            let bdf = run(
+                Box::new(DegradedFirst::basic()),
+                single_failure(0),
+                seed,
+                100,
+            );
+            let edf = run(
+                Box::new(DegradedFirst::enhanced()),
+                single_failure(0),
+                seed,
+                100,
+            );
             let lf_rt = lf.jobs[0].runtime().as_secs_f64();
             let bdf_rt = bdf.jobs[0].runtime().as_secs_f64();
             let edf_rt = edf.jobs[0].runtime().as_secs_f64();
@@ -393,7 +424,12 @@ mod tests {
     fn degraded_first_cuts_degraded_read_time() {
         // Figure 8(b): BDF/EDF cut the degraded read time by ~80%+.
         let lf = run(Box::new(LocalityFirst::new()), single_failure(0), 5, 100);
-        let edf = run(Box::new(DegradedFirst::enhanced()), single_failure(0), 5, 100);
+        let edf = run(
+            Box::new(DegradedFirst::enhanced()),
+            single_failure(0),
+            5,
+            100,
+        );
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
         let lf_read = mean(&lf.degraded_read_secs());
         let edf_read = mean(&edf.degraded_read_secs());
@@ -409,10 +445,22 @@ mod tests {
         let mut bdf_remote = 0usize;
         let mut edf_remote = 0usize;
         for seed in 1..6 {
-            let bdf = run(Box::new(DegradedFirst::basic()), single_failure(0), seed, 100);
-            let edf = run(Box::new(DegradedFirst::enhanced()), single_failure(0), seed, 100);
-            bdf_remote += bdf.map_count(MapLocality::Remote) + bdf.map_count(MapLocality::RackLocal);
-            edf_remote += edf.map_count(MapLocality::Remote) + edf.map_count(MapLocality::RackLocal);
+            let bdf = run(
+                Box::new(DegradedFirst::basic()),
+                single_failure(0),
+                seed,
+                100,
+            );
+            let edf = run(
+                Box::new(DegradedFirst::enhanced()),
+                single_failure(0),
+                seed,
+                100,
+            );
+            bdf_remote +=
+                bdf.map_count(MapLocality::Remote) + bdf.map_count(MapLocality::RackLocal);
+            edf_remote +=
+                edf.map_count(MapLocality::Remote) + edf.map_count(MapLocality::RackLocal);
         }
         assert!(
             edf_remote <= bdf_remote,
@@ -469,10 +517,7 @@ mod delay_tests {
     fn delay_scheduling_completes_everything() {
         let result = run(Box::new(DelayScheduling::new(SimDuration::from_secs(6))), 1);
         assert_eq!(result.tasks.len(), 240);
-        assert_eq!(
-            DelayScheduling::new(SimDuration::ZERO).name(),
-            "LF+delay"
-        );
+        assert_eq!(DelayScheduling::new(SimDuration::ZERO).name(), "LF+delay");
     }
 
     #[test]
@@ -481,7 +526,10 @@ mod delay_tests {
         let mut delay_non_local = 0usize;
         for seed in 0..4 {
             let lf = run(Box::new(LocalityFirst::new()), seed);
-            let delay = run(Box::new(DelayScheduling::new(SimDuration::from_secs(6))), seed);
+            let delay = run(
+                Box::new(DelayScheduling::new(SimDuration::from_secs(6))),
+                seed,
+            );
             lf_non_local +=
                 lf.map_count(MapLocality::Remote) + lf.map_count(MapLocality::RackLocal);
             delay_non_local +=

@@ -25,16 +25,24 @@ struct Config {
 }
 
 fn config() -> impl Strategy<Value = Config> {
-    (2usize..=4, 2usize..=4, 3usize..=10, 2u64..=12, any::<usize>(), any::<u64>()).prop_map(
-        |(racks, nodes_per_rack, stripes, map_secs, fail, seed)| Config {
-            racks,
-            nodes_per_rack,
-            stripes,
-            map_secs,
-            fail_node: fail % (racks * nodes_per_rack),
-            seed,
-        },
+    (
+        2usize..=4,
+        2usize..=4,
+        3usize..=10,
+        2u64..=12,
+        any::<usize>(),
+        any::<u64>(),
     )
+        .prop_map(
+            |(racks, nodes_per_rack, stripes, map_secs, fail, seed)| Config {
+                racks,
+                nodes_per_rack,
+                stripes,
+                map_secs,
+                fail_node: fail % (racks * nodes_per_rack),
+                seed,
+            },
+        )
 }
 
 fn run(cfg: &Config, scheduler: Box<dyn MapScheduler>, failure: FailureScenario) -> RunResult {
@@ -143,9 +151,8 @@ proptest! {
         // Degraded-before-normal within a tie matches the algorithm's
         // order (the degraded check runs before the locality pass).
         assigns.sort_by_key(|&(t, degraded)| (t, !degraded));
-        let mut launched = 0usize;
         let mut launched_degraded = 0usize;
-        for (_, degraded) in assigns {
+        for (launched, (_, degraded)) in assigns.into_iter().enumerate() {
             if degraded {
                 // m/M >= m_d/M_d at decision time (cross-multiplied).
                 prop_assert!(
@@ -154,7 +161,6 @@ proptest! {
                 );
                 launched_degraded += 1;
             }
-            launched += 1;
         }
     }
 

@@ -2,50 +2,81 @@
 //! deterministic tie-breaking and cancellation.
 //!
 //! Events that share a timestamp are delivered in the order they were
-//! scheduled (FIFO), which makes simulation runs reproducible. Cancellation
-//! is lazy: cancelled entries stay in the heap and are skipped on pop, so
-//! both `schedule` and `cancel` are O(log n) amortized.
+//! scheduled (FIFO), which makes simulation runs reproducible.
+//!
+//! Cancellation uses a generation-checked slab instead of a hash set:
+//! each handle is a `(slot, generation)` pair, so `schedule`, `cancel`,
+//! and `pop` never hash — liveness is one array compare. Cancelled
+//! entries stay in the heap, but the top of the heap is eagerly purged
+//! of dead entries after every mutation, so [`Calendar::peek_time`]
+//! works on a shared reference.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
 /// Identifies a scheduled event so it can later be [cancelled].
 ///
-/// Ids are unique within one [`Calendar`] and never reused.
+/// A handle is a slab slot plus a per-slot generation; a handle goes
+/// stale the moment its event fires or is cancelled, so acting on a
+/// stale handle is always a detected no-op (generations would have to
+/// wrap 2^32 times on one slot for a handle to falsely match — out of
+/// reach for any realistic run).
 ///
 /// [cancelled]: Calendar::cancel
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
 
 impl EventId {
-    /// The raw sequence number, mainly useful for logging.
+    fn new(slot: u32, gen: u32) -> EventId {
+        EventId((gen as u64) << 32 | slot as u64)
+    }
+
+    fn slot(self) -> usize {
+        self.0 as u32 as usize
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The raw handle bits, mainly useful for logging.
     pub fn as_u64(self) -> u64 {
         self.0
     }
 }
 
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
+    /// Global schedule order; breaks timestamp ties FIFO.
+    seq: u64,
     id: EventId,
     payload: E,
 }
 
-impl<E: Eq> Ord for Entry<E> {
+impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Ordered by time, then by schedule order. Payload never
         // participates in ordering.
-        (self.time, self.id).cmp(&(other.time, other.id))
+        (self.time, self.seq).cmp(&(other.time, other.seq))
     }
 }
 
-impl<E: Eq> PartialOrd for Entry<E> {
+impl<E> PartialOrd for Entry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+
+impl<E> Eq for Entry<E> {}
 
 /// A deterministic event calendar.
 ///
@@ -66,73 +97,115 @@ impl<E: Eq> PartialOrd for Entry<E> {
 #[derive(Debug)]
 pub struct Calendar<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Ids currently in the heap and not cancelled.
-    pending: HashSet<EventId>,
-    next_id: u64,
+    /// Current generation of each slot. A heap entry is live iff its
+    /// handle's generation matches its slot's.
+    generations: Vec<u32>,
+    /// Slots whose events fired or were cancelled, ready for reuse.
+    free_slots: Vec<u32>,
+    /// Live (scheduled, not cancelled) event count.
+    live: usize,
+    next_seq: u64,
 }
 
-impl<E: Eq> Calendar<E> {
+impl<E> Calendar<E> {
     /// Creates an empty calendar.
     pub fn new() -> Self {
         Calendar {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            next_id: 0,
+            generations: Vec::new(),
+            free_slots: Vec::new(),
+            live: 0,
+            next_seq: 0,
         }
     }
 
     /// Schedules `payload` for delivery at `time` and returns a handle
     /// that can cancel it.
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.pending.insert(id);
-        self.heap.push(Reverse(Entry { time, id, payload }));
+        let slot = match self.free_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.generations.len()).expect("slot count fits u32");
+                self.generations.push(0);
+                slot
+            }
+        };
+        let id = EventId::new(slot, self.generations[slot as usize]);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live += 1;
+        self.heap.push(Reverse(Entry {
+            time,
+            seq,
+            id,
+            payload,
+        }));
         id
+    }
+
+    /// Retires an id's slot: invalidates every outstanding handle to it
+    /// and queues it for reuse.
+    fn retire(&mut self, id: EventId) {
+        self.generations[id.slot()] = id.gen().wrapping_add(1);
+        self.free_slots.push(id.slot() as u32);
+        self.live -= 1;
+    }
+
+    /// Drops dead entries from the heap top so `peek`/`pop` see a live
+    /// entry (or an empty heap).
+    fn purge_top(&mut self) {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.generations[entry.id.slot()] == entry.id.gen() {
+                break;
+            }
+            self.heap.pop();
+        }
     }
 
     /// Cancels a previously scheduled event.
     ///
-    /// Cancellation is lazy: the entry stays in the heap and is skipped
-    /// when reached. Returns `true` if the event was still pending,
-    /// `false` if it had already fired or been cancelled.
+    /// The entry stays in the heap and is dropped when it reaches the
+    /// top. Returns `true` if the event was still pending, `false` if it
+    /// had already fired or been cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id)
+        let live = self
+            .generations
+            .get(id.slot())
+            .is_some_and(|&gen| gen == id.gen());
+        if live {
+            self.retire(id);
+            self.purge_top();
+        }
+        live
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.pending.remove(&entry.id) {
-                return Some((entry.time, entry.id, entry.payload));
-            }
-        }
-        None
+        // The top is always live (see `purge_top`), so no skip loop here.
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert_eq!(self.generations[entry.id.slot()], entry.id.gen());
+        self.retire(entry.id);
+        self.purge_top();
+        Some((entry.time, entry.id, entry.payload))
     }
 
     /// The timestamp of the earliest pending event without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.pending.contains(&entry.id) {
-                return Some(entry.time);
-            }
-            self.heap.pop();
-        }
-        None
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(entry)| entry.time)
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 }
 
-impl<E: Eq> Default for Calendar<E> {
+impl<E> Default for Calendar<E> {
     fn default() -> Self {
         Calendar::new()
     }
@@ -164,6 +237,25 @@ mod tests {
     }
 
     #[test]
+    fn fifo_tie_breaking_survives_slot_reuse() {
+        // Slots freed by fired events are reused by later schedules; the
+        // FIFO order must follow schedule time, not slot index.
+        let mut cal = Calendar::new();
+        for i in 0..10u32 {
+            cal.schedule(SimTime::from_secs(1), i);
+        }
+        for _ in 0..10 {
+            cal.pop().unwrap();
+        }
+        // These reuse the ten freed slots (in LIFO slot order).
+        for i in 0..10u32 {
+            cal.schedule(SimTime::from_secs(2), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn cancellation() {
         let mut cal = Calendar::new();
         let a = cal.schedule(SimTime::from_secs(1), "a");
@@ -175,6 +267,18 @@ mod tests {
         assert_eq!(cal.pop().unwrap().2, "b");
         assert!(!cal.cancel(b), "cancelling a fired event must fail");
         assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn stale_handle_to_reused_slot_is_rejected() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(SimTime::from_secs(1), "a");
+        assert!(cal.cancel(a));
+        // "b" reuses a's slot with a bumped generation.
+        let b = cal.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(a.as_u64() as u32, b.as_u64() as u32, "slot reused");
+        assert!(!cal.cancel(a), "stale handle must not cancel the new event");
+        assert_eq!(cal.pop().unwrap().2, "b");
     }
 
     #[test]

@@ -194,7 +194,8 @@ mod tests {
         let floor = SimDuration::from_secs(1);
         for _ in 0..10_000 {
             // Wide std-dev so untruncated samples would often be negative.
-            let d = rng.normal_duration(SimDuration::from_secs(2), SimDuration::from_secs(10), floor);
+            let d =
+                rng.normal_duration(SimDuration::from_secs(2), SimDuration::from_secs(10), floor);
             assert!(d >= floor);
         }
     }

@@ -287,7 +287,10 @@ mod tests {
             SimTime::from_secs(1).saturating_duration_since(SimTime::from_secs(5)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl CorpusBuilder {
     ///
     /// Panics if `min` is zero or exceeds `max`.
     pub fn words_per_line(mut self, min: usize, max: usize) -> CorpusBuilder {
-        assert!(min > 0 && min <= max, "bad words-per-line range {min}..{max}");
+        assert!(
+            min > 0 && min <= max,
+            "bad words-per-line range {min}..{max}"
+        );
         self.words_per_line = (min, max);
         self
     }
@@ -165,12 +168,18 @@ mod tests {
         for line in s.lines() {
             *seen.entry(line).or_default() += 1;
         }
-        assert!(seen.values().any(|&c| c > 1), "no duplicate lines generated");
+        assert!(
+            seen.values().any(|&c| c > 1),
+            "no duplicate lines generated"
+        );
     }
 
     #[test]
     fn word_range_respected() {
-        let text = CorpusBuilder::new(7).lines(100).words_per_line(3, 4).build();
+        let text = CorpusBuilder::new(7)
+            .lines(100)
+            .words_per_line(3, 4)
+            .build();
         let s = String::from_utf8(text).unwrap();
         for line in s.lines() {
             let n = line.split_whitespace().count();

@@ -40,7 +40,10 @@ impl std::fmt::Display for GridError {
             GridError::EmptyFile => write!(f, "file has no blocks"),
             GridError::Layout(e) => write!(f, "layout failed: {e}"),
             GridError::Unrecoverable { stripe } => {
-                write!(f, "stripe {stripe} lost more shards than the code tolerates")
+                write!(
+                    f,
+                    "stripe {stripe} lost more shards than the code tolerates"
+                )
             }
             GridError::Codec(e) => write!(f, "codec error: {e}"),
         }
@@ -250,14 +253,20 @@ impl MiniGrid {
 
         let mut sources = Vec::with_capacity(k);
         for &(pos, node) in &ordered {
-            let src = BlockRef { stripe: block.stripe, pos };
+            let src = BlockRef {
+                stripe: block.stripe,
+                pos,
+            };
             if node != reader {
                 self.stats.blocks_transferred += 1;
                 if self.topo.rack_of(node) != reader_rack {
                     self.stats.cross_rack_transfers += 1;
                 }
             }
-            sources.push((pos, self.shards[self.store.layout().global_index(src)].clone()));
+            sources.push((
+                pos,
+                self.shards[self.store.layout().global_index(src)].clone(),
+            ));
         }
         self.stats.degraded_reads += 1;
         Ok(self.codec.reconstruct(&sources, block.pos)?)

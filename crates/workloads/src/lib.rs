@@ -106,7 +106,11 @@ impl TestbedWorkload {
 /// # Panics
 ///
 /// Panics if `count` is zero or the mean is not positive.
-pub fn multi_job_workload(rng: &mut SimRng, count: usize, mean_interarrival_secs: f64) -> Vec<JobSpec> {
+pub fn multi_job_workload(
+    rng: &mut SimRng,
+    count: usize,
+    mean_interarrival_secs: f64,
+) -> Vec<JobSpec> {
     assert!(count > 0, "no jobs requested");
     assert!(
         mean_interarrival_secs > 0.0,
@@ -116,7 +120,7 @@ pub fn multi_job_workload(rng: &mut SimRng, count: usize, mean_interarrival_secs
     let mut at = SimTime::ZERO;
     for i in 0..count {
         if i > 0 {
-            at = at + rng.exponential_duration(SimDuration::from_secs_f64(mean_interarrival_secs));
+            at += rng.exponential_duration(SimDuration::from_secs_f64(mean_interarrival_secs));
         }
         let reduce_tasks = 20 + rng.below(21); // 20..=40
         let shuffle = 0.01 + rng.uniform_f64() * 0.09; // 1%..10%
@@ -193,7 +197,9 @@ mod tests {
             jobs.iter().map(|j| j.num_reduce_tasks).collect();
         assert!(reducers.len() > 1, "reducer counts should vary");
         assert!(jobs.iter().all(|j| (20..=40).contains(&j.num_reduce_tasks)));
-        assert!(jobs.iter().all(|j| (0.01..=0.10).contains(&j.shuffle_ratio)));
+        assert!(jobs
+            .iter()
+            .all(|j| (0.01..=0.10).contains(&j.shuffle_ratio)));
     }
 
     #[test]

@@ -17,8 +17,15 @@ fn main() {
     let seed = 1;
 
     let scenario = exp.failure_for_seed(seed);
-    println!("cluster : {} nodes / {} racks", exp.topo.num_nodes(), exp.topo.num_racks());
-    println!("code    : {} over {} native blocks", exp.code, exp.num_blocks);
+    println!(
+        "cluster : {} nodes / {} racks",
+        exp.topo.num_nodes(),
+        exp.topo.num_racks()
+    );
+    println!(
+        "code    : {} over {} native blocks",
+        exp.code, exp.num_blocks
+    );
     println!("failure : {scenario}");
 
     let mut table = Table::new(&["policy", "runtime (s)", "normalized", "degraded read (s)"]);
@@ -44,7 +51,11 @@ fn main() {
         if policy == Policy::LocalityFirst {
             lf_runtime = Some(rt);
         } else if let Some(lf) = lf_runtime {
-            println!("{} cuts LF runtime by {}", policy.name(), pct(reduction(lf, rt)));
+            println!(
+                "{} cuts LF runtime by {}",
+                policy.name(),
+                pct(reduction(lf, rt))
+            );
         }
     }
     println!("normal-mode runtime: {normal_rt:.1}s");

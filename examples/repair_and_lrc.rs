@@ -40,7 +40,10 @@ fn main() {
     let mut table = Table::new(&["parallelism", "repair makespan (s)"]);
     for p in [1usize, 4, 16] {
         let report = simulate(&plan, &exp.topo, exp.config.net, exp.config.block_bytes, p);
-        table.row(&[p.to_string(), format!("{:.1}", report.makespan.as_secs_f64())]);
+        table.row(&[
+            p.to_string(),
+            format!("{:.1}", report.makespan.as_secs_f64()),
+        ]);
     }
     println!(
         "repairing {} after {}: {} lost blocks, {:.1} GB to move",
@@ -60,9 +63,10 @@ fn main() {
     let stripe = lrc.encode(&data).expect("encode");
     let lost = 7usize;
     let group = lrc.local_repair_group(lost);
-    let survivors: Vec<(usize, Vec<u8>)> =
-        group.iter().map(|&i| (i, stripe[i].clone())).collect();
-    let rebuilt = lrc.reconstruct_local(&survivors, lost).expect("local repair");
+    let survivors: Vec<(usize, Vec<u8>)> = group.iter().map(|&i| (i, stripe[i].clone())).collect();
+    let rebuilt = lrc
+        .reconstruct_local(&survivors, lost)
+        .expect("local repair");
     assert_eq!(rebuilt, data[lost]);
     println!(
         "\nLRC(12,2,2): rebuilt block {lost} from its local group {group:?} — \

@@ -57,7 +57,10 @@ fn main() {
     let reads = result.degraded_read_secs();
     detail.row(&[
         "mean degraded read (s)".into(),
-        format!("{:.1}", reads.iter().sum::<f64>() / reads.len().max(1) as f64),
+        format!(
+            "{:.1}",
+            reads.iter().sum::<f64>() / reads.len().max(1) as f64
+        ),
     ]);
     detail.print("EDF task breakdown (seed 0)");
 }

@@ -4,9 +4,9 @@
 //! random degraded-read sources).
 
 use dfs::analysis::ModelParams;
-use dfs::experiment::{Experiment, FailureSpec, PlacementKind, Policy};
 use dfs::cluster::Topology;
 use dfs::erasure::CodeParams;
+use dfs::experiment::{Experiment, FailureSpec, PlacementKind, Policy};
 use dfs::mapreduce::engine::EngineConfig;
 use dfs::mapreduce::job::JobSpec;
 use dfs::netsim::NetConfig;
@@ -89,7 +89,8 @@ fn degraded_first_matches_model_band() {
     let (params, exp) = setting();
     let predicted = params.degraded_first_normalized();
     let sweep = sweep_seeds(6, |seed| {
-        exp.normalized_runtime(Policy::BasicDegradedFirst, seed).ok()
+        exp.normalized_runtime(Policy::BasicDegradedFirst, seed)
+            .ok()
     });
     let simulated = sweep.mean();
     let ratio = simulated / predicted;

@@ -28,12 +28,16 @@ fn parallel_sweep_is_deterministic() {
     let exp = presets::small_default();
     let run = || {
         sweep_seeds(6, |seed| {
-            exp.normalized_runtime(Policy::EnhancedDegradedFirst, seed).ok()
+            exp.normalized_runtime(Policy::EnhancedDegradedFirst, seed)
+                .ok()
         })
     };
     let a = run();
     let b = run();
-    assert_eq!(a.samples, b.samples, "thread scheduling leaked into results");
+    assert_eq!(
+        a.samples, b.samples,
+        "thread scheduling leaked into results"
+    );
 }
 
 #[test]
@@ -46,10 +50,59 @@ fn runs_across_threads_match_runs_in_sequence() {
         })
         .collect();
     let parallel = sweep_seeds(4, |seed| {
-        exp.normalized_runtime(Policy::BasicDegradedFirst, seed).ok()
+        exp.normalized_runtime(Policy::BasicDegradedFirst, seed)
+            .ok()
     });
     assert_eq!(parallel.samples, sequential);
 }
+
+/// FNV-1a over the full `Debug` rendering of a run (which prints every
+/// task record and f64 in round-trippable form), so any behavioral
+/// drift — scheduling order, rates, timestamps — changes the digest.
+fn run_digest(exp: &dfs::experiment::Experiment, policy: Policy, seed: u64) -> u64 {
+    let result = exp.run(policy, seed).expect("run");
+    let rendered = format!("{result:?}|{:016x}", result.makespan.as_micros());
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rendered.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn fixed_seed_goldens_are_stable() {
+    // Golden digests of fixed-seed runs, captured from the current
+    // implementation after verifying it bit-identical to the original
+    // naive kernels (fairshare, calendar, GF(256) all rewritten since).
+    // A mismatch means simulation behavior changed — any intentional
+    // change must re-derive these constants and say so in review.
+    let small = presets::small_default();
+    let paper = presets::simulation_default();
+    let cases: [(&dfs::experiment::Experiment, Policy, u64, u64); 4] = [
+        (&small, Policy::BasicDegradedFirst, 0, GOLDEN_SMALL_BDF_0),
+        (&small, Policy::LocalityFirst, 7, GOLDEN_SMALL_LF_7),
+        (&paper, Policy::LocalityFirst, 1, GOLDEN_PAPER_LF_1),
+        (&paper, Policy::EnhancedDegradedFirst, 1, GOLDEN_PAPER_EDF_1),
+    ];
+    let digests: Vec<u64> = cases
+        .iter()
+        .map(|&(exp, policy, seed, _)| run_digest(exp, policy, seed))
+        .collect();
+    for (&(_, policy, seed, want), &got) in cases.iter().zip(&digests) {
+        assert_eq!(
+            got,
+            want,
+            "golden digest drifted for {} seed {seed}: got {got:#018x}",
+            policy.name()
+        );
+    }
+}
+
+const GOLDEN_SMALL_BDF_0: u64 = 0x272c_a9b3_3af9_a6d6;
+const GOLDEN_SMALL_LF_7: u64 = 0x8a6b_9c51_4140_35c1;
+const GOLDEN_PAPER_LF_1: u64 = 0xcdbe_acee_8e09_fe22;
+const GOLDEN_PAPER_EDF_1: u64 = 0x8605_ddd2_9a0d_7d61;
 
 #[test]
 fn textlab_grid_is_deterministic() {

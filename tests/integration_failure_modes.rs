@@ -24,7 +24,10 @@ fn single_double_rack_failures_all_complete() {
         for seed in 0..6 {
             match exp.normalized_runtime(Policy::EnhancedDegradedFirst, seed) {
                 Ok(norm) => {
-                    assert!(norm >= 1.0, "{failure:?} seed {seed}: normalized {norm} < 1");
+                    assert!(
+                        norm >= 1.0,
+                        "{failure:?} seed {seed}: normalized {norm} < 1"
+                    );
                     completed += 1;
                     norm_sum += norm;
                 }
@@ -37,7 +40,10 @@ fn single_double_rack_failures_all_complete() {
                 }
             }
         }
-        assert!(completed >= 3, "{failure:?}: only {completed} seeds completed");
+        assert!(
+            completed >= 3,
+            "{failure:?}: only {completed} seeds completed"
+        );
         let mean = norm_sum / completed as f64;
         runtimes.push(mean);
         worst_runtime = worst_runtime.max(mean);

@@ -56,7 +56,10 @@ fn edf_improves_most_jobs() {
     assert_eq!(lf.len(), 3);
     assert_eq!(edf.len(), 3);
     let improved = lf.iter().zip(&edf).filter(|(l, e)| e < l).count();
-    assert!(improved >= 2, "EDF improved only {improved}/3 jobs: lf={lf:?} edf={edf:?}");
+    assert!(
+        improved >= 2,
+        "EDF improved only {improved}/3 jobs: lf={lf:?} edf={edf:?}"
+    );
 }
 
 #[test]

@@ -29,7 +29,12 @@ fn every_policy_processes_every_block_exactly_once() {
         assert_eq!(blocks.len(), exp.num_blocks, "{}", policy.name());
         blocks.sort();
         blocks.dedup();
-        assert_eq!(blocks.len(), exp.num_blocks, "{} duplicated a block", policy.name());
+        assert_eq!(
+            blocks.len(),
+            exp.num_blocks,
+            "{} duplicated a block",
+            policy.name()
+        );
     }
 }
 

@@ -1,0 +1,58 @@
+//! Offline stand-in for `serde`: the `Serialize` / `Deserialize` traits
+//! plus no-op derive macros of the same names. Nothing in this
+//! workspace serializes at runtime; the traits exist so that manual
+//! impls and trait bounds keep compiling (see vendor/README.md).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data-format serializer (minimal surface).
+    pub trait Serializer: Sized {
+        /// Output produced on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+    }
+
+    /// A serializable value.
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+}
+
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data-format deserializer (minimal surface).
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+    }
+
+    /// A deserializable value.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes a value from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+}
+
+// Trait re-exports live in the type namespace, the derive re-exports
+// above in the macro namespace; `use serde::{Serialize, Deserialize}`
+// pulls in both, exactly as with the real serde.
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};

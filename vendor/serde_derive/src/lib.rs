@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`: the derive macros parse nothing
+//! and expand to nothing. No code in this workspace serializes at
+//! runtime — the derives on domain types are declarations of intent
+//! that become real once the genuine serde is restored (see
+//! vendor/README.md).
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and inert `#[serde(...)]` field
+/// attributes) and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and inert `#[serde(...)]` field
+/// attributes) and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
