@@ -1,6 +1,8 @@
 //! The CLI subcommands, each a thin shell over the `dfs` library.
 
 use std::error::Error;
+use std::fs::File;
+use std::io::BufWriter;
 
 use dfs::analysis::ModelParams;
 use dfs::cluster::{NodeId, Topology};
@@ -10,6 +12,11 @@ use dfs::mapreduce::engine::EngineConfig;
 use dfs::mapreduce::job::JobSpec;
 use dfs::mapreduce::MapLocality;
 use dfs::netsim::NetConfig;
+use dfs::obs::aggregate::{Aggregator, AggregatorConfig};
+use dfs::obs::chrome::ChromeTraceSink;
+use dfs::obs::jsonl::{parse_line, JsonlSink};
+use dfs::obs::schema::{validate_jsonl, TraceSchema, TRACE_SCHEMA_V1};
+use dfs::obs::sink::EventSink;
 use dfs::simkit::report::Table;
 use dfs::simkit::time::SimDuration;
 use dfs::simkit::SimRng;
@@ -29,10 +36,13 @@ USAGE:
   dfs-cli simulate  [--policy lf|bdf|edf|delay --seeds 5 --code 20,15 --racks 4
                      --nodes-per-rack 10 --map-slots 4 --blocks 1440 --block-mb 128
                      --bandwidth-mbps 1000 --failure node|double|rack|none
-                     --map-secs 20 --reducers 30 --shuffle 0.01]
+                     --map-secs 20 --reducers 30 --shuffle 0.01
+                     --trace out.jsonl --trace-format jsonl|chrome --trace-seed 1]
   dfs-cli testbed   [--workload wordcount|grep|linecount|all --runs 5]
   dfs-cli repair    [--parallelism 4 --seed 1]
   dfs-cli wordcount [--lines 20000 --fail-node 0 --needle whale]
+  dfs-cli obs-report --trace out.jsonl [--bucket-secs 10 --map-slots 160]
+  dfs-cli trace-validate --trace out.jsonl
   dfs-cli --help";
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -145,6 +155,9 @@ pub fn simulate(args: &Args) -> CliResult {
         "reduce-secs",
         "reducers",
         "shuffle",
+        "trace",
+        "trace-format",
+        "trace-seed",
     ])?;
     let (n, k) = args.get_code_or("code", (20, 15))?;
     let policy = parse_policy(args.get("policy").unwrap_or("edf"))?;
@@ -238,6 +251,137 @@ pub fn simulate(args: &Args) -> CliResult {
         exp.topo.num_racks(),
         exp.topo.num_nodes() / exp.topo.num_racks(),
     ));
+
+    if let Some(path) = args.get("trace") {
+        let trace_seed: u64 = args.get_or("trace-seed", 1u64)?;
+        let format = args.get("trace-format").unwrap_or("jsonl");
+        write_trace(&exp, policy, trace_seed, path, format)?;
+    }
+    Ok(())
+}
+
+/// Re-runs one seed of `exp` with tracing enabled, writing the event
+/// stream to `path` in the requested format.
+fn write_trace(exp: &Experiment, policy: Policy, seed: u64, path: &str, format: &str) -> CliResult {
+    let file = BufWriter::new(File::create(path)?);
+    match format {
+        "jsonl" => {
+            let mut sink = JsonlSink::new(file);
+            exp.run_traced(policy, seed, &mut sink)?;
+            sink.finish()?;
+        }
+        "chrome" => {
+            let mut sink = ChromeTraceSink::new(file, exp.chrome_config());
+            exp.run_traced(policy, seed, &mut sink)?;
+            sink.finish()?;
+        }
+        other => return Err(format!("unknown trace format {other:?} (jsonl|chrome)").into()),
+    }
+    println!("{format} trace of seed {seed} written to {path}");
+    Ok(())
+}
+
+/// `dfs-cli obs-report`: derived metrics from a JSONL trace file.
+pub fn obs_report(args: &Args) -> CliResult {
+    args.ensure_known(&["trace", "bucket-secs", "map-slots"])?;
+    let path = args
+        .get("trace")
+        .ok_or("obs-report needs --trace <file.jsonl>")?;
+    let text = std::fs::read_to_string(path)?;
+    let mut agg = Aggregator::new(AggregatorConfig {
+        bucket: SimDuration::from_secs_f64(args.get_or("bucket-secs", 10.0f64)?),
+        total_map_slots: args.get_or("map-slots", 0u64)?,
+        link_capacities_bps: Vec::new(),
+    });
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (at, event) = parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        agg.record(at, &event);
+    }
+    let r = agg.report();
+    let opt = |x: Option<f64>| x.map_or_else(|| "-".to_string(), |v| format!("{v:.2}"));
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(&["makespan (s)".into(), format!("{:.1}", r.makespan_secs)]);
+    table.row(&[
+        "jobs finished / submitted".into(),
+        format!("{} / {}", r.jobs_finished, r.jobs_submitted),
+    ]);
+    table.row(&[
+        "maps local/rack/remote/degraded".into(),
+        format!(
+            "{}/{}/{}/{}",
+            r.maps_node_local, r.maps_rack_local, r.maps_remote, r.maps_degraded
+        ),
+    ]);
+    table.row(&["reduces".into(), r.reduces.to_string()]);
+    table.row(&[
+        "speculative / cancelled".into(),
+        format!("{} / {}", r.speculative_launches, r.cancelled_attempts),
+    ]);
+    table.row(&["nodes failed".into(), r.nodes_failed.to_string()]);
+    table.row(&["mean normal map (s)".into(), opt(r.mean_normal_map_secs)]);
+    table.row(&[
+        "mean degraded map (s)".into(),
+        opt(r.mean_degraded_map_secs),
+    ]);
+    table.row(&["mean reduce (s)".into(), opt(r.mean_reduce_secs)]);
+    table.row(&[
+        "degraded reads (p50/p95/p99 s)".into(),
+        format!(
+            "{} ({}/{}/{})",
+            r.degraded_read_secs.len(),
+            opt(r.degraded_read_p50),
+            opt(r.degraded_read_p95),
+            opt(r.degraded_read_p99)
+        ),
+    ]);
+    table.row(&[
+        "fetch/map overlap (s)".into(),
+        format!(
+            "{:.1} of {:.1} ({})",
+            r.overlap_secs,
+            r.degraded_fetch_active_secs,
+            opt(r.overlap_fraction())
+        ),
+    ]);
+    if !r.slot_utilization.is_empty() {
+        let peak = r.slot_utilization.iter().fold(0.0f64, |a, &b| a.max(b));
+        table.row(&[
+            format!("peak slot utilization ({:.0}s buckets)", r.bucket_secs),
+            format!("{peak:.2}"),
+        ]);
+    }
+    if let Some(top) = r
+        .link_utilization
+        .iter()
+        .max_by(|a, b| a.mean_bps.total_cmp(&b.mean_bps))
+    {
+        table.row(&[
+            "busiest link (mean / peak Mb/s)".into(),
+            format!(
+                "link {} ({:.1} / {:.1})",
+                top.link,
+                top.mean_bps / 1e6,
+                top.peak_bps / 1e6
+            ),
+        ]);
+    }
+    table.print(&format!("trace summary of {path}"));
+    Ok(())
+}
+
+/// `dfs-cli trace-validate`: check a JSONL trace against the schema.
+pub fn trace_validate(args: &Args) -> CliResult {
+    args.ensure_known(&["trace"])?;
+    let path = args
+        .get("trace")
+        .ok_or("trace-validate needs --trace <file.jsonl>")?;
+    let text = std::fs::read_to_string(path)?;
+    let schema = TraceSchema::parse(TRACE_SCHEMA_V1)?;
+    let count = validate_jsonl(&schema, &text)?;
+    println!("{path}: {count} events valid against trace schema v1");
     Ok(())
 }
 

@@ -13,6 +13,8 @@
 //! dfs-cli testbed  [--workload wordcount|grep|linecount|all --runs 5]
 //! dfs-cli repair   [--parallelism 4 --seed 1]
 //! dfs-cli wordcount [--lines 20000 --fail-node 0 --needle whale]
+//! dfs-cli obs-report --trace out.jsonl [--bucket-secs 10 --map-slots 160]
+//! dfs-cli trace-validate --trace out.jsonl
 //! ```
 
 mod args;
@@ -40,6 +42,8 @@ fn main() {
         Some("testbed") => commands::testbed(&args),
         Some("repair") => commands::repair(&args),
         Some("wordcount") => commands::wordcount(&args),
+        Some("obs-report") => commands::obs_report(&args),
+        Some("trace-validate") => commands::trace_validate(&args),
         Some(other) => {
             eprintln!("error: unknown command {other:?}");
             eprintln!("{}", commands::USAGE);

@@ -14,7 +14,11 @@ use mapreduce::engine::{BuildError, Engine, EngineConfig, RunError};
 use mapreduce::job::JobSpec;
 use mapreduce::sched::MapScheduler;
 use mapreduce::RunResult;
+use obs::aggregate::AggregatorConfig;
+use obs::chrome::ChromeConfig;
+use obs::sink::EventSink;
 use scheduler::{DegradedFirst, DelayScheduling, LocalityFirst};
+use simkit::time::SimDuration;
 use simkit::SimRng;
 
 /// Which scheduling policy to run.
@@ -272,6 +276,69 @@ impl Experiment {
     /// blocks etc.).
     pub fn cluster_state_for_seed(&self, seed: u64) -> ClusterState {
         ClusterState::from_scenario(&self.topo, &self.failure_for_seed(seed))
+    }
+
+    /// Like [`Experiment::run`] but recording every simulation event
+    /// into `sink`. The simulated execution — schedule, timings, result
+    /// — is bit-identical to the untraced run of the same arguments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine build/run failures.
+    pub fn run_traced(
+        &self,
+        policy: Policy,
+        seed: u64,
+        sink: &mut dyn EventSink,
+    ) -> Result<RunResult, ExperimentError> {
+        let failure = self.failure_for_seed(seed);
+        self.build_engine(failure, seed)?
+            .run_traced(policy.scheduler(), sink)
+            .map_err(ExperimentError::Run)
+    }
+
+    /// The Chrome-exporter lane configuration this cluster implies. Slot
+    /// counts use the cluster-wide maximum; the exporter grows extra
+    /// lanes on demand for heterogeneous nodes.
+    pub fn chrome_config(&self) -> ChromeConfig {
+        let max = |f: fn(&cluster::topology::NodeSpec) -> u32| {
+            self.topo
+                .node_ids()
+                .map(|n| f(self.topo.spec(n)))
+                .max()
+                .unwrap_or(1)
+        };
+        ChromeConfig {
+            num_nodes: self.topo.num_nodes() as u32,
+            num_racks: self.topo.num_racks() as u32,
+            map_slots: max(|s| s.map_slots),
+            reduce_slots: max(|s| s.reduce_slots),
+        }
+    }
+
+    /// An aggregator configuration matching this cluster under the given
+    /// seed's failure: map slots summed over surviving nodes, and the
+    /// `netsim` link layout's per-link capacities (`2·nodes` node links
+    /// followed by `2·racks` rack links, up/down interleaved).
+    pub fn aggregator_config(&self, seed: u64) -> AggregatorConfig {
+        let state = self.cluster_state_for_seed(seed);
+        let total_map_slots: u32 = self
+            .topo
+            .node_ids()
+            .filter(|&n| state.is_alive(n))
+            .map(|n| self.topo.spec(n).map_slots)
+            .sum();
+        let mut link_capacities_bps =
+            vec![self.config.net.node_bps as f64; 2 * self.topo.num_nodes()];
+        link_capacities_bps.extend(vec![
+            self.config.net.rack_bps as f64;
+            2 * self.topo.num_racks()
+        ]);
+        AggregatorConfig {
+            bucket: SimDuration::from_secs(10),
+            total_map_slots: u64::from(total_map_slots),
+            link_capacities_bps,
+        }
     }
 }
 

@@ -12,6 +12,8 @@
 //!   discrete event core;
 //! * [`mapreduce`] — the heartbeat-driven MapReduce engine;
 //! * [`scheduler`] — the paper's policies (LF / BDF / EDF);
+//! * [`obs`] — structured tracing: JSONL / Chrome-trace export and
+//!   derived metrics from any run;
 //! * [`workloads`] — the evaluation's job mixes;
 //! * [`textlab`] — a real-bytes data path standing in for the Hadoop
 //!   testbed.
@@ -54,6 +56,7 @@ pub use ecstore;
 pub use erasure;
 pub use mapreduce;
 pub use netsim;
+pub use obs;
 pub use repair;
 pub use scheduler;
 pub use simkit;

@@ -158,6 +158,26 @@ impl DegradedReadPlan {
             .filter(|&(_, node)| topo.rack_of(node) != rack)
             .count()
     }
+
+    /// Classifies the `k` sources by distance from the reader as
+    /// `(local, same_rack, cross_rack)` counts. Local sources are stored
+    /// on the reader itself and cost no network transfer.
+    pub fn source_breakdown(&self, topo: &Topology) -> (usize, usize, usize) {
+        let rack = topo.rack_of(self.reader);
+        let mut local = 0;
+        let mut same_rack = 0;
+        let mut cross_rack = 0;
+        for &(_, node) in &self.sources {
+            if node == self.reader {
+                local += 1;
+            } else if topo.rack_of(node) == rack {
+                same_rack += 1;
+            } else {
+                cross_rack += 1;
+            }
+        }
+        (local, same_rack, cross_rack)
+    }
 }
 
 #[cfg(test)]
@@ -308,5 +328,32 @@ mod tests {
             .filter(|&&(_, node)| node != reader && !topo.same_rack(node, reader))
             .count();
         assert_eq!(plan.cross_rack_reads(&topo), manual);
+    }
+
+    #[test]
+    fn source_breakdown_partitions_all_sources() {
+        let (topo, store, state) = setup();
+        let mut rng = SimRng::seed_from_u64(4);
+        let target = store.lost_native_blocks(&state)[0];
+        let survivors = store.survivors_of(target.stripe, &state);
+        let reader = survivors[0].1;
+        let plan = DegradedReadPlan::plan(
+            &store,
+            &topo,
+            &state,
+            target,
+            reader,
+            SourceSelection::LocalFirst,
+            &mut rng,
+        );
+        let (local, same_rack, cross_rack) = plan.source_breakdown(&topo);
+        assert_eq!(local + same_rack + cross_rack, plan.sources.len());
+        assert!(local >= 1, "LocalFirst reader holding a block uses it");
+        assert_eq!(cross_rack, plan.cross_rack_reads(&topo));
+        assert_eq!(
+            local,
+            plan.sources.len() - plan.network_sources().count(),
+            "local sources are exactly the non-network sources"
+        );
     }
 }

@@ -15,7 +15,9 @@ use cluster::{ClusterState, FailureScenario, NodeId, Topology};
 use ecstore::placement::{PlacementError, PlacementPolicy};
 use ecstore::{BlockStore, DegradedReadPlan, SourceSelection, StripeLayout};
 use erasure::CodeParams;
-use netsim::{FlowId, NetConfig, Network};
+use netsim::{FlowId, FlowLogEntry, FlowLogKind, NetConfig, Network};
+use obs::event::{DegradedPhase, LinkSet, SimEvent};
+use obs::sink::{EventSink, Recorder};
 use simkit::calendar::Calendar;
 use simkit::time::{SimDuration, SimTime};
 use simkit::SimRng;
@@ -23,6 +25,37 @@ use simkit::SimRng;
 use crate::job::{JobId, JobSpec, MapLocality, MapTaskId};
 use crate::metrics::{JobResult, RunResult, TaskDetail, TaskRecord};
 use crate::sched::{Heartbeat, MapScheduler};
+
+/// Maps the engine's locality to the observation vocabulary.
+fn obs_locality(locality: MapLocality) -> obs::event::Locality {
+    match locality {
+        MapLocality::NodeLocal => obs::event::Locality::NodeLocal,
+        MapLocality::RackLocal => obs::event::Locality::RackLocal,
+        MapLocality::Remote => obs::event::Locality::Remote,
+        MapLocality::Degraded => obs::event::Locality::Degraded,
+    }
+}
+
+/// Converts one netsim flow-log entry into the trace vocabulary.
+fn flow_log_event(entry: &FlowLogEntry) -> SimEvent {
+    let flow = entry.flow.as_u64();
+    match entry.kind {
+        FlowLogKind::Started {
+            src,
+            dst,
+            bytes,
+            route,
+        } => SimEvent::FlowStarted {
+            flow,
+            src: src as u32,
+            dst: dst as u32,
+            bytes,
+            links: LinkSet::from_slice(route.as_slice()),
+        },
+        FlowLogKind::RateChanged { rate_bps } => SimEvent::FlowRate { flow, rate_bps },
+        FlowLogKind::Finished { cancelled } => SimEvent::FlowFinished { flow, cancelled },
+    }
+}
 
 /// Tunables shared by every experiment.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -448,6 +481,7 @@ impl<'a> EngineBuilder<'a> {
             net.enable_utilization_log();
         }
         let num_racks = self.topo.num_racks();
+        let num_jobs = jobs.len();
         Ok(Engine {
             topo: self.topo,
             store,
@@ -466,6 +500,7 @@ impl<'a> EngineBuilder<'a> {
             net_check: None,
             records: Vec::new(),
             events_processed: 0,
+            obs_job_started: vec![false; num_jobs],
         })
     }
 }
@@ -491,6 +526,8 @@ pub struct Engine {
     net_check: Option<(simkit::EventId, SimTime)>,
     records: Vec<TaskRecord>,
     events_processed: u64,
+    /// Jobs whose `JobStarted` trace event has been emitted (tracing only).
+    obs_job_started: Vec<bool>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -539,7 +576,39 @@ impl Engine {
     ///
     /// Returns [`RunError::Stalled`] if a policy deadlocks the run, or
     /// [`RunError::EventBudgetExceeded`] past `max_events`.
-    pub fn run(mut self, mut scheduler: Box<dyn MapScheduler>) -> Result<RunResult, RunError> {
+    pub fn run(self, scheduler: Box<dyn MapScheduler>) -> Result<RunResult, RunError> {
+        self.run_inner(scheduler, Recorder::off())
+    }
+
+    /// Like [`Engine::run`], but streams every structured
+    /// [`SimEvent`] of the run into `sink`. The returned
+    /// [`RunResult`] is identical to an untraced run with the same
+    /// seed and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_traced(
+        self,
+        scheduler: Box<dyn MapScheduler>,
+        sink: &mut dyn EventSink,
+    ) -> Result<RunResult, RunError> {
+        self.run_inner(scheduler, Recorder::on(sink))
+    }
+
+    fn run_inner(
+        mut self,
+        mut scheduler: Box<dyn MapScheduler>,
+        mut rec: Recorder<'_>,
+    ) -> Result<RunResult, RunError> {
+        if rec.is_enabled() {
+            self.net.enable_flow_log();
+            for node in self.topo.node_ids() {
+                if !self.cstate.is_alive(node) {
+                    rec.emit(SimTime::ZERO, || SimEvent::NodeFailed { node: node.0 });
+                }
+            }
+        }
         // Initial heartbeats, de-phased across the period so slaves do
         // not all report at once.
         let alive = self.cstate.alive_nodes();
@@ -570,19 +639,40 @@ impl Engine {
             }
             match ev {
                 Event::Heartbeat { node, periodic } => {
-                    self.on_heartbeat(node, periodic, scheduler.as_mut())
+                    self.on_heartbeat(node, periodic, scheduler.as_mut(), &mut rec)
                 }
-                Event::NetCheck => self.on_net_check(),
+                Event::NetCheck => self.on_net_check(&mut rec),
                 Event::JobArrival(job) => {
                     self.jobs[job.index()].submitted = true;
                     self.fifo.push(job);
+                    if rec.is_enabled() {
+                        let j = &self.jobs[job.index()];
+                        let (maps, reduces) = (j.maps.len() as u32, j.spec.num_reduce_tasks as u32);
+                        rec.emit(self.now, || SimEvent::JobSubmitted {
+                            job: job.0,
+                            maps,
+                            reduces,
+                        });
+                        for (idx, m) in self.jobs[job.index()].maps.iter().enumerate() {
+                            rec.emit(self.now, || SimEvent::TaskQueued {
+                                job: job.0,
+                                task: idx as u32,
+                                degraded: m.degraded,
+                            });
+                        }
+                    }
                 }
                 Event::MapDone {
                     job,
                     task,
                     speculative,
-                } => self.on_map_done(job, task, speculative),
-                Event::ReduceDone { job, index } => self.on_reduce_done(job, index),
+                } => self.on_map_done(job, task, speculative, &mut rec),
+                Event::ReduceDone { job, index } => self.on_reduce_done(job, index, &mut rec),
+            }
+            if rec.is_enabled() {
+                for entry in self.net.take_flow_log() {
+                    rec.emit(entry.at, || flow_log_event(&entry));
+                }
             }
             if self.jobs.iter().all(|j| j.is_finished()) {
                 let makespan = self.now.duration_since(SimTime::ZERO);
@@ -610,7 +700,13 @@ impl Engine {
 
     // ---- event handlers ------------------------------------------------
 
-    fn on_heartbeat(&mut self, slave: NodeId, periodic: bool, scheduler: &mut dyn MapScheduler) {
+    fn on_heartbeat(
+        &mut self,
+        slave: NodeId,
+        periodic: bool,
+        scheduler: &mut dyn MapScheduler,
+        rec: &mut Recorder<'_>,
+    ) {
         debug_assert!(self.cstate.is_alive(slave), "heartbeat from dead node");
         let assigned = {
             let mut hb = Heartbeat::new(self, slave);
@@ -618,11 +714,11 @@ impl Engine {
             hb.into_assigned()
         };
         for (job, task) in assigned {
-            self.start_map_task(job, task, slave);
+            self.start_map_task(job, task, slave, rec);
         }
-        self.assign_reduces(slave);
+        self.assign_reduces(slave, rec);
         if self.cfg.speculative {
-            self.assign_speculative(slave);
+            self.assign_speculative(slave, rec);
         }
         // Keep the periodic chain alive while any job is unfinished;
         // out-of-band beats are one-shot.
@@ -638,7 +734,7 @@ impl Engine {
         self.refresh_net_check();
     }
 
-    fn on_net_check(&mut self) {
+    fn on_net_check(&mut self, rec: &mut Recorder<'_>) {
         self.net_check = None;
         let finished = self.net.drain_finished(self.now);
         for (flow, _stats) in finished {
@@ -674,7 +770,7 @@ impl Engine {
                         } else {
                             self.jobs[job.index()].maps[task.0].input_ready_at = self.now;
                         }
-                        self.schedule_map_processing(job, task, speculative);
+                        self.schedule_map_processing(job, task, speculative, rec);
                     }
                 }
                 FlowPurpose::Shuffle { job, reduce } => {
@@ -685,7 +781,7 @@ impl Engine {
                         r.shuffles_done == j.maps.len() && !r.processing
                     };
                     if ready {
-                        self.start_reduce_processing(job, reduce);
+                        self.start_reduce_processing(job, reduce, rec);
                     }
                 }
             }
@@ -693,9 +789,15 @@ impl Engine {
         self.refresh_net_check();
     }
 
-    fn on_map_done(&mut self, job: JobId, task: MapTaskId, speculative: bool) {
+    fn on_map_done(
+        &mut self,
+        job: JobId,
+        task: MapTaskId,
+        speculative: bool,
+        rec: &mut Recorder<'_>,
+    ) {
         // The attempt that finishes first wins; cancel the loser.
-        let (node, record, loser) = {
+        let (node, degraded, record, loser) = {
             let j = &mut self.jobs[job.index()];
             let m = &mut j.maps[task.0];
             debug_assert!(!m.done, "stale MapDone after a winner");
@@ -714,16 +816,20 @@ impl Engine {
             j.completed_maps += 1;
             j.completed_map_runtime_secs += self.now.duration_since(assigned_at).as_secs_f64();
             j.completed_map_outputs.push((task, node));
-            // The losing attempt's resources to release.
-            let loser: Option<(NodeId, Vec<netsim::FlowId>, Option<simkit::EventId>)> =
+            // The losing attempt's resources to release; `pending` flow
+            // count tells tracing which phase the loser died in.
+            let loser: Option<(NodeId, usize, Vec<netsim::FlowId>, Option<simkit::EventId>)> =
                 if speculative {
                     Some((
                         m.assigned_to.expect("primary exists"),
+                        m.pending_flows,
                         std::mem::take(&mut m.flows),
                         m.proc_event.take(),
                     ))
                 } else {
-                    m.spec.take().map(|a| (a.node, a.flows, a.proc_event))
+                    m.spec
+                        .take()
+                        .map(|a| (a.node, a.pending_flows, a.flows, a.proc_event))
                 };
             let record = TaskRecord {
                 job,
@@ -736,11 +842,28 @@ impl Engine {
                 input_ready_at,
                 completed_at: self.now,
             };
-            (node, record, loser)
+            (node, m.degraded, record, loser)
         };
+        if degraded {
+            rec.emit(self.now, || SimEvent::PhaseEnd {
+                job: job.0,
+                task: task.0 as u32,
+                node: node.0,
+                speculative,
+                phase: DegradedPhase::Process,
+            });
+        }
+        let locality = record.map_locality().expect("map record has locality");
+        rec.emit(self.now, || SimEvent::MapDone {
+            job: job.0,
+            task: task.0 as u32,
+            node: node.0,
+            locality: obs_locality(locality),
+            speculative,
+        });
         self.records.push(record);
         self.free_map[node.index()] += 1;
-        if let Some((loser_node, flows, proc_event)) = loser {
+        if let Some((loser_node, pending, flows, proc_event)) = loser {
             for flow in flows {
                 if self.flow_owner.remove(&flow).is_some() {
                     let _ = self.net.cancel_flow(self.now, flow);
@@ -750,6 +873,28 @@ impl Engine {
                 self.cal.cancel(ev);
             }
             self.free_map[loser_node.index()] += 1;
+            if degraded {
+                // The loser's open phase: still fetching if flows were
+                // pending, otherwise it had begun processing.
+                let phase = if pending > 0 {
+                    DegradedPhase::FetchK
+                } else {
+                    DegradedPhase::Process
+                };
+                rec.emit(self.now, || SimEvent::PhaseEnd {
+                    job: job.0,
+                    task: task.0 as u32,
+                    node: loser_node.0,
+                    speculative: !speculative,
+                    phase,
+                });
+            }
+            rec.emit(self.now, || SimEvent::MapCancelled {
+                job: job.0,
+                task: task.0 as u32,
+                node: loser_node.0,
+                speculative: !speculative,
+            });
         }
         if self.cfg.oob_heartbeats {
             self.cal.schedule(
@@ -789,11 +934,12 @@ impl Engine {
         if j.spec.is_map_only() && j.completed_maps == j.maps.len() {
             j.finished_at = Some(self.now);
             self.fifo.retain(|&id| id != job);
+            rec.emit(self.now, || SimEvent::JobFinished { job: job.0 });
         }
         self.refresh_net_check();
     }
 
-    fn on_reduce_done(&mut self, job: JobId, index: usize) {
+    fn on_reduce_done(&mut self, job: JobId, index: usize, rec: &mut Recorder<'_>) {
         let record = {
             let j = &mut self.jobs[job.index()];
             let r = &j.reduces[index];
@@ -808,6 +954,11 @@ impl Engine {
             }
         };
         let node = record.node;
+        rec.emit(self.now, || SimEvent::ReduceDone {
+            job: job.0,
+            index: index as u32,
+            node: node.0,
+        });
         self.records.push(record);
         self.free_reduce[node.index()] += 1;
         if self.cfg.oob_heartbeats {
@@ -823,16 +974,27 @@ impl Engine {
         if j.completed_reduces == j.reduces.len() {
             j.finished_at = Some(self.now);
             self.fifo.retain(|&id| id != job);
+            rec.emit(self.now, || SimEvent::JobFinished { job: job.0 });
         }
     }
 
     // ---- task launch machinery ------------------------------------------
 
-    fn start_map_task(&mut self, job: JobId, task: MapTaskId, slave: NodeId) {
+    fn start_map_task(
+        &mut self,
+        job: JobId,
+        task: MapTaskId,
+        slave: NodeId,
+        rec: &mut Recorder<'_>,
+    ) {
         let locality = self.jobs[job.index()].maps[task.0]
             .locality
             .expect("take_* set locality");
-        self.start_map_attempt(job, task, slave, locality, false);
+        if rec.is_enabled() && !self.obs_job_started[job.index()] {
+            self.obs_job_started[job.index()] = true;
+            rec.emit(self.now, || SimEvent::JobStarted { job: job.0 });
+        }
+        self.start_map_attempt(job, task, slave, locality, false, rec);
     }
 
     /// Starts one attempt (primary or speculative backup) of a map task:
@@ -844,11 +1006,19 @@ impl Engine {
         slave: NodeId,
         locality: MapLocality,
         speculative: bool,
+        rec: &mut Recorder<'_>,
     ) {
+        rec.emit(self.now, || SimEvent::MapLaunched {
+            job: job.0,
+            task: task.0 as u32,
+            node: slave.0,
+            locality: obs_locality(locality),
+            speculative,
+        });
         match locality {
             MapLocality::NodeLocal => {
                 self.mark_attempt_ready(job, task, speculative);
-                self.schedule_map_processing(job, task, speculative);
+                self.schedule_map_processing(job, task, speculative, rec);
             }
             MapLocality::RackLocal | MapLocality::Remote => {
                 let holder = self.jobs[job.index()].maps[task.0].holder;
@@ -884,6 +1054,24 @@ impl Engine {
                     &mut self.rng,
                     fetch,
                 );
+                if rec.is_enabled() {
+                    let (local, same_rack, cross_rack) = plan.source_breakdown(&self.topo);
+                    rec.emit(self.now, || SimEvent::DegradedPlan {
+                        job: job.0,
+                        task: task.0 as u32,
+                        node: slave.0,
+                        local: local as u32,
+                        same_rack: same_rack as u32,
+                        cross_rack: cross_rack as u32,
+                    });
+                }
+                rec.emit(self.now, || SimEvent::PhaseBegin {
+                    job: job.0,
+                    task: task.0 as u32,
+                    node: slave.0,
+                    speculative,
+                    phase: DegradedPhase::FetchK,
+                });
                 let specs: Vec<(usize, usize, u64)> = plan
                     .network_sources()
                     .map(|(_, holder)| (holder.index(), slave.index(), self.cfg.block_bytes))
@@ -903,7 +1091,7 @@ impl Engine {
                 self.set_attempt_pending(job, task, speculative, flows);
                 if none_pending {
                     self.mark_attempt_ready(job, task, speculative);
-                    self.schedule_map_processing(job, task, speculative);
+                    self.schedule_map_processing(job, task, speculative, rec);
                 }
             }
         }
@@ -940,7 +1128,13 @@ impl Engine {
         }
     }
 
-    fn schedule_map_processing(&mut self, job: JobId, task: MapTaskId, speculative: bool) {
+    fn schedule_map_processing(
+        &mut self,
+        job: JobId,
+        task: MapTaskId,
+        speculative: bool,
+        rec: &mut Recorder<'_>,
+    ) {
         let (mean, std) = {
             let spec = &self.jobs[job.index()].spec;
             (spec.map_time_mean, spec.map_time_std)
@@ -956,6 +1150,37 @@ impl Engine {
                 .assigned_to
                 .expect("processing an assigned map")
         };
+        if self.jobs[job.index()].maps[task.0].degraded {
+            // Input is complete: close the fetch, decode instantaneously
+            // (the simulator does not model decode CPU time), process.
+            for (phase, begin) in [
+                (DegradedPhase::FetchK, false),
+                (DegradedPhase::Decode, true),
+                (DegradedPhase::Decode, false),
+                (DegradedPhase::Process, true),
+            ] {
+                rec.emit(self.now, || {
+                    let (job, task, node) = (job.0, task.0 as u32, node.0);
+                    if begin {
+                        SimEvent::PhaseBegin {
+                            job,
+                            task,
+                            node,
+                            speculative,
+                            phase,
+                        }
+                    } else {
+                        SimEvent::PhaseEnd {
+                            job,
+                            task,
+                            node,
+                            speculative,
+                            phase,
+                        }
+                    }
+                });
+            }
+        }
         let duration = self.sample_task_time(mean, std, node);
         let ev = self.cal.schedule(
             self.now + duration,
@@ -980,7 +1205,7 @@ impl Engine {
     /// FIFO head has nothing left to assign, launch a backup copy of the
     /// slowest running map whose elapsed time exceeds
     /// `speculative_threshold x` the job's mean completed-map runtime.
-    fn assign_speculative(&mut self, slave: NodeId) {
+    fn assign_speculative(&mut self, slave: NodeId, rec: &mut Recorder<'_>) {
         while self.free_map[slave.index()] > 0 {
             let mut candidate: Option<(JobId, MapTaskId, f64)> = None;
             for &job in &self.fifo {
@@ -1028,11 +1253,11 @@ impl Engine {
                 flows: Vec::new(),
                 proc_event: None,
             });
-            self.start_map_attempt(job, task, slave, locality, true);
+            self.start_map_attempt(job, task, slave, locality, true, rec);
         }
     }
 
-    fn start_reduce_processing(&mut self, job: JobId, reduce: usize) {
+    fn start_reduce_processing(&mut self, job: JobId, reduce: usize, rec: &mut Recorder<'_>) {
         let (mean, std) = {
             let spec = &self.jobs[job.index()].spec;
             (spec.reduce_time_mean, spec.reduce_time_std)
@@ -1043,6 +1268,11 @@ impl Engine {
             r.input_ready_at = self.now;
             r.assigned_to.expect("processing an assigned reduce")
         };
+        rec.emit(self.now, || SimEvent::ReduceShuffled {
+            job: job.0,
+            index: reduce as u32,
+            node: node.0,
+        });
         let duration = self.sample_task_time(mean, std, node);
         self.cal.schedule(
             self.now + duration,
@@ -1063,7 +1293,7 @@ impl Engine {
         SimDuration::from_secs_f64(base.as_secs_f64() / speed)
     }
 
-    fn assign_reduces(&mut self, slave: NodeId) {
+    fn assign_reduces(&mut self, slave: NodeId, rec: &mut Recorder<'_>) {
         while self.free_reduce[slave.index()] > 0 {
             // First FIFO job with an unassigned reducer past slowstart.
             let candidate = self.fifo.iter().copied().find(|&id| {
@@ -1083,6 +1313,11 @@ impl Engine {
                 (reduce, bytes, j.completed_map_outputs.clone())
             };
             self.free_reduce[slave.index()] -= 1;
+            rec.emit(self.now, || SimEvent::ReduceLaunched {
+                job: job.0,
+                index: reduce as u32,
+                node: slave.0,
+            });
             // Fetch output of already-completed maps (batched).
             let specs: Vec<(usize, usize, u64)> = outputs
                 .iter()
@@ -1455,6 +1690,63 @@ mod feature_tests {
             );
             assert_eq!(fast.tasks.len(), slow.tasks.len());
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_lifecycle() {
+        use obs::event::SimEvent;
+        use obs::sink::VecSink;
+
+        let plain = engine_with(EngineConfig::default(), 3)
+            .run(Box::new(Greedy))
+            .unwrap();
+        let mut sink = VecSink::new();
+        let traced = engine_with(EngineConfig::default(), 3)
+            .run_traced(Box::new(Greedy), &mut sink)
+            .unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the run");
+        assert!(!sink.events.is_empty());
+        // Timestamps are globally non-decreasing.
+        for pair in sink.events.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        let count =
+            |pred: &dyn Fn(&SimEvent) -> bool| sink.events.iter().filter(|(_, e)| pred(e)).count();
+        // One failed node in this fixture, announced at t=0.
+        assert_eq!(count(&|e| matches!(e, SimEvent::NodeFailed { .. })), 1);
+        assert_eq!(sink.events[0].0, SimTime::ZERO);
+        // 32 maps: every launch completes (no speculation configured).
+        assert_eq!(count(&|e| matches!(e, SimEvent::MapLaunched { .. })), 32);
+        assert_eq!(count(&|e| matches!(e, SimEvent::MapDone { .. })), 32);
+        assert_eq!(count(&|e| matches!(e, SimEvent::MapCancelled { .. })), 0);
+        assert_eq!(count(&|e| matches!(e, SimEvent::JobSubmitted { .. })), 1);
+        assert_eq!(count(&|e| matches!(e, SimEvent::JobStarted { .. })), 1);
+        assert_eq!(count(&|e| matches!(e, SimEvent::JobFinished { .. })), 1);
+        assert_eq!(count(&|e| matches!(e, SimEvent::TaskQueued { .. })), 32);
+        // Degraded tasks fetch over the network and announce their plans.
+        let plans = count(&|e| matches!(e, SimEvent::DegradedPlan { .. }));
+        assert!(plans > 0, "failure mode must produce degraded plans");
+        assert!(count(&|e| matches!(e, SimEvent::FlowStarted { .. })) > 0);
+        assert_eq!(
+            count(&|e| matches!(e, SimEvent::FlowStarted { .. })),
+            count(&|e| matches!(e, SimEvent::FlowFinished { .. })),
+        );
+        // Every degraded attempt walks fetch_k -> decode -> process, and
+        // begins/ends balance exactly.
+        assert_eq!(
+            count(&|e| matches!(e, SimEvent::PhaseBegin { .. })),
+            count(&|e| matches!(e, SimEvent::PhaseEnd { .. })),
+        );
+        assert_eq!(
+            count(&|e| matches!(
+                e,
+                SimEvent::PhaseBegin {
+                    phase: obs::event::DegradedPhase::FetchK,
+                    ..
+                }
+            )),
+            plans
+        );
     }
 
     #[test]

@@ -118,6 +118,59 @@ impl AsRef<[u32]> for Path {
     }
 }
 
+/// A flow's route as the flow event log exposes it: the link indices the
+/// flow traverses (empty for loopback).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowRoute {
+    len: u8,
+    links: [u32; 4],
+}
+
+impl FlowRoute {
+    /// The traversed link indices.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.links[..self.len as usize]
+    }
+}
+
+/// What happened to a flow, as recorded by the opt-in flow event log.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FlowLogKind {
+    /// The flow was registered.
+    Started {
+        /// Source node index.
+        src: usize,
+        /// Destination node index.
+        dst: usize,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Links the flow traverses.
+        route: FlowRoute,
+    },
+    /// Max-min reallocation assigned the flow a new rate. Loopback flows
+    /// (infinite rate) never log rate changes.
+    RateChanged {
+        /// The new rate in bits per second.
+        rate_bps: f64,
+    },
+    /// The flow left the network.
+    Finished {
+        /// True if cancelled before delivering all bytes.
+        cancelled: bool,
+    },
+}
+
+/// One timestamped entry of the flow event log.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowLogEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// The flow concerned.
+    pub flow: FlowId,
+    /// What happened.
+    pub kind: FlowLogKind,
+}
+
 #[derive(Clone, Debug)]
 struct ActiveFlow {
     id: FlowId,
@@ -172,6 +225,11 @@ pub struct Network {
     /// When set, every advance appends a rack-downlink utilization
     /// sample (the paper's "unused network resources" evidence).
     utilization_log: Option<Vec<UtilizationSample>>,
+    /// When set, flow starts, rate changes and completions append
+    /// entries here for the observability layer to drain. `None` (the
+    /// default) keeps the hot paths branch-only, preserving bit-identical
+    /// untraced runs.
+    flow_log: Option<Vec<FlowLogEntry>>,
     rack_bps: f64,
     /// Reused scratch for rate reallocation — flows start/finish on
     /// every simulated transfer, so this path must not allocate.
@@ -216,6 +274,7 @@ impl Network {
             last_advanced: SimTime::ZERO,
             next_done: None,
             utilization_log: None,
+            flow_log: None,
             rack_bps: config.rack_bps as f64,
             fairshare: FairshareWorkspace::new(),
             rates_buf: Vec::new(),
@@ -234,6 +293,25 @@ impl Network {
     /// [`Network::enable_utilization_log`] was called).
     pub fn utilization_log(&self) -> &[UtilizationSample] {
         self.utilization_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Starts recording per-flow lifecycle entries (start, rate change,
+    /// finish) for the observability layer. Call before the first flow
+    /// starts; logging stays enabled for the network's lifetime.
+    pub fn enable_flow_log(&mut self) {
+        if self.flow_log.is_none() {
+            self.flow_log = Some(Vec::new());
+        }
+    }
+
+    /// Drains the accumulated flow log entries, in the order they were
+    /// recorded. Returns an empty vector unless
+    /// [`Network::enable_flow_log`] was called.
+    pub fn take_flow_log(&mut self) -> Vec<FlowLogEntry> {
+        match &mut self.flow_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -275,6 +353,21 @@ impl Network {
         let id = FlowId(self.next_id);
         self.next_id += 1;
         let path = self.path_for(src, dst);
+        if let Some(log) = &mut self.flow_log {
+            log.push(FlowLogEntry {
+                at: now,
+                flow: id,
+                kind: FlowLogKind::Started {
+                    src,
+                    dst,
+                    bytes,
+                    route: FlowRoute {
+                        len: path.len,
+                        links: path.links,
+                    },
+                },
+            });
+        }
         self.index_of.insert(id, self.flows.len());
         self.flows.push(ActiveFlow {
             id,
@@ -329,6 +422,13 @@ impl Network {
         let flow = self.flows.swap_remove(idx);
         if let Some(moved) = self.flows.get(idx) {
             self.index_of.insert(moved.id, idx);
+        }
+        if let Some(log) = &mut self.flow_log {
+            log.push(FlowLogEntry {
+                at: now,
+                flow: id,
+                kind: FlowLogKind::Finished { cancelled: true },
+            });
         }
         self.reallocate(now);
         Some(FlowStats {
@@ -387,10 +487,19 @@ impl Network {
                 i += 1;
             }
         }
+        done.sort_by_key(|(id, _)| *id);
+        if let Some(log) = &mut self.flow_log {
+            for (id, _) in &done {
+                log.push(FlowLogEntry {
+                    at: now,
+                    flow: *id,
+                    kind: FlowLogKind::Finished { cancelled: false },
+                });
+            }
+        }
         if !done.is_empty() {
             self.reallocate(now);
         }
-        done.sort_by_key(|(id, _)| *id);
         done
     }
 
@@ -440,6 +549,17 @@ impl Network {
         );
         let mut earliest: Option<SimTime> = None;
         for (flow, &rate) in self.flows.iter_mut().zip(self.rates_buf.iter()) {
+            // Fairshare rates are a deterministic function of the flow
+            // set, so exact f64 comparison suffices to detect changes.
+            if rate != flow.rate_bps && rate.is_finite() {
+                if let Some(log) = &mut self.flow_log {
+                    log.push(FlowLogEntry {
+                        at: now,
+                        flow: flow.id,
+                        kind: FlowLogKind::RateChanged { rate_bps: rate },
+                    });
+                }
+            }
             flow.rate_bps = rate;
             if rate.is_infinite() {
                 // Loopback flows never traverse a link; they complete at once.
@@ -671,6 +791,104 @@ mod utilization_tests {
         let done = net.next_completion().unwrap();
         net.complete_flows(done);
         assert!(net.utilization_log().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod flow_log_tests {
+    use super::*;
+
+    const BLOCK: u64 = 128 * 1024 * 1024;
+
+    #[test]
+    fn logs_full_flow_lifecycle() {
+        let mut net = Network::new(&[2, 2], NetConfig::uniform(100_000_000));
+        net.enable_flow_log();
+        let a = net.start_flow(SimTime::ZERO, 0, 2, BLOCK);
+        let entries = net.take_flow_log();
+        assert_eq!(entries.len(), 2, "{entries:?}");
+        match entries[0].kind {
+            FlowLogKind::Started {
+                src,
+                dst,
+                bytes,
+                route,
+            } => {
+                assert_eq!((src, dst, bytes), (0, 2, BLOCK));
+                // Cross-rack: NIC up, rack0 up, rack1 down, NIC down.
+                assert_eq!(route.as_slice(), &[0, 8, 11, 5]);
+            }
+            ref other => panic!("expected Started, got {other:?}"),
+        }
+        assert!(
+            matches!(entries[1].kind, FlowLogKind::RateChanged { rate_bps } if rate_bps == 1e8),
+            "{entries:?}"
+        );
+        let done = net.next_completion().unwrap();
+        net.complete_flows(done);
+        let entries = net.take_flow_log();
+        assert_eq!(
+            entries,
+            vec![FlowLogEntry {
+                at: done,
+                flow: a,
+                kind: FlowLogKind::Finished { cancelled: false },
+            }]
+        );
+        // Drained: nothing left.
+        assert!(net.take_flow_log().is_empty());
+    }
+
+    #[test]
+    fn logs_rate_changes_on_contention() {
+        let mut net = Network::new(&[2, 1], NetConfig::uniform(100_000_000));
+        net.enable_flow_log();
+        let a = net.start_flow(SimTime::ZERO, 2, 0, BLOCK);
+        net.take_flow_log();
+        // Second flow shares the rack downlink: both drop to half rate.
+        net.start_flow(SimTime::from_secs(2), 2, 1, BLOCK);
+        let entries = net.take_flow_log();
+        let a_changes: Vec<f64> = entries
+            .iter()
+            .filter_map(|e| match e.kind {
+                FlowLogKind::RateChanged { rate_bps } if e.flow == a => Some(rate_bps),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(a_changes, vec![5e7]);
+    }
+
+    #[test]
+    fn cancel_logs_cancelled_finish() {
+        let mut net = Network::new(&[1, 1], NetConfig::gigabit());
+        net.enable_flow_log();
+        let a = net.start_flow(SimTime::ZERO, 0, 1, BLOCK);
+        net.take_flow_log();
+        net.cancel_flow(SimTime::from_millis(10), a);
+        let entries = net.take_flow_log();
+        assert_eq!(entries.len(), 1);
+        assert!(matches!(
+            entries[0].kind,
+            FlowLogKind::Finished { cancelled: true }
+        ));
+    }
+
+    #[test]
+    fn loopback_flows_log_no_rate_changes() {
+        let mut net = Network::new(&[2], NetConfig::gigabit());
+        net.enable_flow_log();
+        net.start_flow(SimTime::ZERO, 1, 1, BLOCK);
+        let entries = net.take_flow_log();
+        assert_eq!(entries.len(), 1, "{entries:?}");
+        assert!(matches!(entries[0].kind, FlowLogKind::Started { route, .. }
+            if route.as_slice().is_empty()));
+    }
+
+    #[test]
+    fn disabled_log_returns_empty() {
+        let mut net = Network::new(&[1, 1], NetConfig::gigabit());
+        net.start_flow(SimTime::ZERO, 0, 1, 1_000);
+        assert!(net.take_flow_log().is_empty());
     }
 }
 

@@ -1,0 +1,672 @@
+//! In-memory aggregation of an event stream into the derived quantities
+//! behind the paper's Figures 5, 7 and 8: per-interval slot and link
+//! utilization, degraded-read latency percentiles, per-type mean task
+//! runtimes, and the overlap between degraded fetches and normal map
+//! work (the mechanism degraded-first scheduling exploits).
+//!
+//! The counters are defined to match `mapreduce::metrics` *exactly* —
+//! same winner-only accounting, same completion-order summation — and a
+//! cross-check test in the workspace keeps the two from drifting.
+
+use std::collections::{BTreeMap, HashMap};
+
+use simkit::stats::percentile_sorted;
+use simkit::time::{SimDuration, SimTime};
+
+use crate::event::{DegradedPhase, LinkSet, Locality, SimEvent};
+use crate::sink::EventSink;
+
+/// Static configuration of an [`Aggregator`].
+#[derive(Clone, Debug)]
+pub struct AggregatorConfig {
+    /// Width of a utilization interval.
+    pub bucket: SimDuration,
+    /// Total map slots in the cluster (alive nodes × slots per node),
+    /// the denominator of slot utilization. Zero disables the metric.
+    pub total_map_slots: u64,
+    /// Capacity in bit/s per link index, the denominator of per-link
+    /// utilization. Links beyond the vector report raw bit/s instead.
+    pub link_capacities_bps: Vec<f64>,
+}
+
+impl Default for AggregatorConfig {
+    fn default() -> AggregatorConfig {
+        AggregatorConfig {
+            bucket: SimDuration::from_secs(10),
+            total_map_slots: 0,
+            link_capacities_bps: Vec::new(),
+        }
+    }
+}
+
+/// A finished task as the aggregator saw it, in completion order.
+#[derive(Clone, Copy, Debug)]
+enum Finished {
+    Map {
+        locality: Locality,
+        runtime_secs: f64,
+        fetch_secs: Option<f64>,
+    },
+    Reduce {
+        runtime_secs: f64,
+    },
+}
+
+/// A live map attempt.
+struct Attempt {
+    launched_at: SimTime,
+    locality: Locality,
+    fetch_begin: Option<SimTime>,
+    fetch_secs: Option<f64>,
+}
+
+/// The [`EventSink`] that folds the stream into [`AggregateReport`].
+///
+/// All time-weighted metrics (slot busy-seconds, link bits, overlap)
+/// are integrated as step functions between consecutive event
+/// timestamps, so they are exact for the piecewise-constant processes
+/// the simulator produces, not sampled approximations.
+pub struct Aggregator {
+    cfg: AggregatorConfig,
+    last_t: SimTime,
+    end_t: SimTime,
+    // Step-function state.
+    active_maps: u64,
+    active_normal_maps: u64,
+    active_fetches: u64,
+    // Integrals.
+    busy_slot_secs: Vec<f64>,
+    link_bits: BTreeMap<u32, Vec<f64>>,
+    overlap_secs: f64,
+    fetch_active_secs: f64,
+    // Entity state.
+    attempts: HashMap<(u32, u32, bool), Attempt>,
+    reduces: HashMap<(u32, u32), SimTime>,
+    flows: HashMap<u64, (LinkSet, f64)>,
+    link_rate: BTreeMap<u32, f64>,
+    // Records.
+    finished: Vec<Finished>,
+    jobs_submitted: usize,
+    jobs_finished: usize,
+    tasks_queued_degraded: usize,
+    speculative_launches: usize,
+    cancelled_attempts: usize,
+    nodes_failed: usize,
+}
+
+impl Aggregator {
+    /// An empty aggregator.
+    pub fn new(cfg: AggregatorConfig) -> Aggregator {
+        assert!(!cfg.bucket.is_zero(), "bucket width must be positive");
+        Aggregator {
+            cfg,
+            last_t: SimTime::ZERO,
+            end_t: SimTime::ZERO,
+            active_maps: 0,
+            active_normal_maps: 0,
+            active_fetches: 0,
+            busy_slot_secs: Vec::new(),
+            link_bits: BTreeMap::new(),
+            overlap_secs: 0.0,
+            fetch_active_secs: 0.0,
+            attempts: HashMap::new(),
+            reduces: HashMap::new(),
+            flows: HashMap::new(),
+            link_rate: BTreeMap::new(),
+            finished: Vec::new(),
+            jobs_submitted: 0,
+            jobs_finished: 0,
+            tasks_queued_degraded: 0,
+            speculative_launches: 0,
+            cancelled_attempts: 0,
+            nodes_failed: 0,
+        }
+    }
+
+    /// Integrates the current step-function state over `[last_t, to)`,
+    /// splitting the span across interval buckets.
+    fn advance(&mut self, to: SimTime) {
+        debug_assert!(to >= self.last_t, "events arrived out of order");
+        let bucket = self.cfg.bucket.as_micros();
+        let mut cur = self.last_t.as_micros();
+        let end = to.as_micros();
+        while cur < end {
+            let bucket_idx = (cur / bucket) as usize;
+            let seg_end = end.min((cur / bucket + 1) * bucket);
+            let dt = (seg_end - cur) as f64 / 1e6;
+            if self.active_maps > 0 {
+                if self.busy_slot_secs.len() <= bucket_idx {
+                    self.busy_slot_secs.resize(bucket_idx + 1, 0.0);
+                }
+                self.busy_slot_secs[bucket_idx] += self.active_maps as f64 * dt;
+            }
+            for (&link, &rate) in &self.link_rate {
+                if rate > 0.0 {
+                    let bits = self.link_bits.entry(link).or_default();
+                    if bits.len() <= bucket_idx {
+                        bits.resize(bucket_idx + 1, 0.0);
+                    }
+                    bits[bucket_idx] += rate * dt;
+                }
+            }
+            if self.active_fetches > 0 {
+                self.fetch_active_secs += dt;
+                if self.active_normal_maps > 0 {
+                    self.overlap_secs += dt;
+                }
+            }
+            cur = seg_end;
+        }
+        self.last_t = to;
+        self.end_t = self.end_t.max(to);
+    }
+
+    fn close_attempt(&mut self, key: (u32, u32, bool)) -> Option<Attempt> {
+        let attempt = self.attempts.remove(&key)?;
+        self.active_maps -= 1;
+        if attempt.locality != Locality::Degraded {
+            self.active_normal_maps -= 1;
+        }
+        if attempt.fetch_begin.is_some() {
+            // Closed mid-fetch (a cancelled losing attempt).
+            self.active_fetches -= 1;
+        }
+        Some(attempt)
+    }
+
+    /// Folds the stream into the final report.
+    pub fn report(&self) -> AggregateReport {
+        let mut fetch_sorted: Vec<f64> = self
+            .finished
+            .iter()
+            .filter_map(|f| match f {
+                Finished::Map {
+                    locality: Locality::Degraded,
+                    fetch_secs,
+                    ..
+                } => *fetch_secs,
+                _ => None,
+            })
+            .collect();
+        fetch_sorted.sort_by(f64::total_cmp);
+        let mean = |select: &dyn Fn(&Finished) -> Option<f64>| -> Option<f64> {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for f in &self.finished {
+                if let Some(x) = select(f) {
+                    sum += x;
+                    count += 1;
+                }
+            }
+            (count > 0).then(|| sum / count as f64)
+        };
+        let count_maps = |want: Locality| {
+            self.finished
+                .iter()
+                .filter(|f| matches!(f, Finished::Map { locality, .. } if *locality == want))
+                .count()
+        };
+        let bucket_secs = self.cfg.bucket.as_secs_f64();
+        let slot_utilization: Vec<f64> = if self.cfg.total_map_slots == 0 {
+            Vec::new()
+        } else {
+            let denom = self.cfg.total_map_slots as f64 * bucket_secs;
+            self.busy_slot_secs.iter().map(|&b| b / denom).collect()
+        };
+        let link_utilization: Vec<LinkUsage> = self
+            .link_bits
+            .iter()
+            .map(|(&link, bits)| {
+                let total_bits: f64 = bits.iter().sum();
+                let span_secs = bits.len() as f64 * bucket_secs;
+                let mean_bps = total_bits / span_secs;
+                let peak_bps = bits.iter().fold(0.0f64, |a, &b| a.max(b / bucket_secs));
+                let capacity = self.cfg.link_capacities_bps.get(link as usize).copied();
+                LinkUsage {
+                    link,
+                    mean_bps,
+                    peak_bps,
+                    mean_utilization: capacity.map(|c| mean_bps / c),
+                }
+            })
+            .collect();
+        AggregateReport {
+            makespan_secs: self.end_t.as_secs_f64(),
+            jobs_submitted: self.jobs_submitted,
+            jobs_finished: self.jobs_finished,
+            maps_node_local: count_maps(Locality::NodeLocal),
+            maps_rack_local: count_maps(Locality::RackLocal),
+            maps_remote: count_maps(Locality::Remote),
+            maps_degraded: count_maps(Locality::Degraded),
+            reduces: self
+                .finished
+                .iter()
+                .filter(|f| matches!(f, Finished::Reduce { .. }))
+                .count(),
+            tasks_queued_degraded: self.tasks_queued_degraded,
+            speculative_launches: self.speculative_launches,
+            cancelled_attempts: self.cancelled_attempts,
+            nodes_failed: self.nodes_failed,
+            mean_normal_map_secs: mean(&|f| match f {
+                Finished::Map {
+                    locality,
+                    runtime_secs,
+                    ..
+                } if *locality != Locality::Degraded => Some(*runtime_secs),
+                _ => None,
+            }),
+            mean_degraded_map_secs: mean(&|f| match f {
+                Finished::Map {
+                    locality: Locality::Degraded,
+                    runtime_secs,
+                    ..
+                } => Some(*runtime_secs),
+                _ => None,
+            }),
+            mean_reduce_secs: mean(&|f| match f {
+                Finished::Reduce { runtime_secs } => Some(*runtime_secs),
+                _ => None,
+            }),
+            degraded_read_secs: self
+                .finished
+                .iter()
+                .filter_map(|f| match f {
+                    Finished::Map {
+                        locality: Locality::Degraded,
+                        fetch_secs,
+                        ..
+                    } => *fetch_secs,
+                    _ => None,
+                })
+                .collect(),
+            degraded_read_p50: percentile_opt(&fetch_sorted, 0.50),
+            degraded_read_p95: percentile_opt(&fetch_sorted, 0.95),
+            degraded_read_p99: percentile_opt(&fetch_sorted, 0.99),
+            bucket_secs,
+            slot_utilization,
+            link_utilization,
+            overlap_secs: self.overlap_secs,
+            degraded_fetch_active_secs: self.fetch_active_secs,
+        }
+    }
+}
+
+fn percentile_opt(sorted: &[f64], p: f64) -> Option<f64> {
+    (!sorted.is_empty()).then(|| percentile_sorted(sorted, p))
+}
+
+impl EventSink for Aggregator {
+    fn record(&mut self, at: SimTime, event: &SimEvent) {
+        self.advance(at);
+        match *event {
+            SimEvent::JobSubmitted { .. } => self.jobs_submitted += 1,
+            SimEvent::JobStarted { .. } => {}
+            SimEvent::JobFinished { .. } => self.jobs_finished += 1,
+            SimEvent::TaskQueued { degraded, .. } => {
+                if degraded {
+                    self.tasks_queued_degraded += 1;
+                }
+            }
+            SimEvent::MapLaunched {
+                job,
+                task,
+                locality,
+                speculative,
+                ..
+            } => {
+                self.active_maps += 1;
+                if locality != Locality::Degraded {
+                    self.active_normal_maps += 1;
+                }
+                if speculative {
+                    self.speculative_launches += 1;
+                }
+                self.attempts.insert(
+                    (job, task, speculative),
+                    Attempt {
+                        launched_at: at,
+                        locality,
+                        fetch_begin: None,
+                        fetch_secs: None,
+                    },
+                );
+            }
+            SimEvent::PhaseBegin {
+                job,
+                task,
+                speculative,
+                phase,
+                ..
+            } => {
+                if phase == DegradedPhase::FetchK {
+                    if let Some(a) = self.attempts.get_mut(&(job, task, speculative)) {
+                        a.fetch_begin = Some(at);
+                        self.active_fetches += 1;
+                    }
+                }
+            }
+            SimEvent::PhaseEnd {
+                job,
+                task,
+                speculative,
+                phase,
+                ..
+            } => {
+                if phase == DegradedPhase::FetchK {
+                    if let Some(a) = self.attempts.get_mut(&(job, task, speculative)) {
+                        if let Some(begin) = a.fetch_begin.take() {
+                            a.fetch_secs = Some(at.duration_since(begin).as_secs_f64());
+                            self.active_fetches -= 1;
+                        }
+                    }
+                }
+            }
+            SimEvent::MapDone {
+                job,
+                task,
+                locality,
+                speculative,
+                ..
+            } => {
+                if let Some(a) = self.close_attempt((job, task, speculative)) {
+                    self.finished.push(Finished::Map {
+                        locality,
+                        runtime_secs: at.duration_since(a.launched_at).as_secs_f64(),
+                        fetch_secs: a.fetch_secs,
+                    });
+                }
+            }
+            SimEvent::MapCancelled {
+                job,
+                task,
+                speculative,
+                ..
+            } => {
+                if self.close_attempt((job, task, speculative)).is_some() {
+                    self.cancelled_attempts += 1;
+                }
+            }
+            SimEvent::DegradedPlan { .. } => {}
+            SimEvent::ReduceLaunched { job, index, .. } => {
+                self.reduces.insert((job, index), at);
+            }
+            SimEvent::ReduceShuffled { .. } => {}
+            SimEvent::ReduceDone { job, index, .. } => {
+                if let Some(launched) = self.reduces.remove(&(job, index)) {
+                    self.finished.push(Finished::Reduce {
+                        runtime_secs: at.duration_since(launched).as_secs_f64(),
+                    });
+                }
+            }
+            SimEvent::FlowStarted { flow, links, .. } => {
+                self.flows.insert(flow, (links, 0.0));
+            }
+            SimEvent::FlowRate { flow, rate_bps } => {
+                if let Some((links, rate)) = self.flows.get_mut(&flow) {
+                    let (links, old) = (*links, *rate);
+                    *rate = rate_bps;
+                    for &link in links.as_slice() {
+                        let sum = self.link_rate.entry(link).or_insert(0.0);
+                        *sum = (*sum + rate_bps - old).max(0.0);
+                    }
+                }
+            }
+            SimEvent::FlowFinished { flow, .. } => {
+                if let Some((links, rate)) = self.flows.remove(&flow) {
+                    for &link in links.as_slice() {
+                        let sum = self.link_rate.entry(link).or_insert(0.0);
+                        *sum = (*sum - rate).max(0.0);
+                    }
+                }
+            }
+            SimEvent::NodeFailed { .. } => self.nodes_failed += 1,
+            SimEvent::NodeRecovered { .. } => {}
+            SimEvent::RepairStarted { .. } | SimEvent::RepairFinished { .. } => {}
+        }
+    }
+}
+
+/// Usage summary of one network link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkUsage {
+    /// Link index.
+    pub link: u32,
+    /// Mean throughput over the observed span, bit/s.
+    pub mean_bps: f64,
+    /// Highest per-bucket mean throughput, bit/s.
+    pub peak_bps: f64,
+    /// `mean_bps / capacity`, when the capacity is known.
+    pub mean_utilization: Option<f64>,
+}
+
+/// Everything the aggregator derives from one traced run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggregateReport {
+    /// Timestamp of the last event, seconds.
+    pub makespan_secs: f64,
+    /// Jobs submitted.
+    pub jobs_submitted: usize,
+    /// Jobs that finished.
+    pub jobs_finished: usize,
+    /// Completed maps launched node-local.
+    pub maps_node_local: usize,
+    /// Completed maps launched rack-local.
+    pub maps_rack_local: usize,
+    /// Completed maps launched remote.
+    pub maps_remote: usize,
+    /// Completed maps launched degraded.
+    pub maps_degraded: usize,
+    /// Completed reduce tasks.
+    pub reduces: usize,
+    /// Map tasks that entered the queue needing a degraded read.
+    pub tasks_queued_degraded: usize,
+    /// Speculative (backup) attempts launched.
+    pub speculative_launches: usize,
+    /// Attempts cancelled after losing to the other attempt.
+    pub cancelled_attempts: usize,
+    /// Node failures observed.
+    pub nodes_failed: usize,
+    /// Mean runtime of completed non-degraded maps, seconds.
+    pub mean_normal_map_secs: Option<f64>,
+    /// Mean runtime of completed degraded maps, seconds.
+    pub mean_degraded_map_secs: Option<f64>,
+    /// Mean runtime of completed reduces, seconds.
+    pub mean_reduce_secs: Option<f64>,
+    /// Winner fetch durations (degraded read times), completion order —
+    /// the Figure 8(b) samples.
+    pub degraded_read_secs: Vec<f64>,
+    /// Median degraded read time, seconds.
+    pub degraded_read_p50: Option<f64>,
+    /// 95th-percentile degraded read time, seconds.
+    pub degraded_read_p95: Option<f64>,
+    /// 99th-percentile degraded read time, seconds.
+    pub degraded_read_p99: Option<f64>,
+    /// Interval width used for the utilization series, seconds.
+    pub bucket_secs: f64,
+    /// Per-interval map-slot utilization in `[0, 1]` (empty when the
+    /// config gave no slot count).
+    pub slot_utilization: Vec<f64>,
+    /// Per-link usage, ascending link index; only links that carried
+    /// traffic appear.
+    pub link_utilization: Vec<LinkUsage>,
+    /// Seconds during which a degraded fetch and a normal map ran
+    /// concurrently — degraded-first's exploited window.
+    pub overlap_secs: f64,
+    /// Seconds during which at least one degraded fetch was active.
+    pub degraded_fetch_active_secs: f64,
+}
+
+impl AggregateReport {
+    /// Fraction of degraded-fetch time overlapped with normal map work.
+    pub fn overlap_fraction(&self) -> Option<f64> {
+        (self.degraded_fetch_active_secs > 0.0)
+            .then(|| self.overlap_secs / self.degraded_fetch_active_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg() -> Aggregator {
+        Aggregator::new(AggregatorConfig {
+            bucket: SimDuration::from_secs(10),
+            total_map_slots: 2,
+            link_capacities_bps: vec![1e9, 1e9],
+        })
+    }
+
+    fn launch(job: u32, task: u32, locality: Locality) -> SimEvent {
+        SimEvent::MapLaunched {
+            job,
+            task,
+            node: 0,
+            locality,
+            speculative: false,
+        }
+    }
+
+    fn done(job: u32, task: u32, locality: Locality) -> SimEvent {
+        SimEvent::MapDone {
+            job,
+            task,
+            node: 0,
+            locality,
+            speculative: false,
+        }
+    }
+
+    fn phase(job: u32, task: u32, begin: bool) -> SimEvent {
+        let (node, speculative, phase) = (0, false, DegradedPhase::FetchK);
+        if begin {
+            SimEvent::PhaseBegin {
+                job,
+                task,
+                node,
+                speculative,
+                phase,
+            }
+        } else {
+            SimEvent::PhaseEnd {
+                job,
+                task,
+                node,
+                speculative,
+                phase,
+            }
+        }
+    }
+
+    #[test]
+    fn counts_and_means_follow_completion_order() {
+        let mut a = agg();
+        let t = SimTime::from_secs;
+        a.record(t(0), &launch(0, 0, Locality::NodeLocal));
+        a.record(t(0), &launch(0, 1, Locality::Degraded));
+        a.record(t(0), &phase(0, 1, true));
+        a.record(t(15), &phase(0, 1, false));
+        a.record(t(20), &done(0, 0, Locality::NodeLocal));
+        a.record(t(35), &done(0, 1, Locality::Degraded));
+        let r = a.report();
+        assert_eq!(r.maps_node_local, 1);
+        assert_eq!(r.maps_degraded, 1);
+        assert_eq!(r.mean_normal_map_secs, Some(20.0));
+        assert_eq!(r.mean_degraded_map_secs, Some(35.0));
+        assert_eq!(r.degraded_read_secs, vec![15.0]);
+        assert_eq!(r.degraded_read_p50, Some(15.0));
+        assert_eq!(r.makespan_secs, 35.0);
+    }
+
+    #[test]
+    fn slot_utilization_integrates_step_function() {
+        let mut a = agg();
+        let t = SimTime::from_secs;
+        // Two maps busy for [0, 5), one for [5, 20): bucket 0 (10s wide,
+        // 2 slots) holds 2*5 + 1*5 = 15 busy-slot-seconds of 20 → 0.75.
+        a.record(t(0), &launch(0, 0, Locality::NodeLocal));
+        a.record(t(0), &launch(0, 1, Locality::NodeLocal));
+        a.record(t(5), &done(0, 0, Locality::NodeLocal));
+        a.record(t(20), &done(0, 1, Locality::NodeLocal));
+        let r = a.report();
+        assert_eq!(r.slot_utilization, vec![0.75, 0.5]);
+    }
+
+    #[test]
+    fn overlap_requires_both_kinds_active() {
+        let mut a = agg();
+        let t = SimTime::from_secs;
+        a.record(t(0), &launch(0, 0, Locality::Degraded));
+        a.record(t(0), &phase(0, 0, true));
+        // Normal map joins at t=4, fetch ends at t=10.
+        a.record(t(4), &launch(0, 1, Locality::NodeLocal));
+        a.record(t(10), &phase(0, 0, false));
+        a.record(t(12), &done(0, 0, Locality::Degraded));
+        a.record(t(12), &done(0, 1, Locality::NodeLocal));
+        let r = a.report();
+        assert_eq!(r.degraded_fetch_active_secs, 10.0);
+        assert_eq!(r.overlap_secs, 6.0);
+        assert_eq!(r.overlap_fraction(), Some(0.6));
+    }
+
+    #[test]
+    fn link_bits_accumulate_per_bucket() {
+        let mut a = agg();
+        let t = SimTime::from_secs;
+        a.record(
+            t(0),
+            &SimEvent::FlowStarted {
+                flow: 1,
+                src: 0,
+                dst: 1,
+                bytes: 0,
+                links: LinkSet::from_slice(&[0, 1]),
+            },
+        );
+        a.record(
+            t(0),
+            &SimEvent::FlowRate {
+                flow: 1,
+                rate_bps: 1e9,
+            },
+        );
+        a.record(
+            t(5),
+            &SimEvent::FlowFinished {
+                flow: 1,
+                cancelled: false,
+            },
+        );
+        // Force integration past the flow's lifetime.
+        a.record(t(10), &SimEvent::NodeFailed { node: 0 });
+        let r = a.report();
+        let l0 = &r.link_utilization[0];
+        assert_eq!(l0.link, 0);
+        // 5e9 bits over one 10s bucket → 5e8 mean, 50% of 1 Gb/s.
+        assert_eq!(l0.mean_bps, 5e8);
+        assert_eq!(l0.mean_utilization, Some(0.5));
+        assert_eq!(l0.peak_bps, 5e8);
+    }
+
+    #[test]
+    fn cancelled_attempt_mid_fetch_keeps_state_balanced() {
+        let mut a = agg();
+        let t = SimTime::from_secs;
+        a.record(t(0), &launch(0, 0, Locality::Degraded));
+        a.record(t(0), &phase(0, 0, true));
+        a.record(
+            t(3),
+            &SimEvent::MapCancelled {
+                job: 0,
+                task: 0,
+                node: 0,
+                speculative: false,
+            },
+        );
+        assert_eq!(a.active_fetches, 0);
+        assert_eq!(a.active_maps, 0);
+        let r = a.report();
+        assert_eq!(r.cancelled_attempts, 1);
+        assert_eq!(r.maps_degraded, 0);
+        assert_eq!(r.degraded_fetch_active_secs, 3.0);
+    }
+}

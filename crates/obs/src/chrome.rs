@@ -1,0 +1,552 @@
+//! Chrome `chrome://tracing` / Perfetto trace-event exporter.
+//!
+//! Renders the event stream as a timeline: one thread lane per map slot
+//! and per reduce slot (grouped into per-role processes), duration
+//! slices for tasks with the degraded fetch/decode/process phases nested
+//! inside, async arrows for network flows, one counter track per
+//! network link, and instant markers for failures. Timestamps are
+//! already microseconds, the trace-event native unit.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use simkit::time::SimTime;
+
+use crate::event::{LinkSet, SimEvent};
+use crate::sink::EventSink;
+
+/// Process ids of the synthetic trace processes.
+const PID_MAPS: u32 = 1;
+const PID_REDUCES: u32 = 2;
+const PID_NET: u32 = 3;
+const PID_JOBS: u32 = 4;
+const PID_REPAIR: u32 = 5;
+
+/// Cluster shape the exporter needs to label lanes and links.
+#[derive(Clone, Copy, Debug)]
+pub struct ChromeConfig {
+    /// Number of nodes (`links 0..2*nodes` are node up/down pairs).
+    pub num_nodes: u32,
+    /// Number of racks (`links 2*nodes..2*nodes+2*racks` are rack pairs).
+    pub num_racks: u32,
+    /// Map slots per node (lane count per node in the map process).
+    pub map_slots: u32,
+    /// Reduce slots per node.
+    pub reduce_slots: u32,
+}
+
+impl ChromeConfig {
+    /// Human label for a link index under the workspace's link layout.
+    fn link_label(&self, link: u32) -> String {
+        let node_links = 2 * self.num_nodes;
+        if link < node_links {
+            let dir = if link.is_multiple_of(2) { "up" } else { "down" };
+            format!("node{}.{dir}", link / 2)
+        } else {
+            let dir = if (link - node_links).is_multiple_of(2) {
+                "up"
+            } else {
+                "down"
+            };
+            format!("rack{}.{dir}", (link - node_links) / 2)
+        }
+    }
+}
+
+/// Per-attempt state while its slice is open.
+struct OpenAttempt {
+    tid: u32,
+    node: u32,
+    name: String,
+}
+
+/// An [`EventSink`] that buffers trace events and writes a complete
+/// Chrome JSON trace on [`ChromeTraceSink::finish`].
+pub struct ChromeTraceSink<W: Write> {
+    out: W,
+    cfg: ChromeConfig,
+    events: Vec<String>,
+    /// Per-node map slot occupancy (grows past `map_slots` only if the
+    /// stream launches more concurrent attempts than configured).
+    map_busy: Vec<Vec<bool>>,
+    reduce_busy: Vec<Vec<bool>>,
+    /// Open map attempts keyed by `(job, task, speculative)`.
+    attempts: HashMap<(u32, u32, bool), OpenAttempt>,
+    /// Open reduce tasks keyed by `(job, index)` → `(tid, node, name)`.
+    reduces: HashMap<(u32, u32), OpenAttempt>,
+    /// Flow id → (async slice name, links, current rate).
+    flows: HashMap<u64, (String, LinkSet, f64)>,
+    /// Current aggregate rate per link.
+    link_rate: BTreeMap<u32, f64>,
+    /// Repair task → slice name.
+    repairs: HashMap<u32, String>,
+    /// `(pid, tid, label)` lanes seen, for thread-name metadata.
+    lanes: BTreeSet<(u32, u32, String)>,
+}
+
+impl<W: Write> ChromeTraceSink<W> {
+    /// A sink for a cluster of the given shape writing to `out`.
+    pub fn new(out: W, cfg: ChromeConfig) -> ChromeTraceSink<W> {
+        ChromeTraceSink {
+            out,
+            cfg,
+            events: Vec::new(),
+            map_busy: vec![vec![false; cfg.map_slots as usize]; cfg.num_nodes as usize],
+            reduce_busy: vec![vec![false; cfg.reduce_slots as usize]; cfg.num_nodes as usize],
+            attempts: HashMap::new(),
+            reduces: HashMap::new(),
+            flows: HashMap::new(),
+            link_rate: BTreeMap::new(),
+            repairs: HashMap::new(),
+            lanes: BTreeSet::new(),
+        }
+    }
+
+    /// Allocates the lowest free slot lane on `node`, growing if needed.
+    fn alloc(busy: &mut [Vec<bool>], node: u32) -> u32 {
+        let slots = &mut busy[node as usize];
+        let slot = slots.iter().position(|b| !b).unwrap_or_else(|| {
+            slots.push(false);
+            slots.len() - 1
+        });
+        slots[slot] = true;
+        slot as u32
+    }
+
+    /// `tid` for slot `slot` of `node`; 256 lanes per node keeps tids
+    /// disjoint across nodes for any realistic slot count.
+    fn tid(node: u32, slot: u32) -> u32 {
+        node * 256 + slot
+    }
+
+    fn push(&mut self, json: String) {
+        self.events.push(json);
+    }
+
+    fn duration(&mut self, ph: char, at: SimTime, pid: u32, tid: u32, name: &str) {
+        self.push(format!(
+            "{{\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"name\":\"{name}\"}}",
+            at.as_micros()
+        ));
+    }
+
+    fn instant(&mut self, at: SimTime, pid: u32, tid: u32, name: &str, scope: char) {
+        self.push(format!(
+            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"name\":\"{name}\",\"s\":\"{scope}\"}}",
+            at.as_micros()
+        ));
+    }
+
+    fn counter(&mut self, at: SimTime, name: &str, value: f64) {
+        assert!(value.is_finite());
+        self.push(format!(
+            "{{\"ph\":\"C\",\"pid\":{PID_NET},\"tid\":0,\"ts\":{},\"name\":\"{name}\",\
+             \"args\":{{\"bps\":{value}}}}}",
+            at.as_micros()
+        ));
+    }
+
+    /// Applies a rate delta to every link a flow traverses and emits the
+    /// updated counters.
+    fn shift_link_rates(&mut self, at: SimTime, links: LinkSet, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        for &link in links.as_slice() {
+            let rate = self.link_rate.entry(link).or_insert(0.0);
+            *rate = (*rate + delta).max(0.0);
+            let (rate, label) = (*rate, self.cfg.link_label(link));
+            self.counter(at, &label, rate);
+        }
+    }
+
+    fn open_map_lane(&mut self, node: u32, label_prefix: &str) -> u32 {
+        let slot = Self::alloc(&mut self.map_busy, node);
+        let tid = Self::tid(node, slot);
+        self.lanes
+            .insert((PID_MAPS, tid, format!("{label_prefix}{node} map{slot}")));
+        tid
+    }
+
+    fn close_map_attempt(&mut self, at: SimTime, key: (u32, u32, bool)) {
+        if let Some(open) = self.attempts.remove(&key) {
+            let name = open.name.clone();
+            self.duration('E', at, PID_MAPS, open.tid, &name);
+            let slot = open.tid - open.node * 256;
+            self.map_busy[open.node as usize][slot as usize] = false;
+        }
+    }
+
+    /// Writes the complete trace (events + lane metadata) and flushes.
+    pub fn finish(mut self) -> io::Result<W> {
+        let processes = [
+            (PID_MAPS, "map slots"),
+            (PID_REDUCES, "reduce slots"),
+            (PID_NET, "network"),
+            (PID_JOBS, "jobs"),
+            (PID_REPAIR, "repair"),
+        ];
+        let mut meta = String::new();
+        for (i, (pid, name)) in processes.iter().enumerate() {
+            let _ = write!(
+                meta,
+                "{}{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{name}\"}}}},\
+                 {{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_sort_index\",\
+                 \"args\":{{\"sort_index\":{i}}}}}",
+                if i == 0 { "" } else { "," },
+            );
+        }
+        for (pid, tid, label) in &self.lanes {
+            let _ = write!(
+                meta,
+                ",{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            );
+        }
+        self.out
+            .write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        self.out.write_all(meta.as_bytes())?;
+        for event in &self.events {
+            self.out.write_all(b",")?;
+            self.out.write_all(event.as_bytes())?;
+        }
+        self.out.write_all(b"]}\n")?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> EventSink for ChromeTraceSink<W> {
+    fn record(&mut self, at: SimTime, event: &SimEvent) {
+        match *event {
+            SimEvent::JobSubmitted { job, maps, reduces } => {
+                self.lanes.insert((PID_JOBS, job, format!("job{job}")));
+                self.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":{PID_JOBS},\"tid\":{job},\"ts\":{},\
+                     \"name\":\"submitted\",\"s\":\"t\",\
+                     \"args\":{{\"maps\":{maps},\"reduces\":{reduces}}}}}",
+                    at.as_micros()
+                ));
+            }
+            SimEvent::JobStarted { job } => {
+                self.lanes.insert((PID_JOBS, job, format!("job{job}")));
+                let name = format!("job{job}");
+                self.duration('B', at, PID_JOBS, job, &name);
+            }
+            SimEvent::JobFinished { job } => {
+                let name = format!("job{job}");
+                self.duration('E', at, PID_JOBS, job, &name);
+            }
+            SimEvent::TaskQueued { .. } => {}
+            SimEvent::MapLaunched {
+                job,
+                task,
+                node,
+                locality,
+                speculative,
+            } => {
+                let tid = self.open_map_lane(node, "n");
+                let name = format!(
+                    "j{job}.m{task} {}{}",
+                    locality.name(),
+                    if speculative { " spec" } else { "" }
+                );
+                self.duration('B', at, PID_MAPS, tid, &name);
+                self.attempts
+                    .insert((job, task, speculative), OpenAttempt { tid, node, name });
+            }
+            SimEvent::MapDone {
+                job,
+                task,
+                speculative,
+                ..
+            } => self.close_map_attempt(at, (job, task, speculative)),
+            SimEvent::MapCancelled {
+                job,
+                task,
+                speculative,
+                ..
+            } => self.close_map_attempt(at, (job, task, speculative)),
+            SimEvent::DegradedPlan {
+                job,
+                task,
+                local,
+                same_rack,
+                cross_rack,
+                ..
+            } => {
+                if let Some(open) = self.attempts.get(&(job, task, false)) {
+                    let tid = open.tid;
+                    self.push(format!(
+                        "{{\"ph\":\"i\",\"pid\":{PID_MAPS},\"tid\":{tid},\"ts\":{},\
+                         \"name\":\"degraded_plan\",\"s\":\"t\",\"args\":{{\"local\":{local},\
+                         \"same_rack\":{same_rack},\"cross_rack\":{cross_rack}}}}}",
+                        at.as_micros()
+                    ));
+                }
+            }
+            SimEvent::PhaseBegin {
+                job,
+                task,
+                speculative,
+                phase,
+                ..
+            } => {
+                if let Some(open) = self.attempts.get(&(job, task, speculative)) {
+                    let tid = open.tid;
+                    self.duration('B', at, PID_MAPS, tid, phase.name());
+                }
+            }
+            SimEvent::PhaseEnd {
+                job,
+                task,
+                speculative,
+                phase,
+                ..
+            } => {
+                if let Some(open) = self.attempts.get(&(job, task, speculative)) {
+                    let tid = open.tid;
+                    self.duration('E', at, PID_MAPS, tid, phase.name());
+                }
+            }
+            SimEvent::ReduceLaunched { job, index, node } => {
+                let slot = Self::alloc(&mut self.reduce_busy, node);
+                let tid = Self::tid(node, slot);
+                self.lanes
+                    .insert((PID_REDUCES, tid, format!("n{node} red{slot}")));
+                let name = format!("j{job}.r{index}");
+                self.duration('B', at, PID_REDUCES, tid, &name);
+                self.duration('B', at, PID_REDUCES, tid, "shuffle");
+                self.reduces
+                    .insert((job, index), OpenAttempt { tid, node, name });
+            }
+            SimEvent::ReduceShuffled { job, index, .. } => {
+                if let Some(open) = self.reduces.get(&(job, index)) {
+                    let tid = open.tid;
+                    self.duration('E', at, PID_REDUCES, tid, "shuffle");
+                }
+            }
+            SimEvent::ReduceDone { job, index, .. } => {
+                if let Some(open) = self.reduces.remove(&(job, index)) {
+                    let name = open.name.clone();
+                    self.duration('E', at, PID_REDUCES, open.tid, &name);
+                    let slot = open.tid - open.node * 256;
+                    self.reduce_busy[open.node as usize][slot as usize] = false;
+                }
+            }
+            SimEvent::FlowStarted {
+                flow,
+                src,
+                dst,
+                bytes,
+                links,
+            } => {
+                let name = format!("f{src}-{dst}");
+                self.push(format!(
+                    "{{\"ph\":\"b\",\"pid\":{PID_NET},\"tid\":0,\"ts\":{},\"cat\":\"flow\",\
+                     \"id\":{flow},\"name\":\"{name}\",\"args\":{{\"bytes\":{bytes}}}}}",
+                    at.as_micros()
+                ));
+                self.flows.insert(flow, (name, links, 0.0));
+            }
+            SimEvent::FlowRate { flow, rate_bps } => {
+                if let Some((_, links, rate)) = self.flows.get_mut(&flow) {
+                    let (links, old) = (*links, *rate);
+                    *rate = rate_bps;
+                    self.shift_link_rates(at, links, rate_bps - old);
+                }
+            }
+            SimEvent::FlowFinished { flow, cancelled } => {
+                if let Some((name, links, rate)) = self.flows.remove(&flow) {
+                    self.shift_link_rates(at, links, -rate);
+                    self.push(format!(
+                        "{{\"ph\":\"e\",\"pid\":{PID_NET},\"tid\":0,\"ts\":{},\"cat\":\"flow\",\
+                         \"id\":{flow},\"name\":\"{name}\",\"args\":{{\"cancelled\":{cancelled}}}}}",
+                        at.as_micros()
+                    ));
+                }
+            }
+            SimEvent::NodeFailed { node } => {
+                let name = format!("node{node} failed");
+                self.instant(at, PID_JOBS, 0, &name, 'g');
+            }
+            SimEvent::NodeRecovered { node } => {
+                let name = format!("node{node} recovered");
+                self.instant(at, PID_JOBS, 0, &name, 'g');
+            }
+            SimEvent::RepairStarted {
+                task,
+                stripe,
+                pos,
+                replacement,
+            } => {
+                self.lanes
+                    .insert((PID_REPAIR, task % 64, "repair workers".to_string()));
+                let name = format!("s{stripe}.{pos}>n{replacement}");
+                self.duration('B', at, PID_REPAIR, task % 64, &name);
+                self.repairs.insert(task, name);
+            }
+            SimEvent::RepairFinished { task } => {
+                if let Some(name) = self.repairs.remove(&task) {
+                    self.duration('E', at, PID_REPAIR, task % 64, &name);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DegradedPhase, Locality};
+    use crate::json::Json;
+
+    fn cfg() -> ChromeConfig {
+        ChromeConfig {
+            num_nodes: 4,
+            num_racks: 2,
+            map_slots: 2,
+            reduce_slots: 2,
+        }
+    }
+
+    #[test]
+    fn link_labels_follow_layout() {
+        let c = cfg();
+        assert_eq!(c.link_label(0), "node0.up");
+        assert_eq!(c.link_label(7), "node3.down");
+        assert_eq!(c.link_label(8), "rack0.up");
+        assert_eq!(c.link_label(11), "rack1.down");
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_balanced_slices() {
+        let mut sink = ChromeTraceSink::new(Vec::new(), cfg());
+        let t = SimTime::from_micros;
+        sink.record(t(0), &SimEvent::NodeFailed { node: 1 });
+        sink.record(
+            t(1),
+            &SimEvent::MapLaunched {
+                job: 0,
+                task: 0,
+                node: 2,
+                locality: Locality::Degraded,
+                speculative: false,
+            },
+        );
+        for phase in [
+            DegradedPhase::FetchK,
+            DegradedPhase::Decode,
+            DegradedPhase::Process,
+        ] {
+            sink.record(
+                t(2),
+                &SimEvent::PhaseBegin {
+                    job: 0,
+                    task: 0,
+                    node: 2,
+                    speculative: false,
+                    phase,
+                },
+            );
+            sink.record(
+                t(3),
+                &SimEvent::PhaseEnd {
+                    job: 0,
+                    task: 0,
+                    node: 2,
+                    speculative: false,
+                    phase,
+                },
+            );
+        }
+        sink.record(
+            t(4),
+            &SimEvent::MapDone {
+                job: 0,
+                task: 0,
+                node: 2,
+                locality: Locality::Degraded,
+                speculative: false,
+            },
+        );
+        let out = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let doc = Json::parse(&out).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let begins = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("E"))
+            .count();
+        assert_eq!(begins, ends, "unbalanced B/E slices");
+        assert!(begins >= 4, "map slice plus three phases");
+    }
+
+    #[test]
+    fn slots_are_reused_after_completion() {
+        let mut sink = ChromeTraceSink::new(Vec::new(), cfg());
+        let launch = |task| SimEvent::MapLaunched {
+            job: 0,
+            task,
+            node: 0,
+            locality: Locality::NodeLocal,
+            speculative: false,
+        };
+        let done = |task| SimEvent::MapDone {
+            job: 0,
+            task,
+            node: 0,
+            locality: Locality::NodeLocal,
+            speculative: false,
+        };
+        sink.record(SimTime::from_micros(0), &launch(0));
+        sink.record(SimTime::from_micros(0), &launch(1));
+        sink.record(SimTime::from_micros(5), &done(0));
+        sink.record(SimTime::from_micros(6), &launch(2));
+        // Task 2 must land in task 0's freed slot, not a third lane.
+        assert_eq!(sink.map_busy[0], vec![true, true]);
+        sink.record(SimTime::from_micros(7), &done(1));
+        sink.record(SimTime::from_micros(8), &done(2));
+        assert_eq!(sink.map_busy[0], vec![false, false]);
+    }
+
+    #[test]
+    fn counters_track_flow_rates() {
+        let mut sink = ChromeTraceSink::new(Vec::new(), cfg());
+        let links = LinkSet::from_slice(&[0, 8, 11, 7]);
+        sink.record(
+            SimTime::ZERO,
+            &SimEvent::FlowStarted {
+                flow: 1,
+                src: 0,
+                dst: 3,
+                bytes: 100,
+                links,
+            },
+        );
+        sink.record(
+            SimTime::from_micros(1),
+            &SimEvent::FlowRate {
+                flow: 1,
+                rate_bps: 5e8,
+            },
+        );
+        assert_eq!(sink.link_rate[&8], 5e8);
+        sink.record(
+            SimTime::from_micros(2),
+            &SimEvent::FlowFinished {
+                flow: 1,
+                cancelled: false,
+            },
+        );
+        assert_eq!(sink.link_rate[&8], 0.0);
+        let out = String::from_utf8(sink.finish().unwrap()).unwrap();
+        Json::parse(&out).expect("valid JSON");
+        assert!(out.contains("\"name\":\"rack0.up\""));
+    }
+}

@@ -1,0 +1,50 @@
+//! `obs` — structured simulation tracing, timelines, and derived metrics.
+//!
+//! A zero-cost-when-disabled event layer for the degraded-first
+//! scheduling reproduction. The domain crates (`mapreduce`, `netsim`,
+//! `ecstore`, `repair`) emit [`event::SimEvent`] records through a
+//! [`sink::Recorder`]; this crate ships three sinks:
+//!
+//! * [`jsonl::JsonlSink`] — one JSON object per line, schema-validated
+//!   by [`schema::validate_jsonl`] against the checked-in
+//!   [`schema::TRACE_SCHEMA_V1`];
+//! * [`chrome::ChromeTraceSink`] — a `chrome://tracing` / Perfetto
+//!   timeline with one lane per map slot and one counter track per
+//!   network link;
+//! * [`aggregate::Aggregator`] — in-memory derivation of slot/link
+//!   utilization, degraded-read latency percentiles and the
+//!   degraded-fetch/normal-map overlap behind the paper's Figures 5/7/8.
+//!
+//! The crate depends only on `simkit` and identifies everything by plain
+//! integers, so it sits below the domain crates in the dependency graph.
+//!
+//! # Example
+//!
+//! ```
+//! use obs::event::SimEvent;
+//! use obs::sink::{EventSink, Recorder, VecSink};
+//! use simkit::time::SimTime;
+//!
+//! let mut sink = VecSink::new();
+//! let mut rec = Recorder::on(&mut sink);
+//! rec.emit(SimTime::from_secs(1), || SimEvent::JobStarted { job: 0 });
+//! assert_eq!(sink.events.len(), 1);
+//!
+//! // Disabled: the closure never runs, nothing allocates.
+//! let mut off = Recorder::off();
+//! off.emit(SimTime::ZERO, || unreachable!());
+//! ```
+
+pub mod aggregate;
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod schema;
+pub mod sink;
+
+pub use aggregate::{AggregateReport, Aggregator, AggregatorConfig, LinkUsage};
+pub use chrome::{ChromeConfig, ChromeTraceSink};
+pub use event::{DegradedPhase, Lane, LinkSet, Locality, SimEvent};
+pub use jsonl::JsonlSink;
+pub use sink::{EventSink, Recorder, Tee, VecSink};

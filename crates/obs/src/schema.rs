@@ -1,0 +1,259 @@
+//! Validation of JSONL traces against the checked-in trace schema.
+//!
+//! The schema (`schema/trace-v1.json`, embedded via `include_str!`) maps
+//! each event kind to its exact field set and field types. Validation is
+//! strict: unknown kinds, missing fields, extra fields, wrong types and
+//! out-of-enum strings are all errors. CI runs this over a smoke trace
+//! on every push, so the schema file is the compatibility contract for
+//! downstream trace consumers.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// The embedded trace schema, version 1.
+pub const TRACE_SCHEMA_V1: &str = include_str!("../schema/trace-v1.json");
+
+/// A field type in the schema dialect.
+#[derive(Clone, Debug, PartialEq)]
+enum FieldType {
+    /// Non-negative integer-valued number.
+    Uint,
+    /// Any finite number.
+    Number,
+    /// `true` / `false`.
+    Bool,
+    /// Any string.
+    String,
+    /// Array of non-negative integer-valued numbers.
+    UintArray,
+    /// String restricted to the named enum's values.
+    Enum(String),
+}
+
+impl FieldType {
+    fn parse(name: &str) -> Result<FieldType, String> {
+        Ok(match name {
+            "uint" => FieldType::Uint,
+            "number" => FieldType::Number,
+            "bool" => FieldType::Bool,
+            "string" => FieldType::String,
+            "uint_array" => FieldType::UintArray,
+            other => FieldType::Enum(other.to_string()),
+        })
+    }
+}
+
+/// A parsed trace schema.
+pub struct TraceSchema {
+    common: BTreeMap<String, FieldType>,
+    events: BTreeMap<String, BTreeMap<String, FieldType>>,
+    enums: BTreeMap<String, Vec<String>>,
+}
+
+impl TraceSchema {
+    /// Parses a schema document (e.g. [`TRACE_SCHEMA_V1`]).
+    pub fn parse(text: &str) -> Result<TraceSchema, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let fields = |value: &Json, what: &str| -> Result<BTreeMap<String, FieldType>, String> {
+            let Json::Object(map) = value else {
+                return Err(format!("{what} must be an object"));
+            };
+            map.iter()
+                .map(|(k, v)| {
+                    let ty = v
+                        .as_str()
+                        .ok_or_else(|| format!("{what}.{k} must be a type name"))?;
+                    Ok((k.clone(), FieldType::parse(ty)?))
+                })
+                .collect()
+        };
+        let common = fields(doc.get("common").ok_or("missing 'common'")?, "common")?;
+        let Some(Json::Object(event_map)) = doc.get("events") else {
+            return Err("missing 'events' object".into());
+        };
+        let mut events = BTreeMap::new();
+        for (kind, spec) in event_map {
+            events.insert(kind.clone(), fields(spec, kind)?);
+        }
+        let mut enums = BTreeMap::new();
+        if let Some(Json::Object(enum_map)) = doc.get("enums") {
+            for (name, values) in enum_map {
+                let values = values
+                    .as_array()
+                    .ok_or_else(|| format!("enum {name} must be an array"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("enum {name} has a non-string value"))
+                    })
+                    .collect::<Result<Vec<String>, String>>()?;
+                enums.insert(name.clone(), values);
+            }
+        }
+        // Every enum-typed field must reference a declared enum.
+        for (kind, spec) in &events {
+            for (field, ty) in spec {
+                if let FieldType::Enum(name) = ty {
+                    if !enums.contains_key(name) {
+                        return Err(format!("{kind}.{field}: unknown type '{name}'"));
+                    }
+                }
+            }
+        }
+        Ok(TraceSchema {
+            common,
+            events,
+            enums,
+        })
+    }
+
+    fn check_type(&self, value: &Json, ty: &FieldType) -> Result<(), String> {
+        let is_uint = |v: &Json| {
+            v.as_f64()
+                .is_some_and(|x| x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64)
+        };
+        let ok = match ty {
+            FieldType::Uint => is_uint(value),
+            FieldType::Number => value.as_f64().is_some_and(f64::is_finite),
+            FieldType::Bool => matches!(value, Json::Bool(_)),
+            FieldType::String => value.as_str().is_some(),
+            FieldType::UintArray => value
+                .as_array()
+                .is_some_and(|items| items.iter().all(is_uint)),
+            FieldType::Enum(name) => value
+                .as_str()
+                .is_some_and(|s| self.enums[name].iter().any(|v| v == s)),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("expected {ty:?}, got {}", value.type_name()))
+        }
+    }
+
+    /// Validates one parsed trace line.
+    pub fn validate_event(&self, value: &Json) -> Result<(), String> {
+        let Json::Object(map) = value else {
+            return Err(format!(
+                "event must be an object, got {}",
+                value.type_name()
+            ));
+        };
+        for (field, ty) in &self.common {
+            let v = map
+                .get(field)
+                .ok_or_else(|| format!("missing common field '{field}'"))?;
+            self.check_type(v, ty)
+                .map_err(|e| format!("field '{field}': {e}"))?;
+        }
+        let kind = map["ev"].as_str().unwrap_or_default();
+        let spec = self
+            .events
+            .get(kind)
+            .ok_or_else(|| format!("unknown event kind '{kind}'"))?;
+        for (field, ty) in spec {
+            let v = map
+                .get(field)
+                .ok_or_else(|| format!("{kind}: missing field '{field}'"))?;
+            self.check_type(v, ty)
+                .map_err(|e| format!("{kind}.{field}: {e}"))?;
+        }
+        for field in map.keys() {
+            if !self.common.contains_key(field) && !spec.contains_key(field) {
+                return Err(format!("{kind}: unexpected field '{field}'"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates a whole JSONL trace against a schema, returning the number
+/// of validated lines, or a message naming the first offending line.
+pub fn validate_jsonl(schema: &TraceSchema, trace: &str) -> Result<usize, String> {
+    let mut count = 0;
+    let mut last_t = 0.0f64;
+    for (i, line) in trace.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let t = value.get("t").and_then(Json::as_f64).unwrap_or(-1.0);
+        schema
+            .validate_event(&value)
+            .map_err(|e| format!("line {}: {e}", i + 1))?;
+        if t < last_t {
+            return Err(format!(
+                "line {}: timestamp {t} goes backwards (previous {last_t})",
+                i + 1
+            ));
+        }
+        last_t = t;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Locality, SimEvent};
+    use crate::jsonl::event_to_json;
+    use simkit::time::SimTime;
+
+    #[test]
+    fn embedded_schema_parses() {
+        let schema = TraceSchema::parse(TRACE_SCHEMA_V1).unwrap();
+        assert!(schema.events.len() >= 20, "schema lost event kinds");
+    }
+
+    #[test]
+    fn accepts_emitted_events() {
+        let schema = TraceSchema::parse(TRACE_SCHEMA_V1).unwrap();
+        let lines = [
+            event_to_json(SimTime::ZERO, &SimEvent::NodeFailed { node: 4 }),
+            event_to_json(
+                SimTime::from_micros(10),
+                &SimEvent::MapLaunched {
+                    job: 0,
+                    task: 1,
+                    node: 2,
+                    locality: Locality::RackLocal,
+                    speculative: true,
+                },
+            ),
+            event_to_json(
+                SimTime::from_micros(20),
+                &SimEvent::FlowRate {
+                    flow: 3,
+                    rate_bps: 1.25e8,
+                },
+            ),
+        ]
+        .join("\n");
+        assert_eq!(validate_jsonl(&schema, &lines), Ok(3));
+    }
+
+    #[test]
+    fn rejects_bad_traces() {
+        let schema = TraceSchema::parse(TRACE_SCHEMA_V1).unwrap();
+        // Unknown kind.
+        let bad = r#"{"t":0,"ev":"bogus"}"#;
+        assert!(validate_jsonl(&schema, bad).is_err());
+        // Missing field.
+        let bad = r#"{"t":0,"ev":"node_failed"}"#;
+        assert!(validate_jsonl(&schema, bad).is_err());
+        // Extra field.
+        let bad = r#"{"t":0,"ev":"node_failed","node":1,"extra":2}"#;
+        assert!(validate_jsonl(&schema, bad).is_err());
+        // Enum violation.
+        let bad = r#"{"t":0,"ev":"map_launched","job":0,"task":0,"node":0,"locality":"psychic","speculative":false}"#;
+        assert!(validate_jsonl(&schema, bad).is_err());
+        // Backwards time.
+        let bad = "{\"t\":5,\"ev\":\"node_failed\",\"node\":1}\n{\"t\":4,\"ev\":\"node_failed\",\"node\":2}";
+        assert!(validate_jsonl(&schema, bad)
+            .unwrap_err()
+            .contains("backwards"));
+    }
+}

@@ -38,7 +38,9 @@ use std::collections::{HashMap, HashSet};
 
 use cluster::{ClusterState, NodeId, Topology};
 use ecstore::{BlockRef, BlockStore};
-use netsim::{FlowId, NetConfig, Network};
+use netsim::{FlowId, FlowLogKind, NetConfig, Network};
+use obs::event::{LinkSet, SimEvent};
+use obs::sink::{EventSink, Recorder};
 use simkit::time::{SimDuration, SimTime};
 use simkit::SimRng;
 
@@ -220,6 +222,36 @@ pub struct RepairReport {
     pub task_durations: Vec<SimDuration>,
 }
 
+/// Converts one netsim flow-log entry into the trace vocabulary.
+fn flow_log_event(entry: &netsim::FlowLogEntry) -> SimEvent {
+    let flow = entry.flow.as_u64();
+    match entry.kind {
+        FlowLogKind::Started {
+            src,
+            dst,
+            bytes,
+            route,
+        } => SimEvent::FlowStarted {
+            flow,
+            src: src as u32,
+            dst: dst as u32,
+            bytes,
+            links: LinkSet::from_slice(route.as_slice()),
+        },
+        FlowLogKind::RateChanged { rate_bps } => SimEvent::FlowRate { flow, rate_bps },
+        FlowLogKind::Finished { cancelled } => SimEvent::FlowFinished { flow, cancelled },
+    }
+}
+
+/// Forwards any buffered flow-log entries of `net` into `rec`.
+fn drain_flow_log(net: &mut Network, rec: &mut Recorder<'_>) {
+    if rec.is_enabled() {
+        for entry in net.take_flow_log() {
+            rec.emit(entry.at, || flow_log_event(&entry));
+        }
+    }
+}
+
 /// Executes a plan on the fluid network: at most `parallelism` block
 /// reconstructions in flight; each task opens its network-source flows
 /// in parallel and completes when the last one lands.
@@ -234,8 +266,63 @@ pub fn simulate(
     block_bytes: u64,
     parallelism: usize,
 ) -> RepairReport {
+    simulate_inner(
+        plan,
+        topo,
+        net_config,
+        block_bytes,
+        parallelism,
+        &mut Recorder::off(),
+    )
+}
+
+/// Like [`simulate`], but streams [`SimEvent`]s of the repair — node
+/// failure/recovery bracketing, per-task start/finish, and every network
+/// flow — into `sink`. `state` names the failed nodes; they are announced
+/// as failed at time zero and recovered when the repair completes. The
+/// returned report is identical to an untraced [`simulate`] run.
+///
+/// # Panics
+///
+/// Panics if `parallelism` is zero.
+pub fn simulate_traced(
+    plan: &RepairPlan,
+    topo: &Topology,
+    state: &ClusterState,
+    net_config: NetConfig,
+    block_bytes: u64,
+    parallelism: usize,
+    sink: &mut dyn EventSink,
+) -> RepairReport {
+    let mut rec = Recorder::on(sink);
+    for node in topo.node_ids() {
+        if !state.is_alive(node) {
+            rec.emit(SimTime::ZERO, || SimEvent::NodeFailed { node: node.0 });
+        }
+    }
+    let report = simulate_inner(plan, topo, net_config, block_bytes, parallelism, &mut rec);
+    let end = SimTime::ZERO + report.makespan;
+    for node in topo.node_ids() {
+        if !state.is_alive(node) {
+            rec.emit(end, || SimEvent::NodeRecovered { node: node.0 });
+        }
+    }
+    report
+}
+
+fn simulate_inner(
+    plan: &RepairPlan,
+    topo: &Topology,
+    net_config: NetConfig,
+    block_bytes: u64,
+    parallelism: usize,
+    rec: &mut Recorder<'_>,
+) -> RepairReport {
     assert!(parallelism > 0, "repair needs parallelism >= 1");
     let mut net = Network::new(&topo.rack_sizes(), net_config);
+    if rec.is_enabled() {
+        net.enable_flow_log();
+    }
     let mut now = SimTime::ZERO;
     let mut next_task = 0usize;
     let mut inflight: HashMap<usize, usize> = HashMap::new(); // task -> pending flows
@@ -250,9 +337,16 @@ pub fn simulate(
                       inflight: &mut HashMap<usize, usize>,
                       flow_task: &mut HashMap<FlowId, usize>,
                       bytes: &mut u64,
-                      started_at: &mut Vec<SimTime>| {
+                      started_at: &mut Vec<SimTime>,
+                      rec: &mut Recorder<'_>| {
         let task = &plan.tasks[idx];
         started_at[idx] = now;
+        rec.emit(now, || SimEvent::RepairStarted {
+            task: idx as u32,
+            stripe: task.block.stripe.0,
+            pos: task.block.pos as u32,
+            replacement: task.replacement.0,
+        });
         let mut pending = 0usize;
         for (_, holder) in task.network_sources() {
             let flow = net.start_flow(now, holder.index(), task.replacement.index(), block_bytes);
@@ -275,13 +369,18 @@ pub fn simulate(
             &mut flow_task,
             &mut bytes,
             &mut started_at,
+            rec,
         );
         if pending == 0 {
             inflight.remove(&next_task);
             zero_cost_done.push(next_task);
+            rec.emit(now, || SimEvent::RepairFinished {
+                task: next_task as u32,
+            });
         }
         next_task += 1;
     }
+    drain_flow_log(&mut net, rec);
     // Drain the network, refilling the window as tasks finish.
     while !inflight.is_empty() {
         let t = net
@@ -295,6 +394,7 @@ pub fn simulate(
             if *pending == 0 {
                 inflight.remove(&idx);
                 durations[idx] = now.duration_since(started_at[idx]);
+                rec.emit(now, || SimEvent::RepairFinished { task: idx as u32 });
                 while next_task < plan.tasks.len() && inflight.len() < parallelism {
                     let pending = start_task(
                         next_task,
@@ -304,15 +404,20 @@ pub fn simulate(
                         &mut flow_task,
                         &mut bytes,
                         &mut started_at,
+                        rec,
                     );
                     if pending == 0 {
                         inflight.remove(&next_task);
                         zero_cost_done.push(next_task);
+                        rec.emit(now, || SimEvent::RepairFinished {
+                            task: next_task as u32,
+                        });
                     }
                     next_task += 1;
                 }
             }
         }
+        drain_flow_log(&mut net, rec);
     }
     debug_assert_eq!(next_task, plan.tasks.len());
     RepairReport {
@@ -449,5 +554,57 @@ mod tests {
         let (topo, store, state, mut rng) = setup(&[0]);
         let plan = RepairPlan::plan(&store, &topo, &state, &mut rng).unwrap();
         assert!(plan.cross_rack_block_count(&topo) <= plan.network_block_count());
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced() {
+        use obs::sink::VecSink;
+
+        let (topo, store, state, mut rng) = setup(&[0]);
+        let plan = RepairPlan::plan(&store, &topo, &state, &mut rng).unwrap();
+        let bb = 64 * 1024 * 1024u64;
+        let plain = simulate(&plan, &topo, NetConfig::gigabit(), bb, 4);
+        let mut sink = VecSink::new();
+        let traced = simulate_traced(&plan, &topo, &state, NetConfig::gigabit(), bb, 4, &mut sink);
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+
+        let count =
+            |pred: &dyn Fn(&SimEvent) -> bool| sink.events.iter().filter(|(_, e)| pred(e)).count();
+        // One failed node, bracketed by failure at t=0 and recovery at
+        // the makespan.
+        assert_eq!(count(&|e| matches!(e, SimEvent::NodeFailed { .. })), 1);
+        assert_eq!(count(&|e| matches!(e, SimEvent::NodeRecovered { .. })), 1);
+        assert_eq!(sink.events[0].0, SimTime::ZERO);
+        let (last_at, last) = sink.events.last().unwrap();
+        assert!(matches!(last, SimEvent::NodeRecovered { .. }));
+        assert_eq!(*last_at, SimTime::ZERO + plain.makespan);
+        // Every repair task starts and finishes exactly once.
+        assert_eq!(
+            count(&|e| matches!(e, SimEvent::RepairStarted { .. })),
+            plan.tasks.len()
+        );
+        assert_eq!(
+            count(&|e| matches!(e, SimEvent::RepairFinished { .. })),
+            plan.tasks.len()
+        );
+        // One flow per network source; all complete, none cancelled.
+        assert_eq!(
+            count(&|e| matches!(e, SimEvent::FlowStarted { .. })),
+            plan.network_block_count()
+        );
+        assert_eq!(
+            count(&|e| matches!(
+                e,
+                SimEvent::FlowFinished {
+                    cancelled: false,
+                    ..
+                }
+            )),
+            plan.network_block_count()
+        );
+        // Timestamps are globally non-decreasing.
+        for pair in sink.events.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
     }
 }

@@ -1,0 +1,388 @@
+//! Integration of the `obs` tracing subsystem with the full stack:
+//! the aggregator sink re-derives `mapreduce::metrics` exactly, the
+//! event stream is a deterministic function of configuration and seed
+//! (golden digests), the exporters produce valid output, and recorded
+//! streams obey their per-lane lifecycle invariants.
+
+use std::collections::BTreeMap;
+
+use dfs::experiment::{Experiment, Policy};
+use dfs::mapreduce::metrics::TaskDetail;
+use dfs::mapreduce::{MapLocality, RunResult};
+use dfs::obs::aggregate::Aggregator;
+use dfs::obs::chrome::ChromeTraceSink;
+use dfs::obs::event::{DegradedPhase, Lane, SimEvent};
+use dfs::obs::json::Json;
+use dfs::obs::jsonl::{event_to_json, parse_line, JsonlSink};
+use dfs::obs::schema::{validate_jsonl, TraceSchema, TRACE_SCHEMA_V1};
+use dfs::obs::sink::VecSink;
+use dfs::presets;
+use dfs::simkit::time::SimTime;
+use proptest::prelude::*;
+
+const POLICIES: [Policy; 3] = [
+    Policy::LocalityFirst,
+    Policy::BasicDegradedFirst,
+    Policy::EnhancedDegradedFirst,
+];
+
+/// Runs `exp` traced into a buffering sink.
+fn trace(exp: &Experiment, policy: Policy, seed: u64) -> (RunResult, Vec<(SimTime, SimEvent)>) {
+    let mut sink = VecSink::new();
+    let result = exp.run_traced(policy, seed, &mut sink).expect("traced run");
+    (result, sink.events)
+}
+
+/// Asserts every aggregator-derived counter equals its
+/// `mapreduce::metrics` twin — exactly, including f64 bit patterns,
+/// which both sides guarantee by summing in completion order.
+fn assert_counters_match(exp: &Experiment, policy: Policy, seed: u64) {
+    let mut agg = Aggregator::new(exp.aggregator_config(seed));
+    let result = exp.run_traced(policy, seed, &mut agg).expect("traced run");
+    let r = agg.report();
+    let label = format!("{} seed {seed}", policy.name());
+    assert_eq!(
+        r.maps_node_local,
+        result.map_count(MapLocality::NodeLocal),
+        "{label}: node-local"
+    );
+    assert_eq!(
+        r.maps_rack_local,
+        result.map_count(MapLocality::RackLocal),
+        "{label}: rack-local"
+    );
+    assert_eq!(
+        r.maps_remote,
+        result.map_count(MapLocality::Remote),
+        "{label}: remote"
+    );
+    assert_eq!(
+        r.maps_degraded,
+        result.map_count(MapLocality::Degraded),
+        "{label}: degraded"
+    );
+    let reduces = result
+        .tasks
+        .iter()
+        .filter(|t| matches!(t.detail, TaskDetail::Reduce { .. }))
+        .count();
+    assert_eq!(r.reduces, reduces, "{label}: reduces");
+    assert_eq!(r.jobs_finished, result.jobs.len(), "{label}: jobs");
+    assert_eq!(
+        r.degraded_read_secs,
+        result.degraded_read_secs(),
+        "{label}: degraded read times must match element-wise"
+    );
+    assert_eq!(
+        r.mean_normal_map_secs,
+        result.mean_normal_map_secs(),
+        "{label}: mean normal map"
+    );
+    assert_eq!(
+        r.mean_degraded_map_secs,
+        result.mean_degraded_map_secs(),
+        "{label}: mean degraded map"
+    );
+    assert_eq!(
+        r.mean_reduce_secs,
+        result.mean_reduce_secs(),
+        "{label}: mean reduce"
+    );
+    assert!(
+        r.makespan_secs <= result.makespan.as_secs_f64() + 1e-12,
+        "{label}: last event at {} but makespan is {}",
+        r.makespan_secs,
+        result.makespan.as_secs_f64()
+    );
+}
+
+#[test]
+fn aggregator_rederives_metrics_counters_exactly() {
+    let small = presets::small_default();
+    for policy in POLICIES {
+        for seed in [1, 2] {
+            assert_counters_match(&small, policy, seed);
+        }
+    }
+    // The paper preset adds reduce tasks and speculation to the mix.
+    let paper = presets::simulation_default();
+    assert_counters_match(&paper, Policy::EnhancedDegradedFirst, 1);
+    assert_counters_match(&paper, Policy::LocalityFirst, 1);
+}
+
+#[test]
+fn traced_run_returns_untraced_results() {
+    let exp = presets::small_default();
+    for policy in POLICIES {
+        let plain = exp.run(policy, 3).expect("plain run");
+        let (traced, events) = trace(&exp, policy, 3);
+        assert_eq!(plain, traced, "{} diverged under tracing", policy.name());
+        assert!(!events.is_empty());
+    }
+}
+
+/// FNV-1a over the exact JSONL bytes of a traced run.
+fn stream_digest(exp: &Experiment, policy: Policy, seed: u64) -> (u64, usize) {
+    let mut sink = JsonlSink::new(Vec::new());
+    exp.run_traced(policy, seed, &mut sink).expect("traced run");
+    let bytes = sink.finish().expect("in-memory sink");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h, bytes.len())
+}
+
+// Golden digests of the full JSONL event stream on the paper's
+// simulation preset (the Figure 7 configuration), seed 1. A mismatch
+// means the instrumentation or the simulation itself changed behaviour —
+// an intentional change must re-derive these and call it out in review.
+const GOLDEN_STREAM_PAPER_LF_1: u64 = 0x04a9_0961_391c_501b;
+const GOLDEN_STREAM_PAPER_BDF_1: u64 = 0xefc7_4107_2fe1_deef;
+const GOLDEN_STREAM_PAPER_EDF_1: u64 = 0xb71a_069b_b5de_1909;
+
+#[test]
+fn event_stream_goldens_are_stable() {
+    let paper = presets::simulation_default();
+    let cases: [(Policy, u64); 3] = [
+        (Policy::LocalityFirst, GOLDEN_STREAM_PAPER_LF_1),
+        (Policy::BasicDegradedFirst, GOLDEN_STREAM_PAPER_BDF_1),
+        (Policy::EnhancedDegradedFirst, GOLDEN_STREAM_PAPER_EDF_1),
+    ];
+    let mut drifted = Vec::new();
+    for (policy, want) in cases {
+        let (a, len_a) = stream_digest(&paper, policy, 1);
+        let (b, len_b) = stream_digest(&paper, policy, 1);
+        assert_eq!(
+            (a, len_a),
+            (b, len_b),
+            "{}: repeated traces must be byte-identical",
+            policy.name()
+        );
+        if a != want {
+            drifted.push(format!(
+                "{} seed 1: got {a:#018x} ({len_a} bytes), want {want:#018x}",
+                policy.name()
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "event-stream goldens drifted:\n{}",
+        drifted.join("\n")
+    );
+}
+
+#[test]
+fn jsonl_lines_round_trip_and_validate() {
+    let exp = presets::small_default();
+    let mut sink = JsonlSink::new(Vec::new());
+    exp.run_traced(Policy::EnhancedDegradedFirst, 1, &mut sink)
+        .expect("traced run");
+    let text = String::from_utf8(sink.finish().expect("in-memory sink")).expect("utf8");
+    let schema = TraceSchema::parse(TRACE_SCHEMA_V1).expect("schema parses");
+    let validated = validate_jsonl(&schema, &text).expect("trace validates");
+    assert_eq!(validated, text.lines().count());
+    assert!(validated > 100, "expected a substantial stream");
+    for line in text.lines() {
+        let (at, event) = parse_line(line).expect(line);
+        assert_eq!(event_to_json(at, &event), line, "round-trip changed bytes");
+    }
+}
+
+#[test]
+fn chrome_trace_of_paper_preset_is_valid_json() {
+    let exp = presets::simulation_default();
+    let mut sink = ChromeTraceSink::new(Vec::new(), exp.chrome_config());
+    exp.run_traced(Policy::EnhancedDegradedFirst, 1, &mut sink)
+        .expect("traced run");
+    let text = String::from_utf8(sink.finish().expect("in-memory sink")).expect("utf8");
+    let doc = Json::parse(&text).expect("chrome trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(events.len() > 1000, "expected a rich timeline");
+    let count = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+            .count()
+    };
+    assert_eq!(count("B"), count("E"), "unbalanced duration slices");
+    assert_eq!(count("b"), count("e"), "unbalanced async slices");
+}
+
+/// Checks the lifecycle invariants of one recorded stream.
+fn assert_stream_invariants(events: &[(SimTime, SimEvent)]) {
+    // Global timestamps are non-decreasing; per-lane monotonicity
+    // follows, but group lanes anyway to check lifecycle protocols.
+    let mut last = SimTime::ZERO;
+    let mut lanes: BTreeMap<Lane, Vec<(SimTime, &SimEvent)>> = BTreeMap::new();
+    for (at, event) in events {
+        assert!(*at >= last, "timestamps went backwards at {event:?}");
+        last = *at;
+        lanes.entry(event.lane()).or_default().push((*at, event));
+    }
+    for (lane, stream) in &lanes {
+        let count = |pred: &dyn Fn(&SimEvent) -> bool| -> usize {
+            stream.iter().filter(|(_, e)| pred(e)).count()
+        };
+        match lane {
+            Lane::Job(_) => {
+                let started = count(&|e| matches!(e, SimEvent::JobStarted { .. }));
+                let finished = count(&|e| matches!(e, SimEvent::JobFinished { .. }));
+                assert_eq!((started, finished), (1, 1), "{lane:?}: start/finish pair");
+            }
+            Lane::Map(..) => assert_map_lane_invariants(lane, stream),
+            Lane::Reduce(..) => {
+                let launched = count(&|e| matches!(e, SimEvent::ReduceLaunched { .. }));
+                let done = count(&|e| matches!(e, SimEvent::ReduceDone { .. }));
+                assert_eq!((launched, done), (1, 1), "{lane:?}: launch/done pair");
+            }
+            Lane::Flow(_) => {
+                assert!(
+                    matches!(stream.first(), Some((_, SimEvent::FlowStarted { .. }))),
+                    "{lane:?}: must open with FlowStarted"
+                );
+                assert!(
+                    matches!(stream.last(), Some((_, SimEvent::FlowFinished { .. }))),
+                    "{lane:?}: must close with FlowFinished"
+                );
+                let started = count(&|e| matches!(e, SimEvent::FlowStarted { .. }));
+                let finished = count(&|e| matches!(e, SimEvent::FlowFinished { .. }));
+                assert_eq!((started, finished), (1, 1), "{lane:?}: start/finish pair");
+            }
+            Lane::Node(_) | Lane::Repair(_) => {}
+        }
+    }
+}
+
+/// Map-attempt lanes: exactly one launch, exactly one terminal (done
+/// xor cancelled), and degraded phases non-overlapping, in fetch →
+/// decode → process order, contiguous through the attempt's lifetime.
+fn assert_map_lane_invariants(lane: &Lane, stream: &[(SimTime, &SimEvent)]) {
+    let launches: Vec<SimTime> = stream
+        .iter()
+        .filter(|(_, e)| matches!(e, SimEvent::MapLaunched { .. }))
+        .map(|(at, _)| *at)
+        .collect();
+    assert_eq!(launches.len(), 1, "{lane:?}: exactly one launch");
+    let done: Vec<SimTime> = stream
+        .iter()
+        .filter(|(_, e)| matches!(e, SimEvent::MapDone { .. }))
+        .map(|(at, _)| *at)
+        .collect();
+    let cancelled: Vec<SimTime> = stream
+        .iter()
+        .filter(|(_, e)| matches!(e, SimEvent::MapCancelled { .. }))
+        .map(|(at, _)| *at)
+        .collect();
+    assert_eq!(
+        done.len() + cancelled.len(),
+        1,
+        "{lane:?}: exactly one terminal event"
+    );
+    let terminal = done.first().or(cancelled.first()).copied().unwrap();
+
+    // Phase protocol: begins and ends alternate, each end matches the
+    // open phase, phases never repeat and appear in execution order,
+    // and consecutive phases are contiguous in time.
+    let mut open: Option<(DegradedPhase, SimTime)> = None;
+    let mut spans: Vec<(DegradedPhase, SimTime, SimTime)> = Vec::new();
+    for (at, event) in stream {
+        match event {
+            SimEvent::PhaseBegin { phase, .. } => {
+                assert!(
+                    open.is_none(),
+                    "{lane:?}: phase {phase:?} begins inside another phase"
+                );
+                if let Some(&(prev, _, prev_end)) = spans.last() {
+                    assert!(prev < *phase, "{lane:?}: phase order violated");
+                    assert_eq!(
+                        prev_end, *at,
+                        "{lane:?}: gap between {prev:?} and {phase:?}"
+                    );
+                }
+                open = Some((*phase, *at));
+            }
+            SimEvent::PhaseEnd { phase, .. } => {
+                let (open_phase, begin) = open
+                    .take()
+                    .unwrap_or_else(|| panic!("{lane:?}: {phase:?} ends without beginning"));
+                assert_eq!(open_phase, *phase, "{lane:?}: mismatched phase end");
+                assert!(begin <= *at, "{lane:?}: negative phase span");
+                spans.push((*phase, begin, *at));
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_none(), "{lane:?}: phase left open past terminal");
+    if let Some(&(_, _, last_end)) = spans.last() {
+        assert_eq!(
+            last_end, terminal,
+            "{lane:?}: final phase must end at the terminal event"
+        );
+        assert_eq!(spans[0].1, launches[0], "{lane:?}: fetch starts at launch");
+        if !done.is_empty() {
+            // A completed degraded attempt runs all three phases.
+            let kinds: Vec<DegradedPhase> = spans.iter().map(|&(p, _, _)| p).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    DegradedPhase::FetchK,
+                    DegradedPhase::Decode,
+                    DegradedPhase::Process
+                ],
+                "{lane:?}: completed degraded attempt missing phases"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_preset_stream_obeys_invariants() {
+    let exp = presets::simulation_default();
+    for policy in POLICIES {
+        let (result, events) = trace(&exp, policy, 1);
+        assert_stream_invariants(&events);
+        let map_dones = events
+            .iter()
+            .filter(|(_, e)| matches!(e, SimEvent::MapDone { .. }))
+            .count();
+        let map_records = result
+            .tasks
+            .iter()
+            .filter(|t| t.map_locality().is_some())
+            .count();
+        assert_eq!(
+            map_dones,
+            map_records,
+            "{}: one MapDone per map record",
+            policy.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized seeds and policies on the small preset: every
+    /// recorded stream obeys the lane lifecycle, phase-ordering and
+    /// phase-contiguity invariants.
+    #[test]
+    fn recorded_streams_obey_invariants(seed in 0u64..500, policy_idx in 0usize..3) {
+        let exp = presets::small_default();
+        let (result, events) = trace(&exp, POLICIES[policy_idx], seed);
+        assert_stream_invariants(&events);
+        let done = events
+            .iter()
+            .filter(|(_, e)| matches!(e, SimEvent::MapDone { .. }))
+            .count();
+        prop_assert_eq!(
+            done,
+            result.tasks.iter().filter(|t| t.map_locality().is_some()).count()
+        );
+    }
+}
