@@ -5,7 +5,7 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use dfs::analysis::ModelParams;
-use dfs::cluster::{NodeId, Topology};
+use dfs::cluster::{FailureTimeline, NodeId, Topology};
 use dfs::erasure::CodeParams;
 use dfs::experiment::{Experiment, FailureSpec, PlacementKind, Policy};
 use dfs::mapreduce::engine::EngineConfig;
@@ -18,7 +18,7 @@ use dfs::obs::jsonl::{parse_line, JsonlSink};
 use dfs::obs::schema::{validate_jsonl, TraceSchema, TRACE_SCHEMA_V1};
 use dfs::obs::sink::EventSink;
 use dfs::simkit::report::Table;
-use dfs::simkit::time::SimDuration;
+use dfs::simkit::time::{SimDuration, SimTime};
 use dfs::simkit::SimRng;
 use dfs::sweep::sweep_seeds_vec;
 use dfs::textlab::{run_job, CorpusBuilder, Grep, LineCount, MiniGrid, WordCount};
@@ -36,6 +36,7 @@ USAGE:
   dfs-cli simulate  [--policy lf|bdf|edf|delay --seeds 5 --code 20,15 --racks 4
                      --nodes-per-rack 10 --map-slots 4 --blocks 1440 --block-mb 128
                      --bandwidth-mbps 1000 --failure node|double|rack|none
+                     --fail-at node3@120s --recover-at node3@300s
                      --map-secs 20 --reducers 30 --shuffle 0.01
                      --trace out.jsonl --trace-format jsonl|chrome --trace-seed 1]
   dfs-cli testbed   [--workload wordcount|grep|linecount|all --runs 5]
@@ -138,6 +139,41 @@ fn parse_failure(raw: &str) -> Result<FailureSpec, String> {
     })
 }
 
+/// Parses one `node3@120s` timeline entry.
+fn parse_timeline_entry(raw: &str) -> Result<(NodeId, SimTime), String> {
+    let bad = || format!("bad timeline entry {raw:?} (want node3@120s)");
+    let (node, at) = raw.split_once('@').ok_or_else(bad)?;
+    let idx: u32 = node
+        .strip_prefix("node")
+        .unwrap_or(node)
+        .parse()
+        .map_err(|_| bad())?;
+    let secs: f64 = at
+        .strip_suffix('s')
+        .unwrap_or(at)
+        .parse()
+        .map_err(|_| bad())?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(bad());
+    }
+    Ok((NodeId(idx), SimTime::from_secs_f64(secs)))
+}
+
+/// Builds a mid-run churn timeline from comma-separated `--fail-at` /
+/// `--recover-at` values like `node3@120s,node5@200s`.
+fn parse_timeline(fail: Option<&str>, recover: Option<&str>) -> Result<FailureTimeline, String> {
+    let mut timeline = FailureTimeline::new();
+    for raw in fail.iter().flat_map(|s| s.split(',')) {
+        let (node, at) = parse_timeline_entry(raw)?;
+        timeline = timeline.fail_node_at(node, at);
+    }
+    for raw in recover.iter().flat_map(|s| s.split(',')) {
+        let (node, at) = parse_timeline_entry(raw)?;
+        timeline = timeline.recover_node_at(node, at);
+    }
+    Ok(timeline)
+}
+
 /// `dfs-cli simulate`: a configurable failure-mode experiment.
 pub fn simulate(args: &Args) -> CliResult {
     args.ensure_known(&[
@@ -151,6 +187,8 @@ pub fn simulate(args: &Args) -> CliResult {
         "block-mb",
         "bandwidth-mbps",
         "failure",
+        "fail-at",
+        "recover-at",
         "map-secs",
         "reduce-secs",
         "reducers",
@@ -161,7 +199,11 @@ pub fn simulate(args: &Args) -> CliResult {
     ])?;
     let (n, k) = args.get_code_or("code", (20, 15))?;
     let policy = parse_policy(args.get("policy").unwrap_or("edf"))?;
-    let failure = parse_failure(args.get("failure").unwrap_or("node"))?;
+    let timeline = parse_timeline(args.get("fail-at"), args.get("recover-at"))?;
+    // With an explicit churn timeline the cluster starts healthy unless
+    // a t=0 scenario is also requested.
+    let default_failure = if timeline.is_empty() { "node" } else { "none" };
+    let failure = parse_failure(args.get("failure").unwrap_or(default_failure))?;
     let seeds: u64 = args.get_or("seeds", 5u64)?;
     let reducers: usize = args.get_or("reducers", 30usize)?;
     let map_secs: f64 = args.get_or("map-secs", 20.0f64)?;
@@ -202,6 +244,7 @@ pub fn simulate(args: &Args) -> CliResult {
         num_blocks: args.get_or("blocks", 1440usize)?,
         placement: PlacementKind::RackAware,
         failure,
+        timeline,
         config: EngineConfig {
             block_bytes: args.get_or("block-mb", 128u64)? * 1024 * 1024,
             net: NetConfig {
@@ -320,7 +363,14 @@ pub fn obs_report(args: &Args) -> CliResult {
         "speculative / cancelled".into(),
         format!("{} / {}", r.speculative_launches, r.cancelled_attempts),
     ]);
-    table.row(&["nodes failed".into(), r.nodes_failed.to_string()]);
+    table.row(&[
+        "nodes failed / recovered".into(),
+        format!("{} / {}", r.nodes_failed, r.nodes_recovered),
+    ]);
+    table.row(&[
+        "maps relaunched (churn)".into(),
+        r.maps_relaunched.to_string(),
+    ]);
     table.row(&["mean normal map (s)".into(), opt(r.mean_normal_map_secs)]);
     table.row(&[
         "mean degraded map (s)".into(),

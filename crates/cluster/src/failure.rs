@@ -11,6 +11,41 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
+/// A failure description that does not fit the topology it is applied
+/// to (out-of-range node or rack ids).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureError {
+    /// A node id beyond the topology's node count.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+        /// Nodes in the topology.
+        num_nodes: usize,
+    },
+    /// A rack id beyond the topology's rack count.
+    UnknownRack {
+        /// The offending rack.
+        rack: RackId,
+        /// Racks in the topology.
+        num_racks: usize,
+    },
+}
+
+impl fmt::Display for FailureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureError::UnknownNode { node, num_nodes } => {
+                write!(f, "{node} out of range (topology has {num_nodes} nodes)")
+            }
+            FailureError::UnknownRack { rack, num_racks } => {
+                write!(f, "{rack} out of range (topology has {num_racks} racks)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FailureError {}
+
 /// A set of failed nodes and/or racks, applied before a run.
 #[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FailureScenario {
@@ -43,6 +78,33 @@ impl FailureScenario {
     /// True if nothing fails.
     pub fn is_normal_mode(&self) -> bool {
         self.nodes.is_empty() && self.racks.is_empty()
+    }
+
+    /// Checks every referenced node and rack id against `topo`.
+    ///
+    /// Scenarios are plain id sets (they deserialize from configuration
+    /// and parse from CLI flags), so out-of-range ids are only
+    /// detectable once a topology is in hand. Call this at that meeting
+    /// point to surface a proper error instead of a later panic deep in
+    /// [`ClusterState::fail_node`].
+    pub fn validate(&self, topo: &Topology) -> Result<(), FailureError> {
+        for &node in &self.nodes {
+            if node.index() >= topo.num_nodes() {
+                return Err(FailureError::UnknownNode {
+                    node,
+                    num_nodes: topo.num_nodes(),
+                });
+            }
+        }
+        for &rack in &self.racks {
+            if rack.index() >= topo.num_racks() {
+                return Err(FailureError::UnknownRack {
+                    rack,
+                    num_racks: topo.num_racks(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The failed nodes this scenario implies on `topo` (explicit nodes
@@ -88,22 +150,16 @@ impl ClusterState {
     /// Builds the state implied by a scenario.
     pub fn from_scenario(topo: &Topology, scenario: &FailureScenario) -> ClusterState {
         let mut state = ClusterState::all_alive(topo);
-        for node in scenario.failed_nodes(topo) {
-            state.fail_node(node);
-        }
+        state.apply(topo, scenario);
         state
     }
 
-    /// Marks the nodes of a scenario as failed.
-    pub fn apply(&mut self, scenario: &FailureScenario) {
-        for &node in &scenario.nodes {
+    /// Marks the nodes of a scenario as failed, expanding rack failures
+    /// to their member nodes via `topo`.
+    pub fn apply(&mut self, topo: &Topology, scenario: &FailureScenario) {
+        for node in scenario.failed_nodes(topo) {
             self.fail_node(node);
         }
-        // Rack expansion requires a topology; `from_scenario` handles it.
-        assert!(
-            scenario.racks.is_empty(),
-            "apply() cannot expand rack failures; use from_scenario()"
-        );
     }
 
     /// Marks one node failed.
@@ -114,6 +170,16 @@ impl ClusterState {
     pub fn fail_node(&mut self, node: NodeId) {
         assert!(node.index() < self.alive.len(), "unknown {node}");
         self.alive[node.index()] = false;
+    }
+
+    /// Marks one node alive again (mid-run recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown node.
+    pub fn recover_node(&mut self, node: NodeId) {
+        assert!(node.index() < self.alive.len(), "unknown {node}");
+        self.alive[node.index()] = true;
     }
 
     /// True if the node has not failed.
@@ -211,16 +277,55 @@ mod tests {
     fn apply_node_scenario() {
         let t = topo();
         let mut state = ClusterState::all_alive(&t);
-        state.apply(&FailureScenario::nodes([NodeId(2)]));
+        state.apply(&t, &FailureScenario::nodes([NodeId(2)]));
         assert!(!state.is_alive(NodeId(2)));
     }
 
     #[test]
-    #[should_panic(expected = "cannot expand rack failures")]
-    fn apply_rejects_rack_scenarios() {
+    fn apply_expands_rack_scenarios() {
         let t = topo();
         let mut state = ClusterState::all_alive(&t);
-        state.apply(&FailureScenario::rack(RackId(0)));
+        state.apply(&t, &FailureScenario::rack(RackId(0)));
+        assert_eq!(state.num_alive(), 3);
+        for &node in t.nodes_in_rack(RackId(0)) {
+            assert!(!state.is_alive(node));
+        }
+    }
+
+    #[test]
+    fn recover_node_restores_liveness() {
+        let t = topo();
+        let mut state = ClusterState::from_scenario(&t, &FailureScenario::nodes([NodeId(4)]));
+        assert!(!state.is_alive(NodeId(4)));
+        state.recover_node(NodeId(4));
+        assert!(state.is_alive(NodeId(4)));
+        assert_eq!(state, ClusterState::all_alive(&t));
+    }
+
+    #[test]
+    fn validate_checks_ranges() {
+        let t = topo();
+        assert_eq!(FailureScenario::none().validate(&t), Ok(()));
+        assert_eq!(FailureScenario::nodes([NodeId(5)]).validate(&t), Ok(()));
+        assert_eq!(
+            FailureScenario::nodes([NodeId(6)]).validate(&t),
+            Err(FailureError::UnknownNode {
+                node: NodeId(6),
+                num_nodes: 6
+            })
+        );
+        assert_eq!(
+            FailureScenario::rack(RackId(2)).validate(&t),
+            Err(FailureError::UnknownRack {
+                rack: RackId(2),
+                num_racks: 2
+            })
+        );
+        assert!(FailureScenario::nodes([NodeId(9)])
+            .validate(&t)
+            .unwrap_err()
+            .to_string()
+            .contains("node9"));
     }
 
     #[test]

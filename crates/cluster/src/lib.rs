@@ -14,12 +14,17 @@
 //! assert_eq!(topo.num_nodes(), 40);
 //!
 //! let mut state = ClusterState::all_alive(&topo);
-//! state.apply(&FailureScenario::nodes([topo.node(3)]));
+//! state.apply(&topo, &FailureScenario::nodes([topo.node(3)]));
 //! assert_eq!(state.failed_nodes().len(), 1);
 //! ```
+//!
+//! Mid-run churn — nodes failing and recovering *while* a job runs —
+//! is described by a [`FailureTimeline`]; see the [`timeline`] module.
 
 pub mod failure;
+pub mod timeline;
 pub mod topology;
 
-pub use failure::{ClusterState, FailureScenario};
+pub use failure::{ClusterState, FailureError, FailureScenario};
+pub use timeline::{FailureEventKind, FailureTimeline, TimelineEvent};
 pub use topology::{NodeId, RackId, Topology};

@@ -1,0 +1,176 @@
+//! Mid-run failure timelines.
+//!
+//! The paper's model applies a [`FailureScenario`](crate::FailureScenario)
+//! at t=0 — the cluster is already in failure mode when the job starts.
+//! Real clusters are not so tidy: per Ford et al. (OSDI'10), which the
+//! paper cites as motivation, more than 90% of failures are *transient*
+//! — nodes drop out mid-run and come back. A [`FailureTimeline`] is a
+//! schedule of such events: node `n` fails at time `t`, recovers at
+//! time `t'`. The MapReduce engine delivers each entry through its
+//! event calendar and reacts live (killing tasks, re-queueing work,
+//! pausing the node's heartbeats).
+//!
+//! Timelines compose with a t=0 scenario: the scenario describes the
+//! state the run *starts* in, the timeline describes what *changes*
+//! while it runs. Entries at `t == 0` are folded into the initial
+//! cluster state, so a timeline that only fails nodes at time zero is
+//! exactly equivalent to the corresponding scenario.
+//!
+//! Same-instant entries apply in the order they were added to the
+//! timeline (a fail followed by a recover of the same node at the same
+//! instant leaves the node alive).
+
+use crate::failure::FailureError;
+use crate::topology::{NodeId, Topology};
+use simkit::time::SimTime;
+use std::fmt;
+
+/// What happens to a node at a timeline instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureEventKind {
+    /// The node fails: running tasks are lost, its blocks become
+    /// unavailable, and it stops heartbeating.
+    Fail,
+    /// The node recovers with its data intact (the background repair
+    /// process has re-protected its blocks by the time it rejoins).
+    Recover,
+}
+
+/// One scheduled failure or recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// The node concerned.
+    pub node: NodeId,
+    /// Failure or recovery.
+    pub kind: FailureEventKind,
+}
+
+/// A schedule of mid-run node failures and recoveries.
+///
+/// # Example
+///
+/// ```
+/// use cluster::{FailureTimeline, NodeId, Topology};
+/// use simkit::time::SimTime;
+///
+/// let topo = Topology::homogeneous(2, 4, 4, 1);
+/// let timeline = FailureTimeline::new()
+///     .fail_node_at(NodeId(3), SimTime::from_secs_f64(120.0))
+///     .recover_node_at(NodeId(3), SimTime::from_secs_f64(300.0));
+/// assert_eq!(timeline.events().len(), 2);
+/// assert!(timeline.validate(&topo).is_ok());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FailureTimeline {
+    events: Vec<TimelineEvent>,
+}
+
+impl FailureTimeline {
+    /// An empty timeline (no mid-run churn).
+    pub fn new() -> FailureTimeline {
+        FailureTimeline::default()
+    }
+
+    /// Schedules `node` to fail at `at`.
+    pub fn fail_node_at(mut self, node: NodeId, at: SimTime) -> FailureTimeline {
+        self.events.push(TimelineEvent {
+            at,
+            node,
+            kind: FailureEventKind::Fail,
+        });
+        self
+    }
+
+    /// Schedules `node` to recover at `at`.
+    pub fn recover_node_at(mut self, node: NodeId, at: SimTime) -> FailureTimeline {
+        self.events.push(TimelineEvent {
+            at,
+            node,
+            kind: FailureEventKind::Recover,
+        });
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks every referenced node id against `topo`.
+    pub fn validate(&self, topo: &Topology) -> Result<(), FailureError> {
+        for ev in &self.events {
+            if ev.node.index() >= topo.num_nodes() {
+                return Err(FailureError::UnknownNode {
+                    node: ev.node,
+                    num_nodes: topo.num_nodes(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FailureTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return write!(f, "no churn");
+        }
+        let parts: Vec<String> = self
+            .events
+            .iter()
+            .map(|ev| {
+                let verb = match ev.kind {
+                    FailureEventKind::Fail => "fail",
+                    FailureEventKind::Recover => "recover",
+                };
+                format!("{verb} {}@{:.0}s", ev.node, ev.at.as_secs_f64())
+            })
+            .collect();
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_timeline() {
+        let t = FailureTimeline::new();
+        assert!(t.is_empty());
+        assert_eq!(t.events(), &[]);
+        assert_eq!(t.to_string(), "no churn");
+    }
+
+    #[test]
+    fn builder_keeps_insertion_order() {
+        let t = FailureTimeline::new()
+            .recover_node_at(NodeId(1), SimTime::from_secs_f64(50.0))
+            .fail_node_at(NodeId(1), SimTime::from_secs_f64(50.0));
+        assert_eq!(t.events()[0].kind, FailureEventKind::Recover);
+        assert_eq!(t.events()[1].kind, FailureEventKind::Fail);
+        assert!(t.to_string().starts_with("recover node1@50s"));
+    }
+
+    #[test]
+    fn validate_checks_node_range() {
+        let topo = Topology::homogeneous(2, 3, 2, 1);
+        let ok = FailureTimeline::new().fail_node_at(NodeId(5), SimTime::ZERO);
+        assert_eq!(ok.validate(&topo), Ok(()));
+        let bad = FailureTimeline::new().recover_node_at(NodeId(6), SimTime::ZERO);
+        assert_eq!(
+            bad.validate(&topo),
+            Err(FailureError::UnknownNode {
+                node: NodeId(6),
+                num_nodes: 6
+            })
+        );
+    }
+}

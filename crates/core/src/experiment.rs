@@ -7,7 +7,7 @@
 //! runs the same seed in normal mode and reports the ratio, which is the
 //! y-axis of Figures 5 and 7.
 
-use cluster::{ClusterState, FailureScenario, NodeId, RackId, Topology};
+use cluster::{ClusterState, FailureScenario, FailureTimeline, NodeId, RackId, Topology};
 use ecstore::placement::{RackAwarePlacement, RoundRobinPlacement};
 use erasure::CodeParams;
 use mapreduce::engine::{BuildError, Engine, EngineConfig, RunError};
@@ -186,6 +186,9 @@ pub struct Experiment {
     pub placement: PlacementKind,
     /// Failure pattern, resolved per seed.
     pub failure: FailureSpec,
+    /// Mid-run churn applied on top of the t=0 failure (empty = the
+    /// paper's static model). Excluded from the normal-mode baseline.
+    pub timeline: FailureTimeline,
     /// Engine tunables (block size, bandwidth, heartbeat, ...).
     pub config: EngineConfig,
     /// FIFO job mix.
@@ -193,10 +196,16 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    fn build_engine(&self, failure: FailureScenario, seed: u64) -> Result<Engine, ExperimentError> {
+    fn build_engine(
+        &self,
+        failure: FailureScenario,
+        timeline: FailureTimeline,
+        seed: u64,
+    ) -> Result<Engine, ExperimentError> {
         let builder = Engine::builder(self.topo.clone())
             .code(self.code, self.num_blocks)
             .failure(failure)
+            .timeline(timeline)
             .config(self.config)
             .seed(seed)
             .jobs(self.jobs.iter().cloned());
@@ -223,12 +232,12 @@ impl Experiment {
     /// [`Experiment::normalized_runtime`]'s retry or pick another seed.
     pub fn run(&self, policy: Policy, seed: u64) -> Result<RunResult, ExperimentError> {
         let failure = self.failure_for_seed(seed);
-        self.build_engine(failure, seed)?
+        self.build_engine(failure, self.timeline.clone(), seed)?
             .run(policy.scheduler())
             .map_err(ExperimentError::Run)
     }
 
-    /// Runs the same seed in normal mode (no failure) — the
+    /// Runs the same seed in normal mode (no failure, no churn) — the
     /// normalization baseline. Policy is irrelevant in normal mode
     /// (degraded-first degenerates to locality-first), so LF is used.
     ///
@@ -236,7 +245,7 @@ impl Experiment {
     ///
     /// Propagates engine build/run failures.
     pub fn run_normal_mode(&self, seed: u64) -> Result<RunResult, ExperimentError> {
-        self.build_engine(FailureScenario::none(), seed)?
+        self.build_engine(FailureScenario::none(), FailureTimeline::new(), seed)?
             .run(Policy::LocalityFirst.scheduler())
             .map_err(ExperimentError::Run)
     }
@@ -292,7 +301,7 @@ impl Experiment {
         sink: &mut dyn EventSink,
     ) -> Result<RunResult, ExperimentError> {
         let failure = self.failure_for_seed(seed);
-        self.build_engine(failure, seed)?
+        self.build_engine(failure, self.timeline.clone(), seed)?
             .run_traced(policy.scheduler(), sink)
             .map_err(ExperimentError::Run)
     }

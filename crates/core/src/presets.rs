@@ -1,6 +1,6 @@
 //! The paper's experiment configurations, ready to run.
 
-use cluster::Topology;
+use cluster::{FailureTimeline, Topology};
 use erasure::CodeParams;
 use mapreduce::engine::EngineConfig;
 use netsim::NetConfig;
@@ -23,6 +23,7 @@ pub fn simulation_default() -> Experiment {
         num_blocks: 1440,
         placement: PlacementKind::RackAware,
         failure: FailureSpec::RandomSingleNode,
+        timeline: FailureTimeline::new(),
         config: EngineConfig {
             net: NetConfig {
                 node_bps: 1000 * MBPS,
@@ -92,6 +93,7 @@ pub fn testbed(workloads: &[TestbedWorkload]) -> Experiment {
         num_blocks: 240,
         placement: PlacementKind::RoundRobin,
         failure: FailureSpec::RandomSingleNode,
+        timeline: FailureTimeline::new(),
         config: EngineConfig {
             block_bytes: 64 * 1024 * 1024,
             net: NetConfig {
@@ -119,6 +121,7 @@ pub fn small_default() -> Experiment {
         num_blocks: 240,
         placement: PlacementKind::RackAware,
         failure: FailureSpec::RandomSingleNode,
+        timeline: FailureTimeline::new(),
         config: EngineConfig {
             net: NetConfig {
                 node_bps: 1000 * MBPS,
@@ -131,6 +134,21 @@ pub fn small_default() -> Experiment {
             .map_only()
             .build()],
     }
+}
+
+/// A mid-run churn experiment: the [`small_default`] cluster starting
+/// healthy, with one node failing at 25 s — mid-job, several map waves
+/// in — and recovering at 60 s. Exercises live task kill/re-queue,
+/// degraded re-classification, and return to service, per the transient
+/// failures of Ford et al. (OSDI'10) that motivate the paper.
+pub fn churn_default() -> Experiment {
+    let mut exp = small_default();
+    let victim = exp.topo.node(3);
+    exp.failure = FailureSpec::None;
+    exp.timeline = FailureTimeline::new()
+        .fail_node_at(victim, simkit::time::SimTime::from_secs(25))
+        .recover_node_at(victim, simkit::time::SimTime::from_secs(60));
+    exp
 }
 
 #[cfg(test)]
@@ -202,5 +220,16 @@ mod tests {
         let e = small_default();
         let result = e.run(crate::experiment::Policy::LocalityFirst, 1).unwrap();
         assert_eq!(result.tasks.len(), 240);
+    }
+
+    #[test]
+    fn churn_default_fails_and_recovers_mid_run() {
+        let e = churn_default();
+        assert!(e.failure.is_none());
+        assert_eq!(e.timeline.events().len(), 2);
+        let result = e.run(crate::experiment::Policy::LocalityFirst, 1).unwrap();
+        assert_eq!(result.tasks.len(), 240);
+        // The run outlives the recovery point, so churn really was mid-run.
+        assert!(result.makespan.as_secs_f64() > 60.0);
     }
 }

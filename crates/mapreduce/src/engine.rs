@@ -11,7 +11,10 @@
 
 use std::collections::HashMap;
 
-use cluster::{ClusterState, FailureScenario, NodeId, Topology};
+use cluster::{
+    ClusterState, FailureEventKind, FailureScenario, FailureTimeline, NodeId, TimelineEvent,
+    Topology,
+};
 use ecstore::placement::{PlacementError, PlacementPolicy};
 use ecstore::{BlockStore, DegradedReadPlan, SourceSelection, StripeLayout};
 use erasure::CodeParams;
@@ -116,6 +119,43 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Rejects tunables that would silently corrupt a run: a NaN or
+    /// out-of-range `reduce_slowstart` makes the slowstart comparison
+    /// permanently false (reducers never launch), a zero
+    /// `heartbeat_period` spins the calendar at one instant forever, a
+    /// sub-1.0 `speculative_threshold` back-ups tasks that are ahead of
+    /// the mean. The engine builder calls this; it is public so callers
+    /// can fail fast when assembling configs from user input.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.heartbeat_period == SimDuration::ZERO {
+            return Err("heartbeat_period must be positive".into());
+        }
+        if self.block_bytes == 0 {
+            return Err("block_bytes must be positive".into());
+        }
+        if !self.reduce_slowstart.is_finite() || !(0.0..=1.0).contains(&self.reduce_slowstart) {
+            return Err(format!(
+                "reduce_slowstart must be a finite fraction in [0, 1], got {}",
+                self.reduce_slowstart
+            ));
+        }
+        if !self.speculative_threshold.is_finite() || self.speculative_threshold < 1.0 {
+            return Err(format!(
+                "speculative_threshold must be finite and at least 1.0, got {}",
+                self.speculative_threshold
+            ));
+        }
+        if self.max_events == 0 {
+            return Err("max_events must be positive".into());
+        }
+        if self.degraded_fetch_blocks == Some(0) {
+            return Err("degraded_fetch_blocks must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Errors constructing an [`Engine`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum BuildError {
@@ -134,6 +174,12 @@ pub enum BuildError {
     NoReduceSlots,
     /// A required builder field was not set.
     Missing(&'static str),
+    /// An [`EngineConfig`] field is out of range (see
+    /// [`EngineConfig::validate`]).
+    Config(String),
+    /// The failure scenario or timeline references nodes or racks the
+    /// topology does not have.
+    Failure(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -150,6 +196,8 @@ impl std::fmt::Display for BuildError {
             BuildError::NoJobs => write!(f, "no jobs submitted"),
             BuildError::NoReduceSlots => write!(f, "jobs need reduce slots but none are alive"),
             BuildError::Missing(what) => write!(f, "builder field not set: {what}"),
+            BuildError::Config(msg) => write!(f, "invalid engine config: {msg}"),
+            BuildError::Failure(msg) => write!(f, "invalid failure description: {msg}"),
         }
     }
 }
@@ -167,6 +215,14 @@ pub enum RunError {
     },
     /// `max_events` exceeded.
     EventBudgetExceeded,
+    /// A mid-run failure destroyed a stripe that an unfinished map still
+    /// needs (the live counterpart of [`BuildError::DataLoss`]).
+    DataLoss {
+        /// The unrecoverable stripe index.
+        stripe: usize,
+        /// When the fatal failure struck.
+        at: SimTime,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -176,6 +232,9 @@ impl std::fmt::Display for RunError {
                 write!(f, "simulation stalled at {at} with unfinished jobs")
             }
             RunError::EventBudgetExceeded => write!(f, "event budget exceeded"),
+            RunError::DataLoss { stripe, at } => {
+                write!(f, "stripe {stripe} became unrecoverable at {at}")
+            }
         }
     }
 }
@@ -200,6 +259,10 @@ pub(crate) enum Event {
         job: JobId,
         index: usize,
     },
+    /// A scheduled mid-run node failure (from the [`FailureTimeline`]).
+    NodeFails(NodeId),
+    /// A scheduled mid-run node recovery.
+    NodeRecovers(NodeId),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -212,6 +275,9 @@ enum FlowPurpose {
     Shuffle {
         job: JobId,
         reduce: usize,
+        /// Which map's intermediate output the flow carries — needed to
+        /// invalidate in-flight copies when the output's node fails.
+        map: MapTaskId,
     },
 }
 
@@ -252,8 +318,15 @@ struct RedRt {
     assigned_to: Option<NodeId>,
     assigned_at: SimTime,
     shuffles_done: usize,
+    /// Which maps' outputs have arrived (indexed by map task id); the
+    /// count in `shuffles_done` is derived from it. Kept per-map so a
+    /// node failure can claw back exactly the lost outputs.
+    shuffled: Vec<bool>,
     input_ready_at: SimTime,
     processing: bool,
+    /// Scheduled completion while processing (for churn cancellation).
+    proc_event: Option<simkit::EventId>,
+    done: bool,
 }
 
 #[derive(Debug)]
@@ -277,9 +350,14 @@ pub(crate) struct JobRt {
     reduces: Vec<RedRt>,
     next_reduce: usize,
     completed_reduces: usize,
-    /// `(map, executing node)` of completed maps, for late-assigned
-    /// reducers to fetch from.
-    completed_map_outputs: Vec<(MapTaskId, NodeId)>,
+    /// Reducers whose node failed mid-run, waiting for re-assignment
+    /// ahead of never-launched ones (they bypass slowstart — they
+    /// already passed it once).
+    requeued_reduces: Vec<usize>,
+    /// `(map, executing node, runtime secs)` of completed maps, for
+    /// late-assigned reducers to fetch from; the runtime lets a node
+    /// failure reverse the completion bookkeeping exactly.
+    completed_map_outputs: Vec<(MapTaskId, NodeId, f64)>,
 }
 
 impl JobRt {
@@ -302,6 +380,7 @@ pub struct EngineBuilder<'a> {
     code: Option<(CodeParams, usize)>,
     placement: Option<&'a dyn PlacementPolicy>,
     failure: FailureScenario,
+    timeline: FailureTimeline,
     config: EngineConfig,
     seed: u64,
     jobs: Vec<JobSpec>,
@@ -323,6 +402,17 @@ impl<'a> EngineBuilder<'a> {
     /// Sets the failure scenario (default: normal mode).
     pub fn failure(mut self, scenario: FailureScenario) -> Self {
         self.failure = scenario;
+        self
+    }
+
+    /// Sets the mid-run failure timeline (default: no churn). Composes
+    /// with [`EngineBuilder::failure`]: the scenario fixes the t=0
+    /// state, the timeline changes it while the run is in flight.
+    /// Timeline entries at exactly t=0 are folded into the initial
+    /// state, so a timeline that only fails nodes at time zero behaves
+    /// bit-for-bit like the equivalent scenario.
+    pub fn timeline(mut self, timeline: FailureTimeline) -> Self {
+        self.timeline = timeline;
         self
     }
 
@@ -357,6 +447,13 @@ impl<'a> EngineBuilder<'a> {
     /// See [`BuildError`] — notably [`BuildError::DataLoss`] when the
     /// failure scenario destroys a stripe.
     pub fn build(self) -> Result<Engine, BuildError> {
+        self.config.validate().map_err(BuildError::Config)?;
+        self.failure
+            .validate(&self.topo)
+            .map_err(|e| BuildError::Failure(e.to_string()))?;
+        self.timeline
+            .validate(&self.topo)
+            .map_err(|e| BuildError::Failure(e.to_string()))?;
         let (params, num_native) = self.code.ok_or(BuildError::Missing("code"))?;
         let policy = self.placement.ok_or(BuildError::Missing("placement"))?;
         if self.jobs.is_empty() {
@@ -369,7 +466,21 @@ impl<'a> EngineBuilder<'a> {
         let rng = root.fork(2);
         let store = BlockStore::place(&self.topo, layout, policy, &mut placement_rng)
             .map_err(BuildError::Placement)?;
-        let cstate = ClusterState::from_scenario(&self.topo, &self.failure);
+        let mut cstate = ClusterState::from_scenario(&self.topo, &self.failure);
+        // Timeline entries at t=0 are initial conditions, not mid-run
+        // churn: fold them into the starting state (in insertion order)
+        // so they behave exactly like the scenario path.
+        let mut timeline: Vec<TimelineEvent> = Vec::new();
+        for ev in self.timeline.events() {
+            if ev.at == SimTime::ZERO {
+                match ev.kind {
+                    FailureEventKind::Fail => cstate.fail_node(ev.node),
+                    FailureEventKind::Recover => cstate.recover_node(ev.node),
+                }
+            } else {
+                timeline.push(*ev);
+            }
+        }
 
         // In failure mode every stripe must still be recoverable.
         for s in 0..store.layout().num_stripes() {
@@ -422,6 +533,7 @@ impl<'a> EngineBuilder<'a> {
                     });
                 }
                 let unassigned_normal = maps.iter().filter(|m| !m.degraded).count();
+                let num_maps = maps.len();
                 JobRt {
                     id,
                     spec: spec.clone(),
@@ -441,13 +553,17 @@ impl<'a> EngineBuilder<'a> {
                             assigned_to: None,
                             assigned_at: SimTime::ZERO,
                             shuffles_done: 0,
+                            shuffled: vec![false; num_maps],
                             input_ready_at: SimTime::ZERO,
                             processing: false,
+                            proc_event: None,
+                            done: false,
                         };
                         spec.num_reduce_tasks
                     ],
                     next_reduce: 0,
                     completed_reduces: 0,
+                    requeued_reduces: Vec::new(),
                     completed_map_outputs: Vec::new(),
                 }
             })
@@ -501,6 +617,9 @@ impl<'a> EngineBuilder<'a> {
             records: Vec::new(),
             events_processed: 0,
             obs_job_started: vec![false; num_jobs],
+            timeline,
+            hb_active: vec![false; num_nodes],
+            fatal: None,
         })
     }
 }
@@ -528,6 +647,16 @@ pub struct Engine {
     events_processed: u64,
     /// Jobs whose `JobStarted` trace event has been emitted (tracing only).
     obs_job_started: Vec<bool>,
+    /// Mid-run churn still to schedule (t=0 entries were folded into
+    /// `cstate` at build time).
+    timeline: Vec<TimelineEvent>,
+    /// Whether a periodic heartbeat chain is live per node. A beat that
+    /// fires on a dead node ends its chain; recovery restarts it only
+    /// if no stale chain survived the outage.
+    hb_active: Vec<bool>,
+    /// A fatal condition detected inside an event handler (mid-run data
+    /// loss); the main loop aborts with it after the handler returns.
+    fatal: Option<RunError>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -549,6 +678,7 @@ impl Engine {
             code: None,
             placement: None,
             failure: FailureScenario::none(),
+            timeline: FailureTimeline::new(),
             config: EngineConfig::default(),
             seed: 0,
             jobs: Vec::new(),
@@ -617,6 +747,7 @@ impl Engine {
             let offset = SimDuration::from_micros(
                 self.cfg.heartbeat_period.as_micros() * (i as u64 + 1) / n,
             );
+            self.hb_active[node.index()] = true;
             self.cal.schedule(
                 SimTime::ZERO + offset,
                 Event::Heartbeat {
@@ -628,6 +759,13 @@ impl Engine {
         for job in &self.jobs {
             self.cal
                 .schedule(job.spec.submit_at, Event::JobArrival(job.id));
+        }
+        for ev in std::mem::take(&mut self.timeline) {
+            let event = match ev.kind {
+                FailureEventKind::Fail => Event::NodeFails(ev.node),
+                FailureEventKind::Recover => Event::NodeRecovers(ev.node),
+            };
+            self.cal.schedule(ev.at, event);
         }
 
         while let Some((t, _, ev)) = self.cal.pop() {
@@ -668,11 +806,16 @@ impl Engine {
                     speculative,
                 } => self.on_map_done(job, task, speculative, &mut rec),
                 Event::ReduceDone { job, index } => self.on_reduce_done(job, index, &mut rec),
+                Event::NodeFails(node) => self.on_node_fails(node, &mut rec),
+                Event::NodeRecovers(node) => self.on_node_recovers(node, &mut rec),
             }
             if rec.is_enabled() {
                 for entry in self.net.take_flow_log() {
                     rec.emit(entry.at, || flow_log_event(&entry));
                 }
+            }
+            if let Some(err) = self.fatal.take() {
+                return Err(err);
             }
             if self.jobs.iter().all(|j| j.is_finished()) {
                 let makespan = self.now.duration_since(SimTime::ZERO);
@@ -707,7 +850,15 @@ impl Engine {
         scheduler: &mut dyn MapScheduler,
         rec: &mut Recorder<'_>,
     ) {
-        debug_assert!(self.cstate.is_alive(slave), "heartbeat from dead node");
+        if !self.cstate.is_alive(slave) {
+            // The node died after this beat was scheduled. The periodic
+            // chain ends here; `on_node_recovers` restarts it unless a
+            // still-scheduled beat survived the outage.
+            if periodic {
+                self.hb_active[slave.index()] = false;
+            }
+            return;
+        }
         let assigned = {
             let mut hb = Heartbeat::new(self, slave);
             scheduler.assign_maps(&mut hb);
@@ -773,11 +924,14 @@ impl Engine {
                         self.schedule_map_processing(job, task, speculative, rec);
                     }
                 }
-                FlowPurpose::Shuffle { job, reduce } => {
+                FlowPurpose::Shuffle { job, reduce, map } => {
                     let ready = {
                         let j = &mut self.jobs[job.index()];
                         let r = &mut j.reduces[reduce];
-                        r.shuffles_done += 1;
+                        if !r.shuffled[map.0] {
+                            r.shuffled[map.0] = true;
+                            r.shuffles_done += 1;
+                        }
                         r.shuffles_done == j.maps.len() && !r.processing
                     };
                     if ready {
@@ -814,18 +968,23 @@ impl Engine {
                 )
             };
             j.completed_maps += 1;
-            j.completed_map_runtime_secs += self.now.duration_since(assigned_at).as_secs_f64();
-            j.completed_map_outputs.push((task, node));
+            let runtime = self.now.duration_since(assigned_at).as_secs_f64();
+            j.completed_map_runtime_secs += runtime;
+            j.completed_map_outputs.push((task, node, runtime));
             // The losing attempt's resources to release; `pending` flow
-            // count tells tracing which phase the loser died in.
+            // count tells tracing which phase the loser died in. Either
+            // attempt may be absent: a mid-run node failure can kill the
+            // primary while the backup survives (and vice versa).
             let loser: Option<(NodeId, usize, Vec<netsim::FlowId>, Option<simkit::EventId>)> =
                 if speculative {
-                    Some((
-                        m.assigned_to.expect("primary exists"),
-                        m.pending_flows,
-                        std::mem::take(&mut m.flows),
-                        m.proc_event.take(),
-                    ))
+                    m.assigned_to.take().map(|n| {
+                        (
+                            n,
+                            m.pending_flows,
+                            std::mem::take(&mut m.flows),
+                            m.proc_event.take(),
+                        )
+                    })
                 } else {
                     m.spec
                         .take()
@@ -907,12 +1066,16 @@ impl Engine {
         }
 
         // Feed assigned reducers with this map's output (batched: one
-        // rate reallocation for the whole fan-out).
+        // rate reallocation for the whole fan-out). Reducers that are
+        // already processing or done — possible only when churn re-ran
+        // this map — no longer need it, nor do ones that received a
+        // previous copy.
         let bytes = self.jobs[job.index()].shuffle_bytes_per_reducer(self.cfg.block_bytes);
         let reducers: Vec<(usize, NodeId)> = self.jobs[job.index()]
             .reduces
             .iter()
             .enumerate()
+            .filter(|(_, r)| !r.done && !r.processing && !r.shuffled[task.0])
             .filter_map(|(i, r)| r.assigned_to.map(|n| (i, n)))
             .collect();
         let specs: Vec<(usize, usize, u64)> = reducers
@@ -925,8 +1088,14 @@ impl Engine {
             .into_iter()
             .zip(&reducers)
         {
-            self.flow_owner
-                .insert(flow, FlowPurpose::Shuffle { job, reduce });
+            self.flow_owner.insert(
+                flow,
+                FlowPurpose::Shuffle {
+                    job,
+                    reduce,
+                    map: task,
+                },
+            );
         }
 
         // Map-only jobs finish with their last map.
@@ -942,8 +1111,11 @@ impl Engine {
     fn on_reduce_done(&mut self, job: JobId, index: usize, rec: &mut Recorder<'_>) {
         let record = {
             let j = &mut self.jobs[job.index()];
-            let r = &j.reduces[index];
+            let r = &mut j.reduces[index];
+            r.done = true;
+            r.proc_event = None;
             j.completed_reduces += 1;
+            let r = &j.reduces[index];
             TaskRecord {
                 job,
                 detail: TaskDetail::Reduce { index },
@@ -975,6 +1147,405 @@ impl Engine {
             j.finished_at = Some(self.now);
             self.fifo.retain(|&id| id != job);
             rec.emit(self.now, || SimEvent::JobFinished { job: job.0 });
+        }
+    }
+
+    // ---- mid-run churn ---------------------------------------------------
+
+    /// A node drops out mid-run: its slots vanish, every attempt running
+    /// on it (or fetching from it) dies, its unassigned node-local tasks
+    /// become degraded, reducers on it re-queue, and completed map
+    /// outputs stored on it are invalidated (re-running those maps if a
+    /// reducer still needs them).
+    fn on_node_fails(&mut self, node: NodeId, rec: &mut Recorder<'_>) {
+        if !self.cstate.is_alive(node) {
+            return; // duplicate timeline entry; already down
+        }
+        self.cstate.fail_node(node);
+        rec.emit(self.now, || SimEvent::NodeFailed { node: node.0 });
+        self.free_map[node.index()] = 0;
+        self.free_reduce[node.index()] = 0;
+        let unfinished: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|j| !j.is_finished())
+            .map(|j| j.id)
+            .collect();
+        for job in unfinished {
+            self.fail_unassigned_maps(job, node, rec);
+            self.kill_map_attempts(job, node, rec);
+            self.kill_reduces(job, node);
+            self.invalidate_map_outputs(job, node, rec);
+        }
+        // An input block that can no longer be reconstructed is fatal:
+        // the run cannot finish. (Checked after invalidation, which may
+        // have turned completed maps back into pending ones.)
+        for j in &self.jobs {
+            if j.is_finished() {
+                continue;
+            }
+            for m in &j.maps {
+                if !m.done && !self.store.is_recoverable(m.block.stripe, &self.cstate) {
+                    self.fatal = Some(RunError::DataLoss {
+                        stripe: m.block.stripe.0 as usize,
+                        at: self.now,
+                    });
+                    return;
+                }
+            }
+        }
+        self.refresh_net_check();
+    }
+
+    /// A node rejoins with its data intact (background repair
+    /// re-protected its blocks while it was away): slots come back,
+    /// degraded tasks whose input block it holds become node-local
+    /// again, and its heartbeat chain restarts.
+    fn on_node_recovers(&mut self, node: NodeId, rec: &mut Recorder<'_>) {
+        if self.cstate.is_alive(node) {
+            return; // duplicate timeline entry; already up
+        }
+        self.cstate.recover_node(node);
+        rec.emit(self.now, || SimEvent::NodeRecovered { node: node.0 });
+        self.free_map[node.index()] = self.topo.spec(node).map_slots;
+        self.free_reduce[node.index()] = self.topo.spec(node).reduce_slots;
+        let now = self.now;
+        for i in 0..self.jobs.len() {
+            if self.jobs[i].is_finished() {
+                continue;
+            }
+            let (restored, submitted) = {
+                let j = &mut self.jobs[i];
+                let mut restored = Vec::new();
+                let mut keep = Vec::new();
+                for task in std::mem::take(&mut j.degraded_pool) {
+                    if j.maps[task.0].holder == node {
+                        restored.push(task);
+                    } else {
+                        keep.push(task);
+                    }
+                }
+                j.degraded_pool = keep;
+                for &task in &restored {
+                    j.maps[task.0].degraded = false;
+                    j.node_local_pool[node.index()].push(task);
+                    j.unassigned_normal += 1;
+                }
+                (restored, j.submitted)
+            };
+            if submitted {
+                let job = self.jobs[i].id;
+                for task in restored {
+                    rec.emit(now, || SimEvent::TaskQueued {
+                        job: job.0,
+                        task: task.0 as u32,
+                        degraded: false,
+                    });
+                }
+            }
+        }
+        if !self.hb_active[node.index()] && self.jobs.iter().any(|j| !j.is_finished()) {
+            self.hb_active[node.index()] = true;
+            self.cal.schedule(
+                self.now,
+                Event::Heartbeat {
+                    node,
+                    periodic: true,
+                },
+            );
+        }
+    }
+
+    /// Unassigned tasks whose input block lived on the failed node can
+    /// no longer run node-local: move them to the degraded pool.
+    fn fail_unassigned_maps(&mut self, job: JobId, node: NodeId, rec: &mut Recorder<'_>) {
+        let now = self.now;
+        let (moved, submitted) = {
+            let j = &mut self.jobs[job.index()];
+            let moved = std::mem::take(&mut j.node_local_pool[node.index()]);
+            if moved.is_empty() {
+                return;
+            }
+            j.unassigned_normal -= moved.len();
+            for &task in &moved {
+                j.maps[task.0].degraded = true;
+                j.degraded_pool.push(task);
+            }
+            (moved, j.submitted)
+        };
+        if submitted {
+            for task in moved {
+                rec.emit(now, || SimEvent::TaskQueued {
+                    job: job.0,
+                    task: task.0 as u32,
+                    degraded: true,
+                });
+            }
+        }
+    }
+
+    /// Kills every map attempt that ran on the failed node or was
+    /// fetching input from it, then re-queues tasks left with no live
+    /// attempt.
+    fn kill_map_attempts(&mut self, job: JobId, node: NodeId, rec: &mut Recorder<'_>) {
+        let num_maps = self.jobs[job.index()].maps.len();
+        for t in 0..num_maps {
+            let task = MapTaskId(t);
+            let (primary_hit, spec_hit) = {
+                let m = &self.jobs[job.index()].maps[t];
+                if m.done {
+                    (false, false)
+                } else {
+                    // An attempt on a live node is also doomed if any of
+                    // its input flows originate at the dead node (the
+                    // fetch would never complete).
+                    let from_dead = |flows: &[FlowId]| {
+                        flows.iter().any(|&f| {
+                            self.net
+                                .flow_endpoints(f)
+                                .is_some_and(|(src, _)| src == node.index())
+                        })
+                    };
+                    let primary = m.assigned_to.is_some()
+                        && (m.assigned_to == Some(node) || from_dead(&m.flows));
+                    let spec = m
+                        .spec
+                        .as_ref()
+                        .is_some_and(|a| a.node == node || from_dead(&a.flows));
+                    (primary, spec)
+                }
+            };
+            if primary_hit {
+                self.kill_primary(job, task, node, rec);
+            }
+            if spec_hit {
+                self.kill_spec(job, task, node, rec);
+            }
+            if primary_hit || spec_hit {
+                let m = &self.jobs[job.index()].maps[t];
+                if m.assigned_to.is_none() && m.spec.is_none() && !m.done {
+                    self.requeue_map(job, task, rec);
+                }
+            }
+        }
+    }
+
+    fn kill_primary(&mut self, job: JobId, task: MapTaskId, dead: NodeId, rec: &mut Recorder<'_>) {
+        let now = self.now;
+        let (attempt_node, pending, flows, proc_event, degraded) = {
+            let m = &mut self.jobs[job.index()].maps[task.0];
+            let n = m.assigned_to.take().expect("killing an assigned attempt");
+            m.locality = None;
+            let pending = std::mem::replace(&mut m.pending_flows, 0);
+            (
+                n,
+                pending,
+                std::mem::take(&mut m.flows),
+                m.proc_event.take(),
+                m.degraded,
+            )
+        };
+        self.cancel_attempt_flows(flows);
+        if let Some(ev) = proc_event {
+            self.cal.cancel(ev);
+        }
+        if attempt_node != dead {
+            self.free_map[attempt_node.index()] += 1;
+        }
+        if degraded {
+            let phase = if pending > 0 {
+                DegradedPhase::FetchK
+            } else {
+                DegradedPhase::Process
+            };
+            rec.emit(now, || SimEvent::PhaseEnd {
+                job: job.0,
+                task: task.0 as u32,
+                node: attempt_node.0,
+                speculative: false,
+                phase,
+            });
+        }
+        rec.emit(now, || SimEvent::MapCancelled {
+            job: job.0,
+            task: task.0 as u32,
+            node: attempt_node.0,
+            speculative: false,
+        });
+    }
+
+    fn kill_spec(&mut self, job: JobId, task: MapTaskId, dead: NodeId, rec: &mut Recorder<'_>) {
+        let now = self.now;
+        let (a, degraded) = {
+            let m = &mut self.jobs[job.index()].maps[task.0];
+            (m.spec.take().expect("killing a live backup"), m.degraded)
+        };
+        self.cancel_attempt_flows(a.flows);
+        if let Some(ev) = a.proc_event {
+            self.cal.cancel(ev);
+        }
+        if a.node != dead {
+            self.free_map[a.node.index()] += 1;
+        }
+        if degraded {
+            let phase = if a.pending_flows > 0 {
+                DegradedPhase::FetchK
+            } else {
+                DegradedPhase::Process
+            };
+            rec.emit(now, || SimEvent::PhaseEnd {
+                job: job.0,
+                task: task.0 as u32,
+                node: a.node.0,
+                speculative: true,
+                phase,
+            });
+        }
+        rec.emit(now, || SimEvent::MapCancelled {
+            job: job.0,
+            task: task.0 as u32,
+            node: a.node.0,
+            speculative: true,
+        });
+    }
+
+    fn cancel_attempt_flows(&mut self, flows: Vec<FlowId>) {
+        for flow in flows {
+            // Guard: a flow may have completed (and been re-used for a
+            // later purpose) between bookkeeping and cancellation.
+            if self.flow_owner.remove(&flow).is_some() {
+                let _ = self.net.cancel_flow(self.now, flow);
+            }
+        }
+    }
+
+    /// Puts a previously launched (or completed-then-invalidated) map
+    /// back in the scheduling pools, re-classifying it against the
+    /// current cluster state.
+    fn requeue_map(&mut self, job: JobId, task: MapTaskId, rec: &mut Recorder<'_>) {
+        let now = self.now;
+        let holder = self.jobs[job.index()].maps[task.0].holder;
+        let degraded = !self.cstate.is_alive(holder);
+        let submitted = {
+            let j = &mut self.jobs[job.index()];
+            let was_degraded = j.maps[task.0].degraded;
+            j.launched_maps -= 1;
+            if was_degraded {
+                j.launched_degraded -= 1;
+            }
+            let m = &mut j.maps[task.0];
+            m.degraded = degraded;
+            m.pending_flows = 0;
+            if degraded {
+                j.degraded_pool.push(task);
+            } else {
+                j.node_local_pool[holder.index()].push(task);
+                j.unassigned_normal += 1;
+            }
+            j.submitted
+        };
+        if submitted {
+            rec.emit(now, || SimEvent::TaskQueued {
+                job: job.0,
+                task: task.0 as u32,
+                degraded,
+            });
+        }
+    }
+
+    /// Reducers on the failed node lose everything they shuffled; they
+    /// re-queue ahead of never-launched reducers.
+    fn kill_reduces(&mut self, job: JobId, node: NodeId) {
+        let num_reduces = self.jobs[job.index()].reduces.len();
+        for idx in 0..num_reduces {
+            {
+                let r = &self.jobs[job.index()].reduces[idx];
+                if r.done || r.assigned_to != Some(node) {
+                    continue;
+                }
+            }
+            let mut flows: Vec<FlowId> = self
+                .flow_owner
+                .iter()
+                .filter(|(_, p)| {
+                    matches!(p, FlowPurpose::Shuffle { job: fj, reduce, .. }
+                        if *fj == job && *reduce == idx)
+                })
+                .map(|(&f, _)| f)
+                .collect();
+            flows.sort(); // HashMap iteration order is not deterministic
+            self.cancel_attempt_flows(flows);
+            let j = &mut self.jobs[job.index()];
+            let r = &mut j.reduces[idx];
+            r.assigned_to = None;
+            r.shuffles_done = 0;
+            r.shuffled.fill(false);
+            r.processing = false;
+            if let Some(ev) = r.proc_event.take() {
+                self.cal.cancel(ev);
+            }
+            j.requeued_reduces.push(idx);
+        }
+    }
+
+    /// Completed map outputs stored on the failed node are gone. If any
+    /// reducer still needs them, the maps must run again; reducers that
+    /// are already processing (or done) hold their own copy and are
+    /// unaffected.
+    fn invalidate_map_outputs(&mut self, job: JobId, node: NodeId, rec: &mut Recorder<'_>) {
+        let needed = {
+            let j = &self.jobs[job.index()];
+            j.spec.num_reduce_tasks > 0 && j.reduces.iter().any(|r| !r.done && !r.processing)
+        };
+        if !needed {
+            return;
+        }
+        let lost: Vec<(MapTaskId, f64)> = {
+            let j = &mut self.jobs[job.index()];
+            let lost = j
+                .completed_map_outputs
+                .iter()
+                .filter(|&&(_, out, _)| out == node)
+                .map(|&(t, _, rt)| (t, rt))
+                .collect();
+            j.completed_map_outputs.retain(|&(_, out, _)| out != node);
+            lost
+        };
+        for (task, runtime) in lost {
+            // In-flight copies of this output can never finish.
+            let mut flows: Vec<FlowId> = self
+                .flow_owner
+                .iter()
+                .filter(|(_, p)| {
+                    matches!(p, FlowPurpose::Shuffle { job: fj, map, .. }
+                        if *fj == job && *map == task)
+                })
+                .map(|(&f, _)| f)
+                .collect();
+            flows.sort(); // HashMap iteration order is not deterministic
+            self.cancel_attempt_flows(flows);
+            {
+                let j = &mut self.jobs[job.index()];
+                for r in j.reduces.iter_mut() {
+                    if !r.done && !r.processing && r.shuffled[task.0] {
+                        r.shuffled[task.0] = false;
+                        r.shuffles_done -= 1;
+                    }
+                }
+                // Reverse the completion bookkeeping exactly (the stored
+                // runtime keeps the speculation threshold consistent).
+                j.completed_maps -= 1;
+                j.completed_map_runtime_secs -= runtime;
+                let m = &mut j.maps[task.0];
+                m.done = false;
+                m.assigned_to = None;
+                m.spec = None;
+                m.locality = None;
+                m.pending_flows = 0;
+                m.flows.clear();
+                m.proc_event = None;
+            }
+            self.requeue_map(job, task, rec);
         }
     }
 
@@ -1274,10 +1845,11 @@ impl Engine {
             node: node.0,
         });
         let duration = self.sample_task_time(mean, std, node);
-        self.cal.schedule(
+        let ev = self.cal.schedule(
             self.now + duration,
             Event::ReduceDone { job, index: reduce },
         );
+        self.jobs[job.index()].reduces[reduce].proc_event = Some(ev);
     }
 
     fn sample_task_time(
@@ -1295,17 +1867,26 @@ impl Engine {
 
     fn assign_reduces(&mut self, slave: NodeId, rec: &mut Recorder<'_>) {
         while self.free_reduce[slave.index()] > 0 {
-            // First FIFO job with an unassigned reducer past slowstart.
+            // First FIFO job with a churn-orphaned reducer (these bypass
+            // slowstart — they already passed it once) or an unassigned
+            // reducer past slowstart.
             let candidate = self.fifo.iter().copied().find(|&id| {
                 let j = &self.jobs[id.index()];
-                j.next_reduce < j.reduces.len()
-                    && (j.completed_maps as f64) >= self.cfg.reduce_slowstart * j.maps.len() as f64
+                !j.requeued_reduces.is_empty()
+                    || (j.next_reduce < j.reduces.len()
+                        && (j.completed_maps as f64)
+                            >= self.cfg.reduce_slowstart * j.maps.len() as f64)
             });
             let Some(job) = candidate else { break };
             let (reduce, bytes, outputs) = {
                 let j = &mut self.jobs[job.index()];
-                let reduce = j.next_reduce;
-                j.next_reduce += 1;
+                let reduce = if j.requeued_reduces.is_empty() {
+                    let r = j.next_reduce;
+                    j.next_reduce += 1;
+                    r
+                } else {
+                    j.requeued_reduces.remove(0)
+                };
                 let r = &mut j.reduces[reduce];
                 r.assigned_to = Some(slave);
                 r.assigned_at = self.now;
@@ -1321,11 +1902,16 @@ impl Engine {
             // Fetch output of already-completed maps (batched).
             let specs: Vec<(usize, usize, u64)> = outputs
                 .iter()
-                .map(|&(_, from)| (from.index(), slave.index(), bytes))
+                .map(|&(_, from, _)| (from.index(), slave.index(), bytes))
                 .collect();
-            for flow in self.net.start_flows(self.now, &specs) {
+            for (flow, &(map, _, _)) in self
+                .net
+                .start_flows(self.now, &specs)
+                .into_iter()
+                .zip(&outputs)
+            {
                 self.flow_owner
-                    .insert(flow, FlowPurpose::Shuffle { job, reduce });
+                    .insert(flow, FlowPurpose::Shuffle { job, reduce, map });
             }
             // A reducer of a job with zero maps shuffled would be ready
             // immediately; jobs always have maps, so nothing to do here.
@@ -1917,5 +2503,430 @@ mod speculation_tests {
         assert_eq!(result.tasks.len(), 32);
         assert!(result.map_count(MapLocality::Degraded) > 0);
         assert!(result.tasks.iter().all(|t| t.node != topo.node(0)));
+    }
+
+    /// Straggler cluster on a 10 Mbps network: a backup's remote input
+    /// fetch (128 MB ≈ 107 s) outlasts even the 10x-slow primary, so the
+    /// primary wins and the loser dies mid-fetch with flows in flight.
+    fn slow_net_engine(seed: u64) -> Engine {
+        let topo = Topology::homogeneous(2, 4, 2, 1).with_speed_factor(NodeId(3), 0.1);
+        Engine::builder(topo)
+            .code(CodeParams::new(4, 2).unwrap(), 32)
+            .placement(&RackAwarePlacement)
+            .config(EngineConfig {
+                speculative: true,
+                net: netsim::NetConfig::uniform(10_000_000),
+                ..EngineConfig::default()
+            })
+            .seed(seed)
+            .job(
+                JobSpec::builder("loser")
+                    .map_time(SimDuration::from_secs(10), SimDuration::ZERO)
+                    .map_only()
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn losing_attempt_flows_are_cancelled() {
+        use obs::event::SimEvent;
+        use obs::sink::VecSink;
+
+        let plain = slow_net_engine(11).run(Box::new(Greedy)).unwrap();
+        let mut sink = VecSink::new();
+        let traced = slow_net_engine(11)
+            .run_traced(Box::new(Greedy), &mut sink)
+            .unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the run");
+        let count =
+            |pred: &dyn Fn(&SimEvent) -> bool| sink.events.iter().filter(|(_, e)| pred(e)).count();
+        // At least one backup lost the race mid-fetch...
+        let cancelled_maps = count(&|e| matches!(e, SimEvent::MapCancelled { .. }));
+        assert!(cancelled_maps > 0, "fixture must produce a losing attempt");
+        // ...and its in-flight netsim flows were torn down.
+        let cancelled_flows = count(&|e| {
+            matches!(
+                e,
+                SimEvent::FlowFinished {
+                    cancelled: true,
+                    ..
+                }
+            )
+        });
+        assert!(
+            cancelled_flows > 0,
+            "loser died mid-fetch; flows must cancel"
+        );
+        // Flow lifecycles still balance: every start has exactly one end.
+        assert_eq!(
+            count(&|e| matches!(e, SimEvent::FlowStarted { .. })),
+            count(&|e| matches!(e, SimEvent::FlowFinished { .. })),
+        );
+        // Only winners are recorded: each block processed exactly once.
+        let mut blocks: Vec<_> = traced
+            .tasks
+            .iter()
+            .filter_map(|t| match t.detail {
+                TaskDetail::Map { block, .. } => Some(block),
+                TaskDetail::Reduce { .. } => None,
+            })
+            .collect();
+        blocks.sort();
+        blocks.dedup();
+        assert_eq!(blocks.len(), 32, "a map recorded twice or dropped");
+        assert_eq!(traced.tasks.len(), 32);
+    }
+
+    #[test]
+    fn losing_attempt_golden() {
+        // Fixed-seed golden: pins the loser-cancellation path end to end.
+        // A behaviour change here is a determinism break — investigate
+        // before updating the constant.
+        let result = slow_net_engine(11).run(Box::new(Greedy)).unwrap();
+        assert_eq!(result.makespan.as_micros(), 470_238_397);
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+    use crate::sched::Heartbeat;
+    use ecstore::placement::RackAwarePlacement;
+
+    struct Greedy;
+
+    impl MapScheduler for Greedy {
+        fn assign_maps(&mut self, hb: &mut Heartbeat<'_>) {
+            'outer: while hb.free_map_slots() > 0 {
+                for job in hb.jobs() {
+                    if hb.take_node_local(job).is_some()
+                        || hb.take_rack_local(job).is_some()
+                        || hb.take_remote(job).is_some()
+                        || hb.take_degraded(job).is_some()
+                    {
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "greedy"
+        }
+    }
+
+    fn map_only_spec(secs: u64) -> JobSpec {
+        JobSpec::builder("t")
+            .map_time(SimDuration::from_secs(secs), SimDuration::ZERO)
+            .map_only()
+            .build()
+    }
+
+    fn builder(topo: &Topology) -> EngineBuilder<'static> {
+        Engine::builder(topo.clone())
+            .code(CodeParams::new(4, 2).unwrap(), 32)
+            .placement(&RackAwarePlacement)
+    }
+
+    #[test]
+    fn timeline_at_zero_equals_scenario() {
+        // The t=0 fold: a timeline that fails node0 at time zero must
+        // reproduce the scenario path bit-for-bit.
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let via_scenario = builder(&topo)
+            .failure(FailureScenario::nodes([topo.node(0)]))
+            .seed(2)
+            .job(map_only_spec(10))
+            .build()
+            .unwrap()
+            .run(Box::new(Greedy))
+            .unwrap();
+        let via_timeline = builder(&topo)
+            .timeline(FailureTimeline::new().fail_node_at(topo.node(0), SimTime::ZERO))
+            .seed(2)
+            .job(map_only_spec(10))
+            .build()
+            .unwrap()
+            .run(Box::new(Greedy))
+            .unwrap();
+        assert_eq!(via_scenario, via_timeline);
+    }
+
+    #[test]
+    fn zero_time_fail_recover_pair_is_a_no_op() {
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let plain = builder(&topo)
+            .seed(3)
+            .job(map_only_spec(10))
+            .build()
+            .unwrap()
+            .run(Box::new(Greedy))
+            .unwrap();
+        let churned = builder(&topo)
+            .timeline(
+                FailureTimeline::new()
+                    .fail_node_at(topo.node(2), SimTime::ZERO)
+                    .recover_node_at(topo.node(2), SimTime::ZERO),
+            )
+            .seed(3)
+            .job(map_only_spec(10))
+            .build()
+            .unwrap()
+            .run(Box::new(Greedy))
+            .unwrap();
+        assert_eq!(plain, churned);
+    }
+
+    #[test]
+    fn mid_run_failure_requeues_lost_work() {
+        // 32 maps of 10 s on 16 slots: two waves, ~20-28 s total. Failing
+        // node0 at 12 s kills its second-wave attempts; the work must
+        // re-run elsewhere, degraded where node0 held the input block.
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let fail_at = SimTime::from_secs(12);
+        let result = builder(&topo)
+            .timeline(FailureTimeline::new().fail_node_at(topo.node(0), fail_at))
+            .seed(2)
+            .job(map_only_spec(10))
+            .build()
+            .unwrap()
+            .run(Box::new(Greedy))
+            .unwrap();
+        // Every block still processed exactly once.
+        assert_eq!(result.tasks.len(), 32);
+        let mut blocks: Vec<_> = result
+            .tasks
+            .iter()
+            .filter_map(|t| match t.detail {
+                TaskDetail::Map { block, .. } => Some(block),
+                TaskDetail::Reduce { .. } => None,
+            })
+            .collect();
+        blocks.sort();
+        blocks.dedup();
+        assert_eq!(blocks.len(), 32);
+        // Survivors picked up node0's blocks as degraded reads.
+        assert!(result.map_count(MapLocality::Degraded) > 0);
+        // Nothing completed on node0 after it died.
+        assert!(result
+            .tasks
+            .iter()
+            .all(|t| t.node != topo.node(0) || t.completed_at <= fail_at));
+        // The failure stretched the run past the normal-mode two waves.
+        assert!(result.makespan.as_secs_f64() > 20.0);
+    }
+
+    #[test]
+    fn mid_run_failure_is_deterministic() {
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let run = || {
+            builder(&topo)
+                .timeline(FailureTimeline::new().fail_node_at(topo.node(0), SimTime::from_secs(12)))
+                .seed(6)
+                .job(map_only_spec(10))
+                .build()
+                .unwrap()
+                .run(Box::new(Greedy))
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn recovery_restores_node_to_service() {
+        // Fail node0 early, bring it back mid-run of a long job (30 s
+        // maps: the second wave starts right around the recovery): the
+        // node must rejoin the heartbeat rotation and take tasks again.
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let recover_at = SimTime::from_secs(30);
+        let spec = JobSpec::builder("long")
+            .map_time(SimDuration::from_secs(30), SimDuration::ZERO)
+            .map_only()
+            .build();
+        let result = builder(&topo)
+            .timeline(
+                FailureTimeline::new()
+                    .fail_node_at(topo.node(0), SimTime::from_secs(5))
+                    .recover_node_at(topo.node(0), recover_at),
+            )
+            .seed(2)
+            .job(spec)
+            .build()
+            .unwrap()
+            .run(Box::new(Greedy))
+            .unwrap();
+        assert_eq!(result.tasks.len(), 32);
+        assert!(
+            result
+                .tasks
+                .iter()
+                .any(|t| t.node == topo.node(0) && t.assigned_at >= recover_at),
+            "recovered node never ran a task"
+        );
+    }
+
+    #[test]
+    fn reduce_attempts_requeue_on_failure() {
+        // Long reducers guarantee some are mid-shuffle or mid-process
+        // when a node dies at 40 s; they must finish elsewhere.
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let spec = JobSpec::builder("wr")
+            .map_time(SimDuration::from_secs(10), SimDuration::ZERO)
+            .reduce_time(SimDuration::from_secs(30), SimDuration::ZERO)
+            .reduce_tasks(8)
+            .shuffle_ratio(0.05)
+            .build();
+        let fail_at = SimTime::from_secs(40);
+        let result = builder(&topo)
+            .timeline(FailureTimeline::new().fail_node_at(topo.node(1), fail_at))
+            .seed(4)
+            .job(spec)
+            .build()
+            .unwrap()
+            .run(Box::new(Greedy))
+            .unwrap();
+        let reduces: Vec<_> = result
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.detail, TaskDetail::Reduce { .. }))
+            .collect();
+        assert_eq!(reduces.len(), 8);
+        // No reduce completed on the dead node after the failure.
+        assert!(reduces
+            .iter()
+            .all(|t| t.node != topo.node(1) || t.completed_at <= fail_at));
+    }
+
+    #[test]
+    fn mid_run_data_loss_is_fatal() {
+        // (4,2) tolerates two losses per stripe; killing six of eight
+        // nodes mid-run must strand some stripe below k survivors.
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let mut timeline = FailureTimeline::new();
+        for i in 0..6 {
+            timeline = timeline.fail_node_at(topo.node(i), SimTime::from_secs(5));
+        }
+        let err = builder(&topo)
+            .timeline(timeline)
+            .seed(1)
+            .job(map_only_spec(100))
+            .build()
+            .unwrap()
+            .run(Box::new(Greedy))
+            .unwrap_err();
+        match err {
+            RunError::DataLoss { at, .. } => assert_eq!(at, SimTime::from_secs(5)),
+            other => panic!("expected DataLoss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let cases = [
+            EngineConfig {
+                reduce_slowstart: f64::NAN,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                reduce_slowstart: -0.5,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                speculative_threshold: 0.5,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                heartbeat_period: SimDuration::ZERO,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                degraded_fetch_blocks: Some(0),
+                ..EngineConfig::default()
+            },
+        ];
+        for config in cases {
+            let err = builder(&topo)
+                .config(config)
+                .job(map_only_spec(10))
+                .build()
+                .map(|_| ())
+                .unwrap_err();
+            assert!(matches!(err, BuildError::Config(_)), "{config:?}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_failures_are_rejected() {
+        let topo = Topology::homogeneous(2, 4, 2, 1); // nodes 0..8
+        let err = builder(&topo)
+            .failure(FailureScenario::nodes([NodeId(99)]))
+            .job(map_only_spec(10))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Failure(_)), "{err:?}");
+        assert!(err.to_string().contains("node99"), "{err}");
+        let err = builder(&topo)
+            .timeline(FailureTimeline::new().fail_node_at(NodeId(8), SimTime::from_secs(1)))
+            .job(map_only_spec(10))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Failure(_)), "{err:?}");
+    }
+
+    #[test]
+    fn churn_trace_has_balanced_lifecycle() {
+        use obs::event::SimEvent;
+        use obs::sink::VecSink;
+
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let mut sink = VecSink::new();
+        // Fail at 15 s: the second wave (launched off the ~12.4 s beats)
+        // is mid-flight, so node0 has running attempts to kill.
+        let engine = builder(&topo)
+            .timeline(
+                FailureTimeline::new()
+                    .fail_node_at(topo.node(0), SimTime::from_secs(15))
+                    .recover_node_at(topo.node(0), SimTime::from_secs(30)),
+            )
+            .seed(2)
+            .job(map_only_spec(10))
+            .build()
+            .unwrap();
+        let result = engine.run_traced(Box::new(Greedy), &mut sink).unwrap();
+        assert_eq!(result.tasks.len(), 32);
+        for pair in sink.events.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "timestamps went backwards");
+        }
+        let count =
+            |pred: &dyn Fn(&SimEvent) -> bool| sink.events.iter().filter(|(_, e)| pred(e)).count();
+        assert_eq!(count(&|e| matches!(e, SimEvent::NodeFailed { .. })), 1);
+        assert_eq!(count(&|e| matches!(e, SimEvent::NodeRecovered { .. })), 1);
+        // Killed attempts announce themselves and their work re-queues:
+        // more TaskQueued than tasks, and every kill is visible.
+        assert!(count(&|e| matches!(e, SimEvent::MapCancelled { .. })) > 0);
+        assert!(count(&|e| matches!(e, SimEvent::TaskQueued { .. })) > 32);
+        // Launches balance completions plus cancellations.
+        assert_eq!(
+            count(&|e| matches!(e, SimEvent::MapLaunched { .. })),
+            count(&|e| matches!(e, SimEvent::MapDone { .. }))
+                + count(&|e| matches!(e, SimEvent::MapCancelled { .. })),
+        );
+        // Degraded phases still balance under churn.
+        assert_eq!(
+            count(&|e| matches!(e, SimEvent::PhaseBegin { .. })),
+            count(&|e| matches!(e, SimEvent::PhaseEnd { .. })),
+        );
+        // Flow lifecycles balance; the kill cancelled at least one flow
+        // only if one was in flight — but every start must still end.
+        assert_eq!(
+            count(&|e| matches!(e, SimEvent::FlowStarted { .. })),
+            count(&|e| matches!(e, SimEvent::FlowFinished { .. })),
+        );
     }
 }

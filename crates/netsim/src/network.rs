@@ -329,6 +329,17 @@ impl Network {
         self.flows.len()
     }
 
+    /// The `(src, dst)` node pair of an active flow, or `None` if the
+    /// flow has finished or was cancelled. Lets callers that track
+    /// flows by id (e.g. a scheduler reacting to a node failure) find
+    /// every transfer touching a given node without shadowing endpoint
+    /// state of their own.
+    pub fn flow_endpoints(&self, id: FlowId) -> Option<(usize, usize)> {
+        let idx = *self.index_of.get(&id)?;
+        let flow = &self.flows[idx];
+        Some((flow.src, flow.dst))
+    }
+
     fn path_for(&self, src: usize, dst: usize) -> Path {
         assert!(
             src < self.num_nodes() && dst < self.num_nodes(),
@@ -604,6 +615,21 @@ mod tests {
         assert!((secs(done) - 10.74).abs() < 0.01, "{}", secs(done));
         assert_eq!(net.complete_flows(done).len(), 1);
         assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn flow_endpoints_track_liveness() {
+        let mut net = Network::new(&[3, 2], NetConfig::uniform(MBPS_100));
+        let a = net.start_flow(SimTime::ZERO, 0, 3, BLOCK);
+        let b = net.start_flow(SimTime::ZERO, 4, 1, BLOCK);
+        assert_eq!(net.flow_endpoints(a), Some((0, 3)));
+        assert_eq!(net.flow_endpoints(b), Some((4, 1)));
+        net.cancel_flow(SimTime::from_secs(1), a);
+        assert_eq!(net.flow_endpoints(a), None);
+        assert_eq!(net.flow_endpoints(b), Some((4, 1)));
+        let done = net.next_completion().unwrap();
+        net.complete_flows(done);
+        assert_eq!(net.flow_endpoints(b), None);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! same winner-only accounting, same completion-order summation — and a
 //! cross-check test in the workspace keeps the two from drifting.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use simkit::stats::percentile_sorted;
 use simkit::time::{SimDuration, SimTime};
@@ -92,6 +92,9 @@ pub struct Aggregator {
     speculative_launches: usize,
     cancelled_attempts: usize,
     nodes_failed: usize,
+    nodes_recovered: usize,
+    maps_relaunched: usize,
+    primaries_seen: HashSet<(u32, u32)>,
 }
 
 impl Aggregator {
@@ -120,6 +123,9 @@ impl Aggregator {
             speculative_launches: 0,
             cancelled_attempts: 0,
             nodes_failed: 0,
+            nodes_recovered: 0,
+            maps_relaunched: 0,
+            primaries_seen: HashSet::new(),
         }
     }
 
@@ -247,6 +253,8 @@ impl Aggregator {
             speculative_launches: self.speculative_launches,
             cancelled_attempts: self.cancelled_attempts,
             nodes_failed: self.nodes_failed,
+            nodes_recovered: self.nodes_recovered,
+            maps_relaunched: self.maps_relaunched,
             mean_normal_map_secs: mean(&|f| match f {
                 Finished::Map {
                     locality,
@@ -320,6 +328,10 @@ impl EventSink for Aggregator {
                 }
                 if speculative {
                     self.speculative_launches += 1;
+                } else if !self.primaries_seen.insert((job, task)) {
+                    // A second primary launch of the same task: churn
+                    // re-executed work lost to a failed node.
+                    self.maps_relaunched += 1;
                 }
                 self.attempts.insert(
                     (job, task, speculative),
@@ -420,7 +432,7 @@ impl EventSink for Aggregator {
                 }
             }
             SimEvent::NodeFailed { .. } => self.nodes_failed += 1,
-            SimEvent::NodeRecovered { .. } => {}
+            SimEvent::NodeRecovered { .. } => self.nodes_recovered += 1,
             SimEvent::RepairStarted { .. } | SimEvent::RepairFinished { .. } => {}
         }
     }
@@ -466,6 +478,11 @@ pub struct AggregateReport {
     pub cancelled_attempts: usize,
     /// Node failures observed.
     pub nodes_failed: usize,
+    /// Node recoveries observed (mid-run churn).
+    pub nodes_recovered: usize,
+    /// Primary map attempts launched again after a node failure killed
+    /// the first launch or destroyed its output (churn re-execution).
+    pub maps_relaunched: usize,
     /// Mean runtime of completed non-degraded maps, seconds.
     pub mean_normal_map_secs: Option<f64>,
     /// Mean runtime of completed degraded maps, seconds.

@@ -270,7 +270,8 @@ pub enum SimEvent {
         /// True if torn down before delivering all bytes.
         cancelled: bool,
     },
-    /// A node failed (permanently, in the paper's single-failure model).
+    /// A node failed — at t=0 under a static failure scenario, or
+    /// mid-run when a failure timeline fires.
     NodeFailed {
         /// The failed node.
         node: u32,

@@ -33,6 +33,7 @@ fn setting() -> (ModelParams, Experiment) {
         num_blocks: 480,
         placement: PlacementKind::RackAware,
         failure: FailureSpec::RandomSingleNode,
+        timeline: dfs::cluster::FailureTimeline::new(),
         config: EngineConfig {
             block_bytes: params.block_bytes,
             net: NetConfig {

@@ -104,6 +104,38 @@ const GOLDEN_SMALL_LF_7: u64 = 0x8a6b_9c51_4140_35c1;
 const GOLDEN_PAPER_LF_1: u64 = 0xcdbe_acee_8e09_fe22;
 const GOLDEN_PAPER_EDF_1: u64 = 0x8605_ddd2_9a0d_7d61;
 
+/// A failure timeline whose events all fire at t=0 is just another way
+/// of writing a static failure scenario: expressing the goldens' seeds
+/// that way must reproduce the same digests bit for bit.
+#[test]
+fn timeline_at_zero_reproduces_scenario_goldens() {
+    use dfs::cluster::FailureTimeline;
+    use dfs::experiment::FailureSpec;
+    use dfs::simkit::time::SimTime;
+
+    let cases: [(Policy, u64, u64); 2] = [
+        (Policy::BasicDegradedFirst, 0, GOLDEN_SMALL_BDF_0),
+        (Policy::LocalityFirst, 7, GOLDEN_SMALL_LF_7),
+    ];
+    for (policy, seed, want) in cases {
+        let mut exp = presets::small_default();
+        let scenario = exp.failure_for_seed(seed);
+        let mut timeline = FailureTimeline::new();
+        for node in scenario.failed_nodes(&exp.topo) {
+            timeline = timeline.fail_node_at(node, SimTime::ZERO);
+        }
+        exp.failure = FailureSpec::None;
+        exp.timeline = timeline;
+        let got = run_digest(&exp, policy, seed);
+        assert_eq!(
+            got,
+            want,
+            "t=0 timeline diverged from the scenario golden for {} seed {seed}",
+            policy.name()
+        );
+    }
+}
+
 #[test]
 fn textlab_grid_is_deterministic() {
     use dfs::cluster::{NodeId, Topology};
