@@ -129,7 +129,7 @@ pub fn panel_f() {
     let sweeps = sweep_seeds_vec(n, |seed| {
         let mut exp = base.clone();
         let mut rng = SimRng::seed_from_u64(seed ^ 0x6a6f_6273);
-        exp.jobs = multi_job_workload(&mut rng, JOBS, 120.0);
+        exp.jobs = multi_job_workload(&mut rng, JOBS, 120.0).expect("valid workload parameters");
         let lf = exp.normalized_runtimes(Policy::LocalityFirst, seed).ok()?;
         let edf = exp
             .normalized_runtimes(Policy::EnhancedDegradedFirst, seed)

@@ -46,7 +46,10 @@ pub fn panel_a() {
             ])
         });
         let (lf, edf) = (&sweeps[0], &sweeps[1]);
-        let (ls, es) = (lf.summary(), edf.summary());
+        let (ls, es) = (
+            lf.summary().expect("finite runtimes"),
+            edf.summary().expect("finite runtimes"),
+        );
         table.row(&[
             workload.name().to_string(),
             format!("{:.1}", ls.mean),

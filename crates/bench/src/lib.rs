@@ -72,7 +72,7 @@ pub fn compare_policies_metric(
 pub fn boxplot_table(rows: &[(String, SweepSummary)]) -> Table {
     let mut table = Table::new(&["series", "min", "q1", "median", "q3", "max", "mean", "n"]);
     for (label, sweep) in rows {
-        let s = sweep.summary();
+        let s = sweep.summary().expect("finite sweep samples");
         table.row(&[
             label.clone(),
             format!("{:.3}", s.min),

@@ -22,7 +22,7 @@ use dfs::simkit::time::{SimDuration, SimTime};
 use dfs::simkit::SimRng;
 use dfs::sweep::sweep_seeds_vec;
 use dfs::textlab::{run_job, CorpusBuilder, Grep, LineCount, MiniGrid, WordCount};
-use dfs::workloads::TestbedWorkload;
+use dfs::workloads::{ArrivalTrace, TestbedWorkload};
 
 use crate::args::Args;
 
@@ -38,6 +38,8 @@ USAGE:
                      --bandwidth-mbps 1000 --failure node|double|rack|none
                      --fail-at node3@120s --recover-at node3@300s
                      --map-secs 20 --reducers 30 --shuffle 0.01
+                     --poisson 120,10 --poisson-seed 1 --emit-arrivals out.jsonl
+                     --arrivals trace.jsonl
                      --trace out.jsonl --trace-format jsonl|chrome --trace-seed 1]
   dfs-cli testbed   [--workload wordcount|grep|linecount|all --runs 5]
   dfs-cli repair    [--parallelism 4 --seed 1]
@@ -196,6 +198,10 @@ pub fn simulate(args: &Args) -> CliResult {
         "trace",
         "trace-format",
         "trace-seed",
+        "arrivals",
+        "poisson",
+        "poisson-seed",
+        "emit-arrivals",
     ])?;
     let (n, k) = args.get_code_or("code", (20, 15))?;
     let policy = parse_policy(args.get("policy").unwrap_or("edf"))?;
@@ -233,7 +239,32 @@ pub fn simulate(args: &Args) -> CliResult {
         job.shuffle_ratio = shuffle;
     }
 
-    let exp = Experiment {
+    // A multi-job arrival process replaces the single `--map-secs`-style
+    // job: either replayed from a recorded trace or freshly generated.
+    let arrivals = match (args.get("arrivals"), args.get("poisson")) {
+        (Some(_), Some(_)) => {
+            return Err("--arrivals and --poisson are mutually exclusive".into());
+        }
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path)?;
+            Some(ArrivalTrace::parse_jsonl(&text)?)
+        }
+        (None, Some(raw)) => {
+            let (mean_secs, count) = parse_poisson(raw)?;
+            let seed: u64 = args.get_or("poisson-seed", 1u64)?;
+            Some(ArrivalTrace::poisson(seed, count, mean_secs)?)
+        }
+        (None, None) => None,
+    };
+    if let Some(path) = args.get("emit-arrivals") {
+        let trace = arrivals
+            .as_ref()
+            .ok_or("--emit-arrivals needs --poisson or --arrivals")?;
+        std::fs::write(path, trace.to_jsonl())?;
+        println!("arrival trace ({} jobs) written to {path}", trace.len());
+    }
+
+    let mut exp = Experiment {
         topo: Topology::homogeneous(
             args.get_or("racks", 4usize)?,
             args.get_or("nodes-per-rack", 10usize)?,
@@ -255,6 +286,10 @@ pub fn simulate(args: &Args) -> CliResult {
         },
         jobs: vec![job],
     };
+    if let Some(trace) = &arrivals {
+        exp = exp.arrivals(trace);
+    }
+    let exp = exp;
 
     let sweeps = sweep_seeds_vec(seeds, |seed| {
         let normal = exp.run_normal_mode(seed).ok()?;
@@ -279,7 +314,7 @@ pub fn simulate(args: &Args) -> CliResult {
     .iter()
     .enumerate()
     {
-        let s = sweeps[i].summary();
+        let s = sweeps[i].summary()?;
         table.row(&[
             name.to_string(),
             format!("{:.3}", s.mean),
@@ -301,6 +336,15 @@ pub fn simulate(args: &Args) -> CliResult {
         write_trace(&exp, policy, trace_seed, path, format)?;
     }
     Ok(())
+}
+
+/// Parses `--poisson 120,10` (mean inter-arrival seconds, job count).
+fn parse_poisson(raw: &str) -> Result<(f64, usize), String> {
+    let bad = || format!("bad --poisson {raw:?} (want mean_secs,count e.g. 120,10)");
+    let (mean, count) = raw.split_once(',').ok_or_else(bad)?;
+    let mean_secs: f64 = mean.trim().parse().map_err(|_| bad())?;
+    let count: usize = count.trim().parse().map_err(|_| bad())?;
+    Ok((mean_secs, count))
 }
 
 /// Re-runs one seed of `exp` with tracing enabled, writing the event
@@ -386,6 +430,30 @@ pub fn obs_report(args: &Args) -> CliResult {
             opt(r.degraded_read_p95),
             opt(r.degraded_read_p99)
         ),
+    ]);
+    table.row(&[
+        "job completion latency (p50/p95/p99 s)".into(),
+        format!(
+            "{} ({}/{}/{})",
+            r.job_latency_secs.len(),
+            opt(r.job_latency_p50),
+            opt(r.job_latency_p95),
+            opt(r.job_latency_p99)
+        ),
+    ]);
+    table.row(&[
+        "job queueing delay (p50/p95/p99 s)".into(),
+        format!(
+            "{} ({}/{}/{})",
+            r.job_queue_delay_secs.len(),
+            opt(r.job_queue_delay_p50),
+            opt(r.job_queue_delay_p95),
+            opt(r.job_queue_delay_p99)
+        ),
+    ]);
+    table.row(&[
+        "peak jobs in flight".into(),
+        r.peak_jobs_in_flight.to_string(),
     ]);
     table.row(&[
         "fetch/map overlap (s)".into(),

@@ -9,7 +9,9 @@
 //!                   --racks 4 --nodes-per-rack 10 --map-slots 4
 //!                   --blocks 1440 --bandwidth-mbps 1000 --block-mb 128
 //!                   --failure node|double|rack|none --map-secs 20
-//!                   --reducers 30 --shuffle 0.01]
+//!                   --reducers 30 --shuffle 0.01
+//!                   --poisson 120,10 --poisson-seed 1
+//!                   --emit-arrivals out.jsonl --arrivals trace.jsonl]
 //! dfs-cli testbed  [--workload wordcount|grep|linecount|all --runs 5]
 //! dfs-cli repair   [--parallelism 4 --seed 1]
 //! dfs-cli wordcount [--lines 20000 --fail-node 0 --needle whale]

@@ -287,6 +287,16 @@ impl Experiment {
         ClusterState::from_scenario(&self.topo, &self.failure_for_seed(seed))
     }
 
+    /// Replaces the job mix with the records of an arrival trace. The
+    /// trace constructors already validated every record, and the engine
+    /// re-validates at build time, so replaying a trace written by
+    /// [`workloads::ArrivalTrace::to_jsonl`] reproduces the generating
+    /// run bit-for-bit under the same seed.
+    pub fn arrivals(mut self, trace: &workloads::ArrivalTrace) -> Experiment {
+        self.jobs = trace.jobs().to_vec();
+        self
+    }
+
     /// Like [`Experiment::run`] but recording every simulation event
     /// into `sink`. The simulated execution — schedule, timings, result
     /// — is bit-identical to the untraced run of the same arguments.

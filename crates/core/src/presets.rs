@@ -5,7 +5,7 @@ use erasure::CodeParams;
 use mapreduce::engine::EngineConfig;
 use netsim::NetConfig;
 use simkit::time::SimDuration;
-use workloads::{map_only_job, simulation_default_job, TestbedWorkload};
+use workloads::{map_only_job, simulation_default_job, ArrivalTrace, TestbedWorkload};
 
 use crate::experiment::{Experiment, FailureSpec, PlacementKind};
 
@@ -111,6 +111,19 @@ pub fn testbed(workloads: &[TestbedWorkload]) -> Experiment {
     }
 }
 
+/// The Figure 7(f) arrival process as a replayable trace: ten jobs with
+/// exponential inter-arrivals (mean 120 s), varied reducer counts and
+/// shuffle volumes, deterministic per seed.
+pub fn multi_job_default_trace(seed: u64) -> ArrivalTrace {
+    ArrivalTrace::poisson(seed, 10, 120.0).expect("valid Figure 7(f) arrival parameters")
+}
+
+/// The Figure 7(f) multi-job experiment: [`simulation_default`] running
+/// the jobs of [`multi_job_default_trace`] through one FIFO queue.
+pub fn multi_job_default(seed: u64) -> Experiment {
+    simulation_default().arrivals(&multi_job_default_trace(seed))
+}
+
 /// A scaled-down failure-mode experiment for unit tests, examples and
 /// doc tests: 16 nodes / 4 racks, (8,6), 240 blocks, deterministic 10 s
 /// map-only job, 100 Mbps racks (so degraded reads visibly contend).
@@ -213,6 +226,18 @@ mod tests {
         assert_eq!(e.placement, PlacementKind::RoundRobin);
         assert_eq!(e.jobs.len(), 3);
         assert!(e.jobs.windows(2).all(|w| w[0].submit_at < w[1].submit_at));
+    }
+
+    #[test]
+    fn multi_job_default_matches_figure7f() {
+        let e = multi_job_default(3);
+        assert_eq!(e.jobs.len(), 10);
+        assert!(e.jobs.windows(2).all(|w| w[0].submit_at <= w[1].submit_at));
+        assert!(e
+            .jobs
+            .iter()
+            .all(|j| (20..=40).contains(&j.num_reduce_tasks)));
+        assert_eq!(e.jobs, multi_job_default_trace(3).into_jobs());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! boxplot over 30 randomized runs; this module fans those runs out
 //! across threads and summarizes them.
 
-use simkit::stats::{Boxplot, Summary};
+use simkit::stats::{percentile_sorted, Boxplot, StatsError, Summary};
 
 /// Summary of a multi-seed sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,18 +27,31 @@ impl SweepSummary {
         self.samples.iter().sum::<f64>() / self.samples.len() as f64
     }
 
-    /// The sample median.
+    /// The sample median. Total-order sorting keeps this well-defined
+    /// even if a run produced a NaN sample; use [`SweepSummary::summary`]
+    /// when such samples must be rejected instead.
     pub fn median(&self) -> f64 {
-        self.summary().median
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        percentile_sorted(&sorted, 0.50)
     }
 
     /// Five-number summary.
-    pub fn summary(&self) -> Summary {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NonFinite`] if any sample is NaN or
+    /// infinite (the constructor guarantees non-emptiness).
+    pub fn summary(&self) -> Result<Summary, StatsError> {
         Summary::from_samples(&self.samples)
     }
 
     /// Boxplot (1.5·IQR whiskers), the paper's plotted form.
-    pub fn boxplot(&self) -> Boxplot {
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepSummary::summary`].
+    pub fn boxplot(&self) -> Result<Boxplot, StatsError> {
         Boxplot::from_samples(&self.samples)
     }
 
@@ -194,8 +207,8 @@ mod tests {
         let s = SweepSummary::new(vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(s.mean(), 2.5);
         assert_eq!(s.median(), 2.5);
-        assert_eq!(s.summary().count, 4);
-        let b = s.boxplot();
+        assert_eq!(s.summary().unwrap().count, 4);
+        let b = s.boxplot().unwrap();
         assert!(b.outliers.is_empty());
     }
 

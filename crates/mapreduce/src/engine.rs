@@ -459,6 +459,12 @@ impl<'a> EngineBuilder<'a> {
         if self.jobs.is_empty() {
             return Err(BuildError::NoJobs);
         }
+        // Specs may come from replayed (possibly hand-edited) arrival
+        // traces, so field validation happens here, not in the builder.
+        for (i, spec) in self.jobs.iter().enumerate() {
+            spec.validate()
+                .map_err(|msg| BuildError::Config(format!("job {i} ({:?}): {msg}", spec.name)))?;
+        }
         let layout =
             StripeLayout::new(params, num_native).map_err(|e| BuildError::Layout(e.to_string()))?;
         let mut root = SimRng::seed_from_u64(self.seed);
@@ -2857,6 +2863,20 @@ mod churn_tests {
                 .unwrap_err();
             assert!(matches!(err, BuildError::Config(_)), "{config:?}: {err:?}");
         }
+    }
+
+    #[test]
+    fn invalid_job_spec_is_rejected_at_build() {
+        let topo = Topology::homogeneous(2, 4, 2, 1);
+        let mut spec = map_only_spec(10);
+        spec.shuffle_ratio = 2.0; // out of [0, 1], and map-only
+        let err = builder(&topo).job(spec).build().map(|_| ()).unwrap_err();
+        assert!(matches!(err, BuildError::Config(_)), "{err:?}");
+        assert_eq!(
+            err.to_string(),
+            "invalid engine config: job 0 (\"t\"): \
+             shuffle_ratio must be a finite fraction in [0, 1], got 2"
+        );
     }
 
     #[test]

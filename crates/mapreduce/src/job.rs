@@ -114,6 +114,36 @@ impl JobSpec {
     pub fn is_map_only(&self) -> bool {
         self.num_reduce_tasks == 0
     }
+
+    /// Checks the spec for values the engine cannot simulate. Specs can
+    /// arrive from hand-edited arrival traces with any field contents,
+    /// so [`Engine::builder`](crate::engine) rejects invalid ones at
+    /// build time instead of trusting the builder's assertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.map_time_mean.is_zero() {
+            return Err("map_time_mean must be positive".to_string());
+        }
+        if !self.shuffle_ratio.is_finite() || !(0.0..=1.0).contains(&self.shuffle_ratio) {
+            return Err(format!(
+                "shuffle_ratio must be a finite fraction in [0, 1], got {}",
+                self.shuffle_ratio
+            ));
+        }
+        if self.num_reduce_tasks == 0 && self.shuffle_ratio != 0.0 {
+            return Err(format!(
+                "a map-only job (0 reduce tasks) cannot shuffle, got shuffle_ratio {}",
+                self.shuffle_ratio
+            ));
+        }
+        if self.num_reduce_tasks > 0 && self.reduce_time_mean.is_zero() {
+            return Err("reduce_time_mean must be positive when reduce tasks exist".to_string());
+        }
+        Ok(())
+    }
 }
 
 /// Builder for [`JobSpec`].
@@ -234,5 +264,47 @@ mod tests {
     #[should_panic(expected = "bad shuffle ratio")]
     fn rejects_negative_shuffle() {
         let _ = JobSpec::builder("x").shuffle_ratio(-0.1);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_map_only() {
+        assert_eq!(JobSpec::builder("ok").build().validate(), Ok(()));
+        assert_eq!(
+            JobSpec::builder("scan").map_only().build().validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fields() {
+        let mut spec = JobSpec::builder("bad").build();
+        spec.shuffle_ratio = 1.5;
+        assert_eq!(
+            spec.validate().unwrap_err(),
+            "shuffle_ratio must be a finite fraction in [0, 1], got 1.5"
+        );
+        spec.shuffle_ratio = f64::NAN;
+        assert!(spec.validate().is_err());
+
+        let mut spec = JobSpec::builder("bad").build();
+        spec.map_time_mean = SimDuration::ZERO;
+        assert_eq!(
+            spec.validate().unwrap_err(),
+            "map_time_mean must be positive"
+        );
+
+        let mut spec = JobSpec::builder("bad").build();
+        spec.num_reduce_tasks = 0; // still has the 1% default shuffle
+        assert_eq!(
+            spec.validate().unwrap_err(),
+            "a map-only job (0 reduce tasks) cannot shuffle, got shuffle_ratio 0.01"
+        );
+
+        let mut spec = JobSpec::builder("bad").build();
+        spec.reduce_time_mean = SimDuration::ZERO;
+        assert_eq!(
+            spec.validate().unwrap_err(),
+            "reduce_time_mean must be positive when reduce tasks exist"
+        );
     }
 }

@@ -88,6 +88,13 @@ pub struct Aggregator {
     finished: Vec<Finished>,
     jobs_submitted: usize,
     jobs_finished: usize,
+    job_submitted_at: HashMap<u32, SimTime>,
+    job_started_at: HashMap<u32, SimTime>,
+    job_latency_secs: Vec<f64>,
+    job_queue_delay_secs: Vec<f64>,
+    jobs_in_flight: usize,
+    jobs_in_flight_steps: Vec<(f64, usize)>,
+    peak_jobs_in_flight: usize,
     tasks_queued_degraded: usize,
     speculative_launches: usize,
     cancelled_attempts: usize,
@@ -119,6 +126,13 @@ impl Aggregator {
             finished: Vec::new(),
             jobs_submitted: 0,
             jobs_finished: 0,
+            job_submitted_at: HashMap::new(),
+            job_started_at: HashMap::new(),
+            job_latency_secs: Vec::new(),
+            job_queue_delay_secs: Vec::new(),
+            jobs_in_flight: 0,
+            jobs_in_flight_steps: Vec::new(),
+            peak_jobs_in_flight: 0,
             tasks_queued_degraded: 0,
             speculative_launches: 0,
             cancelled_attempts: 0,
@@ -180,6 +194,17 @@ impl Aggregator {
         Some(attempt)
     }
 
+    fn step_jobs_in_flight(&mut self, at: SimTime, delta: isize) {
+        self.jobs_in_flight = self.jobs_in_flight.saturating_add_signed(delta);
+        self.peak_jobs_in_flight = self.peak_jobs_in_flight.max(self.jobs_in_flight);
+        let point = (at.as_secs_f64(), self.jobs_in_flight);
+        // Coalesce same-timestamp changes into the last value.
+        match self.jobs_in_flight_steps.last_mut() {
+            Some(last) if last.0 == point.0 => *last = point,
+            _ => self.jobs_in_flight_steps.push(point),
+        }
+    }
+
     /// Folds the stream into the final report.
     pub fn report(&self) -> AggregateReport {
         let mut fetch_sorted: Vec<f64> = self
@@ -195,6 +220,10 @@ impl Aggregator {
             })
             .collect();
         fetch_sorted.sort_by(f64::total_cmp);
+        let mut latency_sorted = self.job_latency_secs.clone();
+        latency_sorted.sort_by(f64::total_cmp);
+        let mut queue_sorted = self.job_queue_delay_secs.clone();
+        queue_sorted.sort_by(f64::total_cmp);
         let mean = |select: &dyn Fn(&Finished) -> Option<f64>| -> Option<f64> {
             let mut sum = 0.0;
             let mut count = 0usize;
@@ -290,6 +319,16 @@ impl Aggregator {
             degraded_read_p50: percentile_opt(&fetch_sorted, 0.50),
             degraded_read_p95: percentile_opt(&fetch_sorted, 0.95),
             degraded_read_p99: percentile_opt(&fetch_sorted, 0.99),
+            job_latency_secs: self.job_latency_secs.clone(),
+            job_latency_p50: percentile_opt(&latency_sorted, 0.50),
+            job_latency_p95: percentile_opt(&latency_sorted, 0.95),
+            job_latency_p99: percentile_opt(&latency_sorted, 0.99),
+            job_queue_delay_secs: self.job_queue_delay_secs.clone(),
+            job_queue_delay_p50: percentile_opt(&queue_sorted, 0.50),
+            job_queue_delay_p95: percentile_opt(&queue_sorted, 0.95),
+            job_queue_delay_p99: percentile_opt(&queue_sorted, 0.99),
+            jobs_in_flight_steps: self.jobs_in_flight_steps.clone(),
+            peak_jobs_in_flight: self.peak_jobs_in_flight,
             bucket_secs,
             slot_utilization,
             link_utilization,
@@ -307,9 +346,30 @@ impl EventSink for Aggregator {
     fn record(&mut self, at: SimTime, event: &SimEvent) {
         self.advance(at);
         match *event {
-            SimEvent::JobSubmitted { .. } => self.jobs_submitted += 1,
-            SimEvent::JobStarted { .. } => {}
-            SimEvent::JobFinished { .. } => self.jobs_finished += 1,
+            SimEvent::JobSubmitted { job, .. } => {
+                self.jobs_submitted += 1;
+                self.job_submitted_at.entry(job).or_insert(at);
+                self.step_jobs_in_flight(at, 1);
+            }
+            SimEvent::JobStarted { job } => {
+                // First launch only: queueing delay is submit → first start.
+                if let std::collections::hash_map::Entry::Vacant(e) = self.job_started_at.entry(job)
+                {
+                    e.insert(at);
+                    if let Some(&submitted) = self.job_submitted_at.get(&job) {
+                        self.job_queue_delay_secs
+                            .push(at.duration_since(submitted).as_secs_f64());
+                    }
+                }
+            }
+            SimEvent::JobFinished { job } => {
+                self.jobs_finished += 1;
+                if let Some(&submitted) = self.job_submitted_at.get(&job) {
+                    self.job_latency_secs
+                        .push(at.duration_since(submitted).as_secs_f64());
+                }
+                self.step_jobs_in_flight(at, -1);
+            }
             SimEvent::TaskQueued { degraded, .. } => {
                 if degraded {
                     self.tasks_queued_degraded += 1;
@@ -498,6 +558,31 @@ pub struct AggregateReport {
     pub degraded_read_p95: Option<f64>,
     /// 99th-percentile degraded read time, seconds.
     pub degraded_read_p99: Option<f64>,
+    /// Per-job completion latency (submit → finish), seconds, in
+    /// completion order — turnaround as the paper's Figure 7(f) users
+    /// experience it.
+    pub job_latency_secs: Vec<f64>,
+    /// Median job completion latency, seconds.
+    pub job_latency_p50: Option<f64>,
+    /// 95th-percentile job completion latency, seconds.
+    pub job_latency_p95: Option<f64>,
+    /// 99th-percentile job completion latency, seconds.
+    pub job_latency_p99: Option<f64>,
+    /// Per-job queueing delay (submit → first task launch), seconds,
+    /// in first-launch order.
+    pub job_queue_delay_secs: Vec<f64>,
+    /// Median job queueing delay, seconds.
+    pub job_queue_delay_p50: Option<f64>,
+    /// 95th-percentile job queueing delay, seconds.
+    pub job_queue_delay_p95: Option<f64>,
+    /// 99th-percentile job queueing delay, seconds.
+    pub job_queue_delay_p99: Option<f64>,
+    /// Step function of jobs concurrently in flight (submitted but not
+    /// finished): `(timestamp_secs, count after the change)`, with
+    /// same-timestamp changes coalesced.
+    pub jobs_in_flight_steps: Vec<(f64, usize)>,
+    /// Highest number of jobs simultaneously in flight.
+    pub peak_jobs_in_flight: usize,
     /// Interval width used for the utilization series, seconds.
     pub bucket_secs: f64,
     /// Per-interval map-slot utilization in `[0, 1]` (empty when the
@@ -662,6 +747,35 @@ mod tests {
         assert_eq!(l0.mean_bps, 5e8);
         assert_eq!(l0.mean_utilization, Some(0.5));
         assert_eq!(l0.peak_bps, 5e8);
+    }
+
+    #[test]
+    fn per_job_latency_queueing_and_in_flight() {
+        let mut a = agg();
+        let t = SimTime::from_secs;
+        let submit = |job| SimEvent::JobSubmitted {
+            job,
+            maps: 1,
+            reduces: 0,
+        };
+        a.record(t(0), &submit(0));
+        a.record(t(5), &SimEvent::JobStarted { job: 0 });
+        // A relaunch must not add a second queue-delay sample.
+        a.record(t(6), &SimEvent::JobStarted { job: 0 });
+        a.record(t(10), &submit(1));
+        a.record(t(30), &SimEvent::JobStarted { job: 1 });
+        a.record(t(40), &SimEvent::JobFinished { job: 0 });
+        a.record(t(90), &SimEvent::JobFinished { job: 1 });
+        let r = a.report();
+        assert_eq!(r.job_queue_delay_secs, vec![5.0, 20.0]);
+        assert_eq!(r.job_latency_secs, vec![40.0, 80.0]);
+        assert_eq!(r.job_latency_p50, Some(60.0));
+        assert_eq!(r.job_queue_delay_p99, Some(5.0 + (20.0 - 5.0) * 0.99));
+        assert_eq!(r.peak_jobs_in_flight, 2);
+        assert_eq!(
+            r.jobs_in_flight_steps,
+            vec![(0.0, 1), (10.0, 2), (40.0, 1), (90.0, 0)]
+        );
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub mod time;
 
 pub use calendar::{Calendar, EventId};
 pub use rng::SimRng;
-pub use stats::{Boxplot, OnlineStats, Summary};
+pub use stats::{Boxplot, OnlineStats, StatsError, Summary};
 pub use time::{SimDuration, SimTime};

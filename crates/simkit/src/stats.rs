@@ -3,6 +3,49 @@
 
 use std::fmt;
 
+/// Why a batch summary could not be computed.
+///
+/// Samples come from arbitrary trace files and sweep closures, so a
+/// single bad value must surface as an error the caller can report —
+/// not abort the whole program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsError {
+    /// The sample set was empty.
+    Empty,
+    /// A sample was NaN or infinite.
+    NonFinite {
+        /// Index of the offending sample in the input slice.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::Empty => write!(f, "summary of empty sample"),
+            StatsError::NonFinite { index, value } => {
+                write!(f, "sample {index} is not finite ({value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Returns the input unchanged, or the first non-finite sample as an
+/// error.
+fn check_finite(samples: &[f64]) -> Result<&[f64], StatsError> {
+    match samples.iter().position(|x| !x.is_finite()) {
+        Some(index) => Err(StatsError::NonFinite {
+            index,
+            value: samples[index],
+        }),
+        None => Ok(samples),
+    }
+}
+
 /// Online mean/variance/min/max accumulator (Welford's algorithm).
 ///
 /// # Example
@@ -158,15 +201,18 @@ pub struct Summary {
 impl Summary {
     /// Summarizes a sample.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `samples` is empty or contains NaN.
-    pub fn from_samples(samples: &[f64]) -> Summary {
-        assert!(!samples.is_empty(), "summary of empty sample");
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    /// Returns [`StatsError::Empty`] for an empty sample and
+    /// [`StatsError::NonFinite`] if any sample is NaN or infinite.
+    pub fn from_samples(samples: &[f64]) -> Result<Summary, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let mut sorted = check_finite(samples)?.to_vec();
+        sorted.sort_by(f64::total_cmp);
         let stats: OnlineStats = sorted.iter().copied().collect();
-        Summary {
+        Ok(Summary {
             count: sorted.len(),
             mean: stats.mean(),
             std_dev: stats.std_dev(),
@@ -175,7 +221,7 @@ impl Summary {
             median: percentile_sorted(&sorted, 0.50),
             q3: percentile_sorted(&sorted, 0.75),
             max: *sorted.last().expect("non-empty"),
-        }
+        })
     }
 }
 
@@ -213,11 +259,12 @@ pub struct Boxplot {
 impl Boxplot {
     /// Builds a boxplot summary of a sample.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `samples` is empty or contains NaN.
-    pub fn from_samples(samples: &[f64]) -> Boxplot {
-        let s = Summary::from_samples(samples);
+    /// Returns [`StatsError::Empty`] for an empty sample and
+    /// [`StatsError::NonFinite`] if any sample is NaN or infinite.
+    pub fn from_samples(samples: &[f64]) -> Result<Boxplot, StatsError> {
+        let s = Summary::from_samples(samples)?;
         let iqr = s.q3 - s.q1;
         let lo_fence = s.q1 - 1.5 * iqr;
         let hi_fence = s.q3 + 1.5 * iqr;
@@ -232,8 +279,8 @@ impl Boxplot {
                 whisker_high = whisker_high.max(x);
             }
         }
-        outliers.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
-        Boxplot {
+        outliers.sort_by(f64::total_cmp);
+        Ok(Boxplot {
             whisker_low,
             q1: s.q1,
             median: s.median,
@@ -241,7 +288,7 @@ impl Boxplot {
             whisker_high,
             outliers,
             mean: s.mean,
-        }
+        })
     }
 }
 
@@ -345,7 +392,7 @@ mod tests {
 
     #[test]
     fn summary_of_known_sample() {
-        let s = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        let s = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0]).unwrap();
         assert_eq!(s.count, 4);
         assert_eq!(s.mean, 2.5);
         assert_eq!(s.min, 1.0);
@@ -357,7 +404,7 @@ mod tests {
     fn boxplot_flags_outliers() {
         let mut xs: Vec<f64> = (0..20).map(|i| 9.0 + 0.1 * i as f64).collect();
         xs.push(100.0); // way outside the fences
-        let b = Boxplot::from_samples(&xs);
+        let b = Boxplot::from_samples(&xs).unwrap();
         assert_eq!(b.outliers, vec![100.0]);
         assert!(b.whisker_high <= 10.9 + 1e-9);
         // 21 samples: the median is the 11th sorted value, 9.0 + 0.1*10.
@@ -367,23 +414,33 @@ mod tests {
     #[test]
     fn boxplot_no_outliers() {
         let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
-        let b = Boxplot::from_samples(&xs);
+        let b = Boxplot::from_samples(&xs).unwrap();
         assert!(b.outliers.is_empty());
         assert_eq!(b.whisker_low, 0.0);
         assert_eq!(b.whisker_high, 29.0);
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
     fn summary_rejects_empty() {
-        let _ = Summary::from_samples(&[]);
+        let err = Summary::from_samples(&[]).unwrap_err();
+        assert_eq!(err, StatsError::Empty);
+        assert_eq!(err.to_string(), "summary of empty sample");
+    }
+
+    #[test]
+    fn summary_rejects_non_finite() {
+        let err = Summary::from_samples(&[1.0, f64::NAN, 3.0]).unwrap_err();
+        assert!(matches!(err, StatsError::NonFinite { index: 1, .. }));
+        assert_eq!(err.to_string(), "sample 1 is not finite (NaN)");
+        let err = Boxplot::from_samples(&[f64::INFINITY]).unwrap_err();
+        assert_eq!(err.to_string(), "sample 0 is not finite (inf)");
     }
 
     #[test]
     fn display_is_nonempty() {
-        let b = Boxplot::from_samples(&[1.0, 2.0, 3.0]);
+        let b = Boxplot::from_samples(&[1.0, 2.0, 3.0]).unwrap();
         assert!(!b.to_string().is_empty());
-        let s = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0]).unwrap();
         assert!(s.to_string().contains("mean"));
     }
 }

@@ -111,7 +111,7 @@ proptest! {
 
     #[test]
     fn summary_quartiles_are_ordered(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
-        let s = Summary::from_samples(&xs);
+        let s = Summary::from_samples(&xs).unwrap();
         prop_assert!(s.min <= s.q1);
         prop_assert!(s.q1 <= s.median);
         prop_assert!(s.median <= s.q3);
@@ -121,7 +121,7 @@ proptest! {
 
     #[test]
     fn boxplot_partitions_samples(xs in proptest::collection::vec(-1e3f64..1e3, 4..100)) {
-        let b = Boxplot::from_samples(&xs);
+        let b = Boxplot::from_samples(&xs).unwrap();
         // Outliers plus in-fence samples cover everything.
         let in_fence = xs
             .iter()

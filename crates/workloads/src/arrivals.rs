@@ -1,0 +1,381 @@
+//! Arrival traces: recorded multi-job workloads with one submit time and
+//! full job shape per record.
+//!
+//! The paper's multi-job evidence (Figure 7(f)) synthesizes its ten jobs
+//! in-process; an [`ArrivalTrace`] makes the same arrival process a
+//! first-class artifact. A trace can be generated (seeded Poisson via
+//! [`ArrivalTrace::poisson`]), written to disk as JSONL
+//! ([`ArrivalTrace::to_jsonl`]), hand-edited or produced by external
+//! tooling, and replayed into the engine
+//! ([`crate::multi_job_workload`] / `Experiment::arrivals` in `dfs`).
+//!
+//! # On-disk format
+//!
+//! One JSON object per line, one line per job, in submission order:
+//!
+//! ```text
+//! {"submit_us":0,"name":"job0","map_mean_us":20000000,"map_std_us":1000000,
+//!  "reduce_mean_us":30000000,"reduce_std_us":2000000,"reduces":24,"shuffle":0.0123}
+//! ```
+//!
+//! Times are integer microseconds (exact in the parser's `f64` number
+//! type far beyond any simulated horizon) and `shuffle` prints via
+//! `Display` (shortest round-trip form), so a trace round-trips
+//! **bit-for-bit**: replaying a written trace reproduces the generating
+//! run's metrics exactly under the same seed.
+//!
+//! ```
+//! use workloads::ArrivalTrace;
+//!
+//! let trace = ArrivalTrace::poisson(7, 5, 120.0).unwrap();
+//! let back = ArrivalTrace::parse_jsonl(&trace.to_jsonl()).unwrap();
+//! assert_eq!(trace, back);
+//! ```
+
+use std::fmt;
+
+use mapreduce::job::JobSpec;
+use obs::json::Json;
+use simkit::time::{SimDuration, SimTime};
+use simkit::SimRng;
+
+/// Stream-split label for the Poisson generator: traces drawn from seed
+/// `s` are independent of every other consumer of `SimRng(s)`.
+const ARRIVAL_STREAM: u64 = 0xa441_u64;
+
+/// Why a workload could not be generated or an arrival trace could not
+/// be read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A generator was asked for zero jobs.
+    NoJobs,
+    /// The exponential inter-arrival mean was zero, negative, NaN or
+    /// infinite.
+    BadInterarrival(f64),
+    /// A JSONL line failed to parse (1-based line number).
+    Parse {
+        /// 1-based line number in the trace file.
+        line: usize,
+        /// What went wrong on that line.
+        message: String,
+    },
+    /// A parsed record describes a job the engine cannot simulate.
+    Job {
+        /// 0-based record index in submission order.
+        index: usize,
+        /// The field-level problem, as [`JobSpec::validate`] words it.
+        message: String,
+    },
+    /// A record submits earlier than its predecessor; traces are defined
+    /// to be in submission (FIFO) order.
+    UnsortedArrivals {
+        /// 0-based index of the out-of-order record.
+        index: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::NoJobs => write!(f, "no jobs requested"),
+            WorkloadError::BadInterarrival(mean) => {
+                write!(
+                    f,
+                    "inter-arrival mean must be positive and finite, got {mean}"
+                )
+            }
+            WorkloadError::Parse { line, message } => {
+                write!(f, "arrival trace line {line}: {message}")
+            }
+            WorkloadError::Job { index, message } => {
+                write!(f, "arrival record {index}: {message}")
+            }
+            WorkloadError::UnsortedArrivals { index } => {
+                write!(
+                    f,
+                    "arrival record {index} submits earlier than its predecessor"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// A recorded arrival process: jobs in submission order, each with its
+/// submit time and full shape. See the [module docs](self) for the JSONL
+/// on-disk format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    records: Vec<JobSpec>,
+}
+
+impl ArrivalTrace {
+    /// Wraps an explicit job list, validating every spec and that submit
+    /// times are non-decreasing.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::NoJobs`], [`WorkloadError::Job`] or
+    /// [`WorkloadError::UnsortedArrivals`].
+    pub fn from_jobs(jobs: Vec<JobSpec>) -> Result<ArrivalTrace, WorkloadError> {
+        if jobs.is_empty() {
+            return Err(WorkloadError::NoJobs);
+        }
+        for (index, spec) in jobs.iter().enumerate() {
+            spec.validate()
+                .map_err(|message| WorkloadError::Job { index, message })?;
+            if index > 0 && spec.submit_at < jobs[index - 1].submit_at {
+                return Err(WorkloadError::UnsortedArrivals { index });
+            }
+        }
+        Ok(ArrivalTrace { records: jobs })
+    }
+
+    /// Generates `count` jobs with exponential inter-arrival times of the
+    /// given mean in seconds — the Figure 7(f) Poisson process. The
+    /// generator runs on a forked `SimRng` stream, so a trace drawn from
+    /// seed `s` is independent of any other randomness derived from `s`.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::NoJobs`] or [`WorkloadError::BadInterarrival`].
+    pub fn poisson(
+        seed: u64,
+        count: usize,
+        mean_interarrival_secs: f64,
+    ) -> Result<ArrivalTrace, WorkloadError> {
+        let mut rng = SimRng::seed_from_u64(seed).fork(ARRIVAL_STREAM);
+        let jobs = crate::multi_job_workload(&mut rng, count, mean_interarrival_secs)?;
+        Ok(ArrivalTrace { records: jobs })
+    }
+
+    /// The jobs, in submission order.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.records
+    }
+
+    /// Consumes the trace into its job list, ready for
+    /// `Experiment::jobs`.
+    pub fn into_jobs(self) -> Vec<JobSpec> {
+        self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the trace holds no records (unreachable through the
+    /// public constructors, which reject empty traces).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Renders the trace as JSONL (one object per line, trailing
+    /// newline). The rendering is a deterministic byte-for-byte function
+    /// of the records and the exact inverse of
+    /// [`ArrivalTrace::parse_jsonl`].
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for spec in &self.records {
+            let _ = write!(
+                out,
+                "{{\"submit_us\":{},\"name\":\"{}\",\"map_mean_us\":{},\"map_std_us\":{},\
+                 \"reduce_mean_us\":{},\"reduce_std_us\":{},\"reduces\":{},\"shuffle\":{}}}",
+                spec.submit_at.as_micros(),
+                escape(&spec.name),
+                spec.map_time_mean.as_micros(),
+                spec.map_time_std.as_micros(),
+                spec.reduce_time_mean.as_micros(),
+                spec.reduce_time_std.as_micros(),
+                spec.num_reduce_tasks,
+                spec.shuffle_ratio,
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL trace, validating each record and the submission
+    /// order. Blank lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Parse`] with a 1-based line number for malformed
+    /// JSON or missing/ill-typed fields, plus the
+    /// [`ArrivalTrace::from_jobs`] conditions.
+    pub fn parse_jsonl(text: &str) -> Result<ArrivalTrace, WorkloadError> {
+        let mut jobs = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let spec = parse_record(line).map_err(|message| WorkloadError::Parse {
+                line: i + 1,
+                message,
+            })?;
+            jobs.push(spec);
+        }
+        ArrivalTrace::from_jobs(jobs)
+    }
+}
+
+/// Parses one JSONL record into a [`JobSpec`] (field validation happens
+/// later, in [`ArrivalTrace::from_jobs`]).
+fn parse_record(line: &str) -> Result<JobSpec, String> {
+    let v = Json::parse(line).map_err(|e| e.to_string())?;
+    let int = |key: &str| -> Result<u64, String> {
+        let x = v
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field \"{key}\""))?;
+        if !(0.0..=u64::MAX as f64).contains(&x) || x.fract() != 0.0 {
+            return Err(format!("field \"{key}\" is not an unsigned integer"));
+        }
+        Ok(x as u64)
+    };
+    Ok(JobSpec {
+        submit_at: SimTime::from_micros(int("submit_us")?),
+        name: v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing string field \"name\"".to_string())?
+            .to_string(),
+        map_time_mean: SimDuration::from_micros(int("map_mean_us")?),
+        map_time_std: SimDuration::from_micros(int("map_std_us")?),
+        reduce_time_mean: SimDuration::from_micros(int("reduce_mean_us")?),
+        reduce_time_std: SimDuration::from_micros(int("reduce_std_us")?),
+        num_reduce_tasks: usize::try_from(int("reduces")?)
+            .map_err(|_| "field \"reduces\" exceeds usize".to_string())?,
+        shuffle_ratio: v
+            .get("shuffle")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| "missing numeric field \"shuffle\"".to_string())?,
+    })
+}
+
+/// JSON string escaping for job names (quotes, backslashes, control
+/// characters); everything the workspace parser can read back.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_matches_in_process_generator() {
+        let trace = ArrivalTrace::poisson(9, 8, 120.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(9).fork(ARRIVAL_STREAM);
+        let direct = crate::multi_job_workload(&mut rng, 8, 120.0).unwrap();
+        assert_eq!(trace.jobs(), &direct[..]);
+        assert_eq!(trace.len(), 8);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trips_bit_for_bit() {
+        let trace = ArrivalTrace::poisson(1, 10, 120.0).unwrap();
+        let text = trace.to_jsonl();
+        let back = ArrivalTrace::parse_jsonl(&text).unwrap();
+        assert_eq!(back, trace);
+        // Including a second serialization: same bytes.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn names_with_special_characters_round_trip() {
+        let mut spec = JobSpec::builder("we\"ird\\job\n").build();
+        spec.submit_at = SimTime::from_secs(5);
+        let trace = ArrivalTrace::from_jobs(vec![JobSpec::builder("first").build(), spec]).unwrap();
+        let back = ArrivalTrace::parse_jsonl(&trace.to_jsonl()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_mean() {
+        assert_eq!(
+            ArrivalTrace::poisson(1, 0, 120.0).unwrap_err(),
+            WorkloadError::NoJobs
+        );
+        assert_eq!(
+            ArrivalTrace::poisson(1, 3, 0.0).unwrap_err(),
+            WorkloadError::BadInterarrival(0.0)
+        );
+        assert_eq!(
+            ArrivalTrace::parse_jsonl("").unwrap_err(),
+            WorkloadError::NoJobs
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let good = ArrivalTrace::poisson(1, 1, 120.0).unwrap().to_jsonl();
+        let err = ArrivalTrace::parse_jsonl(&format!("{good}not json\n")).unwrap_err();
+        assert!(
+            matches!(err, WorkloadError::Parse { line: 2, .. }),
+            "{err:?}"
+        );
+        let err = ArrivalTrace::parse_jsonl("{\"submit_us\":0}\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "arrival trace line 1: missing string field \"name\""
+        );
+        let err = ArrivalTrace::parse_jsonl("{\"submit_us\":0.5,\"name\":\"x\"}\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "arrival trace line 1: field \"submit_us\" is not an unsigned integer"
+        );
+    }
+
+    #[test]
+    fn invalid_specs_and_order_are_rejected() {
+        let mut bad = JobSpec::builder("bad").build();
+        bad.shuffle_ratio = 7.0;
+        let err = ArrivalTrace::from_jobs(vec![bad]).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "arrival record 0: shuffle_ratio must be a finite fraction in [0, 1], got 7"
+        );
+
+        let late = JobSpec::builder("late")
+            .submit_at(SimTime::from_secs(100))
+            .build();
+        let early = JobSpec::builder("early").build();
+        let err = ArrivalTrace::from_jobs(vec![late, early]).unwrap_err();
+        assert_eq!(err, WorkloadError::UnsortedArrivals { index: 1 });
+        assert_eq!(
+            err.to_string(),
+            "arrival record 1 submits earlier than its predecessor"
+        );
+    }
+
+    #[test]
+    fn hand_edited_overflow_shuffle_is_caught() {
+        // 1e999 overflows to +inf in the parser's f64; JobSpec::validate
+        // must reject it rather than letting it reach the engine.
+        let line = "{\"submit_us\":0,\"name\":\"j\",\"map_mean_us\":20000000,\
+                    \"map_std_us\":0,\"reduce_mean_us\":30000000,\"reduce_std_us\":0,\
+                    \"reduces\":2,\"shuffle\":1e999}\n";
+        let err = ArrivalTrace::parse_jsonl(line).unwrap_err();
+        assert!(
+            matches!(err, WorkloadError::Job { index: 0, .. }),
+            "{err:?}"
+        );
+    }
+}

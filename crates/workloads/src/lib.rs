@@ -10,6 +10,8 @@
 //! * [`multi_job_workload`] — the multi-job arrival process of
 //!   Figure 7(f): `n` jobs with exponential inter-arrival times
 //!   (mean 120 s) and randomized reducer counts / shuffle volumes.
+//! * [`ArrivalTrace`] — the same arrival process as a recorded,
+//!   replayable artifact with a JSONL on-disk format (see [`arrivals`]).
 //!
 //! # Example
 //!
@@ -21,10 +23,14 @@
 //! assert_eq!(job.num_reduce_tasks, 30);
 //!
 //! let mut rng = SimRng::seed_from_u64(1);
-//! let jobs = multi_job_workload(&mut rng, 10, 120.0);
+//! let jobs = multi_job_workload(&mut rng, 10, 120.0).unwrap();
 //! assert_eq!(jobs.len(), 10);
 //! assert!(jobs.windows(2).all(|w| w[0].submit_at <= w[1].submit_at));
 //! ```
+
+pub mod arrivals;
+
+pub use arrivals::{ArrivalTrace, WorkloadError};
 
 use mapreduce::job::JobSpec;
 use simkit::time::{SimDuration, SimTime};
@@ -103,19 +109,22 @@ impl TestbedWorkload {
 /// (20–40) and shuffle ratio (1%–10%), cycling the base task-time
 /// distributions of [`simulation_default_job`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `count` is zero or the mean is not positive.
+/// Returns [`WorkloadError::NoJobs`] if `count` is zero and
+/// [`WorkloadError::BadInterarrival`] if the mean is not positive and
+/// finite — both reachable from user input via `simulate --poisson`.
 pub fn multi_job_workload(
     rng: &mut SimRng,
     count: usize,
     mean_interarrival_secs: f64,
-) -> Vec<JobSpec> {
-    assert!(count > 0, "no jobs requested");
-    assert!(
-        mean_interarrival_secs > 0.0,
-        "inter-arrival mean must be positive"
-    );
+) -> Result<Vec<JobSpec>, WorkloadError> {
+    if count == 0 {
+        return Err(WorkloadError::NoJobs);
+    }
+    if !(mean_interarrival_secs > 0.0 && mean_interarrival_secs.is_finite()) {
+        return Err(WorkloadError::BadInterarrival(mean_interarrival_secs));
+    }
     let mut jobs = Vec::with_capacity(count);
     let mut at = SimTime::ZERO;
     for i in 0..count {
@@ -132,7 +141,7 @@ pub fn multi_job_workload(
                 .build(),
         );
     }
-    jobs
+    Ok(jobs)
 }
 
 #[cfg(test)]
@@ -178,7 +187,7 @@ mod tests {
     #[test]
     fn multi_job_interarrivals_are_exponential_ish() {
         let mut rng = SimRng::seed_from_u64(42);
-        let jobs = multi_job_workload(&mut rng, 500, 120.0);
+        let jobs = multi_job_workload(&mut rng, 500, 120.0).unwrap();
         assert_eq!(jobs[0].submit_at, SimTime::ZERO);
         let gaps: Vec<f64> = jobs
             .windows(2)
@@ -192,7 +201,7 @@ mod tests {
     #[test]
     fn multi_job_varies_parameters() {
         let mut rng = SimRng::seed_from_u64(7);
-        let jobs = multi_job_workload(&mut rng, 10, 120.0);
+        let jobs = multi_job_workload(&mut rng, 10, 120.0).unwrap();
         let reducers: std::collections::HashSet<usize> =
             jobs.iter().map(|j| j.num_reduce_tasks).collect();
         assert!(reducers.len() > 1, "reducer counts should vary");
@@ -204,14 +213,28 @@ mod tests {
 
     #[test]
     fn multi_job_deterministic_per_seed() {
-        let a = multi_job_workload(&mut SimRng::seed_from_u64(1), 10, 120.0);
-        let b = multi_job_workload(&mut SimRng::seed_from_u64(1), 10, 120.0);
+        let a = multi_job_workload(&mut SimRng::seed_from_u64(1), 10, 120.0).unwrap();
+        let b = multi_job_workload(&mut SimRng::seed_from_u64(1), 10, 120.0).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
-    #[should_panic(expected = "no jobs requested")]
     fn rejects_zero_jobs() {
-        let _ = multi_job_workload(&mut SimRng::seed_from_u64(0), 0, 120.0);
+        let err = multi_job_workload(&mut SimRng::seed_from_u64(0), 0, 120.0).unwrap_err();
+        assert_eq!(err, WorkloadError::NoJobs);
+        assert_eq!(err.to_string(), "no jobs requested");
+    }
+
+    #[test]
+    fn rejects_bad_interarrival_mean() {
+        for mean in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let err = multi_job_workload(&mut SimRng::seed_from_u64(0), 3, mean).unwrap_err();
+            assert!(matches!(err, WorkloadError::BadInterarrival(_)), "{mean}");
+        }
+        let err = multi_job_workload(&mut SimRng::seed_from_u64(0), 3, -1.0).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "inter-arrival mean must be positive and finite, got -1"
+        );
     }
 }

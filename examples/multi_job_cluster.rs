@@ -19,7 +19,7 @@ fn main() {
     let mut exp = presets::simulation_default();
     exp.num_blocks = 720;
     let mut rng = SimRng::seed_from_u64(99);
-    exp.jobs = multi_job_workload(&mut rng, 5, 120.0);
+    exp.jobs = multi_job_workload(&mut rng, 5, 120.0).expect("valid workload parameters");
 
     let seed = 3;
     println!("failure: {}", exp.failure_for_seed(seed));

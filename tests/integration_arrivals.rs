@@ -1,0 +1,105 @@
+//! Arrival-trace integration: JSONL round-trip, bit-identical replay of
+//! a generated Poisson workload, and per-job latency metrics derived
+//! from a traced multi-job run.
+
+use proptest::prelude::*;
+
+use dfs::experiment::Policy;
+use dfs::obs::aggregate::Aggregator;
+use dfs::obs::jsonl::{parse_line, JsonlSink};
+use dfs::obs::schema::{validate_jsonl, TraceSchema, TRACE_SCHEMA_V1};
+use dfs::obs::sink::EventSink;
+use dfs::presets;
+use dfs::workloads::{ArrivalTrace, WorkloadError};
+
+/// The Figure 7(f) preset scaled for debug-mode test runs: the same
+/// 40-node cluster (the generated reducer counts need its 40 reduce
+/// slots), but fewer blocks per job.
+fn scaled_fig7f(trace: &ArrivalTrace) -> dfs::Experiment {
+    let mut exp = presets::simulation_default().arrivals(trace);
+    exp.num_blocks = 240;
+    exp
+}
+
+proptest! {
+    #[test]
+    fn poisson_traces_round_trip_through_jsonl(
+        seed in 0u64..1_000_000_000,
+        count in 1usize..40,
+        mean in 1.0f64..600.0,
+    ) {
+        let trace = ArrivalTrace::poisson(seed, count, mean).expect("valid parameters");
+        let replayed = ArrivalTrace::parse_jsonl(&trace.to_jsonl()).expect("round trip");
+        prop_assert_eq!(&replayed, &trace);
+        // Re-emitting is byte-identical: the on-disk format is canonical.
+        prop_assert_eq!(replayed.to_jsonl(), trace.to_jsonl());
+    }
+}
+
+#[test]
+fn replaying_emitted_poisson_trace_is_bit_identical() {
+    let trace = ArrivalTrace::poisson(11, 4, 120.0).expect("valid poisson parameters");
+    let replayed = ArrivalTrace::parse_jsonl(&trace.to_jsonl()).expect("emitted trace parses");
+    assert_eq!(replayed.jobs(), trace.jobs());
+    let a = scaled_fig7f(&trace)
+        .run(Policy::EnhancedDegradedFirst, 5)
+        .expect("generator run");
+    let b = scaled_fig7f(&replayed)
+        .run(Policy::EnhancedDegradedFirst, 5)
+        .expect("replay run");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn traced_multi_job_run_reports_per_job_latency() {
+    let trace = ArrivalTrace::poisson(2, 3, 120.0).expect("valid poisson parameters");
+    let exp = scaled_fig7f(&trace);
+    let mut buf = Vec::new();
+    {
+        let mut sink = JsonlSink::new(&mut buf);
+        exp.run_traced(Policy::EnhancedDegradedFirst, 1, &mut sink)
+            .expect("traced run");
+        sink.finish().expect("flush");
+    }
+    let text = String::from_utf8(buf).expect("utf8 trace");
+    let schema = TraceSchema::parse(TRACE_SCHEMA_V1).expect("schema");
+    assert!(validate_jsonl(&schema, &text).expect("trace validates against v1") > 0);
+
+    let mut agg = Aggregator::new(exp.aggregator_config(1));
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let (at, event) = parse_line(line).expect("parse");
+        agg.record(at, &event);
+    }
+    let r = agg.report();
+    assert_eq!(r.jobs_finished, 3);
+    assert_eq!(r.job_latency_secs.len(), 3);
+    assert_eq!(r.job_queue_delay_secs.len(), 3);
+    for (latency, delay) in [
+        (r.job_latency_p50, r.job_queue_delay_p50),
+        (r.job_latency_p95, r.job_queue_delay_p95),
+        (r.job_latency_p99, r.job_queue_delay_p99),
+    ] {
+        // Completion latency includes queueing, so each percentile
+        // dominates its queueing counterpart.
+        assert!(latency.expect("latency percentile") >= delay.expect("delay percentile"));
+    }
+    assert!((1..=3).contains(&r.peak_jobs_in_flight));
+    let &(last_t, last_in_flight) = r.jobs_in_flight_steps.last().expect("steps");
+    assert_eq!(last_in_flight, 0, "all jobs drained");
+    assert!(last_t <= r.makespan_secs);
+}
+
+#[test]
+fn hand_edited_traces_fail_with_typed_errors() {
+    let err = ArrivalTrace::parse_jsonl("{\"submit_us\":0}\n").unwrap_err();
+    assert!(matches!(err, WorkloadError::Parse { line: 1, .. }), "{err}");
+
+    let trace = ArrivalTrace::poisson(1, 2, 60.0).expect("valid poisson parameters");
+    let mut swapped = trace.into_jobs();
+    swapped.reverse();
+    let err = ArrivalTrace::from_jobs(swapped).unwrap_err();
+    assert!(
+        matches!(err, WorkloadError::UnsortedArrivals { index: 1 }),
+        "{err}"
+    );
+}

@@ -9,7 +9,7 @@ use dfs::workloads::multi_job_workload;
 fn multi_job_experiment(jobs: usize) -> dfs::Experiment {
     let mut exp = presets::small_default();
     let mut rng = SimRng::seed_from_u64(7);
-    let mut specs = multi_job_workload(&mut rng, jobs, 60.0);
+    let mut specs = multi_job_workload(&mut rng, jobs, 60.0).expect("valid workload parameters");
     for spec in &mut specs {
         // Scale the jobs to the small cluster: shorter tasks, fewer
         // reducers than the 16 reduce slots available.
