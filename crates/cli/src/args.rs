@@ -74,12 +74,11 @@ impl Args {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(ArgError::UnexpectedPositional(arg));
             };
-            match iter.peek() {
-                Some(next) if !next.starts_with("--") => {
-                    let value = iter.next().expect("peeked");
+            match iter.next_if(|next| !next.starts_with("--")) {
+                Some(value) => {
                     args.options.insert(key.to_string(), value);
                 }
-                _ => args.flags.push(key.to_string()),
+                None => args.flags.push(key.to_string()),
             }
         }
         Ok(args)

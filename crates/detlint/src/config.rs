@@ -1,0 +1,86 @@
+//! Rule scoping: which crates each rule applies to and which files may
+//! hold `unsafe` code. The defaults encode this workspace's policy
+//! (DESIGN.md §9); [`lint_source`](crate::lint_source) takes the
+//! config explicitly so fixtures and future callers can narrow or
+//! widen scope without editing the engine.
+
+/// Per-rule crate scoping and allowlists.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Crates whose event ordering feeds golden digests: D1 (no
+    /// unordered hash-collection use) applies here. `obs` is included
+    /// because the aggregator and exporters derive report rows that
+    /// goldens compare byte-for-byte.
+    pub determinism_crates: Vec<String>,
+    /// Crates exempt from D2 (wall-clock / ambient entropy). Only
+    /// `bench` measures real time by design.
+    pub d2_exempt_crates: Vec<String>,
+    /// Crates whose non-test code is reachable from user input and
+    /// must not panic: P1 applies here.
+    pub panic_crates: Vec<String>,
+    /// Repo-relative files allowed to contain `unsafe` (U1). Each
+    /// entry is an explicit, reviewed exception.
+    pub unsafe_allow_files: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            determinism_crates: [
+                "simkit",
+                "netsim",
+                "mapreduce",
+                "scheduler",
+                "cluster",
+                "repair",
+                "erasure",
+                "ecstore",
+                "obs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            d2_exempt_crates: vec!["bench".to_string()],
+            panic_crates: ["cli", "workloads", "obs"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            // SIMD kernels probe/dispatch with raw intrinsics; the
+            // scalar reference path and proptests pin their output.
+            unsafe_allow_files: vec!["crates/erasure/src/gf256.rs".to_string()],
+        }
+    }
+}
+
+/// Where a file sits in the workspace, as far as rule scoping cares.
+#[derive(Clone, Debug)]
+pub struct FileContext {
+    /// Repo-relative path (forward slashes), e.g.
+    /// `crates/scheduler/src/lib.rs`.
+    pub path: String,
+    /// The crate the file belongs to (`scheduler`, `cli`, ...).
+    pub crate_name: String,
+    /// True for integration tests and benches (`crates/*/tests/`,
+    /// `crates/*/benches/`): D1 and P1 do not apply there.
+    pub in_tests_dir: bool,
+}
+
+impl FileContext {
+    /// Builds a context from a repo-relative path, deriving the crate
+    /// name from the `crates/<name>/` component.
+    pub fn from_repo_path(path: &str) -> FileContext {
+        let parts: Vec<&str> = path.split('/').collect();
+        let crate_name = match parts.as_slice() {
+            ["crates", name, ..] => (*name).to_string(),
+            _ => String::new(),
+        };
+        let in_tests_dir = parts
+            .iter()
+            .any(|p| *p == "tests" || *p == "benches" || *p == "examples");
+        FileContext {
+            path: path.to_string(),
+            crate_name,
+            in_tests_dir,
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! A comment/string/char-literal-aware lexer for Rust source.
+//!
+//! This is not a full Rust lexer: it only needs to be precise about
+//! *what is code and what is not* so the rule engine never matches
+//! pattern text inside comments, string literals (including raw and
+//! byte strings), or char literals. Everything that *is* code comes
+//! out as a flat token stream of identifiers, literals, lifetimes and
+//! single-character punctuation, each tagged with its 1-based line and
+//! byte column.
+//!
+//! The lexer never panics, even on malformed input (unterminated
+//! strings or comments simply run to end of file), and it preserves
+//! line accounting exactly: [`strip`] blanks out non-code bytes while
+//! keeping every newline, so offsets and line numbers in the stripped
+//! text match the original. A proptest pins both properties.
+
+/// What a token is, as far as the rule engine cares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (one token per literal, suffix included).
+    Number,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// A string, raw string, byte string or char literal. The token
+    /// text is a placeholder — the contents are deliberately dropped.
+    Literal,
+    /// A single punctuation byte (`.`, `(`, `{`, `;`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token text; for [`TokKind::Literal`] this is `"\"\""` regardless
+    /// of the original contents.
+    pub text: String,
+    /// Kind tag.
+    pub kind: TokKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column of the first byte.
+    pub col: u32,
+}
+
+/// A comment (line or block) with its starting position. Directive
+/// parsing (`detlint::allow(...)`) runs over these.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text including the `//` / `/* */` delimiters.
+    pub text: String,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based line of the last byte (block comments span lines).
+    pub end_line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining line/col.
+    fn bump(&mut self) {
+        if let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// If a string literal starts at the cursor — `"`, `r"`, `r#"`, `b"`,
+/// `br#"`, `c"`, ... — returns `(prefix_len, is_raw)` where
+/// `prefix_len` counts the letters before the quote/hashes. Plain
+/// identifiers that merely begin with r/b/c return `None`.
+fn string_start(c: &Cursor<'_>) -> Option<(usize, bool)> {
+    let b0 = c.peek()?;
+    if b0 == b'"' {
+        return Some((0, false));
+    }
+    let is_prefix_letter = |b: u8| matches!(b, b'r' | b'b' | b'c');
+    if !is_prefix_letter(b0) {
+        return None;
+    }
+    let mut i = 1;
+    if c.peek_at(1)
+        .is_some_and(|b1| is_prefix_letter(b1) && b1 != b0)
+    {
+        i = 2;
+    }
+    let has_r = (0..i).any(|k| c.peek_at(k) == Some(b'r'));
+    if has_r {
+        // Raw forms allow `#`s between the prefix and the quote.
+        let mut j = i;
+        while c.peek_at(j) == Some(b'#') {
+            j += 1;
+        }
+        if c.peek_at(j) == Some(b'"') {
+            return Some((i, true));
+        }
+        return None;
+    }
+    if c.peek_at(i) == Some(b'"') {
+        return Some((i, false));
+    }
+    None
+}
+
+/// Lexes `src`. Never panics; malformed literals run to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(b) = c.peek() {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                let start = c.pos;
+                while let Some(b) = c.peek() {
+                    if b == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned(),
+                    line,
+                    end_line: line,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                let start = c.pos;
+                c.bump_n(2);
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (None, _) => break,
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump_n(2);
+                        }
+                        _ => c.bump(),
+                    }
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned(),
+                    line,
+                    end_line: c.line,
+                });
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'a` / `'static` are
+                // lifetimes: an identifier after the quote that is NOT
+                // closed by another quote.
+                let after = c.peek_at(1);
+                let is_lifetime = match after {
+                    Some(a) if is_ident_start(a) && a != b'\\' => {
+                        // Scan the identifier; lifetime iff no closing quote.
+                        let mut k = 2;
+                        while c.peek_at(k).is_some_and(is_ident_continue) {
+                            k += 1;
+                        }
+                        c.peek_at(k) != Some(b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    c.bump(); // '
+                    let mut text = String::from("'");
+                    while let Some(b) = c.peek() {
+                        if !is_ident_continue(b) {
+                            break;
+                        }
+                        text.push(b as char);
+                        c.bump();
+                    }
+                    out.toks.push(Tok {
+                        text,
+                        kind: TokKind::Lifetime,
+                        line,
+                        col,
+                    });
+                } else {
+                    // Char literal: 'x', '\n', '\'', '\u{1F600}'.
+                    c.bump(); // opening '
+                    loop {
+                        match c.peek() {
+                            None => break,
+                            Some(b'\\') => {
+                                c.bump();
+                                c.bump();
+                            }
+                            Some(b'\'') => {
+                                c.bump();
+                                break;
+                            }
+                            _ => c.bump(),
+                        }
+                    }
+                    out.toks.push(Tok {
+                        text: "''".to_string(),
+                        kind: TokKind::Literal,
+                        line,
+                        col,
+                    });
+                }
+            }
+            _ if string_start(&c).is_some() => {
+                // Only reached when a quote genuinely follows the
+                // prefix (plain identifiers starting with r/b/c fall
+                // through to the ident arm below because string_start
+                // returns None for them).
+                let (prefix, raw) = string_start(&c).unwrap_or((0, false));
+                c.bump_n(prefix);
+                let mut hashes = 0usize;
+                while c.peek() == Some(b'#') {
+                    hashes += 1;
+                    c.bump();
+                }
+                c.bump(); // opening quote
+                if raw {
+                    // Scan for `"` followed by `hashes` hashes.
+                    'outer: while let Some(b) = c.peek() {
+                        if b == b'"' {
+                            let mut ok = true;
+                            for k in 0..hashes {
+                                if c.peek_at(1 + k) != Some(b'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                c.bump_n(1 + hashes);
+                                break 'outer;
+                            }
+                        }
+                        c.bump();
+                    }
+                } else {
+                    while let Some(b) = c.peek() {
+                        match b {
+                            b'\\' => {
+                                c.bump();
+                                c.bump();
+                            }
+                            b'"' => {
+                                c.bump();
+                                break;
+                            }
+                            _ => c.bump(),
+                        }
+                    }
+                }
+                out.toks.push(Tok {
+                    text: "\"\"".to_string(),
+                    kind: TokKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                out.toks.push(Tok {
+                    text: String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned(),
+                    kind: TokKind::Ident,
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let start = c.pos;
+                c.bump();
+                loop {
+                    match c.peek() {
+                        Some(x) if x.is_ascii_alphanumeric() || x == b'_' => c.bump(),
+                        // A fraction only if a digit follows the dot,
+                        // so `0..n` stays three tokens.
+                        Some(b'.') if c.peek_at(1).is_some_and(|d| d.is_ascii_digit()) => {
+                            c.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                out.toks.push(Tok {
+                    text: String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned(),
+                    kind: TokKind::Number,
+                    line,
+                    col,
+                });
+            }
+            b' ' | b'\t' | b'\r' | b'\n' => c.bump(),
+            _ => {
+                c.bump();
+                out.toks.push(Tok {
+                    text: (b as char).to_string(),
+                    kind: TokKind::Punct,
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Returns `src` with every comment byte and every literal-interior
+/// byte replaced by a space, newlines preserved. The result has
+/// exactly the same length in bytes and the same number of lines as
+/// the input — the round-trip property the proptest pins.
+pub fn strip(src: &str) -> String {
+    // Re-lex and blank everything that is not a code token.
+    let mut out: Vec<u8> = src
+        .as_bytes()
+        .iter()
+        .map(|&b| if b == b'\n' { b'\n' } else { b' ' })
+        .collect();
+    let lexed = lex(src);
+    // Paint code tokens back in by position.
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(
+            src.bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'\n')
+                .map(|(i, _)| i + 1),
+        )
+        .collect();
+    for t in &lexed.toks {
+        if t.kind == TokKind::Literal {
+            continue; // literal contents stay blanked
+        }
+        let Some(&ls) = line_starts.get(t.line as usize - 1) else {
+            continue;
+        };
+        let start = ls + (t.col as usize - 1);
+        let end = (start + t.text.len()).min(out.len());
+        if start <= end && end <= src.len() {
+            out[start..end].copy_from_slice(&src.as_bytes()[start..end]);
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn skips_comments_and_strings() {
+        let src = r##"
+// HashMap in a comment
+/* unwrap() in /* nested */ block */
+let s = "HashMap.iter() unwrap()";
+let r = r#"thread_rng "quoted" inside"#;
+let c = 'x';
+let l: &'static str = "y";
+real_ident
+"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").toks;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Literal));
+    }
+
+    #[test]
+    fn char_literal_with_quote_escape() {
+        let toks = lex(r"let q = '\''; let n = '\n'; after").toks;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            2
+        );
+        assert!(toks.iter().any(|t| t.text == "after"));
+    }
+
+    #[test]
+    fn comment_lines_recorded() {
+        let src = "a\n// one\nb\n/* two\nlines */\nc\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.comments[1].line, 4);
+        assert_eq!(lexed.comments[1].end_line, 5);
+    }
+
+    #[test]
+    fn strip_preserves_length_and_lines() {
+        let src = "let a = \"x\\\"y\"; // c\nlet b = 1;\n";
+        let s = strip(src);
+        assert_eq!(s.len(), src.len());
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert!(s.contains("let a"));
+        assert!(!s.contains("// c"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..n { }").toks;
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"n"));
+        assert_eq!(texts.iter().filter(|&&t| t == ".").count(), 2);
+    }
+
+    #[test]
+    fn raw_ident_prefix_letters_still_lex_as_idents() {
+        let ids = idents("let rate = 1; let bytes = 2; let cost = rate;");
+        assert!(ids.contains(&"rate".to_string()));
+        assert!(ids.contains(&"bytes".to_string()));
+        assert!(ids.contains(&"cost".to_string()));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'", "b\"x"] {
+            let _ = lex(src);
+            let s = strip(src);
+            assert_eq!(s.len(), src.len());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! `detlint` — workspace determinism and panic-hygiene static
+//! analysis.
+//!
+//! Every figure and golden in this reproduction rests on bit-identical
+//! replay; this crate enforces the *sources* of that determinism
+//! statically instead of waiting for a golden digest to break. It is
+//! dependency-free by policy (no `syn`; see the vendored-stand-in note
+//! in the workspace `Cargo.toml`): a small comment/string/char-aware
+//! lexer ([`lexer`]) feeds a token-pattern rule engine ([`rules`]).
+//!
+//! Rules (full table in DESIGN.md §9):
+//!
+//! - **D1** — no `HashMap`/`HashSet` in determinism-critical crates
+//!   unless the site is annotated or the iteration is ordered.
+//! - **D2** — no wall-clock reads or ambient entropy outside `bench`.
+//! - **D3** — no float sorts through `partial_cmp` (use `total_cmp`).
+//! - **P1** — no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`
+//!   in non-test code of user-input-reachable crates.
+//! - **U1** — no `unsafe` outside a reviewed file allowlist.
+//!
+//! Suppression is per-site and must carry a reason:
+//!
+//! ```text
+//! // detlint::allow(D1, reason = "lookup-only index, never iterated")
+//! ```
+//!
+//! Two frontends gate the workspace: `cargo run -p detlint -- check`
+//! (CI job, non-zero exit on findings) and
+//! `tests/integration_detlint.rs`, which runs [`check_workspace`]
+//! in-process so plain `cargo test` catches regressions too.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::{Config, FileContext};
+pub use report::{render_human, render_json};
+pub use rules::{lint_source, Finding, RuleId};
+
+use std::path::{Path, PathBuf};
+
+/// Lints every `.rs` file under `<root>/crates/`, in deterministic
+/// (path-sorted) order. Skips `target/` and any `fixtures/` directory
+/// (fixture files violate rules on purpose).
+///
+/// # Errors
+///
+/// Returns the underlying [`std::io::Error`] if the tree cannot be
+/// read.
+pub fn check_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let src = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let ctx = FileContext::from_repo_path(&rel);
+        findings.extend(lint_source(&src, &ctx, cfg));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_flags_hash_decl_and_iteration_in_det_crate() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S) -> Vec<u32> { s.m.keys().copied().collect() }\n";
+        let ctx = FileContext::from_repo_path("crates/scheduler/src/lib.rs");
+        let findings = lint_source(src, &ctx, &Config::default());
+        assert!(findings.iter().any(|f| f.rule == RuleId::D1 && f.line == 1));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RuleId::D1 && f.line == 2 && f.message.contains("keys")));
+    }
+
+    #[test]
+    fn d1_ignores_non_determinism_crates_and_tests() {
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); for _ in m.keys() {} }\n";
+        let cli = FileContext::from_repo_path("crates/cli/src/commands.rs");
+        assert!(lint_source(src, &cli, &Config::default()).is_empty());
+        let test_file = FileContext::from_repo_path("crates/scheduler/tests/proptests.rs");
+        assert!(lint_source(src, &test_file, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn d1_sorted_in_same_statement_is_ok() {
+        let src = "fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+                   // detlint::allow(D1, reason = \"exercise the iteration escape\")\n\
+                   let v: std::collections::BTreeSet<u32> = m.keys().copied().collect();\n\
+                   v.into_iter().collect()\n}\n";
+        let ctx = FileContext::from_repo_path("crates/scheduler/src/lib.rs");
+        let findings = lint_source(src, &ctx, &Config::default());
+        // Declaration on line 1 still flags; the iteration on line 3 is
+        // escaped by the BTreeSet collect (the allow covers the decl
+        // check on that line instead).
+        assert!(findings.iter().all(|f| f.line == 1), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "// detlint::allow(D2, reason = \"probe only, value unused\")\n\
+                   fn f() { let _ = Instant::now(); }\n";
+        let ctx = FileContext::from_repo_path("crates/cluster/src/lib.rs");
+        assert!(lint_source(src, &ctx, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "// detlint::allow(D2)\nfn f() { let _ = Instant::now(); }\n";
+        let ctx = FileContext::from_repo_path("crates/cluster/src/lib.rs");
+        let findings = lint_source(src, &ctx, &Config::default());
+        assert!(findings.iter().any(|f| f.rule == RuleId::A0));
+        assert!(findings.iter().any(|f| f.rule == RuleId::D2));
+    }
+
+    #[test]
+    fn workspace_check_walks_sorted_and_skips_fixtures() {
+        // Smoke: run on this repo's own tree. The full zero-findings
+        // assertion lives in tests/integration_detlint.rs; here we only
+        // check the walker terminates and output order is by path.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = check_workspace(&root, &Config::default()).expect("walk");
+        let paths: Vec<&String> = findings.iter().map(|f| &f.path).collect();
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+        assert!(findings.iter().all(|f| !f.path.contains("fixtures/")));
+    }
+}

@@ -1,0 +1,79 @@
+//! CLI frontend: `cargo run -p detlint -- check [--format human|json]
+//! [--root PATH]`. Exits 0 on a clean tree, 1 when findings exist,
+//! 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use detlint::{check_workspace, render_human, render_json, Config};
+
+const USAGE: &str = "usage: detlint check [--format human|json] [--root PATH]
+
+Runs the workspace determinism & panic-hygiene rules (D1, D2, D3, P1,
+U1; see DESIGN.md §9) over every .rs file under <root>/crates/.
+Exit status: 0 clean, 1 findings, 2 usage/I-O error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("detlint: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some("--help") | Some("-h") | None => return Err("expected the `check` subcommand".into()),
+        Some(other) => return Err(format!("unknown subcommand `{other}`")),
+    }
+    let mut format = "human".to_string();
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value")?;
+                if value != "human" && value != "json" {
+                    return Err(format!("--format must be human or json, got `{value}`"));
+                }
+                format = value.clone();
+            }
+            "--root" => {
+                root = Some(PathBuf::from(
+                    it.next().ok_or("--root needs a value")?.clone(),
+                ));
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    // When run via `cargo run -p detlint`, cwd is the workspace root;
+    // fall back to the crate's grandparent for direct invocations.
+    let root = root.unwrap_or_else(|| {
+        let cwd = PathBuf::from(".");
+        if cwd.join("crates").is_dir() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        }
+    });
+    let findings =
+        check_workspace(&root, &Config::default()).map_err(|e| format!("reading tree: {e}"))?;
+    let rendered = if format == "json" {
+        render_json(&findings)
+    } else {
+        render_human(&findings)
+    };
+    print!("{rendered}");
+    Ok(findings.is_empty())
+}

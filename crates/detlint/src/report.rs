@@ -1,0 +1,115 @@
+//! Human and JSON renderers for findings. The JSON form uses a fixed
+//! field order and the same hand-rolled escaping conventions as
+//! `obs::jsonl`, so goldens compare byte-for-byte.
+
+use crate::rules::Finding;
+
+/// Renders findings for terminals: `path:line:col: RULE: message`
+/// with the offending snippet and a fix hint, then a summary line.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}:{}: {}: {}\n",
+            f.path,
+            f.line,
+            f.col,
+            f.rule.as_str(),
+            f.message
+        ));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("    | {}\n", f.snippet));
+        }
+        out.push_str(&format!("    = help: {}\n", f.hint));
+    }
+    if findings.is_empty() {
+        out.push_str("detlint: no findings\n");
+    } else {
+        out.push_str(&format!(
+            "detlint: {} finding{}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Renders findings as a JSON array with fixed field order.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{},\"snippet\":{},\"hint\":{}}}",
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(f.rule.as_str()),
+            json_str(&f.message),
+            json_str(&f.snippet),
+            json_str(&f.hint),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, RuleId};
+
+    fn finding() -> Finding {
+        Finding {
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            rule: RuleId::D1,
+            message: "HashMap in determinism-critical crate `x`".into(),
+            snippet: "let m: HashMap<u32, \"q\"> = ..;".into(),
+            hint: "use BTreeMap".into(),
+        }
+    }
+
+    #[test]
+    fn human_format_lists_and_counts() {
+        let text = render_human(&[finding()]);
+        assert!(text.contains("crates/x/src/lib.rs:3:7: D1:"));
+        assert!(text.contains("= help: use BTreeMap"));
+        assert!(text.ends_with("detlint: 1 finding\n"));
+        assert_eq!(render_human(&[]), "detlint: no findings\n");
+    }
+
+    #[test]
+    fn json_is_parseable_and_escaped() {
+        let text = render_json(&[finding()]);
+        assert!(text.contains("\\\"q\\\""));
+        assert!(text.contains("\"rule\":\"D1\""));
+        assert!(text.starts_with("[\n"));
+        assert!(text.ends_with("]\n"));
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

@@ -1,0 +1,675 @@
+//! The rule engine: runs the determinism and panic-hygiene rules over
+//! a lexed token stream.
+//!
+//! | Rule | What it rejects |
+//! |------|-----------------|
+//! | D1   | `HashMap`/`HashSet` use (declaration or iteration) in determinism-critical crates, unless the iteration is sorted/`BTree`-collected in the same statement |
+//! | D2   | Wall-clock reads (`Instant`, `SystemTime`, `UNIX_EPOCH`) and ambient entropy (`thread_rng`, `from_entropy`, `OsRng`, `getrandom`) outside `bench` |
+//! | D3   | Float comparator panics: `partial_cmp` inside `sort_by`/`max_by`/`min_by`-style calls (use `total_cmp`) |
+//! | P1   | `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in non-test code of user-input-reachable crates |
+//! | U1   | `unsafe` outside the reviewed allowlist |
+//! | A0   | Malformed suppressions: `detlint::allow` without a reason, or with an unknown rule id |
+//!
+//! Suppression is per-site: `// detlint::allow(D1, reason = "...")` on
+//! the offending line (trailing) or on the line directly above the
+//! offending code. The reason string is mandatory and must be
+//! non-empty — an allow without one is itself a finding (A0).
+
+use crate::config::{Config, FileContext};
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+
+/// Identifies a rule in reports and `detlint::allow` directives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Unordered hash-collection use in a determinism-critical crate.
+    D1,
+    /// Wall-clock or ambient-entropy access.
+    D2,
+    /// Float sort through `partial_cmp`.
+    D3,
+    /// Panic in user-input-reachable non-test code.
+    P1,
+    /// `unsafe` outside the allowlist.
+    U1,
+    /// Malformed `detlint::allow` directive.
+    A0,
+}
+
+impl RuleId {
+    /// The short id used in reports and allow directives.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::P1 => "P1",
+            RuleId::U1 => "U1",
+            RuleId::A0 => "A0",
+        }
+    }
+
+    fn parse(text: &str) -> Option<RuleId> {
+        match text {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "D3" => Some(RuleId::D3),
+            "P1" => Some(RuleId::P1),
+            "U1" => Some(RuleId::U1),
+            "A0" => Some(RuleId::A0),
+            _ => None,
+        }
+    }
+}
+
+/// One diagnostic: where, which rule, what, and how to fix it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// Repo-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// The violated rule.
+    pub rule: RuleId,
+    /// What was found.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// How to fix or legitimately suppress it.
+    pub hint: String,
+}
+
+/// A parsed `detlint::allow(...)` directive.
+struct Allow {
+    rules: Vec<RuleId>,
+    /// Lines the directive covers: its own line span plus the next
+    /// line that carries code.
+    covers: Vec<u32>,
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+const SORT_LIKE: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
+
+const CLOCK_IDENTS: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Runs every rule over `src` and returns findings ordered by
+/// position. `ctx` scopes the rules (crate name, tests dir); `cfg`
+/// holds the workspace policy.
+pub fn lint_source(src: &str, ctx: &FileContext, cfg: &Config) -> Vec<Finding> {
+    let lexed = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let regions = test_regions(&lexed.toks);
+    let in_test = |line: u32| regions.iter().any(|&(a, b)| (a..=b).contains(&line));
+    let (allows, mut findings) = parse_allows(&lexed, ctx, &snippet);
+    let suppressed = |rule: RuleId, line: u32| {
+        allows
+            .iter()
+            .any(|a| a.rules.contains(&rule) && a.covers.contains(&line))
+    };
+
+    let push =
+        |rule: RuleId, tok: &Tok, message: String, hint: &str, findings: &mut Vec<Finding>| {
+            if !suppressed(rule, tok.line) {
+                findings.push(Finding {
+                    path: ctx.path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    rule,
+                    message,
+                    snippet: snippet(tok.line),
+                    hint: hint.to_string(),
+                });
+            }
+        };
+
+    let toks = &lexed.toks;
+    let det_crate = cfg.determinism_crates.contains(&ctx.crate_name);
+    let panic_crate = cfg.panic_crates.contains(&ctx.crate_name);
+    let d2_exempt = cfg.d2_exempt_crates.contains(&ctx.crate_name);
+    let unsafe_ok = cfg.unsafe_allow_files.contains(&ctx.path);
+
+    // --- D1: hash collections in determinism-critical crates -------
+    if det_crate && !ctx.in_tests_dir {
+        let in_use = use_statement_mask(toks);
+        let hash_idents = hash_bound_idents(toks);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            // D1 (declaration/type use): any HashMap/HashSet mention
+            // outside `use` imports.
+            if (t.text == "HashMap" || t.text == "HashSet") && !in_use[i] && !in_test(t.line) {
+                push(
+                    RuleId::D1,
+                    t,
+                    format!(
+                        "{} in determinism-critical crate `{}`",
+                        t.text, ctx.crate_name
+                    ),
+                    "iteration order is unordered and seed-dependent; use BTreeMap/BTreeSet, \
+                     or keep a lookup-only map with \
+                     // detlint::allow(D1, reason = \"...\")",
+                    &mut findings,
+                );
+            }
+            // D1 (iteration): `<hash>.iter()` etc. without a
+            // same-statement sort or BTree collect.
+            if hash_idents.contains(&t.text)
+                && !in_test(t.line)
+                && toks.get(i + 1).is_some_and(|d| d.text == ".")
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+                && toks.get(i + 3).is_some_and(|p| p.text == "(")
+                && !statement_orders_result(toks, i)
+            {
+                let m = &toks[i + 2];
+                push(
+                    RuleId::D1,
+                    m,
+                    format!(
+                        "iteration over hash collection `{}` via `{}()` without ordering",
+                        t.text, m.text
+                    ),
+                    "sort the collected result in the same statement, collect into a \
+                     BTreeMap/BTreeSet, or switch the collection itself to an ordered type",
+                    &mut findings,
+                );
+            }
+            // D1 (iteration): `for x in <hash> {` / `for x in &<hash> {`.
+            if t.text == "for" {
+                if let Some((recv_i, recv)) = for_loop_receiver(toks, i) {
+                    if hash_idents.contains(&recv.text)
+                        && !in_test(recv.line)
+                        && toks.get(recv_i + 1).is_some_and(|n| n.text == "{")
+                    {
+                        push(
+                            RuleId::D1,
+                            recv,
+                            format!("`for` loop over hash collection `{}`", recv.text),
+                            "iterate a sorted copy of the keys, or switch the collection \
+                             to a BTreeMap/BTreeSet",
+                            &mut findings,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // --- D2: wall clock and ambient entropy -------------------------
+    if !d2_exempt {
+        for t in toks {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if CLOCK_IDENTS.contains(&t.text.as_str()) {
+                push(
+                    RuleId::D2,
+                    t,
+                    format!("wall-clock access via `{}`", t.text),
+                    "simulated time must come from simkit::time; real time is only \
+                     allowed in the bench crate",
+                    &mut findings,
+                );
+            } else if ENTROPY_IDENTS.contains(&t.text.as_str()) {
+                push(
+                    RuleId::D2,
+                    t,
+                    format!("ambient entropy via `{}`", t.text),
+                    "all randomness must flow through a seeded simkit::rng::SimRng stream",
+                    &mut findings,
+                );
+            }
+        }
+    }
+
+    // --- D3: float sorts through partial_cmp ------------------------
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && SORT_LIKE.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|p| p.text == "(")
+            && paren_span_contains(toks, i + 1, "partial_cmp")
+        {
+            push(
+                RuleId::D3,
+                t,
+                format!("`{}` comparator uses `partial_cmp`", t.text),
+                "partial_cmp on floats panics or misorders on NaN; use f64::total_cmp",
+                &mut findings,
+            );
+        }
+    }
+
+    // --- P1: panics in user-input-reachable code --------------------
+    if panic_crate && !ctx.in_tests_dir {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || in_test(t.line) {
+                continue;
+            }
+            if (t.text == "unwrap" || t.text == "expect")
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).is_some_and(|p| p.text == "(")
+            {
+                push(
+                    RuleId::P1,
+                    t,
+                    format!("`.{}()` in user-input-reachable code", t.text),
+                    "return a typed error instead (see WorkloadError / BuildError / ArgError)",
+                    &mut findings,
+                );
+            }
+            if PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|p| p.text == "!")
+            {
+                push(
+                    RuleId::P1,
+                    t,
+                    format!("`{}!` in user-input-reachable code", t.text),
+                    "return a typed error instead (see WorkloadError / BuildError / ArgError)",
+                    &mut findings,
+                );
+            }
+        }
+    }
+
+    // --- U1: unsafe outside the allowlist ---------------------------
+    if !unsafe_ok {
+        for t in toks {
+            if t.kind == TokKind::Ident && t.text == "unsafe" {
+                push(
+                    RuleId::U1,
+                    t,
+                    "`unsafe` outside the reviewed allowlist".to_string(),
+                    "remove the unsafe block, or add this file to \
+                     Config::unsafe_allow_files with a justification",
+                    &mut findings,
+                );
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
+
+/// Marks tokens inside `use ...;` statements (imports are exempt from
+/// the D1 declaration check — an unused import is clippy's job).
+fn use_statement_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut in_use = false;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "use" {
+            in_use = true;
+        }
+        mask[i] = in_use;
+        if t.text == ";" {
+            in_use = false;
+        }
+    }
+    mask
+}
+
+/// Identifiers bound to a hash-collection type in this file, from
+/// `name: HashMap<..>` / `name: &mut HashSet<..>` bindings and
+/// `name = HashMap::new()`-style initialisations.
+fn hash_bound_idents(toks: &[Tok]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let skippable = |t: &Tok| {
+        matches!(
+            t.text.as_str(),
+            ":" | "&" | "mut" | "std" | "collections" | "="
+        ) || t.kind == TokKind::Lifetime
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        if next.text != ":" && next.text != "=" {
+            continue;
+        }
+        // Walk forward through type/path noise; bind if we land on a
+        // hash type before anything else.
+        let mut j = i + 1;
+        while toks.get(j).is_some_and(skippable) {
+            j += 1;
+        }
+        if toks
+            .get(j)
+            .is_some_and(|h| h.text == "HashMap" || h.text == "HashSet")
+            && !out.contains(&t.text)
+        {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// True when the statement containing token `i` also mentions a sort
+/// or a BTree collect — the "immediately ordered" escape for D1
+/// iteration findings.
+fn statement_orders_result(toks: &[Tok], i: usize) -> bool {
+    // Statement start: walk back to the previous `;`, `{` or `}`.
+    let mut start = i;
+    while start > 0 {
+        let t = &toks[start - 1].text;
+        if t == ";" || t == "{" || t == "}" {
+            break;
+        }
+        start -= 1;
+    }
+    // Statement end: forward to the `;` at depth 0 (closure bodies and
+    // nested calls are skipped via depth tracking), capped for safety.
+    let mut depth = 0i32;
+    let mut end = i;
+    for (k, t) in toks.iter().enumerate().skip(i).take(300) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth <= 0 => {
+                end = k;
+                break;
+            }
+            _ => {}
+        }
+        end = k;
+    }
+    toks[start..=end.min(toks.len() - 1)].iter().any(|t| {
+        t.kind == TokKind::Ident
+            && (t.text.starts_with("sort") || t.text == "BTreeMap" || t.text == "BTreeSet")
+    })
+}
+
+/// For a `for` token at `i`, finds the loop's iterated identifier:
+/// the ident after `in`, skipping `&` / `mut` / `self.` prefixes.
+/// Returns the token index and token.
+fn for_loop_receiver(toks: &[Tok], i: usize) -> Option<(usize, &Tok)> {
+    let mut j = i + 1;
+    let limit = (i + 40).min(toks.len());
+    while j < limit && !(toks[j].kind == TokKind::Ident && toks[j].text == "in") {
+        j += 1;
+    }
+    if j >= limit {
+        return None;
+    }
+    j += 1;
+    while toks
+        .get(j)
+        .is_some_and(|t| t.text == "&" || t.text == "mut")
+    {
+        j += 1;
+    }
+    if toks.get(j).is_some_and(|t| t.text == "self")
+        && toks.get(j + 1).is_some_and(|t| t.text == ".")
+    {
+        j += 2;
+    }
+    let t = toks.get(j)?;
+    if t.kind == TokKind::Ident {
+        Some((j, t))
+    } else {
+        None
+    }
+}
+
+/// True if the balanced paren span opening at token `open` (which must
+/// be `(`) contains the identifier `needle`.
+fn paren_span_contains(toks: &[Tok], open: usize, needle: &str) -> bool {
+    let mut depth = 0i32;
+    for t in toks.iter().skip(open).take(300) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            _ if t.kind == TokKind::Ident && t.text == needle => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Line ranges covered by `#[test]` / `#[cfg(test)]` items (the
+/// braced block following the attribute). `#[cfg(not(test))]` is not
+/// a test region.
+fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            let (attr_end, is_test) = scan_attr(toks, i + 1);
+            if is_test {
+                // Skip any stacked attributes between this one and the item.
+                let mut j = attr_end;
+                while toks.get(j).is_some_and(|t| t.text == "#")
+                    && toks.get(j + 1).is_some_and(|t| t.text == "[")
+                {
+                    let (next_end, _) = scan_attr(toks, j + 1);
+                    j = next_end;
+                }
+                // Find the item body.
+                let mut k = j;
+                while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].text == "{" {
+                    let close = matching_brace(toks, k);
+                    regions.push((toks[i].line, toks[close.min(toks.len() - 1)].line));
+                    i = k + 1;
+                    continue;
+                }
+                i = k.saturating_add(1);
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Scans an attribute starting at its `[` token. Returns the index
+/// just past the matching `]` and whether the attribute marks test
+/// code (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]` — but
+/// not `#[cfg(not(test))]`).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut end = open;
+    for (k, t) in toks.iter().enumerate().skip(open).take(100) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    end = k + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        end = k + 1;
+    }
+    let span = &toks[open..end.min(toks.len())];
+    let has = |name: &str| {
+        span.iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == name)
+    };
+    let is_test = has("test") && !has("not");
+    (end, is_test)
+}
+
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Parses every `detlint::allow(...)` directive in the file's
+/// comments. Returns the valid allows plus A0 findings for malformed
+/// ones (missing/empty reason, unknown rule id).
+fn parse_allows(
+    lexed: &Lexed,
+    ctx: &FileContext,
+    snippet: &dyn Fn(u32) -> String,
+) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for c in &lexed.comments {
+        // A directive must *start* the comment (after the `//` / `/*`
+        // markers and doc sigils) — prose that merely mentions
+        // `detlint::allow` is not a directive.
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches(['!', '*'])
+            .trim_start();
+        if !body.starts_with("detlint::allow") {
+            continue;
+        }
+        let at = match c.text.find("detlint::allow") {
+            Some(at) => at,
+            None => continue,
+        };
+        let mut bad = |message: String| {
+            findings.push(Finding {
+                path: ctx.path.clone(),
+                line: c.line,
+                col: 1,
+                rule: RuleId::A0,
+                message,
+                snippet: snippet(c.line),
+                hint: "write // detlint::allow(<RULE>, reason = \"why this site is safe\")"
+                    .to_string(),
+            });
+        };
+        let rest = &c.text[at + "detlint::allow".len()..];
+        // Find the closing paren outside the quoted reason string.
+        let inner = rest.strip_prefix('(').and_then(|r| {
+            let mut in_str = false;
+            for (k, b) in r.bytes().enumerate() {
+                match b {
+                    b'"' => in_str = !in_str,
+                    b')' if !in_str => return Some(&r[..k]),
+                    _ => {}
+                }
+            }
+            None
+        });
+        let Some(inner) = inner else {
+            bad("detlint::allow directive is missing its (...) argument list".to_string());
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut reason: Option<&str> = None;
+        for part in split_args(inner) {
+            let part = part.trim();
+            if let Some(r) = part.strip_prefix("reason") {
+                let r = r.trim_start();
+                let quoted = r
+                    .strip_prefix('=')
+                    .map(str::trim)
+                    .and_then(|q| q.strip_prefix('"'))
+                    .and_then(|q| q.strip_suffix('"'));
+                match quoted {
+                    Some(q) => reason = Some(q),
+                    None => {
+                        bad("detlint::allow reason must be reason = \"...\"".to_string());
+                        reason = None;
+                        rules.clear();
+                        break;
+                    }
+                }
+            } else if let Some(rule) = RuleId::parse(part) {
+                rules.push(rule);
+            } else {
+                bad(format!("unknown rule id `{part}` in detlint::allow"));
+                rules.clear();
+                break;
+            }
+        }
+        if rules.is_empty() {
+            continue;
+        }
+        match reason {
+            Some(r) if !r.trim().is_empty() => {
+                let mut covers: Vec<u32> = (c.line..=c.end_line).collect();
+                if let Some(next) = lexed.toks.iter().map(|t| t.line).find(|&l| l > c.end_line) {
+                    covers.push(next);
+                }
+                allows.push(Allow { rules, covers });
+            }
+            _ => bad(
+                "detlint::allow requires a non-empty reason = \"...\" explaining the site"
+                    .to_string(),
+            ),
+        }
+    }
+    (allows, findings)
+}
+
+/// Splits a directive argument list on commas, keeping commas inside
+/// the quoted reason string intact.
+fn split_args(inner: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let bytes = inner.as_bytes();
+    for (k, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b',' if !in_str => {
+                parts.push(&inner[start..k]);
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&inner[start..]);
+    parts
+}

@@ -1,0 +1,38 @@
+// Suppression fixture: detlint::allow with and without reasons. A
+// directive covers its own line and the next code line. Linted as
+// crates/scheduler/src/...
+
+struct CoveredNextLine {
+    // detlint::allow(D1, reason = "fixture: directive on the line above")
+    m: std::collections::HashMap<u32, u32>,
+}
+
+struct CoveredTrailing {
+    m: std::collections::HashMap<u32, u32>, // detlint::allow(D1, reason = "fixture: trailing comment")
+}
+
+fn multi() {
+    // detlint::allow(D1, D2, reason = "fixture: multi-rule (with parens) suppression")
+    let m: std::collections::HashMap<u32, u32> = new_map(std::time::Instant::now());
+    let _ = m.len();
+}
+
+struct MissingReason {
+    // detlint::allow(D1)
+    m: std::collections::HashMap<u32, u32>,
+}
+
+struct EmptyReason {
+    // detlint::allow(D1, reason = "")
+    m: std::collections::HashMap<u32, u32>,
+}
+
+struct UnknownRule {
+    // detlint::allow(D9, reason = "unknown rule id")
+    m: std::collections::HashMap<u32, u32>,
+}
+
+struct WrongRule {
+    // detlint::allow(D2, reason = "wrong rule does not suppress D1")
+    m: std::collections::HashMap<u32, u32>,
+}

@@ -1,0 +1,40 @@
+// D1 fixture: hash-collection declarations and iteration in a
+// determinism-critical crate (linted as crates/scheduler/src/...).
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+struct S {
+    m: HashMap<u32, u32>,
+}
+
+fn bad_keys(s: &S) -> Vec<u32> {
+    s.m.keys().copied().collect()
+}
+
+fn bad_for() {
+    let mut set: HashSet<u32> = HashSet::new();
+    set.insert(1);
+    for x in &set {
+        let _ = x;
+    }
+}
+
+fn ok_sorted_same_statement(s: &S) -> Vec<u32> {
+    let v: BTreeSet<u32> = s.m.keys().copied().collect();
+    v.into_iter().collect()
+}
+
+fn ok_sorted_chain(s: &S) -> Vec<u32> {
+    let v: Vec<u32> = s.m.keys().copied().collect::<BTreeSet<u32>>().into_iter().collect();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exempt_in_tests() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        for _ in m.keys() {}
+    }
+}

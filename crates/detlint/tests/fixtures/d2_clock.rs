@@ -1,0 +1,16 @@
+// D2 fixture: wall-clock and ambient entropy (linted once as a
+// determinism crate, once as bench, which is exempt).
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+fn clocks() -> u64 {
+    let a = Instant::now();
+    let b = SystemTime::now().duration_since(UNIX_EPOCH);
+    let _ = (a, b);
+    0
+}
+
+fn entropy() {
+    let mut rng = rand::thread_rng();
+    let other = SimRng::from_entropy();
+    let _ = (&mut rng, other);
+}

@@ -1,0 +1,14 @@
+// D3 fixture: float comparators through partial_cmp.
+
+fn sorts(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(f64::total_cmp);
+    xs.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+    xs.sort_by_key(|x| (*x * 100.0) as i64);
+}
+
+fn extrema(xs: &[f64]) -> Option<f64> {
+    let hi = xs.iter().cloned().max_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = xs.iter().cloned().min_by(|a, b| a.total_cmp(b));
+    hi.or(lo)
+}

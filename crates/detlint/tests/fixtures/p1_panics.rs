@@ -1,0 +1,37 @@
+// P1 fixture: panic sites in a user-input-reachable crate (linted as
+// crates/workloads/src/...).
+
+fn panics(input: &str) -> u64 {
+    let n: u64 = input.parse().unwrap();
+    let m: u64 = input.parse().expect("numeric");
+    if n == 0 {
+        panic!("zero");
+    }
+    if n == 1 {
+        todo!();
+    }
+    if n == 2 {
+        unimplemented!();
+    }
+    n + m
+}
+
+fn fine(input: &str) -> u64 {
+    // Non-panicking forms and lookalike names are not findings.
+    let n: u64 = input.parse().unwrap_or_default();
+    let m = expect_byte(input);
+    n + m
+}
+
+fn expect_byte(_s: &str) -> u64 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_tests() {
+        let n: u64 = "7".parse().unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,21 @@
+// Tricky fixture: rule text inside strings, comments, raw strings and
+// char literals must not be matched; only the genuine site at the
+// bottom may be flagged. Linted as crates/scheduler/src/...
+// HashMap unwrap() thread_rng() — line comment, not code.
+/* SystemTime::now() in a block comment /* nested unsafe { } */ still comment */
+
+fn smoke() -> String {
+    let a = "HashMap.iter() unwrap() Instant::now() sort_by(partial_cmp)";
+    let b = r#"raw: thread_rng() with "embedded quotes" and unsafe"#;
+    let c = r##"double-hash raw: SystemTime "#quoted#" panic!("x")"##;
+    let d = 'x';
+    let e = '\'';
+    let f = "// detlint::allow(D1, reason = \"inside a string, not a directive\")";
+    let lifetime_not_char: &'static str = "ok";
+    format!("{a}{b}{c}{d}{e}{f}{lifetime_not_char}")
+}
+
+fn genuine() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _ = m.len();
+}

@@ -1,0 +1,6 @@
+// U1 fixture: unsafe outside the allowlist (linted as
+// crates/netsim/src/...).
+
+fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,136 @@
+//! Fixture tests for the lint engine: each fixture file is linted
+//! under a pretend workspace path and its JSON report is compared
+//! byte-for-byte against a checked-in golden.
+//!
+//! Regenerate goldens after an intentional rule change with
+//! `UPDATE_GOLDENS=1 cargo test -p detlint --test lint_fixtures`.
+
+use std::path::PathBuf;
+
+use detlint::{lint_source, render_json, Config, FileContext, RuleId};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints `fixture` as if it lived at `pretend_path` and compares the
+/// JSON report against `golden`.
+fn check(fixture: &str, pretend_path: &str, golden: &str) {
+    let dir = fixtures_dir();
+    let src = std::fs::read_to_string(dir.join(fixture))
+        .unwrap_or_else(|e| panic!("reading fixture {fixture}: {e}"));
+    let ctx = FileContext::from_repo_path(pretend_path);
+    let findings = lint_source(&src, &ctx, &Config::default());
+    let json = render_json(&findings);
+    let golden_path = dir.join(golden);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&golden_path, &json)
+            .unwrap_or_else(|e| panic!("writing golden {golden}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("reading golden {golden} (run with UPDATE_GOLDENS=1?): {e}"));
+    assert_eq!(
+        json, expected,
+        "fixture {fixture} diverged from golden {golden}"
+    );
+}
+
+#[test]
+fn d1_hash_iteration_golden() {
+    check(
+        "d1_hash.rs",
+        "crates/scheduler/src/fixture.rs",
+        "d1_hash.expected.json",
+    );
+}
+
+#[test]
+fn d2_wall_clock_golden() {
+    check(
+        "d2_clock.rs",
+        "crates/cluster/src/fixture.rs",
+        "d2_clock.expected.json",
+    );
+}
+
+#[test]
+fn d2_is_exempt_in_bench() {
+    check(
+        "d2_clock.rs",
+        "crates/bench/src/fixture.rs",
+        "d2_clock.bench.expected.json",
+    );
+}
+
+#[test]
+fn d3_float_sort_golden() {
+    check(
+        "d3_float_sort.rs",
+        "crates/analysis/src/fixture.rs",
+        "d3_float_sort.expected.json",
+    );
+}
+
+#[test]
+fn p1_panics_golden() {
+    check(
+        "p1_panics.rs",
+        "crates/workloads/src/fixture.rs",
+        "p1_panics.expected.json",
+    );
+}
+
+#[test]
+fn p1_not_applied_outside_panic_crates() {
+    check(
+        "p1_panics.rs",
+        "crates/analysis/src/fixture.rs",
+        "p1_panics.analysis.expected.json",
+    );
+}
+
+#[test]
+fn u1_unsafe_golden() {
+    check(
+        "u1_unsafe.rs",
+        "crates/netsim/src/fixture.rs",
+        "u1_unsafe.expected.json",
+    );
+}
+
+#[test]
+fn tricky_strings_and_comments_golden() {
+    check(
+        "tricky.rs",
+        "crates/scheduler/src/fixture.rs",
+        "tricky.expected.json",
+    );
+}
+
+#[test]
+fn allow_directives_golden() {
+    check(
+        "allow.rs",
+        "crates/scheduler/src/fixture.rs",
+        "allow.expected.json",
+    );
+}
+
+#[test]
+fn fixtures_in_tests_dirs_are_d1_p1_exempt() {
+    // The same violating sources produce no D1/P1 findings when the
+    // file sits under a crate's tests/ directory.
+    let dir = fixtures_dir();
+    for fixture in ["d1_hash.rs", "p1_panics.rs"] {
+        let src = std::fs::read_to_string(dir.join(fixture)).expect("fixture");
+        let ctx = FileContext::from_repo_path("crates/scheduler/tests/fixture.rs");
+        let findings = lint_source(&src, &ctx, &Config::default());
+        assert!(
+            findings
+                .iter()
+                .all(|f| f.rule != RuleId::D1 && f.rule != RuleId::P1),
+            "{fixture}: {findings:?}"
+        );
+    }
+}

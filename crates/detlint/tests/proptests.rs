@@ -1,0 +1,92 @@
+//! Property tests for the lexer: arbitrary ASCII source (including
+//! malformed, unterminated constructs) must lex without panicking,
+//! strip to the same byte length and line count, and every emitted
+//! token must point back at exactly the text it claims to be.
+
+use proptest::prelude::*;
+
+use detlint::lexer::{lex, strip, TokKind};
+
+/// Characters weighted toward the constructs the lexer special-cases:
+/// quotes, hashes, slashes, stars, escapes and string prefixes.
+const ALPHABET: &[u8] = b"\"'#/*\\rbc xyz_09\n\t(){};:.,<>=&!iI";
+
+fn source_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..400)
+        .prop_map(|picks| picks.iter().map(|&i| ALPHABET[i] as char).collect())
+}
+
+fn line_starts(src: &str) -> Vec<usize> {
+    std::iter::once(0)
+        .chain(
+            src.bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'\n')
+                .map(|(i, _)| i + 1),
+        )
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn strip_preserves_length_and_line_numbers(src in source_strategy()) {
+        let stripped = strip(&src);
+        prop_assert_eq!(stripped.len(), src.len(), "byte length changed");
+        let src_lines = src.bytes().filter(|&b| b == b'\n').count();
+        let out_lines = stripped.bytes().filter(|&b| b == b'\n').count();
+        prop_assert_eq!(out_lines, src_lines, "newline count changed");
+    }
+
+    #[test]
+    fn tokens_point_at_their_own_text(src in source_strategy()) {
+        let lexed = lex(&src);
+        let starts = line_starts(&src);
+        for t in &lexed.toks {
+            if t.kind == TokKind::Literal {
+                continue; // literal text is a placeholder by design
+            }
+            let ls = starts[(t.line - 1) as usize];
+            let at = ls + (t.col - 1) as usize;
+            let got = &src[at..(at + t.text.len()).min(src.len())];
+            prop_assert_eq!(
+                got,
+                t.text.as_str(),
+                "token at {}:{} does not round-trip",
+                t.line,
+                t.col
+            );
+        }
+    }
+
+    #[test]
+    fn reassembled_code_relexes_to_the_same_tokens(src in source_strategy()) {
+        // Stripping is idempotent on the code layer: lexing the
+        // stripped text yields the same non-literal token stream at
+        // the same positions.
+        let stripped = strip(&src);
+        let a: Vec<_> = lex(&src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Literal)
+            .map(|t| (t.text, t.line, t.col))
+            .collect();
+        let b: Vec<_> = lex(&stripped)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Literal)
+            .map(|t| (t.text, t.line, t.col))
+            .collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comment_lines_are_within_file(src in source_strategy()) {
+        let total_lines = src.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+        for c in lex(&src).comments {
+            prop_assert!(c.line >= 1 && c.line <= total_lines);
+            prop_assert!(c.end_line >= c.line && c.end_line <= total_lines);
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! process for a sampled duration, and feed shuffle flows to reducers;
 //! reducers process once every map's intermediate output has arrived.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cluster::{
     ClusterState, FailureEventKind, FailureScenario, FailureTimeline, NodeId, TimelineEvent,
@@ -617,7 +617,7 @@ impl<'a> EngineBuilder<'a> {
             fifo: Vec::new(),
             free_map,
             free_reduce,
-            flow_owner: HashMap::new(),
+            flow_owner: BTreeMap::new(),
             last_degraded_assign: vec![None; num_racks],
             net_check: None,
             records: Vec::new(),
@@ -646,7 +646,7 @@ pub struct Engine {
     pub(crate) fifo: Vec<JobId>,
     pub(crate) free_map: Vec<u32>,
     free_reduce: Vec<u32>,
-    flow_owner: HashMap<FlowId, FlowPurpose>,
+    flow_owner: BTreeMap<FlowId, FlowPurpose>,
     pub(crate) last_degraded_assign: Vec<Option<SimTime>>,
     net_check: Option<(simkit::EventId, SimTime)>,
     records: Vec<TaskRecord>,
@@ -1470,7 +1470,9 @@ impl Engine {
                     continue;
                 }
             }
-            let mut flows: Vec<FlowId> = self
+            // Cancellation order must be deterministic; BTreeMap
+            // iteration is already FlowId-sorted.
+            let flows: Vec<FlowId> = self
                 .flow_owner
                 .iter()
                 .filter(|(_, p)| {
@@ -1479,7 +1481,6 @@ impl Engine {
                 })
                 .map(|(&f, _)| f)
                 .collect();
-            flows.sort(); // HashMap iteration order is not deterministic
             self.cancel_attempt_flows(flows);
             let j = &mut self.jobs[job.index()];
             let r = &mut j.reduces[idx];
@@ -1519,7 +1520,9 @@ impl Engine {
         };
         for (task, runtime) in lost {
             // In-flight copies of this output can never finish.
-            let mut flows: Vec<FlowId> = self
+            // Cancellation order must be deterministic; BTreeMap
+            // iteration is already FlowId-sorted.
+            let flows: Vec<FlowId> = self
                 .flow_owner
                 .iter()
                 .filter(|(_, p)| {
@@ -1528,7 +1531,6 @@ impl Engine {
                 })
                 .map(|(&f, _)| f)
                 .collect();
-            flows.sort(); // HashMap iteration order is not deterministic
             self.cancel_attempt_flows(flows);
             {
                 let j = &mut self.jobs[job.index()];

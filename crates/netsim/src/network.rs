@@ -217,6 +217,7 @@ pub struct Network {
     capacities: Vec<f64>,
     num_racks: usize,
     flows: Vec<ActiveFlow>,
+    // detlint::allow(D1, reason = "lookup-only FlowId->slot index, never iterated; O(1) on the reallocate hot path")
     index_of: HashMap<FlowId, usize>,
     next_id: u64,
     last_advanced: SimTime,
@@ -269,6 +270,7 @@ impl Network {
             capacities,
             num_racks,
             flows: Vec::new(),
+            // detlint::allow(D1, reason = "see the field declaration: lookup-only index")
             index_of: HashMap::new(),
             next_id: 0,
             last_advanced: SimTime::ZERO,

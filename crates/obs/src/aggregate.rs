@@ -8,7 +8,7 @@
 //! same winner-only accounting, same completion-order summation — and a
 //! cross-check test in the workspace keeps the two from drifting.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use simkit::stats::percentile_sorted;
 use simkit::time::{SimDuration, SimTime};
@@ -80,16 +80,16 @@ pub struct Aggregator {
     overlap_secs: f64,
     fetch_active_secs: f64,
     // Entity state.
-    attempts: HashMap<(u32, u32, bool), Attempt>,
-    reduces: HashMap<(u32, u32), SimTime>,
-    flows: HashMap<u64, (LinkSet, f64)>,
+    attempts: BTreeMap<(u32, u32, bool), Attempt>,
+    reduces: BTreeMap<(u32, u32), SimTime>,
+    flows: BTreeMap<u64, (LinkSet, f64)>,
     link_rate: BTreeMap<u32, f64>,
     // Records.
     finished: Vec<Finished>,
     jobs_submitted: usize,
     jobs_finished: usize,
-    job_submitted_at: HashMap<u32, SimTime>,
-    job_started_at: HashMap<u32, SimTime>,
+    job_submitted_at: BTreeMap<u32, SimTime>,
+    job_started_at: BTreeMap<u32, SimTime>,
     job_latency_secs: Vec<f64>,
     job_queue_delay_secs: Vec<f64>,
     jobs_in_flight: usize,
@@ -101,7 +101,7 @@ pub struct Aggregator {
     nodes_failed: usize,
     nodes_recovered: usize,
     maps_relaunched: usize,
-    primaries_seen: HashSet<(u32, u32)>,
+    primaries_seen: BTreeSet<(u32, u32)>,
 }
 
 impl Aggregator {
@@ -119,15 +119,15 @@ impl Aggregator {
             link_bits: BTreeMap::new(),
             overlap_secs: 0.0,
             fetch_active_secs: 0.0,
-            attempts: HashMap::new(),
-            reduces: HashMap::new(),
-            flows: HashMap::new(),
+            attempts: BTreeMap::new(),
+            reduces: BTreeMap::new(),
+            flows: BTreeMap::new(),
             link_rate: BTreeMap::new(),
             finished: Vec::new(),
             jobs_submitted: 0,
             jobs_finished: 0,
-            job_submitted_at: HashMap::new(),
-            job_started_at: HashMap::new(),
+            job_submitted_at: BTreeMap::new(),
+            job_started_at: BTreeMap::new(),
             job_latency_secs: Vec::new(),
             job_queue_delay_secs: Vec::new(),
             jobs_in_flight: 0,
@@ -139,7 +139,7 @@ impl Aggregator {
             nodes_failed: 0,
             nodes_recovered: 0,
             maps_relaunched: 0,
-            primaries_seen: HashSet::new(),
+            primaries_seen: BTreeSet::new(),
         }
     }
 
@@ -353,7 +353,8 @@ impl EventSink for Aggregator {
             }
             SimEvent::JobStarted { job } => {
                 // First launch only: queueing delay is submit → first start.
-                if let std::collections::hash_map::Entry::Vacant(e) = self.job_started_at.entry(job)
+                if let std::collections::btree_map::Entry::Vacant(e) =
+                    self.job_started_at.entry(job)
                 {
                     e.insert(at);
                     if let Some(&submitted) = self.job_submitted_at.get(&job) {

@@ -7,7 +7,7 @@
 //! network link, and instant markers for failures. Timestamps are
 //! already microseconds, the trace-event native unit.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::io::{self, Write};
 
@@ -72,15 +72,15 @@ pub struct ChromeTraceSink<W: Write> {
     map_busy: Vec<Vec<bool>>,
     reduce_busy: Vec<Vec<bool>>,
     /// Open map attempts keyed by `(job, task, speculative)`.
-    attempts: HashMap<(u32, u32, bool), OpenAttempt>,
+    attempts: BTreeMap<(u32, u32, bool), OpenAttempt>,
     /// Open reduce tasks keyed by `(job, index)` → `(tid, node, name)`.
-    reduces: HashMap<(u32, u32), OpenAttempt>,
+    reduces: BTreeMap<(u32, u32), OpenAttempt>,
     /// Flow id → (async slice name, links, current rate).
-    flows: HashMap<u64, (String, LinkSet, f64)>,
+    flows: BTreeMap<u64, (String, LinkSet, f64)>,
     /// Current aggregate rate per link.
     link_rate: BTreeMap<u32, f64>,
     /// Repair task → slice name.
-    repairs: HashMap<u32, String>,
+    repairs: BTreeMap<u32, String>,
     /// `(pid, tid, label)` lanes seen, for thread-name metadata.
     lanes: BTreeSet<(u32, u32, String)>,
 }
@@ -94,11 +94,11 @@ impl<W: Write> ChromeTraceSink<W> {
             events: Vec::new(),
             map_busy: vec![vec![false; cfg.map_slots as usize]; cfg.num_nodes as usize],
             reduce_busy: vec![vec![false; cfg.reduce_slots as usize]; cfg.num_nodes as usize],
-            attempts: HashMap::new(),
-            reduces: HashMap::new(),
-            flows: HashMap::new(),
+            attempts: BTreeMap::new(),
+            reduces: BTreeMap::new(),
+            flows: BTreeMap::new(),
             link_rate: BTreeMap::new(),
-            repairs: HashMap::new(),
+            repairs: BTreeMap::new(),
             lanes: BTreeSet::new(),
         }
     }

@@ -129,7 +129,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), ParseError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -161,7 +161,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -172,7 +172,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);
@@ -189,7 +189,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -212,7 +212,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -254,10 +254,11 @@ impl Parser<'_> {
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar. `pos` only ever advances
-                    // by whole scalars, so it is always a char boundary
-                    // and this slice is O(1) — no re-validation of the
-                    // remaining input.
-                    let ch = self.text[self.pos..].chars().next().unwrap();
+                    // by whole scalars, so it is always a char boundary;
+                    // the error arm guards the invariant without a panic.
+                    let Some(ch) = self.text.get(self.pos..).and_then(|s| s.chars().next()) else {
+                        return Err(self.err("invalid UTF-8 boundary"));
+                    };
                     if (ch as u32) < 0x20 {
                         return Err(self.err("unescaped control character"));
                     }
@@ -291,7 +292,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Json::Number)
             .map_err(|_| self.err("invalid number"))

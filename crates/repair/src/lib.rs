@@ -34,7 +34,7 @@
 //! assert!(report.makespan.as_secs_f64() > 0.0);
 //! ```
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use cluster::{ClusterState, NodeId, Topology};
 use ecstore::{BlockRef, BlockStore};
@@ -128,7 +128,7 @@ impl RepairPlan {
         let k = layout.params().k();
         // Extra blocks assigned to each node during this plan, so load
         // spreads across replacements.
-        let mut extra_load: HashMap<NodeId, usize> = HashMap::new();
+        let mut extra_load: BTreeMap<NodeId, usize> = BTreeMap::new();
         let mut tasks = Vec::new();
         for s in 0..layout.num_stripes() {
             let stripe = ecstore::StripeId(s as u32);
@@ -149,7 +149,7 @@ impl RepairPlan {
             }
             // Nodes already carrying a block of this stripe (surviving
             // or re-homed earlier in this loop).
-            let mut occupied: HashSet<NodeId> = survivors.iter().map(|&(_, n)| n).collect();
+            let mut occupied: BTreeSet<NodeId> = survivors.iter().map(|&(_, n)| n).collect();
             for block in lost {
                 let mut candidates: Vec<NodeId> = state
                     .alive_nodes()
@@ -325,8 +325,8 @@ fn simulate_inner(
     }
     let mut now = SimTime::ZERO;
     let mut next_task = 0usize;
-    let mut inflight: HashMap<usize, usize> = HashMap::new(); // task -> pending flows
-    let mut flow_task: HashMap<FlowId, usize> = HashMap::new();
+    let mut inflight: BTreeMap<usize, usize> = BTreeMap::new(); // task -> pending flows
+    let mut flow_task: BTreeMap<FlowId, usize> = BTreeMap::new();
     let mut durations = vec![SimDuration::ZERO; plan.tasks.len()];
     let mut started_at = vec![SimTime::ZERO; plan.tasks.len()];
     let mut bytes = 0u64;
@@ -334,8 +334,8 @@ fn simulate_inner(
     let start_task = |idx: usize,
                       now: SimTime,
                       net: &mut Network,
-                      inflight: &mut HashMap<usize, usize>,
-                      flow_task: &mut HashMap<FlowId, usize>,
+                      inflight: &mut BTreeMap<usize, usize>,
+                      flow_task: &mut BTreeMap<FlowId, usize>,
                       bytes: &mut u64,
                       started_at: &mut Vec<SimTime>,
                       rec: &mut Recorder<'_>| {
@@ -475,7 +475,7 @@ mod tests {
         let (topo, store, state, mut rng) = setup(&[0, 5]);
         let plan = RepairPlan::plan(&store, &topo, &state, &mut rng).unwrap();
         // Post-repair holder sets per stripe must be distinct.
-        let mut holders: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        let mut holders: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
         for s in 0..store.layout().num_stripes() {
             let stripe = ecstore::StripeId(s as u32);
             for (_, node) in store.survivors_of(stripe, &state) {

@@ -189,7 +189,7 @@ impl MapScheduler for DegradedFirst {
 pub struct DelayScheduling {
     max_wait: simkit::time::SimDuration,
     /// Per job: when the job first had to skip a non-local assignment.
-    skip_since: std::collections::HashMap<JobId, simkit::time::SimTime>,
+    skip_since: std::collections::BTreeMap<JobId, simkit::time::SimTime>,
 }
 
 impl DelayScheduling {
@@ -197,7 +197,7 @@ impl DelayScheduling {
     pub fn new(max_wait: simkit::time::SimDuration) -> DelayScheduling {
         DelayScheduling {
             max_wait,
-            skip_since: std::collections::HashMap::new(),
+            skip_since: std::collections::BTreeMap::new(),
         }
     }
 }

@@ -136,7 +136,7 @@ proptest! {
     #[test]
     fn percentiles_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100), p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0) {
         let mut sorted = xs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
         prop_assert!(percentile_sorted(&sorted, lo) <= percentile_sorted(&sorted, hi));
     }

@@ -1,0 +1,52 @@
+//! In-process detlint run over the whole workspace: the tree must be
+//! finding-free, and the engine must still catch seeded violations
+//! (so a green run means "checked and clean", not "checked nothing").
+
+use detlint::{check_workspace, lint_source, render_human, Config, FileContext, RuleId};
+
+fn repo_root() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core; the workspace root is two up.
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn workspace_is_finding_free() {
+    let findings = check_workspace(&repo_root(), &Config::default()).expect("walk crates/");
+    assert!(
+        findings.is_empty(),
+        "detlint found {} finding(s) in the workspace:\n{}",
+        findings.len(),
+        render_human(&findings)
+    );
+}
+
+#[test]
+fn seeded_violation_is_caught() {
+    // Guard against the lint engine rotting into a no-op: a known-bad
+    // source linted under a determinism crate must produce findings.
+    let src = "fn f(m: &std::collections::HashMap<u32, u32>) {\n    for (k, v) in m.iter() {\n        let _ = (k, v);\n    }\n    let t = std::time::Instant::now();\n    let _ = t;\n}\n";
+    let ctx = FileContext::from_repo_path("crates/scheduler/src/seeded.rs");
+    let findings = lint_source(src, &ctx, &Config::default());
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::D1),
+        "seeded HashMap iteration not caught: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::D2),
+        "seeded Instant::now not caught: {findings:?}"
+    );
+}
+
+#[test]
+fn allow_without_reason_is_flagged() {
+    let src = "// detlint::allow(D2)\nlet t = std::time::Instant::now();\n";
+    let ctx = FileContext::from_repo_path("crates/scheduler/src/seeded.rs");
+    let findings = lint_source(src, &ctx, &Config::default());
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::A0),
+        "reason-less allow not flagged: {findings:?}"
+    );
+}
