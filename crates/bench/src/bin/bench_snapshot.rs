@@ -1,16 +1,19 @@
-//! One-shot performance snapshot: times the hot-path kernels with their
-//! retained reference implementations under the *same* harness, plus
-//! current throughput of the four benchmark suites and the wall-clock of
-//! a fixed fig7-style configuration, and writes everything to
-//! `BENCH_PR1.json` in the current directory.
+//! One-shot performance snapshot: times the GF(2^8) kernel tiers
+//! (log/antilog reference → PR 1's table-driven scalar → the dispatched
+//! SIMD tier) and the Reed–Solomon stripe paths built on them under the
+//! *same* harness, plus current throughput of the long-running suites
+//! and the wall-clock of a fixed fig7-style configuration, and writes
+//! everything to `BENCH_PR6.json` in the current directory. The PR 1
+//! recorded numbers are embedded as constants so the perf trajectory
+//! (log/exp → table-driven → SIMD) stays visible in one file.
 //!
 //! Run with `cargo run --release -p bench --bin bench_snapshot`.
 
 use std::time::Instant;
 
-use dfs::erasure::gf256::{mul_acc_slice, mul_acc_slice_ref, Gf256};
+use dfs::erasure::gf256::{mul_acc_slice_ref, Gf256};
 use dfs::erasure::rs::{CodeConstruction, ReedSolomon};
-use dfs::erasure::CodeParams;
+use dfs::erasure::{simd, CodeParams};
 use dfs::experiment::Policy;
 use dfs::netsim::fairshare::{max_min_rates_ref, FairshareWorkspace};
 use dfs::netsim::{NetConfig, Network};
@@ -34,6 +37,15 @@ fn time_per_call<F: FnMut()>(mut op: F) -> f64 {
 }
 
 const SHARD_BYTES: usize = 256 * 1024;
+/// L1-resident buffer for peak-rate kernel measurement (memory
+/// bandwidth stops being the limiter).
+const SMALL_BYTES: usize = 16 * 1024;
+
+/// PR 1 recorded `gf256_mul_acc` "opt" throughput (BENCH_PR1.json) —
+/// the table-driven-era kernel line this PR is measured against.
+const PR1_MUL_ACC_MIB_S: f64 = 24_036.3;
+/// PR 1 recorded `rs_decode_12_10_256KiB` "opt" seconds per decode.
+const PR1_DECODE_S: f64 = 0.000_468;
 
 fn xorshift(state: &mut u64) -> u64 {
     *state ^= *state << 13;
@@ -42,69 +54,127 @@ fn xorshift(state: &mut u64) -> u64 {
     *state
 }
 
-/// GF(256) multiply-accumulate: table/SIMD kernel vs the byte-at-a-time
-/// reference, identical buffers and coefficient.
-fn gf_mul_acc() -> (f64, f64) {
-    let src: Vec<u8> = (0..SHARD_BYTES).map(|i| (i * 31 + 7) as u8).collect();
-    let mut acc = vec![0u8; SHARD_BYTES];
-    let c = Gf256::new(0xCA);
-    let ref_s = time_per_call(|| mul_acc_slice_ref(&mut acc, &src, c));
-    let opt_s = time_per_call(|| mul_acc_slice(&mut acc, &src, c));
-    (ref_s, opt_s)
+fn make_shard(bytes: usize, salt: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|i| (i * 31 + salt * 101 + 7) as u8)
+        .collect()
 }
 
-/// Full-stripe decode, (12,10) Cauchy over 256 KiB shards. The reference
-/// side reproduces the pre-change `decode_data` byte-for-byte in work:
-/// one freshly zero-allocated output per data shard, filled by k naive
-/// multiply-accumulates (decode cost is coefficient-independent, so the
-/// synthetic rows below do exactly the old matrix-apply's work).
-fn rs_decode() -> (f64, f64) {
+/// GF(256) multiply-accumulate over one `bytes`-sized buffer, timed for
+/// the log/exp reference, the table-driven scalar tier, and the
+/// dispatched SIMD tier. Returns seconds per call as (ref, scalar, simd).
+fn gf_mul_acc(bytes: usize) -> (f64, f64, f64) {
+    let src = make_shard(bytes, 0);
+    let mut acc = vec![0u8; bytes];
+    let c = Gf256::new(0xCA);
+    let ref_s = time_per_call(|| mul_acc_slice_ref(&mut acc, &src, c));
+    let scalar = simd::scalar();
+    let scalar_s = time_per_call(|| scalar.mul_acc_slice(&mut acc, &src, c));
+    let active = simd::active();
+    let simd_s = time_per_call(|| active.mul_acc_slice(&mut acc, &src, c));
+    (ref_s, scalar_s, simd_s)
+}
+
+/// Fused multi-source accumulate (10 sources, the (12,10) decode shape):
+/// sequential table-scalar passes vs the dispatched fused kernel.
+fn gf_mul_acc_multi() -> (f64, f64) {
+    let nsrc = 10usize;
+    let sources: Vec<Vec<u8>> = (0..nsrc).map(|s| make_shard(SHARD_BYTES, s)).collect();
+    let terms: Vec<(Gf256, &[u8])> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (Gf256::new((i * 23 + 3) as u8), s.as_slice()))
+        .collect();
+    let mut acc = vec![0u8; SHARD_BYTES];
+    let scalar = simd::scalar();
+    let seq_s = time_per_call(|| {
+        for &(c, s) in &terms {
+            scalar.mul_acc_slice(&mut acc, s, c);
+        }
+    });
+    let active = simd::active();
+    let fused_s = time_per_call(|| active.mul_acc_multi(&mut acc, &terms));
+    (seq_s, fused_s)
+}
+
+type Survivors = Vec<(usize, Vec<u8>)>;
+
+fn decode_fixture() -> (ReedSolomon, Vec<Vec<u8>>, Survivors) {
     let (n, k) = (12usize, 10usize);
     let rs = ReedSolomon::new(CodeParams::new(n, k).unwrap(), CodeConstruction::Cauchy).unwrap();
-    let data: Vec<Vec<u8>> = (0..k)
-        .map(|s| (0..SHARD_BYTES).map(|i| (i * 13 + s * 101) as u8).collect())
-        .collect();
+    let data: Vec<Vec<u8>> = (0..k).map(|s| make_shard(SHARD_BYTES, s)).collect();
     let parity = rs.encode_parity(&data).unwrap();
     let mut stripe = data;
     stripe.extend(parity);
     // Survive on shards 2..12: two data shards lost, both parities used.
     let survivors: Vec<(usize, Vec<u8>)> = (2..n).map(|i| (i, stripe[i].clone())).collect();
+    (rs, stripe, survivors)
+}
 
-    // The real decode matrix for this survivor set: outputs 2..9 are the
-    // surviving data shards themselves (identity rows — one coefficient
-    // of 1), only the two lost shards get dense rows.
-    let rows: Vec<Vec<Gf256>> = (0..k)
-        .map(|r| {
-            (0..k)
-                .map(|c| {
-                    if r >= 2 {
-                        if c == r - 2 {
-                            Gf256::ONE
-                        } else {
-                            Gf256::ZERO
-                        }
-                    } else {
-                        Gf256::new((r * 16 + c * 7 + 3) as u8)
-                    }
-                })
-                .collect()
-        })
-        .collect();
+/// Full-stripe decode, (12,10) Cauchy over 256 KiB shards, three ways:
+/// the PR 1 log/exp reference shape (fresh zeroed outputs, naive
+/// per-byte multiply-accumulate), the PR 1 table-driven algorithm
+/// (buffer-reusing combine with one sequential scalar `mul_acc` sweep
+/// per coefficient), and the current SIMD fused `decode_data_into`.
+fn rs_decode() -> (f64, f64, f64) {
+    let (rs, _stripe, survivors) = decode_fixture();
+    let k = 10usize;
+    let indices: Vec<usize> = survivors.iter().map(|&(i, _)| i).collect();
+    let inv = rs.encode_matrix().select_rows(&indices).inverted().unwrap();
+
     let ref_s = time_per_call(|| {
         let mut out: Vec<Vec<u8>> = Vec::with_capacity(k);
-        for row in &rows {
+        for t in 0..k {
             let mut shard = vec![0u8; SHARD_BYTES];
-            for (j, (_, survivor)) in row.iter().zip(&survivors) {
-                mul_acc_slice_ref(&mut shard, survivor, *j);
+            for (j, (_, survivor)) in survivors.iter().enumerate() {
+                mul_acc_slice_ref(&mut shard, survivor, inv[(t, j)]);
             }
             out.push(shard);
         }
         assert_eq!(out.len(), k);
     });
 
+    // PR 1's decode_data_into, pinned to the table-driven scalar tier:
+    // seed each output from the first nonzero coefficient, then one
+    // full mul_acc sweep per remaining coefficient.
+    let scalar = simd::scalar();
+    let mut table_out: Vec<Vec<u8>> = vec![Vec::new(); k];
+    let table_s = time_per_call(|| {
+        for (t, o) in table_out.iter_mut().enumerate() {
+            let row: Vec<Gf256> = (0..k).map(|j| inv[(t, j)]).collect();
+            let j0 = row.iter().position(|c| !c.is_zero()).unwrap();
+            o.clear();
+            o.extend_from_slice(&survivors[j0].1);
+            scalar.mul_slice_in_place(o, row[j0]);
+            for (j, (_, survivor)) in survivors.iter().enumerate().skip(j0 + 1) {
+                scalar.mul_acc_slice(o, survivor, row[j]);
+            }
+        }
+    });
+
     let mut out: Vec<Vec<u8>> = Vec::new();
-    let opt_s = time_per_call(|| rs.decode_data_into(&survivors, &mut out).unwrap());
-    (ref_s, opt_s)
+    let simd_s = time_per_call(|| rs.decode_data_into(&survivors, &mut out).unwrap());
+    assert_eq!(out, table_out, "scalar and SIMD decodes must agree");
+    (ref_s, table_s, simd_s)
+}
+
+/// Single-shard degraded read, (12,10) over 256 KiB: the pre-PR 6 path
+/// (full `decode_data_into`, then take the one wanted shard) vs the
+/// single-row `reconstruct_shard_into`.
+fn rs_reconstruct_one() -> (f64, f64) {
+    let (rs, stripe, survivors) = decode_fixture();
+    let mut full: Vec<Vec<u8>> = Vec::new();
+    let full_s = time_per_call(|| {
+        rs.decode_data_into(&survivors, &mut full).unwrap();
+        assert_eq!(full[0], stripe[0]);
+    });
+    let mut one = Vec::new();
+    let one_s = time_per_call(|| {
+        rs.reconstruct_shard_into(&survivors, 0, &mut one).unwrap();
+        assert_eq!(one.len(), SHARD_BYTES);
+    });
+    assert_eq!(one, stripe[0]);
+    (full_s, one_s)
 }
 
 /// A realistic reallocation mix for the 40-node/4-rack fig7 topology:
@@ -199,21 +269,60 @@ fn calendar_ops(events: u64) -> f64 {
 }
 
 fn main() {
-    let (mul_ref, mul_opt) = gf_mul_acc();
-    let mib = SHARD_BYTES as f64 / (1024.0 * 1024.0);
+    let active = simd::active().name();
+    let supported: Vec<String> = simd::all_supported()
+        .iter()
+        .map(|k| format!("\"{}\"", k.name()))
+        .collect();
     println!(
-        "gf256 mul-acc: ref {:.0} MiB/s, opt {:.0} MiB/s, speedup {:.2}x",
-        mib / mul_ref,
-        mib / mul_opt,
-        mul_ref / mul_opt
+        "kernel dispatch: active {active}, supported [{}]",
+        supported.join(", ")
     );
 
-    let (dec_ref, dec_opt) = rs_decode();
+    let mib = SHARD_BYTES as f64 / (1024.0 * 1024.0);
+    let small_mib = SMALL_BYTES as f64 / (1024.0 * 1024.0);
+
+    let (ma_ref, ma_tab, ma_simd) = gf_mul_acc(SHARD_BYTES);
     println!(
-        "rs decode (12,10): ref {:.1} ms, opt {:.1} ms, speedup {:.2}x",
+        "gf256 mul-acc 256KiB: ref {:.0} MiB/s, table {:.0} MiB/s, {active} {:.0} MiB/s ({:.2}x vs table)",
+        mib / ma_ref,
+        mib / ma_tab,
+        mib / ma_simd,
+        ma_tab / ma_simd
+    );
+    let (sm_ref, sm_tab, sm_simd) = gf_mul_acc(SMALL_BYTES);
+    println!(
+        "gf256 mul-acc 16KiB (L1): ref {:.0} MiB/s, table {:.0} MiB/s, {active} {:.0} MiB/s ({:.2}x vs table)",
+        small_mib / sm_ref,
+        small_mib / sm_tab,
+        small_mib / sm_simd,
+        sm_tab / sm_simd
+    );
+
+    let (mm_seq, mm_fused) = gf_mul_acc_multi();
+    println!(
+        "gf256 mul-acc-multi 10x256KiB: table-sequential {:.0} MiB/s, fused {:.0} MiB/s ({:.2}x)",
+        10.0 * mib / mm_seq,
+        10.0 * mib / mm_fused,
+        mm_seq / mm_fused
+    );
+
+    let (dec_ref, dec_tab, dec_simd) = rs_decode();
+    println!(
+        "rs decode (12,10) 256KiB: ref {:.2} ms, table {:.2} ms, simd {:.3} ms ({:.2}x vs table, {:.2}x vs PR1 recorded)",
         dec_ref * 1e3,
-        dec_opt * 1e3,
-        dec_ref / dec_opt
+        dec_tab * 1e3,
+        dec_simd * 1e3,
+        dec_tab / dec_simd,
+        PR1_DECODE_S / dec_simd
+    );
+
+    let (rec_full, rec_one) = rs_reconstruct_one();
+    println!(
+        "rs reconstruct one of (12,10): full-decode {:.2} ms, single-row {:.3} ms ({:.2}x)",
+        rec_full * 1e3,
+        rec_one * 1e3,
+        rec_full / rec_one
     );
 
     let (fs_ref, fs_opt) = fairshare_realloc();
@@ -227,12 +336,11 @@ fn main() {
     let encode = {
         let rs =
             ReedSolomon::new(CodeParams::new(12, 10).unwrap(), CodeConstruction::Cauchy).unwrap();
-        let data: Vec<Vec<u8>> = (0..10)
-            .map(|s| (0..SHARD_BYTES).map(|i| (i * 13 + s * 101) as u8).collect())
-            .collect();
+        let data: Vec<Vec<u8>> = (0..10).map(|s| make_shard(SHARD_BYTES, s)).collect();
+        let mut parity = Vec::new();
         time_per_call(|| {
-            let p = rs.encode_parity(&data).unwrap();
-            assert_eq!(p.len(), 2);
+            rs.encode_parity_into(&data, &mut parity).unwrap();
+            assert_eq!(parity.len(), 2);
         })
     };
     let churn_200 = netsim_churn_ops(200);
@@ -263,49 +371,92 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "pr": 1,
+  "pr": 6,
   "harness": "cargo run --release -p bench --bin bench_snapshot",
-  "kernel_speedups_vs_retained_reference": {{
-    "gf256_mul_acc": {{
-      "ref_mib_per_s": {:.1},
-      "opt_mib_per_s": {:.1},
-      "speedup": {:.2}
-    }},
-    "rs_decode_12_10_256KiB": {{
-      "ref_s_per_decode": {:.6},
-      "opt_s_per_decode": {:.6},
-      "speedup": {:.2}
-    }},
-    "netsim_fairshare_realloc_256_flows": {{
-      "ref_s_per_call": {:.9},
-      "opt_s_per_call": {:.9},
-      "speedup": {:.2}
-    }}
+  "kernel_dispatch": {{
+    "active": "{active}",
+    "supported": [{supported}],
+    "force_scalar_env": "ERASURE_FORCE_SCALAR"
+  }},
+  "gf256_mul_acc_256KiB": {{
+    "ref_logexp_mib_per_s": {ref256:.1},
+    "table_scalar_mib_per_s": {tab256:.1},
+    "simd_mib_per_s": {simd256:.1},
+    "simd_vs_table_scalar": {r256:.2},
+    "pr1_recorded_mib_per_s": {pr1ma:.1},
+    "simd_vs_pr1_recorded": {r256pr1:.2}
+  }},
+  "gf256_mul_acc_16KiB_l1": {{
+    "ref_logexp_mib_per_s": {ref16:.1},
+    "table_scalar_mib_per_s": {tab16:.1},
+    "simd_mib_per_s": {simd16:.1},
+    "simd_vs_table_scalar": {r16:.2}
+  }},
+  "gf256_mul_acc_multi_10x256KiB": {{
+    "table_sequential_mib_per_s": {mmseq:.1},
+    "simd_fused_mib_per_s": {mmfused:.1},
+    "fused_vs_sequential": {mmr:.2}
+  }},
+  "rs_decode_12_10_256KiB": {{
+    "ref_logexp_s_per_decode": {dref:.6},
+    "table_scalar_s_per_decode": {dtab:.6},
+    "simd_s_per_decode": {dsimd:.6},
+    "simd_vs_table_scalar": {dr:.2},
+    "pr1_recorded_s_per_decode": {pr1d:.6},
+    "simd_vs_pr1_recorded": {drpr1:.2}
+  }},
+  "rs_reconstruct_one_12_10_256KiB": {{
+    "full_decode_s": {rfull:.6},
+    "single_row_s": {rone:.6},
+    "speedup": {rr:.2}
+  }},
+  "netsim_fairshare_realloc_256_flows": {{
+    "ref_s_per_call": {fsr:.9},
+    "opt_s_per_call": {fso:.9},
+    "speedup": {fsx:.2}
   }},
   "suites_ops_per_sec": {{
-    "rs_codec_encode_12_10": {:.2},
-    "event_calendar_schedule_pop_10k": {:.0},
-    "netsim_flows_churn_200": {:.0},
-    "scheduler_decision_small_edf_runs": {:.2}
+    "rs_codec_encode_12_10": {enc:.2},
+    "event_calendar_schedule_pop_10k": {cal:.0},
+    "netsim_flows_churn_200": {churn:.0},
+    "scheduler_decision_small_edf_runs": {schedr:.2}
   }},
-  "fig7_fixed_config_wall_s": {:.3}
+  "fig7_fixed_config_wall_s": {fig7:.3}
 }}
 "#,
-        mib / mul_ref,
-        mib / mul_opt,
-        mul_ref / mul_opt,
-        dec_ref,
-        dec_opt,
-        dec_ref / dec_opt,
-        fs_ref,
-        fs_opt,
-        fs_ref / fs_opt,
-        1.0 / encode,
-        cal_10k,
-        churn_200,
-        1.0 / sched,
-        fig7,
+        active = active,
+        supported = supported.join(", "),
+        ref256 = mib / ma_ref,
+        tab256 = mib / ma_tab,
+        simd256 = mib / ma_simd,
+        r256 = ma_tab / ma_simd,
+        pr1ma = PR1_MUL_ACC_MIB_S,
+        r256pr1 = (mib / ma_simd) / PR1_MUL_ACC_MIB_S,
+        ref16 = small_mib / sm_ref,
+        tab16 = small_mib / sm_tab,
+        simd16 = small_mib / sm_simd,
+        r16 = sm_tab / sm_simd,
+        mmseq = 10.0 * mib / mm_seq,
+        mmfused = 10.0 * mib / mm_fused,
+        mmr = mm_seq / mm_fused,
+        dref = dec_ref,
+        dtab = dec_tab,
+        dsimd = dec_simd,
+        dr = dec_tab / dec_simd,
+        pr1d = PR1_DECODE_S,
+        drpr1 = PR1_DECODE_S / dec_simd,
+        rfull = rec_full,
+        rone = rec_one,
+        rr = rec_full / rec_one,
+        fsr = fs_ref,
+        fso = fs_opt,
+        fsx = fs_ref / fs_opt,
+        enc = 1.0 / encode,
+        cal = cal_10k,
+        churn = churn_200,
+        schedr = 1.0 / sched,
+        fig7 = fig7,
     );
-    std::fs::write("BENCH_PR1.json", json).expect("write BENCH_PR1.json");
-    println!("wrote BENCH_PR1.json");
+    std::fs::write("BENCH_PR6.json", json).expect("write BENCH_PR6.json");
+    println!("wrote BENCH_PR6.json");
 }

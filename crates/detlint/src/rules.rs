@@ -152,7 +152,15 @@ pub fn lint_source(src: &str, ctx: &FileContext, cfg: &Config) -> Vec<Finding> {
     let det_crate = cfg.determinism_crates.contains(&ctx.crate_name);
     let panic_crate = cfg.panic_crates.contains(&ctx.crate_name);
     let d2_exempt = cfg.d2_exempt_crates.contains(&ctx.crate_name);
-    let unsafe_ok = cfg.unsafe_allow_files.contains(&ctx.path);
+    // Allowlist entries are exact paths, or directory prefixes when
+    // they end in '/'.
+    let unsafe_ok = cfg.unsafe_allow_files.iter().any(|allowed| {
+        if allowed.ends_with('/') {
+            ctx.path.starts_with(allowed.as_str())
+        } else {
+            allowed == &ctx.path
+        }
+    });
 
     // --- D1: hash collections in determinism-critical crates -------
     if det_crate && !ctx.in_tests_dir {

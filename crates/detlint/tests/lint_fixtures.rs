@@ -100,6 +100,29 @@ fn u1_unsafe_golden() {
 }
 
 #[test]
+fn u1_allows_unsafe_under_simd_directory_prefix() {
+    // The `crates/erasure/src/simd/` allowlist entry is a directory
+    // prefix: any file beneath it may hold reviewed `unsafe`.
+    check(
+        "u1_unsafe.rs",
+        "crates/erasure/src/simd/fixture.rs",
+        "u1_unsafe.simd.expected.json",
+    );
+}
+
+#[test]
+fn u1_fires_outside_the_simd_directory() {
+    // A sibling of the allowed directory (including gf256.rs itself,
+    // which no longer carries an exemption) still triggers U1 — the
+    // prefix must not leak onto `crates/erasure/src/` generally.
+    check(
+        "u1_unsafe.rs",
+        "crates/erasure/src/fixture.rs",
+        "u1_unsafe.erasure.expected.json",
+    );
+}
+
+#[test]
 fn tricky_strings_and_comments_golden() {
     check(
         "tricky.rs",

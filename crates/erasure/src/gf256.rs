@@ -253,93 +253,21 @@ fn nibble_tables() -> &'static [[u8; 32]; 256] {
     })
 }
 
-/// `dst[i] ^= coeff * src[i]` (or plain assignment when `ACCUMULATE` is
-/// false) for 32-byte blocks via AVX2 `vpshufb`; returns the number of
-/// bytes handled, with any tail left to the scalar kernel.
-///
-/// # Safety
-///
-/// Caller must ensure the CPU supports AVX2 and `dst.len() == src.len()`.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn gf_mul_avx2<const ACCUMULATE: bool>(dst: &mut [u8], src: &[u8], nib: &[u8; 32]) -> usize {
-    use core::arch::x86_64::*;
-    let lo_table = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr() as *const __m128i));
-    let hi_table =
-        _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr().add(16) as *const __m128i));
-    let mask = _mm256_set1_epi8(0x0F);
-    let blocks = dst.len() / 32;
-    for i in 0..blocks {
-        let s = _mm256_loadu_si256(src.as_ptr().add(i * 32) as *const __m256i);
-        let lo = _mm256_and_si256(s, mask);
-        let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
-        let mut p = _mm256_xor_si256(
-            _mm256_shuffle_epi8(lo_table, lo),
-            _mm256_shuffle_epi8(hi_table, hi),
-        );
-        let d = dst.as_mut_ptr().add(i * 32) as *mut __m256i;
-        if ACCUMULATE {
-            p = _mm256_xor_si256(p, _mm256_loadu_si256(d as *const __m256i));
-        }
-        _mm256_storeu_si256(d, p);
-    }
-    blocks * 32
-}
-
-/// True when the AVX2 kernel is usable (result cached by std).
-#[cfg(target_arch = "x86_64")]
-fn have_avx2() -> bool {
-    std::arch::is_x86_feature_detected!("avx2")
+/// The nibble-table pair for one coefficient, consumed by the SIMD
+/// shuffle kernels in [`crate::simd`].
+pub(crate) fn nibble_row(coeff: Gf256) -> &'static [u8; 32] {
+    &nibble_tables()[coeff.value() as usize]
 }
 
 /// Computes `dst[i] ^= coeff * src[i]` over whole buffers — the inner loop
-/// of both encoding and decoding.
+/// of both encoding and decoding. Dispatches to the fastest kernel tier
+/// the host supports (see [`crate::simd`]).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], coeff: Gf256) {
-    assert_eq!(dst.len(), src.len(), "buffer length mismatch");
-    if coeff.is_zero() {
-        return;
-    }
-    if coeff == Gf256::ONE {
-        // Pure XOR: take it eight bytes at a time as u64 words.
-        let mut d = dst.chunks_exact_mut(8);
-        let mut s = src.chunks_exact(8);
-        for (dw, sw) in (&mut d).zip(&mut s) {
-            let x = u64::from_ne_bytes(dw.try_into().unwrap())
-                ^ u64::from_ne_bytes(sw.try_into().unwrap());
-            dw.copy_from_slice(&x.to_ne_bytes());
-        }
-        for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-            *db ^= sb;
-        }
-        return;
-    }
-    let mut done = 0;
-    #[cfg(target_arch = "x86_64")]
-    if dst.len() >= 32 && have_avx2() {
-        let nib = &nibble_tables()[coeff.value() as usize];
-        // SAFETY: AVX2 support was just checked; lengths match.
-        done = unsafe { gf_mul_avx2::<true>(dst, src, nib) };
-    }
-    let row = mul_row(coeff);
-    let mut d = dst[done..].chunks_exact_mut(8);
-    let mut s = src[done..].chunks_exact(8);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        dc[0] ^= row[sc[0] as usize];
-        dc[1] ^= row[sc[1] as usize];
-        dc[2] ^= row[sc[2] as usize];
-        dc[3] ^= row[sc[3] as usize];
-        dc[4] ^= row[sc[4] as usize];
-        dc[5] ^= row[sc[5] as usize];
-        dc[6] ^= row[sc[6] as usize];
-        dc[7] ^= row[sc[7] as usize];
-    }
-    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *db ^= row[*sb as usize];
-    }
+    crate::simd::active().mul_acc_slice(dst, src, coeff);
 }
 
 /// Computes `dst[i] = coeff * src[i]` over whole buffers.
@@ -348,91 +276,26 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], coeff: Gf256) {
 ///
 /// Panics if the slices have different lengths.
 pub fn mul_slice(dst: &mut [u8], src: &[u8], coeff: Gf256) {
-    assert_eq!(dst.len(), src.len(), "buffer length mismatch");
-    if coeff.is_zero() {
-        dst.fill(0);
-        return;
-    }
-    if coeff == Gf256::ONE {
-        dst.copy_from_slice(src);
-        return;
-    }
-    let mut done = 0;
-    #[cfg(target_arch = "x86_64")]
-    if dst.len() >= 32 && have_avx2() {
-        let nib = &nibble_tables()[coeff.value() as usize];
-        // SAFETY: AVX2 support was just checked; lengths match.
-        done = unsafe { gf_mul_avx2::<false>(dst, src, nib) };
-    }
-    let row = mul_row(coeff);
-    let mut d = dst[done..].chunks_exact_mut(8);
-    let mut s = src[done..].chunks_exact(8);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        dc[0] = row[sc[0] as usize];
-        dc[1] = row[sc[1] as usize];
-        dc[2] = row[sc[2] as usize];
-        dc[3] = row[sc[3] as usize];
-        dc[4] = row[sc[4] as usize];
-        dc[5] = row[sc[5] as usize];
-        dc[6] = row[sc[6] as usize];
-        dc[7] = row[sc[7] as usize];
-    }
-    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *db = row[*sb as usize];
-    }
+    crate::simd::active().mul_slice(dst, src, coeff);
 }
 
 /// Computes `data[i] = coeff * data[i]` in place — lets callers start an
 /// accumulation from a copied shard without a zeroed scratch buffer.
 pub fn mul_slice_in_place(data: &mut [u8], coeff: Gf256) {
-    if coeff.is_zero() {
-        data.fill(0);
-        return;
-    }
-    if coeff == Gf256::ONE {
-        return;
-    }
-    let mut done = 0;
-    #[cfg(target_arch = "x86_64")]
-    if data.len() >= 32 && have_avx2() {
-        let nib = &nibble_tables()[coeff.value() as usize];
-        // SAFETY: AVX2 support was just checked.
-        done = unsafe { gf_mul_in_place_avx2(data, nib) };
-    }
-    let row = mul_row(coeff);
-    for b in data[done..].iter_mut() {
-        *b = row[*b as usize];
-    }
+    crate::simd::active().mul_slice_in_place(data, coeff);
 }
 
-/// In-place variant of [`gf_mul_avx2`]; returns bytes handled.
+/// Fused multi-source accumulate over whole buffers:
+/// `dst[i] ^= Σⱼ termsⱼ.0 * termsⱼ.1[i]`, applying every source per
+/// cache-blocked pass over `dst` instead of one full sweep per
+/// coefficient — the inner loop of stripe encode/decode (see
+/// [`crate::simd::Kernels::mul_acc_multi`]).
 ///
-/// # Safety
+/// # Panics
 ///
-/// Caller must ensure the CPU supports AVX2.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn gf_mul_in_place_avx2(data: &mut [u8], nib: &[u8; 32]) -> usize {
-    use core::arch::x86_64::*;
-    let lo_table = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr() as *const __m128i));
-    let hi_table =
-        _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr().add(16) as *const __m128i));
-    let mask = _mm256_set1_epi8(0x0F);
-    let blocks = data.len() / 32;
-    for i in 0..blocks {
-        let p = data.as_mut_ptr().add(i * 32) as *mut __m256i;
-        let s = _mm256_loadu_si256(p as *const __m256i);
-        let lo = _mm256_and_si256(s, mask);
-        let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
-        _mm256_storeu_si256(
-            p,
-            _mm256_xor_si256(
-                _mm256_shuffle_epi8(lo_table, lo),
-                _mm256_shuffle_epi8(hi_table, hi),
-            ),
-        );
-    }
-    blocks * 32
+/// Panics if any source length differs from `dst`.
+pub fn mul_acc_multi(dst: &mut [u8], terms: &[crate::simd::Term<'_>]) {
+    crate::simd::active().mul_acc_multi(dst, terms);
 }
 
 /// Reference implementation of [`mul_acc_slice`] via log/antilog lookups

@@ -38,6 +38,7 @@ pub mod gf256;
 pub mod lrc;
 pub mod matrix;
 pub mod rs;
+pub mod simd;
 pub mod stripe;
 
 pub use gf256::Gf256;

@@ -8,41 +8,34 @@
 //! paper relies on ("reads the blocks from any k surviving nodes of the
 //! same stripe", Section II-B).
 
-use crate::gf256::{mul_acc_slice, mul_slice_in_place, Gf256};
+use crate::gf256::{mul_acc_multi, mul_slice_in_place, Gf256};
+use crate::simd::Term;
 
 /// Builds `Σ row[j] · shard_j` without a zeroed scratch buffer: the
 /// first nonzero term seeds the output as a copy (scaled in place unless
 /// its coefficient is one — the common case for systematic decode rows),
-/// and the remaining nonzero terms accumulate on top. Zeroing a fresh
-/// 256 KiB buffer costs as much as the multiplies themselves, so
-/// skipping it roughly halves full-stripe decode time.
-fn combine<'a>(
-    row: &[Gf256],
-    shards: impl Iterator<Item = &'a [u8]> + Clone,
-    len: usize,
-) -> Vec<u8> {
-    let mut out = Vec::new();
-    combine_reusing(&mut out, row, shards, len);
-    out
-}
-
-/// [`combine`] into a caller-owned buffer, reusing its capacity.
-fn combine_reusing<'a>(
-    out: &mut Vec<u8>,
-    row: &[Gf256],
-    shards: impl Iterator<Item = &'a [u8]> + Clone,
-    len: usize,
-) {
+/// and the remaining nonzero terms are applied by the fused
+/// [`mul_acc_multi`] kernel in one cache-blocked pass over the output
+/// instead of one full sweep per coefficient. Zeroing a fresh 256 KiB
+/// buffer costs as much as the multiplies themselves, so skipping it
+/// roughly halves full-stripe decode time; the fusion then keeps each
+/// output block L1-resident while every source streams past it.
+fn combine_reusing(out: &mut Vec<u8>, row: &[Gf256], shards: &[&[u8]], len: usize) {
     out.clear();
     let Some(j0) = row.iter().position(|c| !c.is_zero()) else {
         out.resize(len, 0);
         return;
     };
-    out.extend_from_slice(shards.clone().nth(j0).expect("row/shard arity"));
+    out.extend_from_slice(shards[j0]);
     mul_slice_in_place(out, row[j0]);
-    for (j, shard) in shards.enumerate().skip(j0 + 1) {
-        mul_acc_slice(out, shard, row[j]);
-    }
+    let terms: Vec<Term<'_>> = row
+        .iter()
+        .zip(shards)
+        .skip(j0 + 1)
+        .filter(|(c, _)| !c.is_zero())
+        .map(|(&c, &s)| (c, s))
+        .collect();
+    mul_acc_multi(out, &terms);
 }
 use crate::matrix::Matrix;
 use crate::{CodeError, CodeParams};
@@ -170,25 +163,47 @@ impl ReedSolomon {
     /// Returns [`CodeError::WrongShardCount`] or
     /// [`CodeError::UnequalShardLengths`] on malformed input.
     pub fn encode_parity<S: AsRef<[u8]>>(&self, data: &[S]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let mut out = Vec::new();
+        self.encode_parity_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`ReedSolomon::encode_parity`], but writes the parity shards
+    /// into `out`, reusing its buffers (cf.
+    /// [`ReedSolomon::decode_data_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::encode_parity`]; on error `out`
+    /// is left in an unspecified (but valid) state.
+    pub fn encode_parity_into<S: AsRef<[u8]>>(
+        &self,
+        data: &[S],
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), CodeError> {
         let k = self.params.k();
         let len = self.check_shards(data, k)?;
-        let parity = (0..self.params.parity())
-            .map(|p| {
-                let row = self.encode_matrix.row(k + p);
-                combine(row, data.iter().map(AsRef::as_ref), len)
-            })
-            .collect();
-        Ok(parity)
+        let refs: Vec<&[u8]> = data.iter().map(AsRef::as_ref).collect();
+        out.resize_with(self.params.parity(), Vec::new);
+        for (p, o) in out.iter_mut().enumerate() {
+            combine_reusing(o, self.encode_matrix.row(k + p), &refs, len);
+        }
+        Ok(())
     }
 
     /// Recovers **all** `k` data shards from any `k` distinct shards of
-    /// the stripe, given as `(shard_index, bytes)` pairs.
+    /// the stripe, given as `(shard_index, bytes)` pairs. Shard bytes may
+    /// be owned (`Vec<u8>`) or borrowed (`&[u8]`) — borrowing lets
+    /// callers decode straight out of their stores without cloning.
     ///
     /// # Errors
     ///
     /// Returns [`CodeError::NotEnoughShards`], [`CodeError::BadShardIndex`]
     /// (out of range or duplicate), or [`CodeError::UnequalShardLengths`].
-    pub fn decode_data(&self, shards: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, CodeError> {
+    pub fn decode_data<S: AsRef<[u8]>>(
+        &self,
+        shards: &[(usize, S)],
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
         let mut out = Vec::new();
         self.decode_data_into(shards, &mut out)?;
         Ok(out)
@@ -204,11 +219,34 @@ impl ReedSolomon {
     ///
     /// Same conditions as [`ReedSolomon::decode_data`]; on error `out`
     /// is left in an unspecified (but valid) state.
-    pub fn decode_data_into(
+    pub fn decode_data_into<S: AsRef<[u8]>>(
         &self,
-        shards: &[(usize, Vec<u8>)],
+        shards: &[(usize, S)],
         out: &mut Vec<Vec<u8>>,
     ) -> Result<(), CodeError> {
+        let k = self.params.k();
+        let (indices, refs, len) = self.validate_survivors(shards)?;
+        let sub = self.encode_matrix.select_rows(&indices);
+        let inv = sub.inverted()?;
+        out.resize_with(k, Vec::new);
+        let mut row = vec![Gf256::ZERO; k];
+        for (t, o) in out.iter_mut().enumerate() {
+            for (j, c) in row.iter_mut().enumerate() {
+                *c = inv[(t, j)];
+            }
+            combine_reusing(o, &row, &refs, len);
+        }
+        Ok(())
+    }
+
+    /// Validates the first `k` survivor shards (distinct in-range
+    /// indices, equal lengths) and splits them into the pieces every
+    /// decode path needs.
+    #[allow(clippy::type_complexity)]
+    fn validate_survivors<'a, S: AsRef<[u8]>>(
+        &self,
+        shards: &'a [(usize, S)],
+    ) -> Result<(Vec<usize>, Vec<&'a [u8]>, usize), CodeError> {
         let k = self.params.k();
         if shards.len() < k {
             return Err(CodeError::NotEnoughShards {
@@ -224,59 +262,85 @@ impl ReedSolomon {
             }
             seen[idx] = true;
         }
-        let len = used[0].1.len();
-        if used.iter().any(|(_, s)| s.len() != len) {
+        let len = used[0].1.as_ref().len();
+        if used.iter().any(|(_, s)| s.as_ref().len() != len) {
             return Err(CodeError::UnequalShardLengths);
         }
         let indices: Vec<usize> = used.iter().map(|&(i, _)| i).collect();
-        let sub = self.encode_matrix.select_rows(&indices);
-        let inv = sub.inverted()?;
-        out.resize_with(k, Vec::new);
-        let mut row = vec![Gf256::ZERO; k];
-        for (t, o) in out.iter_mut().enumerate() {
-            for (j, c) in row.iter_mut().enumerate() {
-                *c = inv[(t, j)];
-            }
-            combine_reusing(o, &row, used.iter().map(|(_, s)| s.as_slice()), len);
-        }
-        Ok(())
+        let refs: Vec<&[u8]> = used.iter().map(|(_, s)| s.as_ref()).collect();
+        Ok((indices, refs, len))
     }
 
     /// Recovers the single shard with index `target` (data or parity)
     /// from any `k` distinct shards. This is the degraded-read primitive:
     /// download `k` surviving blocks, rebuild the lost one.
     ///
+    /// Only the one requested shard is computed: the target's
+    /// combination row over the survivors is derived from the inverted
+    /// decode matrix (composed with the target's encoding row for parity
+    /// targets), so reconstruction costs a single `k`-source combine
+    /// instead of the full `k`-shard decode — a factor-`k` saving on
+    /// every degraded read.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`ReedSolomon::decode_data`], plus
     /// [`CodeError::BadShardIndex`] if `target >= n`.
-    pub fn reconstruct_shard(
+    pub fn reconstruct_shard<S: AsRef<[u8]>>(
         &self,
-        shards: &[(usize, Vec<u8>)],
+        shards: &[(usize, S)],
         target: usize,
     ) -> Result<Vec<u8>, CodeError> {
+        let mut out = Vec::new();
+        self.reconstruct_shard_into(shards, target, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`ReedSolomon::reconstruct_shard`], but writes the rebuilt
+    /// shard into `out`, reusing its capacity — the alloc-free form the
+    /// storage layer's degraded-read path uses.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::reconstruct_shard`]; on error
+    /// `out` is left in an unspecified (but valid) state.
+    pub fn reconstruct_shard_into<S: AsRef<[u8]>>(
+        &self,
+        shards: &[(usize, S)],
+        target: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
         let (n, k) = (self.params.n(), self.params.k());
         if target >= n {
             return Err(CodeError::BadShardIndex { index: target });
         }
         // Fast path: the target is among the supplied shards.
-        if let Some((_, s)) = shards.iter().find(|&&(i, _)| i == target) {
-            return Ok(s.clone());
+        if let Some((_, s)) = shards.iter().find(|&(i, _)| *i == target) {
+            out.clear();
+            out.extend_from_slice(s.as_ref());
+            return Ok(());
         }
-        if shards.len() < k {
-            return Err(CodeError::NotEnoughShards {
-                needed: k,
-                have: shards.len(),
-            });
-        }
-        let data = self.decode_data(shards)?;
+        let (indices, refs, len) = self.validate_survivors(shards)?;
+        let sub = self.encode_matrix.select_rows(&indices);
+        let inv = sub.inverted()?;
+        // The row combining the survivors directly into the target:
+        // data[t] = Σⱼ inv[t][j] · survivor_j, and a parity target is
+        // G[target] applied on top of that, i.e. (G[target] × inv).
+        let mut row = vec![Gf256::ZERO; k];
         if target < k {
-            return Ok(data.into_iter().nth(target).expect("target < k"));
+            row.copy_from_slice(inv.row(target));
+        } else {
+            let g = self.encode_matrix.row(target);
+            for (j, c) in row.iter_mut().enumerate() {
+                let mut acc = Gf256::ZERO;
+                for (t, &gt) in g.iter().enumerate() {
+                    acc += gt * inv[(t, j)];
+                }
+                *c = acc;
+            }
         }
-        // Re-encode just the requested parity row.
-        let row = self.encode_matrix.row(target);
-        let len = data[0].len();
-        Ok(combine(row, data.iter().map(Vec::as_slice), len))
+        combine_reusing(out, &row, &refs, len);
+        Ok(())
     }
 
     /// Applies a data-shard overwrite to the parity shards **in place**
@@ -310,10 +374,15 @@ impl ReedSolomon {
         if old.len() != new.len() || parity.iter().any(|p| p.len() != old.len()) {
             return Err(CodeError::UnequalShardLengths);
         }
-        let delta: Vec<u8> = old.iter().zip(new).map(|(a, b)| a ^ b).collect();
+        // By linearity c·(old ⊕ new) = c·old ⊕ c·new, so the delta never
+        // needs materializing: the fused kernel applies both terms in
+        // one cache-blocked pass, allocation-free.
         for (p, shard) in parity.iter_mut().enumerate() {
             let coeff = self.encode_matrix.row(k + p)[data_index];
-            mul_acc_slice(shard, &delta, coeff);
+            if coeff.is_zero() {
+                continue;
+            }
+            mul_acc_multi(shard, &[(coeff, old), (coeff, new)]);
         }
         Ok(())
     }
@@ -510,7 +579,7 @@ mod tests {
             CodeError::BadShardIndex { index: 6 }
         );
         assert_eq!(
-            rs.reconstruct_shard(&[], 9).unwrap_err(),
+            rs.reconstruct_shard::<Vec<u8>>(&[], 9).unwrap_err(),
             CodeError::BadShardIndex { index: 9 }
         );
     }

@@ -1,0 +1,378 @@
+//! Runtime-dispatched GF(2^8) slice kernels.
+//!
+//! Every Reed–Solomon stripe operation in this crate reduces to four
+//! bulk primitives over byte buffers — `dst = c·src`, `dst ^= c·src`,
+//! `data = c·data`, and the fused multi-source `dst ^= Σ cⱼ·srcⱼ`. This
+//! module owns their implementations and picks the fastest one the host
+//! supports **once**, at first use:
+//!
+//! | Tier          | ISA requirement                | Technique |
+//! |---------------|--------------------------------|-----------|
+//! | `gfni-avx512` | x86-64 GFNI + AVX-512F/BW      | `vgf2p8mulb` multiplies 64 bytes directly in GF(2^8) mod 0x11B (the crate's polynomial); the multi-source kernel keeps the destination vector in registers across sources |
+//! | `avx2`        | x86-64 AVX2                    | split-nibble `vpshufb`: `c·s = lo[s & 0xF] ⊕ hi[s >> 4]`, 32 bytes per lookup pair |
+//! | `ssse3`       | x86-64 SSSE3                   | the same split-nibble lookups on 128-bit vectors |
+//! | `neon`        | AArch64 NEON                   | split-nibble `vqtbl1q_u8`, 16 bytes per lookup pair |
+//! | `scalar`      | none                           | 64 KiB product-table rows, 8-way unrolled (the PR 1 table-driven kernel, retained as the universal fallback) |
+//!
+//! Selection is overridable for testing and triage: set
+//! `ERASURE_FORCE_SCALAR=1` to pin the table-driven fallback, or
+//! `ERASURE_KERNEL=<tier name>` to cap dispatch at a tier (anything the
+//! host lacks falls through to the next supported tier). The choice
+//! only ever changes speed — every tier computes bit-identical bytes,
+//! pinned against the `gf256::*_ref` oracles by unit tests, proptests,
+//! and `tests/simd_kernels.rs`.
+//!
+//! # Safety
+//!
+//! All `unsafe` in this crate lives in the per-ISA submodules
+//! (`detlint` U1 enforces this via its `crates/erasure/src/simd/`
+//! allowlist entry). The blanket argument: each `#[target_feature]`
+//! function is reachable only through a [`Kernels`] table that
+//! [`choose`] constructs *after* the matching
+//! `is_x86_feature_detected!` / `is_aarch64_feature_detected!` probe
+//! (or through tests that probe first), and every raw pointer stays
+//! inside the bounds of the argument slices — offsets are always
+//! `< len` rounded down to whole vectors, with heads/tails delegated to
+//! safe scalar code.
+
+use crate::gf256::Gf256;
+
+mod scalar;
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+/// One source operand of the fused multi-source kernel: the coefficient
+/// and the source slice it scales.
+pub type Term<'a> = (Gf256, &'a [u8]);
+
+/// Destination block size of the cache-blocked multi-source loop: big
+/// enough to amortize per-block setup, small enough that the
+/// destination block stays resident in L1 while every source streams
+/// past it.
+pub(crate) const BLOCK: usize = 4096;
+
+/// A dispatch table of GF(2^8) slice kernels for one ISA tier.
+///
+/// The raw entries assume equal-length slices and are total over all
+/// coefficients (0 and 1 included); the public methods add the length
+/// checks and the branch-free fast paths shared by every tier.
+#[derive(Clone, Copy)]
+pub struct Kernels {
+    name: &'static str,
+    mul_slice: fn(&mut [u8], &[u8], Gf256),
+    mul_acc: fn(&mut [u8], &[u8], Gf256),
+    mul_in_place: fn(&mut [u8], Gf256),
+    mul_acc_multi: fn(&mut [u8], &[Term<'_>]),
+}
+
+impl std::fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernels").field("name", &self.name).finish()
+    }
+}
+
+impl Kernels {
+    /// The tier name (`"scalar"`, `"avx2"`, ...).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// `dst[i] = coeff * src[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn mul_slice(&self, dst: &mut [u8], src: &[u8], coeff: Gf256) {
+        assert_eq!(dst.len(), src.len(), "buffer length mismatch");
+        if coeff.is_zero() {
+            dst.fill(0);
+        } else if coeff == Gf256::ONE {
+            dst.copy_from_slice(src);
+        } else {
+            (self.mul_slice)(dst, src, coeff);
+        }
+    }
+
+    /// `dst[i] ^= coeff * src[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn mul_acc_slice(&self, dst: &mut [u8], src: &[u8], coeff: Gf256) {
+        assert_eq!(dst.len(), src.len(), "buffer length mismatch");
+        if coeff.is_zero() {
+            return;
+        }
+        if coeff == Gf256::ONE {
+            scalar::xor_slice(dst, src);
+        } else {
+            (self.mul_acc)(dst, src, coeff);
+        }
+    }
+
+    /// `data[i] = coeff * data[i]`.
+    pub fn mul_slice_in_place(&self, data: &mut [u8], coeff: Gf256) {
+        if coeff.is_zero() {
+            data.fill(0);
+        } else if coeff != Gf256::ONE {
+            (self.mul_in_place)(data, coeff);
+        }
+    }
+
+    /// Fused multi-source accumulate: `dst[i] ^= Σⱼ termsⱼ.0 * termsⱼ.1[i]`,
+    /// walking `dst` in L1-sized blocks so several source shards are
+    /// applied per pass over the destination instead of one full sweep
+    /// per coefficient. Zero-coefficient terms are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source length differs from `dst`.
+    pub fn mul_acc_multi(&self, dst: &mut [u8], terms: &[Term<'_>]) {
+        for (_, src) in terms {
+            assert_eq!(dst.len(), src.len(), "buffer length mismatch");
+        }
+        if terms.is_empty() {
+            return;
+        }
+        (self.mul_acc_multi)(dst, terms);
+    }
+}
+
+/// Cache-blocked multi-source loop built from a tier's two-operand
+/// accumulate kernel: the shared implementation for every tier without
+/// a register-fused multi-source kernel of its own. Each `BLOCK`-sized
+/// destination chunk stays in L1 while all sources are applied to it.
+pub(crate) fn blocked_multi(acc: fn(&mut [u8], &[u8], Gf256), dst: &mut [u8], terms: &[Term<'_>]) {
+    let len = dst.len();
+    let mut start = 0;
+    while start < len {
+        let end = (start + BLOCK).min(len);
+        let d = &mut dst[start..end];
+        for &(coeff, src) in terms {
+            if coeff.is_zero() {
+                continue;
+            }
+            if coeff == Gf256::ONE {
+                scalar::xor_slice(d, &src[start..end]);
+            } else {
+                acc(d, &src[start..end], coeff);
+            }
+        }
+        start = end;
+    }
+}
+
+static SCALAR: Kernels = Kernels {
+    name: "scalar",
+    mul_slice: scalar::mul_slice,
+    mul_acc: scalar::mul_acc,
+    mul_in_place: scalar::mul_in_place,
+    mul_acc_multi: scalar::mul_acc_multi,
+};
+
+/// The ISA features the running host actually supports, probed via
+/// `std::arch` (results cached by std). Kept as a plain struct so tier
+/// selection is a pure function that unit tests can drive without
+/// touching the environment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct HostFeatures {
+    pub gfni_avx512: bool,
+    pub avx2: bool,
+    pub ssse3: bool,
+    pub neon: bool,
+}
+
+fn host_features() -> HostFeatures {
+    #[cfg(target_arch = "x86_64")]
+    {
+        HostFeatures {
+            gfni_avx512: std::arch::is_x86_feature_detected!("gfni")
+                && std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw"),
+            avx2: std::arch::is_x86_feature_detected!("avx2"),
+            ssse3: std::arch::is_x86_feature_detected!("ssse3"),
+            neon: false,
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        HostFeatures {
+            gfni_avx512: false,
+            avx2: false,
+            ssse3: false,
+            neon: std::arch::is_aarch64_feature_detected!("neon"),
+        }
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        HostFeatures::default()
+    }
+}
+
+/// The dispatch ladder, fastest first, with each tier's availability.
+/// Tiers whose ISA the build target lacks are compiled out entirely.
+fn ladder(have: HostFeatures) -> Vec<(&'static Kernels, bool)> {
+    let mut tiers: Vec<(&'static Kernels, bool)> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        tiers.push((&x86::GFNI_AVX512, have.gfni_avx512));
+        tiers.push((&x86::AVX2, have.avx2));
+        tiers.push((&x86::SSSE3, have.ssse3));
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        tiers.push((&neon::NEON, have.neon));
+    }
+    let _ = have;
+    tiers.push((&SCALAR, true));
+    tiers
+}
+
+/// Pure tier selection: the fastest supported tier, optionally capped
+/// at the tier named by `requested` (`ERASURE_KERNEL`) and overridden
+/// entirely by `force_scalar` (`ERASURE_FORCE_SCALAR`). An unknown
+/// `requested` name imposes no cap; a requested tier the host lacks
+/// falls through to the next supported one.
+pub(crate) fn choose(
+    requested: Option<&str>,
+    force_scalar: bool,
+    have: HostFeatures,
+) -> &'static Kernels {
+    if force_scalar {
+        return &SCALAR;
+    }
+    let tiers = ladder(have);
+    let start = requested
+        .and_then(|name| tiers.iter().position(|(k, _)| k.name == name))
+        .unwrap_or(0);
+    tiers[start..]
+        .iter()
+        .find(|(_, supported)| *supported)
+        .map(|(k, _)| *k)
+        .unwrap_or(&SCALAR)
+}
+
+/// The kernel tier every public `gf256` slice function dispatches to,
+/// selected once per process.
+pub fn active() -> &'static Kernels {
+    use std::sync::OnceLock;
+    static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        let force =
+            std::env::var_os("ERASURE_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0");
+        let requested = std::env::var("ERASURE_KERNEL").ok();
+        choose(requested.as_deref(), force, host_features())
+    })
+}
+
+/// The table-driven scalar fallback, always available — benchmarks use
+/// it as the "what PR 1 shipped" baseline, and tests pin it against the
+/// `_ref` oracles so the fallback stays covered even on SIMD hosts.
+pub fn scalar() -> &'static Kernels {
+    &SCALAR
+}
+
+/// Every tier the running host supports (always ends with `scalar`).
+/// Test suites iterate this so each reachable SIMD path is pinned
+/// bit-identical to the reference oracles in a single test run.
+pub fn all_supported() -> Vec<&'static Kernels> {
+    ladder(host_features())
+        .into_iter()
+        .filter(|(_, supported)| *supported)
+        .map(|(k, _)| k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_scalar_wins_over_everything() {
+        let all = HostFeatures {
+            gfni_avx512: true,
+            avx2: true,
+            ssse3: true,
+            neon: true,
+        };
+        assert_eq!(choose(None, true, all).name(), "scalar");
+        assert_eq!(choose(Some("avx2"), true, all).name(), "scalar");
+    }
+
+    #[test]
+    fn no_features_selects_scalar() {
+        assert_eq!(
+            choose(None, false, HostFeatures::default()).name(),
+            "scalar"
+        );
+        assert_eq!(
+            choose(
+                Some("definitely-not-a-tier"),
+                false,
+                HostFeatures::default()
+            )
+            .name(),
+            "scalar"
+        );
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn x86_ladder_order_and_caps() {
+        let all = HostFeatures {
+            gfni_avx512: true,
+            avx2: true,
+            ssse3: true,
+            neon: false,
+        };
+        assert_eq!(choose(None, false, all).name(), "gfni-avx512");
+        // Capping at a lower tier skips the faster ones.
+        assert_eq!(choose(Some("avx2"), false, all).name(), "avx2");
+        assert_eq!(choose(Some("ssse3"), false, all).name(), "ssse3");
+        assert_eq!(choose(Some("scalar"), false, all).name(), "scalar");
+        // A requested tier the host lacks falls through.
+        let no512 = HostFeatures {
+            gfni_avx512: false,
+            ..all
+        };
+        assert_eq!(choose(Some("gfni-avx512"), false, no512).name(), "avx2");
+        let only_ssse3 = HostFeatures {
+            gfni_avx512: false,
+            avx2: false,
+            ssse3: true,
+            neon: false,
+        };
+        assert_eq!(choose(None, false, only_ssse3).name(), "ssse3");
+        // Unknown names impose no cap.
+        assert_eq!(choose(Some("mystery"), false, all).name(), "gfni-avx512");
+    }
+
+    #[test]
+    fn all_supported_ends_with_scalar_and_contains_active() {
+        let tiers = all_supported();
+        assert_eq!(tiers.last().map(|k| k.name()), Some("scalar"));
+        // `active` honors the process environment, so it must always be
+        // one of the supported tiers.
+        assert!(tiers.iter().any(|k| k.name() == active().name()));
+    }
+
+    #[test]
+    fn blocked_multi_crosses_block_boundaries() {
+        // A destination longer than one block with sources that differ
+        // per block would expose any block-offset bug.
+        let len = BLOCK * 2 + 37;
+        let a: Vec<u8> = (0..len).map(|i| (i * 7 + 1) as u8).collect();
+        let b: Vec<u8> = (0..len).map(|i| (i * 13 + 5) as u8).collect();
+        let c1 = Gf256::new(0x1D);
+        let c2 = Gf256::new(0x02);
+        let mut dst = vec![0xA5u8; len];
+        let mut expect = dst.clone();
+        blocked_multi(scalar::mul_acc, &mut dst, &[(c1, &a), (c2, &b)]);
+        crate::gf256::mul_acc_slice_ref(&mut expect, &a, c1);
+        crate::gf256::mul_acc_slice_ref(&mut expect, &b, c2);
+        assert_eq!(dst, expect);
+    }
+}

@@ -1,0 +1,97 @@
+//! AArch64 NEON kernel tier: split-nibble `vqtbl1q_u8` lookups, the
+//! 16-lane equivalent of the x86 `pshufb` technique.
+//!
+//! # Safety
+//!
+//! Mirrors `x86.rs`: each `#[target_feature(enable = "neon")]` function
+//! is invoked only from the safe wrappers below, which the dispatcher
+//! installs strictly after an `is_aarch64_feature_detected!("neon")`
+//! probe. Vector loops touch `len / 16 * 16` bytes and report the count
+//! back; tails go to the safe scalar kernels. NEON loads/stores have no
+//! alignment requirement.
+
+use super::scalar;
+use crate::gf256::{nibble_row, Gf256};
+use core::arch::aarch64::*;
+
+pub(super) static NEON: super::Kernels = super::Kernels {
+    name: "neon",
+    mul_slice: mul_slice_neon,
+    mul_acc: mul_acc_neon,
+    mul_in_place: mul_in_place_neon,
+    mul_acc_multi: mul_acc_multi_neon,
+};
+
+/// 16-byte-block `dst[i] (^)= coeff * src[i]` via `vqtbl1q_u8` nibble
+/// lookups; returns bytes handled (a multiple of 16, ≤ `dst.len()`).
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports NEON and `dst.len() == src.len()`.
+#[target_feature(enable = "neon")]
+unsafe fn gf_mul_neon<const ACCUMULATE: bool>(dst: &mut [u8], src: &[u8], nib: &[u8; 32]) -> usize {
+    let lo_t = vld1q_u8(nib.as_ptr());
+    let hi_t = vld1q_u8(nib.as_ptr().add(16));
+    let mask = vdupq_n_u8(0x0F);
+    let blocks = dst.len() / 16;
+    for i in 0..blocks {
+        let s = vld1q_u8(src.as_ptr().add(i * 16));
+        let lo = vandq_u8(s, mask);
+        let hi = vshrq_n_u8::<4>(s);
+        let mut p = veorq_u8(vqtbl1q_u8(lo_t, lo), vqtbl1q_u8(hi_t, hi));
+        let d = dst.as_mut_ptr().add(i * 16);
+        if ACCUMULATE {
+            p = veorq_u8(p, vld1q_u8(d as *const u8));
+        }
+        vst1q_u8(d, p);
+    }
+    blocks * 16
+}
+
+/// In-place variant of [`gf_mul_neon`]; returns bytes handled. Aliases
+/// src and dst deliberately — each lane is read before it is written.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports NEON.
+#[target_feature(enable = "neon")]
+unsafe fn gf_mul_in_place_neon(data: &mut [u8], nib: &[u8; 32]) -> usize {
+    let lo_t = vld1q_u8(nib.as_ptr());
+    let hi_t = vld1q_u8(nib.as_ptr().add(16));
+    let mask = vdupq_n_u8(0x0F);
+    let blocks = data.len() / 16;
+    for i in 0..blocks {
+        let p = data.as_mut_ptr().add(i * 16);
+        let s = vld1q_u8(p as *const u8);
+        let lo = vandq_u8(s, mask);
+        let hi = vshrq_n_u8::<4>(s);
+        vst1q_u8(p, veorq_u8(vqtbl1q_u8(lo_t, lo), vqtbl1q_u8(hi_t, hi)));
+    }
+    blocks * 16
+}
+
+fn mul_slice_neon(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    debug_assert!(std::arch::is_aarch64_feature_detected!("neon"));
+    // SAFETY: reachable only after a NEON probe (module safety note);
+    // lengths are equal per the `Kernels` wrapper contract.
+    let done = unsafe { gf_mul_neon::<false>(dst, src, nibble_row(coeff)) };
+    scalar::mul_slice(&mut dst[done..], &src[done..], coeff);
+}
+
+fn mul_acc_neon(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    debug_assert!(std::arch::is_aarch64_feature_detected!("neon"));
+    // SAFETY: as in `mul_slice_neon`.
+    let done = unsafe { gf_mul_neon::<true>(dst, src, nibble_row(coeff)) };
+    scalar::mul_acc(&mut dst[done..], &src[done..], coeff);
+}
+
+fn mul_in_place_neon(data: &mut [u8], coeff: Gf256) {
+    debug_assert!(std::arch::is_aarch64_feature_detected!("neon"));
+    // SAFETY: reachable only after a NEON probe (module safety note).
+    let done = unsafe { gf_mul_in_place_neon(data, nibble_row(coeff)) };
+    scalar::mul_in_place(&mut data[done..], coeff);
+}
+
+fn mul_acc_multi_neon(dst: &mut [u8], terms: &[super::Term<'_>]) {
+    super::blocked_multi(mul_acc_neon, dst, terms);
+}

@@ -1,0 +1,332 @@
+//! x86-64 kernel tiers: SSSE3 / AVX2 split-nibble `pshufb` lookups and
+//! GFNI+AVX-512 native GF(2^8) multiplies.
+//!
+//! # Safety
+//!
+//! Every `unsafe fn` here is marked `#[target_feature]` and is invoked
+//! only from the safe `pub(super)` wrappers in this file, which the
+//! dispatcher in `super` installs into a [`Kernels`](super::Kernels)
+//! table strictly after the matching `is_x86_feature_detected!` probes
+//! (see `super::ladder` / `super::choose`; tests go through
+//! `super::all_supported`, which applies the same probes). Each wrapper
+//! asserts the probe again in debug builds. All pointer arithmetic is
+//! bounded: vector loops touch `len / W * W` bytes for vector width `W`
+//! and report that count back, and the wrapper hands the remaining tail
+//! to the safe scalar kernels. Unaligned heads and tails are a
+//! non-issue for correctness because only unaligned load/store
+//! intrinsics (`loadu`/`storeu`/`read_unaligned`) are used.
+
+use super::scalar;
+use crate::gf256::{nibble_row, Gf256};
+use core::arch::x86_64::*;
+
+pub(super) static SSSE3: super::Kernels = super::Kernels {
+    name: "ssse3",
+    mul_slice: mul_slice_ssse3,
+    mul_acc: mul_acc_ssse3,
+    mul_in_place: mul_in_place_ssse3,
+    mul_acc_multi: mul_acc_multi_ssse3,
+};
+
+pub(super) static AVX2: super::Kernels = super::Kernels {
+    name: "avx2",
+    mul_slice: mul_slice_avx2,
+    mul_acc: mul_acc_avx2,
+    mul_in_place: mul_in_place_avx2,
+    mul_acc_multi: mul_acc_multi_avx2,
+};
+
+pub(super) static GFNI_AVX512: super::Kernels = super::Kernels {
+    name: "gfni-avx512",
+    mul_slice: mul_slice_gfni,
+    mul_acc: mul_acc_gfni,
+    mul_in_place: mul_in_place_gfni,
+    mul_acc_multi: mul_acc_multi_gfni,
+};
+
+// ---------------------------------------------------------------- SSSE3
+
+/// Split-nibble product of one 128-bit lane: `lo_t[s & 0xF] ^ hi_t[s >> 4]`.
+///
+/// # Safety
+///
+/// Requires SSSE3 (guaranteed by the caller's `#[target_feature]`).
+#[inline]
+#[target_feature(enable = "ssse3")]
+unsafe fn nib_mul128(s: __m128i, lo_t: __m128i, hi_t: __m128i, mask: __m128i) -> __m128i {
+    let lo = _mm_and_si128(s, mask);
+    let hi = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
+    _mm_xor_si128(_mm_shuffle_epi8(lo_t, lo), _mm_shuffle_epi8(hi_t, hi))
+}
+
+/// 16-byte-block `dst[i] (^)= coeff * src[i]` via SSSE3 `pshufb`;
+/// returns bytes handled (a multiple of 16, ≤ `dst.len()`).
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports SSSE3 and `dst.len() == src.len()`.
+#[target_feature(enable = "ssse3")]
+unsafe fn gf_mul_ssse3<const ACCUMULATE: bool>(
+    dst: &mut [u8],
+    src: &[u8],
+    nib: &[u8; 32],
+) -> usize {
+    let lo_t = _mm_loadu_si128(nib.as_ptr() as *const __m128i);
+    let hi_t = _mm_loadu_si128(nib.as_ptr().add(16) as *const __m128i);
+    let mask = _mm_set1_epi8(0x0F);
+    let blocks = dst.len() / 16;
+    for i in 0..blocks {
+        let s = _mm_loadu_si128(src.as_ptr().add(i * 16) as *const __m128i);
+        let mut p = nib_mul128(s, lo_t, hi_t, mask);
+        let d = dst.as_mut_ptr().add(i * 16) as *mut __m128i;
+        if ACCUMULATE {
+            p = _mm_xor_si128(p, _mm_loadu_si128(d as *const __m128i));
+        }
+        _mm_storeu_si128(d, p);
+    }
+    blocks * 16
+}
+
+fn mul_slice_ssse3(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    debug_assert!(std::arch::is_x86_feature_detected!("ssse3"));
+    // SAFETY: reachable only after an SSSE3 probe (module safety note);
+    // lengths are equal per the `Kernels` wrapper contract.
+    let done = unsafe { gf_mul_ssse3::<false>(dst, src, nibble_row(coeff)) };
+    scalar::mul_slice(&mut dst[done..], &src[done..], coeff);
+}
+
+fn mul_acc_ssse3(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    debug_assert!(std::arch::is_x86_feature_detected!("ssse3"));
+    // SAFETY: as in `mul_slice_ssse3`.
+    let done = unsafe { gf_mul_ssse3::<true>(dst, src, nibble_row(coeff)) };
+    scalar::mul_acc(&mut dst[done..], &src[done..], coeff);
+}
+
+/// In-place variant of [`gf_mul_ssse3`]; returns bytes handled. The
+/// in-place form aliases src and dst deliberately — each lane is read
+/// before it is written.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports SSSE3.
+#[target_feature(enable = "ssse3")]
+unsafe fn gf_mul_in_place_ssse3(data: &mut [u8], nib: &[u8; 32]) -> usize {
+    let lo_t = _mm_loadu_si128(nib.as_ptr() as *const __m128i);
+    let hi_t = _mm_loadu_si128(nib.as_ptr().add(16) as *const __m128i);
+    let mask = _mm_set1_epi8(0x0F);
+    let blocks = data.len() / 16;
+    for i in 0..blocks {
+        let p = data.as_mut_ptr().add(i * 16) as *mut __m128i;
+        let s = _mm_loadu_si128(p as *const __m128i);
+        _mm_storeu_si128(p, nib_mul128(s, lo_t, hi_t, mask));
+    }
+    blocks * 16
+}
+
+fn mul_in_place_ssse3(data: &mut [u8], coeff: Gf256) {
+    debug_assert!(std::arch::is_x86_feature_detected!("ssse3"));
+    // SAFETY: reachable only after an SSSE3 probe (module safety note).
+    let done = unsafe { gf_mul_in_place_ssse3(data, nibble_row(coeff)) };
+    scalar::mul_in_place(&mut data[done..], coeff);
+}
+
+fn mul_acc_multi_ssse3(dst: &mut [u8], terms: &[super::Term<'_>]) {
+    super::blocked_multi(mul_acc_ssse3, dst, terms);
+}
+
+// ----------------------------------------------------------------- AVX2
+
+/// Split-nibble product of one 256-bit lane.
+///
+/// # Safety
+///
+/// Requires AVX2 (guaranteed by the caller's `#[target_feature]`).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn nib_mul256(s: __m256i, lo_t: __m256i, hi_t: __m256i, mask: __m256i) -> __m256i {
+    let lo = _mm256_and_si256(s, mask);
+    let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+    _mm256_xor_si256(_mm256_shuffle_epi8(lo_t, lo), _mm256_shuffle_epi8(hi_t, hi))
+}
+
+/// 32-byte-block `dst[i] (^)= coeff * src[i]` via AVX2 `vpshufb`;
+/// returns bytes handled (a multiple of 32, ≤ `dst.len()`).
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and `dst.len() == src.len()`.
+#[target_feature(enable = "avx2")]
+unsafe fn gf_mul_avx2<const ACCUMULATE: bool>(dst: &mut [u8], src: &[u8], nib: &[u8; 32]) -> usize {
+    let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr() as *const __m128i));
+    let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr().add(16) as *const __m128i));
+    let mask = _mm256_set1_epi8(0x0F);
+    let blocks = dst.len() / 32;
+    for i in 0..blocks {
+        let s = _mm256_loadu_si256(src.as_ptr().add(i * 32) as *const __m256i);
+        let mut p = nib_mul256(s, lo_t, hi_t, mask);
+        let d = dst.as_mut_ptr().add(i * 32) as *mut __m256i;
+        if ACCUMULATE {
+            p = _mm256_xor_si256(p, _mm256_loadu_si256(d as *const __m256i));
+        }
+        _mm256_storeu_si256(d, p);
+    }
+    blocks * 32
+}
+
+fn mul_slice_avx2(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    // SAFETY: reachable only after an AVX2 probe (module safety note);
+    // lengths are equal per the `Kernels` wrapper contract.
+    let done = unsafe { gf_mul_avx2::<false>(dst, src, nibble_row(coeff)) };
+    scalar::mul_slice(&mut dst[done..], &src[done..], coeff);
+}
+
+fn mul_acc_avx2(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    // SAFETY: as in `mul_slice_avx2`.
+    let done = unsafe { gf_mul_avx2::<true>(dst, src, nibble_row(coeff)) };
+    scalar::mul_acc(&mut dst[done..], &src[done..], coeff);
+}
+
+/// In-place variant of [`gf_mul_avx2`]; returns bytes handled. The
+/// in-place form aliases src and dst deliberately — each lane is read
+/// before it is written.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn gf_mul_in_place_avx2(data: &mut [u8], nib: &[u8; 32]) -> usize {
+    let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr() as *const __m128i));
+    let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr().add(16) as *const __m128i));
+    let mask = _mm256_set1_epi8(0x0F);
+    let blocks = data.len() / 32;
+    for i in 0..blocks {
+        let p = data.as_mut_ptr().add(i * 32) as *mut __m256i;
+        let s = _mm256_loadu_si256(p as *const __m256i);
+        _mm256_storeu_si256(p, nib_mul256(s, lo_t, hi_t, mask));
+    }
+    blocks * 32
+}
+
+fn mul_in_place_avx2(data: &mut [u8], coeff: Gf256) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    // SAFETY: reachable only after an AVX2 probe (module safety note).
+    let done = unsafe { gf_mul_in_place_avx2(data, nibble_row(coeff)) };
+    scalar::mul_in_place(&mut data[done..], coeff);
+}
+
+fn mul_acc_multi_avx2(dst: &mut [u8], terms: &[super::Term<'_>]) {
+    super::blocked_multi(mul_acc_avx2, dst, terms);
+}
+
+// ---------------------------------------------------------- GFNI+AVX512
+
+/// 64-byte-block `dst[i] (^)= coeff * src[i]` via `vgf2p8mulb`, which
+/// multiplies byte lanes directly in GF(2^8) mod 0x11B — exactly this
+/// crate's field. Returns bytes handled (a multiple of 64, ≤ `dst.len()`).
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports GFNI+AVX-512F/BW and
+/// `dst.len() == src.len()`.
+#[target_feature(enable = "gfni,avx512f,avx512bw")]
+unsafe fn gf_mul_gfni<const ACCUMULATE: bool>(dst: &mut [u8], src: &[u8], coeff: Gf256) -> usize {
+    let cv = _mm512_set1_epi8(coeff.value() as i8);
+    let blocks = dst.len() / 64;
+    for i in 0..blocks {
+        let s = core::ptr::read_unaligned(src.as_ptr().add(i * 64) as *const __m512i);
+        let mut p = _mm512_gf2p8mul_epi8(s, cv);
+        let d = dst.as_mut_ptr().add(i * 64) as *mut __m512i;
+        if ACCUMULATE {
+            p = _mm512_xor_si512(p, core::ptr::read_unaligned(d as *const __m512i));
+        }
+        core::ptr::write_unaligned(d, p);
+    }
+    blocks * 64
+}
+
+/// Register-fused multi-source accumulate: each 64-byte destination
+/// vector is loaded once, all source terms are multiplied and XORed
+/// into it in registers, and it is stored once — one destination
+/// read/write per 64 bytes regardless of how many sources fuse.
+/// Returns bytes handled (a multiple of 64, ≤ `dst.len()`).
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports GFNI+AVX-512F/BW and that every
+/// source slice has the same length as `dst`.
+#[target_feature(enable = "gfni,avx512f,avx512bw")]
+unsafe fn gf_mul_acc_multi_gfni(dst: &mut [u8], terms: &[super::Term<'_>]) -> usize {
+    let blocks = dst.len() / 64;
+    for i in 0..blocks {
+        let d = dst.as_mut_ptr().add(i * 64) as *mut __m512i;
+        let mut acc = core::ptr::read_unaligned(d as *const __m512i);
+        for &(coeff, src) in terms {
+            let s = core::ptr::read_unaligned(src.as_ptr().add(i * 64) as *const __m512i);
+            let cv = _mm512_set1_epi8(coeff.value() as i8);
+            acc = _mm512_xor_si512(acc, _mm512_gf2p8mul_epi8(s, cv));
+        }
+        core::ptr::write_unaligned(d, acc);
+    }
+    blocks * 64
+}
+
+fn have_gfni() -> bool {
+    std::arch::is_x86_feature_detected!("gfni")
+        && std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512bw")
+}
+
+fn mul_slice_gfni(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    debug_assert!(have_gfni());
+    // SAFETY: reachable only after a GFNI+AVX-512 probe (module safety
+    // note); lengths are equal per the `Kernels` wrapper contract.
+    let done = unsafe { gf_mul_gfni::<false>(dst, src, coeff) };
+    scalar::mul_slice(&mut dst[done..], &src[done..], coeff);
+}
+
+fn mul_acc_gfni(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    debug_assert!(have_gfni());
+    // SAFETY: as in `mul_slice_gfni`.
+    let done = unsafe { gf_mul_gfni::<true>(dst, src, coeff) };
+    scalar::mul_acc(&mut dst[done..], &src[done..], coeff);
+}
+
+/// In-place variant of [`gf_mul_gfni`]; returns bytes handled. The
+/// in-place form aliases src and dst deliberately — each lane is read
+/// before it is written.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports GFNI+AVX-512F/BW.
+#[target_feature(enable = "gfni,avx512f,avx512bw")]
+unsafe fn gf_mul_in_place_gfni(data: &mut [u8], coeff: Gf256) -> usize {
+    let cv = _mm512_set1_epi8(coeff.value() as i8);
+    let blocks = data.len() / 64;
+    for i in 0..blocks {
+        let p = data.as_mut_ptr().add(i * 64) as *mut __m512i;
+        let s = core::ptr::read_unaligned(p as *const __m512i);
+        core::ptr::write_unaligned(p, _mm512_gf2p8mul_epi8(s, cv));
+    }
+    blocks * 64
+}
+
+fn mul_in_place_gfni(data: &mut [u8], coeff: Gf256) {
+    debug_assert!(have_gfni());
+    // SAFETY: reachable only after a GFNI+AVX-512 probe (module safety
+    // note).
+    let done = unsafe { gf_mul_in_place_gfni(data, coeff) };
+    scalar::mul_in_place(&mut data[done..], coeff);
+}
+
+fn mul_acc_multi_gfni(dst: &mut [u8], terms: &[super::Term<'_>]) {
+    debug_assert!(have_gfni());
+    // SAFETY: reachable only after a GFNI+AVX-512 probe; all term
+    // lengths equal `dst.len()` per the `Kernels` wrapper contract.
+    let done = unsafe { gf_mul_acc_multi_gfni(dst, terms) };
+    if done < dst.len() {
+        let tail: Vec<super::Term<'_>> = terms.iter().map(|&(c, s)| (c, &s[done..])).collect();
+        scalar::mul_acc_multi(&mut dst[done..], &tail);
+    }
+}

@@ -78,17 +78,34 @@ impl StripeCodec {
 
     /// Reconstructs the block at `target` (native or parity index within
     /// the stripe) from any `k` surviving `(index, bytes)` pairs — the
-    /// degraded-read primitive.
+    /// degraded-read primitive. Survivor bytes may be owned or borrowed
+    /// (`(usize, &[u8])`), so store-backed readers need not clone their
+    /// shards.
     ///
     /// # Errors
     ///
     /// Same conditions as [`ReedSolomon::reconstruct_shard`].
-    pub fn reconstruct(
+    pub fn reconstruct<S: AsRef<[u8]>>(
         &self,
-        survivors: &[(usize, Vec<u8>)],
+        survivors: &[(usize, S)],
         target: usize,
     ) -> Result<Vec<u8>, CodeError> {
         self.rs.reconstruct_shard(survivors, target)
+    }
+
+    /// Allocation-reusing form of [`StripeCodec::reconstruct`]; see
+    /// [`ReedSolomon::reconstruct_shard_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::reconstruct_shard`].
+    pub fn reconstruct_into<S: AsRef<[u8]>>(
+        &self,
+        survivors: &[(usize, S)],
+        target: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        self.rs.reconstruct_shard_into(survivors, target, out)
     }
 
     /// Recovers all `k` native blocks from any `k` survivors.
@@ -96,9 +113,9 @@ impl StripeCodec {
     /// # Errors
     ///
     /// Same conditions as [`ReedSolomon::decode_data`].
-    pub fn decode_natives(
+    pub fn decode_natives<S: AsRef<[u8]>>(
         &self,
-        survivors: &[(usize, Vec<u8>)],
+        survivors: &[(usize, S)],
     ) -> Result<Vec<Vec<u8>>, CodeError> {
         self.rs.decode_data(survivors)
     }
@@ -109,9 +126,9 @@ impl StripeCodec {
     /// # Errors
     ///
     /// Same conditions as [`ReedSolomon::decode_data`].
-    pub fn decode_natives_into(
+    pub fn decode_natives_into<S: AsRef<[u8]>>(
         &self,
-        survivors: &[(usize, Vec<u8>)],
+        survivors: &[(usize, S)],
         out: &mut Vec<Vec<u8>>,
     ) -> Result<(), CodeError> {
         self.rs.decode_data_into(survivors, out)

@@ -123,9 +123,19 @@ proptest! {
 
         prop_assert_eq!(rs.decode_data(&survivors).unwrap(), data);
 
-        // Every shard (data or parity) is reconstructible from the subset.
+        // Borrowed survivors must decode identically to owned ones.
+        let borrowed: Vec<(usize, &[u8])> =
+            survivors.iter().map(|(i, s)| (*i, s.as_slice())).collect();
+        prop_assert_eq!(rs.decode_data(&borrowed).unwrap(), data);
+
+        // Every shard (data or parity) is reconstructible from the
+        // subset, via both the allocating and buffer-reusing forms
+        // (the latter exercises the single-row reconstruction path).
+        let mut scratch = vec![0xEEu8; 3];
         for (target, expect) in stripe.iter().enumerate() {
             prop_assert_eq!(&rs.reconstruct_shard(&survivors, target).unwrap(), expect);
+            rs.reconstruct_shard_into(&borrowed, target, &mut scratch).unwrap();
+            prop_assert_eq!(&scratch, expect);
         }
     }
 

@@ -251,7 +251,10 @@ impl MiniGrid {
         });
         ordered.truncate(k);
 
-        let mut sources = Vec::with_capacity(k);
+        // Borrow the source shards straight out of the store — the codec
+        // accepts `(index, &[u8])` survivors, so a degraded read no
+        // longer clones k shards just to hand them over.
+        let mut sources: Vec<(usize, &[u8])> = Vec::with_capacity(k);
         for &(pos, node) in &ordered {
             let src = BlockRef {
                 stripe: block.stripe,
@@ -265,7 +268,7 @@ impl MiniGrid {
             }
             sources.push((
                 pos,
-                self.shards[self.store.layout().global_index(src)].clone(),
+                self.shards[self.store.layout().global_index(src)].as_slice(),
             ));
         }
         self.stats.degraded_reads += 1;
