@@ -1,9 +1,13 @@
 //! One-shot performance snapshot: times the GF(2^8) kernel tiers
 //! (log/antilog reference → PR 1's table-driven scalar → the dispatched
 //! SIMD tier) and the Reed–Solomon stripe paths built on them under the
-//! *same* harness, plus current throughput of the long-running suites
-//! and the wall-clock of a fixed fig7-style configuration, and writes
-//! everything to `BENCH_PR6.json` in the current directory. The PR 1
+//! *same* harness, plus current throughput of the long-running suites,
+//! the sweep engine's shards/sec at 1/2/4 worker threads, fair-share
+//! reallocation at 1k- and 10k-node scale (dense epoch pass vs the
+//! bounded-recompute sparse pass, pinned bit-identical to the retained
+//! naive reference), one full 10,000-node sweep shard, and the
+//! wall-clock of a fixed fig7-style configuration. Everything is
+//! written to `BENCH_PR7.json` in the current directory. The PR 1
 //! recorded numbers are embedded as constants so the perf trajectory
 //! (log/exp → table-driven → SIMD) stays visible in one file.
 //!
@@ -20,6 +24,7 @@ use dfs::netsim::{NetConfig, Network};
 use dfs::presets;
 use dfs::simkit::calendar::Calendar;
 use dfs::simkit::time::SimTime;
+use sweep::{run_sweep, FailureAxis, SweepBase, SweepSpec, WorkloadAxis};
 
 /// Times `op` over enough repetitions to fill ~200ms after one warmup
 /// pass, returning seconds per call.
@@ -225,6 +230,121 @@ fn fairshare_realloc() -> (f64, f64) {
     (ref_s, opt_s)
 }
 
+/// Builds the synthetic reallocation mix used by the scale suites:
+/// `flows` transfers over a `nodes`-host, `racks`-rack topology with
+/// two links per host and two per rack (the netsim link layout).
+fn scale_paths(nodes: usize, racks: usize, flows: usize) -> Vec<Vec<usize>> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (nodes as u64);
+    (0..flows)
+        .map(|_| {
+            let src = (xorshift(&mut state) as usize) % nodes;
+            let dst = (xorshift(&mut state) as usize) % nodes;
+            let (sr, dr) = (src / (nodes / racks), dst / (nodes / racks));
+            if src == dst {
+                Vec::new()
+            } else if sr == dr {
+                vec![2 * src, 2 * dst + 1]
+            } else {
+                vec![
+                    2 * src,
+                    2 * nodes + 2 * sr,
+                    2 * nodes + 2 * dr + 1,
+                    2 * dst + 1,
+                ]
+            }
+        })
+        .collect()
+}
+
+/// Fair-share reallocation at cluster scale: times the dense
+/// epoch-workspace pass against the bounded-recompute sparse pass on
+/// the same flow mix, and pins the sparse rates bit-identical to the
+/// retained naive reference. Returns (dense, sparse) seconds per call.
+fn fairshare_realloc_at(nodes: usize, racks: usize, flows: usize) -> (f64, f64) {
+    let num_links = 2 * nodes + 2 * racks;
+    let caps = vec![1e9f64; num_links];
+    let paths = scale_paths(nodes, racks, flows);
+    let paths32: Vec<Vec<u32>> = paths
+        .iter()
+        .map(|p| p.iter().map(|&l| l as u32).collect())
+        .collect();
+    let mut ws = FairshareWorkspace::new();
+    let mut rates = Vec::new();
+    let dense_s = time_per_call(|| {
+        ws.compute(&caps, &paths32, &mut rates);
+        assert_eq!(rates.len(), flows);
+    });
+    let mut ws_sparse = FairshareWorkspace::new();
+    let mut sparse_rates = Vec::new();
+    let sparse_s = time_per_call(|| {
+        ws_sparse.compute_sparse(&caps, &paths32, &mut sparse_rates);
+        assert_eq!(sparse_rates.len(), flows);
+    });
+    let reference = max_min_rates_ref(&caps, &paths);
+    assert_eq!(
+        sparse_rates, reference,
+        "sparse fair-share drifted from the retained reference at {nodes} nodes"
+    );
+    assert_eq!(
+        rates, reference,
+        "dense fair-share drifted at {nodes} nodes"
+    );
+    (dense_s, sparse_s)
+}
+
+/// The sweep-throughput grid: 12 fig7-small shards (LF/EDF × node/rack
+/// failure × 3 seeds on one (8,6) code).
+fn sweep_bench_spec() -> SweepSpec {
+    SweepSpec {
+        base: SweepBase::fig7_small(),
+        policies: vec![Policy::LocalityFirst, Policy::EnhancedDegradedFirst],
+        codes: vec![(8, 6)],
+        failures: vec![FailureAxis::SingleNode, FailureAxis::Rack],
+        workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+        seeds: vec![1, 2, 3],
+    }
+}
+
+/// Sweep engine throughput in shards/sec at each thread count, with
+/// the merged report checked byte-identical against the single-thread
+/// baseline (the engine's determinism contract, enforced here so a
+/// perf number can never come from a wrong result).
+fn sweep_shards_per_sec(thread_counts: &[usize]) -> Vec<(usize, f64)> {
+    let spec = sweep_bench_spec();
+    let shards = 12.0;
+    let baseline = run_sweep(&spec, 1).expect("sweep runs").to_json();
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let per_call = time_per_call(|| {
+                let report = run_sweep(&spec, threads).expect("sweep runs");
+                assert_eq!(report.shards_ok(), 12);
+            });
+            let json = run_sweep(&spec, threads).expect("sweep runs").to_json();
+            assert_eq!(json, baseline, "report changed at {threads} threads");
+            (threads, shards / per_call)
+        })
+        .collect()
+}
+
+/// One full 10,000-node sweep shard (scale_10k base: 100 racks × 100
+/// hosts, 7500 blocks), run once; returns wall-clock seconds.
+fn scale_10k_shard_wall() -> f64 {
+    let spec = SweepSpec {
+        base: SweepBase::scale_10k(),
+        policies: vec![Policy::LocalityFirst],
+        codes: vec![(8, 6)],
+        failures: vec![FailureAxis::SingleNode],
+        workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+        seeds: vec![1],
+    };
+    let start = Instant::now();
+    let report = run_sweep(&spec, 1).expect("sweep runs");
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(report.shards_ok(), 1, "10k-node shard must complete");
+    wall
+}
+
 /// The `netsim_flows` churn workload (drive a 40-node network through
 /// `flows` transfers to completion), as ops/sec per flow.
 fn netsim_churn_ops(flows: u64) -> f64 {
@@ -333,6 +453,28 @@ fn main() {
         fs_ref / fs_opt
     );
 
+    let (fs1k_dense, fs1k_sparse) = fairshare_realloc_at(1_000, 10, 1_024);
+    println!(
+        "fairshare realloc 1k nodes / 1024 flows: dense {:.1} us, sparse {:.1} us, speedup {:.2}x",
+        fs1k_dense * 1e6,
+        fs1k_sparse * 1e6,
+        fs1k_dense / fs1k_sparse
+    );
+    let (fs10k_dense, fs10k_sparse) = fairshare_realloc_at(10_000, 100, 4_096);
+    println!(
+        "fairshare realloc 10k nodes / 4096 flows: dense {:.1} us, sparse {:.1} us, speedup {:.2}x",
+        fs10k_dense * 1e6,
+        fs10k_sparse * 1e6,
+        fs10k_dense / fs10k_sparse
+    );
+
+    let sweep_rates = sweep_shards_per_sec(&[1, 2, 4]);
+    for &(threads, rate) in &sweep_rates {
+        println!("sweep fig7-small 12 shards @ {threads} thread(s): {rate:.1} shards/s");
+    }
+    let shard10k_wall = scale_10k_shard_wall();
+    println!("sweep scale-10k single shard (10,000 nodes): {shard10k_wall:.2} s wall");
+
     let encode = {
         let rs =
             ReedSolomon::new(CodeParams::new(12, 10).unwrap(), CodeConstruction::Cauchy).unwrap();
@@ -371,7 +513,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "pr": 6,
+  "pr": 7,
   "harness": "cargo run --release -p bench --bin bench_snapshot",
   "kernel_dispatch": {{
     "active": "{active}",
@@ -415,6 +557,29 @@ fn main() {
     "opt_s_per_call": {fso:.9},
     "speedup": {fsx:.2}
   }},
+  "netsim_fairshare_realloc_1k_nodes_1024_flows": {{
+    "dense_s_per_call": {fs1kd:.9},
+    "sparse_s_per_call": {fs1ks:.9},
+    "speedup": {fs1kx:.2},
+    "bit_identical_to_ref": true
+  }},
+  "netsim_fairshare_realloc_10k_nodes_4096_flows": {{
+    "dense_s_per_call": {fs10kd:.9},
+    "sparse_s_per_call": {fs10ks:.9},
+    "speedup": {fs10kx:.2},
+    "bit_identical_to_ref": true
+  }},
+  "sweep_fig7_small_12_shards_per_sec": {{
+    "threads_1": {sw1:.2},
+    "threads_2": {sw2:.2},
+    "threads_4": {sw4:.2},
+    "report_byte_identical_across_threads": true
+  }},
+  "sweep_scale_10k_single_shard": {{
+    "nodes": 10000,
+    "blocks": 7500,
+    "wall_s": {sh10k:.3}
+  }},
   "suites_ops_per_sec": {{
     "rs_codec_encode_12_10": {enc:.2},
     "event_calendar_schedule_pop_10k": {cal:.0},
@@ -451,12 +616,22 @@ fn main() {
         fsr = fs_ref,
         fso = fs_opt,
         fsx = fs_ref / fs_opt,
+        fs1kd = fs1k_dense,
+        fs1ks = fs1k_sparse,
+        fs1kx = fs1k_dense / fs1k_sparse,
+        fs10kd = fs10k_dense,
+        fs10ks = fs10k_sparse,
+        fs10kx = fs10k_dense / fs10k_sparse,
+        sw1 = sweep_rates[0].1,
+        sw2 = sweep_rates[1].1,
+        sw4 = sweep_rates[2].1,
+        sh10k = shard10k_wall,
         enc = 1.0 / encode,
         cal = cal_10k,
         churn = churn_200,
         schedr = 1.0 / sched,
         fig7 = fig7,
     );
-    std::fs::write("BENCH_PR6.json", json).expect("write BENCH_PR6.json");
-    println!("wrote BENCH_PR6.json");
+    std::fs::write("BENCH_PR7.json", json).expect("write BENCH_PR7.json");
+    println!("wrote BENCH_PR7.json");
 }

@@ -23,6 +23,11 @@ use dfs::simkit::SimRng;
 use dfs::sweep::sweep_seeds_vec;
 use dfs::textlab::{run_job, CorpusBuilder, Grep, LineCount, MiniGrid, WordCount};
 use dfs::workloads::{ArrivalTrace, TestbedWorkload};
+use sweep::{
+    parse_code as parse_sweep_code, parse_policy as parse_sweep_policy, parse_spec_jsonl,
+    run_sweep as run_grid_sweep, FailureAxis as SweepFailureAxis, SweepBase, SweepSpec,
+    WorkloadAxis as SweepWorkloadAxis,
+};
 
 use crate::args::Args;
 
@@ -46,6 +51,12 @@ USAGE:
   dfs-cli wordcount [--lines 20000 --fail-node 0 --needle whale]
   dfs-cli obs-report --trace out.jsonl [--bucket-secs 10 --map-slots 160]
   dfs-cli trace-validate --trace out.jsonl
+  dfs-cli sweep     [--policies lf,edf --codes \"8,6;9,6\" --failures node,rack
+                     --workloads maponly:10 --seeds 3 --seed-list 1,5,9
+                     --threads 4 --base fig7-small|paper|scale-10k
+                     --racks 4 --nodes-per-rack 4 --map-slots 2 --blocks 240
+                     --block-mb 128 --node-mbps 1000 --rack-mbps 100
+                     --spec grid.jsonl --out report.json --json]
   dfs-cli --help";
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -500,6 +511,115 @@ pub fn trace_validate(args: &Args) -> CliResult {
     let schema = TraceSchema::parse(TRACE_SCHEMA_V1)?;
     let count = validate_jsonl(&schema, &text)?;
     println!("{path}: {count} events valid against trace schema v1");
+    Ok(())
+}
+
+/// `dfs-cli sweep`: the sharded deterministic parameter-sweep engine.
+///
+/// Expands a (policy × code × failure × workload × seed) grid, runs
+/// every shard on a thread pool, and prints a merged comparison report
+/// that is byte-identical for any thread count.
+pub fn sweep_grid(args: &Args) -> CliResult {
+    args.ensure_known(&[
+        "spec",
+        "policies",
+        "codes",
+        "failures",
+        "workloads",
+        "seeds",
+        "seed-list",
+        "threads",
+        "base",
+        "racks",
+        "nodes-per-rack",
+        "map-slots",
+        "reduce-slots",
+        "blocks",
+        "block-mb",
+        "node-mbps",
+        "rack-mbps",
+        "out",
+        "json",
+    ])?;
+    let spec = if let Some(path) = args.get("spec") {
+        let text = std::fs::read_to_string(path)?;
+        parse_spec_jsonl(&text)?
+    } else {
+        let mut base = match args.get("base").unwrap_or("fig7-small") {
+            "fig7-small" => SweepBase::fig7_small(),
+            "paper" => SweepBase::paper_default(),
+            "scale-10k" => SweepBase::scale_10k(),
+            other => {
+                return Err(format!("unknown base {other:?} (fig7-small|paper|scale-10k)").into())
+            }
+        };
+        base.racks = args.get_or("racks", base.racks)?;
+        base.nodes_per_rack = args.get_or("nodes-per-rack", base.nodes_per_rack)?;
+        base.map_slots = args.get_or("map-slots", base.map_slots)?;
+        base.reduce_slots = args.get_or("reduce-slots", base.reduce_slots)?;
+        base.num_blocks = args.get_or("blocks", base.num_blocks)?;
+        base.block_bytes = args.get_or("block-mb", base.block_bytes / (1024 * 1024))? * 1024 * 1024;
+        base.node_mbps = args.get_or("node-mbps", base.node_mbps)?;
+        base.rack_mbps = args.get_or("rack-mbps", base.rack_mbps)?;
+
+        let mut policies = Vec::new();
+        for token in args.get("policies").unwrap_or("lf,edf").split(',') {
+            policies.push(parse_sweep_policy(token.trim())?);
+        }
+        let mut codes = Vec::new();
+        for token in args.get("codes").unwrap_or("8,6;9,6").split(';') {
+            codes.push(parse_sweep_code(token.trim())?);
+        }
+        let mut failures = Vec::new();
+        for token in args.get("failures").unwrap_or("node,rack").split(',') {
+            failures.push(SweepFailureAxis::parse(token.trim())?);
+        }
+        let mut workloads = Vec::new();
+        for token in args.get("workloads").unwrap_or("maponly:10").split(',') {
+            workloads.push(SweepWorkloadAxis::parse(token.trim())?);
+        }
+        let seeds: Vec<u64> = match args.get("seed-list") {
+            Some(raw) => {
+                let mut seeds = Vec::new();
+                for token in raw.split(',') {
+                    seeds.push(
+                        token
+                            .trim()
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad seed {token:?}: {e}"))?,
+                    );
+                }
+                seeds
+            }
+            None => (1..=args.get_or("seeds", 3u64)?).collect(),
+        };
+        SweepSpec {
+            base,
+            policies,
+            codes,
+            failures,
+            workloads,
+            seeds,
+        }
+    };
+    let threads = args.get_or(
+        "threads",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    )?;
+    let report = run_grid_sweep(&spec, threads)?;
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, report.to_json())?;
+        eprintln!(
+            "sweep report ({} shards, {} ok) written to {path}",
+            report.shards.len(),
+            report.shards_ok()
+        );
+    }
+    if args.flag("json") {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.human());
+    }
     Ok(())
 }
 

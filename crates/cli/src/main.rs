@@ -17,6 +17,10 @@
 //! dfs-cli wordcount [--lines 20000 --fail-node 0 --needle whale]
 //! dfs-cli obs-report --trace out.jsonl [--bucket-secs 10 --map-slots 160]
 //! dfs-cli trace-validate --trace out.jsonl
+//! dfs-cli sweep    [--policies lf,edf --codes "8,6;9,6" --failures node,rack
+//!                   --workloads maponly:10 --seeds 3 --threads 4
+//!                   --base fig7-small|paper|scale-10k --spec grid.jsonl
+//!                   --out report.json --json]
 //! ```
 
 mod args;
@@ -46,6 +50,7 @@ fn main() {
         Some("wordcount") => commands::wordcount(&args),
         Some("obs-report") => commands::obs_report(&args),
         Some("trace-validate") => commands::trace_validate(&args),
+        Some("sweep") => commands::sweep_grid(&args),
         Some(other) => {
             eprintln!("error: unknown command {other:?}");
             eprintln!("{}", commands::USAGE);

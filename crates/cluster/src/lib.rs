@@ -26,5 +26,5 @@ pub mod timeline;
 pub mod topology;
 
 pub use failure::{ClusterState, FailureError, FailureScenario};
-pub use timeline::{FailureEventKind, FailureTimeline, TimelineEvent};
+pub use timeline::{ChurnError, FailureEventKind, FailureTimeline, TimelineEvent, WeibullChurn};
 pub use topology::{NodeId, RackId, Topology};

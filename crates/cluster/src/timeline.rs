@@ -23,7 +23,77 @@
 use crate::failure::FailureError;
 use crate::topology::{NodeId, Topology};
 use simkit::time::SimTime;
+use simkit::SimRng;
 use std::fmt;
+
+/// Parameters of a seeded Weibull-lifetime churn process (see
+/// [`FailureTimeline::weibull`]). Lifetimes (time between a recovery
+/// and the next failure) and repair times (failure → recovery) are
+/// drawn per node from independent Weibull distributions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeibullChurn {
+    /// Shape of the node-lifetime distribution (`< 1` infant
+    /// mortality, `> 1` wear-out, `1` exponential).
+    pub lifetime_shape: f64,
+    /// Scale of the node-lifetime distribution, seconds.
+    pub lifetime_scale_secs: f64,
+    /// Shape of the repair-time distribution.
+    pub repair_shape: f64,
+    /// Scale of the repair-time distribution, seconds.
+    pub repair_scale_secs: f64,
+    /// Events past this simulated time are not generated.
+    pub horizon_secs: f64,
+}
+
+impl WeibullChurn {
+    /// A mild default: mean lifetime well beyond a typical run so only
+    /// a few nodes fail inside the horizon, with quick repairs.
+    pub fn default_for_horizon(horizon_secs: f64) -> WeibullChurn {
+        WeibullChurn {
+            lifetime_shape: 1.2,
+            lifetime_scale_secs: horizon_secs * 8.0,
+            repair_shape: 1.0,
+            repair_scale_secs: horizon_secs / 8.0,
+            horizon_secs,
+        }
+    }
+}
+
+/// Errors from churn generation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChurnError {
+    /// A shape/scale/horizon parameter is not positive and finite.
+    BadParameter {
+        /// The offending field name.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The parameters would generate an absurd number of events
+    /// (scale far smaller than the horizon).
+    TooManyEvents {
+        /// The generation cap that was hit.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChurnError::BadParameter { field, value } => {
+                write!(
+                    f,
+                    "churn parameter {field} = {value} must be positive and finite"
+                )
+            }
+            ChurnError::TooManyEvents { cap } => {
+                write!(f, "churn parameters generate more than {cap} events; raise the scales or shrink the horizon")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
 
 /// What happens to a node at a timeline instant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +163,78 @@ impl FailureTimeline {
         self
     }
 
+    /// Generates a seeded Weibull-lifetime churn timeline over `topo`.
+    ///
+    /// Each node gets an independent [`SimRng`] stream forked by its
+    /// node index, so a node's fail/recover schedule depends only on
+    /// `(seed, node)` — not on how many other nodes the topology has
+    /// drawn before it. Within a node the process alternates: a
+    /// lifetime draw schedules the next failure, a repair draw the
+    /// recovery after it, until the horizon. Events are merged in
+    /// ascending time order (ties in ascending node order), so the
+    /// same arguments reproduce the timeline bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChurnError::BadParameter`] for non-positive or
+    /// non-finite parameters, and [`ChurnError::TooManyEvents`] when
+    /// the scales are so small relative to the horizon that the
+    /// schedule explodes.
+    pub fn weibull(
+        topo: &Topology,
+        churn: &WeibullChurn,
+        seed: u64,
+    ) -> Result<FailureTimeline, ChurnError> {
+        let check = |field: &'static str, value: f64| {
+            if value > 0.0 && value.is_finite() {
+                Ok(())
+            } else {
+                Err(ChurnError::BadParameter { field, value })
+            }
+        };
+        check("lifetime_shape", churn.lifetime_shape)?;
+        check("lifetime_scale_secs", churn.lifetime_scale_secs)?;
+        check("repair_shape", churn.repair_shape)?;
+        check("repair_scale_secs", churn.repair_scale_secs)?;
+        check("horizon_secs", churn.horizon_secs)?;
+
+        const MAX_EVENTS: usize = 100_000;
+        let mut root = SimRng::seed_from_u64(seed ^ 0xc402_c402_c402_c402);
+        let mut events = Vec::new();
+        for node in topo.node_ids() {
+            let mut rng = root.fork(node.index() as u64);
+            let mut t = 0.0f64;
+            loop {
+                t += rng.weibull(churn.lifetime_shape, churn.lifetime_scale_secs);
+                if t >= churn.horizon_secs {
+                    break;
+                }
+                events.push(TimelineEvent {
+                    at: SimTime::from_secs_f64(t),
+                    node,
+                    kind: FailureEventKind::Fail,
+                });
+                t += rng.weibull(churn.repair_shape, churn.repair_scale_secs);
+                if t >= churn.horizon_secs {
+                    break;
+                }
+                events.push(TimelineEvent {
+                    at: SimTime::from_secs_f64(t),
+                    node,
+                    kind: FailureEventKind::Recover,
+                });
+                if events.len() > MAX_EVENTS {
+                    return Err(ChurnError::TooManyEvents { cap: MAX_EVENTS });
+                }
+            }
+        }
+        // Stable by-time sort: same-instant events keep per-node
+        // generation order (fail always precedes its recover), and
+        // cross-node ties stay in ascending node order.
+        events.sort_by_key(|e| e.at);
+        Ok(FailureTimeline { events })
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[TimelineEvent] {
         &self.events
@@ -157,6 +299,93 @@ mod tests {
         assert_eq!(t.events()[0].kind, FailureEventKind::Recover);
         assert_eq!(t.events()[1].kind, FailureEventKind::Fail);
         assert!(t.to_string().starts_with("recover node1@50s"));
+    }
+
+    #[test]
+    fn weibull_replays_bit_identically() {
+        let topo = Topology::homogeneous(4, 10, 4, 1);
+        let churn = WeibullChurn::default_for_horizon(600.0);
+        let a = FailureTimeline::weibull(&topo, &churn, 7).unwrap();
+        let b = FailureTimeline::weibull(&topo, &churn, 7).unwrap();
+        assert_eq!(a, b);
+        assert!(a.validate(&topo).is_ok());
+        let c = FailureTimeline::weibull(&topo, &churn, 8).unwrap();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn weibull_events_are_time_ordered_and_alternating_per_node() {
+        let topo = Topology::homogeneous(2, 8, 2, 1);
+        let churn = WeibullChurn {
+            lifetime_shape: 1.0,
+            lifetime_scale_secs: 200.0,
+            repair_shape: 1.0,
+            repair_scale_secs: 50.0,
+            horizon_secs: 1_000.0,
+        };
+        let t = FailureTimeline::weibull(&topo, &churn, 3).unwrap();
+        assert!(!t.is_empty(), "these scales should churn within 1000 s");
+        assert!(
+            t.events().windows(2).all(|w| w[0].at <= w[1].at),
+            "not time-sorted"
+        );
+        for node in topo.node_ids() {
+            let mut expect = FailureEventKind::Fail;
+            for ev in t.events().iter().filter(|e| e.node == node) {
+                assert_eq!(
+                    ev.kind, expect,
+                    "node {node} breaks fail/recover alternation"
+                );
+                assert!(ev.at.as_secs_f64() < churn.horizon_secs);
+                expect = match expect {
+                    FailureEventKind::Fail => FailureEventKind::Recover,
+                    FailureEventKind::Recover => FailureEventKind::Fail,
+                };
+            }
+        }
+    }
+
+    #[test]
+    fn weibull_rejects_bad_parameters() {
+        let topo = Topology::homogeneous(1, 2, 1, 1);
+        let mut churn = WeibullChurn::default_for_horizon(100.0);
+        churn.lifetime_shape = -1.0;
+        assert!(matches!(
+            FailureTimeline::weibull(&topo, &churn, 1),
+            Err(ChurnError::BadParameter {
+                field: "lifetime_shape",
+                ..
+            })
+        ));
+        let mut churn = WeibullChurn::default_for_horizon(100.0);
+        churn.horizon_secs = f64::INFINITY;
+        assert!(FailureTimeline::weibull(&topo, &churn, 1).is_err());
+    }
+
+    #[test]
+    fn weibull_caps_event_explosion() {
+        let topo = Topology::homogeneous(10, 100, 1, 1);
+        let churn = WeibullChurn {
+            lifetime_shape: 1.0,
+            lifetime_scale_secs: 0.001,
+            repair_shape: 1.0,
+            repair_scale_secs: 0.001,
+            horizon_secs: 10_000.0,
+        };
+        assert!(matches!(
+            FailureTimeline::weibull(&topo, &churn, 1),
+            Err(ChurnError::TooManyEvents { .. })
+        ));
+        // Error type renders.
+        for e in [
+            ChurnError::BadParameter {
+                field: "x",
+                value: -1.0,
+            },
+            ChurnError::TooManyEvents { cap: 10 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

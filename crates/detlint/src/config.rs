@@ -4,6 +4,11 @@
 //! config explicitly so fixtures and future callers can narrow or
 //! widen scope without editing the engine.
 
+/// The embedded copy of the obs trace schema that S1 lints against.
+/// `include_str!` keeps detlint dependency-free while guaranteeing the
+/// linter and the validator read the same bytes.
+const TRACE_SCHEMA_V1: &str = include_str!("../../obs/schema/trace-v1.json");
+
 /// Per-rule crate scoping and allowlists.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -23,6 +28,14 @@ pub struct Config {
     /// path, or a directory prefix (trailing `/`) covering every file
     /// beneath it.
     pub unsafe_allow_files: Vec<String>,
+    /// Event kinds declared by the obs trace schema (snake_case). S1
+    /// checks every `SimEvent::Variant` mention in determinism crates
+    /// against this set, and — in the event vocabulary file — that
+    /// every listed kind still has a variant. Empty disables S1.
+    pub trace_event_kinds: Vec<String>,
+    /// The one file that must mention *every* schema kind (the
+    /// reverse direction of S1): the `SimEvent` vocabulary itself.
+    pub event_vocab_file: String,
 }
 
 impl Default for Config {
@@ -38,12 +51,13 @@ impl Default for Config {
                 "erasure",
                 "ecstore",
                 "obs",
+                "sweep",
             ]
             .iter()
             .map(|s| s.to_string())
             .collect(),
             d2_exempt_crates: vec!["bench".to_string()],
-            panic_crates: ["cli", "workloads", "obs"]
+            panic_crates: ["cli", "workloads", "obs", "sweep"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
@@ -53,8 +67,62 @@ impl Default for Config {
             // else in the workspace — gf256.rs included, now that its
             // kernels moved under simd/ — may contain `unsafe`.
             unsafe_allow_files: vec!["crates/erasure/src/simd/".to_string()],
+            trace_event_kinds: schema_event_kinds(TRACE_SCHEMA_V1),
+            event_vocab_file: "crates/obs/src/event.rs".to_string(),
         }
     }
+}
+
+/// Extracts the keys of the `"events"` object from a trace-schema
+/// document with a small depth-tracking scanner — no JSON dependency,
+/// and tolerant of the schema growing extra top-level sections. An
+/// unparseable document yields an empty list (S1 disabled), never a
+/// panic: the obs schema tests are where malformed-schema errors
+/// belong.
+fn schema_event_kinds(schema: &str) -> Vec<String> {
+    let bytes = schema.as_bytes();
+    let mut kinds = Vec::new();
+    let mut depth = 0i32;
+    let mut in_events = false;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                let start = i + 1;
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                let end = i.min(bytes.len());
+                // A string is a key iff the next non-space byte is ':'.
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b':') {
+                    let key = &schema[start..end];
+                    if in_events && depth == 2 {
+                        kinds.push(key.to_string());
+                    } else if depth == 1 && key == "events" {
+                        in_events = true;
+                    }
+                }
+            }
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => {
+                depth -= 1;
+                if in_events && depth < 2 {
+                    in_events = false;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    kinds
 }
 
 /// Where a file sits in the workspace, as far as rule scoping cares.
@@ -87,5 +155,44 @@ impl FileContext {
             crate_name,
             in_tests_dir,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_schema_kinds_are_extracted() {
+        let kinds = Config::default().trace_event_kinds;
+        assert!(kinds.len() >= 20, "schema lost event kinds: {kinds:?}");
+        for expected in [
+            "job_submitted",
+            "map_launched",
+            "flow_rate",
+            "repair_finished",
+        ] {
+            assert!(kinds.iter().any(|k| k == expected), "missing {expected}");
+        }
+        // Field names of nested per-event objects must not leak in.
+        assert!(!kinds.iter().any(|k| k == "job" || k == "locality"));
+    }
+
+    #[test]
+    fn scanner_tracks_depth_and_strings() {
+        let doc = r#"{
+          "description": "events: { not real }",
+          "events": { "a_b": { "x": "uint" }, "c": { "y": "bool" } },
+          "enums": { "z": ["v"] }
+        }"#;
+        assert_eq!(schema_event_kinds(doc), vec!["a_b", "c"]);
+        assert!(schema_event_kinds("not json at all").is_empty());
+    }
+
+    #[test]
+    fn sweep_is_scoped_into_both_rule_sets() {
+        let cfg = Config::default();
+        assert!(cfg.determinism_crates.iter().any(|c| c == "sweep"));
+        assert!(cfg.panic_crates.iter().any(|c| c == "sweep"));
     }
 }

@@ -17,6 +17,9 @@
 //! - **P1** — no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`
 //!   in non-test code of user-input-reachable crates.
 //! - **U1** — no `unsafe` outside a reviewed file allowlist.
+//! - **S1** — every `SimEvent::Variant` mention in determinism crates
+//!   must have a matching snake_case kind in the obs trace schema, and
+//!   the event vocabulary file must cover every schema kind.
 //!
 //! Suppression is per-site and must carry a reason:
 //!

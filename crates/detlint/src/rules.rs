@@ -8,6 +8,7 @@
 //! | D3   | Float comparator panics: `partial_cmp` inside `sort_by`/`max_by`/`min_by`-style calls (use `total_cmp`) |
 //! | P1   | `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in non-test code of user-input-reachable crates |
 //! | U1   | `unsafe` outside the reviewed allowlist |
+//! | S1   | `SimEvent::Variant` mentions whose snake_case kind is absent from the obs trace schema (and, in the event vocabulary file, schema kinds with no variant) |
 //! | A0   | Malformed suppressions: `detlint::allow` without a reason, or with an unknown rule id |
 //!
 //! Suppression is per-site: `// detlint::allow(D1, reason = "...")` on
@@ -31,6 +32,8 @@ pub enum RuleId {
     P1,
     /// `unsafe` outside the allowlist.
     U1,
+    /// `SimEvent` variant out of sync with the trace schema.
+    S1,
     /// Malformed `detlint::allow` directive.
     A0,
 }
@@ -44,6 +47,7 @@ impl RuleId {
             RuleId::D3 => "D3",
             RuleId::P1 => "P1",
             RuleId::U1 => "U1",
+            RuleId::S1 => "S1",
             RuleId::A0 => "A0",
         }
     }
@@ -55,6 +59,7 @@ impl RuleId {
             "D3" => Some(RuleId::D3),
             "P1" => Some(RuleId::P1),
             "U1" => Some(RuleId::U1),
+            "S1" => Some(RuleId::S1),
             "A0" => Some(RuleId::A0),
             _ => None,
         }
@@ -324,8 +329,97 @@ pub fn lint_source(src: &str, ctx: &FileContext, cfg: &Config) -> Vec<Finding> {
         }
     }
 
+    // --- S1: SimEvent variants vs the trace schema ------------------
+    // Forward: every `SimEvent::Variant` mention in non-test code of a
+    // determinism crate must name a schema event kind (the enum's
+    // `kind()` contract is CamelCase variant → snake_case kind, so an
+    // emit site of an unlisted variant would produce a trace line the
+    // schema validator rejects). Reverse, in the event vocabulary file
+    // only: every schema kind must still be mentioned as a variant —
+    // a kind the enum cannot produce is schema rot.
+    if det_crate && !ctx.in_tests_dir && !cfg.trace_event_kinds.is_empty() {
+        let mut mentioned: Vec<String> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident
+                || t.text != "SimEvent"
+                || toks.get(i + 1).is_none_or(|c| c.text != ":")
+                || toks.get(i + 2).is_none_or(|c| c.text != ":")
+            {
+                continue;
+            }
+            let Some(v) = toks.get(i + 3) else {
+                continue;
+            };
+            // Skip associated functions/consts (`SimEvent::kind` paths
+            // are lowercase); only variant mentions are schema-bound.
+            if v.kind != TokKind::Ident || !v.text.starts_with(|c: char| c.is_ascii_uppercase()) {
+                continue;
+            }
+            let kind_name = camel_to_snake(&v.text);
+            if !mentioned.contains(&kind_name) {
+                mentioned.push(kind_name.clone());
+            }
+            if !in_test(v.line) && !cfg.trace_event_kinds.contains(&kind_name) {
+                push(
+                    RuleId::S1,
+                    v,
+                    format!(
+                        "`SimEvent::{}` has no event kind `{}` in the trace schema",
+                        v.text, kind_name
+                    ),
+                    "add the kind to crates/obs/schema/trace-v1.json (and obs::schema tests), \
+                     or fix the variant name",
+                    &mut findings,
+                );
+            }
+        }
+        if ctx.path == cfg.event_vocab_file {
+            // Anchor reverse findings at the `enum SimEvent` item.
+            let anchor = toks
+                .iter()
+                .zip(toks.iter().skip(1))
+                .find(|(a, b)| a.text == "enum" && b.text == "SimEvent")
+                .map(|(_, b)| b)
+                .or(toks.first());
+            if let Some(anchor) = anchor {
+                for kind_name in &cfg.trace_event_kinds {
+                    if !mentioned.contains(kind_name) {
+                        push(
+                            RuleId::S1,
+                            anchor,
+                            format!(
+                                "trace schema declares event kind `{kind_name}` \
+                                 but no SimEvent variant produces it"
+                            ),
+                            "remove the kind from crates/obs/schema/trace-v1.json, or add \
+                             the matching variant to the SimEvent enum",
+                            &mut findings,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     findings.sort_by_key(|f| (f.line, f.col, f.rule));
     findings
+}
+
+/// `JobSubmitted` → `job_submitted`: the `SimEvent::kind()` naming
+/// contract, applied statically.
+fn camel_to_snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
 }
 
 /// Marks tokens inside `use ...;` statements (imports are exempt from
@@ -680,4 +774,77 @@ fn split_args(inner: &str) -> Vec<&str> {
     }
     parts.push(&inner[start..]);
     parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camel_to_snake_matches_kind_contract() {
+        assert_eq!(camel_to_snake("JobSubmitted"), "job_submitted");
+        assert_eq!(camel_to_snake("TaskQueued"), "task_queued");
+        assert_eq!(camel_to_snake("FlowRate"), "flow_rate");
+        assert_eq!(camel_to_snake("PhaseEnd"), "phase_end");
+    }
+
+    fn tiny_schema_cfg() -> Config {
+        Config {
+            trace_event_kinds: vec!["node_failed".to_string(), "node_recovered".to_string()],
+            event_vocab_file: "crates/obs/src/event.rs".to_string(),
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn s1_flags_variant_missing_from_schema() {
+        let src = "fn f(s: &mut dyn Sink) { s.rec(SimEvent::NodeFailed { node: 1 });\n\
+                   s.rec(SimEvent::NodeExploded { node: 1 }); }\n";
+        let ctx = FileContext::from_repo_path("crates/cluster/src/lib.rs");
+        let findings = lint_source(src, &ctx, &tiny_schema_cfg());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, RuleId::S1);
+        assert!(findings[0].message.contains("node_exploded"));
+    }
+
+    #[test]
+    fn s1_reverse_flags_schema_kind_without_variant() {
+        // The vocabulary file mentions NodeFailed but not NodeRecovered:
+        // the schema's `node_recovered` has gone stale.
+        let src = "pub enum SimEvent { NodeFailed { node: u32 } }\n\
+                   impl SimEvent { pub fn kind(&self) -> &'static str {\n\
+                   match self { SimEvent::NodeFailed { .. } => \"node_failed\" } } }\n";
+        let ctx = FileContext::from_repo_path("crates/obs/src/event.rs");
+        let findings = lint_source(src, &ctx, &tiny_schema_cfg());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, RuleId::S1);
+        assert!(findings[0].message.contains("node_recovered"));
+        assert_eq!(findings[0].line, 1, "anchored at the enum item");
+    }
+
+    #[test]
+    fn s1_reverse_only_runs_on_the_vocab_file() {
+        // Another obs file mentioning one variant must not be asked to
+        // cover the whole schema.
+        let src = "fn g() { let _ = SimEvent::NodeFailed { node: 1 }; }\n";
+        let ctx = FileContext::from_repo_path("crates/obs/src/jsonl.rs");
+        assert!(lint_source(src, &ctx, &tiny_schema_cfg()).is_empty());
+    }
+
+    #[test]
+    fn s1_ignores_lowercase_associated_paths_and_empty_kind_list() {
+        let src = "fn h(e: &SimEvent) { let _ = SimEvent::kind(e); }\n";
+        let ctx = FileContext::from_repo_path("crates/obs/src/jsonl.rs");
+        let mut cfg = tiny_schema_cfg();
+        assert!(lint_source(src, &ctx, &cfg).is_empty());
+        // An empty kind list disables S1 entirely.
+        let bad = "fn f() { let _ = SimEvent::Bogus { x: 1 }; }\n";
+        cfg.trace_event_kinds.clear();
+        assert!(lint_source(
+            bad,
+            &FileContext::from_repo_path("crates/obs/src/x.rs"),
+            &cfg
+        )
+        .is_empty());
+    }
 }

@@ -1,0 +1,32 @@
+// S1 fixture: SimEvent emit sites checked against the trace schema
+// (linted as crates/mapreduce/src/fixture.rs). `MapTeleported` has no
+// snake_case kind in schema/trace-v1.json; everything else does.
+
+fn emit(sink: &mut dyn EventSink, now: SimTime) {
+    sink.record(now, &SimEvent::JobStarted { job: 1 });
+    sink.record(
+        now,
+        &SimEvent::MapLaunched {
+            job: 1,
+            task: 0,
+            node: 3,
+            locality: Locality::NodeLocal,
+            speculative: false,
+        },
+    );
+    sink.record(now, &SimEvent::MapTeleported { job: 1, task: 0 });
+    // Lowercase paths are associated items, not variants.
+    let _ = SimEvent::kind;
+    // Pattern positions are checked too: a match arm naming a
+    // non-schema variant is the same drift as an emit site.
+    // detlint::allow(S1, reason = "exercise the suppression path")
+    let _ = matches!(ev, SimEvent::NodeTeleported { .. });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let _ = SimEvent::GhostEvent { spooky: true };
+    }
+}

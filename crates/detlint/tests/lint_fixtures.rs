@@ -123,6 +123,24 @@ fn u1_fires_outside_the_simd_directory() {
 }
 
 #[test]
+fn s1_trace_schema_golden() {
+    check(
+        "s1_schema.rs",
+        "crates/mapreduce/src/fixture.rs",
+        "s1_schema.expected.json",
+    );
+}
+
+#[test]
+fn s1_not_applied_outside_determinism_crates() {
+    check(
+        "s1_schema.rs",
+        "crates/cli/src/fixture.rs",
+        "s1_schema.cli.expected.json",
+    );
+}
+
+#[test]
 fn tricky_strings_and_comments_golden() {
     check(
         "tricky.rs",

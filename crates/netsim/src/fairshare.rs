@@ -7,17 +7,29 @@
 //! water-filling allocation: no flow can increase its rate without
 //! decreasing that of a flow with an equal or smaller rate.
 //!
-//! Two implementations live here:
+//! Three implementations live here:
 //!
-//! * [`FairshareWorkspace::compute`] — the production path: all scratch
-//!   state lives in a reusable workspace (no allocations once warm), and
-//!   the freeze loop walks per-link flow lists instead of re-scanning
-//!   every flow each round.
+//! * [`FairshareWorkspace::compute_sparse`] — the production path: a
+//!   **bounded-recompute** allocator that touches only the links the
+//!   given paths actually cross. Per call it is `O(total path length +
+//!   active links · rounds)`, independent of how many links the
+//!   network has — the property that makes per-event reallocation
+//!   affordable on a 10,000-node topology, where a handful of flows
+//!   share a few dozen of the ~20,000 links.
+//! * [`FairshareWorkspace::compute`] — the dense workspace path:
+//!   scratch state lives in a reusable workspace and the freeze loop
+//!   walks per-link flow lists, but every round still scans all links.
+//!   Retained as the bit-identity anchor for the sparse path and as
+//!   the `bench_snapshot` baseline for the bounded-recompute speedup.
 //! * [`max_min_rates_ref`] — the straightforward textbook version this
-//!   module originally shipped, retained as the oracle: the workspace
-//!   path produces **bit-identical** rates (same freeze set and same
-//!   `best_share` every round, hence the same clamped subtraction
-//!   sequence on every link).
+//!   module originally shipped, retained as the oracle.
+//!
+//! All three produce **bit-identical** rates: links with no unfrozen
+//! flow never contribute to a round's `best_share`, so restricting
+//! every scan to the active (path-referenced) links — enumerated in
+//! ascending link order, exactly as the dense scan visits them —
+//! reproduces the same freeze rounds, the same `best_share` every
+//! round, and hence the same clamped subtraction sequence per link.
 
 /// Computes max-min fair rates.
 ///
@@ -67,6 +79,16 @@ pub struct FairshareWorkspace {
     frozen: Vec<bool>,
     /// Bottleneck links of the current round.
     round_links: Vec<u32>,
+    /// Sparse-path scratch: original link id → epoch stamp. A link is
+    /// "known this call" iff its stamp equals `epoch`.
+    link_epoch: Vec<u32>,
+    /// Sparse-path scratch: original link id → dense index, valid only
+    /// when the epoch stamp matches.
+    link_dense: Vec<u32>,
+    /// Sparse-path scratch: dense index → original link id, ascending.
+    active: Vec<u32>,
+    /// Current sparse-call epoch (see `link_epoch`).
+    epoch: u32,
 }
 
 impl FairshareWorkspace {
@@ -177,6 +199,170 @@ impl FairshareWorkspace {
             let tol = best_share * 1e-12;
             self.round_links.clear();
             for l in 0..num_links {
+                if self.load[l] > 0 && self.remaining[l] / self.load[l] as f64 <= best_share + tol {
+                    self.round_links.push(l as u32);
+                }
+            }
+            for i in 0..self.round_links.len() {
+                let l = self.round_links[i] as usize;
+                let (s, e) = (self.link_off[l] as usize, self.link_off[l + 1] as usize);
+                for j in s..e {
+                    let f = self.link_flows[j] as usize;
+                    if self.frozen[f] {
+                        continue;
+                    }
+                    self.frozen[f] = true;
+                    rates[f] = best_share;
+                    unfrozen_left -= 1;
+                    let (ps, pe) = (self.path_off[f] as usize, self.path_off[f + 1] as usize);
+                    for &pl in &self.path_flat[ps..pe] {
+                        let r = &mut self.remaining[pl as usize];
+                        *r = (*r - best_share).max(0.0);
+                        self.load[pl as usize] -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bounded-recompute max-min fair rates: identical semantics — and
+    /// identical floating-point results — to [`FairshareWorkspace::compute`],
+    /// but every per-round scan walks only the links the given paths
+    /// cross. Cost per call is `O(total path length + active links ·
+    /// rounds)` instead of `O(num links · rounds)`; `capacities` is
+    /// only indexed at active links, never traversed.
+    ///
+    /// The one scan proportional to the full link count is a lazy,
+    /// amortized resize of two epoch-stamped lookup tables the first
+    /// time a larger link id appears; steady-state calls allocate and
+    /// clear nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a path references an unknown link (`>= capacities.len()`)
+    /// or the capacity of a *referenced* link is not positive and
+    /// finite. (Unreferenced links' capacities are never inspected —
+    /// the price of never touching them.)
+    pub fn compute_sparse<I>(&mut self, capacities: &[f64], paths: I, rates: &mut Vec<f64>)
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[u32]>,
+    {
+        let num_links = capacities.len();
+        if self.link_epoch.len() < num_links {
+            self.link_epoch.resize(num_links, 0);
+            self.link_dense.resize(num_links, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.link_epoch.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        rates.clear();
+        self.frozen.clear();
+        self.active.clear();
+
+        // Pass 1: copy paths into the flow CSR (original link ids for
+        // now), collect the set of referenced links, and freeze
+        // loopback (empty-path) flows at infinity.
+        self.path_off.clear();
+        self.path_flat.clear();
+        self.path_off.push(0);
+        let mut unfrozen_left = 0usize;
+        for path in paths {
+            let path = path.as_ref();
+            for &l in path {
+                assert!((l as usize) < num_links, "path references unknown link {l}");
+                if self.link_epoch[l as usize] != epoch {
+                    self.link_epoch[l as usize] = epoch;
+                    self.active.push(l);
+                }
+                self.path_flat.push(l);
+            }
+            self.path_off.push(self.path_flat.len() as u32);
+            if path.is_empty() {
+                rates.push(f64::INFINITY);
+                self.frozen.push(true);
+            } else {
+                rates.push(0.0);
+                self.frozen.push(false);
+                unfrozen_left += 1;
+            }
+        }
+        let num_flows = rates.len();
+
+        // Dense link ids in ascending original order, so every scan
+        // below visits links exactly as the dense path's `0..num_links`
+        // loop would.
+        self.active.sort_unstable();
+        let num_active = self.active.len();
+        self.remaining.clear();
+        self.load.clear();
+        self.load.resize(num_active, 0);
+        for (d, &l) in self.active.iter().enumerate() {
+            let cap = capacities[l as usize];
+            assert!(
+                cap > 0.0 && cap.is_finite(),
+                "link capacities must be positive and finite"
+            );
+            self.link_dense[l as usize] = d as u32;
+            self.remaining.push(cap);
+        }
+
+        // Translate the flow CSR to dense ids and count link loads.
+        for l in &mut self.path_flat {
+            let d = self.link_dense[*l as usize];
+            self.load[d as usize] += 1;
+            *l = d;
+        }
+
+        // Pass 2: invert into the link CSR by counting sort (ascending
+        // flow order per link), as in the dense path.
+        self.link_off.clear();
+        self.link_off.resize(num_active + 1, 0);
+        for &l in &self.path_flat {
+            self.link_off[l as usize + 1] += 1;
+        }
+        for l in 0..num_active {
+            self.link_off[l + 1] += self.link_off[l];
+        }
+        self.link_flows.clear();
+        self.link_flows.resize(self.path_flat.len(), 0);
+        {
+            let cursor = &mut self.round_links;
+            cursor.clear();
+            cursor.extend_from_slice(&self.link_off[..num_active]);
+            for f in 0..num_flows {
+                let (s, e) = (self.path_off[f] as usize, self.path_off[f + 1] as usize);
+                for &l in &self.path_flat[s..e] {
+                    let c = &mut cursor[l as usize];
+                    self.link_flows[*c as usize] = f as u32;
+                    *c += 1;
+                }
+            }
+        }
+
+        // Progressive filling over the active links only. Links outside
+        // `active` carry no flow, so the dense path's scans skip them
+        // via the `load > 0` guard; restricting the loop to `active`
+        // removes them from the scan without changing a single
+        // floating-point operation.
+        while unfrozen_left > 0 {
+            let mut best_share = f64::INFINITY;
+            for l in 0..num_active {
+                if self.load[l] > 0 {
+                    let share = self.remaining[l] / self.load[l] as f64;
+                    if share < best_share {
+                        best_share = share;
+                    }
+                }
+            }
+            debug_assert!(best_share.is_finite(), "no bottleneck among loaded links");
+            let tol = best_share * 1e-12;
+            self.round_links.clear();
+            for l in 0..num_active {
                 if self.load[l] > 0 && self.remaining[l] / self.load[l] as f64 <= best_share + tol {
                     self.round_links.push(l as u32);
                 }
@@ -398,6 +584,93 @@ mod tests {
         let ref_bits: Vec<u64> = reference.iter().map(|r| r.to_bits()).collect();
         let ws_bits: Vec<u64> = via_workspace.iter().map(|r| r.to_bits()).collect();
         assert_eq!(ref_bits, ws_bits);
+    }
+
+    #[test]
+    fn sparse_matches_dense_bit_for_bit() {
+        // Same contended mesh as the dense/reference pin, plus a huge
+        // capacity vector where almost every link is untouched.
+        let mut caps = vec![3.3 * GBPS; 4096];
+        for (l, c) in [
+            (0usize, GBPS),
+            (100, 0.5 * GBPS),
+            (2000, 0.25 * GBPS),
+            (2001, 2.0 * GBPS),
+            (4000, 0.75 * GBPS),
+            (4095, 0.1 * GBPS),
+        ] {
+            caps[l] = c;
+        }
+        let paths: Vec<Vec<u32>> = vec![
+            vec![0, 100],
+            vec![],
+            vec![100, 2000],
+            vec![2000, 2001],
+            vec![0, 2001],
+            vec![4000],
+            vec![0, 4000],
+            vec![100, 4000],
+            vec![2000],
+            vec![4095],
+            vec![4095],
+            vec![0, 4095],
+            vec![],
+        ];
+        let mut ws = FairshareWorkspace::new();
+        let mut dense = Vec::new();
+        ws.compute(&caps, &paths, &mut dense);
+        let mut sparse = Vec::new();
+        ws.compute_sparse(&caps, &paths, &mut sparse);
+        let dense_bits: Vec<u64> = dense.iter().map(|r| r.to_bits()).collect();
+        let sparse_bits: Vec<u64> = sparse.iter().map(|r| r.to_bits()).collect();
+        assert_eq!(dense_bits, sparse_bits);
+    }
+
+    #[test]
+    fn sparse_never_reads_untouched_capacities() {
+        // Untouched links may carry garbage capacities (NaN, zero):
+        // the sparse path must not inspect them.
+        let caps = [GBPS, f64::NAN, 0.0, -5.0, 0.5 * GBPS];
+        let paths: Vec<Vec<u32>> = vec![vec![0, 4], vec![4]];
+        let mut ws = FairshareWorkspace::new();
+        let mut rates = Vec::new();
+        ws.compute_sparse(&caps, &paths, &mut rates);
+        let mut expected = Vec::new();
+        ws.compute(&[GBPS, GBPS, GBPS, GBPS, 0.5 * GBPS], &paths, &mut expected);
+        assert_eq!(rates, expected);
+    }
+
+    #[test]
+    fn sparse_reuse_is_clean_across_calls_and_epochs() {
+        let mut ws = FairshareWorkspace::new();
+        let mut rates = Vec::new();
+        ws.compute_sparse(&[GBPS, 0.5 * GBPS], &[vec![0u32, 1], vec![1]], &mut rates);
+        let first = rates.clone();
+        // A different problem over a larger link space.
+        ws.compute_sparse(&vec![GBPS; 64], &[vec![63u32]], &mut rates);
+        assert_eq!(rates, vec![GBPS]);
+        // Shrinking back must not see stale dense mappings.
+        ws.compute_sparse(&[GBPS, 0.5 * GBPS], &[vec![0u32, 1], vec![1]], &mut rates);
+        assert_eq!(rates, first);
+        // No flows at all.
+        ws.compute_sparse(&[GBPS], core::iter::empty::<&[u32]>(), &mut rates);
+        assert!(rates.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn sparse_rejects_unknown_link() {
+        let mut ws = FairshareWorkspace::new();
+        let mut rates = Vec::new();
+        ws.compute_sparse(&[GBPS], &[vec![3u32]], &mut rates);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sparse_rejects_zero_capacity_on_touched_link() {
+        let mut ws = FairshareWorkspace::new();
+        let mut rates = Vec::new();
+        ws.compute_sparse(&[0.0], &[vec![0u32]], &mut rates);
     }
 
     #[test]

@@ -555,7 +555,11 @@ impl Network {
     }
 
     fn reallocate(&mut self, now: SimTime) {
-        self.fairshare.compute(
+        // Bounded recompute: only the links current flows cross are
+        // touched, which keeps per-event reallocation independent of
+        // the topology's total link count (bit-identical to the dense
+        // `compute`; see fairshare module docs).
+        self.fairshare.compute_sparse(
             &self.capacities,
             self.flows.iter().map(|f| &f.path),
             &mut self.rates_buf,

@@ -114,6 +114,44 @@ proptest! {
     }
 
     #[test]
+    fn sparse_allocator_matches_reference_bit_for_bit(
+        caps in proptest::collection::vec(1e6f64..1e10, 1..12),
+        seed_paths in random_paths(12, 20),
+        loopbacks in 0usize..3,
+        pad_links in 0usize..512,
+    ) {
+        // The bounded-recompute (sparse) allocator must reproduce the
+        // reference exactly even when the capacity vector is mostly
+        // untouched padding — same freeze rounds, same floating-point
+        // operations, bit-identical rates.
+        let num_real = caps.len();
+        let mut caps = caps;
+        caps.extend(std::iter::repeat_n(7.7e9, pad_links));
+        let mut paths: Vec<Vec<usize>> = seed_paths
+            .into_iter()
+            .map(|p| p.into_iter().filter(|&l| l < num_real).collect::<Vec<_>>())
+            .collect();
+        for _ in 0..loopbacks {
+            paths.push(Vec::new());
+        }
+        let reference = max_min_rates_ref(&caps, &paths);
+        let ref_bits: Vec<u64> = reference.iter().map(|r| r.to_bits()).collect();
+        let paths32: Vec<Vec<u32>> = paths
+            .iter()
+            .map(|p| p.iter().map(|&l| l as u32).collect())
+            .collect();
+        // A reused (dirty) workspace must agree too, across epochs.
+        let mut ws = FairshareWorkspace::new();
+        let mut rates = Vec::new();
+        ws.compute_sparse(&caps, &paths32, &mut rates);
+        ws.compute_sparse(&caps, &paths32, &mut rates);
+        prop_assert_eq!(
+            &ref_bits,
+            &rates.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn bytes_are_conserved(
         transfers in proptest::collection::vec((0usize..6, 0usize..6, 1u64..64_000_000), 1..20),
         bw in 1u64..=4,

@@ -125,6 +125,32 @@ impl SimRng {
         SimDuration::from_secs_f64(self.exponential(mean.as_secs_f64()))
     }
 
+    /// A Weibull sample with the given shape and scale, via inverse CDF
+    /// (`scale · (-ln u)^(1/shape)`). Shape < 1 models infant-mortality
+    /// failure processes, shape > 1 wear-out; shape = 1 degenerates to
+    /// the exponential with mean `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` or `scale` is not positive and finite.
+    pub fn weibull(&mut self, shape: f64, scale: f64) -> f64 {
+        assert!(
+            shape > 0.0 && shape.is_finite(),
+            "weibull shape must be positive and finite"
+        );
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "weibull scale must be positive and finite"
+        );
+        let u: f64 = loop {
+            let u = self.inner.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        scale * (-u.ln()).powf(1.0 / shape)
+    }
+
     /// Chooses `k` distinct elements of `items` uniformly at random,
     /// preserving no particular order.
     ///
@@ -186,6 +212,37 @@ mod tests {
         let n = 20_000;
         let mean = (0..n).map(|_| rng.exponential(120.0)).sum::<f64>() / n as f64;
         assert!((mean - 120.0).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn weibull_shape_one_matches_exponential_mean() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.weibull(1.0, 120.0)).sum::<f64>() / n as f64;
+        assert!((mean - 120.0).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn weibull_is_deterministic_and_positive() {
+        let mut a = SimRng::seed_from_u64(5);
+        let mut b = SimRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let x = a.weibull(1.5, 300.0);
+            assert_eq!(x.to_bits(), b.weibull(1.5, 300.0).to_bits());
+            assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weibull shape")]
+    fn weibull_rejects_bad_shape() {
+        let _ = SimRng::seed_from_u64(0).weibull(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weibull scale")]
+    fn weibull_rejects_bad_scale() {
+        let _ = SimRng::seed_from_u64(0).weibull(1.0, f64::NAN);
     }
 
     #[test]

@@ -1,0 +1,610 @@
+//! Deterministic merge and rendering: one report per sweep, byte-stable.
+//!
+//! [`SweepReport::merge`] consumes per-shard outcomes **in grid order**
+//! (the runner's slot vector) and derives three views:
+//!
+//! * per-shard rows — raw metrics or the shard's error;
+//! * per-scenario rows — the same (code, failure, workload, seed) cell
+//!   across every policy, with reductions versus the baseline policy
+//!   (LF when present, otherwise the first policy);
+//! * per-axis rollups — mean makespan and mean reduction versus the
+//!   baseline for every value of the code / failure / workload axes.
+//!
+//! Rendering walks these vectors in order and formats floats with fixed
+//! precision; nothing hashes, nothing consults the clock, so two runs
+//! of the same grid — at any thread count — render identical bytes.
+
+use dfs::simkit::report::Table;
+
+use crate::run::ShardMetrics;
+use crate::spec::{policy_label, Shard, SweepSpec};
+
+/// One shard's row in the merged report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardRow {
+    /// Policy label ("LF", "EDF", ...).
+    pub policy: String,
+    /// `(n, k)` code.
+    pub code: (usize, usize),
+    /// Failure-axis label.
+    pub failure: String,
+    /// Workload-axis label.
+    pub workload: String,
+    /// Seed coordinate.
+    pub seed: u64,
+    /// Metrics, or the shard's failure reason.
+    pub metrics: Result<ShardMetrics, String>,
+}
+
+/// One scenario (all policies of one non-policy coordinate tuple).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioRow {
+    /// `(n, k)` code.
+    pub code: (usize, usize),
+    /// Failure-axis label.
+    pub failure: String,
+    /// Workload-axis label.
+    pub workload: String,
+    /// Seed coordinate.
+    pub seed: u64,
+    /// Makespan per policy, in policy-axis order; `None` for failed
+    /// shards.
+    pub makespan_secs: Vec<Option<f64>>,
+}
+
+/// One (axis value, policy) aggregate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RollupRow {
+    /// Which axis ("code", "failure", "workload").
+    pub axis: &'static str,
+    /// The axis value's canonical label.
+    pub value: String,
+    /// Policy label.
+    pub policy: String,
+    /// Shards of this (value, policy) that completed.
+    pub shards_ok: usize,
+    /// Mean makespan over completed shards.
+    pub mean_makespan_secs: Option<f64>,
+    /// Mean relative reduction versus the baseline policy, over
+    /// scenarios where both completed. `None` for the baseline itself
+    /// or when no scenario pair completed.
+    pub mean_reduction_vs_baseline: Option<f64>,
+}
+
+/// The merged result of one sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepReport {
+    /// The base configuration's canonical label.
+    pub base_label: String,
+    /// Policy labels in axis order.
+    pub policies: Vec<String>,
+    /// The baseline policy's label (LF when present).
+    pub baseline: String,
+    /// Per-shard rows in grid order.
+    pub shards: Vec<ShardRow>,
+    /// Per-scenario rows in scenario-grid order.
+    pub scenarios: Vec<ScenarioRow>,
+    /// Axis rollups: code values, then failure values, then workload
+    /// values; policies in axis order within each value.
+    pub rollups: Vec<RollupRow>,
+}
+
+impl SweepReport {
+    /// Merges per-shard outcomes (in grid order) into the report.
+    pub fn merge(
+        spec: &SweepSpec,
+        shards: &[Shard],
+        outcomes: Vec<Result<ShardMetrics, String>>,
+    ) -> SweepReport {
+        let policies: Vec<String> = spec.policies.iter().map(policy_label).collect();
+        let baseline_idx = policies.iter().position(|p| p == "LF").unwrap_or(0);
+        let scenario_count = shards.len() / policies.len().max(1);
+
+        let rows: Vec<ShardRow> = shards
+            .iter()
+            .zip(outcomes)
+            .map(|(shard, outcome)| ShardRow {
+                policy: policy_label(&shard.policy),
+                code: shard.code,
+                failure: shard.failure.label(),
+                workload: shard.workload.label(),
+                seed: shard.seed,
+                metrics: outcome,
+            })
+            .collect();
+
+        // Policy is the outermost grid axis, so shard index
+        // `p * scenario_count + s` is policy `p` of scenario `s`.
+        let scenarios: Vec<ScenarioRow> = (0..scenario_count)
+            .map(|s| {
+                let template = &rows[s];
+                ScenarioRow {
+                    code: template.code,
+                    failure: template.failure.clone(),
+                    workload: template.workload.clone(),
+                    seed: template.seed,
+                    makespan_secs: (0..policies.len())
+                        .map(|p| {
+                            rows[p * scenario_count + s]
+                                .metrics
+                                .as_ref()
+                                .ok()
+                                .map(|m| m.makespan_secs)
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+
+        let mut rollups = Vec::new();
+        let code_values: Vec<String> = spec
+            .codes
+            .iter()
+            .map(|&(n, k)| format!("{n},{k}"))
+            .collect();
+        let failure_values: Vec<String> = spec.failures.iter().map(|f| f.label()).collect();
+        let workload_values: Vec<String> = spec.workloads.iter().map(|w| w.label()).collect();
+        type AxisProjection = fn(&ScenarioRow) -> String;
+        let axes: [(&'static str, &[String], AxisProjection); 3] = [
+            ("code", &code_values, |s| {
+                format!("{},{}", s.code.0, s.code.1)
+            }),
+            ("failure", &failure_values, |s| s.failure.clone()),
+            ("workload", &workload_values, |s| s.workload.clone()),
+        ];
+        for (axis, values, project) in axes {
+            for value in values {
+                for (p, policy) in policies.iter().enumerate() {
+                    let mut makespans = Vec::new();
+                    let mut reductions = Vec::new();
+                    for scenario in &scenarios {
+                        if &project(scenario) != value {
+                            continue;
+                        }
+                        if let Some(m) = scenario.makespan_secs[p] {
+                            makespans.push(m);
+                            if p != baseline_idx {
+                                if let Some(b) = scenario.makespan_secs[baseline_idx] {
+                                    if b > 0.0 {
+                                        reductions.push((b - m) / b);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let mean = |xs: &[f64]| {
+                        if xs.is_empty() {
+                            None
+                        } else {
+                            Some(xs.iter().sum::<f64>() / xs.len() as f64)
+                        }
+                    };
+                    rollups.push(RollupRow {
+                        axis,
+                        value: value.clone(),
+                        policy: policy.clone(),
+                        shards_ok: makespans.len(),
+                        mean_makespan_secs: mean(&makespans),
+                        mean_reduction_vs_baseline: if p == baseline_idx {
+                            None
+                        } else {
+                            mean(&reductions)
+                        },
+                    });
+                }
+            }
+        }
+
+        SweepReport {
+            base_label: spec.base.label(),
+            baseline: policies[baseline_idx].clone(),
+            policies,
+            shards: rows,
+            scenarios,
+            rollups,
+        }
+    }
+
+    /// The number of shards that completed.
+    pub fn shards_ok(&self) -> usize {
+        self.shards.iter().filter(|s| s.metrics.is_ok()).count()
+    }
+
+    /// Renders the report as a single JSON document with a fixed field
+    /// order — the byte-stable machine artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + 512 * self.shards.len());
+        out.push_str("{\n  \"schema\": \"sweep-report-v1\",\n");
+        out.push_str(&format!("  \"base\": \"{}\",\n", esc(&self.base_label)));
+        out.push_str("  \"policies\": [");
+        for (i, p) in self.policies.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", esc(p)));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"baseline\": \"{}\",\n", esc(&self.baseline)));
+        out.push_str(&format!("  \"shard_count\": {},\n", self.shards.len()));
+        out.push_str(&format!("  \"shards_ok\": {},\n", self.shards_ok()));
+
+        out.push_str("  \"shards\": [\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!(
+                "\"policy\": \"{}\", \"code\": \"{},{}\", \"failure\": \"{}\", \"workload\": \"{}\", \"seed\": {}",
+                esc(&s.policy),
+                s.code.0,
+                s.code.1,
+                esc(&s.failure),
+                esc(&s.workload),
+                s.seed
+            ));
+            match &s.metrics {
+                Ok(m) => {
+                    out.push_str(&format!(
+                        ", \"status\": \"ok\", \"stream_seed\": {}, \"makespan_secs\": {}, \"jobs_finished\": {}, \"maps_total\": {}, \"maps_degraded\": {}, \"tasks_queued_degraded\": {}, \"job_p50_secs\": {}, \"job_p95_secs\": {}, \"job_p99_secs\": {}",
+                        m.stream_seed,
+                        num(m.makespan_secs),
+                        m.jobs_finished,
+                        m.maps_total,
+                        m.maps_degraded,
+                        m.tasks_queued_degraded,
+                        opt(m.job_p50_secs),
+                        opt(m.job_p95_secs),
+                        opt(m.job_p99_secs)
+                    ));
+                }
+                Err(e) => {
+                    out.push_str(&format!(
+                        ", \"status\": \"error\", \"error\": \"{}\"",
+                        esc(e)
+                    ));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.shards.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!(
+                "\"code\": \"{},{}\", \"failure\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"makespan_secs\": {{",
+                s.code.0,
+                s.code.1,
+                esc(&s.failure),
+                esc(&s.workload),
+                s.seed
+            ));
+            for (p, policy) in self.policies.iter().enumerate() {
+                if p > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {}", esc(policy), opt(s.makespan_secs[p])));
+            }
+            out.push_str("}, \"reduction_vs_baseline\": {");
+            let baseline_idx = self
+                .policies
+                .iter()
+                .position(|p| p == &self.baseline)
+                .unwrap_or(0);
+            let mut first = true;
+            for (p, policy) in self.policies.iter().enumerate() {
+                if p == baseline_idx {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let reduction = match (s.makespan_secs[baseline_idx], s.makespan_secs[p]) {
+                    (Some(b), Some(m)) if b > 0.0 => Some((b - m) / b),
+                    _ => None,
+                };
+                out.push_str(&format!("\"{}\": {}", esc(policy), opt(reduction)));
+            }
+            out.push_str("}}");
+            if i + 1 < self.scenarios.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+
+        out.push_str("  \"rollups\": [\n");
+        for (i, r) in self.rollups.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"axis\": \"{}\", \"value\": \"{}\", \"policy\": \"{}\", \"shards_ok\": {}, \"mean_makespan_secs\": {}, \"mean_reduction_vs_baseline\": {}}}",
+                r.axis,
+                esc(&r.value),
+                esc(&r.policy),
+                r.shards_ok,
+                opt(r.mean_makespan_secs),
+                opt(r.mean_reduction_vs_baseline)
+            ));
+            if i + 1 < self.rollups.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the human-readable comparison report.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Parameter sweep report\n\n");
+        out.push_str(&format!("base: {}\n", self.base_label));
+        out.push_str(&format!(
+            "policies: {} (baseline {})\n",
+            self.policies.join(", "),
+            self.baseline
+        ));
+        out.push_str(&format!(
+            "shards: {} ({} ok, {} failed)\n\n",
+            self.shards.len(),
+            self.shards_ok(),
+            self.shards.len() - self.shards_ok()
+        ));
+
+        out.push_str("## Shards\n\n");
+        let mut table = Table::new(&[
+            "policy",
+            "code",
+            "failure",
+            "workload",
+            "seed",
+            "status",
+            "makespan_s",
+            "degraded",
+            "job_p50_s",
+            "job_p95_s",
+            "job_p99_s",
+        ]);
+        for s in &self.shards {
+            let row = match &s.metrics {
+                Ok(m) => vec![
+                    s.policy.clone(),
+                    format!("{},{}", s.code.0, s.code.1),
+                    s.failure.clone(),
+                    s.workload.clone(),
+                    s.seed.to_string(),
+                    "ok".to_string(),
+                    format!("{:.3}", m.makespan_secs),
+                    m.maps_degraded.to_string(),
+                    opt3(m.job_p50_secs),
+                    opt3(m.job_p95_secs),
+                    opt3(m.job_p99_secs),
+                ],
+                Err(e) => vec![
+                    s.policy.clone(),
+                    format!("{},{}", s.code.0, s.code.1),
+                    s.failure.clone(),
+                    s.workload.clone(),
+                    s.seed.to_string(),
+                    format!("error: {e}"),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ],
+            };
+            table.row(&row);
+        }
+        out.push_str(&table.render());
+
+        out.push_str("\n## Scenarios\n\n");
+        let mut headers: Vec<String> = ["code", "failure", "workload", "seed"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for p in &self.policies {
+            headers.push(format!("{p} makespan_s"));
+        }
+        for p in &self.policies {
+            if p != &self.baseline {
+                headers.push(format!("{p} Δ% vs {}", self.baseline));
+            }
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+        let baseline_idx = self
+            .policies
+            .iter()
+            .position(|p| p == &self.baseline)
+            .unwrap_or(0);
+        for s in &self.scenarios {
+            let mut row = vec![
+                format!("{},{}", s.code.0, s.code.1),
+                s.failure.clone(),
+                s.workload.clone(),
+                s.seed.to_string(),
+            ];
+            for p in 0..self.policies.len() {
+                row.push(opt3(s.makespan_secs[p]));
+            }
+            for p in 0..self.policies.len() {
+                if p == baseline_idx {
+                    continue;
+                }
+                let cell = match (s.makespan_secs[baseline_idx], s.makespan_secs[p]) {
+                    (Some(b), Some(m)) if b > 0.0 => format!("{:+.2}", (b - m) / b * 100.0),
+                    _ => "-".to_string(),
+                };
+                row.push(cell);
+            }
+            table.row(&row);
+        }
+        out.push_str(&table.render());
+
+        out.push_str("\n## Axis rollups\n\n");
+        let mut table = Table::new(&[
+            "axis",
+            "value",
+            "policy",
+            "ok",
+            "mean_makespan_s",
+            "mean_Δ%_vs_baseline",
+        ]);
+        for r in &self.rollups {
+            table.row(&[
+                r.axis.to_string(),
+                r.value.clone(),
+                r.policy.clone(),
+                r.shards_ok.to_string(),
+                opt3(r.mean_makespan_secs),
+                match r.mean_reduction_vs_baseline {
+                    Some(x) => format!("{:+.2}", x * 100.0),
+                    None => "-".to_string(),
+                },
+            ]);
+        }
+        out.push_str(&table.render());
+        out
+    }
+}
+
+/// Fixed-precision float for JSON (6 decimal places — sub-microsecond
+/// for seconds values, stable across platforms).
+fn num(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+fn opt(x: Option<f64>) -> String {
+    match x {
+        Some(x) => num(x),
+        None => "null".to_string(),
+    }
+}
+
+fn opt3(x: Option<f64>) -> String {
+    match x {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FailureAxis, SweepBase, WorkloadAxis};
+    use dfs::Policy;
+
+    fn fake_metrics(stream_seed: u64, makespan: f64) -> ShardMetrics {
+        ShardMetrics {
+            stream_seed,
+            makespan_secs: makespan,
+            jobs_finished: 1,
+            maps_total: 240,
+            maps_degraded: 12,
+            tasks_queued_degraded: 12,
+            job_p50_secs: Some(makespan),
+            job_p95_secs: Some(makespan),
+            job_p99_secs: None,
+        }
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            base: SweepBase::fig7_small(),
+            policies: vec![Policy::EnhancedDegradedFirst, Policy::LocalityFirst],
+            codes: vec![(8, 6)],
+            failures: vec![FailureAxis::SingleNode],
+            workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+            seeds: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn merge_pairs_policies_by_scenario_and_finds_lf_baseline() {
+        let spec = spec();
+        let shards = spec.shards().expect("valid");
+        // Grid order: EDF seed1, EDF seed2, LF seed1, LF seed2.
+        let outcomes = vec![
+            Ok(fake_metrics(11, 80.0)),
+            Ok(fake_metrics(22, 90.0)),
+            Ok(fake_metrics(11, 100.0)),
+            Err("boom".to_string()),
+        ];
+        let report = SweepReport::merge(&spec, &shards, outcomes);
+        // Baseline is LF even though it is listed second.
+        assert_eq!(report.baseline, "LF");
+        assert_eq!(report.scenarios.len(), 2);
+        assert_eq!(
+            report.scenarios[0].makespan_secs,
+            vec![Some(80.0), Some(100.0)]
+        );
+        assert_eq!(report.scenarios[1].makespan_secs, vec![Some(90.0), None]);
+        // Rollup: EDF mean over both scenarios, reduction only where LF
+        // completed (scenario 1: (100-80)/100 = 0.2).
+        let edf_code = report
+            .rollups
+            .iter()
+            .find(|r| r.axis == "code" && r.policy == "EDF")
+            .expect("rollup row");
+        assert_eq!(edf_code.shards_ok, 2);
+        assert_eq!(edf_code.mean_makespan_secs, Some(85.0));
+        assert_eq!(edf_code.mean_reduction_vs_baseline, Some(0.2));
+        let lf_code = report
+            .rollups
+            .iter()
+            .find(|r| r.axis == "code" && r.policy == "LF")
+            .expect("rollup row");
+        assert_eq!(lf_code.shards_ok, 1);
+        assert_eq!(lf_code.mean_reduction_vs_baseline, None);
+    }
+
+    #[test]
+    fn renders_are_deterministic_and_valid() {
+        let spec = spec();
+        let shards = spec.shards().expect("valid");
+        let outcomes = vec![
+            Ok(fake_metrics(11, 80.0)),
+            Ok(fake_metrics(22, 90.0)),
+            Ok(fake_metrics(11, 100.0)),
+            Err("data loss: \"stripe\"\n".to_string()),
+        ];
+        let a = SweepReport::merge(&spec, &shards, outcomes.clone());
+        let b = SweepReport::merge(&spec, &shards, outcomes);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.human(), b.human());
+        // The JSON parses back (escaping of the error row included).
+        let doc = dfs::obs::json::Json::parse(&a.to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("sweep-report-v1")
+        );
+        assert_eq!(doc.get("shard_count").and_then(|s| s.as_f64()), Some(4.0));
+        assert_eq!(doc.get("shards_ok").and_then(|s| s.as_f64()), Some(3.0));
+        // Human report includes the three sections.
+        let human = a.human();
+        assert!(human.contains("## Shards"));
+        assert!(human.contains("## Scenarios"));
+        assert!(human.contains("## Axis rollups"));
+        assert!(human.contains("error: data loss"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Shard execution: a work-stealing pool of OS threads over the
+//! experiment harness.
+//!
+//! Workers claim shard indices from an atomic cursor and write results
+//! into pre-allocated per-shard slots, so the merged output is a pure
+//! function of the grid — independent of thread count, scheduling and
+//! finish order. A shard whose simulation fails (e.g. a random failure
+//! scenario that destroys a stripe under a weak code) records an error
+//! row instead of aborting the sweep, mirroring how the paper's 30
+//! random configurations only include valid ones.
+
+use dfs::cluster::FailureTimeline;
+use dfs::erasure::CodeParams;
+use dfs::experiment::PlacementKind;
+use dfs::obs::aggregate::Aggregator;
+use dfs::workloads::{map_only_job, simulation_default_job, ArrivalTrace};
+use dfs::{Experiment, FailureSpec};
+
+use crate::error::SweepError;
+use crate::report::SweepReport;
+use crate::spec::{FailureAxis, Shard, SweepBase, SweepSpec, WorkloadAxis};
+
+/// The measurements one shard contributes to the merged report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardMetrics {
+    /// The RNG stream seed the shard ran under (scenario-keyed).
+    pub stream_seed: u64,
+    /// End-to-end makespan in seconds.
+    pub makespan_secs: f64,
+    /// Jobs that finished.
+    pub jobs_finished: usize,
+    /// Map tasks executed.
+    pub maps_total: usize,
+    /// Map tasks that ran degraded (surviving-block reconstruction).
+    pub maps_degraded: usize,
+    /// Map tasks queued as degraded at submission.
+    pub tasks_queued_degraded: usize,
+    /// Job latency percentiles in seconds (absent when no job finished).
+    pub job_p50_secs: Option<f64>,
+    /// 95th percentile job latency.
+    pub job_p95_secs: Option<f64>,
+    /// 99th percentile job latency.
+    pub job_p99_secs: Option<f64>,
+}
+
+/// Runs one shard to completion. Errors are stringified for the report
+/// row; they do not abort the sweep.
+fn run_shard(base: &SweepBase, shard: &Shard) -> Result<ShardMetrics, String> {
+    let stream_seed = shard.stream_seed(base);
+    let topo = base.topology();
+    let (n, k) = shard.code;
+    let code = CodeParams::new(n, k).map_err(|e| format!("code: {e}"))?;
+    let (failure, timeline) = match &shard.failure {
+        FailureAxis::None => (FailureSpec::None, FailureTimeline::new()),
+        FailureAxis::SingleNode => (FailureSpec::RandomSingleNode, FailureTimeline::new()),
+        FailureAxis::DoubleNode => (FailureSpec::RandomDoubleNode, FailureTimeline::new()),
+        FailureAxis::Rack => (FailureSpec::RandomRack, FailureTimeline::new()),
+        FailureAxis::Weibull(churn) => {
+            // Churn is part of the scenario, not the policy: seeding it
+            // from the scenario stream keeps LF/BDF/EDF shards of one
+            // scenario under identical failure sequences.
+            let timeline = FailureTimeline::weibull(&topo, churn, stream_seed)
+                .map_err(|e| format!("churn: {e}"))?;
+            (FailureSpec::None, timeline)
+        }
+    };
+    let jobs = match &shard.workload {
+        WorkloadAxis::Default => vec![simulation_default_job()],
+        WorkloadAxis::MapOnly { map_secs } => vec![map_only_job(*map_secs)],
+        WorkloadAxis::Poisson { jobs, mean_secs } => {
+            ArrivalTrace::poisson(stream_seed, *jobs, *mean_secs)
+                .map_err(|e| format!("workload: {e:?}"))?
+                .into_jobs()
+        }
+    };
+    let exp = Experiment {
+        topo,
+        code,
+        num_blocks: base.num_blocks,
+        placement: PlacementKind::RackAware,
+        failure,
+        timeline,
+        config: base.engine_config(),
+        jobs,
+    };
+    let mut agg = Aggregator::new(exp.aggregator_config(stream_seed));
+    let run = exp
+        .run_traced(shard.policy, stream_seed, &mut agg)
+        .map_err(|e| e.to_string())?;
+    let report = agg.report();
+    Ok(ShardMetrics {
+        stream_seed,
+        makespan_secs: run.makespan.as_secs_f64(),
+        jobs_finished: report.jobs_finished,
+        maps_total: run.tasks.len(),
+        maps_degraded: report.maps_degraded,
+        tasks_queued_degraded: report.tasks_queued_degraded,
+        job_p50_secs: report.job_latency_p50,
+        job_p95_secs: report.job_latency_p95,
+        job_p99_secs: report.job_latency_p99,
+    })
+}
+
+/// Expands `spec` and runs every shard on `threads` OS threads,
+/// returning the deterministically merged report.
+///
+/// The report is byte-identical for any `threads >= 1`: shard results
+/// land in slots indexed by grid position and each shard's RNG stream
+/// is a pure function of its coordinates.
+///
+/// # Errors
+///
+/// Spec validation errors ([`SweepError`]); also [`SweepError::NoThreads`]
+/// for `threads == 0`. Per-shard simulation failures are reported in
+/// the corresponding row, not as an `Err`.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> {
+    if threads == 0 {
+        return Err(SweepError::NoThreads);
+    }
+    let shards = spec.shards()?;
+    let outcomes = run_shards(&spec.base, &shards, threads);
+    Ok(SweepReport::merge(spec, &shards, outcomes))
+}
+
+/// Runs the shard list on a pool and returns per-shard outcomes in grid
+/// order.
+fn run_shards(
+    base: &SweepBase,
+    shards: &[Shard],
+    threads: usize,
+) -> Vec<Result<ShardMetrics, String>> {
+    let workers = threads.min(shards.len()).max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Result<ShardMetrics, String>>>> =
+        shards.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= shards.len() {
+                    break;
+                }
+                let outcome = run_shard(base, &shards[i]);
+                // A poisoned slot only means another worker panicked
+                // mid-store; the stored value is still ours to replace.
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| Err("shard was never executed".to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepBase;
+    use dfs::Policy;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            base: SweepBase::fig7_small(),
+            policies: vec![Policy::LocalityFirst, Policy::EnhancedDegradedFirst],
+            codes: vec![(8, 6)],
+            failures: vec![FailureAxis::SingleNode],
+            workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+            seeds: vec![1],
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_an_error() {
+        assert_eq!(run_sweep(&tiny_spec(), 0), Err(SweepError::NoThreads));
+    }
+
+    #[test]
+    fn shards_of_one_scenario_share_the_failure() {
+        let spec = tiny_spec();
+        let report = run_sweep(&spec, 2).expect("sweep runs");
+        assert_eq!(report.shards.len(), 2);
+        let lf = &report.shards[0];
+        let edf = &report.shards[1];
+        // Same scenario stream...
+        let lf_m = lf.metrics.as_ref().expect("LF shard ok");
+        let edf_m = edf.metrics.as_ref().expect("EDF shard ok");
+        assert_eq!(lf_m.stream_seed, edf_m.stream_seed);
+        // ...and the same degraded workload (one failed node => same
+        // number of lost blocks to reconstruct under either policy).
+        assert_eq!(lf_m.maps_total, edf_m.maps_total);
+        assert!(lf_m.maps_degraded > 0);
+        assert_eq!(lf_m.maps_degraded, edf_m.maps_degraded);
+        // EDF should not lose to LF on its home turf.
+        assert!(edf_m.makespan_secs <= lf_m.makespan_secs * 1.02);
+    }
+
+    #[test]
+    fn failed_shards_become_rows_not_errors() {
+        // (4,3) over 240 blocks with a whole rack failed loses stripes
+        // on some seeds; those shards must surface as error rows.
+        let spec = SweepSpec {
+            base: SweepBase::fig7_small(),
+            policies: vec![Policy::LocalityFirst],
+            codes: vec![(4, 3)],
+            failures: vec![FailureAxis::Rack],
+            workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+            seeds: (1..=4).collect(),
+        };
+        let report = run_sweep(&spec, 2).expect("sweep itself succeeds");
+        assert_eq!(report.shards.len(), 4);
+        assert!(
+            report.shards.iter().any(|s| s.metrics.is_err()),
+            "expected at least one data-loss shard"
+        );
+    }
+}

@@ -1,0 +1,1011 @@
+//! Grid specification: axes, canonical labels, shard expansion and the
+//! JSONL spec format.
+//!
+//! A [`SweepSpec`] is the cartesian product of five axes — policy, code,
+//! failure, workload, seed — over one [`SweepBase`] cluster shape.
+//! [`SweepSpec::shards`] validates the spec and expands it into the
+//! canonical grid order (policy → code → failure → workload → seed).
+//!
+//! # Shard stream seeding
+//!
+//! Each shard's RNG stream seed is the FNV-1a hash of its *scenario
+//! key*: the canonical labels of the base, code, failure, workload and
+//! seed coordinates. The policy is deliberately **excluded** — the paper
+//! compares LF/BDF/EDF under identical failure scenarios, so shards that
+//! differ only in policy must resolve the same random failure and the
+//! same Poisson arrivals. Because the key is built from coordinate
+//! *values*, the stream is independent of where a value sits in its
+//! axis list and of grid enumeration order.
+
+use dfs::cluster::{Topology, WeibullChurn};
+use dfs::erasure::CodeParams;
+use dfs::mapreduce::engine::EngineConfig;
+use dfs::netsim::NetConfig;
+use dfs::obs::json::Json;
+use dfs::presets::MBPS;
+use dfs::simkit::time::SimDuration;
+use dfs::Policy;
+
+use crate::error::SweepError;
+
+/// FNV-1a 64-bit hash — the shard stream-seed function. Stable across
+/// platforms and releases; the golden reports depend on it.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cluster shape and engine tunables shared by every shard.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepBase {
+    /// Number of racks.
+    pub racks: usize,
+    /// Nodes per rack.
+    pub nodes_per_rack: usize,
+    /// Map slots per node.
+    pub map_slots: u32,
+    /// Reduce slots per node.
+    pub reduce_slots: u32,
+    /// Native blocks `F`.
+    pub num_blocks: usize,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// Node link speed in Mbps.
+    pub node_mbps: u64,
+    /// Rack link speed in Mbps.
+    pub rack_mbps: u64,
+}
+
+impl SweepBase {
+    /// The scaled-down Figure 7 shape used by tests and goldens:
+    /// 16 nodes / 4 racks, 240 blocks, 100 Mbps racks.
+    pub fn fig7_small() -> SweepBase {
+        SweepBase {
+            racks: 4,
+            nodes_per_rack: 4,
+            map_slots: 2,
+            reduce_slots: 1,
+            num_blocks: 240,
+            block_bytes: 128 * 1024 * 1024,
+            node_mbps: 1000,
+            rack_mbps: 100,
+        }
+    }
+
+    /// The paper's Section V-B default: 40 nodes / 4 racks, 1440 blocks,
+    /// 1 Gbps everywhere.
+    pub fn paper_default() -> SweepBase {
+        SweepBase {
+            racks: 4,
+            nodes_per_rack: 10,
+            map_slots: 4,
+            reduce_slots: 1,
+            num_blocks: 1440,
+            block_bytes: 128 * 1024 * 1024,
+            node_mbps: 1000,
+            rack_mbps: 1000,
+        }
+    }
+
+    /// A 10,000-node scale profile: 100 racks × 100 nodes. The flat
+    /// rack axis stands in for a three-tier (host → ToR → core) fabric:
+    /// each node's up/down links model the host NIC, each rack's
+    /// up/down links model the ToR uplink into a non-blocking core.
+    /// 7500 blocks divide evenly under (8,6), (12,10) and (20,15).
+    pub fn scale_10k() -> SweepBase {
+        SweepBase {
+            racks: 100,
+            nodes_per_rack: 100,
+            map_slots: 4,
+            reduce_slots: 1,
+            num_blocks: 7500,
+            block_bytes: 128 * 1024 * 1024,
+            node_mbps: 1000,
+            rack_mbps: 10_000,
+        }
+    }
+
+    /// The canonical label used in scenario keys and report headers.
+    pub fn label(&self) -> String {
+        format!(
+            "racks={},npr={},slots={}+{},blocks={},block_bytes={},node_mbps={},rack_mbps={}",
+            self.racks,
+            self.nodes_per_rack,
+            self.map_slots,
+            self.reduce_slots,
+            self.num_blocks,
+            self.block_bytes,
+            self.node_mbps,
+            self.rack_mbps
+        )
+    }
+
+    /// The topology this base describes.
+    pub fn topology(&self) -> Topology {
+        Topology::homogeneous(
+            self.racks,
+            self.nodes_per_rack,
+            self.map_slots,
+            self.reduce_slots,
+        )
+    }
+
+    /// The engine configuration this base describes.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            block_bytes: self.block_bytes,
+            net: NetConfig {
+                node_bps: self.node_mbps * MBPS,
+                rack_bps: self.rack_mbps * MBPS,
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    fn validate(&self) -> Result<(), SweepError> {
+        let fields: [(&'static str, u64); 7] = [
+            ("racks", self.racks as u64),
+            ("nodes_per_rack", self.nodes_per_rack as u64),
+            ("map_slots", u64::from(self.map_slots)),
+            ("num_blocks", self.num_blocks as u64),
+            ("block_bytes", self.block_bytes),
+            ("node_mbps", self.node_mbps),
+            ("rack_mbps", self.rack_mbps),
+        ];
+        for (field, value) in fields {
+            if value == 0 {
+                return Err(SweepError::BadBase { field, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One value of the failure axis.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailureAxis {
+    /// Normal mode — no failure.
+    None,
+    /// One uniformly random node fails at t=0.
+    SingleNode,
+    /// Two distinct uniformly random nodes fail at t=0.
+    DoubleNode,
+    /// One uniformly random rack fails at t=0.
+    Rack,
+    /// Seeded Weibull churn: nodes fail and recover mid-run.
+    Weibull(WeibullChurn),
+}
+
+impl FailureAxis {
+    /// The canonical label used in scenario keys and report rows.
+    pub fn label(&self) -> String {
+        match self {
+            FailureAxis::None => "none".to_string(),
+            FailureAxis::SingleNode => "node".to_string(),
+            FailureAxis::DoubleNode => "double".to_string(),
+            FailureAxis::Rack => "rack".to_string(),
+            FailureAxis::Weibull(c) => format!(
+                "weibull(shape={},life={},rshape={},repair={},horizon={})",
+                c.lifetime_shape,
+                c.lifetime_scale_secs,
+                c.repair_shape,
+                c.repair_scale_secs,
+                c.horizon_secs
+            ),
+        }
+    }
+
+    /// Parses a failure-axis token: `none`, `node`, `double`, `rack`,
+    /// `weibull` (default churn over a 600 s horizon) or
+    /// `weibull:SHAPE,LIFE,RSHAPE,REPAIR,HORIZON`.
+    pub fn parse(token: &str) -> Result<FailureAxis, String> {
+        match token {
+            "none" => Ok(FailureAxis::None),
+            "node" => Ok(FailureAxis::SingleNode),
+            "double" => Ok(FailureAxis::DoubleNode),
+            "rack" => Ok(FailureAxis::Rack),
+            "weibull" => Ok(FailureAxis::Weibull(WeibullChurn::default_for_horizon(
+                600.0,
+            ))),
+            other => {
+                let Some(params) = other.strip_prefix("weibull:") else {
+                    return Err(format!(
+                        "unknown failure `{other}` (expected none|node|double|rack|weibull[:shape,life,rshape,repair,horizon])"
+                    ));
+                };
+                let parts: Vec<&str> = params.split(',').collect();
+                if parts.len() != 5 {
+                    return Err(format!(
+                        "weibull takes 5 comma-separated parameters, got {}",
+                        parts.len()
+                    ));
+                }
+                let mut vals = [0.0f64; 5];
+                for (i, p) in parts.iter().enumerate() {
+                    vals[i] = p
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|e| format!("weibull parameter `{p}`: {e}"))?;
+                }
+                Ok(FailureAxis::Weibull(WeibullChurn {
+                    lifetime_shape: vals[0],
+                    lifetime_scale_secs: vals[1],
+                    repair_shape: vals[2],
+                    repair_scale_secs: vals[3],
+                    horizon_secs: vals[4],
+                }))
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), SweepError> {
+        if let FailureAxis::Weibull(c) = self {
+            let fields: [(&'static str, f64); 5] = [
+                ("lifetime_shape", c.lifetime_shape),
+                ("lifetime_scale_secs", c.lifetime_scale_secs),
+                ("repair_shape", c.repair_shape),
+                ("repair_scale_secs", c.repair_scale_secs),
+                ("horizon_secs", c.horizon_secs),
+            ];
+            for (field, value) in fields {
+                if !(value > 0.0 && value.is_finite()) {
+                    return Err(SweepError::BadChurn { field, value });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One value of the workload axis.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadAxis {
+    /// The Section V-B default job (map N(20,1), reduce N(30,2)).
+    Default,
+    /// A deterministic map-only job with the given mean map time.
+    MapOnly {
+        /// Mean map-task time in seconds.
+        map_secs: f64,
+    },
+    /// A Poisson multi-job trace (Figure 7(f) style), generated from the
+    /// shard's scenario stream so every policy replays the same
+    /// arrivals.
+    Poisson {
+        /// Number of jobs.
+        jobs: usize,
+        /// Mean inter-arrival time in seconds.
+        mean_secs: f64,
+    },
+}
+
+impl WorkloadAxis {
+    /// The canonical label used in scenario keys and report rows.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadAxis::Default => "default".to_string(),
+            WorkloadAxis::MapOnly { map_secs } => format!("maponly({map_secs})"),
+            WorkloadAxis::Poisson { jobs, mean_secs } => format!("poisson({jobs}x{mean_secs})"),
+        }
+    }
+
+    /// Parses a workload token: `default`, `maponly:SECS` or
+    /// `poisson:JOBSxMEAN` (e.g. `poisson:10x120`).
+    pub fn parse(token: &str) -> Result<WorkloadAxis, String> {
+        if token == "default" {
+            return Ok(WorkloadAxis::Default);
+        }
+        if let Some(secs) = token.strip_prefix("maponly:") {
+            let map_secs = secs
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| format!("maponly seconds `{secs}`: {e}"))?;
+            return Ok(WorkloadAxis::MapOnly { map_secs });
+        }
+        if let Some(params) = token.strip_prefix("poisson:") {
+            let Some((jobs, mean)) = params.split_once('x') else {
+                return Err(format!("poisson takes JOBSxMEAN, got `{params}`"));
+            };
+            let jobs = jobs
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| format!("poisson job count `{jobs}`: {e}"))?;
+            let mean_secs = mean
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| format!("poisson mean `{mean}`: {e}"))?;
+            return Ok(WorkloadAxis::Poisson { jobs, mean_secs });
+        }
+        Err(format!(
+            "unknown workload `{token}` (expected default|maponly:SECS|poisson:JOBSxMEAN)"
+        ))
+    }
+
+    fn validate(&self) -> Result<(), SweepError> {
+        match *self {
+            WorkloadAxis::Default => Ok(()),
+            WorkloadAxis::MapOnly { map_secs } => {
+                if map_secs > 0.0 && map_secs.is_finite() {
+                    Ok(())
+                } else {
+                    Err(SweepError::BadWorkload {
+                        reason: format!(
+                            "maponly seconds must be positive and finite, got {map_secs}"
+                        ),
+                    })
+                }
+            }
+            WorkloadAxis::Poisson { jobs, mean_secs } => {
+                if jobs == 0 {
+                    return Err(SweepError::BadWorkload {
+                        reason: "poisson job count must be at least 1".to_string(),
+                    });
+                }
+                if !(mean_secs > 0.0 && mean_secs.is_finite()) {
+                    return Err(SweepError::BadWorkload {
+                        reason: format!(
+                            "poisson mean inter-arrival must be positive and finite, got {mean_secs}"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The canonical label of a policy, unique per distinct axis value
+/// (unlike [`Policy::name`], delay scheduling includes its wait).
+pub fn policy_label(policy: &Policy) -> String {
+    match *policy {
+        Policy::DelayScheduling { max_wait } => {
+            format!("LF+delay({})", max_wait.as_secs_f64())
+        }
+        ref p => p.name().to_string(),
+    }
+}
+
+/// Parses a policy token: `lf`, `bdf`, `edf`, `bdf+locality`,
+/// `bdf+rack` or `lf+delay:SECS`.
+pub fn parse_policy(token: &str) -> Result<Policy, String> {
+    match token {
+        "lf" => Ok(Policy::LocalityFirst),
+        "bdf" => Ok(Policy::BasicDegradedFirst),
+        "edf" => Ok(Policy::EnhancedDegradedFirst),
+        "bdf+locality" => Ok(Policy::DegradedFirstWith {
+            locality_preservation: true,
+            rack_awareness: false,
+        }),
+        "bdf+rack" => Ok(Policy::DegradedFirstWith {
+            locality_preservation: false,
+            rack_awareness: true,
+        }),
+        other => {
+            let Some(secs) = other.strip_prefix("lf+delay:") else {
+                return Err(format!(
+                    "unknown policy `{other}` (expected lf|bdf|edf|bdf+locality|bdf+rack|lf+delay:SECS)"
+                ));
+            };
+            let wait = secs
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| format!("delay seconds `{secs}`: {e}"))?;
+            if !(wait > 0.0 && wait.is_finite()) {
+                return Err(format!(
+                    "delay seconds must be positive and finite, got {wait}"
+                ));
+            }
+            Ok(Policy::DelayScheduling {
+                max_wait: SimDuration::from_secs_f64(wait),
+            })
+        }
+    }
+}
+
+/// A full grid specification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// Cluster shape and engine tunables shared by every shard.
+    pub base: SweepBase,
+    /// Policy axis.
+    pub policies: Vec<Policy>,
+    /// `(n, k)` code axis.
+    pub codes: Vec<(usize, usize)>,
+    /// Failure axis.
+    pub failures: Vec<FailureAxis>,
+    /// Workload axis.
+    pub workloads: Vec<WorkloadAxis>,
+    /// Seed axis.
+    pub seeds: Vec<u64>,
+}
+
+/// One cell of the expanded grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Shard {
+    /// Position in the canonical grid order.
+    pub index: usize,
+    /// Policy coordinate.
+    pub policy: Policy,
+    /// `(n, k)` code coordinate.
+    pub code: (usize, usize),
+    /// Failure coordinate.
+    pub failure: FailureAxis,
+    /// Workload coordinate.
+    pub workload: WorkloadAxis,
+    /// Seed coordinate.
+    pub seed: u64,
+}
+
+impl Shard {
+    /// The canonical scenario key — every coordinate **except the
+    /// policy**, so LF/BDF/EDF shards of one scenario share a stream.
+    pub fn scenario_key(&self, base: &SweepBase) -> String {
+        format!(
+            "{}|code={},{}|failure={}|workload={}|seed={}",
+            base.label(),
+            self.code.0,
+            self.code.1,
+            self.failure.label(),
+            self.workload.label(),
+            self.seed
+        )
+    }
+
+    /// The RNG stream seed: FNV-1a of the scenario key.
+    pub fn stream_seed(&self, base: &SweepBase) -> u64 {
+        fnv1a(self.scenario_key(base).as_bytes())
+    }
+}
+
+fn check_unique(axis: &'static str, labels: &[String]) -> Result<(), SweepError> {
+    for (i, a) in labels.iter().enumerate() {
+        if labels[..i].contains(a) {
+            return Err(SweepError::DuplicateAxisValue {
+                axis,
+                value: a.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+impl SweepSpec {
+    /// Hard cap on grid size; a typo'd seed range should fail loudly,
+    /// not launch an unbounded run.
+    pub const MAX_SHARDS: usize = 65_536;
+
+    /// Validates every axis value and the base configuration.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SweepError`] variant describing the first problem found.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        self.base.validate()?;
+        if self.policies.is_empty() {
+            return Err(SweepError::EmptyAxis { axis: "policies" });
+        }
+        if self.codes.is_empty() {
+            return Err(SweepError::EmptyAxis { axis: "codes" });
+        }
+        if self.failures.is_empty() {
+            return Err(SweepError::EmptyAxis { axis: "failures" });
+        }
+        if self.workloads.is_empty() {
+            return Err(SweepError::EmptyAxis { axis: "workloads" });
+        }
+        if self.seeds.is_empty() {
+            return Err(SweepError::EmptyAxis { axis: "seeds" });
+        }
+        for &(n, k) in &self.codes {
+            CodeParams::new(n, k).map_err(|e| SweepError::BadCode {
+                n,
+                k,
+                reason: e.to_string(),
+            })?;
+        }
+        for f in &self.failures {
+            f.validate()?;
+        }
+        for w in &self.workloads {
+            w.validate()?;
+        }
+        check_unique(
+            "policies",
+            &self.policies.iter().map(policy_label).collect::<Vec<_>>(),
+        )?;
+        check_unique(
+            "codes",
+            &self
+                .codes
+                .iter()
+                .map(|&(n, k)| format!("{n},{k}"))
+                .collect::<Vec<_>>(),
+        )?;
+        check_unique(
+            "failures",
+            &self
+                .failures
+                .iter()
+                .map(FailureAxis::label)
+                .collect::<Vec<_>>(),
+        )?;
+        check_unique(
+            "workloads",
+            &self
+                .workloads
+                .iter()
+                .map(WorkloadAxis::label)
+                .collect::<Vec<_>>(),
+        )?;
+        check_unique(
+            "seeds",
+            &self.seeds.iter().map(u64::to_string).collect::<Vec<_>>(),
+        )?;
+        let shards = self
+            .policies
+            .len()
+            .saturating_mul(self.codes.len())
+            .saturating_mul(self.failures.len())
+            .saturating_mul(self.workloads.len())
+            .saturating_mul(self.seeds.len());
+        if shards > Self::MAX_SHARDS {
+            return Err(SweepError::TooManyShards {
+                shards,
+                cap: Self::MAX_SHARDS,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates and expands the grid in canonical order:
+    /// policy → code → failure → workload → seed.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SweepSpec::validate`] reports.
+    pub fn shards(&self) -> Result<Vec<Shard>, SweepError> {
+        self.validate()?;
+        let mut out = Vec::with_capacity(
+            self.policies.len()
+                * self.codes.len()
+                * self.failures.len()
+                * self.workloads.len()
+                * self.seeds.len(),
+        );
+        for policy in &self.policies {
+            for &code in &self.codes {
+                for failure in &self.failures {
+                    for workload in &self.workloads {
+                        for &seed in &self.seeds {
+                            out.push(Shard {
+                                index: out.len(),
+                                policy: *policy,
+                                code,
+                                failure: failure.clone(),
+                                workload: workload.clone(),
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn spec_err(line: usize, reason: impl Into<String>) -> SweepError {
+    SweepError::Spec {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn base_field_usize(
+    obj: &Json,
+    key: &str,
+    line: usize,
+    default: usize,
+) -> Result<usize, SweepError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let x = v
+                .as_f64()
+                .ok_or_else(|| spec_err(line, format!("base.{key} must be a number")))?;
+            if x < 0.0 || x.fract() != 0.0 || x > u32::MAX as f64 {
+                return Err(spec_err(
+                    line,
+                    format!("base.{key} must be a non-negative integer, got {x}"),
+                ));
+            }
+            Ok(x as usize)
+        }
+    }
+}
+
+/// Parses a JSONL sweep specification. Each non-empty line is one JSON
+/// object:
+///
+/// * `{"base": {"racks": 4, "nodes_per_rack": 4, ...}}` — overrides
+///   fields of [`SweepBase::fig7_small`] (at most one such line);
+/// * `{"axis": "policy", "value": "lf"}` — appends an axis value; the
+///   value strings use the same tokens as the CLI flags
+///   (`lf|bdf|edf|...`, `N,K`, `none|node|double|rack|weibull[:...]`,
+///   `default|maponly:SECS|poisson:JOBSxMEAN`);
+/// * `{"axis": "seed", "value": 7}` — appends one seed;
+/// * `{"axis": "seeds", "count": 3}` — appends seeds `1..=3`.
+///
+/// # Errors
+///
+/// [`SweepError::Spec`] with a 1-based line number for any malformed
+/// line. The returned spec is *not* yet validated — [`SweepSpec::shards`]
+/// performs semantic validation.
+pub fn parse_spec_jsonl(text: &str) -> Result<SweepSpec, SweepError> {
+    let mut spec = SweepSpec {
+        base: SweepBase::fig7_small(),
+        policies: Vec::new(),
+        codes: Vec::new(),
+        failures: Vec::new(),
+        workloads: Vec::new(),
+        seeds: Vec::new(),
+    };
+    let mut saw_base = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let doc = Json::parse(trimmed).map_err(|e| spec_err(line, e.to_string()))?;
+        if let Some(base) = doc.get("base") {
+            if saw_base {
+                return Err(spec_err(line, "duplicate base line"));
+            }
+            saw_base = true;
+            let Json::Object(map) = base else {
+                return Err(spec_err(line, "base must be an object"));
+            };
+            const KNOWN: [&str; 8] = [
+                "racks",
+                "nodes_per_rack",
+                "map_slots",
+                "reduce_slots",
+                "num_blocks",
+                "block_bytes",
+                "node_mbps",
+                "rack_mbps",
+            ];
+            for key in map.keys() {
+                if !KNOWN.contains(&key.as_str()) {
+                    return Err(spec_err(line, format!("unknown base field `{key}`")));
+                }
+            }
+            let d = spec.base.clone();
+            spec.base = SweepBase {
+                racks: base_field_usize(base, "racks", line, d.racks)?,
+                nodes_per_rack: base_field_usize(base, "nodes_per_rack", line, d.nodes_per_rack)?,
+                map_slots: base_field_usize(base, "map_slots", line, d.map_slots as usize)? as u32,
+                reduce_slots: base_field_usize(base, "reduce_slots", line, d.reduce_slots as usize)?
+                    as u32,
+                num_blocks: base_field_usize(base, "num_blocks", line, d.num_blocks)?,
+                block_bytes: {
+                    match base.get("block_bytes") {
+                        None => d.block_bytes,
+                        Some(v) => {
+                            let x = v.as_f64().ok_or_else(|| {
+                                spec_err(line, "base.block_bytes must be a number")
+                            })?;
+                            if x < 1.0 || x.fract() != 0.0 {
+                                return Err(spec_err(
+                                    line,
+                                    format!("base.block_bytes must be a positive integer, got {x}"),
+                                ));
+                            }
+                            x as u64
+                        }
+                    }
+                },
+                node_mbps: base_field_usize(base, "node_mbps", line, d.node_mbps as usize)? as u64,
+                rack_mbps: base_field_usize(base, "rack_mbps", line, d.rack_mbps as usize)? as u64,
+            };
+            continue;
+        }
+        let Some(axis) = doc.get("axis").and_then(Json::as_str) else {
+            return Err(spec_err(
+                line,
+                "expected an object with `axis` (or a single `base` object)",
+            ));
+        };
+        match axis {
+            "policy" | "code" | "failure" | "workload" => {
+                let Some(value) = doc.get("value").and_then(Json::as_str) else {
+                    return Err(spec_err(
+                        line,
+                        format!("axis `{axis}` needs a string `value`"),
+                    ));
+                };
+                match axis {
+                    "policy" => spec
+                        .policies
+                        .push(parse_policy(value).map_err(|e| spec_err(line, e))?),
+                    "code" => spec
+                        .codes
+                        .push(parse_code(value).map_err(|e| spec_err(line, e))?),
+                    "failure" => spec
+                        .failures
+                        .push(FailureAxis::parse(value).map_err(|e| spec_err(line, e))?),
+                    _ => spec
+                        .workloads
+                        .push(WorkloadAxis::parse(value).map_err(|e| spec_err(line, e))?),
+                }
+            }
+            "seed" => {
+                let Some(value) = doc.get("value").and_then(Json::as_f64) else {
+                    return Err(spec_err(line, "axis `seed` needs a numeric `value`"));
+                };
+                if value < 0.0 || value.fract() != 0.0 {
+                    return Err(spec_err(
+                        line,
+                        format!("seed must be a non-negative integer, got {value}"),
+                    ));
+                }
+                spec.seeds.push(value as u64);
+            }
+            "seeds" => {
+                let Some(count) = doc.get("count").and_then(Json::as_f64) else {
+                    return Err(spec_err(line, "axis `seeds` needs a numeric `count`"));
+                };
+                if count < 1.0 || count.fract() != 0.0 || count > Shard::MAX_SEED_COUNT as f64 {
+                    return Err(spec_err(
+                        line,
+                        format!(
+                            "seeds count must be an integer in 1..={}, got {count}",
+                            Shard::MAX_SEED_COUNT
+                        ),
+                    ));
+                }
+                spec.seeds.extend(1..=count as u64);
+            }
+            other => {
+                return Err(spec_err(
+                    line,
+                    format!(
+                        "unknown axis `{other}` (expected policy|code|failure|workload|seed|seeds)"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(spec)
+}
+
+impl Shard {
+    /// Cap on `{"axis":"seeds","count":N}` expansion, matching the
+    /// overall shard cap.
+    pub const MAX_SEED_COUNT: usize = SweepSpec::MAX_SHARDS;
+}
+
+/// Parses an `N,K` code token.
+pub fn parse_code(token: &str) -> Result<(usize, usize), String> {
+    let Some((n, k)) = token.split_once(',') else {
+        return Err(format!("code must be `N,K`, got `{token}`"));
+    };
+    let n = n
+        .trim()
+        .parse::<usize>()
+        .map_err(|e| format!("code n `{n}`: {e}"))?;
+    let k = k
+        .trim()
+        .parse::<usize>()
+        .map_err(|e| format!("code k `{k}`: {e}"))?;
+    Ok((n, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_by_two() -> SweepSpec {
+        SweepSpec {
+            base: SweepBase::fig7_small(),
+            policies: vec![Policy::LocalityFirst, Policy::EnhancedDegradedFirst],
+            codes: vec![(8, 6), (12, 10)],
+            failures: vec![FailureAxis::SingleNode],
+            workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+            seeds: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn expansion_is_in_grid_order() {
+        let shards = two_by_two().shards().expect("valid spec");
+        assert_eq!(shards.len(), 8);
+        assert_eq!(shards[0].policy, Policy::LocalityFirst);
+        assert_eq!(shards[0].code, (8, 6));
+        assert_eq!(shards[0].seed, 1);
+        assert_eq!(shards[1].seed, 2);
+        assert_eq!(shards[2].code, (12, 10));
+        assert_eq!(shards[4].policy, Policy::EnhancedDegradedFirst);
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+    }
+
+    #[test]
+    fn stream_seed_ignores_policy() {
+        let base = SweepBase::fig7_small();
+        let shards = two_by_two().shards().expect("valid spec");
+        // Shard 0 (LF) and shard 4 (EDF) share every other coordinate.
+        assert_eq!(shards[0].code, shards[4].code);
+        assert_eq!(shards[0].seed, shards[4].seed);
+        assert_eq!(shards[0].stream_seed(&base), shards[4].stream_seed(&base));
+        // Different seed, different stream.
+        assert_ne!(shards[0].stream_seed(&base), shards[1].stream_seed(&base));
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut spec = two_by_two();
+        spec.policies.clear();
+        assert_eq!(
+            spec.validate(),
+            Err(SweepError::EmptyAxis { axis: "policies" })
+        );
+
+        let mut spec = two_by_two();
+        spec.codes.push((3, 9));
+        assert!(matches!(
+            spec.validate(),
+            Err(SweepError::BadCode { n: 3, k: 9, .. })
+        ));
+
+        let mut spec = two_by_two();
+        spec.seeds.push(1);
+        assert!(matches!(
+            spec.validate(),
+            Err(SweepError::DuplicateAxisValue { axis: "seeds", .. })
+        ));
+
+        let mut spec = two_by_two();
+        spec.base.racks = 0;
+        assert_eq!(
+            spec.validate(),
+            Err(SweepError::BadBase {
+                field: "racks",
+                value: 0
+            })
+        );
+
+        let mut spec = two_by_two();
+        spec.failures = vec![FailureAxis::Weibull(WeibullChurn {
+            lifetime_shape: -1.0,
+            lifetime_scale_secs: 10.0,
+            repair_shape: 1.0,
+            repair_scale_secs: 10.0,
+            horizon_secs: 100.0,
+        })];
+        assert!(matches!(
+            spec.validate(),
+            Err(SweepError::BadChurn {
+                field: "lifetime_shape",
+                ..
+            })
+        ));
+
+        let mut spec = two_by_two();
+        spec.seeds = (0..40_000).collect();
+        assert!(matches!(
+            spec.validate(),
+            Err(SweepError::TooManyShards { .. })
+        ));
+    }
+
+    #[test]
+    fn axis_tokens_round_trip() {
+        for token in ["none", "node", "double", "rack"] {
+            let axis = FailureAxis::parse(token).expect("parse");
+            assert_eq!(axis.label(), token);
+        }
+        let weibull = FailureAxis::parse("weibull:1.2,28800,1,75,600").expect("parse");
+        assert_eq!(
+            weibull.label(),
+            "weibull(shape=1.2,life=28800,rshape=1,repair=75,horizon=600)"
+        );
+        assert!(FailureAxis::parse("weibull:1,2").is_err());
+        assert!(FailureAxis::parse("meteor").is_err());
+
+        assert_eq!(
+            WorkloadAxis::parse("default").expect("parse").label(),
+            "default"
+        );
+        assert_eq!(
+            WorkloadAxis::parse("maponly:10").expect("parse").label(),
+            "maponly(10)"
+        );
+        assert_eq!(
+            WorkloadAxis::parse("poisson:10x120")
+                .expect("parse")
+                .label(),
+            "poisson(10x120)"
+        );
+        assert!(WorkloadAxis::parse("poisson:10").is_err());
+
+        assert_eq!(parse_code("8,6").expect("parse"), (8, 6));
+        assert!(parse_code("8").is_err());
+
+        assert_eq!(policy_label(&parse_policy("lf").expect("parse")), "LF");
+        assert_eq!(
+            policy_label(&parse_policy("lf+delay:6").expect("parse")),
+            "LF+delay(6)"
+        );
+        assert!(parse_policy("fifo").is_err());
+    }
+
+    #[test]
+    fn jsonl_spec_parses() {
+        let text = r#"
+            {"base": {"racks": 4, "nodes_per_rack": 4, "rack_mbps": 100}}
+            {"axis": "policy", "value": "lf"}
+            {"axis": "policy", "value": "edf"}
+            {"axis": "code", "value": "8,6"}
+            {"axis": "failure", "value": "node"}
+            {"axis": "workload", "value": "maponly:10"}
+            {"axis": "seeds", "count": 3}
+            {"axis": "seed", "value": 9}
+        "#;
+        let spec = parse_spec_jsonl(text).expect("valid spec");
+        assert_eq!(spec.base.racks, 4);
+        assert_eq!(spec.base.rack_mbps, 100);
+        assert_eq!(spec.policies.len(), 2);
+        assert_eq!(spec.codes, vec![(8, 6)]);
+        assert_eq!(spec.seeds, vec![1, 2, 3, 9]);
+        assert_eq!(spec.shards().expect("expand").len(), 8);
+    }
+
+    #[test]
+    fn jsonl_spec_rejects_malformed_lines() {
+        assert!(matches!(
+            parse_spec_jsonl("{"),
+            Err(SweepError::Spec { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_spec_jsonl("{\"axis\": \"colour\", \"value\": \"red\"}"),
+            Err(SweepError::Spec { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_spec_jsonl("{\"axis\": \"seed\", \"value\": 1.5}"),
+            Err(SweepError::Spec { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_spec_jsonl("{\"base\": {\"warp\": 9}}"),
+            Err(SweepError::Spec { line: 1, .. })
+        ));
+        let two_bases = "{\"base\": {}}\n{\"base\": {}}";
+        assert!(matches!(
+            parse_spec_jsonl(two_bases),
+            Err(SweepError::Spec { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn scale_10k_base_is_valid_and_big() {
+        let base = SweepBase::scale_10k();
+        assert!(base.validate().is_ok());
+        assert_eq!(base.racks * base.nodes_per_rack, 10_000);
+        for k in [6, 10, 15] {
+            assert_eq!(base.num_blocks % k, 0, "blocks must divide under k={k}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The sweep determinism contract: the merged report is byte-identical
+//! regardless of thread count (and hence of shard execution order).
+
+use dfs::Policy;
+use sweep::{run_sweep, FailureAxis, SweepBase, SweepSpec, WorkloadAxis};
+
+fn grid() -> SweepSpec {
+    SweepSpec {
+        base: SweepBase::fig7_small(),
+        policies: vec![Policy::LocalityFirst, Policy::EnhancedDegradedFirst],
+        codes: vec![(8, 6)],
+        failures: vec![FailureAxis::SingleNode],
+        workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+        seeds: vec![1, 2, 3],
+    }
+}
+
+#[test]
+fn merged_report_is_byte_identical_across_thread_counts() {
+    let spec = grid();
+    let one = run_sweep(&spec, 1).expect("1-thread sweep");
+    let four = run_sweep(&spec, 4).expect("4-thread sweep");
+    let eight = run_sweep(&spec, 8).expect("8-thread sweep");
+    assert_eq!(one.to_json(), four.to_json(), "1 vs 4 threads");
+    assert_eq!(one.to_json(), eight.to_json(), "1 vs 8 threads");
+    assert_eq!(one.human(), four.human(), "1 vs 4 threads (human)");
+    assert_eq!(one.human(), eight.human(), "1 vs 8 threads (human)");
+}
+
+#[test]
+fn rerun_is_byte_identical() {
+    let spec = grid();
+    let a = run_sweep(&spec, 4).expect("first run");
+    let b = run_sweep(&spec, 4).expect("second run");
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.human(), b.human());
+}
+
+#[test]
+fn weibull_churn_shards_are_deterministic_across_threads() {
+    let spec = SweepSpec {
+        base: SweepBase::fig7_small(),
+        policies: vec![Policy::LocalityFirst, Policy::EnhancedDegradedFirst],
+        codes: vec![(8, 6)],
+        failures: vec![FailureAxis::parse("weibull:1.2,2000,1,60,300").expect("valid churn")],
+        workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+        seeds: vec![7],
+    };
+    let one = run_sweep(&spec, 1).expect("1-thread sweep");
+    let three = run_sweep(&spec, 3).expect("3-thread sweep");
+    assert_eq!(one.to_json(), three.to_json());
+    // Both policies replayed the same churn timeline (scenario-keyed
+    // stream), so their degraded workloads agree.
+    let lf = one.shards[0].metrics.as_ref().expect("LF ok");
+    let edf = one.shards[1].metrics.as_ref().expect("EDF ok");
+    assert_eq!(lf.stream_seed, edf.stream_seed);
+    assert_eq!(lf.maps_total, edf.maps_total);
+}

@@ -1,0 +1,56 @@
+//! Golden LF/BDF/EDF grid report on the Figure-7 small preset. The
+//! checked-in bytes are the determinism contract for the whole sweep
+//! pipeline: spec expansion, scenario-keyed RNG streams, simulation,
+//! aggregation, merge and rendering.
+//!
+//! Regenerate with `UPDATE_GOLDENS=1 cargo test -p sweep --test
+//! golden_grid` after an intentional behavior change, and review the
+//! diff like code.
+
+use dfs::Policy;
+use std::path::PathBuf;
+use sweep::{run_sweep, FailureAxis, SweepBase, SweepSpec, WorkloadAxis};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}; run with UPDATE_GOLDENS=1", name));
+    assert_eq!(
+        expected, actual,
+        "golden {name} drifted; if intentional, regenerate with UPDATE_GOLDENS=1 and review the diff"
+    );
+}
+
+fn fig7_small_grid() -> SweepSpec {
+    SweepSpec {
+        base: SweepBase::fig7_small(),
+        policies: vec![
+            Policy::LocalityFirst,
+            Policy::BasicDegradedFirst,
+            Policy::EnhancedDegradedFirst,
+        ],
+        codes: vec![(8, 6)],
+        failures: vec![FailureAxis::SingleNode],
+        workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+        seeds: vec![1, 2, 3],
+    }
+}
+
+#[test]
+fn fig7_small_grid_matches_goldens() {
+    let report = run_sweep(&fig7_small_grid(), 4).expect("sweep runs");
+    assert_eq!(report.shards.len(), 9);
+    assert_eq!(report.shards_ok(), 9, "every shard should complete");
+    check_golden("fig7_small_grid.json", &report.to_json());
+    check_golden("fig7_small_grid.txt", &report.human());
+}

@@ -1,0 +1,152 @@
+//! Property tests for shard stream seeding: a shard's RNG stream is a
+//! pure function of its coordinate *values* — independent of grid
+//! enumeration order and of the policy coordinate.
+
+use dfs::Policy;
+use proptest::prelude::*;
+use sweep::{fnv1a, FailureAxis, SweepBase, SweepSpec, WorkloadAxis};
+
+/// Selects the non-empty subset of `all` encoded by a bitmask (the
+/// vendored proptest has no `sample::subsequence`).
+fn subset<T: Clone>(all: &[T], mask: u32) -> Vec<T> {
+    all.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+fn arb_policies() -> impl Strategy<Value = Vec<Policy>> {
+    (1u32..8).prop_map(|mask| {
+        subset(
+            &[
+                Policy::LocalityFirst,
+                Policy::BasicDegradedFirst,
+                Policy::EnhancedDegradedFirst,
+            ],
+            mask,
+        )
+    })
+}
+
+fn arb_codes() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    (1u32..16).prop_map(|mask| subset(&[(8, 6), (12, 10), (20, 15), (4, 3)], mask))
+}
+
+fn arb_failures() -> impl Strategy<Value = Vec<FailureAxis>> {
+    (1u32..16).prop_map(|mask| {
+        subset(
+            &[
+                FailureAxis::None,
+                FailureAxis::SingleNode,
+                FailureAxis::DoubleNode,
+                FailureAxis::Rack,
+            ],
+            mask,
+        )
+    })
+}
+
+fn arb_seeds() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::btree_set(0u64..1000, 1..5)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stream_seeds_are_value_keyed_not_position_keyed(
+        policies in arb_policies(),
+        codes in arb_codes(),
+        failures in arb_failures(),
+        seeds in arb_seeds(),
+    ) {
+        let base = SweepBase::fig7_small();
+        let spec = SweepSpec {
+            base: base.clone(),
+            policies: policies.clone(),
+            codes: codes.clone(),
+            failures: failures.clone(),
+            workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+            seeds: seeds.clone(),
+        };
+        // The same axes enumerated in reversed order.
+        let reversed = SweepSpec {
+            base: base.clone(),
+            policies: policies.iter().rev().cloned().collect(),
+            codes: codes.iter().rev().cloned().collect(),
+            failures: failures.iter().rev().cloned().collect(),
+            workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+            seeds: seeds.iter().rev().cloned().collect(),
+        };
+        let forward = spec.shards().expect("valid spec");
+        let backward = reversed.shards().expect("valid spec");
+        prop_assert_eq!(forward.len(), backward.len());
+        // Key -> stream seed maps agree: the grid position never leaks
+        // into the stream.
+        let mut fwd: Vec<(String, u64)> = forward
+            .iter()
+            .map(|s| (s.scenario_key(&base), s.stream_seed(&base)))
+            .collect();
+        let mut bwd: Vec<(String, u64)> = backward
+            .iter()
+            .map(|s| (s.scenario_key(&base), s.stream_seed(&base)))
+            .collect();
+        fwd.sort();
+        bwd.sort();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn policy_never_perturbs_the_scenario_stream(
+        codes in arb_codes(),
+        failures in arb_failures(),
+        seeds in arb_seeds(),
+    ) {
+        let base = SweepBase::fig7_small();
+        let make = |policies: Vec<Policy>| SweepSpec {
+            base: base.clone(),
+            policies,
+            codes: codes.clone(),
+            failures: failures.clone(),
+            workloads: vec![WorkloadAxis::Default],
+            seeds: seeds.clone(),
+        };
+        let lf_only = make(vec![Policy::LocalityFirst]).shards().expect("valid");
+        let all = make(vec![
+            Policy::LocalityFirst,
+            Policy::BasicDegradedFirst,
+            Policy::EnhancedDegradedFirst,
+        ])
+        .shards()
+        .expect("valid");
+        let scenarios = lf_only.len();
+        // Every policy block reproduces exactly the LF block's streams.
+        for (i, shard) in all.iter().enumerate() {
+            let peer = &lf_only[i % scenarios];
+            prop_assert_eq!(shard.scenario_key(&base), peer.scenario_key(&base));
+            prop_assert_eq!(shard.stream_seed(&base), peer.stream_seed(&base));
+        }
+    }
+
+    #[test]
+    fn stream_seed_is_exactly_fnv1a_of_the_key(
+        seed in 0u64..10_000,
+    ) {
+        let base = SweepBase::fig7_small();
+        let spec = SweepSpec {
+            base: base.clone(),
+            policies: vec![Policy::LocalityFirst],
+            codes: vec![(8, 6)],
+            failures: vec![FailureAxis::SingleNode],
+            workloads: vec![WorkloadAxis::Default],
+            seeds: vec![seed],
+        };
+        let shards = spec.shards().expect("valid");
+        prop_assert_eq!(
+            shards[0].stream_seed(&base),
+            fnv1a(shards[0].scenario_key(&base).as_bytes())
+        );
+    }
+}
