@@ -12,11 +12,12 @@ use dfs::mapreduce::engine::EngineConfig;
 use dfs::mapreduce::job::JobSpec;
 use dfs::mapreduce::MapLocality;
 use dfs::netsim::NetConfig;
-use dfs::obs::aggregate::{Aggregator, AggregatorConfig};
+use dfs::obs::aggregate::{Aggregator, AggregatorConfig, AggregatorMode};
 use dfs::obs::chrome::ChromeTraceSink;
 use dfs::obs::jsonl::{parse_line, JsonlSink};
 use dfs::obs::schema::{validate_jsonl, TraceSchema, TRACE_SCHEMA_V1};
-use dfs::obs::sink::EventSink;
+use dfs::obs::sink::{EventSink, FlowRateFilter, FlowRateFilterConfig};
+use dfs::obs::spill::{validate_spill, SpillConfig, SpillSink};
 use dfs::simkit::report::Table;
 use dfs::simkit::time::{SimDuration, SimTime};
 use dfs::simkit::SimRng;
@@ -25,8 +26,8 @@ use dfs::textlab::{run_job, CorpusBuilder, Grep, LineCount, MiniGrid, WordCount}
 use dfs::workloads::{ArrivalTrace, TestbedWorkload};
 use sweep::{
     parse_code as parse_sweep_code, parse_policy as parse_sweep_policy, parse_spec_jsonl,
-    run_sweep as run_grid_sweep, FailureAxis as SweepFailureAxis, SweepBase, SweepSpec,
-    WorkloadAxis as SweepWorkloadAxis,
+    run_sweep as run_grid_sweep, trace_diff_scenario, FailureAxis as SweepFailureAxis, SweepBase,
+    SweepSpec, WorkloadAxis as SweepWorkloadAxis,
 };
 
 use crate::args::Args;
@@ -45,18 +46,23 @@ USAGE:
                      --map-secs 20 --reducers 30 --shuffle 0.01
                      --poisson 120,10 --poisson-seed 1 --emit-arrivals out.jsonl
                      --arrivals trace.jsonl
-                     --trace out.jsonl --trace-format jsonl|chrome --trace-seed 1]
+                     --trace out.jsonl --trace-format jsonl|chrome|spill --trace-seed 1
+                     --spill-segment-bytes 67108864
+                     --flow-rate-min-delta 1e6 --flow-rate-min-interval 5]
   dfs-cli testbed   [--workload wordcount|grep|linecount|all --runs 5]
   dfs-cli repair    [--parallelism 4 --seed 1]
   dfs-cli wordcount [--lines 20000 --fail-node 0 --needle whale]
-  dfs-cli obs-report --trace out.jsonl [--bucket-secs 10 --map-slots 160]
-  dfs-cli trace-validate --trace out.jsonl
+  dfs-cli obs-report --trace out.jsonl [--bucket-secs 10 --map-slots 160
+                     --trace-window 60 --trace-max-windows 1024]
+  dfs-cli trace-validate --trace out.jsonl [--spill]
+  dfs-cli trace-diff --a a.jsonl --b b.jsonl [--top 10]
   dfs-cli sweep     [--policies lf,edf --codes \"8,6;9,6\" --failures node,rack
                      --workloads maponly:10 --seeds 3 --seed-list 1,5,9
                      --threads 4 --base fig7-small|paper|scale-10k
                      --racks 4 --nodes-per-rack 4 --map-slots 2 --blocks 240
                      --block-mb 128 --node-mbps 1000 --rack-mbps 100
-                     --spec grid.jsonl --out report.json --json]
+                     --spec grid.jsonl --out report.json --json
+                     --diff lf,edf --diff-top 10]
   dfs-cli --help";
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -209,6 +215,9 @@ pub fn simulate(args: &Args) -> CliResult {
         "trace",
         "trace-format",
         "trace-seed",
+        "spill-segment-bytes",
+        "flow-rate-min-delta",
+        "flow-rate-min-interval",
         "arrivals",
         "poisson",
         "poisson-seed",
@@ -344,7 +353,27 @@ pub fn simulate(args: &Args) -> CliResult {
     if let Some(path) = args.get("trace") {
         let trace_seed: u64 = args.get_or("trace-seed", 1u64)?;
         let format = args.get("trace-format").unwrap_or("jsonl");
-        write_trace(&exp, policy, trace_seed, path, format)?;
+        let min_delta: f64 = args.get_or("flow-rate-min-delta", 0.0f64)?;
+        let min_interval: f64 = args.get_or("flow-rate-min-interval", 0.0f64)?;
+        if min_delta < 0.0 || min_interval < 0.0 || !min_delta.is_finite() {
+            return Err("flow-rate filter thresholds must be non-negative".into());
+        }
+        // Both thresholds zero means no filtering at all, so the default
+        // trace stays byte-identical to pre-filter builds.
+        let filter = (min_delta > 0.0 || min_interval > 0.0).then(|| FlowRateFilterConfig {
+            min_delta_bps: min_delta,
+            min_interval: SimDuration::from_secs_f64(min_interval),
+        });
+        let segment_bytes: u64 = args.get_or("spill-segment-bytes", 64 * 1024 * 1024u64)?;
+        write_trace(
+            &exp,
+            policy,
+            trace_seed,
+            path,
+            format,
+            filter,
+            segment_bytes,
+        )?;
     }
     Ok(())
 }
@@ -359,37 +388,116 @@ fn parse_poisson(raw: &str) -> Result<(f64, usize), String> {
 }
 
 /// Re-runs one seed of `exp` with tracing enabled, writing the event
-/// stream to `path` in the requested format.
-fn write_trace(exp: &Experiment, policy: Policy, seed: u64, path: &str, format: &str) -> CliResult {
-    let file = BufWriter::new(File::create(path)?);
-    match format {
+/// stream to `path` in the requested format, optionally thinned through
+/// a [`FlowRateFilter`]. The `spill` format treats `path` as a directory
+/// of size-bounded segments plus a manifest.
+fn write_trace(
+    exp: &Experiment,
+    policy: Policy,
+    seed: u64,
+    path: &str,
+    format: &str,
+    filter: Option<FlowRateFilterConfig>,
+    segment_bytes: u64,
+) -> CliResult {
+    let suppressed = match format {
         "jsonl" => {
-            let mut sink = JsonlSink::new(file);
-            exp.run_traced(policy, seed, &mut sink)?;
+            let mut sink = JsonlSink::new(BufWriter::new(File::create(path)?));
+            let suppressed = trace_into(exp, policy, seed, &mut sink, filter)?;
             sink.finish()?;
+            suppressed
         }
         "chrome" => {
+            let file = BufWriter::new(File::create(path)?);
             let mut sink = ChromeTraceSink::new(file, exp.chrome_config());
-            exp.run_traced(policy, seed, &mut sink)?;
+            let suppressed = trace_into(exp, policy, seed, &mut sink, filter)?;
             sink.finish()?;
+            suppressed
         }
-        other => return Err(format!("unknown trace format {other:?} (jsonl|chrome)").into()),
-    }
+        "spill" => {
+            let mut sink = SpillSink::create(SpillConfig {
+                dir: path.into(),
+                max_segment_bytes: segment_bytes,
+            })?;
+            let suppressed = trace_into(exp, policy, seed, &mut sink, filter)?;
+            let manifest = sink.finish()?;
+            println!(
+                "spilled {} events ({} bytes) across {} segments",
+                manifest.total_events,
+                manifest.total_bytes,
+                manifest.segments.len()
+            );
+            suppressed
+        }
+        other => return Err(format!("unknown trace format {other:?} (jsonl|chrome|spill)").into()),
+    };
     println!("{format} trace of seed {seed} written to {path}");
+    if let Some(dropped) = suppressed {
+        println!("flow-rate filter suppressed {dropped} flow_rate events");
+    }
     Ok(())
+}
+
+/// Runs `exp` traced into `sink`, threading the stream through a
+/// [`FlowRateFilter`] when one is configured. Returns the suppressed
+/// event count (None when unfiltered).
+fn trace_into(
+    exp: &Experiment,
+    policy: Policy,
+    seed: u64,
+    sink: &mut dyn EventSink,
+    filter: Option<FlowRateFilterConfig>,
+) -> Result<Option<u64>, Box<dyn Error>> {
+    match filter {
+        Some(cfg) => {
+            let mut filter = FlowRateFilter::new(sink, cfg);
+            exp.run_traced(policy, seed, &mut filter)?;
+            Ok(Some(filter.suppressed()))
+        }
+        None => {
+            exp.run_traced(policy, seed, sink)?;
+            Ok(None)
+        }
+    }
 }
 
 /// `dfs-cli obs-report`: derived metrics from a JSONL trace file.
 pub fn obs_report(args: &Args) -> CliResult {
-    args.ensure_known(&["trace", "bucket-secs", "map-slots"])?;
+    args.ensure_known(&[
+        "trace",
+        "bucket-secs",
+        "map-slots",
+        "trace-window",
+        "trace-max-windows",
+    ])?;
     let path = args
         .get("trace")
         .ok_or("obs-report needs --trace <file.jsonl>")?;
     let text = std::fs::read_to_string(path)?;
+    let mode = match args.get("trace-window") {
+        Some(w) => {
+            let window_secs: u64 = w
+                .parse()
+                .map_err(|_| format!("bad --trace-window `{w}` (want seconds)"))?;
+            if window_secs == 0 {
+                return Err("--trace-window must be positive".into());
+            }
+            let max_windows: usize = args.get_or("trace-max-windows", 1024usize)?;
+            if max_windows == 0 {
+                return Err("--trace-max-windows must be positive".into());
+            }
+            AggregatorMode::Windowed {
+                window_secs,
+                max_windows,
+            }
+        }
+        None => AggregatorMode::Exact,
+    };
     let mut agg = Aggregator::new(AggregatorConfig {
         bucket: SimDuration::from_secs_f64(args.get_or("bucket-secs", 10.0f64)?),
         total_map_slots: args.get_or("map-slots", 0u64)?,
         link_capacities_bps: Vec::new(),
+        mode,
     });
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -502,15 +610,47 @@ pub fn obs_report(args: &Args) -> CliResult {
 }
 
 /// `dfs-cli trace-validate`: check a JSONL trace against the schema.
+/// With `--spill`, `--trace` names a spill directory: the manifest is
+/// cross-checked against the segments and every segment is then
+/// schema-validated.
 pub fn trace_validate(args: &Args) -> CliResult {
-    args.ensure_known(&["trace"])?;
+    args.ensure_known(&["trace", "spill"])?;
     let path = args
         .get("trace")
-        .ok_or("trace-validate needs --trace <file.jsonl>")?;
-    let text = std::fs::read_to_string(path)?;
+        .ok_or("trace-validate needs --trace <file.jsonl | spill-dir>")?;
     let schema = TraceSchema::parse(TRACE_SCHEMA_V1)?;
+    if args.flag("spill") {
+        let dir = std::path::Path::new(path);
+        let manifest = validate_spill(dir)?;
+        let mut count = 0;
+        for seg in &manifest.segments {
+            let text = std::fs::read_to_string(dir.join(&seg.file))?;
+            count += validate_jsonl(&schema, &text).map_err(|e| format!("{}: {e}", seg.file))?;
+        }
+        println!(
+            "{path}: manifest consistent, {count} events across {} segments valid \
+             against trace schema v1",
+            manifest.segments.len()
+        );
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(path)?;
     let count = validate_jsonl(&schema, &text)?;
     println!("{path}: {count} events valid against trace schema v1");
+    Ok(())
+}
+
+/// `dfs-cli trace-diff`: lane-by-lane comparison of two JSONL traces,
+/// attributing the makespan delta to concrete tasks and flows.
+pub fn trace_diff(args: &Args) -> CliResult {
+    args.ensure_known(&["a", "b", "top"])?;
+    let path_a = args.get("a").ok_or("trace-diff needs --a <a.jsonl>")?;
+    let path_b = args.get("b").ok_or("trace-diff needs --b <b.jsonl>")?;
+    let top: usize = args.get_or("top", 10usize)?;
+    let text_a = std::fs::read_to_string(path_a)?;
+    let text_b = std::fs::read_to_string(path_b)?;
+    let diff = dfs::obs::diff::diff_jsonl(&text_a, &text_b, top)?;
+    print!("{}", dfs::obs::diff::render(&diff));
     Ok(())
 }
 
@@ -540,6 +680,8 @@ pub fn sweep_grid(args: &Args) -> CliResult {
         "rack-mbps",
         "out",
         "json",
+        "diff",
+        "diff-top",
     ])?;
     let spec = if let Some(path) = args.get("spec") {
         let text = std::fs::read_to_string(path)?;
@@ -619,6 +761,22 @@ pub fn sweep_grid(args: &Args) -> CliResult {
         print!("{}", report.to_json());
     } else {
         print!("{}", report.human());
+    }
+    // `--diff lf,edf`: re-run the grid's first scenario under the two
+    // named policies with tracing and attribute the makespan delta.
+    if let Some(pair) = args.get("diff") {
+        let (a, b) = pair
+            .split_once(',')
+            .ok_or_else(|| format!("bad --diff {pair:?} (want two policies, e.g. lf,edf)"))?;
+        let policy_a = parse_sweep_policy(a.trim())?;
+        let policy_b = parse_sweep_policy(b.trim())?;
+        let top: usize = args.get_or("diff-top", 10usize)?;
+        println!(
+            "\ntrace diff of first scenario: {} vs {}",
+            policy_a.name(),
+            policy_b.name()
+        );
+        print!("{}", trace_diff_scenario(&spec, policy_a, policy_b, top)?);
     }
     Ok(())
 }

@@ -16,7 +16,8 @@
 //! dfs-cli repair   [--parallelism 4 --seed 1]
 //! dfs-cli wordcount [--lines 20000 --fail-node 0 --needle whale]
 //! dfs-cli obs-report --trace out.jsonl [--bucket-secs 10 --map-slots 160]
-//! dfs-cli trace-validate --trace out.jsonl
+//! dfs-cli trace-validate --trace out.jsonl [--spill]
+//! dfs-cli trace-diff --a a.jsonl --b b.jsonl [--top 10]
 //! dfs-cli sweep    [--policies lf,edf --codes "8,6;9,6" --failures node,rack
 //!                   --workloads maponly:10 --seeds 3 --threads 4
 //!                   --base fig7-small|paper|scale-10k --spec grid.jsonl
@@ -50,6 +51,7 @@ fn main() {
         Some("wordcount") => commands::wordcount(&args),
         Some("obs-report") => commands::obs_report(&args),
         Some("trace-validate") => commands::trace_validate(&args),
+        Some("trace-diff") => commands::trace_diff(&args),
         Some("sweep") => commands::sweep_grid(&args),
         Some(other) => {
             eprintln!("error: unknown command {other:?}");

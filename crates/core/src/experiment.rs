@@ -357,6 +357,7 @@ impl Experiment {
             bucket: SimDuration::from_secs(10),
             total_map_slots: u64::from(total_map_slots),
             link_capacities_bps,
+            ..AggregatorConfig::default()
         }
     }
 }

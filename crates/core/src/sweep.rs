@@ -33,7 +33,7 @@ impl SweepSummary {
     pub fn median(&self) -> f64 {
         let mut sorted = self.samples.clone();
         sorted.sort_by(f64::total_cmp);
-        percentile_sorted(&sorted, 0.50)
+        percentile_sorted(&sorted, 0.50).expect("non-empty by constructor")
     }
 
     /// Five-number summary.

@@ -1,0 +1,312 @@
+//! `trace-diff`: lane-by-lane comparison of two traces of the same
+//! preset, attributing their makespan delta to concrete tasks and flows.
+//!
+//! Both traces are grouped by [`Lane`] — the totally ordered sub-streams
+//! the lifecycle invariants already run over — and each shared lane's
+//! `(start, end)` span is compared. Lanes are ranked by how far their
+//! *end* moved, because under work-conserving scheduling the makespan
+//! delta is carried by the chain of latest-finishing lanes: the top of
+//! the ranking names the tasks/flows that the slower run finished late,
+//! and the final lane of each trace pins the end of that longest chain.
+//!
+//! Everything here is deterministic: ties rank by `Lane`'s total order,
+//! and [`render`] emits a fixed text layout that golden tests pin.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use simkit::time::SimTime;
+
+use crate::event::{Lane, SimEvent};
+use crate::jsonl::parse_line;
+
+/// One lane's observed span in a single trace (timestamps in micros).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneSpan {
+    /// Timestamp of the lane's first event.
+    pub start: u64,
+    /// Timestamp of the lane's last event.
+    pub end: u64,
+    /// Number of events observed on the lane.
+    pub events: u64,
+}
+
+/// One shared lane's spans in both traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneDelta {
+    /// The lane identity common to both traces.
+    pub lane: Lane,
+    /// Span in trace A.
+    pub a: LaneSpan,
+    /// Span in trace B.
+    pub b: LaneSpan,
+}
+
+impl LaneDelta {
+    /// Signed end shift `B - A` in micros: positive means the lane
+    /// finished later in trace B.
+    pub fn end_shift_micros(&self) -> i64 {
+        self.b.end as i64 - self.a.end as i64
+    }
+
+    /// Signed duration change `B - A` in micros.
+    pub fn duration_shift_micros(&self) -> i64 {
+        (self.b.end - self.b.start) as i64 - (self.a.end - self.a.start) as i64
+    }
+}
+
+/// The comparison of two traces; see [`diff_streams`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceDiff {
+    /// Last event timestamp of trace A, in micros.
+    pub makespan_a: u64,
+    /// Last event timestamp of trace B, in micros.
+    pub makespan_b: u64,
+    /// Lane of the final event of trace A — the end of its critical
+    /// chain.
+    pub final_lane_a: Option<Lane>,
+    /// Lane of the final event of trace B.
+    pub final_lane_b: Option<Lane>,
+    /// Number of lanes present in both traces.
+    pub shared_lanes: usize,
+    /// Shared lanes ranked by absolute end shift (ties by lane order),
+    /// truncated to the requested count.
+    pub rows: Vec<LaneDelta>,
+    /// Lanes only trace A has, with their spans.
+    pub only_a: Vec<(Lane, LaneSpan)>,
+    /// Lanes only trace B has, with their spans.
+    pub only_b: Vec<(Lane, LaneSpan)>,
+}
+
+/// Groups a timestamp-ordered stream into per-lane spans.
+fn lane_spans(events: &[(SimTime, SimEvent)]) -> BTreeMap<Lane, LaneSpan> {
+    let mut spans: BTreeMap<Lane, LaneSpan> = BTreeMap::new();
+    for (at, event) in events {
+        let t = at.as_micros();
+        spans
+            .entry(event.lane())
+            .and_modify(|s| {
+                s.end = s.end.max(t);
+                s.events += 1;
+            })
+            .or_insert(LaneSpan {
+                start: t,
+                end: t,
+                events: 1,
+            });
+    }
+    spans
+}
+
+/// Diffs two recorded streams, keeping the `top` largest end shifts.
+pub fn diff_streams(a: &[(SimTime, SimEvent)], b: &[(SimTime, SimEvent)], top: usize) -> TraceDiff {
+    let spans_a = lane_spans(a);
+    let spans_b = lane_spans(b);
+    let mut rows = Vec::new();
+    let mut only_a = Vec::new();
+    for (&lane, &sa) in &spans_a {
+        match spans_b.get(&lane) {
+            Some(&sb) => rows.push(LaneDelta { lane, a: sa, b: sb }),
+            None => only_a.push((lane, sa)),
+        }
+    }
+    let only_b: Vec<(Lane, LaneSpan)> = spans_b
+        .iter()
+        .filter(|(lane, _)| !spans_a.contains_key(lane))
+        .map(|(&lane, &span)| (lane, span))
+        .collect();
+    let shared_lanes = rows.len();
+    rows.sort_by_key(|d| {
+        (
+            std::cmp::Reverse(d.end_shift_micros().unsigned_abs()),
+            d.lane,
+        )
+    });
+    rows.truncate(top);
+    TraceDiff {
+        makespan_a: a.last().map_or(0, |(at, _)| at.as_micros()),
+        makespan_b: b.last().map_or(0, |(at, _)| at.as_micros()),
+        final_lane_a: a.last().map(|(_, e)| e.lane()),
+        final_lane_b: b.last().map(|(_, e)| e.lane()),
+        shared_lanes,
+        rows,
+        only_a,
+        only_b,
+    }
+}
+
+/// Parses two JSONL trace documents and diffs them.
+///
+/// # Errors
+///
+/// The first malformed line of either document, with its line number.
+pub fn diff_jsonl(a: &str, b: &str, top: usize) -> Result<TraceDiff, String> {
+    let parse = |doc: &str, name: &str| -> Result<Vec<(SimTime, SimEvent)>, String> {
+        doc.lines()
+            .enumerate()
+            .filter(|(_, line)| !line.trim().is_empty())
+            .map(|(i, line)| parse_line(line).map_err(|e| format!("{name} line {}: {e}", i + 1)))
+            .collect()
+    };
+    Ok(diff_streams(&parse(a, "A")?, &parse(b, "B")?, top))
+}
+
+fn secs(micros: u64) -> f64 {
+    micros as f64 / 1e6
+}
+
+fn signed_secs(micros: i64) -> String {
+    format!("{:+.2}s", micros as f64 / 1e6)
+}
+
+/// Renders the diff as deterministic plain text.
+pub fn render(diff: &TraceDiff) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "makespan: A {:.2}s  B {:.2}s  ({})",
+        secs(diff.makespan_a),
+        secs(diff.makespan_b),
+        signed_secs(diff.makespan_b as i64 - diff.makespan_a as i64),
+    );
+    let lane_name = |lane: Option<Lane>| lane.map_or_else(|| "-".to_string(), |l| l.to_string());
+    let _ = writeln!(
+        s,
+        "final lane: A {}  B {}",
+        lane_name(diff.final_lane_a),
+        lane_name(diff.final_lane_b),
+    );
+    let _ = writeln!(
+        s,
+        "lanes: {} shared, {} only in A, {} only in B",
+        diff.shared_lanes,
+        diff.only_a.len(),
+        diff.only_b.len(),
+    );
+    if !diff.rows.is_empty() {
+        let _ = writeln!(s, "top end shifts (B - A):");
+        for d in &diff.rows {
+            let _ = writeln!(
+                s,
+                "  {:<24} end {:>10}  dur {:>10}  (A {:.2}..{:.2}, B {:.2}..{:.2})",
+                d.lane.to_string(),
+                signed_secs(d.end_shift_micros()),
+                signed_secs(d.duration_shift_micros()),
+                secs(d.a.start),
+                secs(d.a.end),
+                secs(d.b.start),
+                secs(d.b.end),
+            );
+        }
+    }
+    // Exclusive-lane lists can be huge (every extra flow of the slower
+    // schedule); print a bounded prefix, the struct keeps the rest.
+    const MAX_EXCLUSIVE: usize = 12;
+    for (name, lanes) in [("A", &diff.only_a), ("B", &diff.only_b)] {
+        if lanes.is_empty() {
+            continue;
+        }
+        let _ = writeln!(s, "only in {name}:");
+        for (lane, span) in lanes.iter().take(MAX_EXCLUSIVE) {
+            let _ = writeln!(
+                s,
+                "  {:<24} {:.2}..{:.2} ({} events)",
+                lane.to_string(),
+                secs(span.start),
+                secs(span.end),
+                span.events,
+            );
+        }
+        if lanes.len() > MAX_EXCLUSIVE {
+            let _ = writeln!(s, "  ... and {} more", lanes.len() - MAX_EXCLUSIVE);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn job_pair(job: u32, start: u64, end: u64) -> Vec<(SimTime, SimEvent)> {
+        vec![
+            (at(start), SimEvent::JobStarted { job }),
+            (at(end), SimEvent::JobFinished { job }),
+        ]
+    }
+
+    #[test]
+    fn ranks_lanes_by_end_shift_and_tracks_exclusives() {
+        let mut a = job_pair(1, 0, 100);
+        a.extend(job_pair(2, 0, 50));
+        a.push((at(120), SimEvent::NodeFailed { node: 9 }));
+        let mut b = job_pair(1, 0, 160); // finished 60s later
+        b.extend(job_pair(2, 10, 55)); // finished 5s later
+        b.push((at(165), SimEvent::RepairFinished { task: 3 }));
+        let diff = diff_streams(&a, &b, 10);
+        assert_eq!(diff.makespan_a, 120_000_000);
+        assert_eq!(diff.makespan_b, 165_000_000);
+        assert_eq!(diff.final_lane_a, Some(Lane::Node(9)));
+        assert_eq!(diff.final_lane_b, Some(Lane::Repair(3)));
+        assert_eq!(diff.shared_lanes, 2);
+        assert_eq!(diff.rows.len(), 2);
+        assert_eq!(diff.rows[0].lane, Lane::Job(1));
+        assert_eq!(diff.rows[0].end_shift_micros(), 60_000_000);
+        assert_eq!(diff.rows[1].lane, Lane::Job(2));
+        assert_eq!(diff.rows[1].duration_shift_micros(), -5_000_000);
+        assert_eq!(
+            diff.only_a,
+            vec![(
+                Lane::Node(9),
+                LaneSpan {
+                    start: 120_000_000,
+                    end: 120_000_000,
+                    events: 1
+                }
+            )]
+        );
+        assert_eq!(diff.only_b.len(), 1);
+    }
+
+    #[test]
+    fn truncates_to_top_and_breaks_ties_by_lane_order() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for job in 0..5 {
+            a.extend(job_pair(job, 0, 10));
+            b.extend(job_pair(job, 0, 20)); // all shifted equally
+        }
+        let diff = diff_streams(&a, &b, 3);
+        assert_eq!(diff.shared_lanes, 5);
+        let lanes: Vec<Lane> = diff.rows.iter().map(|d| d.lane).collect();
+        assert_eq!(lanes, vec![Lane::Job(0), Lane::Job(1), Lane::Job(2)]);
+    }
+
+    #[test]
+    fn jsonl_round_trip_and_render_are_stable() {
+        let a = "{\"t\":0,\"ev\":\"job_started\",\"job\":1}\n\
+                 {\"t\":5000000,\"ev\":\"job_finished\",\"job\":1}\n";
+        let b = "{\"t\":0,\"ev\":\"job_started\",\"job\":1}\n\
+                 {\"t\":8000000,\"ev\":\"job_finished\",\"job\":1}\n\
+                 {\"t\":9000000,\"ev\":\"node_failed\",\"node\":2}\n";
+        let diff = diff_jsonl(a, b, 10).unwrap();
+        let text = render(&diff);
+        assert_eq!(
+            text,
+            "makespan: A 5.00s  B 9.00s  (+4.00s)\n\
+             final lane: A job 1  B node 2\n\
+             lanes: 1 shared, 0 only in A, 1 only in B\n\
+             top end shifts (B - A):\n\
+             \x20 job 1                    end     +3.00s  dur     +3.00s  (A 0.00..5.00, B 0.00..8.00)\n\
+             only in B:\n\
+             \x20 node 2                   9.00..9.00 (1 events)\n"
+        );
+        assert!(diff_jsonl("not json\n", b, 10)
+            .unwrap_err()
+            .contains("A line 1"));
+    }
+}

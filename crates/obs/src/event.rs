@@ -104,6 +104,21 @@ pub enum Lane {
     Repair(u32),
 }
 
+impl std::fmt::Display for Lane {
+    /// Compact human-readable label used by `trace-diff` output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Lane::Job(job) => write!(f, "job {job}"),
+            Lane::Map(job, task, false) => write!(f, "map {job}/{task}"),
+            Lane::Map(job, task, true) => write!(f, "map {job}/{task} (spec)"),
+            Lane::Reduce(job, index) => write!(f, "reduce {job}/{index}"),
+            Lane::Flow(flow) => write!(f, "flow {flow}"),
+            Lane::Node(node) => write!(f, "node {node}"),
+            Lane::Repair(task) => write!(f, "repair {task}"),
+        }
+    }
+}
+
 /// A structured simulation event. Paired with a
 /// [`simkit::SimTime`](simkit::time::SimTime) timestamp when recorded
 /// through an [`EventSink`](crate::sink::EventSink).

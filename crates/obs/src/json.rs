@@ -1,9 +1,10 @@
 //! A minimal JSON parser, sufficient to validate the traces this crate
 //! emits (and the checked-in schema) without external dependencies.
 //!
-//! Supports the full JSON value grammar with `\uXXXX`-free string
-//! escapes (`\" \\ \/ \b \f \n \r \t` plus `\u` for BMP code points),
-//! which covers everything the exporters produce.
+//! Supports the full JSON value grammar, including all string escapes
+//! (`\" \\ \/ \b \f \n \r \t` and `\uXXXX` with UTF-16 surrogate
+//! pairs for astral code points), so externally produced traces and
+//! cluster logs with unicode escapes parse too.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -235,19 +236,31 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| self.err("short \\u escape"))?;
-                            let hex =
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(
+                            let code = self.hex4()?;
+                            let ch = if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: must pair with a low
+                                // surrogate escape to form an astral
+                                // code point (RFC 8259 §7).
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(self.err("unpaired high surrogate \\u escape"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err(self.err("unpaired high surrogate \\u escape"));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("bad \\u surrogate pair"))?
+                            } else {
+                                // Lone low surrogates are unrepresentable
+                                // in UTF-8 and rejected by from_u32.
                                 char::from_u32(code)
-                                    .ok_or_else(|| self.err("surrogate \\u escape"))?,
-                            );
+                                    .ok_or_else(|| self.err("unpaired low surrogate \\u escape"))?
+                            };
+                            out.push(ch);
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -267,6 +280,18 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Consumes the four hex digits of a `\u` escape.
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("short \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Json, ParseError> {
@@ -313,6 +338,38 @@ mod tests {
             Json::parse("\"a\\n\\u0041\"").unwrap(),
             Json::String("a\nA".into())
         );
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        // BMP code point beyond ASCII: é.
+        assert_eq!(
+            Json::parse("\"caf\\u00e9\"").unwrap(),
+            Json::String("café".into())
+        );
+        // Astral code point via a UTF-16 surrogate pair: 😀 (U+1F600).
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::String("😀".into())
+        );
+        // Uppercase hex works too.
+        assert_eq!(
+            Json::parse("\"\\uD83D\\uDE00!\"").unwrap(),
+            Json::String("😀!".into())
+        );
+    }
+
+    #[test]
+    fn rejects_lone_surrogates() {
+        // High surrogate with no pair, or followed by a non-surrogate.
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+        assert!(Json::parse("\"\\ud83d rest\"").is_err());
+        assert!(Json::parse("\"\\ud83d\\u0041\"").is_err());
+        // Low surrogate on its own.
+        assert!(Json::parse("\"\\ude00\"").is_err());
+        // Truncated escapes.
+        assert!(Json::parse("\"\\u00\"").is_err());
+        assert!(Json::parse("\"\\ud83d\\ude\"").is_err());
     }
 
     #[test]

@@ -385,15 +385,25 @@ impl Obj {
 ///
 /// I/O errors are deferred: `record` stores the first error and ignores
 /// later events; [`JsonlSink::finish`] flushes and surfaces it.
+///
+/// Dropping a sink without calling `finish` (an early-return path)
+/// still flushes best-effort, so buffered events are not silently lost;
+/// a flush failure on that path is logged to stderr because `Drop`
+/// cannot return it.
 pub struct JsonlSink<W: Write> {
-    out: W,
+    /// `Some` until `finish` hands the writer back; `Drop` flushes any
+    /// writer still present.
+    out: Option<W>,
     error: Option<io::Error>,
 }
 
 impl<W: Write> JsonlSink<W> {
     /// A sink writing to `out`. Wrap files in a `BufWriter`.
     pub fn new(out: W) -> JsonlSink<W> {
-        JsonlSink { out, error: None }
+        JsonlSink {
+            out: Some(out),
+            error: None,
+        }
     }
 
     /// Flushes and returns the first I/O error encountered, if any.
@@ -401,8 +411,26 @@ impl<W: Write> JsonlSink<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.out.flush()?;
-        Ok(self.out)
+        // The writer is always present before `finish` consumes self.
+        let Some(mut out) = self.out.take() else {
+            return Err(io::Error::other("jsonl sink already finished"));
+        };
+        out.flush()?;
+        Ok(out)
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let Some(out) = self.out.as_mut() else {
+            return; // finish() already ran
+        };
+        if let Some(e) = self.error.take() {
+            eprintln!("jsonl sink dropped with unreported write error: {e}");
+        }
+        if let Err(e) = out.flush() {
+            eprintln!("jsonl sink flush on drop failed: {e}");
+        }
     }
 }
 
@@ -411,11 +439,13 @@ impl<W: Write> EventSink for JsonlSink<W> {
         if self.error.is_some() {
             return;
         }
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
         let line = event_to_json(at, event);
-        if let Err(e) = self
-            .out
+        if let Err(e) = out
             .write_all(line.as_bytes())
-            .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| out.write_all(b"\n"))
         {
             self.error = Some(e);
         }
@@ -467,6 +497,46 @@ mod tests {
             },
         );
         assert!(rate.contains("\"rate_bps\":12500000"), "{rate}");
+    }
+
+    /// A writer that exposes bytes to `shared` only on an explicit
+    /// `flush` — unlike `BufWriter`, its own drop publishes nothing, so
+    /// it can tell whether `JsonlSink` flushed.
+    struct FlushOnly {
+        buf: Vec<u8>,
+        shared: std::rc::Rc<std::cell::RefCell<Vec<u8>>>,
+    }
+
+    impl Write for FlushOnly {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.buf.extend_from_slice(data);
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.shared.borrow_mut().append(&mut self.buf);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dropping_an_unfinished_sink_flushes_buffered_events() {
+        let shared = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        {
+            let mut sink = JsonlSink::new(FlushOnly {
+                buf: Vec::new(),
+                shared: shared.clone(),
+            });
+            sink.record(SimTime::from_micros(5), &SimEvent::JobStarted { job: 1 });
+            assert!(
+                shared.borrow().is_empty(),
+                "nothing published before drop/finish"
+            );
+            // Early-return path: the sink goes out of scope without
+            // `finish()`.
+        }
+        let text = String::from_utf8(shared.borrow().clone()).unwrap();
+        assert_eq!(text, "{\"t\":5,\"ev\":\"job_started\",\"job\":1}\n");
     }
 
     #[test]

@@ -37,14 +37,18 @@
 
 pub mod aggregate;
 pub mod chrome;
+pub mod diff;
 pub mod event;
 pub mod json;
 pub mod jsonl;
 pub mod schema;
 pub mod sink;
+pub mod spill;
 
-pub use aggregate::{AggregateReport, Aggregator, AggregatorConfig, LinkUsage};
+pub use aggregate::{AggregateReport, Aggregator, AggregatorConfig, AggregatorMode, LinkUsage};
 pub use chrome::{ChromeConfig, ChromeTraceSink};
+pub use diff::{diff_jsonl, diff_streams, LaneDelta, LaneSpan, TraceDiff};
 pub use event::{DegradedPhase, Lane, LinkSet, Locality, SimEvent};
 pub use jsonl::JsonlSink;
-pub use sink::{EventSink, Recorder, Tee, VecSink};
+pub use sink::{EventSink, FlowRateFilter, FlowRateFilterConfig, Recorder, Tee, VecSink};
+pub use spill::{validate_spill, SpillConfig, SpillManifest, SpillSink};

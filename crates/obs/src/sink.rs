@@ -1,7 +1,9 @@
 //! The [`EventSink`] trait and the zero-cost [`Recorder`] handle that
 //! instrumented code threads through its hot paths.
 
-use simkit::time::SimTime;
+use std::collections::BTreeMap;
+
+use simkit::time::{SimDuration, SimTime};
 
 use crate::event::SimEvent;
 
@@ -92,6 +94,79 @@ impl EventSink for Tee<'_> {
     }
 }
 
+/// Opt-in downsampling of `flow_rate` events.
+///
+/// Max-min fair-share reallocation re-rates every flow sharing a link on
+/// each arrival or departure, so `flow_rate` dominates long traces by an
+/// order of magnitude. This adapter forwards every non-`flow_rate` event
+/// untouched and thins the rest: a flow's first rate always passes, and a
+/// subsequent one passes only when at least [`min_interval`] has elapsed
+/// since the last *emitted* rate for that flow **and** the rate moved by
+/// at least [`min_delta_bps`]. The final rate before `flow_finished` may
+/// therefore be suppressed — consumers needing exact byte accounting
+/// should trace unfiltered.
+///
+/// With both thresholds zero every event passes, byte-identically.
+///
+/// [`min_interval`]: FlowRateFilterConfig::min_interval
+/// [`min_delta_bps`]: FlowRateFilterConfig::min_delta_bps
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowRateFilterConfig {
+    /// Minimum absolute rate change (bits/sec) worth re-emitting.
+    pub min_delta_bps: f64,
+    /// Minimum gap between emitted rates of one flow.
+    pub min_interval: SimDuration,
+}
+
+/// An [`EventSink`] adapter applying [`FlowRateFilterConfig`]; see there.
+pub struct FlowRateFilter<'a> {
+    inner: &'a mut dyn EventSink,
+    cfg: FlowRateFilterConfig,
+    /// Last emitted `(rate_bps, at)` per live flow.
+    last: BTreeMap<u64, (f64, SimTime)>,
+    suppressed: u64,
+}
+
+impl<'a> FlowRateFilter<'a> {
+    /// A filter forwarding the thinned stream to `inner`.
+    pub fn new(inner: &'a mut dyn EventSink, cfg: FlowRateFilterConfig) -> FlowRateFilter<'a> {
+        FlowRateFilter {
+            inner,
+            cfg,
+            last: BTreeMap::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// How many `flow_rate` events were dropped so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+impl EventSink for FlowRateFilter<'_> {
+    fn record(&mut self, at: SimTime, event: &SimEvent) {
+        match event {
+            SimEvent::FlowRate { flow, rate_bps } => {
+                if let Some(&(last_rate, last_at)) = self.last.get(flow) {
+                    let moved = (rate_bps - last_rate).abs() >= self.cfg.min_delta_bps;
+                    let due = at.duration_since(last_at) >= self.cfg.min_interval;
+                    if !(moved && due) {
+                        self.suppressed += 1;
+                        return;
+                    }
+                }
+                self.last.insert(*flow, (*rate_bps, at));
+            }
+            SimEvent::FlowFinished { flow, .. } => {
+                self.last.remove(flow);
+            }
+            _ => {}
+        }
+        self.inner.record(at, event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +190,108 @@ mod tests {
             sink.events,
             vec![(SimTime::from_secs(1), SimEvent::NodeFailed { node: 3 })]
         );
+    }
+
+    fn rate(flow: u64, rate_bps: f64) -> SimEvent {
+        SimEvent::FlowRate { flow, rate_bps }
+    }
+
+    fn rates_of(sink: &VecSink) -> Vec<(u64, u64, f64)> {
+        sink.events
+            .iter()
+            .filter_map(|(at, ev)| match ev {
+                SimEvent::FlowRate { flow, rate_bps } => Some((at.as_micros(), *flow, *rate_bps)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flow_rate_filter_applies_both_thresholds() {
+        let mut inner = VecSink::new();
+        let cfg = FlowRateFilterConfig {
+            min_delta_bps: 100.0,
+            min_interval: SimDuration::from_secs(10),
+        };
+        let mut filter = FlowRateFilter::new(&mut inner, cfg);
+        let t = SimTime::from_secs;
+        // First rate for a flow always passes.
+        filter.record(t(0), &rate(7, 1000.0));
+        // Big delta but only 5s elapsed: suppressed.
+        filter.record(t(5), &rate(7, 2000.0));
+        // 10s elapsed but delta 50 < 100: suppressed.
+        filter.record(t(10), &rate(7, 1050.0));
+        // Both thresholds met (vs the last *emitted* rate, not the last seen).
+        filter.record(t(12), &rate(7, 2000.0));
+        // A different flow keeps independent state.
+        filter.record(t(12), &rate(8, 500.0));
+        // Non-rate events always pass.
+        filter.record(t(13), &SimEvent::JobStarted { job: 1 });
+        assert_eq!(filter.suppressed(), 2);
+        assert_eq!(
+            rates_of(&inner),
+            vec![
+                (0, 7, 1000.0),
+                (12_000_000, 7, 2000.0),
+                (12_000_000, 8, 500.0)
+            ]
+        );
+        assert_eq!(inner.events.len(), 4);
+    }
+
+    #[test]
+    fn flow_rate_filter_resets_on_flow_finished() {
+        let mut inner = VecSink::new();
+        let cfg = FlowRateFilterConfig {
+            min_delta_bps: 1e9,
+            min_interval: SimDuration::from_secs(1000),
+        };
+        let mut filter = FlowRateFilter::new(&mut inner, cfg);
+        let t = SimTime::from_secs;
+        filter.record(t(0), &rate(3, 100.0));
+        filter.record(t(1), &rate(3, 100.5)); // suppressed
+        filter.record(
+            t(2),
+            &SimEvent::FlowFinished {
+                flow: 3,
+                cancelled: false,
+            },
+        );
+        // Reused id after finish counts as a fresh flow: first rate passes.
+        filter.record(t(3), &rate(3, 100.5));
+        assert_eq!(filter.suppressed(), 1);
+        assert_eq!(rates_of(&inner), vec![(0, 3, 100.0), (3_000_000, 3, 100.5)]);
+    }
+
+    #[test]
+    fn flow_rate_filter_with_zero_thresholds_passes_everything() {
+        let mut plain = VecSink::new();
+        let mut filtered_inner = VecSink::new();
+        let cfg = FlowRateFilterConfig {
+            min_delta_bps: 0.0,
+            min_interval: SimDuration::ZERO,
+        };
+        let mut filter = FlowRateFilter::new(&mut filtered_inner, cfg);
+        let t = SimTime::from_secs;
+        let script = [
+            (t(0), rate(1, 10.0)),
+            (t(0), rate(1, 10.0)), // same instant, same value: still passes
+            (t(1), rate(2, 20.0)),
+            (
+                t(1),
+                SimEvent::FlowFinished {
+                    flow: 1,
+                    cancelled: true,
+                },
+            ),
+            (t(2), rate(2, 30.0)),
+        ];
+        for (at, ev) in &script {
+            plain.record(*at, ev);
+            filter.record(*at, ev);
+        }
+        assert_eq!(filter.suppressed(), 0);
+        assert_eq!(plain.events, filtered_inner.events);
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! Chunked JSONL trace spill: size-bounded segment files plus a
+//! manifest, so week-long traces stream to disk instead of growing one
+//! unbounded file (or an in-memory buffer).
+//!
+//! A [`SpillSink`] writes the same byte-for-byte JSONL lines as
+//! [`crate::jsonl::JsonlSink`], rolling to a new `segment-NNNNNN.jsonl`
+//! file whenever the current one would exceed the configured size (a
+//! segment always holds at least one event, so an oversized line never
+//! wedges the sink). [`SpillSink::finish`] then writes `manifest.json`
+//! describing every segment — file name, event count, byte count, first
+//! and last timestamp — with a fixed field order so the manifest itself
+//! is a deterministic function of the event stream.
+//!
+//! [`validate_spill`] is the reading half: it cross-checks the manifest
+//! against the segment files on disk and returns the parsed
+//! [`SpillManifest`] for downstream tools.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use simkit::time::SimTime;
+
+use crate::event::SimEvent;
+use crate::json::Json;
+use crate::jsonl::event_to_json;
+use crate::sink::EventSink;
+
+/// Name of the manifest written next to the segments.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Manifest schema version written and accepted by this build.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Where and how to spill; see [`SpillSink`].
+#[derive(Clone, Debug)]
+pub struct SpillConfig {
+    /// Directory receiving `segment-NNNNNN.jsonl` files and the
+    /// manifest; created (with parents) if absent.
+    pub dir: PathBuf,
+    /// Segment size bound in bytes. A segment closes once it holds at
+    /// least one event and the next line would push it past this.
+    pub max_segment_bytes: u64,
+}
+
+/// One closed segment as recorded in the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// File name relative to the spill directory.
+    pub file: String,
+    /// Number of JSONL lines.
+    pub events: u64,
+    /// Exact file size in bytes.
+    pub bytes: u64,
+    /// Timestamp (micros) of the first event.
+    pub t_first: u64,
+    /// Timestamp (micros) of the last event.
+    pub t_last: u64,
+}
+
+/// The parsed `manifest.json`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpillManifest {
+    /// Every closed segment, in write order.
+    pub segments: Vec<SegmentMeta>,
+    /// Sum of per-segment event counts.
+    pub total_events: u64,
+    /// Sum of per-segment byte counts.
+    pub total_bytes: u64,
+}
+
+/// An [`EventSink`] spilling the stream to size-bounded JSONL segments.
+///
+/// I/O errors are deferred like in [`crate::jsonl::JsonlSink`]: `record`
+/// stores the first error and drops later events; [`SpillSink::finish`]
+/// surfaces it. Dropping without `finish` flushes the open segment
+/// best-effort but writes **no manifest** — a spill directory missing
+/// its manifest is how a crashed run looks, and [`validate_spill`]
+/// rejects it.
+pub struct SpillSink {
+    dir: PathBuf,
+    max_segment_bytes: u64,
+    /// Writer for the open segment, if one has been started.
+    out: Option<BufWriter<File>>,
+    /// Running meta of the open segment.
+    cur: Option<SegmentMeta>,
+    segments: Vec<SegmentMeta>,
+    error: Option<io::Error>,
+}
+
+impl SpillSink {
+    /// Creates the spill directory and an empty sink. Segment files are
+    /// opened lazily, so an event-free run leaves only a manifest.
+    pub fn create(cfg: SpillConfig) -> io::Result<SpillSink> {
+        fs::create_dir_all(&cfg.dir)?;
+        Ok(SpillSink {
+            dir: cfg.dir,
+            max_segment_bytes: cfg.max_segment_bytes.max(1),
+            out: None,
+            cur: None,
+            segments: Vec::new(),
+            error: None,
+        })
+    }
+
+    /// Flushes and closes the open segment, pushing its meta.
+    fn roll(&mut self) -> io::Result<()> {
+        if let (Some(mut out), Some(meta)) = (self.out.take(), self.cur.take()) {
+            out.flush()?;
+            self.segments.push(meta);
+        }
+        Ok(())
+    }
+
+    fn write_line(&mut self, at: SimTime, line: &str) -> io::Result<()> {
+        let line_bytes = line.len() as u64 + 1;
+        if let Some(cur) = &self.cur {
+            if cur.bytes + line_bytes > self.max_segment_bytes {
+                self.roll()?;
+            }
+        }
+        if self.out.is_none() {
+            let file = format!("segment-{:06}.jsonl", self.segments.len());
+            let out = BufWriter::new(File::create(self.dir.join(&file))?);
+            self.out = Some(out);
+            self.cur = Some(SegmentMeta {
+                file,
+                events: 0,
+                bytes: 0,
+                t_first: at.as_micros(),
+                t_last: at.as_micros(),
+            });
+        }
+        // Both halves were just ensured; stay panic-free regardless.
+        let (Some(out), Some(cur)) = (self.out.as_mut(), self.cur.as_mut()) else {
+            return Err(io::Error::other("spill sink lost its open segment"));
+        };
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+        cur.events += 1;
+        cur.bytes += line_bytes;
+        cur.t_last = at.as_micros();
+        Ok(())
+    }
+
+    /// Closes the last segment, writes `manifest.json`, and returns the
+    /// manifest. Surfaces the first deferred I/O error instead.
+    pub fn finish(mut self) -> io::Result<SpillManifest> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.roll()?;
+        let manifest = SpillManifest {
+            total_events: self.segments.iter().map(|s| s.events).sum(),
+            total_bytes: self.segments.iter().map(|s| s.bytes).sum(),
+            segments: std::mem::take(&mut self.segments),
+        };
+        fs::write(self.dir.join(MANIFEST_FILE), render_manifest(&manifest))?;
+        Ok(manifest)
+    }
+}
+
+impl Drop for SpillSink {
+    fn drop(&mut self) {
+        if let Some(e) = self.error.take() {
+            eprintln!("spill sink dropped with unreported write error: {e}");
+        }
+        if let Some(out) = self.out.as_mut() {
+            if let Err(e) = out.flush() {
+                eprintln!("spill sink flush on drop failed: {e}");
+            }
+            eprintln!(
+                "spill sink dropped without finish(): {} has no manifest",
+                self.dir.display()
+            );
+        }
+    }
+}
+
+impl EventSink for SpillSink {
+    fn record(&mut self, at: SimTime, event: &SimEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event_to_json(at, event);
+        if let Err(e) = self.write_line(at, &line) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Renders the manifest with fixed field order (`version`, `segments`,
+/// `total_events`, `total_bytes`); all values are unsigned integers or
+/// plain file names, so no escaping is needed.
+fn render_manifest(m: &SpillManifest) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{{\"version\":{MANIFEST_VERSION},\"segments\":[");
+    for (i, seg) in m.segments.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"file\":\"{}\",\"events\":{},\"bytes\":{},\"t_first\":{},\"t_last\":{}}}",
+            seg.file, seg.events, seg.bytes, seg.t_first, seg.t_last
+        );
+    }
+    let _ = write!(
+        s,
+        "],\"total_events\":{},\"total_bytes\":{}}}",
+        m.total_events, m.total_bytes
+    );
+    s.push('\n');
+    s
+}
+
+/// Reads `manifest.json` in `dir` and cross-checks every claim against
+/// the segment files: existence, exact byte size, line count, first and
+/// last timestamps, per-segment and cross-segment timestamp order, and
+/// the totals. Returns the parsed manifest.
+///
+/// # Errors
+///
+/// A human-readable description of the first mismatch.
+pub fn validate_spill(dir: &Path) -> Result<SpillManifest, String> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let text = fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+    let manifest = parse_manifest(&text)?;
+    let mut prev_last: Option<u64> = None;
+    for (i, seg) in manifest.segments.iter().enumerate() {
+        let want = format!("segment-{i:06}.jsonl");
+        if seg.file != want {
+            return Err(format!(
+                "segment {i} is named {:?}, want {want:?}",
+                seg.file
+            ));
+        }
+        let path = dir.join(&seg.file);
+        let data = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        if data.len() as u64 != seg.bytes {
+            return Err(format!(
+                "{}: {} bytes on disk, manifest says {}",
+                seg.file,
+                data.len(),
+                seg.bytes
+            ));
+        }
+        let mut events = 0u64;
+        let mut first: Option<u64> = None;
+        let mut last: Option<u64> = None;
+        for line in data.lines() {
+            let t = line_timestamp(line).map_err(|e| format!("{}: {e}", seg.file))?;
+            if last.is_some_and(|prev| t < prev) {
+                return Err(format!("{}: timestamps go backwards", seg.file));
+            }
+            first = first.or(Some(t));
+            last = Some(t);
+            events += 1;
+        }
+        if events != seg.events {
+            return Err(format!(
+                "{}: {events} events on disk, manifest says {}",
+                seg.file, seg.events
+            ));
+        }
+        if first != Some(seg.t_first) || last != Some(seg.t_last) {
+            return Err(format!(
+                "{}: timestamp span {first:?}..{last:?} disagrees with manifest {}..{}",
+                seg.file, seg.t_first, seg.t_last
+            ));
+        }
+        if prev_last.is_some_and(|p| seg.t_first < p) {
+            return Err(format!(
+                "{}: starts before the previous segment ends",
+                seg.file
+            ));
+        }
+        prev_last = Some(seg.t_last);
+    }
+    let (events, bytes) = manifest
+        .segments
+        .iter()
+        .fold((0u64, 0u64), |(e, b), s| (e + s.events, b + s.bytes));
+    if (events, bytes) != (manifest.total_events, manifest.total_bytes) {
+        return Err(format!(
+            "totals {}/{} disagree with segment sums {events}/{bytes}",
+            manifest.total_events, manifest.total_bytes
+        ));
+    }
+    Ok(manifest)
+}
+
+/// Extracts the `"t"` field of one JSONL line without a full parse.
+fn line_timestamp(line: &str) -> Result<u64, String> {
+    let v = Json::parse(line).map_err(|e| e.to_string())?;
+    let t = v
+        .get("t")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "line has no numeric \"t\"".to_string())?;
+    if !(0.0..=u64::MAX as f64).contains(&t) || t.fract() != 0.0 {
+        return Err("\"t\" is not an unsigned integer".to_string());
+    }
+    Ok(t as u64)
+}
+
+/// Parses a manifest document; structural/type errors are descriptive.
+fn parse_manifest(text: &str) -> Result<SpillManifest, String> {
+    let v = Json::parse(text).map_err(|e| format!("manifest: {e}"))?;
+    let int = |v: &Json, key: &str| -> Result<u64, String> {
+        let x = v
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("manifest: missing numeric \"{key}\""))?;
+        if !(0.0..=u64::MAX as f64).contains(&x) || x.fract() != 0.0 {
+            return Err(format!("manifest: \"{key}\" is not an unsigned integer"));
+        }
+        Ok(x as u64)
+    };
+    let version = int(&v, "version")?;
+    if version != MANIFEST_VERSION {
+        return Err(format!(
+            "manifest: version {version} unsupported (want {MANIFEST_VERSION})"
+        ));
+    }
+    let items = v
+        .get("segments")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "manifest: missing \"segments\" array".to_string())?;
+    let mut segments = Vec::with_capacity(items.len());
+    for item in items {
+        segments.push(SegmentMeta {
+            file: item
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "manifest: segment missing \"file\"".to_string())?
+                .to_string(),
+            events: int(item, "events")?,
+            bytes: int(item, "bytes")?,
+            t_first: int(item, "t_first")?,
+            t_last: int(item, "t_last")?,
+        });
+    }
+    Ok(SpillManifest {
+        segments,
+        total_events: int(&v, "total_events")?,
+        total_bytes: int(&v, "total_bytes")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique per-test scratch directory under the target dir, cleaned
+    /// up on drop. Avoids any tempdir dependency.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir = std::env::temp_dir().join(format!("obs-spill-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn ev(job: u32) -> SimEvent {
+        SimEvent::JobStarted { job }
+    }
+
+    #[test]
+    fn spills_segments_and_manifest_that_validate() {
+        let scratch = Scratch::new("roll");
+        let mut sink = SpillSink::create(SpillConfig {
+            dir: scratch.0.clone(),
+            max_segment_bytes: 90,
+        })
+        .unwrap();
+        // Each line is ~36-41 bytes, so 90-byte segments hold two events.
+        for i in 0..5u32 {
+            sink.record(SimTime::from_secs(i as u64), &ev(i));
+        }
+        let manifest = sink.finish().unwrap();
+        assert_eq!(manifest.total_events, 5);
+        assert_eq!(manifest.segments.len(), 3, "{manifest:?}");
+        assert_eq!(manifest.segments[0].file, "segment-000000.jsonl");
+        assert_eq!(manifest.segments[0].events, 2);
+        assert_eq!(manifest.segments[2].events, 1);
+        assert_eq!(manifest.segments[0].t_first, 0);
+        assert_eq!(manifest.segments[2].t_last, 4_000_000);
+        let validated = validate_spill(&scratch.0).unwrap();
+        assert_eq!(validated, manifest);
+    }
+
+    #[test]
+    fn oversized_line_still_lands_in_its_own_segment() {
+        let scratch = Scratch::new("oversize");
+        let mut sink = SpillSink::create(SpillConfig {
+            dir: scratch.0.clone(),
+            max_segment_bytes: 1,
+        })
+        .unwrap();
+        sink.record(SimTime::ZERO, &ev(0));
+        sink.record(SimTime::from_secs(1), &ev(1));
+        let manifest = sink.finish().unwrap();
+        assert_eq!(manifest.segments.len(), 2);
+        assert_eq!(manifest.total_events, 2);
+        validate_spill(&scratch.0).unwrap();
+    }
+
+    #[test]
+    fn empty_run_writes_manifest_with_no_segments() {
+        let scratch = Scratch::new("empty");
+        let sink = SpillSink::create(SpillConfig {
+            dir: scratch.0.clone(),
+            max_segment_bytes: 1024,
+        })
+        .unwrap();
+        let manifest = sink.finish().unwrap();
+        assert_eq!(manifest, SpillManifest::default());
+        assert_eq!(validate_spill(&scratch.0).unwrap(), manifest);
+    }
+
+    #[test]
+    fn validation_catches_tampering() {
+        let scratch = Scratch::new("tamper");
+        let mut sink = SpillSink::create(SpillConfig {
+            dir: scratch.0.clone(),
+            max_segment_bytes: 1024,
+        })
+        .unwrap();
+        for i in 0..3u32 {
+            sink.record(SimTime::from_secs(i as u64), &ev(i));
+        }
+        sink.finish().unwrap();
+        // Truncate the segment behind the manifest's back.
+        let seg = scratch.0.join("segment-000000.jsonl");
+        let data = fs::read_to_string(&seg).unwrap();
+        let shorter: String = data.lines().take(2).map(|l| format!("{l}\n")).collect();
+        fs::write(&seg, shorter).unwrap();
+        let err = validate_spill(&scratch.0).unwrap_err();
+        assert!(err.contains("bytes"), "{err}");
+        // A missing manifest (crashed run) is rejected outright.
+        fs::remove_file(scratch.0.join(MANIFEST_FILE)).unwrap();
+        assert!(validate_spill(&scratch.0).is_err());
+    }
+}

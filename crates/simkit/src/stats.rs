@@ -19,6 +19,11 @@ pub enum StatsError {
         /// The offending value.
         value: f64,
     },
+    /// A percentile fraction was outside `[0, 1]` (or NaN).
+    BadFraction {
+        /// The offending fraction.
+        p: f64,
+    },
 }
 
 impl fmt::Display for StatsError {
@@ -27,6 +32,9 @@ impl fmt::Display for StatsError {
             StatsError::Empty => write!(f, "summary of empty sample"),
             StatsError::NonFinite { index, value } => {
                 write!(f, "sample {index} is not finite ({value})")
+            }
+            StatsError::BadFraction { p } => {
+                write!(f, "percentile fraction {p} is outside [0, 1]")
             }
         }
     }
@@ -217,9 +225,9 @@ impl Summary {
             mean: stats.mean(),
             std_dev: stats.std_dev(),
             min: sorted[0],
-            q1: percentile_sorted(&sorted, 0.25),
-            median: percentile_sorted(&sorted, 0.50),
-            q3: percentile_sorted(&sorted, 0.75),
+            q1: percentile_sorted(&sorted, 0.25)?,
+            median: percentile_sorted(&sorted, 0.50)?,
+            q3: percentile_sorted(&sorted, 0.75)?,
             max: *sorted.last().expect("non-empty"),
         })
     }
@@ -312,20 +320,185 @@ impl fmt::Display for Boxplot {
 ///
 /// `p` is a fraction in `[0, 1]`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
-pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of empty slice");
-    assert!((0.0..=1.0).contains(&p), "percentile fraction {p}");
+/// Returns [`StatsError::Empty`] for an empty slice and
+/// [`StatsError::BadFraction`] if `p` is outside `[0, 1]` or NaN.
+/// Percentile requests come from trace files and CLI flags, so both
+/// conditions must surface as reportable errors, not panics.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Result<f64, StatsError> {
+    if sorted.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::BadFraction { p });
+    }
     if sorted.len() == 1 {
-        return sorted[0];
+        return Ok(sorted[0]);
     }
     let rank = p * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Subbuckets per power-of-two octave in [`QuantileSketch`]. 64 linear
+/// subbuckets bound the midpoint estimate's relative error by
+/// `1 / (2 * 64)` ≈ 0.78%.
+const SKETCH_SUB: usize = 64;
+/// log2 of [`SKETCH_SUB`], for mantissa-bit extraction.
+const SKETCH_SUB_BITS: u32 = 6;
+/// Smallest bucketed exponent: values below `2^-20` (~1 µs for
+/// second-valued samples) land in the dedicated small-value bucket.
+const SKETCH_MIN_EXP: i32 = -20;
+/// One-past-largest bucketed exponent: `2^30` s is ~34 years, beyond any
+/// simulated horizon; larger values clamp into the top bucket.
+const SKETCH_MAX_EXP: i32 = 30;
+/// Fixed bucket count — the sketch's memory footprint is this many
+/// `u64` counters regardless of how many samples are recorded.
+const SKETCH_BUCKETS: usize = (SKETCH_MAX_EXP - SKETCH_MIN_EXP) as usize * SKETCH_SUB;
+
+/// A deterministic, mergeable, fixed-memory quantile sketch.
+///
+/// Buckets are base-2 octaves split into [`SKETCH_SUB`] linear
+/// subbuckets (HDR-histogram style), with boundaries derived from the
+/// raw `f64` bit pattern — no `ln`/`log2` calls, so bucket assignment is
+/// bit-identical on every platform. Memory is a fixed
+/// [`SKETCH_BUCKETS`]-entry counter array (~25 KB) independent of the
+/// sample count, and two sketches built from disjoint streams merge into
+/// exactly the sketch of the concatenated stream.
+///
+/// Quantile estimates are bucket midpoints clamped to the observed
+/// `[min, max]`, so for in-range positive samples the estimate is within
+/// [`QuantileSketch::RELATIVE_ERROR`] of some sample at the requested
+/// rank. Samples below `2^-20` report as `0.0` (absolute error < 1 µs
+/// for second-valued data).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantileSketch {
+    counts: Vec<u64>,
+    small_count: u64,
+    total: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> QuantileSketch {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Worst-case relative error of a quantile estimate for positive
+    /// in-range samples: half a subbucket's relative width.
+    pub const RELATIVE_ERROR: f64 = 1.0 / (2 * SKETCH_SUB) as f64;
+
+    /// An empty sketch.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            counts: vec![0; SKETCH_BUCKETS],
+            small_count: 0,
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one sample. Negative values clamp to the small-value
+    /// bucket (the simulator's latencies are non-negative by
+    /// construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NonFinite`] for NaN or infinite samples.
+    pub fn record(&mut self, x: f64) -> Result<(), StatsError> {
+        if !x.is_finite() {
+            return Err(StatsError::NonFinite { index: 0, value: x });
+        }
+        match Self::bucket_index(x) {
+            Some(i) => self.counts[i] += 1,
+            None => self.small_count += 1,
+        }
+        self.total += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        Ok(())
+    }
+
+    /// Merges another sketch into this one. The result is identical to
+    /// recording both streams into a single sketch.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.small_count += other.small_count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The bucket holding `x`, or `None` for the small-value bucket.
+    fn bucket_index(x: f64) -> Option<usize> {
+        if x < (2.0f64).powi(SKETCH_MIN_EXP) {
+            return None;
+        }
+        let bits = x.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        let sub = (bits >> (52 - SKETCH_SUB_BITS)) as usize & (SKETCH_SUB - 1);
+        if exp >= SKETCH_MAX_EXP {
+            return Some(SKETCH_BUCKETS - 1);
+        }
+        Some((exp - SKETCH_MIN_EXP) as usize * SKETCH_SUB + sub)
+    }
+
+    /// Midpoint of bucket `i`, the quantile estimate for samples in it.
+    fn bucket_mid(i: usize) -> f64 {
+        let exp = SKETCH_MIN_EXP + (i / SKETCH_SUB) as i32;
+        let sub = (i % SKETCH_SUB) as f64;
+        (2.0f64).powi(exp) * (1.0 + (sub + 0.5) / SKETCH_SUB as f64)
+    }
+
+    /// The estimated `p`-quantile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty sketch and
+    /// [`StatsError::BadFraction`] if `p` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        if self.total == 0 {
+            return Err(StatsError::Empty);
+        }
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::BadFraction { p });
+        }
+        // The 0-based rank the exact interpolated percentile centres on.
+        let rank = (p * (self.total - 1) as f64).round() as u64;
+        if rank < self.small_count {
+            return Ok(0.0);
+        }
+        let mut seen = self.small_count;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                if i == SKETCH_BUCKETS - 1 {
+                    // The top bucket also catches clamped overflow
+                    // values; `max` is in it whenever the scan lands
+                    // here (no higher bucket exists), and is a better
+                    // representative than the midpoint.
+                    return Ok(self.max);
+                }
+                return Ok(Self::bucket_mid(i).clamp(self.min, self.max));
+            }
+        }
+        // Unreachable for a consistent sketch; fall back to the maximum.
+        Ok(self.max)
+    }
 }
 
 #[cfg(test)]
@@ -378,16 +551,102 @@ mod tests {
     #[test]
     fn percentiles_interpolate() {
         let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
-        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
-        assert_eq!(percentile_sorted(&sorted, 0.5), 3.0);
-        assert_eq!(percentile_sorted(&sorted, 1.0), 5.0);
-        assert_eq!(percentile_sorted(&sorted, 0.25), 2.0);
-        assert_eq!(percentile_sorted(&sorted, 0.1), 1.4);
+        assert_eq!(percentile_sorted(&sorted, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 0.5).unwrap(), 3.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0).unwrap(), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 0.25).unwrap(), 2.0);
+        assert_eq!(percentile_sorted(&sorted, 0.1).unwrap(), 1.4);
     }
 
     #[test]
     fn percentile_single_element() {
-        assert_eq!(percentile_sorted(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile_sorted(&[7.0], 0.99).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn percentile_rejects_empty_and_bad_fraction() {
+        assert_eq!(percentile_sorted(&[], 0.5), Err(StatsError::Empty));
+        let err = percentile_sorted(&[1.0], 1.5).unwrap_err();
+        assert!(matches!(err, StatsError::BadFraction { .. }));
+        assert_eq!(err.to_string(), "percentile fraction 1.5 is outside [0, 1]");
+        assert!(matches!(
+            percentile_sorted(&[1.0], -0.1),
+            Err(StatsError::BadFraction { .. })
+        ));
+        // NaN fails the range check too (contains() is false for NaN).
+        assert!(matches!(
+            percentile_sorted(&[1.0], f64::NAN),
+            Err(StatsError::BadFraction { .. })
+        ));
+    }
+
+    #[test]
+    fn sketch_tracks_exact_percentiles_within_bound() {
+        let mut sk = QuantileSketch::new();
+        let mut samples: Vec<f64> = Vec::new();
+        // A deterministic skewed sample spanning several octaves.
+        for i in 0..2000u32 {
+            let x = 0.01 * f64::from(i % 700 + 1) + f64::from(i % 13) * 3.0;
+            sk.record(x).unwrap();
+            samples.push(x);
+        }
+        samples.sort_by(f64::total_cmp);
+        assert_eq!(sk.count(), 2000);
+        for p in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            // The sketch estimates the sample at the rounded rank; its
+            // bucket-midpoint answer must sit within the documented
+            // relative error of that sample.
+            let rank = (p * (samples.len() - 1) as f64).round() as usize;
+            let exact = samples[rank];
+            let approx = sk.quantile(p).unwrap();
+            assert!(
+                (approx - exact).abs() <= exact.abs() * QuantileSketch::RELATIVE_ERROR + 1e-12,
+                "p={p}: approx {approx} vs exact {exact}"
+            );
+            // And it must also track the interpolated percentile closely.
+            let interp = percentile_sorted(&samples, p).unwrap();
+            assert!((approx - interp).abs() <= interp.abs() * 0.05 + 0.05);
+        }
+    }
+
+    #[test]
+    fn sketch_merge_equals_sequential() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut whole = QuantileSketch::new();
+        for i in 0..500u32 {
+            let x = f64::from(i) * 0.37 + 0.001;
+            whole.record(x).unwrap();
+            if i % 2 == 0 {
+                a.record(x).unwrap();
+            } else {
+                b.record(x).unwrap();
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn sketch_edge_cases() {
+        let empty = QuantileSketch::new();
+        assert_eq!(empty.quantile(0.5), Err(StatsError::Empty));
+        let mut sk = QuantileSketch::new();
+        assert!(matches!(
+            sk.record(f64::NAN),
+            Err(StatsError::NonFinite { .. })
+        ));
+        sk.record(0.0).unwrap();
+        sk.record(1e-9).unwrap(); // below 2^-20: small-value bucket
+        sk.record(1e12).unwrap(); // above 2^30: clamps to top bucket
+        assert_eq!(sk.count(), 3);
+        assert_eq!(sk.quantile(0.0).unwrap(), 0.0);
+        // The top-bucket midpoint clamps to the observed max.
+        assert_eq!(sk.quantile(1.0).unwrap(), 1e12);
+        assert!(matches!(
+            sk.quantile(1.1),
+            Err(StatsError::BadFraction { .. })
+        ));
     }
 
     #[test]

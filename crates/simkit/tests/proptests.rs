@@ -138,6 +138,6 @@ proptest! {
         let mut sorted = xs.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        prop_assert!(percentile_sorted(&sorted, lo) <= percentile_sorted(&sorted, hi));
+        prop_assert!(percentile_sorted(&sorted, lo).unwrap() <= percentile_sorted(&sorted, hi).unwrap());
     }
 }

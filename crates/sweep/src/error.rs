@@ -39,6 +39,21 @@ pub enum SweepError {
         /// The coding layer's reason.
         reason: String,
     },
+    /// A valid code cannot be placed on the sweep's base topology
+    /// (rack-aware placement caps each rack at n−k stripe blocks and
+    /// requires n−k ≥ 2 and n ≤ nodes).
+    CodeTopology {
+        /// Requested total blocks per stripe.
+        n: usize,
+        /// Requested data blocks per stripe.
+        k: usize,
+        /// Racks in the base topology.
+        racks: usize,
+        /// Total nodes in the base topology.
+        nodes: usize,
+        /// Which placement constraint failed, with a suggested fix.
+        reason: String,
+    },
     /// A base-configuration field is out of range.
     BadBase {
         /// Which field.
@@ -55,6 +70,11 @@ pub enum SweepError {
     },
     /// A workload axis has an invalid parameter.
     BadWorkload {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A directly-requested shard run (e.g. a trace diff) failed.
+    ShardRun {
         /// Human-readable reason.
         reason: String,
     },
@@ -87,6 +107,18 @@ impl fmt::Display for SweepError {
             SweepError::BadCode { n, k, reason } => {
                 write!(f, "invalid code ({n},{k}): {reason}")
             }
+            SweepError::CodeTopology {
+                n,
+                k,
+                racks,
+                nodes,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "code ({n},{k}) cannot be placed on {racks} racks / {nodes} nodes: {reason}"
+                )
+            }
             SweepError::BadBase { field, value } => {
                 write!(
                     f,
@@ -101,6 +133,9 @@ impl fmt::Display for SweepError {
             }
             SweepError::BadWorkload { reason } => {
                 write!(f, "invalid workload axis: {reason}")
+            }
+            SweepError::ShardRun { reason } => {
+                write!(f, "shard run failed: {reason}")
             }
             SweepError::NoThreads => write!(f, "thread count must be at least 1"),
             SweepError::Spec { line, reason } => {
@@ -143,6 +178,16 @@ mod tests {
                 "(3,9)",
             ),
             (
+                SweepError::CodeTopology {
+                    n: 12,
+                    k: 10,
+                    racks: 4,
+                    nodes: 16,
+                    reason: "at most 8 of the 12 stripe blocks fit".into(),
+                },
+                "(12,10)",
+            ),
+            (
                 SweepError::BadBase {
                     field: "racks",
                     value: 0,
@@ -161,6 +206,12 @@ mod tests {
                     reason: "zero jobs".into(),
                 },
                 "zero jobs",
+            ),
+            (
+                SweepError::ShardRun {
+                    reason: "stripe destroyed".into(),
+                },
+                "stripe destroyed",
             ),
             (SweepError::NoThreads, "at least 1"),
             (

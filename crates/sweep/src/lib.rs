@@ -55,7 +55,7 @@ pub mod spec;
 
 pub use error::SweepError;
 pub use report::{ScenarioRow, ShardRow, SweepReport};
-pub use run::{run_sweep, ShardMetrics};
+pub use run::{run_sweep, trace_diff_scenario, ShardMetrics};
 pub use spec::{
     fnv1a, parse_code, parse_policy, parse_spec_jsonl, policy_label, FailureAxis, Shard, SweepBase,
     SweepSpec, WorkloadAxis,

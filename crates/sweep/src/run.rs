@@ -11,7 +11,7 @@
 
 use dfs::cluster::FailureTimeline;
 use dfs::erasure::CodeParams;
-use dfs::experiment::PlacementKind;
+use dfs::experiment::{PlacementKind, Policy};
 use dfs::obs::aggregate::Aggregator;
 use dfs::workloads::{map_only_job, simulation_default_job, ArrivalTrace};
 use dfs::{Experiment, FailureSpec};
@@ -43,9 +43,9 @@ pub struct ShardMetrics {
     pub job_p99_secs: Option<f64>,
 }
 
-/// Runs one shard to completion. Errors are stringified for the report
-/// row; they do not abort the sweep.
-fn run_shard(base: &SweepBase, shard: &Shard) -> Result<ShardMetrics, String> {
+/// Builds the [`Experiment`] one shard describes, returning it with the
+/// shard's scenario-keyed stream seed.
+fn shard_experiment(base: &SweepBase, shard: &Shard) -> Result<(Experiment, u64), String> {
     let stream_seed = shard.stream_seed(base);
     let topo = base.topology();
     let (n, k) = shard.code;
@@ -83,6 +83,13 @@ fn run_shard(base: &SweepBase, shard: &Shard) -> Result<ShardMetrics, String> {
         config: base.engine_config(),
         jobs,
     };
+    Ok((exp, stream_seed))
+}
+
+/// Runs one shard to completion. Errors are stringified for the report
+/// row; they do not abort the sweep.
+fn run_shard(base: &SweepBase, shard: &Shard) -> Result<ShardMetrics, String> {
+    let (exp, stream_seed) = shard_experiment(base, shard)?;
     let mut agg = Aggregator::new(exp.aggregator_config(stream_seed));
     let run = exp
         .run_traced(shard.policy, stream_seed, &mut agg)
@@ -120,6 +127,49 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepE
     let shards = spec.shards()?;
     let outcomes = run_shards(&spec.base, &shards, threads);
     Ok(SweepReport::merge(spec, &shards, outcomes))
+}
+
+/// Re-runs the first scenario of `spec` under `policy_a` and `policy_b`
+/// with full tracing and returns the rendered lane-by-lane trace diff
+/// ([`dfs::obs::diff`]), keeping the `top` largest end shifts. Both
+/// runs share the scenario-keyed stream seed, so failure sequences and
+/// workloads are identical and the diff attributes the makespan delta
+/// purely to scheduling.
+///
+/// # Errors
+///
+/// Spec validation errors, or [`SweepError::ShardRun`] when either
+/// traced run fails.
+pub fn trace_diff_scenario(
+    spec: &SweepSpec,
+    policy_a: Policy,
+    policy_b: Policy,
+    top: usize,
+) -> Result<String, SweepError> {
+    use dfs::obs::diff::{diff_streams, render};
+    use dfs::obs::event::SimEvent;
+    use dfs::obs::sink::VecSink;
+    use dfs::simkit::time::SimTime;
+
+    let shards = spec.shards()?;
+    let Some(scenario) = shards.first() else {
+        return Err(SweepError::EmptyAxis { axis: "shards" });
+    };
+    let traced = |policy: Policy| -> Result<Vec<(SimTime, SimEvent)>, SweepError> {
+        let mut shard = scenario.clone();
+        shard.policy = policy;
+        let (exp, stream_seed) = shard_experiment(&spec.base, &shard)
+            .map_err(|reason| SweepError::ShardRun { reason })?;
+        let mut sink = VecSink::new();
+        exp.run_traced(policy, stream_seed, &mut sink)
+            .map_err(|e| SweepError::ShardRun {
+                reason: e.to_string(),
+            })?;
+        Ok(sink.events)
+    };
+    let a = traced(policy_a)?;
+    let b = traced(policy_b)?;
+    Ok(render(&diff_streams(&a, &b, top)))
 }
 
 /// Runs the shard list on a pool and returns per-shard outcomes in grid
@@ -160,7 +210,7 @@ fn run_shards(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::SweepBase;
+    use crate::spec::{Shard, SweepBase};
     use dfs::Policy;
 
     fn tiny_spec() -> SweepSpec {
@@ -201,21 +251,48 @@ mod tests {
 
     #[test]
     fn failed_shards_become_rows_not_errors() {
-        // (4,3) over 240 blocks with a whole rack failed loses stripes
-        // on some seeds; those shards must surface as error rows.
-        let spec = SweepSpec {
-            base: SweepBase::fig7_small(),
-            policies: vec![Policy::LocalityFirst],
-            codes: vec![(4, 3)],
-            failures: vec![FailureAxis::Rack],
-            workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
-            seeds: (1..=4).collect(),
+        // A shard whose simulation cannot run — here (4,3) placement,
+        // which the rack-aware layer rejects for parity 1 — must yield
+        // an error row, not a panic or a sweep abort. (Specs reject
+        // such codes eagerly now, so drive the executor directly.)
+        let base = SweepBase::fig7_small();
+        let shard = Shard {
+            index: 0,
+            policy: Policy::LocalityFirst,
+            code: (4, 3),
+            failure: FailureAxis::Rack,
+            workload: WorkloadAxis::MapOnly { map_secs: 10.0 },
+            seed: 1,
         };
-        let report = run_sweep(&spec, 2).expect("sweep itself succeeds");
-        assert_eq!(report.shards.len(), 4);
+        let outcomes = run_shards(&base, std::slice::from_ref(&shard), 2);
+        assert_eq!(outcomes.len(), 1);
+        let err = outcomes[0].as_ref().expect_err("placement must fail");
+        assert!(err.contains("n-k"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn impossible_code_topology_is_rejected_before_any_shard_runs() {
+        // (12,10) needs 12 blocks but 4 racks × parity 2 host only 8;
+        // the spec must fail validation up front with the cap named.
+        let spec = SweepSpec {
+            codes: vec![(12, 10)],
+            ..tiny_spec()
+        };
+        let err = run_sweep(&spec, 2).expect_err("spec must be rejected");
         assert!(
-            report.shards.iter().any(|s| s.metrics.is_err()),
-            "expected at least one data-loss shard"
+            matches!(err, SweepError::CodeTopology { n: 12, k: 10, .. }),
+            "unexpected error: {err:?}"
         );
+        let text = err.to_string();
+        assert!(text.contains("at most 8"), "cap not named: {text}");
+        // Parity below the rack-aware floor is also an eager error.
+        let spec = SweepSpec {
+            codes: vec![(4, 3)],
+            ..tiny_spec()
+        };
+        assert!(matches!(
+            run_sweep(&spec, 2),
+            Err(SweepError::CodeTopology { n: 4, k: 3, .. })
+        ));
     }
 }

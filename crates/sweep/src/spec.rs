@@ -146,6 +146,42 @@ impl SweepBase {
         }
     }
 
+    /// Checks that code `(n, k)` can be rack-aware-placed on this
+    /// topology, mirroring `ecstore`'s placement preconditions so an
+    /// impossible combination is rejected when the spec is built, not
+    /// mid-sweep as a failed shard.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::CodeTopology`] naming the violated constraint —
+    /// n−k ≥ 2, n ≤ nodes, or the ≤ n−k blocks-per-rack cap.
+    pub fn check_code_fits(&self, n: usize, k: usize) -> Result<(), SweepError> {
+        let racks = self.racks;
+        let nodes = self.racks * self.nodes_per_rack;
+        let parity = n.saturating_sub(k);
+        let reason = if parity < 2 {
+            format!("rack-aware placement requires n-k >= 2, got {parity}")
+        } else if n > nodes {
+            format!("stripe width {n} exceeds cluster size {nodes}")
+        } else if n > racks * parity {
+            format!(
+                "rack-aware placement caps each rack at n-k = {parity} blocks, \
+                 so at most {cap} of the {n} stripe blocks fit; use more racks \
+                 or a wider-parity code",
+                cap = racks * parity
+            )
+        } else {
+            return Ok(());
+        };
+        Err(SweepError::CodeTopology {
+            n,
+            k,
+            racks,
+            nodes,
+            reason,
+        })
+    }
+
     fn validate(&self) -> Result<(), SweepError> {
         let fields: [(&'static str, u64); 7] = [
             ("racks", self.racks as u64),
@@ -505,6 +541,7 @@ impl SweepSpec {
                 k,
                 reason: e.to_string(),
             })?;
+            self.base.check_code_fits(n, k)?;
         }
         for f in &self.failures {
             f.validate()?;
@@ -813,7 +850,7 @@ mod tests {
         SweepSpec {
             base: SweepBase::fig7_small(),
             policies: vec![Policy::LocalityFirst, Policy::EnhancedDegradedFirst],
-            codes: vec![(8, 6), (12, 10)],
+            codes: vec![(8, 6), (12, 9)],
             failures: vec![FailureAxis::SingleNode],
             workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
             seeds: vec![1, 2],
@@ -828,7 +865,7 @@ mod tests {
         assert_eq!(shards[0].code, (8, 6));
         assert_eq!(shards[0].seed, 1);
         assert_eq!(shards[1].seed, 2);
-        assert_eq!(shards[2].code, (12, 10));
+        assert_eq!(shards[2].code, (12, 9));
         assert_eq!(shards[4].policy, Policy::EnhancedDegradedFirst);
         for (i, s) in shards.iter().enumerate() {
             assert_eq!(s.index, i);
@@ -861,6 +898,37 @@ mod tests {
         assert!(matches!(
             spec.validate(),
             Err(SweepError::BadCode { n: 3, k: 9, .. })
+        ));
+
+        // Valid codes that cannot sit on the 4-rack base are rejected
+        // at spec time with the rack cap named, not mid-sweep.
+        let mut spec = two_by_two();
+        spec.codes = vec![(12, 10)];
+        let err = spec.validate().expect_err("cap violation");
+        assert!(matches!(err, SweepError::CodeTopology { n: 12, k: 10, .. }));
+        assert!(err.to_string().contains("n-k = 2"), "{err}");
+
+        let mut spec = two_by_two();
+        spec.codes = vec![(4, 3)]; // parity 1 < rack-aware floor of 2
+        assert!(matches!(
+            spec.validate(),
+            Err(SweepError::CodeTopology { n: 4, k: 3, .. })
+        ));
+
+        let mut spec = two_by_two();
+        spec.codes = vec![(16, 13)]; // fits exactly: 16 nodes, 4*3 >= 16? no
+        assert!(matches!(
+            spec.validate(),
+            Err(SweepError::CodeTopology { n: 16, k: 13, .. })
+        ));
+        spec.codes = vec![(16, 12)]; // 4 racks * parity 4 = 16: just fits
+        assert!(spec.validate().is_ok());
+
+        let mut spec = two_by_two();
+        spec.codes = vec![(20, 15)]; // wider than the 16-node cluster
+        assert!(matches!(
+            spec.validate(),
+            Err(SweepError::CodeTopology { n: 20, k: 15, .. })
         ));
 
         let mut spec = two_by_two();

@@ -111,6 +111,103 @@ fn aggregator_rederives_metrics_counters_exactly() {
 }
 
 #[test]
+fn windowed_aggregator_matches_exact_on_paper_presets() {
+    use dfs::obs::aggregate::{AggregatorConfig, AggregatorMode};
+    use dfs::simkit::stats::QuantileSketch;
+    // Windowed mode on the Fig. 7 presets: utilization identical when
+    // the window equals the exact bucket, counts/means exact, and every
+    // sketch percentile within its documented relative-error bound of
+    // the sample it estimates (the rounded-rank order statistic; the
+    // exact report interpolates between neighbours, which for sparse
+    // samples can sit arbitrarily far from either).
+    let close = |got: Option<f64>, samples: &[f64], p: f64, what: &str| {
+        if samples.is_empty() {
+            assert!(
+                got.is_none(),
+                "{what}: sketch reported {got:?} for no samples"
+            );
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let want = sorted[(p * (sorted.len() - 1) as f64).round() as usize];
+        let g = got.unwrap_or_else(|| panic!("{what}: sketch empty but exact has samples"));
+        assert!(
+            (g - want).abs() <= want.abs() * QuantileSketch::RELATIVE_ERROR + 1e-9,
+            "{what}: windowed {g} vs exact rank sample {want}"
+        );
+    };
+    for exp in [presets::small_default(), presets::simulation_default()] {
+        for policy in [Policy::LocalityFirst, Policy::EnhancedDegradedFirst] {
+            let cfg = exp.aggregator_config(1);
+            let mut exact = Aggregator::new(cfg.clone());
+            let mut windowed = Aggregator::new(AggregatorConfig {
+                mode: AggregatorMode::Windowed {
+                    window_secs: cfg.bucket.as_micros() / 1_000_000,
+                    max_windows: 4096,
+                },
+                ..cfg
+            });
+            let mut tee = dfs::obs::sink::Tee::new(&mut exact, &mut windowed);
+            exp.run_traced(policy, 1, &mut tee).expect("traced run");
+            let re = exact.report();
+            let rw = windowed.report();
+            let label = policy.name();
+            assert_eq!(rw.slot_utilization, re.slot_utilization, "{label}: util");
+            assert_eq!(rw.bucket_secs, re.bucket_secs, "{label}: bucket");
+            assert_eq!(rw.link_utilization, re.link_utilization, "{label}: links");
+            assert_eq!(rw.maps_degraded, re.maps_degraded, "{label}: degraded");
+            assert_eq!(rw.jobs_finished, re.jobs_finished, "{label}: jobs");
+            assert_eq!(rw.overlap_secs, re.overlap_secs, "{label}: overlap");
+            assert_eq!(
+                rw.mean_degraded_map_secs, re.mean_degraded_map_secs,
+                "{label}: mean degraded"
+            );
+            assert_eq!(
+                rw.peak_jobs_in_flight, re.peak_jobs_in_flight,
+                "{label}: peak jobs"
+            );
+            close(
+                rw.degraded_read_p50,
+                &re.degraded_read_secs,
+                0.50,
+                "fetch p50",
+            );
+            close(
+                rw.degraded_read_p95,
+                &re.degraded_read_secs,
+                0.95,
+                "fetch p95",
+            );
+            close(
+                rw.degraded_read_p99,
+                &re.degraded_read_secs,
+                0.99,
+                "fetch p99",
+            );
+            close(
+                rw.job_latency_p50,
+                &re.job_latency_secs,
+                0.50,
+                "latency p50",
+            );
+            close(
+                rw.job_latency_p95,
+                &re.job_latency_secs,
+                0.95,
+                "latency p95",
+            );
+            close(
+                rw.job_latency_p99,
+                &re.job_latency_secs,
+                0.99,
+                "latency p99",
+            );
+        }
+    }
+}
+
+#[test]
 fn traced_run_returns_untraced_results() {
     let exp = presets::small_default();
     for policy in POLICIES {
@@ -171,6 +268,115 @@ fn event_stream_goldens_are_stable() {
         drifted.is_empty(),
         "event-stream goldens drifted:\n{}",
         drifted.join("\n")
+    );
+}
+
+#[test]
+fn flow_rate_filter_off_is_byte_identical_and_on_thins_stream() {
+    use dfs::obs::sink::{FlowRateFilter, FlowRateFilterConfig};
+    use dfs::simkit::time::SimDuration;
+    let paper = presets::simulation_default();
+    let stream = |filter: Option<FlowRateFilterConfig>| -> String {
+        let mut sink = JsonlSink::new(Vec::new());
+        match filter {
+            Some(cfg) => {
+                let mut f = FlowRateFilter::new(&mut sink, cfg);
+                paper
+                    .run_traced(Policy::EnhancedDegradedFirst, 1, &mut f)
+                    .expect("traced run");
+            }
+            None => {
+                paper
+                    .run_traced(Policy::EnhancedDegradedFirst, 1, &mut sink)
+                    .expect("traced run");
+            }
+        }
+        String::from_utf8(sink.finish().expect("in-memory sink")).expect("utf8")
+    };
+    let plain = stream(None);
+    // An attached filter with zero thresholds must not change a byte.
+    let zeroed = stream(Some(FlowRateFilterConfig {
+        min_delta_bps: 0.0,
+        min_interval: SimDuration::ZERO,
+    }));
+    assert_eq!(plain, zeroed, "zero-threshold filter changed the stream");
+    // Real thresholds must drop flow_rate lines and nothing else, and the
+    // thinned stream must still validate against the schema.
+    let thinned = stream(Some(FlowRateFilterConfig {
+        min_delta_bps: 1e6,
+        min_interval: SimDuration::from_secs(5),
+    }));
+    let rates = |s: &str| {
+        s.lines()
+            .filter(|l| l.contains("\"ev\":\"flow_rate\""))
+            .count()
+    };
+    let others = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("\"ev\":\"flow_rate\""))
+            .count()
+    };
+    assert!(
+        rates(&thinned) < rates(&plain),
+        "filter dropped no flow_rate events ({} vs {})",
+        rates(&thinned),
+        rates(&plain)
+    );
+    assert_eq!(others(&thinned), others(&plain), "non-rate events changed");
+    let schema = TraceSchema::parse(TRACE_SCHEMA_V1).expect("schema parses");
+    assert_eq!(
+        validate_jsonl(&schema, &thinned).expect("thinned trace validates"),
+        thinned.lines().count()
+    );
+}
+
+#[test]
+fn trace_diff_attributes_an_injected_failure() {
+    use dfs::experiment::FailureSpec;
+    use dfs::obs::diff::{diff_streams, render};
+    // Same preset, same seed, one injected failure: the diff must pin
+    // the slowdown on the failure-affected lanes. The rendered text is
+    // golden — it is a deterministic function of the two traces.
+    let failed = presets::small_default();
+    let mut healthy = failed.clone();
+    healthy.failure = FailureSpec::None;
+    let (_, a) = trace(&healthy, Policy::LocalityFirst, 1);
+    let (_, b) = trace(&failed, Policy::LocalityFirst, 1);
+    let diff = diff_streams(&a, &b, 5);
+    assert!(
+        diff.makespan_b > diff.makespan_a,
+        "injected failure must slow the run ({} vs {})",
+        diff.makespan_a,
+        diff.makespan_b
+    );
+    let text = render(&diff);
+    let golden = "\
+makespan: A 170.10s  B 450.73s  (+280.64s)\n\
+final lane: A job 0  B job 0\n\
+lanes: 255 shared, 0 only in A, 76 only in B\n\
+top end shifts (B - A):\n\
+\x20 map 0/199                end   +405.36s  dur   +405.36s  (A 0.00..12.06, B 0.00..417.42)\n\
+\x20 map 0/205                end   +405.36s  dur   +405.36s  (A 0.00..12.06, B 0.00..417.42)\n\
+\x20 map 0/106                end   +401.97s  dur   +401.97s  (A 0.00..48.06, B 0.00..450.04)\n\
+\x20 map 0/110                end   +401.97s  dur   +401.97s  (A 0.00..48.06, B 0.00..450.04)\n\
+\x20 map 0/176                end   +393.76s  dur   +393.76s  (A 0.00..24.06, B 0.00..417.82)\n\
+only in B:\n\
+\x20 flow 14                  85.80..407.42 (8 events)\n\
+\x20 flow 15                  85.80..407.42 (8 events)\n\
+\x20 flow 16                  85.80..407.42 (8 events)\n\
+\x20 flow 17                  85.80..407.42 (8 events)\n\
+\x20 flow 18                  85.80..407.42 (8 events)\n\
+\x20 flow 19                  85.80..407.42 (7 events)\n\
+\x20 flow 20                  85.80..407.42 (7 events)\n\
+\x20 flow 21                  85.80..407.42 (7 events)\n\
+\x20 flow 22                  85.80..407.42 (7 events)\n\
+\x20 flow 23                  85.80..87.83 (12 events)\n\
+\x20 flow 24                  85.80..407.42 (7 events)\n\
+\x20 flow 25                  86.00..407.82 (7 events)\n\
+\x20 ... and 64 more\n";
+    assert_eq!(
+        text, golden,
+        "trace-diff golden drifted — an intentional change must re-pin it"
     );
 }
 
@@ -384,5 +590,23 @@ proptest! {
             done,
             result.tasks.iter().filter(|t| t.map_locality().is_some()).count()
         );
+    }
+
+    /// Any unicode string survives a `\uXXXX`-escaped JSON round trip:
+    /// escape every char (astral code points as surrogate pairs), parse
+    /// with `obs::json`, and compare.
+    #[test]
+    fn json_unicode_escape_round_trips(s in "\\PC*") {
+        use dfs::obs::json::Json;
+        let mut encoded = String::from('"');
+        for ch in s.chars() {
+            let mut units = [0u16; 2];
+            for unit in ch.encode_utf16(&mut units) {
+                encoded.push_str(&format!("\\u{unit:04x}"));
+            }
+        }
+        encoded.push('"');
+        let parsed = Json::parse(&encoded).unwrap();
+        prop_assert_eq!(parsed, Json::String(s));
     }
 }
