@@ -15,6 +15,8 @@
 
 use std::time::Instant;
 
+use dfs::cluster::SpeedProfile;
+use dfs::ecstore::FetchPolicy;
 use dfs::erasure::gf256::{mul_acc_slice_ref, Gf256};
 use dfs::erasure::rs::{CodeConstruction, ReedSolomon};
 use dfs::erasure::{simd, CodeParams};
@@ -301,6 +303,8 @@ fn sweep_bench_spec() -> SweepSpec {
         codes: vec![(8, 6)],
         failures: vec![FailureAxis::SingleNode, FailureAxis::Rack],
         workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+        fetch_policies: vec![FetchPolicy::Exact],
+        speeds: vec![SpeedProfile::Homogeneous],
         seeds: vec![1, 2, 3],
     }
 }
@@ -336,6 +340,8 @@ fn scale_10k_shard_wall() -> f64 {
         codes: vec![(8, 6)],
         failures: vec![FailureAxis::SingleNode],
         workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+        fetch_policies: vec![FetchPolicy::Exact],
+        speeds: vec![SpeedProfile::Homogeneous],
         seeds: vec![1],
     };
     let start = Instant::now();

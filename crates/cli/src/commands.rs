@@ -5,7 +5,8 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use dfs::analysis::ModelParams;
-use dfs::cluster::{FailureTimeline, NodeId, Topology};
+use dfs::cluster::{FailureTimeline, NodeId, SpeedProfile, Topology};
+use dfs::ecstore::FetchPolicy;
 use dfs::erasure::CodeParams;
 use dfs::experiment::{Experiment, FailureSpec, PlacementKind, Policy};
 use dfs::mapreduce::engine::EngineConfig;
@@ -43,6 +44,8 @@ USAGE:
                      --nodes-per-rack 10 --map-slots 4 --blocks 1440 --block-mb 128
                      --bandwidth-mbps 1000 --failure node|double|rack|none
                      --fail-at node3@120s --recover-at node3@300s
+                     --fetch-policy exact|redundant:R
+                     --node-speeds homogeneous|slowdisk:F,S|stragglers:C,S|hot:C,M
                      --map-secs 20 --reducers 30 --shuffle 0.01
                      --poisson 120,10 --poisson-seed 1 --emit-arrivals out.jsonl
                      --arrivals trace.jsonl
@@ -57,7 +60,9 @@ USAGE:
   dfs-cli trace-validate --trace out.jsonl [--spill]
   dfs-cli trace-diff --a a.jsonl --b b.jsonl [--top 10]
   dfs-cli sweep     [--policies lf,edf --codes \"8,6;9,6\" --failures node,rack
-                     --workloads maponly:10 --seeds 3 --seed-list 1,5,9
+                     --workloads maponly:10 --fetch-policies exact,redundant:2
+                     --speeds \"homogeneous;stragglers:3,0.25\"
+                     --seeds 3 --seed-list 1,5,9
                      --threads 4 --base fig7-small|paper|scale-10k
                      --racks 4 --nodes-per-rack 4 --map-slots 2 --blocks 240
                      --block-mb 128 --node-mbps 1000 --rack-mbps 100
@@ -208,6 +213,8 @@ pub fn simulate(args: &Args) -> CliResult {
         "failure",
         "fail-at",
         "recover-at",
+        "fetch-policy",
+        "node-speeds",
         "map-secs",
         "reduce-secs",
         "reducers",
@@ -230,6 +237,8 @@ pub fn simulate(args: &Args) -> CliResult {
     // a t=0 scenario is also requested.
     let default_failure = if timeline.is_empty() { "node" } else { "none" };
     let failure = parse_failure(args.get("failure").unwrap_or(default_failure))?;
+    let fetch_policy = FetchPolicy::parse(args.get("fetch-policy").unwrap_or("exact"))?;
+    let node_speeds = SpeedProfile::parse(args.get("node-speeds").unwrap_or("homogeneous"))?;
     let seeds: u64 = args.get_or("seeds", 5u64)?;
     let reducers: usize = args.get_or("reducers", 30usize)?;
     let map_secs: f64 = args.get_or("map-secs", 20.0f64)?;
@@ -302,6 +311,8 @@ pub fn simulate(args: &Args) -> CliResult {
                 node_bps: 1_000_000_000,
                 rack_bps: args.get_or("bandwidth-mbps", 1000u64)? * 1_000_000,
             },
+            fetch_policy,
+            node_speeds,
             ..EngineConfig::default()
         },
         jobs: vec![job],
@@ -574,6 +585,26 @@ pub fn obs_report(args: &Args) -> CliResult {
         "peak jobs in flight".into(),
         r.peak_jobs_in_flight.to_string(),
     ]);
+    // Redundant-fetch accounting only appears when the trace ran with
+    // `--fetch-policy redundant:R`, so exact-policy reports keep their
+    // pre-PR9 bytes.
+    if r.redundant_fetches_issued > 0 || r.fetch_cancel_wins > 0 {
+        table.row(&[
+            "redundant fetches (reads / extra flows)".into(),
+            format!(
+                "{} / {}",
+                r.redundant_fetches_issued, r.redundant_extra_flows
+            ),
+        ]);
+        table.row(&[
+            "fetch cancel wins / cancelled MB".into(),
+            format!(
+                "{} / {:.1}",
+                r.fetch_cancel_wins,
+                r.redundant_cancelled_bytes as f64 / (1024.0 * 1024.0)
+            ),
+        ]);
+    }
     table.row(&[
         "fetch/map overlap (s)".into(),
         format!(
@@ -666,6 +697,8 @@ pub fn sweep_grid(args: &Args) -> CliResult {
         "codes",
         "failures",
         "workloads",
+        "fetch-policies",
+        "speeds",
         "seeds",
         "seed-list",
         "threads",
@@ -720,6 +753,16 @@ pub fn sweep_grid(args: &Args) -> CliResult {
         for token in args.get("workloads").unwrap_or("maponly:10").split(',') {
             workloads.push(SweepWorkloadAxis::parse(token.trim())?);
         }
+        let mut fetch_policies = Vec::new();
+        for token in args.get("fetch-policies").unwrap_or("exact").split(',') {
+            fetch_policies.push(FetchPolicy::parse(token.trim())?);
+        }
+        // Speed profiles embed commas (`stragglers:3,0.25`), so the
+        // axis separator is `;` like `--codes`.
+        let mut speeds = Vec::new();
+        for token in args.get("speeds").unwrap_or("homogeneous").split(';') {
+            speeds.push(SpeedProfile::parse(token.trim())?);
+        }
         let seeds: Vec<u64> = match args.get("seed-list") {
             Some(raw) => {
                 let mut seeds = Vec::new();
@@ -741,6 +784,8 @@ pub fn sweep_grid(args: &Args) -> CliResult {
             codes,
             failures,
             workloads,
+            fetch_policies,
+            speeds,
             seeds,
         }
     };

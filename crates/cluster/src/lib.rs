@@ -22,9 +22,11 @@
 //! is described by a [`FailureTimeline`]; see the [`timeline`] module.
 
 pub mod failure;
+pub mod speeds;
 pub mod timeline;
 pub mod topology;
 
 pub use failure::{ClusterState, FailureError, FailureScenario};
+pub use speeds::{NodeSpeeds, SpeedProfile};
 pub use timeline::{ChurnError, FailureEventKind, FailureTimeline, TimelineEvent, WeibullChurn};
 pub use topology::{NodeId, RackId, Topology};

@@ -1,0 +1,312 @@
+//! Heterogeneous service-time profiles: per-node speed multipliers for
+//! CPU (task processing) and disk (block serving), sampled once per run
+//! on a forked [`SimRng`] stream.
+//!
+//! The erasure-coded latency-optimization literature (Aggarwal/Lan)
+//! models exactly these cluster shapes: a fraction of slow disks, a few
+//! persistent stragglers, or hot nodes overloaded by foreground serving
+//! traffic. Redundant degraded reads (MDS-Queue) only pay off when some
+//! holders are slower than others — a homogeneous cluster makes the
+//! extra fetches pure overhead.
+
+use simkit::SimRng;
+
+/// Which nodes are slow, and by how much. `Homogeneous` is the default
+/// and samples nothing, so runs without a profile stay byte-identical
+/// to builds that predate it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum SpeedProfile {
+    /// Every node serves and computes at full speed.
+    #[default]
+    Homogeneous,
+    /// Each node independently has a slow disk with probability
+    /// `fraction`; affected nodes serve blocks at `factor` of full
+    /// speed. CPU is unaffected.
+    SlowDisk {
+        /// Probability a node's disk is slow, in `[0, 1]`.
+        fraction: f64,
+        /// Disk speed multiplier for affected nodes, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Exactly `count` persistent stragglers: both their CPU and their
+    /// disk run at `factor` of full speed.
+    Stragglers {
+        /// How many straggler nodes to sample.
+        count: usize,
+        /// Speed multiplier for stragglers, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Exactly `count` hot nodes: overloaded by external serving
+    /// traffic, their disks answer block reads at `factor` of full
+    /// speed. CPU is unaffected (the contention is on I/O).
+    HotNodes {
+        /// How many hot nodes to sample.
+        count: usize,
+        /// Disk speed multiplier for hot nodes, in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+/// Per-node speed multipliers sampled from a [`SpeedProfile`]. A value
+/// of 1.0 is full speed; 0.5 doubles the service time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeSpeeds {
+    /// Task-processing multiplier per node (composes with the
+    /// topology's static `speed_factor`).
+    pub cpu: Vec<f64>,
+    /// Block-serving multiplier per node (scales fetch-flow service).
+    pub disk: Vec<f64>,
+}
+
+impl NodeSpeeds {
+    /// All nodes at full speed.
+    pub fn homogeneous(num_nodes: usize) -> NodeSpeeds {
+        NodeSpeeds {
+            cpu: vec![1.0; num_nodes],
+            disk: vec![1.0; num_nodes],
+        }
+    }
+
+    /// True when no node deviates from full speed.
+    pub fn is_uniform(&self) -> bool {
+        self.cpu.iter().chain(&self.disk).all(|&s| s == 1.0)
+    }
+}
+
+impl SpeedProfile {
+    /// Rejects out-of-range parameters: a zero/negative/non-finite
+    /// factor would stall or reverse time, a fraction outside `[0, 1]`
+    /// is not a probability, and a zero count is `homogeneous` in
+    /// disguise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_factor = |factor: f64| {
+            if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                Err(format!("speed factor must be in (0, 1], got {factor}"))
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            SpeedProfile::Homogeneous => Ok(()),
+            SpeedProfile::SlowDisk { fraction, factor } => {
+                if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+                    return Err(format!(
+                        "slowdisk fraction must be in [0, 1], got {fraction}"
+                    ));
+                }
+                check_factor(factor)
+            }
+            SpeedProfile::Stragglers { count, factor }
+            | SpeedProfile::HotNodes { count, factor } => {
+                if count == 0 {
+                    return Err("node count must be at least 1 (use homogeneous)".to_string());
+                }
+                check_factor(factor)
+            }
+        }
+    }
+
+    /// Samples per-node multipliers for a cluster of `num_nodes`.
+    /// Deterministic given the rng state; `Homogeneous` draws nothing.
+    /// `Stragglers`/`HotNodes` counts larger than the cluster saturate
+    /// at every node being slow.
+    pub fn sample(&self, num_nodes: usize, rng: &mut SimRng) -> NodeSpeeds {
+        let mut speeds = NodeSpeeds::homogeneous(num_nodes);
+        match *self {
+            SpeedProfile::Homogeneous => {}
+            SpeedProfile::SlowDisk { fraction, factor } => {
+                for disk in speeds.disk.iter_mut() {
+                    if rng.uniform_f64() < fraction {
+                        *disk = factor;
+                    }
+                }
+            }
+            SpeedProfile::Stragglers { count, factor } => {
+                let nodes: Vec<usize> = (0..num_nodes).collect();
+                for node in rng.choose_k(&nodes, count.min(num_nodes)) {
+                    speeds.cpu[node] = factor;
+                    speeds.disk[node] = factor;
+                }
+            }
+            SpeedProfile::HotNodes { count, factor } => {
+                let nodes: Vec<usize> = (0..num_nodes).collect();
+                for node in rng.choose_k(&nodes, count.min(num_nodes)) {
+                    speeds.disk[node] = factor;
+                }
+            }
+        }
+        speeds
+    }
+
+    /// The CLI/sweep token; inverse of [`SpeedProfile::parse`].
+    pub fn label(&self) -> String {
+        match *self {
+            SpeedProfile::Homogeneous => "homogeneous".to_string(),
+            SpeedProfile::SlowDisk { fraction, factor } => format!("slowdisk:{fraction},{factor}"),
+            SpeedProfile::Stragglers { count, factor } => format!("stragglers:{count},{factor}"),
+            SpeedProfile::HotNodes { count, factor } => format!("hot:{count},{factor}"),
+        }
+    }
+
+    /// Parses a [`SpeedProfile::label`] token: `homogeneous`,
+    /// `slowdisk:FRACTION,FACTOR`, `stragglers:COUNT,FACTOR`, or
+    /// `hot:COUNT,FACTOR`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted forms for unknown tokens,
+    /// and the validation error for out-of-range parameters.
+    pub fn parse(s: &str) -> Result<SpeedProfile, String> {
+        fn split2(args: &str, what: &str) -> Result<(String, String), String> {
+            match args.split_once(',') {
+                Some((a, b)) => Ok((a.to_string(), b.to_string())),
+                None => Err(format!(
+                    "{what} expects two comma-separated values, got {args:?}"
+                )),
+            }
+        }
+        fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+            s.parse().map_err(|_| format!("bad {what} {s:?}"))
+        }
+        let profile = if s == "homogeneous" || s == "none" {
+            SpeedProfile::Homogeneous
+        } else if let Some(args) = s.strip_prefix("slowdisk:") {
+            let (fraction, factor) = split2(args, "slowdisk")?;
+            SpeedProfile::SlowDisk {
+                fraction: num(&fraction, "slowdisk fraction")?,
+                factor: num(&factor, "slowdisk factor")?,
+            }
+        } else if let Some(args) = s.strip_prefix("stragglers:") {
+            let (count, factor) = split2(args, "stragglers")?;
+            SpeedProfile::Stragglers {
+                count: num(&count, "straggler count")?,
+                factor: num(&factor, "straggler factor")?,
+            }
+        } else if let Some(args) = s.strip_prefix("hot:") {
+            let (count, factor) = split2(args, "hot")?;
+            SpeedProfile::HotNodes {
+                count: num(&count, "hot-node count")?,
+                factor: num(&factor, "hot-node factor")?,
+            }
+        } else {
+            return Err(format!(
+                "unknown speed profile {s:?} (expected homogeneous, \
+                 slowdisk:FRACTION,FACTOR, stragglers:COUNT,FACTOR, or hot:COUNT,FACTOR)"
+            ));
+        };
+        profile.validate()?;
+        Ok(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_samples_nothing() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let before = rng.next_u64();
+        let mut rng = SimRng::seed_from_u64(1);
+        let speeds = SpeedProfile::Homogeneous.sample(8, &mut rng);
+        assert!(speeds.is_uniform());
+        assert_eq!(rng.next_u64(), before, "homogeneous must not draw");
+    }
+
+    #[test]
+    fn stragglers_slow_cpu_and_disk() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let profile = SpeedProfile::Stragglers {
+            count: 3,
+            factor: 0.25,
+        };
+        let speeds = profile.sample(10, &mut rng);
+        let slow: Vec<usize> = (0..10).filter(|&i| speeds.cpu[i] == 0.25).collect();
+        assert_eq!(slow.len(), 3);
+        for &i in &slow {
+            assert_eq!(speeds.disk[i], 0.25);
+        }
+        assert!(!speeds.is_uniform());
+        // Counts saturate at the cluster size.
+        let mut rng = SimRng::seed_from_u64(2);
+        let all = SpeedProfile::Stragglers {
+            count: 99,
+            factor: 0.5,
+        }
+        .sample(4, &mut rng);
+        assert!(all.cpu.iter().all(|&s| s == 0.5));
+    }
+
+    #[test]
+    fn hot_nodes_and_slow_disks_spare_cpu() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let hot = SpeedProfile::HotNodes {
+            count: 2,
+            factor: 0.5,
+        }
+        .sample(8, &mut rng);
+        assert!(hot.cpu.iter().all(|&s| s == 1.0));
+        assert_eq!(hot.disk.iter().filter(|&&s| s == 0.5).count(), 2);
+
+        let mut rng = SimRng::seed_from_u64(3);
+        let slow = SpeedProfile::SlowDisk {
+            fraction: 1.0,
+            factor: 0.5,
+        }
+        .sample(8, &mut rng);
+        assert!(slow.cpu.iter().all(|&s| s == 1.0));
+        assert!(slow.disk.iter().all(|&s| s == 0.5));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_stream() {
+        let profile = SpeedProfile::SlowDisk {
+            fraction: 0.3,
+            factor: 0.5,
+        };
+        let a = profile.sample(40, &mut SimRng::seed_from_u64(7));
+        let b = profile.sample(40, &mut SimRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = profile.sample(40, &mut SimRng::seed_from_u64(8));
+        assert_ne!(a, c, "different streams should (usually) differ");
+    }
+
+    #[test]
+    fn labels_round_trip_and_bad_tokens_are_rejected() {
+        for profile in [
+            SpeedProfile::Homogeneous,
+            SpeedProfile::SlowDisk {
+                fraction: 0.25,
+                factor: 0.5,
+            },
+            SpeedProfile::Stragglers {
+                count: 2,
+                factor: 0.1,
+            },
+            SpeedProfile::HotNodes {
+                count: 4,
+                factor: 0.75,
+            },
+        ] {
+            assert_eq!(SpeedProfile::parse(&profile.label()), Ok(profile));
+        }
+        for bad in [
+            "fast",
+            "slowdisk:0.5",
+            "slowdisk:2.0,0.5",
+            "stragglers:0,0.5",
+            "stragglers:2,0.0",
+            "hot:2,1.5",
+            "hot:2,nan",
+        ] {
+            assert!(
+                SpeedProfile::parse(bad).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+}

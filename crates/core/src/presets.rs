@@ -1,6 +1,7 @@
 //! The paper's experiment configurations, ready to run.
 
-use cluster::{FailureTimeline, Topology};
+use cluster::{FailureTimeline, SpeedProfile, Topology};
+use ecstore::FetchPolicy;
 use erasure::CodeParams;
 use mapreduce::engine::EngineConfig;
 use netsim::NetConfig;
@@ -149,6 +150,22 @@ pub fn small_default() -> Experiment {
     }
 }
 
+/// A straggler-prone degraded-read experiment: the [`small_default`]
+/// cluster where four nodes (a quarter of the cluster) run at 25% speed
+/// — the MDS-Queue setting where redundant degraded reads pay off. The
+/// fetch policy is the caller's axis: pass [`FetchPolicy::Exact`] for
+/// the baseline or `FetchPolicy::Redundant { extra }` to race extra
+/// sources and cancel the stragglers at the decode quorum.
+pub fn straggler_default(fetch_policy: FetchPolicy) -> Experiment {
+    let mut exp = small_default();
+    exp.config.fetch_policy = fetch_policy;
+    exp.config.node_speeds = SpeedProfile::Stragglers {
+        count: 4,
+        factor: 0.25,
+    };
+    exp
+}
+
 /// A mid-run churn experiment: the [`small_default`] cluster starting
 /// healthy, with one node failing at 25 s — mid-job, several map waves
 /// in — and recovering at 60 s. Exercises live task kill/re-queue,
@@ -245,6 +262,27 @@ mod tests {
         let e = small_default();
         let result = e.run(crate::experiment::Policy::LocalityFirst, 1).unwrap();
         assert_eq!(result.tasks.len(), 240);
+    }
+
+    #[test]
+    fn straggler_default_runs_under_both_fetch_policies() {
+        for fetch in [FetchPolicy::Exact, FetchPolicy::Redundant { extra: 2 }] {
+            let e = straggler_default(fetch);
+            assert_eq!(e.config.fetch_policy, fetch);
+            assert_eq!(
+                e.config.node_speeds,
+                SpeedProfile::Stragglers {
+                    count: 4,
+                    factor: 0.25
+                }
+            );
+            let result = e.run(crate::experiment::Policy::LocalityFirst, 1).unwrap();
+            assert_eq!(result.tasks.len(), 240);
+            assert!(
+                !result.degraded_read_secs().is_empty(),
+                "straggler preset must exercise degraded reads under {fetch:?}"
+            );
+        }
     }
 
     #[test]

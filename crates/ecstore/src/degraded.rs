@@ -15,6 +15,110 @@ use simkit::SimRng;
 use crate::layout::BlockRef;
 use crate::store::BlockStore;
 
+/// Why a degraded read could not be planned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReadError {
+    /// A fetch count of zero was requested.
+    ZeroFetch,
+    /// The target block is still alive — nothing to reconstruct.
+    LiveTarget {
+        /// The block that was (wrongly) asked to be reconstructed.
+        target: BlockRef,
+    },
+    /// The stripe has fewer surviving blocks than the read needs.
+    NotEnoughSurvivors {
+        /// The stripe being read.
+        stripe: crate::layout::StripeId,
+        /// How many blocks of it are still alive.
+        survivors: usize,
+        /// How many the read asked for.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for DegradedReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedReadError::ZeroFetch => {
+                write!(f, "degraded read must fetch at least one block")
+            }
+            DegradedReadError::LiveTarget { target } => {
+                write!(f, "degraded read of a live block {target}")
+            }
+            DegradedReadError::NotEnoughSurvivors {
+                stripe,
+                survivors,
+                need,
+            } => {
+                write!(f, "stripe {stripe} has {survivors} survivors, needs {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DegradedReadError {}
+
+/// How many survivor blocks a degraded read requests at once.
+///
+/// `Exact` is the paper's conventional degraded read: fetch exactly the
+/// needed count and wait for the slowest of them. `Redundant` follows
+/// the MDS-Queue result (Shah/Lee/Ramchandran): request `extra` blocks
+/// beyond the needed count and decode as soon as any needed-count
+/// subset completes, cancelling the stragglers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FetchPolicy {
+    /// Fetch exactly the needed block count.
+    #[default]
+    Exact,
+    /// Fetch `extra` redundant survivors beyond the needed count.
+    Redundant {
+        /// Redundant requests beyond the needed count (`r` in `k + r`).
+        extra: usize,
+    },
+}
+
+impl FetchPolicy {
+    /// Redundant requests beyond the needed count (0 for `Exact`).
+    pub fn extra(&self) -> usize {
+        match self {
+            FetchPolicy::Exact => 0,
+            FetchPolicy::Redundant { extra } => *extra,
+        }
+    }
+
+    /// The CLI/sweep token: `exact` or `redundant:R`.
+    pub fn label(&self) -> String {
+        match self {
+            FetchPolicy::Exact => "exact".to_string(),
+            FetchPolicy::Redundant { extra } => format!("redundant:{extra}"),
+        }
+    }
+
+    /// Parses a [`FetchPolicy::label`] token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted forms when the token is
+    /// neither `exact` nor `redundant:R` with `R >= 1`.
+    pub fn parse(s: &str) -> Result<FetchPolicy, String> {
+        if s == "exact" {
+            return Ok(FetchPolicy::Exact);
+        }
+        if let Some(extra) = s.strip_prefix("redundant:") {
+            let extra: usize = extra
+                .parse()
+                .map_err(|_| format!("bad redundant fetch count {extra:?}"))?;
+            if extra == 0 {
+                return Err("redundant:0 is just `exact`; use that".to_string());
+            }
+            return Ok(FetchPolicy::Redundant { extra });
+        }
+        Err(format!(
+            "unknown fetch policy {s:?} (expected exact or redundant:R)"
+        ))
+    }
+}
+
 /// How a degraded read chooses its `k` source blocks.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SourceSelection {
@@ -42,11 +146,12 @@ pub struct DegradedReadPlan {
 impl DegradedReadPlan {
     /// Plans a degraded read of `target` performed at `reader`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the stripe has fewer than `k` surviving blocks (the
-    /// caller must check [`BlockStore::is_recoverable`] under multi-node
-    /// failures) or if `target` itself is still alive.
+    /// [`DegradedReadError::NotEnoughSurvivors`] if the stripe has fewer
+    /// than `k` surviving blocks (the caller should check
+    /// [`BlockStore::is_recoverable`] under multi-node failures), or
+    /// [`DegradedReadError::LiveTarget`] if `target` is still alive.
     pub fn plan(
         store: &BlockStore,
         topo: &Topology,
@@ -55,7 +160,7 @@ impl DegradedReadPlan {
         reader: NodeId,
         selection: SourceSelection,
         rng: &mut SimRng,
-    ) -> DegradedReadPlan {
+    ) -> Result<DegradedReadPlan, DegradedReadError> {
         let k = store.layout().params().k();
         DegradedReadPlan::plan_with_fetch_count(
             store, topo, state, target, reader, selection, rng, k,
@@ -67,10 +172,10 @@ impl DegradedReadPlan {
     /// such as Azure's local reconstruction codes (the paper's footnote
     /// 1), where a single lost block needs only its local group.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Same conditions as [`DegradedReadPlan::plan`], or if
-    /// `fetch_count` is zero or exceeds the survivor count.
+    /// Same conditions as [`DegradedReadPlan::plan`], plus
+    /// [`DegradedReadError::ZeroFetch`] if `fetch_count` is zero.
     #[allow(clippy::too_many_arguments)]
     pub fn plan_with_fetch_count(
         store: &BlockStore,
@@ -81,13 +186,104 @@ impl DegradedReadPlan {
         selection: SourceSelection,
         rng: &mut SimRng,
         fetch_count: usize,
-    ) -> DegradedReadPlan {
+    ) -> Result<DegradedReadPlan, DegradedReadError> {
         let k = fetch_count;
-        assert!(k > 0, "degraded read must fetch at least one block");
-        assert!(
-            !state.is_alive(store.node_of(target)),
-            "degraded read of a live block {target}"
-        );
+        let survivors = Self::checked_survivors(store, state, target, k)?;
+        let sources = match selection {
+            SourceSelection::UniformRandom => rng.choose_k(&survivors, k),
+            SourceSelection::LocalFirst => {
+                let (local, mut same_rack, mut remote) =
+                    Self::partition_by_distance(topo, reader, &survivors);
+                rng.shuffle(&mut same_rack);
+                rng.shuffle(&mut remote);
+                local
+                    .into_iter()
+                    .chain(same_rack)
+                    .chain(remote)
+                    .take(k)
+                    .collect()
+            }
+        };
+        Ok(DegradedReadPlan {
+            target,
+            reader,
+            sources,
+        })
+    }
+
+    /// Plans a redundant degraded read: `need + extra` sources, capped
+    /// at the survivor count, so the reader can decode as soon as any
+    /// `need` of them arrive (MDS-Queue). Quorum-aware under
+    /// [`SourceSelection::LocalFirst`]: within each distance class the
+    /// fastest holders (per `speed`, a per-node service multiplier) are
+    /// preferred, with random tie-breaking so equal-speed holders spread
+    /// load. Under [`SourceSelection::UniformRandom`] all `need + extra`
+    /// sources are drawn uniformly, matching the paper's analysis model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DegradedReadPlan::plan_with_fetch_count`]
+    /// with a fetch count of `need` — the redundant `extra` is
+    /// best-effort and never causes an error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_redundant(
+        store: &BlockStore,
+        topo: &Topology,
+        state: &ClusterState,
+        target: BlockRef,
+        reader: NodeId,
+        selection: SourceSelection,
+        rng: &mut SimRng,
+        need: usize,
+        extra: usize,
+        speed: &[f64],
+    ) -> Result<DegradedReadPlan, DegradedReadError> {
+        let survivors = Self::checked_survivors(store, state, target, need)?;
+        let fetch = (need + extra).min(survivors.len());
+        let sources = match selection {
+            SourceSelection::UniformRandom => rng.choose_k(&survivors, fetch),
+            SourceSelection::LocalFirst => {
+                let (local, mut same_rack, mut remote) =
+                    Self::partition_by_distance(topo, reader, &survivors);
+                // Shuffle first so equal-speed holders tie-break
+                // randomly, then stable-sort fastest-first.
+                let by_speed = |class: &mut Vec<(BlockRef, NodeId)>, rng: &mut SimRng| {
+                    rng.shuffle(class);
+                    class.sort_by(|&(_, a), &(_, b)| {
+                        let (sa, sb) = (speed[a.index()], speed[b.index()]);
+                        sb.total_cmp(&sa)
+                    });
+                };
+                by_speed(&mut same_rack, rng);
+                by_speed(&mut remote, rng);
+                local
+                    .into_iter()
+                    .chain(same_rack)
+                    .chain(remote)
+                    .take(fetch)
+                    .collect()
+            }
+        };
+        Ok(DegradedReadPlan {
+            target,
+            reader,
+            sources,
+        })
+    }
+
+    /// Validates the read and returns the stripe's surviving blocks.
+    fn checked_survivors(
+        store: &BlockStore,
+        state: &ClusterState,
+        target: BlockRef,
+        need: usize,
+    ) -> Result<Vec<(BlockRef, NodeId)>, DegradedReadError> {
+        if need == 0 {
+            return Err(DegradedReadError::ZeroFetch);
+        }
+        if state.is_alive(store.node_of(target)) {
+            return Err(DegradedReadError::LiveTarget { target });
+        }
         let survivors: Vec<(BlockRef, NodeId)> = store
             .survivors_of(target.stripe, state)
             .into_iter()
@@ -101,45 +297,41 @@ impl DegradedReadPlan {
                 )
             })
             .collect();
-        assert!(
-            survivors.len() >= k,
-            "stripe {} has {} survivors, needs {k}",
-            target.stripe,
-            survivors.len()
-        );
-        let sources = match selection {
-            SourceSelection::UniformRandom => rng.choose_k(&survivors, k),
-            SourceSelection::LocalFirst => {
-                let reader_rack = topo.rack_of(reader);
-                // Partition by cost class, randomize within each class,
-                // then take the k cheapest.
-                let mut local: Vec<(BlockRef, NodeId)> = Vec::new();
-                let mut same_rack: Vec<(BlockRef, NodeId)> = Vec::new();
-                let mut remote: Vec<(BlockRef, NodeId)> = Vec::new();
-                for &(block, node) in &survivors {
-                    if node == reader {
-                        local.push((block, node));
-                    } else if topo.rack_of(node) == reader_rack {
-                        same_rack.push((block, node));
-                    } else {
-                        remote.push((block, node));
-                    }
-                }
-                rng.shuffle(&mut same_rack);
-                rng.shuffle(&mut remote);
-                local
-                    .into_iter()
-                    .chain(same_rack)
-                    .chain(remote)
-                    .take(k)
-                    .collect()
-            }
-        };
-        DegradedReadPlan {
-            target,
-            reader,
-            sources,
+        if survivors.len() < need {
+            return Err(DegradedReadError::NotEnoughSurvivors {
+                stripe: target.stripe,
+                survivors: survivors.len(),
+                need,
+            });
         }
+        Ok(survivors)
+    }
+
+    /// Splits survivors into (reader-local, same-rack, remote) classes.
+    #[allow(clippy::type_complexity)]
+    fn partition_by_distance(
+        topo: &Topology,
+        reader: NodeId,
+        survivors: &[(BlockRef, NodeId)],
+    ) -> (
+        Vec<(BlockRef, NodeId)>,
+        Vec<(BlockRef, NodeId)>,
+        Vec<(BlockRef, NodeId)>,
+    ) {
+        let reader_rack = topo.rack_of(reader);
+        let mut local = Vec::new();
+        let mut same_rack = Vec::new();
+        let mut remote = Vec::new();
+        for &(block, node) in survivors {
+            if node == reader {
+                local.push((block, node));
+            } else if topo.rack_of(node) == reader_rack {
+                same_rack.push((block, node));
+            } else {
+                remote.push((block, node));
+            }
+        }
+        (local, same_rack, remote)
     }
 
     /// The sources that require a network transfer (holder ≠ reader).
@@ -206,7 +398,8 @@ mod tests {
                 let reader = topo.node(5);
                 let plan = DegradedReadPlan::plan(
                     &store, &topo, &state, target, reader, selection, &mut rng,
-                );
+                )
+                .unwrap();
                 assert_eq!(plan.sources.len(), 6);
                 let mut blocks: Vec<BlockRef> = plan.sources.iter().map(|&(b, _)| b).collect();
                 blocks.sort();
@@ -238,7 +431,8 @@ mod tests {
             reader,
             SourceSelection::LocalFirst,
             &mut rng,
-        );
+        )
+        .unwrap();
         // The reader's own block must be used (it is free).
         assert!(plan.sources.iter().any(|&(_, node)| node == reader));
         // Network sources exclude the reader.
@@ -261,7 +455,8 @@ mod tests {
             reader,
             SourceSelection::UniformRandom,
             &mut SimRng::seed_from_u64(1),
-        );
+        )
+        .unwrap();
         let b = DegradedReadPlan::plan(
             &store,
             &topo,
@@ -270,7 +465,8 @@ mod tests {
             reader,
             SourceSelection::UniformRandom,
             &mut SimRng::seed_from_u64(2),
-        );
+        )
+        .unwrap();
         // Same seed reproduces, different seeds usually differ.
         let a2 = DegradedReadPlan::plan(
             &store,
@@ -280,13 +476,13 @@ mod tests {
             reader,
             SourceSelection::UniformRandom,
             &mut SimRng::seed_from_u64(1),
-        );
+        )
+        .unwrap();
         assert_eq!(a, a2);
         assert_ne!(a, b, "expected different plans for different seeds");
     }
 
     #[test]
-    #[should_panic(expected = "live block")]
     fn rejects_reading_live_blocks() {
         let (topo, store, state) = setup();
         let mut rng = SimRng::seed_from_u64(0);
@@ -296,7 +492,7 @@ mod tests {
             .native_blocks()
             .find(|&b| state.is_alive(store.node_of(b)))
             .unwrap();
-        let _ = DegradedReadPlan::plan(
+        let err = DegradedReadPlan::plan(
             &store,
             &topo,
             &state,
@@ -304,7 +500,144 @@ mod tests {
             topo.node(5),
             SourceSelection::UniformRandom,
             &mut rng,
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, DegradedReadError::LiveTarget { target: alive });
+    }
+
+    #[test]
+    fn rejects_zero_and_oversized_fetch_counts() {
+        let (topo, store, state) = setup();
+        let mut rng = SimRng::seed_from_u64(0);
+        let target = store.lost_native_blocks(&state)[0];
+        let err = DegradedReadPlan::plan_with_fetch_count(
+            &store,
+            &topo,
+            &state,
+            target,
+            topo.node(5),
+            SourceSelection::UniformRandom,
+            &mut rng,
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, DegradedReadError::ZeroFetch);
+        // One node down: a stripe it held a block of keeps n - 1 = 13
+        // survivors at most; asking for more is a typed error, not a
+        // panic.
+        let err = DegradedReadPlan::plan_with_fetch_count(
+            &store,
+            &topo,
+            &state,
+            target,
+            topo.node(5),
+            SourceSelection::UniformRandom,
+            &mut rng,
+            14,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DegradedReadError::NotEnoughSurvivors { need: 14, .. }
+        ));
+        assert!(err.to_string().contains("survivors"));
+    }
+
+    #[test]
+    fn fetch_policy_tokens_round_trip() {
+        for policy in [
+            FetchPolicy::Exact,
+            FetchPolicy::Redundant { extra: 1 },
+            FetchPolicy::Redundant { extra: 7 },
+        ] {
+            assert_eq!(FetchPolicy::parse(&policy.label()), Ok(policy));
+        }
+        assert_eq!(FetchPolicy::Exact.extra(), 0);
+        assert_eq!(FetchPolicy::Redundant { extra: 3 }.extra(), 3);
+        assert!(FetchPolicy::parse("redundant:0").is_err());
+        assert!(FetchPolicy::parse("redundant:x").is_err());
+        assert!(FetchPolicy::parse("eager").is_err());
+    }
+
+    #[test]
+    fn redundant_plans_add_extra_sources_capped_at_survivors() {
+        let (topo, store, state) = setup();
+        let speed = vec![1.0; topo.num_nodes()];
+        let target = store.lost_native_blocks(&state)[0];
+        let reader = topo.node(5);
+        for selection in [SourceSelection::UniformRandom, SourceSelection::LocalFirst] {
+            let mut rng = SimRng::seed_from_u64(11);
+            let plan = DegradedReadPlan::plan_redundant(
+                &store, &topo, &state, target, reader, selection, &mut rng, 6, 2, &speed,
+            )
+            .unwrap();
+            // The (8, 6) stripe lost one block, so 7 survivors remain:
+            // need 6 + extra 2 caps at 7 sources.
+            assert_eq!(plan.sources.len(), 7);
+            let mut blocks: Vec<BlockRef> = plan.sources.iter().map(|&(b, _)| b).collect();
+            blocks.sort();
+            blocks.dedup();
+            assert_eq!(blocks.len(), 7, "duplicate source blocks");
+            for (block, node) in &plan.sources {
+                assert!(state.is_alive(*node));
+                assert_eq!(store.node_of(*block), *node);
+            }
+            // An absurd extra is capped at the survivor count, not an
+            // error: redundancy is best-effort.
+            let mut rng = SimRng::seed_from_u64(11);
+            let plan = DegradedReadPlan::plan_redundant(
+                &store, &topo, &state, target, reader, selection, &mut rng, 6, 100, &speed,
+            )
+            .unwrap();
+            assert_eq!(
+                plan.sources.len(),
+                store.survivors_of(target.stripe, &state).len()
+            );
+        }
+    }
+
+    #[test]
+    fn redundant_local_first_prefers_fast_holders() {
+        let (topo, store, state) = setup();
+        let target = store.lost_native_blocks(&state)[0];
+        let reader = topo.node(5);
+        // Mark every even node slow; the plan should order each distance
+        // class fast-first.
+        let speed: Vec<f64> = (0..topo.num_nodes())
+            .map(|n| if n % 2 == 0 { 0.25 } else { 1.0 })
+            .collect();
+        let mut rng = SimRng::seed_from_u64(3);
+        let plan = DegradedReadPlan::plan_redundant(
+            &store,
+            &topo,
+            &state,
+            target,
+            reader,
+            SourceSelection::LocalFirst,
+            &mut rng,
+            6,
+            2,
+            &speed,
+        )
+        .unwrap();
+        let rack = topo.rack_of(reader);
+        let same_rack: Vec<f64> = plan
+            .sources
+            .iter()
+            .filter(|&&(_, n)| n != reader && topo.rack_of(n) == rack)
+            .map(|&(_, n)| speed[n.index()])
+            .collect();
+        let remote: Vec<f64> = plan
+            .sources
+            .iter()
+            .filter(|&&(_, n)| n != reader && topo.rack_of(n) != rack)
+            .map(|&(_, n)| speed[n.index()])
+            .collect();
+        for class in [same_rack, remote] {
+            for pair in class.windows(2) {
+                assert!(pair[0] >= pair[1], "class not sorted fastest-first");
+            }
+        }
     }
 
     #[test]
@@ -321,7 +654,8 @@ mod tests {
             reader,
             SourceSelection::UniformRandom,
             &mut rng,
-        );
+        )
+        .unwrap();
         let manual = plan
             .sources
             .iter()
@@ -345,7 +679,8 @@ mod tests {
             reader,
             SourceSelection::LocalFirst,
             &mut rng,
-        );
+        )
+        .unwrap();
         let (local, same_rack, cross_rack) = plan.source_breakdown(&topo);
         assert_eq!(local + same_rack + cross_rack, plan.sources.len());
         assert!(local >= 1, "LocalFirst reader holding a block uses it");

@@ -34,7 +34,7 @@ pub mod layout;
 pub mod placement;
 pub mod store;
 
-pub use degraded::{DegradedReadPlan, SourceSelection};
+pub use degraded::{DegradedReadError, DegradedReadPlan, FetchPolicy, SourceSelection};
 pub use layout::{BlockRef, StripeId, StripeLayout};
 pub use placement::{
     ExplicitPlacement, PlacementError, PlacementPolicy, RackAwarePlacement, RoundRobinPlacement,

@@ -143,7 +143,8 @@ proptest! {
                 let reader = readers[(s.seed as usize) % readers.len()];
                 let plan = DegradedReadPlan::plan(
                     &store, &topo, &state, target, reader, strategy, &mut rng,
-                );
+                )
+                .unwrap();
                 prop_assert_eq!(plan.sources.len(), s.k);
                 let mut blocks: Vec<_> = plan.sources.iter().map(|&(b, _)| b).collect();
                 blocks.sort();

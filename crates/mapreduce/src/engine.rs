@@ -12,11 +12,13 @@
 use std::collections::BTreeMap;
 
 use cluster::{
-    ClusterState, FailureEventKind, FailureScenario, FailureTimeline, NodeId, TimelineEvent,
-    Topology,
+    ClusterState, FailureEventKind, FailureScenario, FailureTimeline, NodeId, NodeSpeeds,
+    SpeedProfile, TimelineEvent, Topology,
 };
 use ecstore::placement::{PlacementError, PlacementPolicy};
-use ecstore::{BlockStore, DegradedReadPlan, SourceSelection, StripeLayout};
+use ecstore::{
+    BlockStore, DegradedReadError, DegradedReadPlan, FetchPolicy, SourceSelection, StripeLayout,
+};
 use erasure::CodeParams;
 use netsim::{FlowId, FlowLogEntry, FlowLogKind, NetConfig, Network};
 use obs::event::{DegradedPhase, LinkSet, SimEvent};
@@ -98,6 +100,14 @@ pub struct EngineConfig {
     /// optimized constructions such as Azure's LRC (paper footnote 1) —
     /// e.g. `Some(6)` for LRC(12,2,2)'s local-group repair.
     pub degraded_fetch_blocks: Option<usize>,
+    /// Whether degraded reads fetch exactly their quorum or issue
+    /// redundant extra fetches and cancel the stragglers once the
+    /// quorum completes (the MDS-Queue redundant-request policy).
+    pub fetch_policy: FetchPolicy,
+    /// Heterogeneous per-node service speeds, sampled once at build on
+    /// a dedicated rng stream. `Homogeneous` (the default) draws
+    /// nothing, so existing seeds stay byte-identical.
+    pub node_speeds: SpeedProfile,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +125,8 @@ impl Default for EngineConfig {
             speculative: false,
             speculative_threshold: 1.5,
             degraded_fetch_blocks: None,
+            fetch_policy: FetchPolicy::Exact,
+            node_speeds: SpeedProfile::Homogeneous,
         }
     }
 }
@@ -152,6 +164,10 @@ impl EngineConfig {
         if self.degraded_fetch_blocks == Some(0) {
             return Err("degraded_fetch_blocks must be at least 1".into());
         }
+        if self.fetch_policy == (FetchPolicy::Redundant { extra: 0 }) {
+            return Err("redundant fetch policy needs extra >= 1 (that is just exact)".into());
+        }
+        self.node_speeds.validate()?;
         Ok(())
     }
 }
@@ -223,6 +239,17 @@ pub enum RunError {
         /// When the fatal failure struck.
         at: SimTime,
     },
+    /// A degraded read could not be planned mid-run: churn left a
+    /// stripe with fewer live survivors than the configured fetch
+    /// count. (Build-time validation bounds the count by `n - 1`, but
+    /// additional mid-run failures can shrink the survivor set below
+    /// that.)
+    DegradedPlan {
+        /// Why planning failed.
+        error: DegradedReadError,
+        /// When the failed plan was attempted.
+        at: SimTime,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -234,6 +261,9 @@ impl std::fmt::Display for RunError {
             RunError::EventBudgetExceeded => write!(f, "event budget exceeded"),
             RunError::DataLoss { stripe, at } => {
                 write!(f, "stripe {stripe} became unrecoverable at {at}")
+            }
+            RunError::DegradedPlan { error, at } => {
+                write!(f, "degraded read planning failed at {at}: {error}")
             }
         }
     }
@@ -263,6 +293,16 @@ pub(crate) enum Event {
     NodeFails(NodeId),
     /// A scheduled mid-run node recovery.
     NodeRecovers(NodeId),
+}
+
+/// What a node failure means for one map attempt: untouched, killable
+/// (on the dead node or short of its fetch quorum), or merely pruned
+/// (a redundant fetch with enough surviving sources to decode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptFate {
+    Unaffected,
+    Prune,
+    Kill,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -455,6 +495,19 @@ impl<'a> EngineBuilder<'a> {
             .validate(&self.topo)
             .map_err(|e| BuildError::Failure(e.to_string()))?;
         let (params, num_native) = self.code.ok_or(BuildError::Missing("code"))?;
+        // A stripe that lost its read target keeps at most n - 1 live
+        // blocks, so any larger fetch count can never be satisfied.
+        if let Some(fetch) = self.config.degraded_fetch_blocks {
+            let ceiling = params.n() - 1;
+            if fetch > ceiling {
+                return Err(BuildError::Config(format!(
+                    "degraded_fetch_blocks {fetch} exceeds the n - 1 = {ceiling} survivor \
+                     ceiling of the ({}, {}) code",
+                    params.n(),
+                    params.k()
+                )));
+            }
+        }
         let policy = self.placement.ok_or(BuildError::Missing("placement"))?;
         if self.jobs.is_empty() {
             return Err(BuildError::NoJobs);
@@ -470,6 +523,13 @@ impl<'a> EngineBuilder<'a> {
         let mut root = SimRng::seed_from_u64(self.seed);
         let mut placement_rng = root.fork(1);
         let rng = root.fork(2);
+        // Speeds get their own stream (fork 3) so enabling a profile
+        // never perturbs placement or the engine's sampling sequence;
+        // `Homogeneous` draws nothing at all.
+        let speeds = self
+            .config
+            .node_speeds
+            .sample(self.topo.num_nodes(), &mut root.fork(3));
         let store = BlockStore::place(&self.topo, layout, policy, &mut placement_rng)
             .map_err(BuildError::Placement)?;
         let mut cstate = ClusterState::from_scenario(&self.topo, &self.failure);
@@ -609,6 +669,7 @@ impl<'a> EngineBuilder<'a> {
             store,
             cstate,
             cfg: self.config,
+            speeds,
             rng,
             net,
             cal: Calendar::new(),
@@ -637,6 +698,8 @@ pub struct Engine {
     pub(crate) store: BlockStore,
     pub(crate) cstate: ClusterState,
     pub(crate) cfg: EngineConfig,
+    /// Per-node cpu/disk multipliers sampled from `cfg.node_speeds`.
+    speeds: NodeSpeeds,
     rng: SimRng,
     net: Network,
     cal: Calendar<Event>,
@@ -918,6 +981,10 @@ impl Engine {
                         }
                     };
                     if ready {
+                        // Quorum reached: any still-in-flight redundant
+                        // fetches are now stragglers — cancel them so
+                        // their bandwidth returns to the fair-share pool.
+                        self.cancel_straggler_fetches(job, task, speculative, rec);
                         if speculative {
                             self.jobs[job.index()].maps[task.0]
                                 .spec
@@ -1297,43 +1364,106 @@ impl Engine {
         let num_maps = self.jobs[job.index()].maps.len();
         for t in 0..num_maps {
             let task = MapTaskId(t);
-            let (primary_hit, spec_hit) = {
+            let (primary_act, spec_act) = {
                 let m = &self.jobs[job.index()].maps[t];
                 if m.done {
-                    (false, false)
+                    (AttemptFate::Unaffected, AttemptFate::Unaffected)
                 } else {
-                    // An attempt on a live node is also doomed if any of
-                    // its input flows originate at the dead node (the
-                    // fetch would never complete).
-                    let from_dead = |flows: &[FlowId]| {
-                        flows.iter().any(|&f| {
-                            self.net
-                                .flow_endpoints(f)
-                                .is_some_and(|(src, _)| src == node.index())
-                        })
+                    // An attempt on a live node is doomed if its input
+                    // flows from the dead node leave it short of the
+                    // completion quorum. A redundant degraded fetch may
+                    // still hold enough live sources to decode — prune
+                    // the dead flows and let it proceed rather than
+                    // cancelling AND requeueing the same task.
+                    let classify = |on_dead: bool, flows: &[FlowId], pending: usize| {
+                        if on_dead {
+                            return AttemptFate::Kill;
+                        }
+                        let mut dead_inflight = false;
+                        let mut live_inflight = 0usize;
+                        for &f in flows {
+                            match self.net.flow_endpoints(f) {
+                                Some((src, _)) if src == node.index() => dead_inflight = true,
+                                Some(_) => live_inflight += 1,
+                                None => {}
+                            }
+                        }
+                        if !dead_inflight {
+                            AttemptFate::Unaffected
+                        } else if pending > 0 && live_inflight >= pending {
+                            AttemptFate::Prune
+                        } else {
+                            AttemptFate::Kill
+                        }
                     };
-                    let primary = m.assigned_to.is_some()
-                        && (m.assigned_to == Some(node) || from_dead(&m.flows));
-                    let spec = m
-                        .spec
-                        .as_ref()
-                        .is_some_and(|a| a.node == node || from_dead(&a.flows));
+                    let primary = if m.assigned_to.is_some() {
+                        classify(m.assigned_to == Some(node), &m.flows, m.pending_flows)
+                    } else {
+                        AttemptFate::Unaffected
+                    };
+                    let spec = match m.spec.as_ref() {
+                        Some(a) => classify(a.node == node, &a.flows, a.pending_flows),
+                        None => AttemptFate::Unaffected,
+                    };
                     (primary, spec)
                 }
             };
-            if primary_hit {
-                self.kill_primary(job, task, node, rec);
+            match primary_act {
+                AttemptFate::Kill => self.kill_primary(job, task, node, rec),
+                AttemptFate::Prune => self.prune_dead_fetches(job, task, false, node),
+                AttemptFate::Unaffected => {}
             }
-            if spec_hit {
-                self.kill_spec(job, task, node, rec);
+            match spec_act {
+                AttemptFate::Kill => self.kill_spec(job, task, node, rec),
+                AttemptFate::Prune => self.prune_dead_fetches(job, task, true, node),
+                AttemptFate::Unaffected => {}
             }
-            if primary_hit || spec_hit {
+            if primary_act == AttemptFate::Kill || spec_act == AttemptFate::Kill {
                 let m = &self.jobs[job.index()].maps[t];
                 if m.assigned_to.is_none() && m.spec.is_none() && !m.done {
                     self.requeue_map(job, task, rec);
                 }
             }
         }
+    }
+
+    /// Drops an attempt's fetch flows that originate at a dead node
+    /// without touching the completion quorum: only call this when
+    /// enough live in-flight sources remain to satisfy `pending_flows`
+    /// (a redundant over-fetch absorbing the failure). The doomed flows
+    /// are cancelled in FlowId order and removed from the attempt's
+    /// bookkeeping so a later straggler sweep does not see them again.
+    fn prune_dead_fetches(&mut self, job: JobId, task: MapTaskId, speculative: bool, dead: NodeId) {
+        let mut doomed: Vec<FlowId> = {
+            let m = &self.jobs[job.index()].maps[task.0];
+            let flows = if speculative {
+                &m.spec.as_ref().expect("speculative attempt exists").flows
+            } else {
+                &m.flows
+            };
+            flows
+                .iter()
+                .copied()
+                .filter(|&f| {
+                    self.net
+                        .flow_endpoints(f)
+                        .is_some_and(|(src, _)| src == dead.index())
+                })
+                .collect()
+        };
+        doomed.sort_unstable();
+        for &flow in &doomed {
+            if self.flow_owner.remove(&flow).is_some() {
+                let _ = self.net.cancel_flow(self.now, flow);
+            }
+        }
+        let m = &mut self.jobs[job.index()].maps[task.0];
+        let flows = if speculative {
+            &mut m.spec.as_mut().expect("speculative attempt exists").flows
+        } else {
+            &mut m.flows
+        };
+        flows.retain(|f| !doomed.contains(f));
     }
 
     fn kill_primary(&mut self, job: JobId, task: MapTaskId, dead: NodeId, rec: &mut Recorder<'_>) {
@@ -1605,7 +1735,7 @@ impl Engine {
                     self.now,
                     holder.index(),
                     slave.index(),
-                    self.cfg.block_bytes,
+                    self.fetch_bytes(holder),
                 );
                 self.flow_owner.insert(
                     flow,
@@ -1615,24 +1745,52 @@ impl Engine {
                         speculative,
                     },
                 );
-                self.set_attempt_pending(job, task, speculative, vec![flow]);
+                self.set_attempt_pending(job, task, speculative, vec![flow], 1);
             }
             MapLocality::Degraded => {
                 let block = self.jobs[job.index()].maps[task.0].block;
-                let fetch = self
+                let need = self
                     .cfg
                     .degraded_fetch_blocks
                     .unwrap_or_else(|| self.store.layout().params().k());
-                let plan = DegradedReadPlan::plan_with_fetch_count(
-                    &self.store,
-                    &self.topo,
-                    &self.cstate,
-                    block,
-                    slave,
-                    self.cfg.source_selection,
-                    &mut self.rng,
-                    fetch,
-                );
+                let plan = match self.cfg.fetch_policy {
+                    FetchPolicy::Exact => DegradedReadPlan::plan_with_fetch_count(
+                        &self.store,
+                        &self.topo,
+                        &self.cstate,
+                        block,
+                        slave,
+                        self.cfg.source_selection,
+                        &mut self.rng,
+                        need,
+                    ),
+                    FetchPolicy::Redundant { extra } => DegradedReadPlan::plan_redundant(
+                        &self.store,
+                        &self.topo,
+                        &self.cstate,
+                        block,
+                        slave,
+                        self.cfg.source_selection,
+                        &mut self.rng,
+                        need,
+                        extra,
+                        &self.speeds.disk,
+                    ),
+                };
+                let plan = match plan {
+                    Ok(plan) => plan,
+                    Err(error) => {
+                        // Build-time validation bounds the fetch count,
+                        // but mid-run churn can still shrink a stripe's
+                        // survivor set below it. Abort cleanly instead
+                        // of panicking.
+                        self.fatal = Some(RunError::DegradedPlan {
+                            error,
+                            at: self.now,
+                        });
+                        return;
+                    }
+                };
                 if rec.is_enabled() {
                     let (local, same_rack, cross_rack) = plan.source_breakdown(&self.topo);
                     rec.emit(self.now, || SimEvent::DegradedPlan {
@@ -1653,7 +1811,7 @@ impl Engine {
                 });
                 let specs: Vec<(usize, usize, u64)> = plan
                     .network_sources()
-                    .map(|(_, holder)| (holder.index(), slave.index(), self.cfg.block_bytes))
+                    .map(|(_, holder)| (holder.index(), slave.index(), self.fetch_bytes(holder)))
                     .collect();
                 let flows = self.net.start_flows(self.now, &specs);
                 for &flow in &flows {
@@ -1666,9 +1824,27 @@ impl Engine {
                         },
                     );
                 }
-                let none_pending = flows.is_empty();
-                self.set_attempt_pending(job, task, speculative, flows);
+                // Decode needs `need` source blocks; local ones count
+                // immediately, so the quorum of *network* completions is
+                // the shortfall. Exact plans fetch precisely the quorum;
+                // redundant plans over-fetch and cancel the stragglers
+                // when the quorum completes.
+                let local = plan.sources.len() - flows.len();
+                let pending = need.saturating_sub(local).min(flows.len());
+                let extra_issued = flows.len() - pending;
+                if extra_issued > 0 {
+                    rec.emit(self.now, || SimEvent::RedundantFetchIssued {
+                        job: job.0,
+                        task: task.0 as u32,
+                        node: slave.0,
+                        speculative,
+                        extra: extra_issued as u32,
+                    });
+                }
+                let none_pending = pending == 0;
+                self.set_attempt_pending(job, task, speculative, flows, pending);
                 if none_pending {
+                    self.cancel_straggler_fetches(job, task, speculative, rec);
                     self.mark_attempt_ready(job, task, speculative);
                     self.schedule_map_processing(job, task, speculative, rec);
                 }
@@ -1677,21 +1853,81 @@ impl Engine {
         self.refresh_net_check();
     }
 
+    /// Registers an attempt's in-flight fetch flows. `pending` is the
+    /// completion quorum: how many of `flows` must finish before the
+    /// input is ready. Redundant degraded fetches set `pending` below
+    /// `flows.len()`; the surplus flows are stragglers cancelled once
+    /// the quorum completes.
     fn set_attempt_pending(
         &mut self,
         job: JobId,
         task: MapTaskId,
         speculative: bool,
         flows: Vec<FlowId>,
+        pending: usize,
     ) {
+        debug_assert!(pending <= flows.len());
         let m = &mut self.jobs[job.index()].maps[task.0];
         if speculative {
             let a = m.spec.as_mut().expect("speculative attempt exists");
-            a.pending_flows = flows.len();
+            a.pending_flows = pending;
             a.flows = flows;
         } else {
-            m.pending_flows = flows.len();
+            m.pending_flows = pending;
             m.flows = flows;
+        }
+    }
+
+    /// Cancels an attempt's surviving in-flight fetch flows after its
+    /// completion quorum was reached. Exact-policy attempts have no
+    /// surviving flows at that point, so this is a no-op for them; for
+    /// redundant degraded fetches it is the "cancel the stragglers"
+    /// half of the fetch-k-of-(k + r) bargain. Cancellation order is
+    /// FlowId-sorted for determinism, and `FetchCancelled` is emitted
+    /// before the flow log records the cancelled flow so downstream
+    /// consumers can attribute the wasted bytes.
+    fn cancel_straggler_fetches(
+        &mut self,
+        job: JobId,
+        task: MapTaskId,
+        speculative: bool,
+        rec: &mut Recorder<'_>,
+    ) {
+        let (node, mut flows) = {
+            let m = &self.jobs[job.index()].maps[task.0];
+            if speculative {
+                let a = m.spec.as_ref().expect("speculative attempt exists");
+                (a.node, a.flows.clone())
+            } else {
+                (m.assigned_to.expect("attempt is assigned"), m.flows.clone())
+            }
+        };
+        flows.sort_unstable();
+        for flow in flows {
+            if self.flow_owner.remove(&flow).is_none() {
+                continue;
+            }
+            // An extra that completed at the same instant as the quorum
+            // flow is still queued in the current drain batch: it already
+            // delivered (and its log entry says so), so there is nothing
+            // to cancel — dropping ownership is enough to make its
+            // surplus completion a no-op. Only a flow the network really
+            // tears down mid-transfer counts as a cancel win.
+            if self.net.cancel_flow(self.now, flow).is_some() {
+                rec.emit(self.now, || SimEvent::FetchCancelled {
+                    job: job.0,
+                    task: task.0 as u32,
+                    node: node.0,
+                    speculative,
+                    flow: flow.as_u64(),
+                });
+            }
+        }
+        let m = &mut self.jobs[job.index()].maps[task.0];
+        if speculative {
+            m.spec.as_mut().expect("speculative attempt exists").flows = Vec::new();
+        } else {
+            m.flows = Vec::new();
         }
     }
 
@@ -1869,8 +2105,22 @@ impl Engine {
         let base = self
             .rng
             .normal_duration(mean, std, self.cfg.task_time_floor);
-        let speed = self.topo.spec(node).speed_factor;
+        let speed = self.topo.spec(node).speed_factor * self.speeds.cpu[node.index()];
         SimDuration::from_secs_f64(base.as_secs_f64() / speed)
+    }
+
+    /// Bytes to request for a block fetch served by `holder`: a slow
+    /// disk (multiplier below 1) stretches the transfer by inflating
+    /// the effective size, which the fluid network model turns into a
+    /// proportionally longer service time. Shuffle flows are not
+    /// scaled — the heterogeneity models block-serving I/O contention.
+    fn fetch_bytes(&self, holder: NodeId) -> u64 {
+        let disk = self.speeds.disk[holder.index()];
+        if disk == 1.0 {
+            self.cfg.block_bytes
+        } else {
+            (self.cfg.block_bytes as f64 / disk).round() as u64
+        }
     }
 
     fn assign_reduces(&mut self, slave: NodeId, rec: &mut Recorder<'_>) {

@@ -169,7 +169,9 @@ pub struct Aggregator {
     // Entity state.
     attempts: BTreeMap<(u32, u32, bool), Attempt>,
     reduces: BTreeMap<(u32, u32), SimTime>,
-    flows: BTreeMap<u64, (LinkSet, f64)>,
+    /// Live flows: traversed links, current rate, and requested bytes
+    /// (the last lets `fetch_cancelled` attribute redundant traffic).
+    flows: BTreeMap<u64, (LinkSet, f64, u64)>,
     link_rate: BTreeMap<u32, f64>,
     // Records.
     finished: Vec<Finished>,
@@ -185,6 +187,10 @@ pub struct Aggregator {
     tasks_queued_degraded: usize,
     speculative_launches: usize,
     cancelled_attempts: usize,
+    redundant_fetches_issued: usize,
+    redundant_extra_flows: usize,
+    fetch_cancel_wins: usize,
+    redundant_cancelled_bytes: u64,
     nodes_failed: usize,
     nodes_recovered: usize,
     maps_relaunched: usize,
@@ -238,6 +244,10 @@ impl Aggregator {
             tasks_queued_degraded: 0,
             speculative_launches: 0,
             cancelled_attempts: 0,
+            redundant_fetches_issued: 0,
+            redundant_extra_flows: 0,
+            fetch_cancel_wins: 0,
+            redundant_cancelled_bytes: 0,
             nodes_failed: 0,
             nodes_recovered: 0,
             maps_relaunched: 0,
@@ -454,6 +464,10 @@ impl Aggregator {
             tasks_queued_degraded: self.tasks_queued_degraded,
             speculative_launches: self.speculative_launches,
             cancelled_attempts: self.cancelled_attempts,
+            redundant_fetches_issued: self.redundant_fetches_issued,
+            redundant_extra_flows: self.redundant_extra_flows,
+            fetch_cancel_wins: self.fetch_cancel_wins,
+            redundant_cancelled_bytes: self.redundant_cancelled_bytes,
             nodes_failed: self.nodes_failed,
             nodes_recovered: self.nodes_recovered,
             maps_relaunched: self.maps_relaunched,
@@ -551,6 +565,10 @@ impl Aggregator {
             tasks_queued_degraded: self.tasks_queued_degraded,
             speculative_launches: self.speculative_launches,
             cancelled_attempts: self.cancelled_attempts,
+            redundant_fetches_issued: self.redundant_fetches_issued,
+            redundant_extra_flows: self.redundant_extra_flows,
+            fetch_cancel_wins: self.fetch_cancel_wins,
+            redundant_cancelled_bytes: self.redundant_cancelled_bytes,
             nodes_failed: self.nodes_failed,
             nodes_recovered: self.nodes_recovered,
             maps_relaunched: self.maps_relaunched,
@@ -743,6 +761,18 @@ impl EventSink for Aggregator {
                 }
             }
             SimEvent::DegradedPlan { .. } => {}
+            SimEvent::RedundantFetchIssued { extra, .. } => {
+                self.redundant_fetches_issued += 1;
+                self.redundant_extra_flows += extra as usize;
+            }
+            SimEvent::FetchCancelled { flow, .. } => {
+                self.fetch_cancel_wins += 1;
+                // The engine emits this before the flow's cancelled
+                // `flow_finished`, so the byte count is still live.
+                if let Some(&(_, _, bytes)) = self.flows.get(&flow) {
+                    self.redundant_cancelled_bytes += bytes;
+                }
+            }
             SimEvent::ReduceLaunched { job, index, .. } => {
                 self.reduces.insert((job, index), at);
             }
@@ -760,11 +790,13 @@ impl EventSink for Aggregator {
                     }
                 }
             }
-            SimEvent::FlowStarted { flow, links, .. } => {
-                self.flows.insert(flow, (links, 0.0));
+            SimEvent::FlowStarted {
+                flow, links, bytes, ..
+            } => {
+                self.flows.insert(flow, (links, 0.0, bytes));
             }
             SimEvent::FlowRate { flow, rate_bps } => {
-                if let Some((links, rate)) = self.flows.get_mut(&flow) {
+                if let Some((links, rate, _)) = self.flows.get_mut(&flow) {
                     let (links, old) = (*links, *rate);
                     *rate = rate_bps;
                     for &link in links.as_slice() {
@@ -774,7 +806,7 @@ impl EventSink for Aggregator {
                 }
             }
             SimEvent::FlowFinished { flow, .. } => {
-                if let Some((links, rate)) = self.flows.remove(&flow) {
+                if let Some((links, rate, _)) = self.flows.remove(&flow) {
                     for &link in links.as_slice() {
                         let sum = self.link_rate.entry(link).or_insert(0.0);
                         *sum = (*sum - rate).max(0.0);
@@ -826,6 +858,17 @@ pub struct AggregateReport {
     pub speculative_launches: usize,
     /// Attempts cancelled after losing to the other attempt.
     pub cancelled_attempts: usize,
+    /// Degraded reads that issued redundant (beyond-k) source fetches.
+    pub redundant_fetches_issued: usize,
+    /// Extra network flows issued beyond the decode quorum, summed over
+    /// all redundant degraded reads.
+    pub redundant_extra_flows: usize,
+    /// In-flight fetch flows cancelled because the decode quorum
+    /// completed first (the redundant policy's "wins").
+    pub fetch_cancel_wins: usize,
+    /// Requested bytes of the cancelled straggler fetches — the traffic
+    /// the redundant policy paid for and then abandoned.
+    pub redundant_cancelled_bytes: u64,
     /// Node failures observed.
     pub nodes_failed: usize,
     /// Node recoveries observed (mid-run churn).
@@ -1220,6 +1263,65 @@ mod tests {
         // Window 0 saw 2 concurrent jobs, window 1 still had 2 at entry
         // (until t=12), window 2-3 had 1.
         assert_eq!(r.jobs_in_flight_window_peak, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn redundant_fetch_counters_attribute_cancelled_bytes() {
+        let mut a = agg();
+        let t = SimTime::from_secs;
+        a.record(t(0), &launch(0, 0, Locality::Degraded));
+        a.record(
+            t(0),
+            &SimEvent::RedundantFetchIssued {
+                job: 0,
+                task: 0,
+                node: 0,
+                speculative: false,
+                extra: 2,
+            },
+        );
+        for flow in [1u64, 2] {
+            a.record(
+                t(0),
+                &SimEvent::FlowStarted {
+                    flow,
+                    src: 1,
+                    dst: 0,
+                    bytes: 1 << 20,
+                    links: LinkSet::from_slice(&[0]),
+                },
+            );
+        }
+        // Quorum reached: flow 2 is cancelled, flow 1 won.
+        a.record(
+            t(4),
+            &SimEvent::FetchCancelled {
+                job: 0,
+                task: 0,
+                node: 0,
+                speculative: false,
+                flow: 2,
+            },
+        );
+        a.record(
+            t(4),
+            &SimEvent::FlowFinished {
+                flow: 2,
+                cancelled: true,
+            },
+        );
+        a.record(
+            t(4),
+            &SimEvent::FlowFinished {
+                flow: 1,
+                cancelled: false,
+            },
+        );
+        let r = a.report();
+        assert_eq!(r.redundant_fetches_issued, 1);
+        assert_eq!(r.redundant_extra_flows, 2);
+        assert_eq!(r.fetch_cancel_wins, 1);
+        assert_eq!(r.redundant_cancelled_bytes, 1 << 20);
     }
 
     #[test]

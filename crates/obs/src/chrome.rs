@@ -79,8 +79,11 @@ pub struct ChromeTraceSink<W: Write> {
     flows: BTreeMap<u64, (String, LinkSet, f64)>,
     /// Current aggregate rate per link.
     link_rate: BTreeMap<u32, f64>,
-    /// Repair task → slice name.
-    repairs: BTreeMap<u32, String>,
+    /// Repair task → `(lane tid, slice name)`; lanes are grouped by the
+    /// replacement node the repair writes to.
+    repairs: BTreeMap<u32, (u32, String)>,
+    /// Repairs currently in flight, for the overlay counter track.
+    active_repairs: u32,
     /// `(pid, tid, label)` lanes seen, for thread-name metadata.
     lanes: BTreeSet<(u32, u32, String)>,
 }
@@ -99,6 +102,7 @@ impl<W: Write> ChromeTraceSink<W> {
             flows: BTreeMap::new(),
             link_rate: BTreeMap::new(),
             repairs: BTreeMap::new(),
+            active_repairs: 0,
             lanes: BTreeSet::new(),
         }
     }
@@ -143,6 +147,17 @@ impl<W: Write> ChromeTraceSink<W> {
         self.push(format!(
             "{{\"ph\":\"C\",\"pid\":{PID_NET},\"tid\":0,\"ts\":{},\"name\":\"{name}\",\
              \"args\":{{\"bps\":{value}}}}}",
+            at.as_micros()
+        ));
+    }
+
+    /// Overlay counter track: repairs currently in flight, rendered in
+    /// the repair process alongside the per-replacement lanes.
+    fn repair_counter(&mut self, at: SimTime) {
+        let value = self.active_repairs;
+        self.push(format!(
+            "{{\"ph\":\"C\",\"pid\":{PID_REPAIR},\"tid\":0,\"ts\":{},\
+             \"name\":\"active repairs\",\"args\":{{\"count\":{value}}}}}",
             at.as_micros()
         ));
     }
@@ -287,6 +302,38 @@ impl<W: Write> EventSink for ChromeTraceSink<W> {
                     ));
                 }
             }
+            SimEvent::RedundantFetchIssued {
+                job,
+                task,
+                speculative,
+                extra,
+                ..
+            } => {
+                if let Some(open) = self.attempts.get(&(job, task, speculative)) {
+                    let tid = open.tid;
+                    self.push(format!(
+                        "{{\"ph\":\"i\",\"pid\":{PID_MAPS},\"tid\":{tid},\"ts\":{},\
+                         \"name\":\"redundant_fetch +{extra}\",\"s\":\"t\"}}",
+                        at.as_micros()
+                    ));
+                }
+            }
+            SimEvent::FetchCancelled {
+                job,
+                task,
+                speculative,
+                flow,
+                ..
+            } => {
+                if let Some(open) = self.attempts.get(&(job, task, speculative)) {
+                    let tid = open.tid;
+                    self.push(format!(
+                        "{{\"ph\":\"i\",\"pid\":{PID_MAPS},\"tid\":{tid},\"ts\":{},\
+                         \"name\":\"fetch_cancelled f{flow}\",\"s\":\"t\"}}",
+                        at.as_micros()
+                    ));
+                }
+            }
             SimEvent::PhaseBegin {
                 job,
                 task,
@@ -382,15 +429,22 @@ impl<W: Write> EventSink for ChromeTraceSink<W> {
                 pos,
                 replacement,
             } => {
+                // One lane per replacement node, so all writes repairing
+                // onto the same node stack up visibly in its row.
+                let tid = replacement + 1; // tid 0 is the counter track
                 self.lanes
-                    .insert((PID_REPAIR, task % 64, "repair workers".to_string()));
+                    .insert((PID_REPAIR, tid, format!("repair > n{replacement}")));
                 let name = format!("s{stripe}.{pos}>n{replacement}");
-                self.duration('B', at, PID_REPAIR, task % 64, &name);
-                self.repairs.insert(task, name);
+                self.duration('B', at, PID_REPAIR, tid, &name);
+                self.repairs.insert(task, (tid, name));
+                self.active_repairs += 1;
+                self.repair_counter(at);
             }
             SimEvent::RepairFinished { task } => {
-                if let Some(name) = self.repairs.remove(&task) {
-                    self.duration('E', at, PID_REPAIR, task % 64, &name);
+                if let Some((tid, name)) = self.repairs.remove(&task) {
+                    self.duration('E', at, PID_REPAIR, tid, &name);
+                    self.active_repairs = self.active_repairs.saturating_sub(1);
+                    self.repair_counter(at);
                 }
             }
         }
@@ -513,6 +567,84 @@ mod tests {
         sink.record(SimTime::from_micros(7), &done(1));
         sink.record(SimTime::from_micros(8), &done(2));
         assert_eq!(sink.map_busy[0], vec![false, false]);
+    }
+
+    #[test]
+    fn repair_lanes_group_by_replacement_node() {
+        let mut sink = ChromeTraceSink::new(Vec::new(), cfg());
+        let t = SimTime::from_micros;
+        // Two repairs onto node 3, one onto node 1: two lanes total.
+        for (task, pos, replacement) in [(0u32, 0u32, 3u32), (1, 1, 3), (2, 2, 1)] {
+            sink.record(
+                t(u64::from(task)),
+                &SimEvent::RepairStarted {
+                    task,
+                    stripe: 0,
+                    pos,
+                    replacement,
+                },
+            );
+        }
+        for task in [0, 1, 2] {
+            sink.record(t(10 + u64::from(task)), &SimEvent::RepairFinished { task });
+        }
+        assert_eq!(sink.active_repairs, 0);
+        let out = String::from_utf8(sink.finish().unwrap()).unwrap();
+        Json::parse(&out).expect("valid JSON");
+        assert!(out.contains("\"name\":\"repair > n3\""));
+        assert!(out.contains("\"name\":\"repair > n1\""));
+        assert!(out.contains("\"name\":\"active repairs\""));
+        assert!(!out.contains("repair workers"));
+    }
+
+    #[test]
+    fn redundant_and_cancelled_fetch_markers_land_on_the_attempt_lane() {
+        let mut sink = ChromeTraceSink::new(Vec::new(), cfg());
+        let t = SimTime::from_micros;
+        sink.record(
+            t(0),
+            &SimEvent::MapLaunched {
+                job: 0,
+                task: 5,
+                node: 2,
+                locality: Locality::Degraded,
+                speculative: false,
+            },
+        );
+        sink.record(
+            t(1),
+            &SimEvent::RedundantFetchIssued {
+                job: 0,
+                task: 5,
+                node: 2,
+                speculative: false,
+                extra: 2,
+            },
+        );
+        sink.record(
+            t(9),
+            &SimEvent::FetchCancelled {
+                job: 0,
+                task: 5,
+                node: 2,
+                speculative: false,
+                flow: 41,
+            },
+        );
+        sink.record(
+            t(12),
+            &SimEvent::MapDone {
+                job: 0,
+                task: 5,
+                node: 2,
+                locality: Locality::Degraded,
+                speculative: false,
+            },
+        );
+        let out = String::from_utf8(sink.finish().unwrap()).unwrap();
+        Json::parse(&out).expect("valid JSON");
+        assert!(out.contains("\"name\":\"redundant_fetch +2\""));
+        assert!(out.contains("\"name\":\"fetch_cancelled f41\""));
     }
 
     #[test]

@@ -205,6 +205,36 @@ pub enum SimEvent {
         /// Sources in other racks.
         cross_rack: u32,
     },
+    /// A redundant degraded read was issued: the attempt requested
+    /// `extra` survivor fetches beyond the count it needs to decode
+    /// (MDS-Queue style), and will cancel the stragglers on quorum.
+    RedundantFetchIssued {
+        /// Owning job.
+        job: u32,
+        /// Map task index within the job.
+        task: u32,
+        /// Reading (executing) node.
+        node: u32,
+        /// True if the attempt is speculative.
+        speculative: bool,
+        /// Redundant fetches actually issued beyond the needed count.
+        extra: u32,
+    },
+    /// An in-flight redundant fetch was cancelled — either because the
+    /// decode quorum completed without it, or because its source node
+    /// failed while enough other sources survived.
+    FetchCancelled {
+        /// Owning job.
+        job: u32,
+        /// Map task index within the job.
+        task: u32,
+        /// Reading (executing) node.
+        node: u32,
+        /// True if the attempt is speculative.
+        speculative: bool,
+        /// The cancelled flow.
+        flow: u64,
+    },
     /// A degraded-read phase began on the attempt's lane.
     PhaseBegin {
         /// Owning job.
@@ -326,6 +356,8 @@ impl SimEvent {
             SimEvent::MapDone { .. } => "map_done",
             SimEvent::MapCancelled { .. } => "map_cancelled",
             SimEvent::DegradedPlan { .. } => "degraded_plan",
+            SimEvent::RedundantFetchIssued { .. } => "redundant_fetch_issued",
+            SimEvent::FetchCancelled { .. } => "fetch_cancelled",
             SimEvent::PhaseBegin { .. } => "phase_begin",
             SimEvent::PhaseEnd { .. } => "phase_end",
             SimEvent::ReduceLaunched { .. } => "reduce_launched",
@@ -364,6 +396,18 @@ impl SimEvent {
                 ..
             }
             | SimEvent::MapCancelled {
+                job,
+                task,
+                speculative,
+                ..
+            }
+            | SimEvent::RedundantFetchIssued {
+                job,
+                task,
+                speculative,
+                ..
+            }
+            | SimEvent::FetchCancelled {
                 job,
                 task,
                 speculative,

@@ -81,6 +81,32 @@ pub fn event_to_json(at: SimTime, event: &SimEvent) -> String {
             o.num("same_rack", same_rack);
             o.num("cross_rack", cross_rack);
         }
+        SimEvent::RedundantFetchIssued {
+            job,
+            task,
+            node,
+            speculative,
+            extra,
+        } => {
+            o.num("job", job);
+            o.num("task", task);
+            o.num("node", node);
+            o.bool("speculative", speculative);
+            o.num("extra", extra);
+        }
+        SimEvent::FetchCancelled {
+            job,
+            task,
+            node,
+            speculative,
+            flow,
+        } => {
+            o.num("job", job);
+            o.num("task", task);
+            o.num("node", node);
+            o.bool("speculative", speculative);
+            o.num("flow", flow);
+        }
         SimEvent::PhaseBegin {
             job,
             task,
@@ -265,6 +291,20 @@ pub fn parse_line(line: &str) -> Result<(SimTime, SimEvent), String> {
             local: int32("local")?,
             same_rack: int32("same_rack")?,
             cross_rack: int32("cross_rack")?,
+        },
+        "redundant_fetch_issued" => SimEvent::RedundantFetchIssued {
+            job: int32("job")?,
+            task: int32("task")?,
+            node: int32("node")?,
+            speculative: boolean("speculative")?,
+            extra: int32("extra")?,
+        },
+        "fetch_cancelled" => SimEvent::FetchCancelled {
+            job: int32("job")?,
+            task: int32("task")?,
+            node: int32("node")?,
+            speculative: boolean("speculative")?,
+            flow: int("flow")?,
         },
         kind @ ("phase_begin" | "phase_end") => {
             let (job, task, node) = (int32("job")?, int32("task")?, int32("node")?);
@@ -581,6 +621,20 @@ mod tests {
                 local: 1,
                 same_rack: 2,
                 cross_rack: 3,
+            },
+            SimEvent::RedundantFetchIssued {
+                job: 3,
+                task: 17,
+                node: 11,
+                speculative: false,
+                extra: 2,
+            },
+            SimEvent::FetchCancelled {
+                job: 3,
+                task: 17,
+                node: 11,
+                speculative: false,
+                flow: 902,
             },
             SimEvent::PhaseBegin {
                 job: 3,

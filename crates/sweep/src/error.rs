@@ -73,6 +73,13 @@ pub enum SweepError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A fetch-policy or speed-profile axis value is invalid.
+    BadAxisValue {
+        /// Which axis ("fetch", "speeds").
+        axis: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
     /// A directly-requested shard run (e.g. a trace diff) failed.
     ShardRun {
         /// Human-readable reason.
@@ -133,6 +140,9 @@ impl fmt::Display for SweepError {
             }
             SweepError::BadWorkload { reason } => {
                 write!(f, "invalid workload axis: {reason}")
+            }
+            SweepError::BadAxisValue { axis, reason } => {
+                write!(f, "invalid {axis} axis value: {reason}")
             }
             SweepError::ShardRun { reason } => {
                 write!(f, "shard run failed: {reason}")
@@ -206,6 +216,13 @@ mod tests {
                     reason: "zero jobs".into(),
                 },
                 "zero jobs",
+            ),
+            (
+                SweepError::BadAxisValue {
+                    axis: "fetch",
+                    reason: "extra must be >= 1".into(),
+                },
+                "fetch",
             ),
             (
                 SweepError::ShardRun {

@@ -32,6 +32,8 @@
 //!
 //! ```
 //! use sweep::{run_sweep, FailureAxis, SweepBase, SweepSpec, WorkloadAxis};
+//! use dfs::cluster::SpeedProfile;
+//! use dfs::ecstore::FetchPolicy;
 //! use dfs::Policy;
 //!
 //! let spec = SweepSpec {
@@ -40,6 +42,8 @@
 //!     codes: vec![(8, 6)],
 //!     failures: vec![FailureAxis::SingleNode],
 //!     workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+//!     fetch_policies: vec![FetchPolicy::Exact],
+//!     speeds: vec![SpeedProfile::Homogeneous],
 //!     seeds: vec![1],
 //! };
 //! let report = run_sweep(&spec, 2).unwrap();

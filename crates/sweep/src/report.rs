@@ -30,6 +30,10 @@ pub struct ShardRow {
     pub failure: String,
     /// Workload-axis label.
     pub workload: String,
+    /// Fetch-policy label ("exact", "redundant:2").
+    pub fetch: String,
+    /// Speed-profile label ("homogeneous", "stragglers:2,0.25").
+    pub speeds: String,
     /// Seed coordinate.
     pub seed: u64,
     /// Metrics, or the shard's failure reason.
@@ -45,6 +49,10 @@ pub struct ScenarioRow {
     pub failure: String,
     /// Workload-axis label.
     pub workload: String,
+    /// Fetch-policy label.
+    pub fetch: String,
+    /// Speed-profile label.
+    pub speeds: String,
     /// Seed coordinate.
     pub seed: u64,
     /// Makespan per policy, in policy-axis order; `None` for failed
@@ -85,8 +93,16 @@ pub struct SweepReport {
     /// Per-scenario rows in scenario-grid order.
     pub scenarios: Vec<ScenarioRow>,
     /// Axis rollups: code values, then failure values, then workload
-    /// values; policies in axis order within each value.
+    /// values (then fetch and speed values when those axes are active);
+    /// policies in axis order within each value.
     pub rollups: Vec<RollupRow>,
+    /// Whether the fetch-policy axis is rendered. False when the spec
+    /// holds only the default `exact` value, keeping pre-axis report
+    /// bytes (and goldens) unchanged.
+    pub show_fetch: bool,
+    /// Whether the speed-profile axis is rendered; false for a sole
+    /// `homogeneous` value.
+    pub show_speeds: bool,
 }
 
 impl SweepReport {
@@ -99,6 +115,16 @@ impl SweepReport {
         let policies: Vec<String> = spec.policies.iter().map(policy_label).collect();
         let baseline_idx = policies.iter().position(|p| p == "LF").unwrap_or(0);
         let scenario_count = shards.len() / policies.len().max(1);
+        let show_fetch = spec.fetch_policies.len() > 1
+            || spec
+                .fetch_policies
+                .first()
+                .is_some_and(|f| *f != dfs::ecstore::FetchPolicy::Exact);
+        let show_speeds = spec.speeds.len() > 1
+            || spec
+                .speeds
+                .first()
+                .is_some_and(|s| *s != dfs::cluster::SpeedProfile::Homogeneous);
 
         let rows: Vec<ShardRow> = shards
             .iter()
@@ -108,6 +134,8 @@ impl SweepReport {
                 code: shard.code,
                 failure: shard.failure.label(),
                 workload: shard.workload.label(),
+                fetch: shard.fetch.label(),
+                speeds: shard.speeds.label(),
                 seed: shard.seed,
                 metrics: outcome,
             })
@@ -122,6 +150,8 @@ impl SweepReport {
                     code: template.code,
                     failure: template.failure.clone(),
                     workload: template.workload.clone(),
+                    fetch: template.fetch.clone(),
+                    speeds: template.speeds.clone(),
                     seed: template.seed,
                     makespan_secs: (0..policies.len())
                         .map(|p| {
@@ -144,14 +174,22 @@ impl SweepReport {
             .collect();
         let failure_values: Vec<String> = spec.failures.iter().map(|f| f.label()).collect();
         let workload_values: Vec<String> = spec.workloads.iter().map(|w| w.label()).collect();
+        let fetch_values: Vec<String> = spec.fetch_policies.iter().map(|f| f.label()).collect();
+        let speed_values: Vec<String> = spec.speeds.iter().map(|s| s.label()).collect();
         type AxisProjection = fn(&ScenarioRow) -> String;
-        let axes: [(&'static str, &[String], AxisProjection); 3] = [
+        let mut axes: Vec<(&'static str, &[String], AxisProjection)> = vec![
             ("code", &code_values, |s| {
                 format!("{},{}", s.code.0, s.code.1)
             }),
             ("failure", &failure_values, |s| s.failure.clone()),
             ("workload", &workload_values, |s| s.workload.clone()),
         ];
+        if show_fetch {
+            axes.push(("fetch", &fetch_values, |s| s.fetch.clone()));
+        }
+        if show_speeds {
+            axes.push(("speeds", &speed_values, |s| s.speeds.clone()));
+        }
         for (axis, values, project) in axes {
             for value in values {
                 for (p, policy) in policies.iter().enumerate() {
@@ -202,12 +240,33 @@ impl SweepReport {
             shards: rows,
             scenarios,
             rollups,
+            show_fetch,
+            show_speeds,
         }
     }
 
     /// The number of shards that completed.
     pub fn shards_ok(&self) -> usize {
         self.shards.iter().filter(|s| s.metrics.is_ok()).count()
+    }
+
+    /// The `, "fetch": "..."` JSON fragment, empty when the fetch axis
+    /// is inactive (so default grids keep their golden bytes).
+    fn fetch_field(&self, label: &str) -> String {
+        if self.show_fetch {
+            format!(", \"fetch\": \"{}\"", esc(label))
+        } else {
+            String::new()
+        }
+    }
+
+    /// The `, "speeds": "..."` JSON fragment, empty when inactive.
+    fn speeds_field(&self, label: &str) -> String {
+        if self.show_speeds {
+            format!(", \"speeds\": \"{}\"", esc(label))
+        } else {
+            String::new()
+        }
     }
 
     /// Renders the report as a single JSON document with a fixed field
@@ -232,12 +291,14 @@ impl SweepReport {
         for (i, s) in self.shards.iter().enumerate() {
             out.push_str("    {");
             out.push_str(&format!(
-                "\"policy\": \"{}\", \"code\": \"{},{}\", \"failure\": \"{}\", \"workload\": \"{}\", \"seed\": {}",
+                "\"policy\": \"{}\", \"code\": \"{},{}\", \"failure\": \"{}\", \"workload\": \"{}\"{}{}, \"seed\": {}",
                 esc(&s.policy),
                 s.code.0,
                 s.code.1,
                 esc(&s.failure),
                 esc(&s.workload),
+                self.fetch_field(&s.fetch),
+                self.speeds_field(&s.speeds),
                 s.seed
             ));
             match &s.metrics {
@@ -274,11 +335,13 @@ impl SweepReport {
         for (i, s) in self.scenarios.iter().enumerate() {
             out.push_str("    {");
             out.push_str(&format!(
-                "\"code\": \"{},{}\", \"failure\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"makespan_secs\": {{",
+                "\"code\": \"{},{}\", \"failure\": \"{}\", \"workload\": \"{}\"{}{}, \"seed\": {}, \"makespan_secs\": {{",
                 s.code.0,
                 s.code.1,
                 esc(&s.failure),
                 esc(&s.workload),
+                self.fetch_field(&s.fetch),
+                self.speeds_field(&s.speeds),
                 s.seed
             ));
             for (p, policy) in self.policies.iter().enumerate() {
@@ -354,11 +417,14 @@ impl SweepReport {
         ));
 
         out.push_str("## Shards\n\n");
-        let mut table = Table::new(&[
-            "policy",
-            "code",
-            "failure",
-            "workload",
+        let mut headers: Vec<&str> = vec!["policy", "code", "failure", "workload"];
+        if self.show_fetch {
+            headers.push("fetch");
+        }
+        if self.show_speeds {
+            headers.push("speeds");
+        }
+        headers.extend([
             "seed",
             "status",
             "makespan_s",
@@ -367,44 +433,55 @@ impl SweepReport {
             "job_p95_s",
             "job_p99_s",
         ]);
+        let mut table = Table::new(&headers);
         for s in &self.shards {
-            let row = match &s.metrics {
-                Ok(m) => vec![
-                    s.policy.clone(),
-                    format!("{},{}", s.code.0, s.code.1),
-                    s.failure.clone(),
-                    s.workload.clone(),
-                    s.seed.to_string(),
+            let mut row = vec![
+                s.policy.clone(),
+                format!("{},{}", s.code.0, s.code.1),
+                s.failure.clone(),
+                s.workload.clone(),
+            ];
+            if self.show_fetch {
+                row.push(s.fetch.clone());
+            }
+            if self.show_speeds {
+                row.push(s.speeds.clone());
+            }
+            row.push(s.seed.to_string());
+            match &s.metrics {
+                Ok(m) => row.extend([
                     "ok".to_string(),
                     format!("{:.3}", m.makespan_secs),
                     m.maps_degraded.to_string(),
                     opt3(m.job_p50_secs),
                     opt3(m.job_p95_secs),
                     opt3(m.job_p99_secs),
-                ],
-                Err(e) => vec![
-                    s.policy.clone(),
-                    format!("{},{}", s.code.0, s.code.1),
-                    s.failure.clone(),
-                    s.workload.clone(),
-                    s.seed.to_string(),
+                ]),
+                Err(e) => row.extend([
                     format!("error: {e}"),
                     "-".to_string(),
                     "-".to_string(),
                     "-".to_string(),
                     "-".to_string(),
                     "-".to_string(),
-                ],
-            };
+                ]),
+            }
             table.row(&row);
         }
         out.push_str(&table.render());
 
         out.push_str("\n## Scenarios\n\n");
-        let mut headers: Vec<String> = ["code", "failure", "workload", "seed"]
+        let mut headers: Vec<String> = ["code", "failure", "workload"]
             .iter()
             .map(|s| s.to_string())
             .collect();
+        if self.show_fetch {
+            headers.push("fetch".to_string());
+        }
+        if self.show_speeds {
+            headers.push("speeds".to_string());
+        }
+        headers.push("seed".to_string());
         for p in &self.policies {
             headers.push(format!("{p} makespan_s"));
         }
@@ -425,8 +502,14 @@ impl SweepReport {
                 format!("{},{}", s.code.0, s.code.1),
                 s.failure.clone(),
                 s.workload.clone(),
-                s.seed.to_string(),
             ];
+            if self.show_fetch {
+                row.push(s.fetch.clone());
+            }
+            if self.show_speeds {
+                row.push(s.speeds.clone());
+            }
+            row.push(s.seed.to_string());
             for p in 0..self.policies.len() {
                 row.push(opt3(s.makespan_secs[p]));
             }
@@ -512,6 +595,8 @@ fn esc(s: &str) -> String {
 mod tests {
     use super::*;
     use crate::spec::{FailureAxis, SweepBase, WorkloadAxis};
+    use dfs::cluster::SpeedProfile;
+    use dfs::ecstore::FetchPolicy;
     use dfs::Policy;
 
     fn fake_metrics(stream_seed: u64, makespan: f64) -> ShardMetrics {
@@ -535,6 +620,8 @@ mod tests {
             codes: vec![(8, 6)],
             failures: vec![FailureAxis::SingleNode],
             workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+            fetch_policies: vec![FetchPolicy::Exact],
+            speeds: vec![SpeedProfile::Homogeneous],
             seeds: vec![1, 2],
         }
     }

@@ -73,6 +73,9 @@ fn shard_experiment(base: &SweepBase, shard: &Shard) -> Result<(Experiment, u64)
                 .into_jobs()
         }
     };
+    let mut config = base.engine_config();
+    config.fetch_policy = shard.fetch;
+    config.node_speeds = shard.speeds;
     let exp = Experiment {
         topo,
         code,
@@ -80,7 +83,7 @@ fn shard_experiment(base: &SweepBase, shard: &Shard) -> Result<(Experiment, u64)
         placement: PlacementKind::RackAware,
         failure,
         timeline,
-        config: base.engine_config(),
+        config,
         jobs,
     };
     Ok((exp, stream_seed))
@@ -211,6 +214,8 @@ fn run_shards(
 mod tests {
     use super::*;
     use crate::spec::{Shard, SweepBase};
+    use dfs::cluster::SpeedProfile;
+    use dfs::ecstore::FetchPolicy;
     use dfs::Policy;
 
     fn tiny_spec() -> SweepSpec {
@@ -220,6 +225,8 @@ mod tests {
             codes: vec![(8, 6)],
             failures: vec![FailureAxis::SingleNode],
             workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+            fetch_policies: vec![FetchPolicy::Exact],
+            speeds: vec![SpeedProfile::Homogeneous],
             seeds: vec![1],
         }
     }
@@ -262,6 +269,8 @@ mod tests {
             code: (4, 3),
             failure: FailureAxis::Rack,
             workload: WorkloadAxis::MapOnly { map_secs: 10.0 },
+            fetch: FetchPolicy::Exact,
+            speeds: SpeedProfile::Homogeneous,
             seed: 1,
         };
         let outcomes = run_shards(&base, std::slice::from_ref(&shard), 2);

@@ -1,23 +1,28 @@
 //! Grid specification: axes, canonical labels, shard expansion and the
 //! JSONL spec format.
 //!
-//! A [`SweepSpec`] is the cartesian product of five axes — policy, code,
-//! failure, workload, seed — over one [`SweepBase`] cluster shape.
-//! [`SweepSpec::shards`] validates the spec and expands it into the
-//! canonical grid order (policy → code → failure → workload → seed).
+//! A [`SweepSpec`] is the cartesian product of seven axes — policy,
+//! code, failure, workload, fetch policy, speed profile, seed — over one
+//! [`SweepBase`] cluster shape. [`SweepSpec::shards`] validates the spec
+//! and expands it into the canonical grid order (policy → code →
+//! failure → workload → fetch → speeds → seed).
 //!
 //! # Shard stream seeding
 //!
 //! Each shard's RNG stream seed is the FNV-1a hash of its *scenario
 //! key*: the canonical labels of the base, code, failure, workload and
-//! seed coordinates. The policy is deliberately **excluded** — the paper
-//! compares LF/BDF/EDF under identical failure scenarios, so shards that
-//! differ only in policy must resolve the same random failure and the
-//! same Poisson arrivals. Because the key is built from coordinate
+//! seed coordinates. The policy and the fetch policy are deliberately
+//! **excluded** — the paper compares LF/BDF/EDF under identical failure
+//! scenarios, and exact-vs-redundant fetches are compared the same way,
+//! so shards that differ only in those axes must resolve the same random
+//! failure and the same Poisson arrivals. The speed profile joins the
+//! key only when it is not `homogeneous`, so pre-existing grids keep
+//! their golden stream seeds. Because the key is built from coordinate
 //! *values*, the stream is independent of where a value sits in its
 //! axis list and of grid enumeration order.
 
-use dfs::cluster::{Topology, WeibullChurn};
+use dfs::cluster::{SpeedProfile, Topology, WeibullChurn};
+use dfs::ecstore::FetchPolicy;
 use dfs::erasure::CodeParams;
 use dfs::mapreduce::engine::EngineConfig;
 use dfs::netsim::NetConfig;
@@ -454,6 +459,14 @@ pub struct SweepSpec {
     pub failures: Vec<FailureAxis>,
     /// Workload axis.
     pub workloads: Vec<WorkloadAxis>,
+    /// Degraded-read fetch-policy axis (`exact` fetches precisely k
+    /// blocks; `redundant:R` over-fetches R extras and cancels the
+    /// stragglers). Excluded from scenario keys so exact and redundant
+    /// shards replay identical realizations.
+    pub fetch_policies: Vec<FetchPolicy>,
+    /// Heterogeneous service-time axis. `homogeneous` leaves scenario
+    /// keys untouched; any other profile joins the key.
+    pub speeds: Vec<SpeedProfile>,
     /// Seed axis.
     pub seeds: Vec<u64>,
 }
@@ -471,15 +484,22 @@ pub struct Shard {
     pub failure: FailureAxis,
     /// Workload coordinate.
     pub workload: WorkloadAxis,
+    /// Fetch-policy coordinate.
+    pub fetch: FetchPolicy,
+    /// Speed-profile coordinate.
+    pub speeds: SpeedProfile,
     /// Seed coordinate.
     pub seed: u64,
 }
 
 impl Shard {
     /// The canonical scenario key — every coordinate **except the
-    /// policy**, so LF/BDF/EDF shards of one scenario share a stream.
+    /// policy and the fetch policy**, so LF/BDF/EDF shards (and
+    /// exact-vs-redundant shards) of one scenario share a stream. The
+    /// speed profile joins the key only when non-homogeneous, keeping
+    /// golden stream seeds of pre-existing grids intact.
     pub fn scenario_key(&self, base: &SweepBase) -> String {
-        format!(
+        let mut key = format!(
             "{}|code={},{}|failure={}|workload={}|seed={}",
             base.label(),
             self.code.0,
@@ -487,7 +507,11 @@ impl Shard {
             self.failure.label(),
             self.workload.label(),
             self.seed
-        )
+        );
+        if self.speeds != SpeedProfile::Homogeneous {
+            key.push_str(&format!("|speeds={}", self.speeds.label()));
+        }
+        key
     }
 
     /// The RNG stream seed: FNV-1a of the scenario key.
@@ -532,8 +556,32 @@ impl SweepSpec {
         if self.workloads.is_empty() {
             return Err(SweepError::EmptyAxis { axis: "workloads" });
         }
+        if self.fetch_policies.is_empty() {
+            return Err(SweepError::EmptyAxis {
+                axis: "fetch_policies",
+            });
+        }
+        if self.speeds.is_empty() {
+            return Err(SweepError::EmptyAxis { axis: "speeds" });
+        }
         if self.seeds.is_empty() {
             return Err(SweepError::EmptyAxis { axis: "seeds" });
+        }
+        for fetch in &self.fetch_policies {
+            if let FetchPolicy::Redundant { extra: 0 } = fetch {
+                return Err(SweepError::BadAxisValue {
+                    axis: "fetch",
+                    reason: "redundant fetch needs extra >= 1 (that is just exact)".to_string(),
+                });
+            }
+        }
+        for speeds in &self.speeds {
+            speeds
+                .validate()
+                .map_err(|reason| SweepError::BadAxisValue {
+                    axis: "speeds",
+                    reason,
+                })?;
         }
         for &(n, k) in &self.codes {
             CodeParams::new(n, k).map_err(|e| SweepError::BadCode {
@@ -578,6 +626,22 @@ impl SweepSpec {
                 .collect::<Vec<_>>(),
         )?;
         check_unique(
+            "fetch_policies",
+            &self
+                .fetch_policies
+                .iter()
+                .map(FetchPolicy::label)
+                .collect::<Vec<_>>(),
+        )?;
+        check_unique(
+            "speeds",
+            &self
+                .speeds
+                .iter()
+                .map(SpeedProfile::label)
+                .collect::<Vec<_>>(),
+        )?;
+        check_unique(
             "seeds",
             &self.seeds.iter().map(u64::to_string).collect::<Vec<_>>(),
         )?;
@@ -587,6 +651,8 @@ impl SweepSpec {
             .saturating_mul(self.codes.len())
             .saturating_mul(self.failures.len())
             .saturating_mul(self.workloads.len())
+            .saturating_mul(self.fetch_policies.len())
+            .saturating_mul(self.speeds.len())
             .saturating_mul(self.seeds.len());
         if shards > Self::MAX_SHARDS {
             return Err(SweepError::TooManyShards {
@@ -598,7 +664,9 @@ impl SweepSpec {
     }
 
     /// Validates and expands the grid in canonical order:
-    /// policy → code → failure → workload → seed.
+    /// policy → code → failure → workload → fetch → speeds → seed.
+    /// Policy stays outermost — the report's scenario grouping depends
+    /// on it.
     ///
     /// # Errors
     ///
@@ -610,21 +678,29 @@ impl SweepSpec {
                 * self.codes.len()
                 * self.failures.len()
                 * self.workloads.len()
+                * self.fetch_policies.len()
+                * self.speeds.len()
                 * self.seeds.len(),
         );
         for policy in &self.policies {
             for &code in &self.codes {
                 for failure in &self.failures {
                     for workload in &self.workloads {
-                        for &seed in &self.seeds {
-                            out.push(Shard {
-                                index: out.len(),
-                                policy: *policy,
-                                code,
-                                failure: failure.clone(),
-                                workload: workload.clone(),
-                                seed,
-                            });
+                        for &fetch in &self.fetch_policies {
+                            for &speeds in &self.speeds {
+                                for &seed in &self.seeds {
+                                    out.push(Shard {
+                                        index: out.len(),
+                                        policy: *policy,
+                                        code,
+                                        failure: failure.clone(),
+                                        workload: workload.clone(),
+                                        fetch,
+                                        speeds,
+                                        seed,
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -672,9 +748,14 @@ fn base_field_usize(
 /// * `{"axis": "policy", "value": "lf"}` — appends an axis value; the
 ///   value strings use the same tokens as the CLI flags
 ///   (`lf|bdf|edf|...`, `N,K`, `none|node|double|rack|weibull[:...]`,
-///   `default|maponly:SECS|poisson:JOBSxMEAN`);
+///   `default|maponly:SECS|poisson:JOBSxMEAN`,
+///   `exact|redundant:R`, `homogeneous|slowdisk:F,F|stragglers:C,F|hot:C,F`);
 /// * `{"axis": "seed", "value": 7}` — appends one seed;
 /// * `{"axis": "seeds", "count": 3}` — appends seeds `1..=3`.
+///
+/// The `fetch` and `speed` axes default to `exact` / `homogeneous` when
+/// a spec never mentions them, so pre-existing spec files expand to the
+/// same grids as before.
 ///
 /// # Errors
 ///
@@ -688,6 +769,8 @@ pub fn parse_spec_jsonl(text: &str) -> Result<SweepSpec, SweepError> {
         codes: Vec::new(),
         failures: Vec::new(),
         workloads: Vec::new(),
+        fetch_policies: Vec::new(),
+        speeds: Vec::new(),
         seeds: Vec::new(),
     };
     let mut saw_base = false;
@@ -758,7 +841,7 @@ pub fn parse_spec_jsonl(text: &str) -> Result<SweepSpec, SweepError> {
             ));
         };
         match axis {
-            "policy" | "code" | "failure" | "workload" => {
+            "policy" | "code" | "failure" | "workload" | "fetch" | "speed" => {
                 let Some(value) = doc.get("value").and_then(Json::as_str) else {
                     return Err(spec_err(
                         line,
@@ -775,6 +858,12 @@ pub fn parse_spec_jsonl(text: &str) -> Result<SweepSpec, SweepError> {
                     "failure" => spec
                         .failures
                         .push(FailureAxis::parse(value).map_err(|e| spec_err(line, e))?),
+                    "fetch" => spec
+                        .fetch_policies
+                        .push(FetchPolicy::parse(value).map_err(|e| spec_err(line, e))?),
+                    "speed" => spec
+                        .speeds
+                        .push(SpeedProfile::parse(value).map_err(|e| spec_err(line, e))?),
                     _ => spec
                         .workloads
                         .push(WorkloadAxis::parse(value).map_err(|e| spec_err(line, e))?),
@@ -811,11 +900,18 @@ pub fn parse_spec_jsonl(text: &str) -> Result<SweepSpec, SweepError> {
                 return Err(spec_err(
                     line,
                     format!(
-                        "unknown axis `{other}` (expected policy|code|failure|workload|seed|seeds)"
+                        "unknown axis `{other}` \
+                         (expected policy|code|failure|workload|fetch|speed|seed|seeds)"
                     ),
                 ));
             }
         }
+    }
+    if spec.fetch_policies.is_empty() {
+        spec.fetch_policies.push(FetchPolicy::Exact);
+    }
+    if spec.speeds.is_empty() {
+        spec.speeds.push(SpeedProfile::Homogeneous);
     }
     Ok(spec)
 }
@@ -853,6 +949,8 @@ mod tests {
             codes: vec![(8, 6), (12, 9)],
             failures: vec![FailureAxis::SingleNode],
             workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+            fetch_policies: vec![FetchPolicy::Exact],
+            speeds: vec![SpeedProfile::Homogeneous],
             seeds: vec![1, 2],
         }
     }
@@ -882,6 +980,69 @@ mod tests {
         assert_eq!(shards[0].stream_seed(&base), shards[4].stream_seed(&base));
         // Different seed, different stream.
         assert_ne!(shards[0].stream_seed(&base), shards[1].stream_seed(&base));
+    }
+
+    #[test]
+    fn stream_seed_ignores_fetch_policy_but_not_speeds() {
+        let base = SweepBase::fig7_small();
+        let mut spec = two_by_two();
+        spec.fetch_policies = vec![FetchPolicy::Exact, FetchPolicy::Redundant { extra: 2 }];
+        let shards = spec.shards().expect("valid spec");
+        // Adjacent shards differ only in fetch policy (fetch is between
+        // workload and seed in grid order, with two seeds innermost).
+        assert_eq!(shards[0].fetch, FetchPolicy::Exact);
+        assert_eq!(shards[2].fetch, FetchPolicy::Redundant { extra: 2 });
+        assert_eq!(shards[0].seed, shards[2].seed);
+        assert_eq!(shards[0].stream_seed(&base), shards[2].stream_seed(&base));
+        // The homogeneous profile leaves the key byte-identical to the
+        // pre-axis format...
+        assert!(!shards[0].scenario_key(&base).contains("speeds="));
+        // ...while a real profile changes the stream.
+        let mut slow = shards[0].clone();
+        slow.speeds = SpeedProfile::Stragglers {
+            count: 2,
+            factor: 0.25,
+        };
+        assert!(slow
+            .scenario_key(&base)
+            .contains("speeds=stragglers:2,0.25"));
+        assert_ne!(slow.stream_seed(&base), shards[0].stream_seed(&base));
+    }
+
+    #[test]
+    fn fetch_and_speed_axes_are_validated() {
+        let mut spec = two_by_two();
+        spec.fetch_policies = vec![FetchPolicy::Redundant { extra: 0 }];
+        assert!(matches!(
+            spec.validate(),
+            Err(SweepError::BadAxisValue { axis: "fetch", .. })
+        ));
+
+        let mut spec = two_by_two();
+        spec.speeds = vec![SpeedProfile::SlowDisk {
+            fraction: 2.0,
+            factor: 0.5,
+        }];
+        assert!(matches!(
+            spec.validate(),
+            Err(SweepError::BadAxisValue { axis: "speeds", .. })
+        ));
+
+        let mut spec = two_by_two();
+        spec.fetch_policies.clear();
+        assert_eq!(
+            spec.validate(),
+            Err(SweepError::EmptyAxis {
+                axis: "fetch_policies"
+            })
+        );
+
+        let mut spec = two_by_two();
+        spec.speeds.push(SpeedProfile::Homogeneous);
+        assert!(matches!(
+            spec.validate(),
+            Err(SweepError::DuplicateAxisValue { axis: "speeds", .. })
+        ));
     }
 
     #[test]
@@ -1031,7 +1192,45 @@ mod tests {
         assert_eq!(spec.policies.len(), 2);
         assert_eq!(spec.codes, vec![(8, 6)]);
         assert_eq!(spec.seeds, vec![1, 2, 3, 9]);
+        // Unmentioned fetch/speed axes default to their neutral values.
+        assert_eq!(spec.fetch_policies, vec![FetchPolicy::Exact]);
+        assert_eq!(spec.speeds, vec![SpeedProfile::Homogeneous]);
         assert_eq!(spec.shards().expect("expand").len(), 8);
+    }
+
+    #[test]
+    fn jsonl_spec_parses_fetch_and_speed_axes() {
+        let text = r#"
+            {"axis": "policy", "value": "edf"}
+            {"axis": "code", "value": "8,6"}
+            {"axis": "failure", "value": "node"}
+            {"axis": "workload", "value": "maponly:10"}
+            {"axis": "fetch", "value": "exact"}
+            {"axis": "fetch", "value": "redundant:2"}
+            {"axis": "speed", "value": "stragglers:2,0.25"}
+            {"axis": "seed", "value": 1}
+        "#;
+        let spec = parse_spec_jsonl(text).expect("valid spec");
+        assert_eq!(
+            spec.fetch_policies,
+            vec![FetchPolicy::Exact, FetchPolicy::Redundant { extra: 2 }]
+        );
+        assert_eq!(
+            spec.speeds,
+            vec![SpeedProfile::Stragglers {
+                count: 2,
+                factor: 0.25
+            }]
+        );
+        assert_eq!(spec.shards().expect("expand").len(), 2);
+        assert!(matches!(
+            parse_spec_jsonl("{\"axis\": \"fetch\", \"value\": \"redundant:0\"}"),
+            Err(SweepError::Spec { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_spec_jsonl("{\"axis\": \"speed\", \"value\": \"warp9\"}"),
+            Err(SweepError::Spec { line: 1, .. })
+        ));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The sweep determinism contract: the merged report is byte-identical
 //! regardless of thread count (and hence of shard execution order).
 
+use dfs::cluster::SpeedProfile;
+use dfs::ecstore::FetchPolicy;
 use dfs::Policy;
 use sweep::{run_sweep, FailureAxis, SweepBase, SweepSpec, WorkloadAxis};
 
@@ -11,6 +13,8 @@ fn grid() -> SweepSpec {
         codes: vec![(8, 6)],
         failures: vec![FailureAxis::SingleNode],
         workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+        fetch_policies: vec![FetchPolicy::Exact],
+        speeds: vec![SpeedProfile::Homogeneous],
         seeds: vec![1, 2, 3],
     }
 }
@@ -44,6 +48,8 @@ fn weibull_churn_shards_are_deterministic_across_threads() {
         codes: vec![(8, 6)],
         failures: vec![FailureAxis::parse("weibull:1.2,2000,1,60,300").expect("valid churn")],
         workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+        fetch_policies: vec![FetchPolicy::Exact],
+        speeds: vec![SpeedProfile::Homogeneous],
         seeds: vec![7],
     };
     let one = run_sweep(&spec, 1).expect("1-thread sweep");
@@ -55,4 +61,30 @@ fn weibull_churn_shards_are_deterministic_across_threads() {
     let edf = one.shards[1].metrics.as_ref().expect("EDF ok");
     assert_eq!(lf.stream_seed, edf.stream_seed);
     assert_eq!(lf.maps_total, edf.maps_total);
+}
+
+#[test]
+fn redundant_fetch_with_stragglers_is_byte_identical_across_threads() {
+    let spec = SweepSpec {
+        base: SweepBase::fig7_small(),
+        policies: vec![Policy::LocalityFirst, Policy::EnhancedDegradedFirst],
+        codes: vec![(8, 6)],
+        failures: vec![FailureAxis::SingleNode],
+        workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+        fetch_policies: vec![FetchPolicy::Exact, FetchPolicy::Redundant { extra: 2 }],
+        speeds: vec![SpeedProfile::parse("stragglers:3,0.25").expect("valid profile")],
+        seeds: vec![1, 2],
+    };
+    let one = run_sweep(&spec, 1).expect("1-thread sweep");
+    let four = run_sweep(&spec, 4).expect("4-thread sweep");
+    assert_eq!(one.to_json(), four.to_json(), "1 vs 4 threads");
+    assert_eq!(one.human(), four.human(), "1 vs 4 threads (human)");
+    // The fetch axis is live, so the report surfaces it.
+    assert!(one.to_json().contains("\"fetch\": \"redundant:2\""));
+    assert!(one.to_json().contains("\"speeds\": \"stragglers:3,0.25\""));
+    // Fetch policy never shifts the scenario RNG stream: the exact and
+    // redundant shards of the same scenario share a stream seed.
+    let exact = one.shards[0].metrics.as_ref().expect("exact ok");
+    let redundant = one.shards[2].metrics.as_ref().expect("redundant ok");
+    assert_eq!(exact.stream_seed, redundant.stream_seed);
 }

@@ -7,6 +7,8 @@
 //! golden_grid` after an intentional behavior change, and review the
 //! diff like code.
 
+use dfs::cluster::SpeedProfile;
+use dfs::ecstore::FetchPolicy;
 use dfs::Policy;
 use std::path::PathBuf;
 use sweep::{run_sweep, FailureAxis, SweepBase, SweepSpec, WorkloadAxis};
@@ -42,6 +44,8 @@ fn fig7_small_grid() -> SweepSpec {
         codes: vec![(8, 6)],
         failures: vec![FailureAxis::SingleNode],
         workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+        fetch_policies: vec![FetchPolicy::Exact],
+        speeds: vec![SpeedProfile::Homogeneous],
         seeds: vec![1, 2, 3],
     }
 }

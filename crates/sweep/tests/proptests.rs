@@ -2,6 +2,8 @@
 //! pure function of its coordinate *values* — independent of grid
 //! enumeration order and of the policy coordinate.
 
+use dfs::cluster::SpeedProfile;
+use dfs::ecstore::FetchPolicy;
 use dfs::Policy;
 use proptest::prelude::*;
 use sweep::{fnv1a, FailureAxis, SweepBase, SweepSpec, WorkloadAxis};
@@ -71,6 +73,8 @@ proptest! {
             codes: codes.clone(),
             failures: failures.clone(),
             workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+            fetch_policies: vec![FetchPolicy::Exact],
+            speeds: vec![SpeedProfile::Homogeneous],
             seeds: seeds.clone(),
         };
         // The same axes enumerated in reversed order.
@@ -80,6 +84,8 @@ proptest! {
             codes: codes.iter().rev().cloned().collect(),
             failures: failures.iter().rev().cloned().collect(),
             workloads: vec![WorkloadAxis::MapOnly { map_secs: 10.0 }],
+            fetch_policies: vec![FetchPolicy::Exact],
+            speeds: vec![SpeedProfile::Homogeneous],
             seeds: seeds.iter().rev().cloned().collect(),
         };
         let forward = spec.shards().expect("valid spec");
@@ -107,26 +113,57 @@ proptest! {
         seeds in arb_seeds(),
     ) {
         let base = SweepBase::fig7_small();
-        let make = |policies: Vec<Policy>| SweepSpec {
+        let make = |policies: Vec<Policy>, fetch_policies: Vec<FetchPolicy>| SweepSpec {
             base: base.clone(),
             policies,
             codes: codes.clone(),
             failures: failures.clone(),
             workloads: vec![WorkloadAxis::Default],
+            fetch_policies,
+            speeds: vec![SpeedProfile::Homogeneous],
             seeds: seeds.clone(),
         };
-        let lf_only = make(vec![Policy::LocalityFirst]).shards().expect("valid");
-        let all = make(vec![
-            Policy::LocalityFirst,
-            Policy::BasicDegradedFirst,
-            Policy::EnhancedDegradedFirst,
-        ])
+        let lf_only = make(vec![Policy::LocalityFirst], vec![FetchPolicy::Exact])
+            .shards()
+            .expect("valid");
+        let all = make(
+            vec![
+                Policy::LocalityFirst,
+                Policy::BasicDegradedFirst,
+                Policy::EnhancedDegradedFirst,
+            ],
+            vec![FetchPolicy::Exact],
+        )
         .shards()
         .expect("valid");
         let scenarios = lf_only.len();
         // Every policy block reproduces exactly the LF block's streams.
         for (i, shard) in all.iter().enumerate() {
             let peer = &lf_only[i % scenarios];
+            prop_assert_eq!(shard.scenario_key(&base), peer.scenario_key(&base));
+            prop_assert_eq!(shard.stream_seed(&base), peer.stream_seed(&base));
+        }
+        // The fetch-policy axis is a scheduling concern like the policy
+        // axis: it must never shift the scenario stream either.
+        let fetches = make(
+            vec![Policy::LocalityFirst],
+            vec![
+                FetchPolicy::Exact,
+                FetchPolicy::Redundant { extra: 1 },
+                FetchPolicy::Redundant { extra: 3 },
+            ],
+        )
+        .shards()
+        .expect("valid");
+        for (i, shard) in fetches.iter().enumerate() {
+            // Grid order nests fetch inside each scenario prefix and
+            // outside the seed axis; recover the peer by coordinates.
+            let peer = lf_only
+                .iter()
+                .find(|p| {
+                    p.code == shard.code && p.failure == shard.failure && p.seed == shard.seed
+                })
+                .unwrap_or_else(|| panic!("no exact-fetch peer for shard {i}"));
             prop_assert_eq!(shard.scenario_key(&base), peer.scenario_key(&base));
             prop_assert_eq!(shard.stream_seed(&base), peer.stream_seed(&base));
         }
@@ -143,6 +180,8 @@ proptest! {
             codes: vec![(8, 6)],
             failures: vec![FailureAxis::SingleNode],
             workloads: vec![WorkloadAxis::Default],
+            fetch_policies: vec![FetchPolicy::Exact],
+            speeds: vec![SpeedProfile::Homogeneous],
             seeds: vec![seed],
         };
         let shards = spec.shards().expect("valid");
