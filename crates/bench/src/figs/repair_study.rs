@@ -10,6 +10,11 @@ use dfs::repair::{simulate, RepairPlan};
 use dfs::simkit::report::Table;
 use dfs::simkit::SimRng;
 
+/// Placement stream label (DESIGN.md §9, R1): mirrors the engine's
+/// placement fork so this study reproduces the placed store the
+/// experiment would have used for the same seed.
+const PLACEMENT_STREAM: u64 = 1;
+
 /// Runs the repair parallelism sweep.
 pub fn run() {
     let exp = presets::simulation_default();
@@ -18,7 +23,7 @@ pub fn run() {
     // one node and plan its repair.
     let scenario = exp.failure_for_seed(seed);
     let mut rng = SimRng::seed_from_u64(seed);
-    let mut placement_rng = rng.fork(1);
+    let mut placement_rng = rng.fork(PLACEMENT_STREAM);
     let layout = dfs::ecstore::StripeLayout::new(exp.code, exp.num_blocks).expect("layout");
     let store = dfs::ecstore::BlockStore::place(
         &exp.topo,

@@ -33,6 +33,11 @@ use sweep::{
 
 use crate::args::Args;
 
+/// Placement stream label (DESIGN.md §9, R1): repair planning builds
+/// the same placed store the engine would, so it forks placement with
+/// the engine's label. Frozen — seeded repair plans replay it.
+const PLACEMENT_STREAM: u64 = 1;
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 dfs-cli — degraded-first scheduling for MapReduce in erasure-coded clusters
@@ -867,7 +872,7 @@ pub fn repair(args: &Args) -> CliResult {
     let exp = dfs::presets::simulation_default();
     let scenario = exp.failure_for_seed(seed);
     let mut rng = SimRng::seed_from_u64(seed);
-    let mut placement_rng = rng.fork(1);
+    let mut placement_rng = rng.fork(PLACEMENT_STREAM);
     let layout =
         dfs::ecstore::StripeLayout::new(exp.code, exp.num_blocks).map_err(|e| e.to_string())?;
     let store = dfs::ecstore::BlockStore::place(

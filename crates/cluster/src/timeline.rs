@@ -202,6 +202,7 @@ impl FailureTimeline {
         let mut root = SimRng::seed_from_u64(seed ^ 0xc402_c402_c402_c402);
         let mut events = Vec::new();
         for node in topo.node_ids() {
+            // detlint::allow(R1, reason = "per-node lifetime streams: the label is the node index by construction, one stream per node")
             let mut rng = root.fork(node.index() as u64);
             let mut t = 0.0f64;
             loop {

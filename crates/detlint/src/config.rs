@@ -36,6 +36,34 @@ pub struct Config {
     /// The one file that must mention *every* schema kind (the
     /// reverse direction of S1): the `SimEvent` vocabulary itself.
     pub event_vocab_file: String,
+    /// Crates whose forked RNG streams are label-disciplined: R1
+    /// requires every `.fork(...)` label here to be a named
+    /// `*_STREAM` constant, and judges the declared constants for
+    /// same-crate value collisions and cross-crate name conflicts.
+    /// A superset of the determinism crates — the presentation
+    /// crates (`textlab`, `cli`, `bench`) and the workload
+    /// generators fork streams too, and a colliding label there
+    /// corrupts an experiment just as surely.
+    pub rng_stream_crates: Vec<String>,
+    /// Files whose `match`es involving `SimEvent` must stay
+    /// wildcard-free (M1): the obs consumers that would otherwise
+    /// silently drop a newly added event kind.
+    pub event_match_files: Vec<String>,
+}
+
+impl Config {
+    /// True when `path` may contain `unsafe` (U1). Allowlist entries
+    /// are exact paths, or directory prefixes when they end in '/'.
+    /// U2 then audits each such site for a `// SAFETY:` rationale.
+    pub fn allows_unsafe(&self, path: &str) -> bool {
+        self.unsafe_allow_files.iter().any(|allowed| {
+            if allowed.ends_with('/') {
+                path.starts_with(allowed.as_str())
+            } else {
+                allowed == path
+            }
+        })
+    }
 }
 
 impl Default for Config {
@@ -69,6 +97,34 @@ impl Default for Config {
             unsafe_allow_files: vec!["crates/erasure/src/simd/".to_string()],
             trace_event_kinds: schema_event_kinds(TRACE_SCHEMA_V1),
             event_vocab_file: "crates/obs/src/event.rs".to_string(),
+            rng_stream_crates: [
+                "simkit",
+                "netsim",
+                "mapreduce",
+                "scheduler",
+                "cluster",
+                "repair",
+                "erasure",
+                "ecstore",
+                "obs",
+                "sweep",
+                "workloads",
+                "textlab",
+                "cli",
+                "bench",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            event_match_files: [
+                "crates/obs/src/aggregate.rs",
+                "crates/obs/src/chrome.rs",
+                "crates/obs/src/diff.rs",
+                "crates/obs/src/sink.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         }
     }
 }

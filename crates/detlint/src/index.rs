@@ -1,0 +1,618 @@
+//! Phase 1 of the workspace-aware pass: a lightweight cross-file
+//! index, built per file with the same dependency-free lexer the
+//! single-file rules use. Phase 2 ([`cross_file_pass`]) then runs the
+//! rule families that cannot be decided one file at a time:
+//!
+//! - **R1** — RNG-stream hygiene. Every `.fork(...)` label in a
+//!   stream-disciplined crate must be a named `*_STREAM` constant;
+//!   two constants in one crate sharing a label value are correlated
+//!   streams, and one constant name with different values in two
+//!   crates is a cross-crate trap. Both need the whole workspace's
+//!   declarations to judge.
+//! - **U2** — SAFETY audit. `unsafe` inside the U1 allowlist is no
+//!   longer a free pass: each block or fn must be immediately
+//!   preceded by a `// SAFETY:` comment with a non-empty rationale
+//!   (attribute, doc-comment, and blank lines may sit between).
+//! - **M1** — event exhaustiveness. A `match` involving `SimEvent`
+//!   in the configured obs consumer files must not hide behind a `_`
+//!   wildcard arm: adding an event kind has to force a decision at
+//!   lint time, not silently drop a lane at run time.
+//!
+//! Facts are extracted independently per file and the cross-file pass
+//! sorts them by path before judging, so the report is byte-identical
+//! under any file-scan order (pinned by a proptest in
+//! `tests/integration_detlint.rs`).
+
+use crate::config::{Config, FileContext};
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+use crate::rules::{parse_allows, test_regions, Finding, RuleId};
+
+/// Everything phase 2 needs to know about one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileFacts {
+    /// Repo-relative path.
+    pub path: String,
+    /// Owning crate (`crates/<name>/...`).
+    pub crate_name: String,
+    /// True under `tests/` / `benches/` / `examples/`.
+    pub in_tests_dir: bool,
+    /// `const *_STREAM: u64 = <literal>;` declarations (non-test).
+    pub stream_consts: Vec<StreamConst>,
+    /// `.fork(...)` call sites with their argument expressions
+    /// (non-test).
+    pub fork_calls: Vec<ForkCall>,
+    /// `unsafe` block/fn spans, one per source line.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// `_ =>` arms of `match`es involving `SimEvent` (non-test).
+    pub wildcard_arms: Vec<WildcardArm>,
+}
+
+/// A named RNG stream-label constant declaration.
+#[derive(Clone, Debug)]
+pub struct StreamConst {
+    /// The constant's identifier (ends in `_STREAM`).
+    pub name: String,
+    /// Its label value.
+    pub value: u64,
+    /// 1-based position of the name token.
+    pub line: u32,
+    /// 1-based byte column of the name token.
+    pub col: u32,
+    /// The declaration line, trimmed.
+    pub snippet: String,
+    /// True when a `detlint::allow(R1, ...)` covers the declaration.
+    pub suppressed: bool,
+}
+
+/// One `.fork(<label>)` call site.
+#[derive(Clone, Debug)]
+pub struct ForkCall {
+    /// 1-based line of the `fork` token.
+    pub line: u32,
+    /// 1-based byte column of the `fork` token.
+    pub col: u32,
+    /// The argument expression, re-joined from tokens.
+    pub label: String,
+    /// True when the label is a path ending in a `*_STREAM` ident.
+    pub named: bool,
+    /// The call line, trimmed.
+    pub snippet: String,
+    /// True when a `detlint::allow(R1, ...)` covers the call.
+    pub suppressed: bool,
+}
+
+/// One `unsafe` token (block or fn), deduplicated per line.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    /// 1-based line of the `unsafe` token.
+    pub line: u32,
+    /// 1-based byte column of the `unsafe` token.
+    pub col: u32,
+    /// True when an immediately preceding comment reads
+    /// `// SAFETY: <non-empty rationale>`.
+    pub has_safety: bool,
+    /// The `unsafe` line, trimmed.
+    pub snippet: String,
+    /// True when a `detlint::allow(U2, ...)` covers the site.
+    pub suppressed: bool,
+}
+
+/// One wildcard `_ =>` arm inside a `match` involving `SimEvent`.
+#[derive(Clone, Debug)]
+pub struct WildcardArm {
+    /// 1-based line of the `_` token.
+    pub line: u32,
+    /// 1-based byte column of the `_` token.
+    pub col: u32,
+    /// The arm line, trimmed.
+    pub snippet: String,
+    /// True when a `detlint::allow(M1, ...)` covers the arm.
+    pub suppressed: bool,
+}
+
+/// Builds the per-file facts for `src`. Pure per-file work: the
+/// result depends only on this file's bytes and path, which is what
+/// makes the whole pass order-independent.
+pub fn index_file(src: &str, ctx: &FileContext) -> FileFacts {
+    let lexed = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let regions = test_regions(&lexed.toks);
+    let in_test = |line: u32| regions.iter().any(|&(a, b)| (a..=b).contains(&line));
+    // The A0 findings from malformed directives are lint_source's to
+    // report; here only the valid allows matter.
+    let (allows, _) = parse_allows(&lexed, ctx, &snippet);
+    let suppressed = |rule: RuleId, line: u32| allows.iter().any(|a| a.covers(rule, line));
+
+    let toks = &lexed.toks;
+    let mut facts = FileFacts {
+        path: ctx.path.clone(),
+        crate_name: ctx.crate_name.clone(),
+        in_tests_dir: ctx.in_tests_dir,
+        ..FileFacts::default()
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `const NAME_STREAM: u64 = <int literal>;`
+        if t.text == "const" && !in_test(t.line) {
+            if let Some(c) = stream_const_at(toks, i, &snippet, &suppressed) {
+                facts.stream_consts.push(c);
+            }
+        }
+        // `.fork(<label>)` — the leading `.` excludes the `fn fork`
+        // definition and `use` paths.
+        if t.text == "fork"
+            && !in_test(t.line)
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|p| p.text == "(")
+        {
+            let (label, named) = fork_label(toks, i + 1);
+            facts.fork_calls.push(ForkCall {
+                line: t.line,
+                col: t.col,
+                label,
+                named,
+                snippet: snippet(t.line),
+                suppressed: suppressed(RuleId::R1, t.line),
+            });
+        }
+        if t.text == "unsafe" && facts.unsafe_sites.last().is_none_or(|u| u.line != t.line) {
+            facts.unsafe_sites.push(UnsafeSite {
+                line: t.line,
+                col: t.col,
+                has_safety: has_preceding_safety(&lexed, t.line),
+                snippet: snippet(t.line),
+                suppressed: suppressed(RuleId::U2, t.line),
+            });
+        }
+        if t.text == "match" {
+            for w in match_wildcard_arms(toks, i) {
+                if in_test(w.line) {
+                    continue;
+                }
+                facts.wildcard_arms.push(WildcardArm {
+                    line: w.line,
+                    col: w.col,
+                    snippet: snippet(w.line),
+                    suppressed: suppressed(RuleId::M1, w.line),
+                });
+            }
+        }
+    }
+    facts
+}
+
+/// Phase 2: the cross-file rules, judged over every file's facts at
+/// once. Facts are sorted by path first, so the findings (and the
+/// anchor chosen for each duplicate/conflict) do not depend on the
+/// order the caller scanned files in.
+pub fn cross_file_pass(facts: &[FileFacts], cfg: &Config) -> Vec<Finding> {
+    let mut ordered: Vec<&FileFacts> = facts.iter().collect();
+    ordered.sort_by(|a, b| a.path.cmp(&b.path));
+    let mut findings = Vec::new();
+
+    // --- R1: fork labels must be named *_STREAM constants ------------
+    let stream_scope = |f: &FileFacts| cfg.rng_stream_crates.contains(&f.crate_name);
+    for f in ordered
+        .iter()
+        .filter(|f| stream_scope(f) && !f.in_tests_dir)
+    {
+        for call in f.fork_calls.iter().filter(|c| !c.named && !c.suppressed) {
+            findings.push(Finding {
+                path: f.path.clone(),
+                line: call.line,
+                col: call.col,
+                rule: RuleId::R1,
+                message: format!(
+                    "`fork({})`: RNG stream label is not a named `*_STREAM` constant",
+                    call.label
+                ),
+                snippet: call.snippet.clone(),
+                hint: "declare `const <PURPOSE>_STREAM: u64 = ...;` at module scope and pass \
+                       it to fork(); a genuinely dynamic label needs \
+                       // detlint::allow(R1, reason = \"...\")"
+                    .to_string(),
+            });
+        }
+    }
+
+    // --- R1: duplicate label values within a crate, and one name ----
+    // --- with different values across crates.
+    // Declarations in path order; the first one seen is the anchor a
+    // later duplicate or conflict is reported against.
+    let decls: Vec<(&FileFacts, &StreamConst)> = ordered
+        .iter()
+        .filter(|f| stream_scope(f) && !f.in_tests_dir)
+        .flat_map(|f| f.stream_consts.iter().map(move |c| (*f, c)))
+        .collect();
+    // (crate, value) -> first declaration.
+    let mut by_value: Vec<(&str, u64, &FileFacts, &StreamConst)> = Vec::new();
+    // name -> first declaration.
+    let mut by_name: Vec<(&str, &FileFacts, &StreamConst)> = Vec::new();
+    for (f, c) in &decls {
+        if let Some((_, _, f0, c0)) = by_value
+            .iter()
+            .find(|(cr, v, _, _)| *cr == f.crate_name && *v == c.value)
+        {
+            if !c.suppressed {
+                findings.push(Finding {
+                    path: f.path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    rule: RuleId::R1,
+                    message: format!(
+                        "stream constant `{}` duplicates label value {} of `{}` ({}:{}) \
+                         in crate `{}`",
+                        c.name, c.value, c0.name, f0.path, c0.line, f.crate_name
+                    ),
+                    snippet: c.snippet.clone(),
+                    hint: "streams forked from one root with equal labels are identical; \
+                           give every stream in a crate a distinct label value"
+                        .to_string(),
+                });
+            }
+        } else {
+            by_value.push((&f.crate_name, c.value, f, c));
+        }
+        if let Some((_, f0, c0)) = by_name.iter().find(|(n, _, _)| *n == c.name) {
+            if c0.value != c.value && !c.suppressed {
+                findings.push(Finding {
+                    path: f.path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    rule: RuleId::R1,
+                    message: format!(
+                        "stream constant `{}` = {} here but = {} in {}:{}",
+                        c.name, c.value, c0.value, f0.path, c0.line
+                    ),
+                    snippet: c.snippet.clone(),
+                    hint: "one name, one label: align the values or rename one constant so \
+                           readers cannot confuse the two streams"
+                        .to_string(),
+                });
+            }
+        } else {
+            by_name.push((&c.name, f, c));
+        }
+    }
+
+    // --- U2: allowlisted unsafe must carry a SAFETY rationale --------
+    for f in ordered.iter().filter(|f| cfg.allows_unsafe(&f.path)) {
+        for site in f
+            .unsafe_sites
+            .iter()
+            .filter(|u| !u.has_safety && !u.suppressed)
+        {
+            findings.push(Finding {
+                path: f.path.clone(),
+                line: site.line,
+                col: site.col,
+                rule: RuleId::U2,
+                message: "allowlisted `unsafe` lacks an immediately preceding \
+                          `// SAFETY:` comment"
+                    .to_string(),
+                snippet: site.snippet.clone(),
+                hint: "state the invariants that make the site sound in a \
+                       // SAFETY: comment directly above the unsafe block or fn \
+                       (attribute and doc lines may sit between)"
+                    .to_string(),
+            });
+        }
+    }
+
+    // --- M1: no wildcard arms in SimEvent matches --------------------
+    for f in ordered
+        .iter()
+        .filter(|f| cfg.event_match_files.contains(&f.path))
+    {
+        for arm in f.wildcard_arms.iter().filter(|w| !w.suppressed) {
+            findings.push(Finding {
+                path: f.path.clone(),
+                line: arm.line,
+                col: arm.col,
+                rule: RuleId::M1,
+                message: "wildcard `_` arm in a `match` involving `SimEvent`".to_string(),
+                snippet: arm.snippet.clone(),
+                hint: "list the remaining variants explicitly (an or-pattern arm is fine) \
+                       so a new event kind forces this consumer to decide"
+                    .to_string(),
+            });
+        }
+    }
+
+    findings
+}
+
+/// Parses `const NAME_STREAM: u64 = <int literal>;` starting at the
+/// `const` token.
+fn stream_const_at(
+    toks: &[Tok],
+    i: usize,
+    snippet: &dyn Fn(u32) -> String,
+    suppressed: &dyn Fn(RuleId, u32) -> bool,
+) -> Option<StreamConst> {
+    let name = toks.get(i + 1)?;
+    if name.kind != TokKind::Ident || !name.text.ends_with("_STREAM") {
+        return None;
+    }
+    if toks.get(i + 2).map(|t| t.text.as_str()) != Some(":")
+        || toks.get(i + 3).map(|t| t.text.as_str()) != Some("u64")
+        || toks.get(i + 4).map(|t| t.text.as_str()) != Some("=")
+    {
+        return None;
+    }
+    let lit = toks.get(i + 5)?;
+    if lit.kind != TokKind::Number || toks.get(i + 6).map(|t| t.text.as_str()) != Some(";") {
+        return None;
+    }
+    Some(StreamConst {
+        name: name.text.clone(),
+        value: parse_u64_literal(&lit.text)?,
+        line: name.line,
+        col: name.col,
+        snippet: snippet(name.line),
+        suppressed: suppressed(RuleId::R1, name.line),
+    })
+}
+
+/// `0xa441_u64` → 42049; handles `_` separators, `0x`/`0o`/`0b`
+/// radices, and integer suffixes.
+fn parse_u64_literal(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    let t = t
+        .strip_suffix("u64")
+        .or_else(|| t.strip_suffix("usize"))
+        .unwrap_or(&t);
+    if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).ok()
+    } else if let Some(o) = t.strip_prefix("0o") {
+        u64::from_str_radix(o, 8).ok()
+    } else if let Some(b) = t.strip_prefix("0b") {
+        u64::from_str_radix(b, 2).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// Reads the argument of a `fork(` call whose `(` sits at `open`.
+/// Returns the re-joined expression text and whether it is a plain
+/// path ending in a `*_STREAM` identifier.
+fn fork_label(toks: &[Tok], open: usize) -> (String, bool) {
+    let mut depth = 0i32;
+    let mut args: Vec<&Tok> = Vec::new();
+    for t in toks.iter().skip(open).take(80) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => {
+                depth += 1;
+                if depth > 1 {
+                    args.push(t);
+                }
+            }
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                args.push(t);
+            }
+            _ => args.push(t),
+        }
+    }
+    let mut label = String::new();
+    for (k, t) in args.iter().enumerate() {
+        let alnum = |t: &Tok| matches!(t.kind, TokKind::Ident | TokKind::Number);
+        if k > 0 && alnum(t) && (alnum(args[k - 1]) || args[k - 1].text == ")") {
+            label.push(' ');
+        }
+        label.push_str(&t.text);
+    }
+    let named = match args.last() {
+        Some(last) if last.kind == TokKind::Ident => {
+            last.text.ends_with("_STREAM")
+                && last.text.len() > "_STREAM".len()
+                && args.iter().all(|t| {
+                    t.kind == TokKind::Ident || t.text == ":" || t.text == "." || t.text == "&"
+                })
+        }
+        _ => false,
+    };
+    (label, named)
+}
+
+/// True when the line directly above `unsafe_line` — walking upward
+/// through attribute lines, doc/ordinary comments, and blank lines —
+/// carries a comment whose body is `SAFETY: <non-empty rationale>`.
+fn has_preceding_safety(lexed: &Lexed, unsafe_line: u32) -> bool {
+    let comment_at = |line: u32| {
+        lexed
+            .comments
+            .iter()
+            .find(|c| (c.line..=c.end_line).contains(&line))
+    };
+    let first_tok_on = |line: u32| lexed.toks.iter().find(|t| t.line == line);
+    let mut l = unsafe_line.saturating_sub(1);
+    while l >= 1 {
+        if let Some(c) = comment_at(l) {
+            let body = c
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches(['!', '*'])
+                .trim_start();
+            if let Some(rationale) = body.strip_prefix("SAFETY:") {
+                return !rationale.trim_start_matches(['*', '/']).trim().is_empty();
+            }
+            // A non-SAFETY comment (doc line, prose) is pass-through:
+            // resume above its span.
+            l = c.line.saturating_sub(1);
+            continue;
+        }
+        match first_tok_on(l) {
+            // Attribute lines (`#[inline]`, `#[target_feature(...)]`)
+            // sit between the comment and the unsafe fn.
+            Some(t) if t.text == "#" => l -= 1,
+            Some(_) => return false,
+            // Blank line.
+            None => l -= 1,
+        }
+    }
+    false
+}
+
+struct ArmSite {
+    line: u32,
+    col: u32,
+}
+
+/// For a `match` token at `i`, returns the `_ =>` arms at arm level
+/// (bracket depth 1 inside the match body) — but only when the match
+/// involves `SimEvent` (in the scrutinee or any arm). A nested match
+/// is judged by its own `match` token, not its parent's.
+fn match_wildcard_arms(toks: &[Tok], i: usize) -> Vec<ArmSite> {
+    // The body opens at the first `{` outside parens/brackets.
+    let mut depth = 0i32;
+    let mut open = None;
+    for (k, t) in toks.iter().enumerate().skip(i + 1).take(120) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => {
+                open = Some(k);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else {
+        return Vec::new();
+    };
+    let mut arms = Vec::new();
+    let mut involves_event = toks[i..open].iter().any(|t| t.text == "SimEvent");
+    let mut candidate_arms: Vec<ArmSite> = Vec::new();
+    let mut depth = 1i32;
+    let mut k = open + 1;
+    while k < toks.len() && depth > 0 {
+        let t = &toks[k];
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "SimEvent" if depth >= 1 => involves_event = true,
+            "_" if depth == 1
+                && toks.get(k + 1).is_some_and(|a| a.text == "=")
+                && toks.get(k + 2).is_some_and(|b| b.text == ">") =>
+            {
+                candidate_arms.push(ArmSite {
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    if involves_event {
+        arms.append(&mut candidate_arms);
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(src: &str, path: &str) -> FileFacts {
+        index_file(src, &FileContext::from_repo_path(path))
+    }
+
+    #[test]
+    fn stream_consts_and_fork_calls_are_indexed() {
+        let src = "const ARRIVAL_STREAM: u64 = 0xa4_41_u64;\n\
+                   fn f(root: &mut SimRng) {\n\
+                       let a = root.fork(ARRIVAL_STREAM);\n\
+                       let b = root.fork(1);\n\
+                       let c = root.fork(node.index() as u64);\n\
+                   }\n";
+        let f = facts(src, "crates/mapreduce/src/x.rs");
+        assert_eq!(f.stream_consts.len(), 1);
+        assert_eq!(f.stream_consts[0].name, "ARRIVAL_STREAM");
+        assert_eq!(f.stream_consts[0].value, 0xa441);
+        let named: Vec<bool> = f.fork_calls.iter().map(|c| c.named).collect();
+        assert_eq!(named, vec![true, false, false]);
+        assert_eq!(f.fork_calls[2].label, "node.index() as u64");
+    }
+
+    #[test]
+    fn fork_in_test_region_is_not_indexed() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(r: &mut SimRng) { r.fork(1); }\n}\n";
+        assert!(facts(src, "crates/simkit/src/rng.rs").fork_calls.is_empty());
+    }
+
+    #[test]
+    fn safety_comment_is_found_through_attrs_docs_and_blanks() {
+        let src = "/// Docs.\n\
+                   ///\n\
+                   /// # Safety\n\
+                   /// Caller checks the probe.\n\
+                   // SAFETY: dispatcher probes before install.\n\
+                   #[inline]\n\
+                   #[target_feature(enable = \"ssse3\")]\n\
+                   unsafe fn good() {}\n\
+                   \n\
+                   #[inline]\n\
+                   unsafe fn bad() {}\n";
+        let f = facts(src, "crates/erasure/src/simd/x.rs");
+        assert_eq!(f.unsafe_sites.len(), 2);
+        assert!(f.unsafe_sites[0].has_safety);
+        assert!(
+            !f.unsafe_sites[1].has_safety,
+            "doc-only block must not count"
+        );
+    }
+
+    #[test]
+    fn empty_safety_rationale_does_not_count() {
+        let src = "// SAFETY:\nunsafe fn f() {}\n";
+        let f = facts(src, "crates/erasure/src/simd/x.rs");
+        assert!(!f.unsafe_sites[0].has_safety);
+    }
+
+    #[test]
+    fn wildcard_arm_is_found_only_in_event_matches() {
+        let src = "fn f(ev: &SimEvent, o: Option<u32>) -> u32 {\n\
+                   let a = match ev { SimEvent::JobStarted { .. } => 1, _ => 0 };\n\
+                   let b = match o { Some(v) => v, _ => 0 };\n\
+                   a + b\n}\n";
+        let f = facts(src, "crates/obs/src/aggregate.rs");
+        assert_eq!(f.wildcard_arms.len(), 1);
+        assert_eq!(f.wildcard_arms[0].line, 2);
+    }
+
+    #[test]
+    fn nested_non_event_match_is_not_flagged() {
+        // The wildcard lives in the inner Option match (depth 2 for the
+        // outer event match; the inner match itself has no SimEvent).
+        let src = "fn f(ev: &SimEvent, o: Option<u32>) -> u32 {\n\
+                   match ev {\n\
+                       SimEvent::JobStarted { .. } => match o { Some(v) => v, _ => 0 },\n\
+                       SimEvent::JobFinished { .. } => 1,\n\
+                   }\n}\n";
+        let f = facts(src, "crates/obs/src/aggregate.rs");
+        assert!(f.wildcard_arms.is_empty(), "{:?}", f.wildcard_arms);
+    }
+
+    #[test]
+    fn literal_values_parse_across_radices() {
+        assert_eq!(parse_u64_literal("42"), Some(42));
+        assert_eq!(parse_u64_literal("0xa441_u64"), Some(0xa441));
+        assert_eq!(parse_u64_literal("0b1010"), Some(10));
+        assert_eq!(parse_u64_literal("1_000_000"), Some(1_000_000));
+    }
+}

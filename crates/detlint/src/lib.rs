@@ -21,6 +21,18 @@
 //!   must have a matching snake_case kind in the obs trace schema, and
 //!   the event vocabulary file must cover every schema kind.
 //!
+//! Three rule families need the whole workspace at once and run as a
+//! second, cross-file phase over a lightweight index ([`index`]):
+//!
+//! - **R1** — every `.fork(...)` label in stream-disciplined crates
+//!   must be a named `*_STREAM` constant; two constants in one crate
+//!   sharing a label value, or one name with different values in two
+//!   crates, are findings.
+//! - **U2** — `unsafe` inside the U1 allowlist must be immediately
+//!   preceded by a `// SAFETY:` comment with a non-empty rationale.
+//! - **M1** — `match`es involving `SimEvent` in the configured obs
+//!   consumer files must not use a wildcard `_` arm.
+//!
 //! Suppression is per-site and must carry a reason:
 //!
 //! ```text
@@ -33,29 +45,53 @@
 //! in-process so plain `cargo test` catches regressions too.
 
 pub mod config;
+pub mod index;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 
 pub use config::{Config, FileContext};
+pub use index::{cross_file_pass, index_file, FileFacts};
 pub use report::{render_human, render_json};
 pub use rules::{lint_source, Finding, RuleId};
 
 use std::path::{Path, PathBuf};
 
-/// Lints every `.rs` file under `<root>/crates/`, in deterministic
-/// (path-sorted) order. Skips `target/` and any `fixtures/` directory
-/// (fixture files violate rules on purpose).
+/// The two-phase workspace pass over in-memory sources. Phase 1 runs
+/// the per-file rules and builds each file's [`FileFacts`]; phase 2
+/// judges the cross-file rules (R1/U2/M1) over the whole index. The
+/// report is byte-identical for any permutation of `files`: per-file
+/// work is independent, the cross-file pass orders the index by path
+/// internally, and the merged findings are sorted by
+/// (file, line, col, rule) here.
+pub fn lint_files(files: &[(FileContext, String)], cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut facts = Vec::with_capacity(files.len());
+    for (ctx, src) in files {
+        findings.extend(lint_source(src, ctx, cfg));
+        facts.push(index_file(src, ctx));
+    }
+    findings.extend(cross_file_pass(&facts, cfg));
+    // Stable sort: equal keys (e.g. two R1 conflicts anchored at one
+    // declaration) keep the deterministic order phase 2 emitted.
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    findings
+}
+
+/// Reads every `.rs` file under `<root>/crates/` into `(context,
+/// source)` pairs, in path-sorted order. Skips `target/` and any
+/// `fixtures/` directory (fixture files violate rules on purpose).
 ///
 /// # Errors
 ///
 /// Returns the underlying [`std::io::Error`] if the tree cannot be
 /// read.
-pub fn check_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+pub fn read_workspace(root: &Path) -> std::io::Result<Vec<(FileContext, String)>> {
     let mut files = Vec::new();
     collect_rs_files(&root.join("crates"), &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
+    let mut out = Vec::with_capacity(files.len());
     for file in files {
         let src = std::fs::read_to_string(&file)?;
         let rel = file
@@ -63,10 +99,20 @@ pub fn check_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        let ctx = FileContext::from_repo_path(&rel);
-        findings.extend(lint_source(&src, &ctx, cfg));
+        out.push((FileContext::from_repo_path(&rel), src));
     }
-    Ok(findings)
+    Ok(out)
+}
+
+/// Lints every `.rs` file under `<root>/crates/`: [`read_workspace`]
+/// followed by the two-phase [`lint_files`] pass.
+///
+/// # Errors
+///
+/// Returns the underlying [`std::io::Error`] if the tree cannot be
+/// read.
+pub fn check_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    Ok(lint_files(&read_workspace(root)?, cfg))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -9,8 +9,10 @@ use detlint::{check_workspace, render_human, render_json, Config};
 
 const USAGE: &str = "usage: detlint check [--format human|json] [--root PATH]
 
-Runs the workspace determinism & panic-hygiene rules (D1, D2, D3, P1,
-U1; see DESIGN.md §9) over every .rs file under <root>/crates/.
+Runs the workspace determinism & panic-hygiene rules (per-file: D1,
+D2, D3, P1, U1, S1; cross-file over the workspace index: R1 stream
+hygiene, U2 SAFETY audit, M1 event exhaustiveness; see DESIGN.md §9)
+over every .rs file under <root>/crates/.
 Exit status: 0 clean, 1 findings, 2 usage/I-O error.";
 
 fn main() -> ExitCode {

@@ -2,10 +2,23 @@
 //! field order and the same hand-rolled escaping conventions as
 //! `obs::jsonl`, so goldens compare byte-for-byte.
 
+use std::collections::BTreeMap;
+
 use crate::rules::Finding;
 
+/// Per-rule finding counts in rule-id order (`BTreeMap` keeps the
+/// report stable byte-for-byte).
+fn rule_counts(findings: &[Finding]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule.as_str()).or_insert(0) += 1;
+    }
+    counts
+}
+
 /// Renders findings for terminals: `path:line:col: RULE: message`
-/// with the offending snippet and a fix hint, then a summary line.
+/// with the offending snippet and a fix hint, then a summary line
+/// with per-rule counts.
 pub fn render_human(findings: &[Finding]) -> String {
     let mut out = String::new();
     for f in findings {
@@ -25,24 +38,41 @@ pub fn render_human(findings: &[Finding]) -> String {
     if findings.is_empty() {
         out.push_str("detlint: no findings\n");
     } else {
+        let by_rule: Vec<String> = rule_counts(findings)
+            .iter()
+            .map(|(rule, n)| format!("{rule} {n}"))
+            .collect();
         out.push_str(&format!(
-            "detlint: {} finding{}\n",
+            "detlint: {} finding{} ({})\n",
             findings.len(),
-            if findings.len() == 1 { "" } else { "s" }
+            if findings.len() == 1 { "" } else { "s" },
+            by_rule.join(", ")
         ));
     }
     out
 }
 
-/// Renders findings as a JSON array with fixed field order.
+/// Renders the JSON report: a summary block (total + per-rule counts
+/// in rule-id order) followed by the findings. Callers pass findings
+/// already sorted by (file, line, col, rule) — [`crate::lint_files`]
+/// pins that order — so reports diff cleanly across runs.
 pub fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("[");
+    let mut out = String::from("{\n  \"summary\": {\"total\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(", \"by_rule\": {");
+    for (i, (rule, n)) in rule_counts(findings).iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", json_str(rule), n));
+    }
+    out.push_str("}},\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n  {{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{},\"snippet\":{},\"hint\":{}}}",
+            "\n    {{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{},\"snippet\":{},\"hint\":{}}}",
             json_str(&f.path),
             f.line,
             f.col,
@@ -53,9 +83,9 @@ pub fn render_json(findings: &[Finding]) -> String {
         ));
     }
     if !findings.is_empty() {
-        out.push('\n');
+        out.push_str("\n  ");
     }
-    out.push_str("]\n");
+    out.push_str("]\n}\n");
     out
 }
 
@@ -99,7 +129,7 @@ mod tests {
         let text = render_human(&[finding()]);
         assert!(text.contains("crates/x/src/lib.rs:3:7: D1:"));
         assert!(text.contains("= help: use BTreeMap"));
-        assert!(text.ends_with("detlint: 1 finding\n"));
+        assert!(text.ends_with("detlint: 1 finding (D1 1)\n"));
         assert_eq!(render_human(&[]), "detlint: no findings\n");
     }
 
@@ -108,8 +138,21 @@ mod tests {
         let text = render_json(&[finding()]);
         assert!(text.contains("\\\"q\\\""));
         assert!(text.contains("\"rule\":\"D1\""));
-        assert!(text.starts_with("[\n"));
-        assert!(text.ends_with("]\n"));
-        assert_eq!(render_json(&[]), "[]\n");
+        assert!(text.starts_with("{\n  \"summary\": {\"total\": 1, \"by_rule\": {\"D1\": 1}},\n"));
+        assert!(text.ends_with("]\n}\n"));
+        assert_eq!(
+            render_json(&[]),
+            "{\n  \"summary\": {\"total\": 0, \"by_rule\": {}},\n  \"findings\": []\n}\n"
+        );
+    }
+
+    #[test]
+    fn summary_counts_group_by_rule_in_id_order() {
+        let mut a = finding();
+        let mut b = finding();
+        b.rule = RuleId::A0;
+        a.line = 4;
+        let text = render_json(&[finding(), a, b]);
+        assert!(text.contains("\"by_rule\": {\"A0\": 1, \"D1\": 2}"));
     }
 }

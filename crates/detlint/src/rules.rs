@@ -34,6 +34,14 @@ pub enum RuleId {
     U1,
     /// `SimEvent` variant out of sync with the trace schema.
     S1,
+    /// RNG stream label that is not a named `*_STREAM` constant, or
+    /// colliding/conflicting stream-constant declarations.
+    R1,
+    /// Allowlisted `unsafe` without an immediately preceding
+    /// `// SAFETY:` comment.
+    U2,
+    /// Wildcard `_` arm in a `match` involving `SimEvent`.
+    M1,
     /// Malformed `detlint::allow` directive.
     A0,
 }
@@ -48,6 +56,9 @@ impl RuleId {
             RuleId::P1 => "P1",
             RuleId::U1 => "U1",
             RuleId::S1 => "S1",
+            RuleId::R1 => "R1",
+            RuleId::U2 => "U2",
+            RuleId::M1 => "M1",
             RuleId::A0 => "A0",
         }
     }
@@ -60,6 +71,9 @@ impl RuleId {
             "P1" => Some(RuleId::P1),
             "U1" => Some(RuleId::U1),
             "S1" => Some(RuleId::S1),
+            "R1" => Some(RuleId::R1),
+            "U2" => Some(RuleId::U2),
+            "M1" => Some(RuleId::M1),
             "A0" => Some(RuleId::A0),
             _ => None,
         }
@@ -86,11 +100,18 @@ pub struct Finding {
 }
 
 /// A parsed `detlint::allow(...)` directive.
-struct Allow {
-    rules: Vec<RuleId>,
+pub(crate) struct Allow {
+    pub(crate) rules: Vec<RuleId>,
     /// Lines the directive covers: its own line span plus the next
     /// line that carries code.
-    covers: Vec<u32>,
+    pub(crate) covers: Vec<u32>,
+}
+
+impl Allow {
+    /// True if this directive silences `rule` on `line`.
+    pub(crate) fn covers(&self, rule: RuleId, line: u32) -> bool {
+        self.rules.contains(&rule) && self.covers.contains(&line)
+    }
 }
 
 const ITER_METHODS: &[&str] = &[
@@ -132,11 +153,7 @@ pub fn lint_source(src: &str, ctx: &FileContext, cfg: &Config) -> Vec<Finding> {
     let regions = test_regions(&lexed.toks);
     let in_test = |line: u32| regions.iter().any(|&(a, b)| (a..=b).contains(&line));
     let (allows, mut findings) = parse_allows(&lexed, ctx, &snippet);
-    let suppressed = |rule: RuleId, line: u32| {
-        allows
-            .iter()
-            .any(|a| a.rules.contains(&rule) && a.covers.contains(&line))
-    };
+    let suppressed = |rule: RuleId, line: u32| allows.iter().any(|a| a.covers(rule, line));
 
     let push =
         |rule: RuleId, tok: &Tok, message: String, hint: &str, findings: &mut Vec<Finding>| {
@@ -157,15 +174,7 @@ pub fn lint_source(src: &str, ctx: &FileContext, cfg: &Config) -> Vec<Finding> {
     let det_crate = cfg.determinism_crates.contains(&ctx.crate_name);
     let panic_crate = cfg.panic_crates.contains(&ctx.crate_name);
     let d2_exempt = cfg.d2_exempt_crates.contains(&ctx.crate_name);
-    // Allowlist entries are exact paths, or directory prefixes when
-    // they end in '/'.
-    let unsafe_ok = cfg.unsafe_allow_files.iter().any(|allowed| {
-        if allowed.ends_with('/') {
-            ctx.path.starts_with(allowed.as_str())
-        } else {
-            allowed == &ctx.path
-        }
-    });
+    let unsafe_ok = cfg.allows_unsafe(&ctx.path);
 
     // --- D1: hash collections in determinism-critical crates -------
     if det_crate && !ctx.in_tests_dir {
@@ -568,7 +577,7 @@ fn paren_span_contains(toks: &[Tok], open: usize, needle: &str) -> bool {
 /// Line ranges covered by `#[test]` / `#[cfg(test)]` items (the
 /// braced block following the attribute). `#[cfg(not(test))]` is not
 /// a test region.
-fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+pub(crate) fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -655,7 +664,7 @@ fn matching_brace(toks: &[Tok], open: usize) -> usize {
 /// Parses every `detlint::allow(...)` directive in the file's
 /// comments. Returns the valid allows plus A0 findings for malformed
 /// ones (missing/empty reason, unknown rule id).
-fn parse_allows(
+pub(crate) fn parse_allows(
     lexed: &Lexed,
     ctx: &FileContext,
     snippet: &dyn Fn(u32) -> String,

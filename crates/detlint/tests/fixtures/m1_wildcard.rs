@@ -1,0 +1,25 @@
+//! M1 canary (pretend path is an obs consumer file): one wildcard arm
+//! in a SimEvent match, one in a non-event match (clean), and one
+//! suppressed.
+
+fn lane(ev: &SimEvent) -> u32 {
+    match ev {
+        SimEvent::JobStarted { .. } => 1,
+        _ => 0,
+    }
+}
+
+fn depth(o: Option<u32>) -> u32 {
+    match o {
+        Some(v) => v,
+        _ => 0,
+    }
+}
+
+fn kind(ev: &SimEvent) -> u32 {
+    match ev {
+        SimEvent::JobFinished { .. } => 1,
+        // detlint::allow(M1, reason = "exercise the suppression path")
+        _ => 0,
+    }
+}

@@ -1,0 +1,13 @@
+//! R1 canary: magic, computed, and dynamic fork labels, one named
+//! constant, and one suppressed dynamic site.
+
+const SHUFFLE_STREAM: u64 = 7;
+
+fn forks(root: &mut SimRng, node: NodeId) {
+    let _a = root.fork(1);
+    let _b = root.fork(2 + 1);
+    let _c = root.fork(SHUFFLE_STREAM);
+    let _d = root.fork(node.index() as u64);
+    // detlint::allow(R1, reason = "per-node stream, label is the node id")
+    let _e = root.fork(node.index() as u64);
+}

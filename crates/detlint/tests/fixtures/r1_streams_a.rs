@@ -1,0 +1,5 @@
+//! R1 canary (cross-file, part A, pretend crate `mapreduce`): two
+//! constants in one crate sharing a label value.
+
+const PLACEMENT_STREAM: u64 = 1;
+const SPEED_STREAM: u64 = 1;

@@ -1,0 +1,4 @@
+//! R1 canary (cross-file, part B, pretend crate `textlab`): the same
+//! constant name as part A resolving to a different value.
+
+const PLACEMENT_STREAM: u64 = 2;

@@ -1,0 +1,21 @@
+//! U2 canary (pretend path inside the unsafe allowlist): one
+//! documented unsafe fn, one bare, one bare-but-suppressed, and call
+//! sites with and without a SAFETY comment.
+
+/// Docs may sit between the SAFETY comment and the item.
+// SAFETY: no preconditions; the probe is asserted by the dispatcher.
+#[inline]
+unsafe fn good() {}
+
+#[inline]
+unsafe fn bad() {}
+
+// detlint::allow(U2, reason = "exercise the suppression path")
+unsafe fn tolerated() {}
+
+fn call() {
+    // SAFETY: good() has no preconditions.
+    unsafe { good() };
+    unsafe { bad() };
+    unsafe { tolerated() };
+}

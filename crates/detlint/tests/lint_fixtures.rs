@@ -7,7 +7,7 @@
 
 use std::path::PathBuf;
 
-use detlint::{lint_source, render_json, Config, FileContext, RuleId};
+use detlint::{lint_files, lint_source, render_json, Config, FileContext, RuleId};
 
 fn fixtures_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -34,6 +34,33 @@ fn check(fixture: &str, pretend_path: &str, golden: &str) {
         json, expected,
         "fixture {fixture} diverged from golden {golden}"
     );
+}
+
+/// Lints a set of fixtures together — as `lint_files` would see them
+/// inside one workspace scan — so the cross-file rules (R1/U2/M1) can
+/// observe facts spanning more than one file, and compares the JSON
+/// report against `golden`.
+fn check_files(fixtures: &[(&str, &str)], golden: &str) {
+    let dir = fixtures_dir();
+    let files: Vec<(FileContext, String)> = fixtures
+        .iter()
+        .map(|(fixture, pretend_path)| {
+            let src = std::fs::read_to_string(dir.join(fixture))
+                .unwrap_or_else(|e| panic!("reading fixture {fixture}: {e}"));
+            (FileContext::from_repo_path(pretend_path), src)
+        })
+        .collect();
+    let findings = lint_files(&files, &Config::default());
+    let json = render_json(&findings);
+    let golden_path = dir.join(golden);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&golden_path, &json)
+            .unwrap_or_else(|e| panic!("writing golden {golden}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("reading golden {golden} (run with UPDATE_GOLDENS=1?): {e}"));
+    assert_eq!(json, expected, "fixtures diverged from golden {golden}");
 }
 
 #[test]
@@ -155,6 +182,66 @@ fn allow_directives_golden() {
         "allow.rs",
         "crates/scheduler/src/fixture.rs",
         "allow.expected.json",
+    );
+}
+
+#[test]
+fn r1_fork_labels_golden() {
+    check_files(
+        &[("r1_fork.rs", "crates/mapreduce/src/fixture.rs")],
+        "r1_fork.expected.json",
+    );
+}
+
+#[test]
+fn r1_is_scoped_to_stream_disciplined_crates() {
+    // `crates/analysis` is not in `rng_stream_crates`: the same
+    // source produces no R1 findings there.
+    check_files(
+        &[("r1_fork.rs", "crates/analysis/src/fixture.rs")],
+        "r1_fork.analysis.expected.json",
+    );
+}
+
+#[test]
+fn r1_cross_file_constant_conflicts_golden() {
+    // Part A holds two constants with the same value in one crate
+    // (duplicate-value finding); part B reuses a name from part A
+    // with a different value (name-conflict finding).
+    check_files(
+        &[
+            ("r1_streams_a.rs", "crates/mapreduce/src/streams_a.rs"),
+            ("r1_streams_b.rs", "crates/textlab/src/streams_b.rs"),
+        ],
+        "r1_streams.expected.json",
+    );
+}
+
+#[test]
+fn u2_safety_comments_golden() {
+    // Pretend path sits under the U1 allowlist's simd/ prefix, so U1
+    // stays quiet and U2 audits the SAFETY comments instead.
+    check_files(
+        &[("u2_safety.rs", "crates/erasure/src/simd/fixture.rs")],
+        "u2_safety.expected.json",
+    );
+}
+
+#[test]
+fn m1_wildcard_arms_golden() {
+    check_files(
+        &[("m1_wildcard.rs", "crates/obs/src/aggregate.rs")],
+        "m1_wildcard.expected.json",
+    );
+}
+
+#[test]
+fn m1_is_scoped_to_configured_obs_files() {
+    // The same source outside `event_match_files` produces no M1
+    // findings.
+    check_files(
+        &[("m1_wildcard.rs", "crates/obs/src/fixture.rs")],
+        "m1_wildcard.other.expected.json",
     );
 }
 

@@ -28,6 +28,9 @@ pub(super) static NEON: super::Kernels = super::Kernels {
 /// # Safety
 ///
 /// Caller must ensure the CPU supports NEON and `dst.len() == src.len()`.
+// SAFETY: pointer walks stop at `len / 16 * 16` bytes of dst/src (the
+// equal-length contract); NEON loads/stores need no alignment. Probed
+// wrappers are the only callers (module safety note).
 #[target_feature(enable = "neon")]
 unsafe fn gf_mul_neon<const ACCUMULATE: bool>(dst: &mut [u8], src: &[u8], nib: &[u8; 32]) -> usize {
     let lo_t = vld1q_u8(nib.as_ptr());
@@ -54,6 +57,9 @@ unsafe fn gf_mul_neon<const ACCUMULATE: bool>(dst: &mut [u8], src: &[u8], nib: &
 /// # Safety
 ///
 /// Caller must ensure the CPU supports NEON.
+// SAFETY: touches `len / 16 * 16` bytes of `data`; each lane is read
+// before it is written, so the deliberate src/dst aliasing is sound.
+// Probed wrappers only (module safety note).
 #[target_feature(enable = "neon")]
 unsafe fn gf_mul_in_place_neon(data: &mut [u8], nib: &[u8; 32]) -> usize {
     let lo_t = vld1q_u8(nib.as_ptr());

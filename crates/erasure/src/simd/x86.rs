@@ -51,6 +51,8 @@ pub(super) static GFNI_AVX512: super::Kernels = super::Kernels {
 /// # Safety
 ///
 /// Requires SSSE3 (guaranteed by the caller's `#[target_feature]`).
+// SAFETY: register-only intrinsics; inlined solely into SSSE3-marked
+// callers, so the feature is active whenever this body runs.
 #[inline]
 #[target_feature(enable = "ssse3")]
 unsafe fn nib_mul128(s: __m128i, lo_t: __m128i, hi_t: __m128i, mask: __m128i) -> __m128i {
@@ -65,6 +67,9 @@ unsafe fn nib_mul128(s: __m128i, lo_t: __m128i, hi_t: __m128i, mask: __m128i) ->
 /// # Safety
 ///
 /// Caller must ensure the CPU supports SSSE3 and `dst.len() == src.len()`.
+// SAFETY: pointer walks stop at `len / 16 * 16` bytes of dst/src (the
+// equal-length contract) via unaligned load/store; probed wrappers
+// are the only callers (module safety note).
 #[target_feature(enable = "ssse3")]
 unsafe fn gf_mul_ssse3<const ACCUMULATE: bool>(
     dst: &mut [u8],
@@ -109,6 +114,9 @@ fn mul_acc_ssse3(dst: &mut [u8], src: &[u8], coeff: Gf256) {
 /// # Safety
 ///
 /// Caller must ensure the CPU supports SSSE3.
+// SAFETY: touches `len / 16 * 16` bytes of `data` through unaligned
+// load/store; each lane is read before it is written, so the
+// deliberate src/dst aliasing is sound. Probed wrappers only.
 #[target_feature(enable = "ssse3")]
 unsafe fn gf_mul_in_place_ssse3(data: &mut [u8], nib: &[u8; 32]) -> usize {
     let lo_t = _mm_loadu_si128(nib.as_ptr() as *const __m128i);
@@ -141,6 +149,8 @@ fn mul_acc_multi_ssse3(dst: &mut [u8], terms: &[super::Term<'_>]) {
 /// # Safety
 ///
 /// Requires AVX2 (guaranteed by the caller's `#[target_feature]`).
+// SAFETY: register-only intrinsics; inlined solely into AVX2-marked
+// callers, so the feature is active whenever this body runs.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn nib_mul256(s: __m256i, lo_t: __m256i, hi_t: __m256i, mask: __m256i) -> __m256i {
@@ -155,6 +165,9 @@ unsafe fn nib_mul256(s: __m256i, lo_t: __m256i, hi_t: __m256i, mask: __m256i) ->
 /// # Safety
 ///
 /// Caller must ensure the CPU supports AVX2 and `dst.len() == src.len()`.
+// SAFETY: pointer walks stop at `len / 32 * 32` bytes of dst/src (the
+// equal-length contract) via unaligned load/store; probed wrappers
+// are the only callers (module safety note).
 #[target_feature(enable = "avx2")]
 unsafe fn gf_mul_avx2<const ACCUMULATE: bool>(dst: &mut [u8], src: &[u8], nib: &[u8; 32]) -> usize {
     let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr() as *const __m128i));
@@ -195,6 +208,9 @@ fn mul_acc_avx2(dst: &mut [u8], src: &[u8], coeff: Gf256) {
 /// # Safety
 ///
 /// Caller must ensure the CPU supports AVX2.
+// SAFETY: touches `len / 32 * 32` bytes of `data` through unaligned
+// load/store; each lane is read before it is written, so the
+// deliberate src/dst aliasing is sound. Probed wrappers only.
 #[target_feature(enable = "avx2")]
 unsafe fn gf_mul_in_place_avx2(data: &mut [u8], nib: &[u8; 32]) -> usize {
     let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr() as *const __m128i));
@@ -230,6 +246,9 @@ fn mul_acc_multi_avx2(dst: &mut [u8], terms: &[super::Term<'_>]) {
 ///
 /// Caller must ensure the CPU supports GFNI+AVX-512F/BW and
 /// `dst.len() == src.len()`.
+// SAFETY: pointer walks stop at `len / 64 * 64` bytes of dst/src (the
+// equal-length contract) via read_unaligned/write_unaligned; probed
+// wrappers are the only callers (module safety note).
 #[target_feature(enable = "gfni,avx512f,avx512bw")]
 unsafe fn gf_mul_gfni<const ACCUMULATE: bool>(dst: &mut [u8], src: &[u8], coeff: Gf256) -> usize {
     let cv = _mm512_set1_epi8(coeff.value() as i8);
@@ -256,6 +275,9 @@ unsafe fn gf_mul_gfni<const ACCUMULATE: bool>(dst: &mut [u8], src: &[u8], coeff:
 ///
 /// Caller must ensure the CPU supports GFNI+AVX-512F/BW and that every
 /// source slice has the same length as `dst`.
+// SAFETY: every source walk is bounded by `dst.len() / 64 * 64` bytes,
+// within each source per the equal-length contract; unaligned reads
+// and writes throughout. Probed wrappers only (module safety note).
 #[target_feature(enable = "gfni,avx512f,avx512bw")]
 unsafe fn gf_mul_acc_multi_gfni(dst: &mut [u8], terms: &[super::Term<'_>]) -> usize {
     let blocks = dst.len() / 64;
@@ -300,6 +322,9 @@ fn mul_acc_gfni(dst: &mut [u8], src: &[u8], coeff: Gf256) {
 /// # Safety
 ///
 /// Caller must ensure the CPU supports GFNI+AVX-512F/BW.
+// SAFETY: touches `len / 64 * 64` bytes of `data` through unaligned
+// reads/writes; each lane is read before it is written, so the
+// deliberate src/dst aliasing is sound. Probed wrappers only.
 #[target_feature(enable = "gfni,avx512f,avx512bw")]
 unsafe fn gf_mul_in_place_gfni(data: &mut [u8], coeff: Gf256) -> usize {
     let cv = _mm512_set1_epi8(coeff.value() as i8);

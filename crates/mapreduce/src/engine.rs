@@ -426,6 +426,17 @@ pub struct EngineBuilder<'a> {
     jobs: Vec<JobSpec>,
 }
 
+/// Placement stream label: block placement draws its randomness from
+/// a dedicated fork of the seed root (DESIGN.md §9, R1), so placement
+/// is a pure function of the seed regardless of what the engine or
+/// speed sampling consumes. Values are frozen — goldens replay them.
+const PLACEMENT_STREAM: u64 = 1;
+/// Engine stream label: the scheduler/engine sampling sequence.
+const TASK_STREAM: u64 = 2;
+/// Node-speed stream label: heterogeneous speed profiles sample here,
+/// so enabling a profile never perturbs placement or task sampling.
+const SPEED_STREAM: u64 = 3;
+
 impl<'a> EngineBuilder<'a> {
     /// Sets the `(n, k)` code and the native block count `F`.
     pub fn code(mut self, params: CodeParams, num_native: usize) -> Self {
@@ -521,15 +532,15 @@ impl<'a> EngineBuilder<'a> {
         let layout =
             StripeLayout::new(params, num_native).map_err(|e| BuildError::Layout(e.to_string()))?;
         let mut root = SimRng::seed_from_u64(self.seed);
-        let mut placement_rng = root.fork(1);
-        let rng = root.fork(2);
-        // Speeds get their own stream (fork 3) so enabling a profile
-        // never perturbs placement or the engine's sampling sequence;
+        let mut placement_rng = root.fork(PLACEMENT_STREAM);
+        let rng = root.fork(TASK_STREAM);
+        // Speeds get their own stream so enabling a profile never
+        // perturbs placement or the engine's sampling sequence;
         // `Homogeneous` draws nothing at all.
         let speeds = self
             .config
             .node_speeds
-            .sample(self.topo.num_nodes(), &mut root.fork(3));
+            .sample(self.topo.num_nodes(), &mut root.fork(SPEED_STREAM));
         let store = BlockStore::place(&self.topo, layout, policy, &mut placement_rng)
             .map_err(BuildError::Placement)?;
         let mut cstate = ClusterState::from_scenario(&self.topo, &self.failure);

@@ -161,7 +161,29 @@ impl EventSink for FlowRateFilter<'_> {
             SimEvent::FlowFinished { flow, .. } => {
                 self.last.remove(flow);
             }
-            _ => {}
+            // Every other kind passes through untouched. The arm is
+            // spelled out (M1): a new event kind must decide here
+            // whether it carries per-flow state to thin or reset.
+            SimEvent::JobSubmitted { .. }
+            | SimEvent::JobStarted { .. }
+            | SimEvent::JobFinished { .. }
+            | SimEvent::TaskQueued { .. }
+            | SimEvent::MapLaunched { .. }
+            | SimEvent::MapDone { .. }
+            | SimEvent::MapCancelled { .. }
+            | SimEvent::DegradedPlan { .. }
+            | SimEvent::RedundantFetchIssued { .. }
+            | SimEvent::FetchCancelled { .. }
+            | SimEvent::PhaseBegin { .. }
+            | SimEvent::PhaseEnd { .. }
+            | SimEvent::ReduceLaunched { .. }
+            | SimEvent::ReduceShuffled { .. }
+            | SimEvent::ReduceDone { .. }
+            | SimEvent::FlowStarted { .. }
+            | SimEvent::NodeFailed { .. }
+            | SimEvent::NodeRecovered { .. }
+            | SimEvent::RepairStarted { .. }
+            | SimEvent::RepairFinished { .. } => {}
         }
         self.inner.record(at, event);
     }

@@ -18,6 +18,12 @@ use erasure::stripe::{group_into_stripes, split_into_blocks};
 use erasure::{CodeError, CodeParams, StripeCodec};
 use simkit::SimRng;
 
+/// Placement stream label (DESIGN.md §9, R1): the grid forks a
+/// dedicated stream off the seed root for shard placement, matching
+/// the engine's label so a textlab grid and a simulated cluster built
+/// from the same seed place identically. Frozen — goldens replay it.
+const PLACEMENT_STREAM: u64 = 1;
+
 /// Errors from grid construction or reads.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GridError {
@@ -119,7 +125,7 @@ impl MiniGrid {
         let layout =
             StripeLayout::new(params, num_native).map_err(|e| GridError::Layout(e.to_string()))?;
         let mut rng = SimRng::seed_from_u64(seed);
-        let mut placement_rng = rng.fork(1);
+        let mut placement_rng = rng.fork(PLACEMENT_STREAM);
         // Round-robin placement, as on the paper's testbed (the rack
         // constraint is a simulation-side requirement that the (12,10)
         // testbed code cannot satisfy on three racks).

@@ -2,7 +2,11 @@
 //! finding-free, and the engine must still catch seeded violations
 //! (so a green run means "checked and clean", not "checked nothing").
 
-use detlint::{check_workspace, lint_source, render_human, Config, FileContext, RuleId};
+use detlint::{
+    check_workspace, lint_files, lint_source, read_workspace, render_human, render_json, Config,
+    FileContext, RuleId,
+};
+use proptest::prelude::*;
 
 fn repo_root() -> std::path::PathBuf {
     // CARGO_MANIFEST_DIR is crates/core; the workspace root is two up.
@@ -49,4 +53,85 @@ fn allow_without_reason_is_flagged() {
         findings.iter().any(|f| f.rule == RuleId::A0),
         "reason-less allow not flagged: {findings:?}"
     );
+}
+
+/// Lints pretend-path/source pairs through the full two-phase engine.
+fn lint_pretend(files: &[(&str, &str)]) -> Vec<detlint::Finding> {
+    let files: Vec<(FileContext, String)> = files
+        .iter()
+        .map(|(path, src)| (FileContext::from_repo_path(path), src.to_string()))
+        .collect();
+    lint_files(&files, &Config::default())
+}
+
+#[test]
+fn seeded_magic_fork_label_is_caught() {
+    let findings = lint_pretend(&[(
+        "crates/mapreduce/src/seeded.rs",
+        "fn f(root: &mut SimRng) {\n    let _rng = root.fork(3);\n}\n",
+    )]);
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::R1),
+        "seeded magic fork label not caught: {findings:?}"
+    );
+}
+
+#[test]
+fn seeded_duplicate_stream_values_are_caught() {
+    // Two constants in different files of the same crate carrying the
+    // same label value alias a single RNG stream.
+    let findings = lint_pretend(&[
+        ("crates/mapreduce/src/a.rs", "const PICK_STREAM: u64 = 9;\n"),
+        ("crates/mapreduce/src/b.rs", "const POKE_STREAM: u64 = 9;\n"),
+    ]);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == RuleId::R1 && f.message.contains("duplicates label value")),
+        "seeded duplicate stream values not caught: {findings:?}"
+    );
+}
+
+#[test]
+fn seeded_missing_safety_comment_is_caught() {
+    let findings = lint_pretend(&[("crates/erasure/src/simd/seeded.rs", "unsafe fn f() {}\n")]);
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::U2),
+        "seeded SAFETY-less unsafe not caught: {findings:?}"
+    );
+}
+
+#[test]
+fn seeded_event_wildcard_arm_is_caught() {
+    let findings = lint_pretend(&[(
+        "crates/obs/src/sink.rs",
+        "fn f(ev: &SimEvent) -> u32 {\n    match ev {\n        SimEvent::JobStarted { .. } => 1,\n        _ => 0,\n    }\n}\n",
+    )]);
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::M1),
+        "seeded SimEvent wildcard arm not caught: {findings:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The report is a function of the file *set*, not the scan
+    /// order: shuffling the workspace file list arbitrarily yields a
+    /// byte-identical JSON report.
+    #[test]
+    fn report_is_independent_of_file_scan_order(seed in any::<u64>()) {
+        let cfg = Config::default();
+        let mut files = read_workspace(&repo_root()).expect("walk crates/");
+        let baseline = render_json(&lint_files(&files, &cfg));
+        // Fisher–Yates with a local LCG; proptest only supplies the seed.
+        let mut state = seed | 1;
+        for i in (1..files.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            files.swap(i, j);
+        }
+        let shuffled = render_json(&lint_files(&files, &cfg));
+        prop_assert_eq!(baseline, shuffled);
+    }
 }
